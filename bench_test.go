@@ -1,0 +1,279 @@
+package godm
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, plus the ablations DESIGN.md calls out. Each benchmark runs
+// the corresponding experiment end to end on the simulated testbed and
+// reports the figure's headline quantities as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the paper's rows/series. Wall-clock ns/op measures simulator
+// cost, not system performance — the shape lives in the custom metrics.
+
+import (
+	"context"
+	"testing"
+
+	"godm/internal/exp"
+)
+
+// benchScale keeps every figure benchmark in the hundreds of milliseconds.
+func benchScale() exp.Scale {
+	return exp.Scale{
+		Pages:      1024,
+		Iters:      2,
+		KVOps:      8000,
+		Fig9Window: 0, // auto
+		Seed:       1,
+	}
+}
+
+func BenchmarkTable1Catalog(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := exp.Table1()
+		if len(res.Profiles) != 10 {
+			b.Fatal("catalog size")
+		}
+	}
+}
+
+func BenchmarkFig3CompressionRatio(b *testing.B) {
+	var last *exp.Fig3Result
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Fig3(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	var four, zswap float64
+	for _, row := range last.Rows {
+		four += row.FourGran
+		zswap += row.Zswap
+	}
+	n := float64(len(last.Rows))
+	b.ReportMetric(four/n, "avg_ratio_fs4gran")
+	b.ReportMetric(zswap/n, "avg_ratio_zswap")
+}
+
+func BenchmarkFig4CompressibilityImpact(b *testing.B) {
+	var last *exp.Fig4Result
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Fig4(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	first, final := last.Rows[0], last.Rows[len(last.Rows)-1]
+	b.ReportMetric(float64(first.DiskTime)/float64(final.DiskTime), "disk_speedup_1.3x_to_4x")
+	b.ReportMetric(float64(first.RemoteTime)/float64(final.RemoteTime), "remote_speedup_1.3x_to_4x")
+}
+
+func BenchmarkFig5CompressionOnOff(b *testing.B) {
+	var last *exp.Fig5Result
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Fig5(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	var sum float64
+	for _, row := range last.Rows {
+		sum += row.Improvement
+	}
+	b.ReportMetric(sum/float64(len(last.Rows)), "avg_compression_speedup")
+}
+
+func BenchmarkFig6BatchSwapIn(b *testing.B) {
+	var last *exp.Fig6Result
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Fig6(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	row := last.Rows[len(last.Rows)-1] // largest workload
+	b.ReportMetric(float64(row.FastSwapNoPBS)/float64(row.FastSwapPBS), "pbs_speedup_largest")
+	b.ReportMetric(float64(row.Linux)/float64(row.FastSwapPBS), "vs_linux_largest")
+}
+
+func BenchmarkFig7MLWorkloads(b *testing.B) {
+	var last *exp.Fig7Result
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Fig7(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.AvgOverLinux["50%"], "avg_vs_linux_50")
+	b.ReportMetric(last.MaxOverLinux["50%"], "max_vs_linux_50")
+	b.ReportMetric(last.AvgOverLinux["75%"], "avg_vs_linux_75")
+	b.ReportMetric(last.AvgOverInfiniswap["50%"], "avg_vs_infiniswap_50")
+	b.ReportMetric(last.AvgOverInfiniswap["75%"], "avg_vs_infiniswap_75")
+}
+
+func BenchmarkFig8DistributionRatio(b *testing.B) {
+	var last *exp.Fig8Result
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Fig8(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, row := range last.Rows {
+		switch row.Workload {
+		case "Redis":
+			b.ReportMetric(row.OpsPerSec["FS-SM"]/row.OpsPerSec["Linux"], "redis_fssm_vs_linux")
+			b.ReportMetric(row.OpsPerSec["FS-RDMA"]/row.OpsPerSec["Infiniswap"], "redis_fsrdma_vs_infiniswap")
+		case "Memcached":
+			b.ReportMetric(row.OpsPerSec["FS-SM"]/row.OpsPerSec["Linux"], "memcached_fssm_vs_linux")
+		case "VoltDB":
+			b.ReportMetric(row.OpsPerSec["FS-SM"]/row.OpsPerSec["Linux"], "voltdb_fssm_vs_linux")
+		}
+	}
+}
+
+func BenchmarkFig9RecoveryCurve(b *testing.B) {
+	var last *exp.Fig9Result
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Fig9(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, s := range last.Series {
+		switch s.System {
+		case "FastSwap+PBS":
+			b.ReportMetric(s.RecoverySeconds*1000, "pbs_recovery_ms")
+		case "FastSwap-noPBS":
+			b.ReportMetric(s.RecoverySeconds*1000, "nopbs_recovery_ms")
+		case "Infiniswap":
+			b.ReportMetric(s.RecoverySeconds*1000, "infiniswap_recovery_ms")
+			b.ReportMetric(s.PeakFraction*100, "infiniswap_final_pct_of_peak")
+		}
+	}
+}
+
+func BenchmarkFig10DAHI(b *testing.B) {
+	var last *exp.Fig10Result
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Fig10(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	agg := map[string][]float64{}
+	for _, row := range last.Rows {
+		agg[row.Dataset] = append(agg[row.Dataset], row.Speedup)
+	}
+	for _, ds := range []string{"small", "medium", "large"} {
+		var sum float64
+		for _, v := range agg[ds] {
+			sum += v
+		}
+		b.ReportMetric(sum/float64(len(agg[ds])), "dahi_speedup_"+ds)
+	}
+}
+
+func BenchmarkMapScalability(b *testing.B) {
+	var last *exp.MapScaleResult
+	for i := 0; i < b.N; i++ {
+		last = exp.MapScale()
+	}
+	b.ReportMetric(float64(last.Rows[1].FlatBytes)/float64(1<<30), "flat_10tb_gib")
+	b.ReportMetric(float64(last.Rows[1].GroupedBytes[8])/float64(1<<30), "grouped8_10tb_gib")
+}
+
+func BenchmarkPlacementBalance(b *testing.B) {
+	var last *exp.BalanceResult
+	for i := 0; i < b.N; i++ {
+		last = exp.Balance(benchScale())
+	}
+	for _, row := range last.Rows {
+		b.ReportMetric(row.Imbalance, "imbalance_"+row.Policy)
+	}
+}
+
+func BenchmarkFailover(b *testing.B) {
+	var last *exp.FailoverResult
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Failover(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.ElectionTicks), "election_ticks")
+}
+
+func BenchmarkAblationWindow(b *testing.B) {
+	var last *exp.WindowResult
+	for i := 0; i < b.N; i++ {
+		res, err := exp.AblationWindow(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.Rows[0].Completion)/float64(last.Rows[2].Completion), "d16_speedup_over_d1")
+}
+
+func BenchmarkAblationReplication(b *testing.B) {
+	var last *exp.ReplicationResult
+	for i := 0; i < b.N; i++ {
+		res, err := exp.AblationReplication(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.Rows[1].Completion)/float64(last.Rows[0].Completion), "r3_cost_over_r1")
+}
+
+// BenchmarkSimClusterPut measures the real (wall-clock) cost of the public
+// put path on the simulated fabric — the library's own overhead.
+func BenchmarkSimClusterPut(b *testing.B) {
+	c, err := NewSimCluster(SimClusterConfig{Nodes: 4, ReplicationFactor: 1, SharedPoolBytes: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	vs, err := c.Node(0).AddServer("bench", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	err = c.Run(func(ctx context.Context) error {
+		// Rotate through a bounded ID window: puts overwrite (and free) old
+		// versions, so memory use stays flat however large b.N grows.
+		for i := 0; i < b.N; i++ {
+			if _, err := vs.Put(ctx, EntryID(i%4096), data, 4096, 4096); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkExtensionXMemPod(b *testing.B) {
+	var last *exp.XMemPodResult
+	for i := 0; i < b.N; i++ {
+		res, err := exp.XMemPod(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Rows[len(last.Rows)-1].Speedup, "ssd_speedup_exhausted")
+}

@@ -1,0 +1,103 @@
+// Command dmctl talks to running dmnode daemons: it queries free
+// disaggregated memory, and parks/retrieves data entries in a node's
+// donated receive pool over the verbs protocol.
+//
+//	dmctl -node 1=localhost:7401 stats
+//	dmctl -node 1=localhost:7401 put 42 "hello disaggregated world"
+//	dmctl -node 1=localhost:7401 getput 42    # put then read back
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"godm/internal/core"
+	"godm/internal/tcpnet"
+	"godm/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dmctl", flag.ContinueOnError)
+	var (
+		nodeFlag = fs.String("node", "", "target node as id=host:port")
+		myID     = fs.Int("id", 1000, "this client's node id")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *nodeFlag == "" || fs.NArg() < 1 {
+		return fmt.Errorf("usage: dmctl -node id=host:port <stats|put KEY DATA|getput KEY>")
+	}
+	idStr, addr, ok := strings.Cut(*nodeFlag, "=")
+	if !ok {
+		return fmt.Errorf("bad -node %q, want id=host:port", *nodeFlag)
+	}
+	targetID, err := strconv.Atoi(idStr)
+	if err != nil {
+		return fmt.Errorf("bad node id: %v", err)
+	}
+	target := transport.NodeID(targetID)
+
+	ep, err := tcpnet.Listen(transport.NodeID(*myID), "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer ep.Close()
+	ep.AddPeer(target, addr)
+	client := core.NewClient(ep)
+	ctx := context.Background()
+
+	switch fs.Arg(0) {
+	case "stats":
+		free, err := client.Stats(ctx, target)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("node %d free receive-pool bytes: %d (%.1f MiB)\n", target, free, float64(free)/(1<<20))
+		return nil
+	case "put":
+		if fs.NArg() < 3 {
+			return fmt.Errorf("usage: put KEY DATA")
+		}
+		key, err := strconv.ParseUint(fs.Arg(1), 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad key: %v", err)
+		}
+		if err := client.Put(ctx, target, key, []byte(fs.Arg(2))); err != nil {
+			return err
+		}
+		fmt.Printf("parked %d bytes under key %d on node %d\n", len(fs.Arg(2)), key, target)
+		return nil
+	case "getput":
+		if fs.NArg() < 2 {
+			return fmt.Errorf("usage: getput KEY")
+		}
+		key, err := strconv.ParseUint(fs.Arg(1), 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad key: %v", err)
+		}
+		payload := []byte(fmt.Sprintf("probe-entry-%d", key))
+		if err := client.Put(ctx, target, key, payload); err != nil {
+			return err
+		}
+		got, err := client.Get(ctx, target, key)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("round trip ok: %q\n", got)
+		return client.Delete(ctx, target, key)
+	default:
+		return fmt.Errorf("unknown command %q", fs.Arg(0))
+	}
+}

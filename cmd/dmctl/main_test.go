@@ -1,0 +1,88 @@
+package main
+
+import (
+	"testing"
+
+	"godm/internal/cluster"
+	"godm/internal/core"
+	"godm/internal/tcpnet"
+	"godm/internal/transport"
+)
+
+// startNode brings up a real dmnode-equivalent on loopback for dmctl to
+// talk to.
+func startNode(t *testing.T, id transport.NodeID) *tcpnet.Endpoint {
+	t.Helper()
+	ep, err := tcpnet.Listen(id, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := cluster.NewDirectory(cluster.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.NewNode(core.Config{
+		ID:                id,
+		SharedPoolBytes:   1 << 20,
+		SendPoolBytes:     1 << 20,
+		RecvPoolBytes:     2 << 20,
+		SlabSize:          1 << 20,
+		ReplicationFactor: 1,
+	}, ep, dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ep.Close() })
+	return ep
+}
+
+func TestUsageErrors(t *testing.T) {
+	tests := [][]string{
+		{},                                    // no command
+		{"stats"},                             // no -node
+		{"-node", "garbage", "stats"},         // malformed node
+		{"-node", "x=host:1", "stats"},        // bad id
+		{"-node", "1=127.0.0.1:1", "explode"}, // unknown command
+	}
+	for _, args := range tests {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestStatsAgainstLiveNode(t *testing.T) {
+	ep := startNode(t, 9)
+	if err := run([]string{"-node", "9=" + ep.Addr(), "stats"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutAndGetPutAgainstLiveNode(t *testing.T) {
+	ep := startNode(t, 9)
+	if err := run([]string{"-node", "9=" + ep.Addr(), "put", "7", "hello"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-node", "9=" + ep.Addr(), "getput", "8"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutArgValidation(t *testing.T) {
+	ep := startNode(t, 9)
+	if err := run([]string{"-node", "9=" + ep.Addr(), "put", "notanumber", "x"}); err == nil {
+		t.Fatal("expected error for bad key")
+	}
+	if err := run([]string{"-node", "9=" + ep.Addr(), "put", "1"}); err == nil {
+		t.Fatal("expected error for missing data")
+	}
+	if err := run([]string{"-node", "9=" + ep.Addr(), "getput"}); err == nil {
+		t.Fatal("expected error for missing key")
+	}
+}
+
+func TestUnreachableNode(t *testing.T) {
+	// Port 1 on loopback: nothing listens there.
+	if err := run([]string{"-node", "5=127.0.0.1:1", "stats"}); err == nil {
+		t.Fatal("expected error for unreachable node")
+	}
+}

@@ -1,0 +1,141 @@
+// Command dmnode runs one disaggregated memory node as a real process: it
+// listens for verbs traffic over TCP, donates a receive pool to the cluster,
+// serves control-plane allocations, and periodically heartbeats its peers
+// and repairs lost replicas.
+//
+// A three-node cluster on one machine:
+//
+//	dmnode -id 1 -listen :7401 -peers 2=localhost:7402,3=localhost:7403
+//	dmnode -id 2 -listen :7402 -peers 1=localhost:7401,3=localhost:7403
+//	dmnode -id 3 -listen :7403 -peers 1=localhost:7401,2=localhost:7402
+//
+// Then park data in a node's pool with dmctl.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"godm/internal/cluster"
+	"godm/internal/core"
+	"godm/internal/tcpnet"
+	"godm/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dmnode", flag.ContinueOnError)
+	var (
+		id        = fs.Int("id", 1, "node id (unique per cluster)")
+		listen    = fs.String("listen", ":7401", "listen address")
+		peersFlag = fs.String("peers", "", "comma-separated id=host:port peer list")
+		recvMiB   = fs.Int64("recv-mib", 256, "receive pool donated to the cluster (MiB)")
+		sharedMiB = fs.Int64("shared-mib", 256, "node-coordinated shared pool (MiB)")
+		replicas  = fs.Int("replicas", 3, "replication factor for remote entries")
+		tick      = fs.Duration("tick", 2*time.Second, "heartbeat/maintenance interval")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	peers, err := parsePeers(*peersFlag)
+	if err != nil {
+		return err
+	}
+
+	ep, err := tcpnet.Listen(transport.NodeID(*id), *listen)
+	if err != nil {
+		return err
+	}
+	defer ep.Close()
+	for peerID, addr := range peers {
+		ep.AddPeer(peerID, addr)
+	}
+
+	dir, err := cluster.NewDirectory(cluster.Config{GroupSize: len(peers) + 1, HeartbeatTimeout: 3})
+	if err != nil {
+		return err
+	}
+	for peerID := range peers {
+		dir.Join(cluster.NodeID(peerID), 0)
+	}
+
+	factor := *replicas
+	if len(peers) < factor {
+		factor = len(peers)
+	}
+	if factor < 1 {
+		factor = 1
+	}
+	node, err := core.NewNode(core.Config{
+		ID:                transport.NodeID(*id),
+		SharedPoolBytes:   *sharedMiB << 20,
+		SendPoolBytes:     64 << 20,
+		RecvPoolBytes:     *recvMiB << 20,
+		SlabSize:          1 << 20,
+		ReplicationFactor: factor,
+	}, ep, dir)
+	if err != nil {
+		return err
+	}
+	log.Printf("dmnode %d listening on %s, donating %d MiB, %d peers, replication %d",
+		*id, ep.Addr(), *recvMiB, len(peers), factor)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(*tick)
+	defer ticker.Stop()
+	ctx := context.Background()
+	for {
+		select {
+		case <-ticker.C:
+			node.BroadcastHeartbeat(ctx)
+			if err := node.Heartbeat(); err != nil {
+				log.Printf("heartbeat: %v", err)
+			}
+			dir.Tick()
+			if repaired, err := node.Maintain(ctx); err != nil {
+				log.Printf("maintain: %v", err)
+			} else if repaired > 0 {
+				log.Printf("re-replicated %d entries", repaired)
+			}
+			st := node.Stats()
+			log.Printf("stats: remote-allocs=%d shared-puts=%d remote-puts=%d evicted=%d free-recv=%d",
+				st.RemoteAllocs, st.SharedPuts, st.RemotePuts, st.EvictedBlocks, node.RecvPool().FreeBytes())
+		case <-stop:
+			log.Printf("dmnode %d shutting down", *id)
+			return nil
+		}
+	}
+}
+
+func parsePeers(s string) (map[transport.NodeID]string, error) {
+	peers := map[transport.NodeID]string{}
+	if s == "" {
+		return peers, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad peer %q, want id=host:port", part)
+		}
+		n, err := strconv.Atoi(id)
+		if err != nil {
+			return nil, fmt.Errorf("bad peer id %q: %v", id, err)
+		}
+		peers[transport.NodeID(n)] = addr
+	}
+	return peers, nil
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"testing"
+
+	"godm/internal/transport"
+)
+
+func TestParsePeers(t *testing.T) {
+	tests := []struct {
+		name    string
+		in      string
+		want    map[transport.NodeID]string
+		wantErr bool
+	}{
+		{name: "empty", in: "", want: map[transport.NodeID]string{}},
+		{name: "single", in: "2=localhost:7402",
+			want: map[transport.NodeID]string{2: "localhost:7402"}},
+		{name: "multiple", in: "2=h2:7402,3=h3:7403",
+			want: map[transport.NodeID]string{2: "h2:7402", 3: "h3:7403"}},
+		{name: "missing equals", in: "2localhost", wantErr: true},
+		{name: "bad id", in: "x=localhost:1", wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := parsePeers(tt.in)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, tt.wantErr)
+			}
+			if err != nil {
+				return
+			}
+			if len(got) != len(tt.want) {
+				t.Fatalf("got %v, want %v", got, tt.want)
+			}
+			for id, addr := range tt.want {
+				if got[id] != addr {
+					t.Fatalf("got[%d] = %q, want %q", id, got[id], addr)
+				}
+			}
+		})
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-peers", "garbage"}); err == nil {
+		t.Fatal("expected error for malformed peers")
+	}
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("expected error for unknown flag")
+	}
+}

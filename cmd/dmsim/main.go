@@ -1,0 +1,80 @@
+// Command dmsim reproduces the paper's evaluation on the simulated testbed.
+//
+// Usage:
+//
+//	dmsim -list                  # list every experiment
+//	dmsim -exp fig7              # run one experiment
+//	dmsim -exp all               # run the whole suite
+//	dmsim -exp fig7 -pages 4096  # higher-fidelity run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"godm/internal/exp"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("dmsim", flag.ContinueOnError)
+	var (
+		expID  = fs.String("exp", "all", "experiment id (see -list) or 'all'")
+		list   = fs.Bool("list", false, "list experiments and exit")
+		pages  = fs.Int("pages", 0, "working-set pages per VM (0 = default)")
+		iters  = fs.Int("iters", 0, "ML iterations (0 = default)")
+		kvOps  = fs.Int("kvops", 0, "KV operations (0 = default)")
+		window = fs.Duration("fig9window", 0, "recovery window (0 = auto)")
+		seed   = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, e := range exp.Registry() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Paper)
+		}
+		return 0
+	}
+	scale := exp.DefaultScale()
+	if *pages > 0 {
+		scale.Pages = *pages
+	}
+	if *iters > 0 {
+		scale.Iters = *iters
+	}
+	if *kvOps > 0 {
+		scale.KVOps = *kvOps
+	}
+	if *window > 0 {
+		scale.Fig9Window = *window
+	}
+	scale.Seed = *seed
+
+	var toRun []exp.Experiment
+	if *expID == "all" {
+		toRun = exp.Registry()
+	} else {
+		e, err := exp.ByID(*expID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		toRun = []exp.Experiment{e}
+	}
+	for _, e := range toRun {
+		start := time.Now()
+		res, err := e.Run(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			return 1
+		}
+		fmt.Printf("== %s — %s (ran in %v)\n%s\n", e.ID, e.Paper, time.Since(start).Round(time.Millisecond), res)
+	}
+	return 0
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if code := run([]string{"-list"}); code != 0 {
+		t.Fatalf("run(-list) = %d", code)
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if code := run([]string{"-exp", "mapscale"}); code != 0 {
+		t.Fatalf("run(mapscale) = %d", code)
+	}
+}
+
+func TestRunWithScaleFlags(t *testing.T) {
+	if code := run([]string{"-exp", "balance", "-kvops", "1000", "-seed", "7"}); code != 0 {
+		t.Fatalf("run(balance) = %d", code)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if code := run([]string{"-exp", "fig99"}); code != 2 {
+		t.Fatalf("run(fig99) = %d, want 2", code)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if code := run([]string{"-definitely-not-a-flag"}); code != 2 {
+		t.Fatalf("run(bad flag) = %d, want 2", code)
+	}
+}

@@ -1,0 +1,87 @@
+package godm_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"godm"
+)
+
+// Example builds a four-node simulated cluster, overflows a virtual
+// server's entries from its node's shared pool into replicated remote
+// memory, and reads one back after partitioning its primary replica away.
+func Example() {
+	c, err := godm.NewSimCluster(godm.SimClusterConfig{
+		Nodes:             4,
+		SharedPoolBytes:   1 << 20,
+		RecvPoolBytes:     16 << 20,
+		ReplicationFactor: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	vm, err := c.Node(0).AddServer("vm0", 1<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = c.Run(func(ctx context.Context) error {
+		page := make([]byte, 4096)
+		var remote godm.EntryID
+		for id := godm.EntryID(0); id < 300; id++ {
+			tier, err := vm.Put(ctx, id, page, 4096, 4096)
+			if err != nil {
+				return err
+			}
+			if tier == godm.TierRemote {
+				remote = id
+			}
+		}
+		loc, err := vm.Location(remote)
+		if err != nil {
+			return err
+		}
+		c.Partition(0, int(loc.Primary)-1) // cut off the primary replica
+		data, _, err := vm.Get(ctx, remote)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("read %d bytes after primary failure\n", len(data))
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Output: read 4096 bytes after primary failure
+}
+
+// ExampleSimCluster_NewSwapManager pages an iterative job through FastSwap:
+// the working set is twice the resident budget, yet the job never touches
+// the disk because overflow lands in disaggregated memory.
+func ExampleSimCluster_NewSwapManager() {
+	c, err := godm.NewSimCluster(godm.SimClusterConfig{Nodes: 4, ReplicationFactor: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr, err := c.NewSwapManager("vm0", godm.FastSwapConfig(128, 9, true,
+		func(page int) float64 { return 2.5 }))
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = c.Run(func(ctx context.Context) error {
+		for iter := 0; iter < 3; iter++ {
+			for page := 0; page < 256; page++ {
+				if err := mgr.Touch(ctx, page, 0, true); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := mgr.Stats()
+	fmt.Printf("disk I/Os: %d\n", st.DiskOuts+st.DiskIns)
+	// Output: disk I/Os: 0
+}

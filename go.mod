@@ -1,0 +1,3 @@
+module godm
+
+go 1.22

@@ -1,0 +1,376 @@
+package godm
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSimClusterPutGet(t *testing.T) {
+	c, err := NewSimCluster(SimClusterConfig{Nodes: 4, SharedPoolBytes: 1 << 20, RecvPoolBytes: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err := c.Node(0).AddServer("vm0", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Run(func(ctx context.Context) error {
+		data := bytes.Repeat([]byte{0x5A}, 4096)
+		tier, err := vs.Put(ctx, 1, data, 4096, 4096)
+		if err != nil {
+			return err
+		}
+		if tier != TierSharedMemory {
+			t.Errorf("tier = %v, want shared memory first", tier)
+		}
+		got, loc, err := vs.Get(ctx, 1)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, data) {
+			t.Error("data mismatch")
+		}
+		if loc.Tier != TierSharedMemory {
+			t.Errorf("loc.Tier = %v", loc.Tier)
+		}
+		return vs.Delete(ctx, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node-local shared-memory operations are instantaneous in the core
+	// layer (devices charge time in the swap layer), so Elapsed may be zero
+	// here; it must at least be readable.
+	if c.Elapsed() < 0 {
+		t.Fatal("negative simulated time")
+	}
+}
+
+func TestSimClusterOverflowAndFailover(t *testing.T) {
+	c, err := NewSimCluster(SimClusterConfig{
+		Nodes:           5,
+		SharedPoolBytes: 1 << 20, // one slab: overflows quickly
+		RecvPoolBytes:   16 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err := c.Node(0).AddServer("vm0", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Run(func(ctx context.Context) error {
+		data := bytes.Repeat([]byte{1}, 4096)
+		var remoteID EntryID
+		for id := EntryID(0); id < 400; id++ {
+			tier, err := vs.Put(ctx, id, data, 4096, 4096)
+			if err != nil {
+				return err
+			}
+			if tier == TierRemote {
+				remoteID = id
+			}
+		}
+		loc, err := vs.Location(remoteID)
+		if err != nil {
+			return err
+		}
+		if loc.Tier != TierRemote || len(loc.Replicas) != 2 {
+			t.Errorf("remote entry loc = %+v", loc)
+		}
+		// Partition the primary: the read fails over to a replica.
+		c.Partition(0, int(loc.Primary)-1)
+		got, _, err := vs.Get(ctx, remoteID)
+		if err != nil {
+			return err
+		}
+		if got[0] != 1 {
+			t.Error("failover data mismatch")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimClusterSwapManager(t *testing.T) {
+	c, err := NewSimCluster(SimClusterConfig{Nodes: 4, ReplicationFactor: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := c.NewSwapManager("vm0", FastSwapConfig(64, 9, true, func(int) float64 { return 2 }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Run(func(ctx context.Context) error {
+		for it := 0; it < 3; it++ {
+			for pg := 0; pg < 128; pg++ {
+				if err := mgr.Touch(ctx, pg, time.Microsecond, true); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := mgr.Stats()
+	if st.SwapOuts == 0 || st.SharedOuts == 0 {
+		t.Fatalf("no swapping happened: %+v", st)
+	}
+}
+
+func TestSimClusterLinuxBaselineNeedsNoServer(t *testing.T) {
+	c, err := NewSimCluster(SimClusterConfig{Nodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := c.NewSwapManager("vm0", LinuxConfig(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Run(func(ctx context.Context) error {
+		for pg := 0; pg < 64; pg++ {
+			if err := mgr.Touch(ctx, pg, 0, true); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mgr.Stats().DiskOuts == 0 {
+		t.Fatal("Linux baseline did not touch disk")
+	}
+}
+
+func TestSimClusterKVServer(t *testing.T) {
+	c, err := NewSimCluster(SimClusterConfig{Nodes: 4, ReplicationFactor: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := WorkloadByName("Memcached")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := c.NewKVServer("mc0", prof, FastSwapConfig(128, 10, false, func(int) float64 { return 2 }), 256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Run(func(ctx context.Context) error {
+		if err := srv.Set(ctx, "answer", []byte("42")); err != nil {
+			return err
+		}
+		v, ok, err := srv.Get(ctx, "answer")
+		if err != nil || !ok || string(v) != "42" {
+			t.Errorf("Get = %q %v %v", v, ok, err)
+		}
+		return srv.RunOps(ctx, 500, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Ops() != 502 {
+		t.Fatalf("Ops = %d", srv.Ops())
+	}
+}
+
+func TestSimClusterRDD(t *testing.T) {
+	c, err := NewSimCluster(SimClusterConfig{Nodes: 4, ReplicationFactor: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := c.NewRDDExecutor("exec0", 64, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewRDDEngine(exec)
+	err = c.Run(func(ctx context.Context) error {
+		src, err := eng.TextFile(8, 16)
+		if err != nil {
+			return err
+		}
+		data := src.Map(time.Microsecond).Cache()
+		for i := 0; i < 3; i++ {
+			if _, err := data.Map(time.Microsecond).Count(ctx); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec.Stats().DisaggHits == 0 {
+		t.Fatalf("DAHI executor never hit disaggregated memory: %+v", exec.Stats())
+	}
+}
+
+func TestWorkloadCatalogExported(t *testing.T) {
+	if len(Workloads()) != 10 {
+		t.Fatalf("catalog = %d, want 10", len(Workloads()))
+	}
+}
+
+func TestRunExperiment(t *testing.T) {
+	out, err := RunExperiment("mapscale", DefaultScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "flat map") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	if _, err := RunExperiment("bogus", DefaultScale()); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestExperimentsRegistryExported(t *testing.T) {
+	if len(Experiments()) < 14 {
+		t.Fatalf("registry = %d experiments, want >= 14", len(Experiments()))
+	}
+}
+
+func TestTCPClusterEndToEnd(t *testing.T) {
+	// A real two-node TCP deployment: node 2 donates memory, a client on
+	// node 1 parks and retrieves an entry.
+	serverCfg := NodeConfig{
+		ID:                2,
+		SharedPoolBytes:   1 << 20,
+		SendPoolBytes:     1 << 20,
+		RecvPoolBytes:     4 << 20,
+		SlabSize:          1 << 20,
+		ReplicationFactor: 1,
+	}
+	_, serverEP, err := ListenNode(serverCfg, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serverEP.Close()
+
+	client, clientEP, err := DialClient(1, "127.0.0.1:0", map[NodeID]string{2: serverEP.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clientEP.Close()
+
+	ctx := context.Background()
+	free, err := client.Stats(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free != 4<<20 {
+		t.Fatalf("free = %d, want 4 MiB", free)
+	}
+	data := bytes.Repeat([]byte{0xAB}, 4096)
+	if err := client.Put(ctx, 2, 77, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.Get(ctx, 2, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("TCP round trip mismatch")
+	}
+	if err := client.Delete(ctx, 2, 77); err != nil {
+		t.Fatal(err)
+	}
+	free2, err := client.Stats(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free2 < free-(1<<20) {
+		t.Fatalf("free after delete = %d", free2)
+	}
+}
+
+func TestBackgroundPumpViaGo(t *testing.T) {
+	c, err := NewSimCluster(SimClusterConfig{Nodes: 4, ReplicationFactor: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := c.NewSwapManager("vm0", FastSwapConfig(32, 10, false, func(int) float64 { return 2 }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	pumped := 0
+	c.Go("pump", func(ctx context.Context) {
+		for !done {
+			n := mgr.ProactiveSwapIn(ctx, 16)
+			pumped += n
+			if n == 0 {
+				if done {
+					return
+				}
+				// Yield simulated time so the foreground can progress.
+				mgrSleep(ctx, time.Millisecond)
+			}
+		}
+	})
+	err = c.Run(func(ctx context.Context) error {
+		defer func() { done = true }()
+		for pg := 0; pg < 96; pg++ {
+			if err := mgr.Touch(ctx, pg, 0, true); err != nil {
+				return err
+			}
+		}
+		mgr.EvictAll(ctx)
+		mgrSleep(ctx, 10*time.Millisecond) // let the pump restore
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pumped == 0 {
+		t.Fatal("pump restored nothing")
+	}
+}
+
+// mgrSleep charges simulated time from a plain context.
+func mgrSleep(ctx context.Context, d time.Duration) {
+	SleepSim(ctx, d)
+}
+
+func TestRemoteCacheOverSimCluster(t *testing.T) {
+	c, err := NewSimCluster(SimClusterConfig{Nodes: 3, RecvPoolBytes: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attach the cache to node 0's fabric endpoint; nodes 1-2 are donors.
+	cache, err := NewRemoteCache(RemoteCacheConfig{
+		LocalBytes: 4096,
+		Verbs:      c.Node(0).Endpoint(),
+		Peers:      []NodeID{c.Node(1).ID(), c.Node(2).ID()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Run(func(ctx context.Context) error {
+		big := bytes.Repeat([]byte{3}, 4096)
+		if err := cache.Put(ctx, "hot", big); err != nil {
+			return err
+		}
+		if err := cache.Put(ctx, "hotter", big); err != nil {
+			return err
+		}
+		got, ok, err := cache.Get(ctx, "hot") // parked on a donor
+		if err != nil || !ok || !bytes.Equal(got, big) {
+			t.Errorf("Get = %v %v", ok, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.RemoteHits != 1 {
+		t.Fatalf("RemoteHits = %d", st.RemoteHits)
+	}
+}

@@ -1,0 +1,382 @@
+// Package cluster implements membership, hierarchical sharing groups, and
+// leader election for the disaggregated memory system (§IV.C–D of the paper).
+//
+// Nodes in a cluster are partitioned into sharing groups of similar size;
+// disaggregated memory is only shared within a group. Each group elects a
+// leader — the alive member with the most available memory — which
+// coordinates remote-node selection for its group. A leader crash (heartbeat
+// timeout) triggers re-election, and a group that runs short of disaggregated
+// memory can request dynamic regrouping.
+//
+// The directory is driven by explicit Tick calls rather than wall-clock
+// timers, which keeps behaviour deterministic: a real daemon calls Tick from
+// a timer loop, while the simulator calls it from simulated time.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// NodeID names a node.
+type NodeID int
+
+// ErrUnknownNode is returned for operations on nodes never joined.
+var ErrUnknownNode = errors.New("cluster: unknown node")
+
+// EventKind labels a membership event.
+type EventKind int
+
+// Membership event kinds.
+const (
+	// EventNodeUp fires when a node joins or recovers.
+	EventNodeUp EventKind = iota + 1
+	// EventNodeDown fires when a node misses enough heartbeats.
+	EventNodeDown
+	// EventLeaderElected fires when a group elects a new leader.
+	EventLeaderElected
+	// EventRegrouped fires when group assignments are rebuilt.
+	EventRegrouped
+)
+
+// String returns the kind name.
+func (k EventKind) String() string {
+	switch k {
+	case EventNodeUp:
+		return "node-up"
+	case EventNodeDown:
+		return "node-down"
+	case EventLeaderElected:
+		return "leader-elected"
+	case EventRegrouped:
+		return "regrouped"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event is one membership change.
+type Event struct {
+	Kind  EventKind
+	Node  NodeID // the affected node (leader for EventLeaderElected)
+	Group int    // the affected group (-1 when not applicable)
+}
+
+type member struct {
+	id        NodeID
+	freeBytes int64
+	lastBeat  int64 // tick of last heartbeat
+	alive     bool
+	group     int
+}
+
+// Config shapes a Directory.
+type Config struct {
+	// GroupSize is the target number of nodes per sharing group (>= 1).
+	GroupSize int
+	// HeartbeatTimeout is the number of ticks without a heartbeat after
+	// which a node is declared down (>= 1).
+	HeartbeatTimeout int64
+}
+
+// DefaultConfig matches a 32-node cluster split into groups of 8 with a
+// 3-tick failure detector.
+func DefaultConfig() Config {
+	return Config{GroupSize: 8, HeartbeatTimeout: 3}
+}
+
+func (c Config) validate() error {
+	if c.GroupSize < 1 {
+		return fmt.Errorf("cluster: group size %d < 1", c.GroupSize)
+	}
+	if c.HeartbeatTimeout < 1 {
+		return fmt.Errorf("cluster: heartbeat timeout %d < 1", c.HeartbeatTimeout)
+	}
+	return nil
+}
+
+// Directory tracks membership, groups, and leaders. It is safe for
+// concurrent use.
+type Directory struct {
+	mu      sync.Mutex
+	cfg     Config
+	tick    int64
+	members map[NodeID]*member
+	leaders map[int]NodeID // group -> leader
+	groups  int
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory(cfg Config) (*Directory, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Directory{
+		cfg:     cfg,
+		members: map[NodeID]*member{},
+		leaders: map[int]NodeID{},
+	}, nil
+}
+
+// Join adds (or revives) a node and triggers regrouping.
+func (d *Directory) Join(id NodeID, freeBytes int64) []Event {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	m, ok := d.members[id]
+	if !ok {
+		m = &member{id: id}
+		d.members[id] = m
+	}
+	wasAlive := m.alive
+	m.alive = true
+	m.freeBytes = freeBytes
+	m.lastBeat = d.tick
+	var events []Event
+	if !wasAlive {
+		events = append(events, Event{Kind: EventNodeUp, Node: id, Group: -1})
+	}
+	events = append(events, d.regroupLocked()...)
+	return events
+}
+
+// Heartbeat records a node's liveness and advertised free memory.
+func (d *Directory) Heartbeat(id NodeID, freeBytes int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	m, ok := d.members[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	m.lastBeat = d.tick
+	m.freeBytes = freeBytes
+	if !m.alive {
+		// Recovery is handled by Tick/Join to keep group assignment stable;
+		// a heartbeat from a down node revives it in place.
+		m.alive = true
+	}
+	return nil
+}
+
+// Tick advances the failure detector one interval: nodes whose last
+// heartbeat is older than the timeout are declared down, and affected groups
+// re-elect leaders.
+func (d *Directory) Tick() []Event {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.tick++
+	var events []Event
+	for _, id := range d.sortedIDs() {
+		m := d.members[id]
+		if m.alive && d.tick-m.lastBeat > d.cfg.HeartbeatTimeout {
+			m.alive = false
+			events = append(events, Event{Kind: EventNodeDown, Node: m.id, Group: m.group})
+		}
+	}
+	events = append(events, d.electLocked(false)...)
+	return events
+}
+
+// Regroup rebuilds group assignments from the current alive set, e.g. after
+// a leader observes its group running short of disaggregated memory.
+func (d *Directory) Regroup() []Event {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.regroupLocked()
+}
+
+// regroupLocked partitions alive nodes (sorted by ID) into contiguous groups
+// of roughly GroupSize and re-elects leaders.
+func (d *Directory) regroupLocked() []Event {
+	alive := d.aliveSortedLocked()
+	nGroups := (len(alive) + d.cfg.GroupSize - 1) / d.cfg.GroupSize
+	if nGroups == 0 {
+		nGroups = 1
+	}
+	for i, m := range alive {
+		// Deal nodes round-robin so group sizes differ by at most one.
+		m.group = i % nGroups
+	}
+	changed := d.groups != nGroups
+	d.groups = nGroups
+	events := d.electLocked(true)
+	if changed {
+		events = append([]Event{{Kind: EventRegrouped, Node: -1, Group: nGroups}}, events...)
+	}
+	return events
+}
+
+// electLocked ensures every group with alive members has an alive leader:
+// the member with maximum free memory, ties broken by lowest ID. When force
+// is false (periodic Tick), a healthy incumbent is kept to avoid leadership
+// churn; when true (regroup), the max-free-memory winner always takes over.
+func (d *Directory) electLocked(force bool) []Event {
+	var events []Event
+	best := map[int]*member{}
+	for _, id := range d.sortedIDs() {
+		m := d.members[id]
+		if !m.alive {
+			continue
+		}
+		cur := best[m.group]
+		if cur == nil || m.freeBytes > cur.freeBytes {
+			best[m.group] = m
+		}
+	}
+	groups := make([]int, 0, len(best))
+	for g := range best {
+		groups = append(groups, g)
+	}
+	sort.Ints(groups)
+	for _, g := range groups {
+		winner := best[g]
+		prev, had := d.leaders[g]
+		prevAlive := had && d.members[prev] != nil && d.members[prev].alive && d.members[prev].group == g
+		if prevAlive && !force {
+			continue // stable leadership: only re-elect on failure/regroup
+		}
+		if had && prev == winner.id && prevAlive {
+			continue // forced election confirmed the incumbent: no event
+		}
+		d.leaders[g] = winner.id
+		events = append(events, Event{Kind: EventLeaderElected, Node: winner.id, Group: g})
+	}
+	// Drop leader records for vanished groups.
+	for g := range d.leaders {
+		if _, ok := best[g]; !ok {
+			delete(d.leaders, g)
+		}
+	}
+	return events
+}
+
+func (d *Directory) sortedIDs() []NodeID {
+	ids := make([]NodeID, 0, len(d.members))
+	for id := range d.members {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func (d *Directory) aliveSortedLocked() []*member {
+	var alive []*member
+	for _, id := range d.sortedIDs() {
+		if m := d.members[id]; m.alive {
+			alive = append(alive, m)
+		}
+	}
+	return alive
+}
+
+// Leader returns the current leader of group g.
+func (d *Directory) Leader(g int) (NodeID, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id, ok := d.leaders[g]
+	return id, ok
+}
+
+// SuperLeader returns the top-tier coordinator of §IV.C's multi-tier
+// hierarchical grouping: among the alive group leaders, the one with the
+// most available memory (ties broken by lowest ID). Cross-group concerns —
+// dynamic regrouping, group-to-group borrowing — are arbitrated by this
+// node. The result is derived from the current leader set, so it changes
+// only when group leadership does.
+func (d *Directory) SuperLeader() (NodeID, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var best *member
+	for _, id := range d.sortedIDs() {
+		m := d.members[id]
+		if !m.alive {
+			continue
+		}
+		if leader, ok := d.leaders[m.group]; !ok || leader != m.id {
+			continue
+		}
+		if best == nil || m.freeBytes > best.freeBytes {
+			best = m
+		}
+	}
+	if best == nil {
+		return 0, false
+	}
+	return best.id, true
+}
+
+// GroupFreeBytes sums the advertised free memory of group g's alive
+// members — the signal a leader uses to request dynamic regrouping when its
+// group runs short of disaggregated memory (§IV.C).
+func (d *Directory) GroupFreeBytes(g int) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var total int64
+	for _, m := range d.members {
+		if m.alive && m.group == g {
+			total += m.freeBytes
+		}
+	}
+	return total
+}
+
+// GroupOf returns the group of node id.
+func (d *Directory) GroupOf(id NodeID) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	m, ok := d.members[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	return m.group, nil
+}
+
+// Groups returns the current number of groups.
+func (d *Directory) Groups() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.groups
+}
+
+// NodeState is a snapshot of one member.
+type NodeState struct {
+	ID        NodeID
+	FreeBytes int64
+	Alive     bool
+	Group     int
+}
+
+// Alive reports whether node id is currently considered up.
+func (d *Directory) Alive(id NodeID) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	m, ok := d.members[id]
+	return ok && m.alive
+}
+
+// GroupMembers returns the alive members of group g sorted by ID.
+func (d *Directory) GroupMembers(g int) []NodeState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []NodeState
+	for _, id := range d.sortedIDs() {
+		m := d.members[id]
+		if m.alive && m.group == g {
+			out = append(out, NodeState{ID: m.id, FreeBytes: m.freeBytes, Alive: true, Group: g})
+		}
+	}
+	return out
+}
+
+// Snapshot returns all members sorted by ID.
+func (d *Directory) Snapshot() []NodeState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]NodeState, 0, len(d.members))
+	for _, id := range d.sortedIDs() {
+		m := d.members[id]
+		out = append(out, NodeState{ID: m.id, FreeBytes: m.freeBytes, Alive: m.alive, Group: m.group})
+	}
+	return out
+}

@@ -1,0 +1,250 @@
+// Package compress implements FastSwap-style page compression with
+// size-class granularities (§IV.H of the paper).
+//
+// FastSwap compresses 4 KB pages and bins the compressed payload into fixed
+// size classes before parking it in disaggregated memory. The paper evaluates
+// two policies: 2-granularity (2 KB, 4 KB) and 4-granularity (512 B, 1 KB,
+// 2 KB, 4 KB), against Zswap, whose zbud allocator stores at most two
+// compressed pages per physical page (an effective ratio cap of 2).
+//
+// The package offers a real flate-backed Codec used by the library's data
+// plane and by the Figure 3 experiment, plus a Model codec that predicts
+// stored sizes from a known compressibility ratio so large-scale simulations
+// avoid running deflate on billions of synthetic pages.
+package compress
+
+import (
+	"bytes"
+	"compress/flate"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+)
+
+// PageSize is the unit of swap-out and compression: a 4 KB page.
+const PageSize = 4096
+
+// ErrCorrupt is returned when a compressed payload fails to decompress back
+// to a full page.
+var ErrCorrupt = errors.New("compress: corrupt compressed page")
+
+// Granularity is an ascending list of size classes. The final class must be
+// PageSize, which doubles as the "store uncompressed" class.
+type Granularity []int
+
+// Standard granularities from the paper.
+var (
+	// Two is FastSwap's 2-granularity policy: 2 KB and 4 KB classes.
+	Two = Granularity{2048, 4096}
+	// Four is FastSwap's 4-granularity policy: 512 B, 1 KB, 2 KB, 4 KB.
+	Four = Granularity{512, 1024, 2048, 4096}
+)
+
+// Validate checks that the granularity is non-empty, strictly ascending, and
+// terminates at PageSize.
+func (g Granularity) Validate() error {
+	if len(g) == 0 {
+		return errors.New("compress: empty granularity")
+	}
+	for i, c := range g {
+		if c <= 0 {
+			return fmt.Errorf("compress: non-positive class %d", c)
+		}
+		if i > 0 && c <= g[i-1] {
+			return fmt.Errorf("compress: classes not strictly ascending at %d", c)
+		}
+	}
+	if g[len(g)-1] != PageSize {
+		return fmt.Errorf("compress: final class %d != PageSize", g[len(g)-1])
+	}
+	return nil
+}
+
+// ClassFor returns the smallest class that fits n compressed bytes. Payloads
+// larger than every class land in the final (PageSize) class, meaning the
+// page is stored uncompressed.
+func (g Granularity) ClassFor(n int) int {
+	for _, c := range g {
+		if n <= c {
+			return c
+		}
+	}
+	return g[len(g)-1]
+}
+
+// Compressed is one page after compression and size-class binning.
+type Compressed struct {
+	// Data is the deflate payload, or the raw page when incompressible.
+	Data []byte
+	// StoredSize is the size class the payload occupies in the pool.
+	StoredSize int
+	// Raw reports whether Data holds the uncompressed page verbatim.
+	Raw bool
+}
+
+// Codec compresses pages with deflate and bins them by a Granularity. It is
+// safe for concurrent use.
+type Codec struct {
+	gran Granularity
+	wp   sync.Pool // *flate.Writer
+}
+
+// NewCodec returns a deflate codec using granularity g.
+func NewCodec(g Granularity) (*Codec, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &Codec{gran: g}, nil
+}
+
+// Granularity returns the codec's size classes.
+func (c *Codec) Granularity() Granularity { return c.gran }
+
+// Compress deflates a PageSize page and bins it. Pages whose compressed form
+// would not fit below the top class are stored raw.
+func (c *Codec) Compress(page []byte) (Compressed, error) {
+	if len(page) != PageSize {
+		return Compressed{}, fmt.Errorf("compress: page length %d != %d", len(page), PageSize)
+	}
+	var buf bytes.Buffer
+	w, _ := c.writer(&buf)
+	if _, err := w.Write(page); err != nil {
+		return Compressed{}, fmt.Errorf("compress: deflate write: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return Compressed{}, fmt.Errorf("compress: deflate close: %w", err)
+	}
+	c.wp.Put(w)
+	payload := buf.Bytes()
+	class := c.gran.ClassFor(len(payload))
+	if class >= PageSize || len(payload) >= PageSize {
+		raw := make([]byte, PageSize)
+		copy(raw, page)
+		return Compressed{Data: raw, StoredSize: PageSize, Raw: true}, nil
+	}
+	return Compressed{Data: payload, StoredSize: class}, nil
+}
+
+func (c *Codec) writer(buf *bytes.Buffer) (*flate.Writer, error) {
+	if v := c.wp.Get(); v != nil {
+		w := v.(*flate.Writer)
+		w.Reset(buf)
+		return w, nil
+	}
+	return flate.NewWriter(buf, flate.BestSpeed)
+}
+
+// Decompress reverses Compress into dst, which must be PageSize long.
+func (c *Codec) Decompress(comp Compressed, dst []byte) error {
+	if len(dst) != PageSize {
+		return fmt.Errorf("compress: dst length %d != %d", len(dst), PageSize)
+	}
+	if comp.Raw {
+		if len(comp.Data) != PageSize {
+			return ErrCorrupt
+		}
+		copy(dst, comp.Data)
+		return nil
+	}
+	r := flate.NewReader(bytes.NewReader(comp.Data))
+	defer r.Close()
+	n, err := io.ReadFull(r, dst)
+	if err != nil || n != PageSize {
+		return fmt.Errorf("%w: read %d bytes: %v", ErrCorrupt, n, err)
+	}
+	// A valid payload must end exactly at page boundary.
+	var extra [1]byte
+	if m, _ := r.Read(extra[:]); m != 0 {
+		return fmt.Errorf("%w: trailing bytes", ErrCorrupt)
+	}
+	return nil
+}
+
+// ZbudStoredSize models Zswap's zbud allocator: at most two compressed pages
+// share one physical page, so a compressed payload costs half a page when it
+// fits in 2 KB and a whole page otherwise.
+func ZbudStoredSize(compressedLen int) int {
+	if compressedLen <= PageSize/2 {
+		return PageSize / 2
+	}
+	return PageSize
+}
+
+// Ratio returns rawBytes/storedBytes, the aggregate compression ratio
+// reported in Figure 3. It returns zero when storedBytes is zero.
+func Ratio(rawBytes, storedBytes int64) float64 {
+	if storedBytes == 0 {
+		return 0
+	}
+	return float64(rawBytes) / float64(storedBytes)
+}
+
+// Model predicts stored size classes from a known per-page compressibility
+// without running deflate, for simulation-scale workloads.
+type Model struct {
+	gran Granularity
+}
+
+// NewModel returns a model codec over granularity g.
+func NewModel(g Granularity) (*Model, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{gran: g}, nil
+}
+
+// StoredSize returns the class a page with the given compressibility ratio
+// occupies (ratio r means the page deflates to PageSize/r bytes). Ratios at
+// or below 1 store raw.
+func (m *Model) StoredSize(ratio float64) int {
+	if ratio <= 1 {
+		return PageSize
+	}
+	return m.gran.ClassFor(int(float64(PageSize) / ratio))
+}
+
+// GeneratePage fills a fresh PageSize page whose deflate-compressed size is
+// approximately PageSize/ratio. Ratio 1 produces an incompressible page of
+// pure random bytes; higher ratios mix in runs of repeated bytes. The same
+// rng state always yields the same page.
+func GeneratePage(rng *rand.Rand, ratio float64) []byte {
+	if ratio < 1 {
+		ratio = 1
+	}
+	page := make([]byte, PageSize)
+	// Fraction of the page that is random (incompressible). Deflate stores
+	// random data at slightly over 1:1 (plus ~40 bytes of block framing) and
+	// long runs at ~0, so the random byte count is calibrated to make the
+	// deflated size land at PageSize/ratio.
+	target := float64(PageSize) / ratio
+	nRandom := int((target - 40) / 1.05)
+	if nRandom < 0 {
+		nRandom = 0
+	}
+	if nRandom > PageSize {
+		nRandom = PageSize
+	}
+	// Interleave random bytes and zero runs in chunks so deflate's 32 KB
+	// window sees genuine runs.
+	const chunk = 64
+	written := 0
+	for i := 0; i < PageSize; i += chunk {
+		end := i + chunk
+		if end > PageSize {
+			end = PageSize
+		}
+		if written < nRandom {
+			n := end - i
+			if written+n > nRandom {
+				n = nRandom - written
+			}
+			for j := 0; j < n; j++ {
+				page[i+j] = byte(rng.Intn(256))
+			}
+			written += n
+		}
+	}
+	return page
+}

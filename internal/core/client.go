@@ -1,0 +1,110 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"godm/internal/transport"
+)
+
+// Client is a lightweight handle for using a disaggregated memory node's
+// donated receive pool from outside the node manager — the interface a CLI
+// tool or an application-level cache uses to park data entries in a peer's
+// idle memory (alloc over the control plane, one-sided writes and reads for
+// data).
+type Client struct {
+	ep transport.Verbs
+
+	mu      sync.Mutex
+	handles map[clientKey]clientHandle
+}
+
+type clientKey struct {
+	node transport.NodeID
+	key  uint64
+}
+
+type clientHandle struct {
+	offset  int64
+	class   int
+	dataLen int
+}
+
+// NewClient wraps a transport attachment.
+func NewClient(ep transport.Verbs) *Client {
+	return &Client{ep: ep, handles: map[clientKey]clientHandle{}}
+}
+
+// Stats returns the free receive-pool bytes node advertises.
+func (c *Client) Stats(ctx context.Context, node transport.NodeID) (int64, error) {
+	resp, err := c.ep.Call(ctx, node, encodeStatsReq())
+	if err != nil {
+		return 0, fmt.Errorf("core: stats from node %d: %w", node, err)
+	}
+	st, err := decodeStatsResp(resp)
+	if err != nil {
+		return 0, err
+	}
+	return st.FreeBytes, nil
+}
+
+// Put parks data under key in node's receive pool.
+func (c *Client) Put(ctx context.Context, node transport.NodeID, key uint64, data []byte) error {
+	class := len(data)
+	if class < 512 {
+		class = 512
+	}
+	resp, err := c.ep.Call(ctx, node, encodeAllocReq(allocReq{Key: key, Class: int32(class)}))
+	if err != nil {
+		return fmt.Errorf("core: alloc on node %d: %w", node, err)
+	}
+	alloc, err := decodeAllocResp(resp)
+	if err != nil {
+		return err
+	}
+	if err := c.ep.WriteRegion(ctx, node, RecvRegionID, alloc.Offset, data); err != nil {
+		return fmt.Errorf("core: write to node %d: %w", node, err)
+	}
+	c.mu.Lock()
+	c.handles[clientKey{node: node, key: key}] = clientHandle{
+		offset:  alloc.Offset,
+		class:   class,
+		dataLen: len(data),
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// Get reads back the entry parked under key on node.
+func (c *Client) Get(ctx context.Context, node transport.NodeID, key uint64) ([]byte, error) {
+	c.mu.Lock()
+	h, ok := c.handles[clientKey{node: node, key: key}]
+	c.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("core: no handle for key %d on node %d", key, node)
+	}
+	data, err := c.ep.ReadRegion(ctx, node, RecvRegionID, h.offset, h.dataLen)
+	if err != nil {
+		return nil, fmt.Errorf("core: read from node %d: %w", node, err)
+	}
+	return data, nil
+}
+
+// Delete releases the entry parked under key on node.
+func (c *Client) Delete(ctx context.Context, node transport.NodeID, key uint64) error {
+	c.mu.Lock()
+	h, ok := c.handles[clientKey{node: node, key: key}]
+	if ok {
+		delete(c.handles, clientKey{node: node, key: key})
+	}
+	c.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	resp, err := c.ep.Call(ctx, node, encodeFreeReq(freeReq{Key: key, Offset: h.offset}))
+	if err != nil {
+		return fmt.Errorf("core: free on node %d: %w", node, err)
+	}
+	return checkOKResp(resp)
+}

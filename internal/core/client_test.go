@@ -1,0 +1,84 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"godm/internal/des"
+	"godm/internal/transport"
+)
+
+func TestClientPutGetDeleteOverSimFabric(t *testing.T) {
+	tc := newTestCluster(t, 2, smallConfig)
+	// A client rides node 1's endpoint to use node 2's donated pool.
+	client := NewClient(tc.nodes[0].ep)
+	tc.run(t, func(ctx context.Context, p *des.Proc) {
+		free, err := client.Stats(ctx, 2)
+		if err != nil {
+			t.Errorf("Stats: %v", err)
+			return
+		}
+		if free != 1<<20 {
+			t.Errorf("free = %d, want 1 MiB", free)
+		}
+		data := bytes.Repeat([]byte{0x77}, 2048)
+		if err := client.Put(ctx, 2, 5, data); err != nil {
+			t.Errorf("Put: %v", err)
+			return
+		}
+		got, err := client.Get(ctx, 2, 5)
+		if err != nil || !bytes.Equal(got, data) {
+			t.Errorf("Get = %v, %v", len(got), err)
+			return
+		}
+		if err := client.Delete(ctx, 2, 5); err != nil {
+			t.Errorf("Delete: %v", err)
+			return
+		}
+		// Idempotent delete and missing-key get.
+		if err := client.Delete(ctx, 2, 5); err != nil {
+			t.Errorf("second Delete: %v", err)
+		}
+		if _, err := client.Get(ctx, 2, 5); err == nil {
+			t.Error("Get after delete should fail")
+		}
+	})
+}
+
+func TestClientTinyPayloadUsesMinimumClass(t *testing.T) {
+	tc := newTestCluster(t, 2, smallConfig)
+	client := NewClient(tc.nodes[0].ep)
+	tc.run(t, func(ctx context.Context, p *des.Proc) {
+		if err := client.Put(ctx, 2, 1, []byte("x")); err != nil {
+			t.Errorf("Put: %v", err)
+			return
+		}
+		got, err := client.Get(ctx, 2, 1)
+		if err != nil || string(got) != "x" {
+			t.Errorf("Get = %q, %v", got, err)
+		}
+	})
+	// The host stored it in a 512-byte minimum class.
+	if st := tc.nodes[1].RecvPool().Stats(); st.LiveBytes != 512 {
+		t.Fatalf("LiveBytes = %d, want 512", st.LiveBytes)
+	}
+}
+
+func TestClientPutToFullNode(t *testing.T) {
+	tc := newTestCluster(t, 2, func(id transport.NodeID) Config {
+		cfg := smallConfig(id)
+		cfg.RecvPoolBytes = 4096
+		return cfg
+	})
+	client := NewClient(tc.nodes[0].ep)
+	tc.run(t, func(ctx context.Context, p *des.Proc) {
+		if err := client.Put(ctx, 2, 1, make([]byte, 4096)); err != nil {
+			t.Errorf("first Put: %v", err)
+			return
+		}
+		if err := client.Put(ctx, 2, 2, make([]byte, 4096)); err == nil {
+			t.Error("expected error for full node")
+		}
+	})
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Control-plane message opcodes (two-sided send/recv traffic, §IV.G: "RDMA
+// send/receive operations for control plane activities").
+const (
+	opAlloc     = 1 // reserve a block in the target's receive pool
+	opFree      = 2 // release a previously reserved block
+	opHeartbeat = 3 // advertise liveness + free receive-pool bytes
+	opEvicted   = 4 // notify an owner that its block was evicted
+	opStats     = 5 // query free receive-pool bytes
+)
+
+// Response status codes.
+const (
+	stOK      = 0
+	stNoSpace = 1
+	stError   = 2
+)
+
+var errShortMessage = errors.New("core: short control message")
+
+// allocReq asks the remote node to reserve a class-sized block for entry key.
+type allocReq struct {
+	Key   uint64
+	Class int32
+}
+
+// allocResp returns the block's global offset within the receive region.
+type allocResp struct {
+	Offset int64
+}
+
+// freeReq releases the block at the given global offset.
+type freeReq struct {
+	Key    uint64
+	Offset int64
+}
+
+// heartbeatReq advertises the sender's free receive-pool bytes.
+type heartbeatReq struct {
+	FreeBytes int64
+}
+
+// evictedReq tells the owner that its block for Key on the sender is gone.
+type evictedReq struct {
+	Key uint64
+}
+
+// statsResp reports free receive-pool bytes.
+type statsResp struct {
+	FreeBytes int64
+}
+
+func encodeAllocReq(r allocReq) []byte {
+	buf := make([]byte, 1+8+4)
+	buf[0] = opAlloc
+	binary.BigEndian.PutUint64(buf[1:9], r.Key)
+	binary.BigEndian.PutUint32(buf[9:13], uint32(r.Class))
+	return buf
+}
+
+func decodeAllocReq(b []byte) (allocReq, error) {
+	if len(b) < 13 {
+		return allocReq{}, errShortMessage
+	}
+	return allocReq{
+		Key:   binary.BigEndian.Uint64(b[1:9]),
+		Class: int32(binary.BigEndian.Uint32(b[9:13])),
+	}, nil
+}
+
+func encodeAllocResp(r allocResp) []byte {
+	buf := make([]byte, 1+8)
+	buf[0] = stOK
+	binary.BigEndian.PutUint64(buf[1:9], uint64(r.Offset))
+	return buf
+}
+
+func decodeAllocResp(b []byte) (allocResp, error) {
+	if len(b) < 1 {
+		return allocResp{}, errShortMessage
+	}
+	switch b[0] {
+	case stOK:
+		if len(b) < 9 {
+			return allocResp{}, errShortMessage
+		}
+		return allocResp{Offset: int64(binary.BigEndian.Uint64(b[1:9]))}, nil
+	case stNoSpace:
+		return allocResp{}, ErrRemoteFull
+	default:
+		return allocResp{}, fmt.Errorf("core: remote alloc failed: %s", b[1:])
+	}
+}
+
+func encodeFreeReq(r freeReq) []byte {
+	buf := make([]byte, 1+8+8)
+	buf[0] = opFree
+	binary.BigEndian.PutUint64(buf[1:9], r.Key)
+	binary.BigEndian.PutUint64(buf[9:17], uint64(r.Offset))
+	return buf
+}
+
+func decodeFreeReq(b []byte) (freeReq, error) {
+	if len(b) < 17 {
+		return freeReq{}, errShortMessage
+	}
+	return freeReq{
+		Key:    binary.BigEndian.Uint64(b[1:9]),
+		Offset: int64(binary.BigEndian.Uint64(b[9:17])),
+	}, nil
+}
+
+func encodeHeartbeatReq(r heartbeatReq) []byte {
+	buf := make([]byte, 1+8)
+	buf[0] = opHeartbeat
+	binary.BigEndian.PutUint64(buf[1:9], uint64(r.FreeBytes))
+	return buf
+}
+
+func decodeHeartbeatReq(b []byte) (heartbeatReq, error) {
+	if len(b) < 9 {
+		return heartbeatReq{}, errShortMessage
+	}
+	return heartbeatReq{FreeBytes: int64(binary.BigEndian.Uint64(b[1:9]))}, nil
+}
+
+func encodeEvictedReq(r evictedReq) []byte {
+	buf := make([]byte, 1+8)
+	buf[0] = opEvicted
+	binary.BigEndian.PutUint64(buf[1:9], r.Key)
+	return buf
+}
+
+func decodeEvictedReq(b []byte) (evictedReq, error) {
+	if len(b) < 9 {
+		return evictedReq{}, errShortMessage
+	}
+	return evictedReq{Key: binary.BigEndian.Uint64(b[1:9])}, nil
+}
+
+func encodeStatsReq() []byte { return []byte{opStats} }
+
+func encodeStatsResp(r statsResp) []byte {
+	buf := make([]byte, 1+8)
+	buf[0] = stOK
+	binary.BigEndian.PutUint64(buf[1:9], uint64(r.FreeBytes))
+	return buf
+}
+
+func decodeStatsResp(b []byte) (statsResp, error) {
+	if len(b) < 9 || b[0] != stOK {
+		return statsResp{}, errShortMessage
+	}
+	return statsResp{FreeBytes: int64(binary.BigEndian.Uint64(b[1:9]))}, nil
+}
+
+func okResp() []byte { return []byte{stOK} }
+
+func noSpaceResp() []byte { return []byte{stNoSpace} }
+
+func errorResp(err error) []byte {
+	return append([]byte{stError}, err.Error()...)
+}
+
+func checkOKResp(b []byte) error {
+	if len(b) < 1 {
+		return errShortMessage
+	}
+	switch b[0] {
+	case stOK:
+		return nil
+	case stNoSpace:
+		return ErrRemoteFull
+	default:
+		return fmt.Errorf("core: remote error: %s", b[1:])
+	}
+}

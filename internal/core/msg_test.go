@@ -1,0 +1,160 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"godm/internal/des"
+	"godm/internal/pagetable"
+	"godm/internal/transport"
+)
+
+func TestAllocReqRoundTrip(t *testing.T) {
+	f := func(key uint64, class int32) bool {
+		got, err := decodeAllocReq(encodeAllocReq(allocReq{Key: key, Class: class}))
+		return err == nil && got.Key == key && got.Class == class
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreeReqRoundTrip(t *testing.T) {
+	f := func(key uint64, offset int64) bool {
+		got, err := decodeFreeReq(encodeFreeReq(freeReq{Key: key, Offset: offset}))
+		return err == nil && got.Key == key && got.Offset == offset
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeartbeatAndStatsRoundTrip(t *testing.T) {
+	hb, err := decodeHeartbeatReq(encodeHeartbeatReq(heartbeatReq{FreeBytes: 12345}))
+	if err != nil || hb.FreeBytes != 12345 {
+		t.Fatalf("heartbeat round trip: %+v, %v", hb, err)
+	}
+	st, err := decodeStatsResp(encodeStatsResp(statsResp{FreeBytes: 777}))
+	if err != nil || st.FreeBytes != 777 {
+		t.Fatalf("stats round trip: %+v, %v", st, err)
+	}
+	ev, err := decodeEvictedReq(encodeEvictedReq(evictedReq{Key: 99}))
+	if err != nil || ev.Key != 99 {
+		t.Fatalf("evicted round trip: %+v, %v", ev, err)
+	}
+}
+
+func TestAllocRespStatuses(t *testing.T) {
+	got, err := decodeAllocResp(encodeAllocResp(allocResp{Offset: 4096}))
+	if err != nil || got.Offset != 4096 {
+		t.Fatalf("ok resp: %+v, %v", got, err)
+	}
+	if _, err := decodeAllocResp(noSpaceResp()); !errors.Is(err, ErrRemoteFull) {
+		t.Fatalf("no-space resp err = %v", err)
+	}
+	if _, err := decodeAllocResp(errorResp(errors.New("boom"))); err == nil {
+		t.Fatal("error resp should fail")
+	}
+	if _, err := decodeAllocResp(nil); err == nil {
+		t.Fatal("empty resp should fail")
+	}
+}
+
+func TestCheckOKResp(t *testing.T) {
+	if err := checkOKResp(okResp()); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkOKResp(noSpaceResp()); !errors.Is(err, ErrRemoteFull) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := checkOKResp(errorResp(errors.New("x"))); err == nil {
+		t.Fatal("expected error")
+	}
+	if err := checkOKResp(nil); err == nil {
+		t.Fatal("expected error for empty")
+	}
+}
+
+func TestDecodersRejectShortMessages(t *testing.T) {
+	short := []byte{opAlloc}
+	if _, err := decodeAllocReq(short); err == nil {
+		t.Fatal("alloc")
+	}
+	if _, err := decodeFreeReq(short); err == nil {
+		t.Fatal("free")
+	}
+	if _, err := decodeHeartbeatReq(short); err == nil {
+		t.Fatal("heartbeat")
+	}
+	if _, err := decodeEvictedReq(short); err == nil {
+		t.Fatal("evicted")
+	}
+	if _, err := decodeStatsResp(short); err == nil {
+		t.Fatal("stats")
+	}
+}
+
+// TestHandleCallNeverPanicsOnGarbage fuzzes the control-plane dispatcher —
+// a malicious or corrupt peer must get an error response, not a crash.
+func TestHandleCallNeverPanicsOnGarbage(t *testing.T) {
+	tc := newTestCluster(t, 1, smallConfig)
+	node := tc.nodes[0]
+	f := func(payload []byte) bool {
+		resp, err := node.handleCall(2, payload)
+		// The handler reports protocol errors in-band.
+		return err == nil && len(resp) >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetAtBoundsChecks(t *testing.T) {
+	tc := newTestCluster(t, 4, smallConfig)
+	vs, _ := tc.nodes[0].AddServer("vm0", 0)
+	tc.run(t, func(ctx context.Context, p *des.Proc) {
+		data := bytes.Repeat([]byte{7}, 4096)
+		if err := vs.PutShared(1, data, 4096, 4096); err != nil {
+			t.Errorf("PutShared: %v", err)
+			return
+		}
+		if _, err := vs.GetAt(ctx, 1, 4000, 200); err == nil {
+			t.Error("expected error for out-of-range read")
+		}
+		if _, err := vs.GetAt(ctx, 1, -1, 10); err == nil {
+			t.Error("expected error for negative offset")
+		}
+		got, err := vs.GetAt(ctx, 1, 100, 50)
+		if err != nil || len(got) != 50 || got[0] != 7 {
+			t.Errorf("GetAt = %v, %v", got, err)
+		}
+		if _, err := vs.GetAt(ctx, 99, 0, 1); !errors.Is(err, pagetable.ErrNotFound) {
+			t.Errorf("missing entry err = %v", err)
+		}
+	})
+}
+
+func TestGetAtRemoteFailsOver(t *testing.T) {
+	tc := newTestCluster(t, 4, smallConfig)
+	vs, _ := tc.nodes[0].AddServer("vm0", 0)
+	tc.run(t, func(ctx context.Context, p *des.Proc) {
+		data := bytes.Repeat([]byte{9}, 4096)
+		if err := vs.PutRemote(ctx, 1, data, 4096, 4096); err != nil {
+			t.Errorf("PutRemote: %v", err)
+			return
+		}
+		loc, _ := vs.Location(1)
+		tc.fabric.Partition(1, transport.NodeID(loc.Primary))
+		got, err := vs.GetAt(ctx, 1, 8, 16)
+		if err != nil {
+			t.Errorf("GetAt after partition: %v", err)
+			return
+		}
+		if got[0] != 9 {
+			t.Error("failover data mismatch")
+		}
+	})
+}

@@ -1,0 +1,551 @@
+// Package core implements the per-node disaggregated memory orchestrator of
+// §IV.B (Figure 1): the node manager with its node-coordinated shared memory
+// pool, the cluster-wide send and receive buffer pools carved from
+// RDMA-registered regions, and the four request paths — local disaggregated
+// memory client and server (LDMC/LDMS) between virtual servers and their
+// host, and remote disaggregated memory client and server (RDMC/RDMS)
+// between nodes.
+//
+// A virtual server that outgrows its allocation Puts data entries through
+// its LDMC; the LDMS first tries the node's shared memory pool and, when the
+// node is out of idle memory, the RDMC replicates the entry into the receive
+// pools of remote nodes selected by the group leader's candidate list and a
+// pluggable balancing policy. The memory map tracking each entry's location
+// lives in the owning virtual server (internal/pagetable).
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"godm/internal/cluster"
+	"godm/internal/pagetable"
+	"godm/internal/placement"
+	"godm/internal/replication"
+	"godm/internal/slab"
+	"godm/internal/transport"
+)
+
+// RecvRegionID is the well-known region every node exposes as its
+// cluster-wide receive buffer pool.
+const RecvRegionID transport.RegionID = 1
+
+// Sentinel errors.
+var (
+	// ErrNoSpace is returned when the node-level shared memory pool cannot
+	// hold the entry; the caller should fall through to remote memory.
+	ErrNoSpace = errors.New("core: shared memory pool full")
+	// ErrRemoteFull is returned when the chosen remote nodes cannot hold the
+	// entry; the caller should fall through to disk.
+	ErrRemoteFull = errors.New("core: remote memory full")
+	// ErrNoCandidates is returned when no alive group member can be chosen.
+	ErrNoCandidates = errors.New("core: no candidate remote nodes")
+	// ErrUnknownServer is returned for operations on unregistered virtual
+	// servers.
+	ErrUnknownServer = errors.New("core: unknown virtual server")
+)
+
+// Config shapes one node.
+type Config struct {
+	// ID is this node's identity on the fabric and in the directory.
+	ID transport.NodeID
+	// SharedPoolBytes is the capacity of the node-coordinated shared memory
+	// pool (the aggregated x% donations of the node's virtual servers).
+	SharedPoolBytes int64
+	// SendPoolBytes is the capacity of the RDMA send buffer pool used to
+	// stage outgoing batches.
+	SendPoolBytes int64
+	// RecvPoolBytes is the capacity of the receive buffer pool this node
+	// donates to the cluster (must be a multiple of SlabSize).
+	RecvPoolBytes int64
+	// SlabSize is the registration granularity of all pools.
+	SlabSize int
+	// ReplicationFactor is the number of copies for each remote entry.
+	ReplicationFactor int
+	// Balancer selects remote nodes; defaults to power-of-two-choices
+	// seeded by the node ID.
+	Balancer placement.Balancer
+}
+
+// DefaultConfig returns a node shaped like the paper's testbed servers
+// scaled down: 256 MiB shared pool, 64 MiB send pool, 256 MiB receive pool.
+func DefaultConfig(id transport.NodeID) Config {
+	return Config{
+		ID:                id,
+		SharedPoolBytes:   256 << 20,
+		SendPoolBytes:     64 << 20,
+		RecvPoolBytes:     256 << 20,
+		SlabSize:          slab.DefaultSlabSize,
+		ReplicationFactor: replication.DefaultFactor,
+	}
+}
+
+func (c Config) validate() error {
+	if c.SlabSize <= 0 {
+		return fmt.Errorf("core: slab size %d must be positive", c.SlabSize)
+	}
+	if c.RecvPoolBytes <= 0 || c.RecvPoolBytes%int64(c.SlabSize) != 0 {
+		return fmt.Errorf("core: recv pool %d must be a positive multiple of slab size %d",
+			c.RecvPoolBytes, c.SlabSize)
+	}
+	if c.ReplicationFactor < 1 {
+		return fmt.Errorf("core: replication factor %d < 1", c.ReplicationFactor)
+	}
+	return nil
+}
+
+// ownerRef records who parked a block in our receive pool.
+type ownerRef struct {
+	owner transport.NodeID
+	key   uint64
+}
+
+// Node is one physical machine's disaggregated memory manager.
+type Node struct {
+	cfg Config
+	ep  transport.Endpoint
+	dir *cluster.Directory
+
+	shared   *slab.Pool // node-coordinated shared memory pool
+	send     *slab.Pool // cluster-wide DM send buffer pool
+	recv     *slab.Pool // cluster-wide DM receive buffer pool (registered)
+	recvBuf  []byte
+	repl     *replication.Replicator
+	remote   *remoteStore
+	balancer placement.Balancer
+
+	mu             sync.Mutex
+	vservers       map[string]*VirtualServer
+	vsByIndex      []*VirtualServer
+	recvOwners     map[slab.Handle]ownerRef
+	pendingRepairs []pendingRepair
+
+	stats NodeStats
+}
+
+type pendingRepair struct {
+	key  uint64
+	lost transport.NodeID
+}
+
+// NodeStats counts node-level activity.
+type NodeStats struct {
+	SharedPuts     int64
+	RemotePuts     int64
+	SharedGets     int64
+	RemoteGets     int64
+	RemoteAllocs   int64 // blocks we host for others
+	EvictedBlocks  int64 // blocks we evicted from the recv pool
+	RepairsDone    int64
+	BalloonedBytes int64
+}
+
+// NewNode wires a node from its endpoint and the shared cluster directory.
+// The endpoint must be exclusively owned by this node; NewNode installs the
+// control-plane handler and registers the receive region.
+func NewNode(cfg Config, ep transport.Endpoint, dir *cluster.Directory) (*Node, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if ep == nil || dir == nil {
+		return nil, errors.New("core: nil endpoint or directory")
+	}
+	recvBuf, err := ep.RegisterRegion(RecvRegionID, int(cfg.RecvPoolBytes))
+	if err != nil {
+		return nil, fmt.Errorf("core: register receive region: %w", err)
+	}
+	recv, err := slab.NewPoolOver(fmt.Sprintf("node%d.recv", cfg.ID), recvBuf, slab.WithSlabSize(cfg.SlabSize))
+	if err != nil {
+		return nil, err
+	}
+	shared, err := slab.NewPool(fmt.Sprintf("node%d.shared", cfg.ID), cfg.SharedPoolBytes, slab.WithSlabSize(cfg.SlabSize))
+	if err != nil {
+		return nil, err
+	}
+	send, err := slab.NewPool(fmt.Sprintf("node%d.send", cfg.ID), cfg.SendPoolBytes, slab.WithSlabSize(cfg.SlabSize))
+	if err != nil {
+		return nil, err
+	}
+	balancer := cfg.Balancer
+	if balancer == nil {
+		balancer = placement.NewPowerOfTwo(int64(cfg.ID) + 1)
+	}
+	n := &Node{
+		cfg:        cfg,
+		ep:         ep,
+		dir:        dir,
+		shared:     shared,
+		send:       send,
+		recv:       recv,
+		recvBuf:    recvBuf,
+		balancer:   balancer,
+		vservers:   map[string]*VirtualServer{},
+		recvOwners: map[slab.Handle]ownerRef{},
+	}
+	n.remote = &remoteStore{node: n, handles: map[remoteKey]remoteHandle{}}
+	repl, err := replication.New(n.remote, replication.WithFactor(cfg.ReplicationFactor))
+	if err != nil {
+		return nil, err
+	}
+	n.repl = repl
+	ep.SetHandler(n.handleCall)
+	dir.Join(cluster.NodeID(cfg.ID), n.recv.FreeBytes())
+	return n, nil
+}
+
+// ID returns the node's fabric identity.
+func (n *Node) ID() transport.NodeID { return n.cfg.ID }
+
+// Endpoint returns the node's fabric attachment, for components (clients,
+// caches) that ride the same connection.
+func (n *Node) Endpoint() transport.Endpoint { return n.ep }
+
+// SharedPool exposes the node-coordinated shared memory pool.
+func (n *Node) SharedPool() *slab.Pool { return n.shared }
+
+// SendPool exposes the RDMA send buffer pool used for staging batches.
+func (n *Node) SendPool() *slab.Pool { return n.send }
+
+// RecvPool exposes the receive buffer pool donated to the cluster.
+func (n *Node) RecvPool() *slab.Pool { return n.recv }
+
+// Stats returns a copy of the node's counters.
+func (n *Node) Stats() NodeStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// AddServer registers a virtual server with the node manager. The donation
+// is informational (the shared pool was sized from the aggregate donations
+// at cluster initialization, §IV.F).
+func (n *Node) AddServer(name string, donationBytes int64) (*VirtualServer, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.vservers[name]; ok {
+		return nil, fmt.Errorf("core: virtual server %q already registered", name)
+	}
+	if len(n.vsByIndex) >= 1<<16 {
+		return nil, errors.New("core: too many virtual servers")
+	}
+	vs := &VirtualServer{
+		name:     name,
+		index:    uint16(len(n.vsByIndex)),
+		node:     n,
+		donation: donationBytes,
+		table:    pagetable.New(),
+	}
+	n.vservers[name] = vs
+	n.vsByIndex = append(n.vsByIndex, vs)
+	return vs, nil
+}
+
+// Server returns the named virtual server.
+func (n *Node) Server(name string) (*VirtualServer, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	vs, ok := n.vservers[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownServer, name)
+	}
+	return vs, nil
+}
+
+// candidates lists alive members of this node's sharing group, excluding
+// itself, as placement candidates weighted by advertised free memory.
+func (n *Node) candidates() ([]placement.Candidate, error) {
+	group, err := n.dir.GroupOf(cluster.NodeID(n.cfg.ID))
+	if err != nil {
+		return nil, err
+	}
+	members := n.dir.GroupMembers(group)
+	cands := make([]placement.Candidate, 0, len(members))
+	for _, m := range members {
+		if m.ID == cluster.NodeID(n.cfg.ID) {
+			continue
+		}
+		cands = append(cands, placement.Candidate{Node: placement.NodeID(m.ID), FreeBytes: m.FreeBytes})
+	}
+	if len(cands) == 0 {
+		return nil, ErrNoCandidates
+	}
+	return cands, nil
+}
+
+// pickRemotes selects count distinct remote nodes, excluding those listed.
+func (n *Node) pickRemotes(count int, exclude []transport.NodeID) ([]replication.NodeID, error) {
+	cands, err := n.candidates()
+	if err != nil {
+		return nil, err
+	}
+	if len(exclude) > 0 {
+		skip := make(map[placement.NodeID]bool, len(exclude))
+		for _, e := range exclude {
+			skip[placement.NodeID(e)] = true
+		}
+		filtered := cands[:0]
+		for _, c := range cands {
+			if !skip[c.Node] {
+				filtered = append(filtered, c)
+			}
+		}
+		cands = filtered
+	}
+	picked, err := n.balancer.Pick(cands, count)
+	if err != nil {
+		if errors.Is(err, placement.ErrInsufficientCandidates) {
+			return nil, fmt.Errorf("%w: %v", ErrNoCandidates, err)
+		}
+		return nil, err
+	}
+	out := make([]replication.NodeID, len(picked))
+	for i, p := range picked {
+		out[i] = replication.NodeID(p)
+	}
+	return out, nil
+}
+
+// Heartbeat advertises this node's free receive-pool bytes to the directory
+// (in-process) — the cluster-wide equivalent is BroadcastHeartbeat.
+func (n *Node) Heartbeat() error {
+	return n.dir.Heartbeat(cluster.NodeID(n.cfg.ID), n.recv.FreeBytes())
+}
+
+// BroadcastHeartbeat sends a heartbeat to every other known node over the
+// control plane, for deployments where each node runs its own directory.
+func (n *Node) BroadcastHeartbeat(ctx context.Context) {
+	msg := encodeHeartbeatReq(heartbeatReq{FreeBytes: n.recv.FreeBytes()})
+	for _, st := range n.dir.Snapshot() {
+		if st.ID == cluster.NodeID(n.cfg.ID) || !st.Alive {
+			continue
+		}
+		// Best-effort: the failure detector handles unreachable peers.
+		_, _ = n.ep.Call(ctx, transport.NodeID(st.ID), msg)
+	}
+}
+
+// handleCall is the control-plane dispatcher (RDMS side).
+func (n *Node) handleCall(from transport.NodeID, payload []byte) ([]byte, error) {
+	if len(payload) == 0 {
+		return errorResp(errShortMessage), nil
+	}
+	switch payload[0] {
+	case opAlloc:
+		req, err := decodeAllocReq(payload)
+		if err != nil {
+			return errorResp(err), nil
+		}
+		return n.handleAlloc(from, req), nil
+	case opFree:
+		req, err := decodeFreeReq(payload)
+		if err != nil {
+			return errorResp(err), nil
+		}
+		return n.handleFree(req), nil
+	case opHeartbeat:
+		req, err := decodeHeartbeatReq(payload)
+		if err != nil {
+			return errorResp(err), nil
+		}
+		n.dir.Join(cluster.NodeID(from), req.FreeBytes)
+		return okResp(), nil
+	case opEvicted:
+		req, err := decodeEvictedReq(payload)
+		if err != nil {
+			return errorResp(err), nil
+		}
+		n.handleEvicted(from, req)
+		return okResp(), nil
+	case opStats:
+		return encodeStatsResp(statsResp{FreeBytes: n.recv.FreeBytes()}), nil
+	default:
+		return errorResp(fmt.Errorf("core: unknown op %d", payload[0])), nil
+	}
+}
+
+// handleAlloc reserves a receive-pool block for a remote owner (RDMS).
+func (n *Node) handleAlloc(from transport.NodeID, req allocReq) []byte {
+	h, err := n.recv.Alloc(int(req.Class))
+	if err != nil {
+		if errors.Is(err, slab.ErrNoSpace) {
+			return noSpaceResp()
+		}
+		return errorResp(err)
+	}
+	off, err := n.recv.GlobalOffset(h)
+	if err != nil {
+		_ = n.recv.Free(h)
+		return errorResp(err)
+	}
+	n.mu.Lock()
+	n.recvOwners[h] = ownerRef{owner: from, key: req.Key}
+	n.stats.RemoteAllocs++
+	n.mu.Unlock()
+	return encodeAllocResp(allocResp{Offset: off})
+}
+
+// handleFree releases a receive-pool block (RDMS).
+func (n *Node) handleFree(req freeReq) []byte {
+	h, err := n.recv.HandleAt(req.Offset)
+	if err != nil {
+		// Already evicted: freeing an absent entry is not an error (§IV.D
+		// failure semantics match local free of a gone page).
+		return okResp()
+	}
+	n.mu.Lock()
+	delete(n.recvOwners, h)
+	n.mu.Unlock()
+	if err := n.recv.Free(h); err != nil {
+		return errorResp(err)
+	}
+	return okResp()
+}
+
+// handleEvicted records that a remote host dropped one of our blocks; the
+// next Maintain pass re-establishes the replication factor.
+func (n *Node) handleEvicted(from transport.NodeID, req evictedReq) {
+	n.remote.drop(from, req.Key)
+	n.mu.Lock()
+	n.pendingRepairs = append(n.pendingRepairs, pendingRepair{key: req.Key, lost: from})
+	n.mu.Unlock()
+}
+
+// EvictRecvSlabs preemptively deregisters receive-pool slabs until at least
+// wantBytes are reclaimed (policy (1) of §IV.F: a node under local memory
+// pressure reduces the DRAM it donates as remote memory). Owners of evicted
+// blocks are notified over the control plane so they can re-replicate.
+func (n *Node) EvictRecvSlabs(ctx context.Context, wantBytes int64) (int64, error) {
+	var reclaimed int64
+	for reclaimed < wantBytes {
+		victims, err := n.recv.EvictLRU()
+		if err != nil {
+			if errors.Is(err, slab.ErrEmpty) {
+				break
+			}
+			return reclaimed, err
+		}
+		reclaimed += int64(n.cfg.SlabSize)
+		owners := make([]ownerRef, 0, len(victims))
+		n.mu.Lock()
+		for _, h := range victims {
+			if ref, ok := n.recvOwners[h]; ok {
+				owners = append(owners, ref)
+				delete(n.recvOwners, h)
+			}
+			n.stats.EvictedBlocks++
+		}
+		n.mu.Unlock()
+		for _, ref := range owners {
+			if ref.owner == n.cfg.ID {
+				n.handleEvicted(n.cfg.ID, evictedReq{Key: ref.key})
+				continue
+			}
+			// Best-effort notification; if the owner is unreachable its own
+			// read path will discover the loss and fail over to replicas.
+			_, _ = n.ep.Call(ctx, ref.owner, encodeEvictedReq(evictedReq{Key: ref.key}))
+		}
+	}
+	// Shrink the registered budget so the memory actually returns to the OS.
+	n.recv.ShrinkEmpty(reclaimed)
+	return reclaimed, nil
+}
+
+// Maintain performs deferred re-replication for blocks lost to remote
+// evictions or failures. Call it periodically (the daemon does so from its
+// tick loop; simulations from a maintenance process).
+func (n *Node) Maintain(ctx context.Context) (repaired int, firstErr error) {
+	n.mu.Lock()
+	pending := n.pendingRepairs
+	n.pendingRepairs = nil
+	n.mu.Unlock()
+	for _, p := range pending {
+		if err := n.repairEntry(ctx, p); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		repaired++
+	}
+	n.mu.Lock()
+	n.stats.RepairsDone += int64(repaired)
+	n.mu.Unlock()
+	return repaired, firstErr
+}
+
+func (n *Node) repairEntry(ctx context.Context, p pendingRepair) error {
+	vs, id, err := n.resolveKey(p.key)
+	if err != nil {
+		return err
+	}
+	loc, err := vs.table.Get(id)
+	if err != nil || loc.Tier != pagetable.TierRemote {
+		return nil // entry gone or moved since the eviction: nothing to do
+	}
+	nodes := locationNodes(loc)
+	exclude := make([]transport.NodeID, 0, len(nodes)+1)
+	for _, m := range nodes {
+		exclude = append(exclude, transport.NodeID(m))
+	}
+	replacements, err := n.pickRemotes(1, exclude)
+	if err != nil {
+		return fmt.Errorf("core: no replacement for entry %d: %w", id, err)
+	}
+	newSet, err := n.repl.Repair(ctx, nodes, replication.EntryID(p.key),
+		replication.NodeID(p.lost), replacements[0])
+	if err != nil {
+		return err
+	}
+	loc.Primary = pagetable.NodeID(newSet[0])
+	loc.Replicas = loc.Replicas[:0]
+	for _, m := range newSet[1:] {
+		loc.Replicas = append(loc.Replicas, pagetable.NodeID(m))
+	}
+	vs.table.Put(id, loc)
+	return nil
+}
+
+// resolveKey splits a wire key into its virtual server and entry ID.
+func (n *Node) resolveKey(key uint64) (*VirtualServer, pagetable.EntryID, error) {
+	idx := int(key >> 48)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if idx >= len(n.vsByIndex) {
+		return nil, 0, fmt.Errorf("%w: index %d", ErrUnknownServer, idx)
+	}
+	return n.vsByIndex[idx], pagetable.EntryID(key & keyEntryMask), nil
+}
+
+// BalloonToServer moves up to wantBytes of budget from the shared memory
+// pool to the named virtual server (policy (2) of §IV.F). It returns the
+// bytes actually moved; the virtual server's balloon callback, if set,
+// receives them (a swap manager grows its resident-set budget).
+func (n *Node) BalloonToServer(name string, wantBytes int64) (int64, error) {
+	vs, err := n.Server(name)
+	if err != nil {
+		return 0, err
+	}
+	moved := n.shared.ShrinkEmpty(wantBytes)
+	if moved == 0 {
+		return 0, nil
+	}
+	n.mu.Lock()
+	n.stats.BalloonedBytes += moved
+	cb := vs.onBalloon
+	n.mu.Unlock()
+	if cb != nil {
+		cb(moved)
+	}
+	return moved, nil
+}
+
+func locationNodes(loc pagetable.Location) []replication.NodeID {
+	nodes := make([]replication.NodeID, 0, 1+len(loc.Replicas))
+	nodes = append(nodes, replication.NodeID(loc.Primary))
+	for _, r := range loc.Replicas {
+		nodes = append(nodes, replication.NodeID(r))
+	}
+	return nodes
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"godm/internal/cluster"
+)
+
+// PolicyConfig tunes the §IV.F memory-management policies:
+//
+//	(1) "If there are frequent requests to remote disaggregated memory in
+//	    the cluster, then ... evict some memory slabs from the RDMA receive
+//	    buffer pool" — a node whose own tenants keep overflowing to the
+//	    cluster should stop donating so much of its DRAM to others.
+//	(2) "If a virtual server ... is observed to request disaggregated memory
+//	    frequently over a period, then ... balloon more DRAM memory to this
+//	    virtual server" — a persistently overflowing tenant should get real
+//	    memory back.
+type PolicyConfig struct {
+	// RemotePutThreshold is the number of remote puts within one evaluation
+	// period after which policy (1) fires.
+	RemotePutThreshold int64
+	// EvictBytes is how much receive-pool memory policy (1) reclaims per
+	// firing.
+	EvictBytes int64
+	// ServerOverflowThreshold is the number of disaggregated-memory puts by
+	// a single virtual server within one period after which policy (2)
+	// balloons memory to it.
+	ServerOverflowThreshold int64
+	// BalloonBytes is how much shared-pool budget policy (2) moves per
+	// firing.
+	BalloonBytes int64
+	// GroupLowWater triggers dynamic regrouping (§IV.C) when this node is
+	// its group's leader and the group's aggregate free memory falls below
+	// the threshold. Zero disables the check.
+	GroupLowWater int64
+}
+
+// DefaultPolicyConfig returns thresholds suitable for the simulated testbed.
+func DefaultPolicyConfig() PolicyConfig {
+	return PolicyConfig{
+		RemotePutThreshold:      256,
+		EvictBytes:              4 << 20,
+		ServerOverflowThreshold: 512,
+		BalloonBytes:            4 << 20,
+	}
+}
+
+// PolicyEngine periodically applies the §IV.F policies to one node. Create
+// it with NewPolicyEngine and call Evaluate from the node's tick loop.
+type PolicyEngine struct {
+	cfg  PolicyConfig
+	node *Node
+
+	mu             sync.Mutex
+	lastRemotePuts int64
+	lastServerPuts map[string]int64
+}
+
+// NewPolicyEngine binds a policy engine to a node.
+func NewPolicyEngine(node *Node, cfg PolicyConfig) (*PolicyEngine, error) {
+	if node == nil {
+		return nil, fmt.Errorf("core: nil node")
+	}
+	if cfg.RemotePutThreshold <= 0 || cfg.ServerOverflowThreshold <= 0 {
+		return nil, fmt.Errorf("core: policy thresholds must be positive")
+	}
+	return &PolicyEngine{
+		cfg:            cfg,
+		node:           node,
+		lastServerPuts: map[string]int64{},
+	}, nil
+}
+
+// PolicyActions reports what one Evaluate pass did.
+type PolicyActions struct {
+	// EvictedBytes is the receive-pool memory reclaimed by policy (1).
+	EvictedBytes int64
+	// Ballooned maps virtual-server names to bytes granted by policy (2).
+	Ballooned map[string]int64
+	// Regrouped reports that this node, as group leader, requested dynamic
+	// regrouping because the group ran short of disaggregated memory.
+	Regrouped bool
+}
+
+// Evaluate inspects the activity since the previous call and applies the
+// policies. It is intended to run on the same cadence as heartbeats.
+func (e *PolicyEngine) Evaluate(ctx context.Context) (PolicyActions, error) {
+	actions := PolicyActions{Ballooned: map[string]int64{}}
+	st := e.node.Stats()
+
+	e.mu.Lock()
+	remoteDelta := st.RemotePuts - e.lastRemotePuts
+	e.lastRemotePuts = st.RemotePuts
+	e.node.mu.Lock()
+	type serverPuts struct {
+		name string
+		puts int64
+	}
+	var servers []serverPuts
+	for name, vs := range e.node.vservers {
+		servers = append(servers, serverPuts{name: name, puts: vs.putCount.Load()})
+	}
+	e.node.mu.Unlock()
+	deltas := map[string]int64{}
+	for _, s := range servers {
+		deltas[s.name] = s.puts - e.lastServerPuts[s.name]
+		e.lastServerPuts[s.name] = s.puts
+	}
+	e.mu.Unlock()
+
+	// Policy (1): heavy cluster-bound traffic means this node is short of
+	// memory for its own tenants — stop donating so much.
+	if remoteDelta >= e.cfg.RemotePutThreshold {
+		reclaimed, err := e.node.EvictRecvSlabs(ctx, e.cfg.EvictBytes)
+		if err != nil {
+			return actions, fmt.Errorf("core: policy(1) eviction: %w", err)
+		}
+		actions.EvictedBytes = reclaimed
+	}
+
+	// Policy (2): a persistently overflowing tenant gets memory ballooned
+	// back from the shared pool.
+	for name, delta := range deltas {
+		if delta < e.cfg.ServerOverflowThreshold {
+			continue
+		}
+		moved, err := e.node.BalloonToServer(name, e.cfg.BalloonBytes)
+		if err != nil {
+			return actions, fmt.Errorf("core: policy(2) balloon to %s: %w", name, err)
+		}
+		if moved > 0 {
+			actions.Ballooned[name] = moved
+		}
+	}
+
+	// §IV.C: a group leader whose group is short of disaggregated memory
+	// requests dynamic regrouping so the directory rebalances membership.
+	if e.cfg.GroupLowWater > 0 {
+		group, err := e.node.dir.GroupOf(cluster.NodeID(e.node.cfg.ID))
+		if err == nil {
+			leader, ok := e.node.dir.Leader(group)
+			if ok && leader == cluster.NodeID(e.node.cfg.ID) &&
+				e.node.dir.GroupFreeBytes(group) < e.cfg.GroupLowWater {
+				e.node.dir.Regroup()
+				actions.Regrouped = true
+			}
+		}
+	}
+	return actions, nil
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"godm/internal/des"
+	"godm/internal/pagetable"
+	"godm/internal/transport"
+)
+
+func TestPolicyEngineValidation(t *testing.T) {
+	tc := newTestCluster(t, 1, smallConfig)
+	if _, err := NewPolicyEngine(nil, DefaultPolicyConfig()); err == nil {
+		t.Fatal("expected error for nil node")
+	}
+	if _, err := NewPolicyEngine(tc.nodes[0], PolicyConfig{}); err == nil {
+		t.Fatal("expected error for zero thresholds")
+	}
+	if _, err := NewPolicyEngine(tc.nodes[0], DefaultPolicyConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyOneEvictsRecvPoolUnderRemotePressure(t *testing.T) {
+	tc := newTestCluster(t, 4, func(id transport.NodeID) Config {
+		cfg := smallConfig(id)
+		cfg.SharedPoolBytes = 4096 // almost no shared pool: puts go remote
+		cfg.RecvPoolBytes = 1 << 20
+		cfg.SlabSize = 4096
+		cfg.ReplicationFactor = 1
+		return cfg
+	})
+	vs, _ := tc.nodes[0].AddServer("vm0", 0)
+	engine, err := NewPolicyEngine(tc.nodes[0], PolicyConfig{
+		RemotePutThreshold:      8,
+		EvictBytes:              8192,
+		ServerOverflowThreshold: 1 << 30, // policy (2) disabled
+		BalloonBytes:            4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give node 0's own recv pool some hosted blocks so eviction has
+	// something to reclaim: another node parks entries here.
+	vsPeer, _ := tc.nodes[1].AddServer("peer", 0)
+	tc.run(t, func(ctx context.Context, p *des.Proc) {
+		data := bytes.Repeat([]byte{1}, 4096)
+		for i := 0; i < 32; i++ {
+			if err := vsPeer.PutRemote(ctx, EntryIDt(i), data, 4096, 4096); err != nil {
+				t.Errorf("peer put: %v", err)
+				return
+			}
+		}
+		// Node 0's tenants hammer remote memory.
+		for i := 0; i < 16; i++ {
+			if err := vs.PutRemote(ctx, EntryIDt(i), data, 4096, 4096); err != nil {
+				t.Errorf("put: %v", err)
+				return
+			}
+		}
+		actions, err := engine.Evaluate(ctx)
+		if err != nil {
+			t.Errorf("Evaluate: %v", err)
+			return
+		}
+		if actions.EvictedBytes == 0 {
+			t.Error("policy (1) did not evict despite remote pressure")
+		}
+		// A second pass with no new activity stays quiet.
+		actions, err = engine.Evaluate(ctx)
+		if err != nil {
+			t.Errorf("second Evaluate: %v", err)
+			return
+		}
+		if actions.EvictedBytes != 0 {
+			t.Errorf("policy (1) fired without new pressure: %+v", actions)
+		}
+	})
+}
+
+func TestPolicyTwoBalloonsToOverflowingServer(t *testing.T) {
+	tc := newTestCluster(t, 4, func(id transport.NodeID) Config {
+		cfg := smallConfig(id)
+		cfg.SharedPoolBytes = 64 << 10 // room for the churn below
+		return cfg
+	})
+	vs, _ := tc.nodes[0].AddServer("hungry", 0)
+	var granted int64
+	vs.SetBalloonCallback(func(b int64) { granted += b })
+	engine, err := NewPolicyEngine(tc.nodes[0], PolicyConfig{
+		RemotePutThreshold:      1 << 30, // policy (1) disabled
+		EvictBytes:              4096,
+		ServerOverflowThreshold: 4,
+		BalloonBytes:            8192,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.run(t, func(ctx context.Context, p *des.Proc) {
+		data := bytes.Repeat([]byte{2}, 4096)
+		// The server churns puts; also free them so the shared pool has
+		// empty slabs the balloon can reclaim.
+		for i := 0; i < 8; i++ {
+			if err := vs.PutShared(EntryIDt(i), data, 4096, 4096); err != nil {
+				t.Errorf("put: %v", err)
+				return
+			}
+		}
+		for i := 0; i < 8; i++ {
+			if err := vs.Delete(ctx, EntryIDt(i)); err != nil {
+				t.Errorf("delete: %v", err)
+				return
+			}
+		}
+		actions, err := engine.Evaluate(ctx)
+		if err != nil {
+			t.Errorf("Evaluate: %v", err)
+			return
+		}
+		if actions.Ballooned["hungry"] == 0 {
+			t.Errorf("policy (2) did not balloon: %+v", actions)
+		}
+	})
+	if granted == 0 {
+		t.Fatal("balloon callback never invoked")
+	}
+}
+
+// EntryIDt converts test loop indices to entry IDs.
+func EntryIDt(i int) pagetable.EntryID { return pagetable.EntryID(i) }
+
+func TestGroupLowWaterRequestsRegroup(t *testing.T) {
+	// Six nodes in groups of three; the leader of node 1's group sees its
+	// group short of memory and requests regrouping.
+	tc := newTestClusterGrouped(t, 6, 3, smallConfig)
+	// Make node 1 its group's leader by advertising the most memory.
+	_ = tc.dir.Heartbeat(1, 1<<30)
+	tc.dir.Regroup()
+	group, err := tc.dir.GroupOf(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leader, _ := tc.dir.Leader(group); leader != 1 {
+		t.Skipf("node 1 not leader of its group (leader=%d)", leader)
+	}
+	engine, err := NewPolicyEngine(tc.nodes[0], PolicyConfig{
+		RemotePutThreshold:      1 << 30,
+		EvictBytes:              4096,
+		ServerOverflowThreshold: 1 << 30,
+		BalloonBytes:            4096,
+		GroupLowWater:           1 << 40, // absurdly high: always short
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.run(t, func(ctx context.Context, p *des.Proc) {
+		actions, err := engine.Evaluate(ctx)
+		if err != nil {
+			t.Errorf("Evaluate: %v", err)
+			return
+		}
+		if !actions.Regrouped {
+			t.Error("leader did not request regrouping under low water")
+		}
+	})
+}

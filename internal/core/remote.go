@@ -1,0 +1,160 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"godm/internal/replication"
+	"godm/internal/transport"
+)
+
+// remoteStore adapts the transport verbs to replication.Store: the control
+// plane (two-sided Call) reserves and releases blocks in remote receive
+// pools, while the data plane moves payloads with one-sided RDMA writes and
+// reads (§IV.G: "one-sided RDMA write/read operations for data plane
+// activities and RDMA send/receive operations for control plane
+// activities").
+type remoteStore struct {
+	node *Node
+
+	mu sync.Mutex
+	// handles is the client half of the disaggregated memory map: where each
+	// of our keys lives inside each remote node's receive region.
+	handles map[remoteKey]remoteHandle
+	// classes records the size class to request per key (set by the caller
+	// before a replicated write fans out).
+	classes sync.Map // uint64 -> int
+}
+
+type remoteKey struct {
+	node transport.NodeID
+	key  uint64
+}
+
+type remoteHandle struct {
+	offset  int64
+	class   int
+	dataLen int
+}
+
+// setClass records the allocation class for key before a Write fans out.
+func (s *remoteStore) setClass(key uint64, class int) {
+	s.classes.Store(key, class)
+}
+
+func (s *remoteStore) classFor(key uint64, dataLen int) int {
+	if v, ok := s.classes.Load(key); ok {
+		return v.(int)
+	}
+	return dataLen
+}
+
+var _ replication.Store = (*remoteStore)(nil)
+
+// Put implements replication.Store: reserve remotely, then one-sided write.
+func (s *remoteStore) Put(ctx context.Context, node replication.NodeID, id replication.EntryID, data []byte) error {
+	to := transport.NodeID(node)
+	key := uint64(id)
+	class := s.classFor(key, len(data))
+	resp, err := s.node.ep.Call(ctx, to, encodeAllocReq(allocReq{Key: key, Class: int32(class)}))
+	if err != nil {
+		return fmt.Errorf("core: alloc on node %d: %w", to, err)
+	}
+	alloc, err := decodeAllocResp(resp)
+	if err != nil {
+		return err
+	}
+	if err := s.node.ep.WriteRegion(ctx, to, RecvRegionID, alloc.Offset, data); err != nil {
+		// The reservation leaks until the remote evicts it; report failure.
+		return fmt.Errorf("core: one-sided write to node %d: %w", to, err)
+	}
+	s.mu.Lock()
+	s.handles[remoteKey{node: to, key: key}] = remoteHandle{
+		offset:  alloc.Offset,
+		class:   class,
+		dataLen: len(data),
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Get implements replication.Store: one-sided read at the recorded offset.
+func (s *remoteStore) Get(ctx context.Context, node replication.NodeID, id replication.EntryID) ([]byte, error) {
+	to := transport.NodeID(node)
+	s.mu.Lock()
+	h, ok := s.handles[remoteKey{node: to, key: uint64(id)}]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("core: no handle for entry %d on node %d", id, to)
+	}
+	data, err := s.node.ep.ReadRegion(ctx, to, RecvRegionID, h.offset, h.dataLen)
+	if err != nil {
+		return nil, fmt.Errorf("core: one-sided read from node %d: %w", to, err)
+	}
+	return data, nil
+}
+
+// Delete implements replication.Store: release the remote reservation.
+func (s *remoteStore) Delete(ctx context.Context, node replication.NodeID, id replication.EntryID) error {
+	to := transport.NodeID(node)
+	key := uint64(id)
+	s.mu.Lock()
+	h, ok := s.handles[remoteKey{node: to, key: key}]
+	if ok {
+		delete(s.handles, remoteKey{node: to, key: key})
+	}
+	s.mu.Unlock()
+	if !ok {
+		return nil // absent: idempotent
+	}
+	resp, err := s.node.ep.Call(ctx, to, encodeFreeReq(freeReq{Key: key, Offset: h.offset}))
+	if err != nil {
+		// The remote is unreachable; its eviction path reclaims the block.
+		return nil
+	}
+	return checkOKResp(resp)
+}
+
+// getAt reads n bytes at offset off within the stored payload for key,
+// trying each node in order (primary first, then replicas).
+func (s *remoteStore) getAt(ctx context.Context, nodes []replication.NodeID, key uint64, off, n int) ([]byte, error) {
+	var lastErr error
+	for _, node := range nodes {
+		to := transport.NodeID(node)
+		s.mu.Lock()
+		h, ok := s.handles[remoteKey{node: to, key: key}]
+		s.mu.Unlock()
+		if !ok {
+			lastErr = fmt.Errorf("core: no handle for entry %d on node %d", key, to)
+			continue
+		}
+		if off < 0 || n < 0 || off+n > h.dataLen {
+			return nil, fmt.Errorf("core: range [%d,%d) exceeds payload %d", off, off+n, h.dataLen)
+		}
+		data, err := s.node.ep.ReadRegion(ctx, to, RecvRegionID, h.offset+int64(off), n)
+		if err == nil {
+			return data, nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("core: empty replica set for entry %d", key)
+	}
+	return nil, lastErr
+}
+
+// drop forgets the local handle for key on node (used when the remote tells
+// us it evicted the block).
+func (s *remoteStore) drop(node transport.NodeID, key uint64) {
+	s.mu.Lock()
+	delete(s.handles, remoteKey{node: node, key: key})
+	s.mu.Unlock()
+}
+
+// handleCount reports how many remote blocks this node tracks (tests).
+func (s *remoteStore) handleCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.handles)
+}

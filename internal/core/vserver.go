@@ -1,0 +1,254 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"godm/internal/pagetable"
+	"godm/internal/replication"
+	"godm/internal/slab"
+)
+
+// keyEntryMask keeps the low 48 bits of an entry ID; the top 16 bits carry
+// the virtual-server index, making wire keys unique per node.
+const keyEntryMask = (uint64(1) << 48) - 1
+
+// VirtualServer is one VM, container, or JVM executor registered with the
+// node manager. Its methods are the LDMC interface: transparent puts and
+// gets against disaggregated memory, with the memory map recording where
+// each entry lives (§IV.B).
+type VirtualServer struct {
+	name     string
+	index    uint16
+	node     *Node
+	donation int64
+	table    *pagetable.Table
+
+	// putCount counts disaggregated-memory puts, the signal §IV.F's
+	// ballooning policy watches.
+	putCount atomic.Int64
+
+	onBalloon func(bytes int64)
+}
+
+// Name returns the virtual server's name.
+func (vs *VirtualServer) Name() string { return vs.name }
+
+// Donation returns the bytes this server donated to the shared pool.
+func (vs *VirtualServer) Donation() int64 { return vs.donation }
+
+// Table exposes the server's disaggregated memory map (read-mostly use:
+// experiments inspect tier distributions).
+func (vs *VirtualServer) Table() *pagetable.Table { return vs.table }
+
+// SetBalloonCallback installs the function invoked when the node manager
+// balloons memory back to this server.
+func (vs *VirtualServer) SetBalloonCallback(fn func(bytes int64)) {
+	vs.node.mu.Lock()
+	vs.onBalloon = fn
+	vs.node.mu.Unlock()
+}
+
+func (vs *VirtualServer) key(id pagetable.EntryID) uint64 {
+	return uint64(vs.index)<<48 | (uint64(id) & keyEntryMask)
+}
+
+// PutShared parks an entry in the node-coordinated shared memory pool.
+// data is the (possibly compressed) payload, class its size class, and
+// rawSize the uncompressed size. It returns ErrNoSpace when the pool is
+// full, in which case the caller should try PutRemote.
+func (vs *VirtualServer) PutShared(id pagetable.EntryID, data []byte, class, rawSize int) error {
+	if len(data) > class {
+		return fmt.Errorf("core: payload %d exceeds class %d", len(data), class)
+	}
+	h, err := vs.node.shared.Alloc(class)
+	if err != nil {
+		if errors.Is(err, slab.ErrNoSpace) {
+			return fmt.Errorf("%w: entry %d", ErrNoSpace, id)
+		}
+		return err
+	}
+	if err := vs.node.shared.Write(h, data); err != nil {
+		_ = vs.node.shared.Free(h)
+		return err
+	}
+	vs.dropOld(context.Background(), id)
+	vs.table.Put(id, pagetable.Location{
+		Tier:       pagetable.TierSharedMemory,
+		Primary:    pagetable.NodeID(vs.node.cfg.ID),
+		Ref:        pagetable.SlabRef{SlabID: h.SlabID, Offset: h.Offset},
+		StoredSize: class,
+		RawSize:    rawSize,
+	})
+	vs.node.mu.Lock()
+	vs.node.stats.SharedPuts++
+	vs.node.mu.Unlock()
+	vs.putCount.Add(1)
+	return nil
+}
+
+// PutRemote replicates an entry into the receive pools of remote group
+// members (the RDMC path). It returns ErrRemoteFull or ErrNoCandidates when
+// cluster memory cannot hold the entry, in which case the caller should fall
+// through to disk.
+func (vs *VirtualServer) PutRemote(ctx context.Context, id pagetable.EntryID, data []byte, class, rawSize int) error {
+	if len(data) > class {
+		return fmt.Errorf("core: payload %d exceeds class %d", len(data), class)
+	}
+	nodes, err := vs.node.pickRemotes(vs.node.cfg.ReplicationFactor, nil)
+	if err != nil {
+		return err
+	}
+	key := vs.key(id)
+	vs.node.remote.setClass(key, class)
+	if err := vs.node.repl.Write(ctx, nodes, replication.EntryID(key), data); err != nil {
+		if errors.Is(err, replication.ErrAborted) {
+			return fmt.Errorf("%w: %v", ErrRemoteFull, err)
+		}
+		return err
+	}
+	vs.dropOld(ctx, id)
+	loc := pagetable.Location{
+		Tier:       pagetable.TierRemote,
+		Primary:    pagetable.NodeID(nodes[0]),
+		StoredSize: class,
+		RawSize:    rawSize,
+	}
+	for _, n := range nodes[1:] {
+		loc.Replicas = append(loc.Replicas, pagetable.NodeID(n))
+	}
+	vs.table.Put(id, loc)
+	vs.node.mu.Lock()
+	vs.node.stats.RemotePuts++
+	vs.node.mu.Unlock()
+	vs.putCount.Add(1)
+	return nil
+}
+
+// Put stores an entry in the fastest tier with room: shared memory first,
+// then remote memory. This is the transparent LDMS path of Figure 1.
+func (vs *VirtualServer) Put(ctx context.Context, id pagetable.EntryID, data []byte, class, rawSize int) (pagetable.Tier, error) {
+	err := vs.PutShared(id, data, class, rawSize)
+	if err == nil {
+		return pagetable.TierSharedMemory, nil
+	}
+	if !errors.Is(err, ErrNoSpace) {
+		return 0, err
+	}
+	if err := vs.PutRemote(ctx, id, data, class, rawSize); err != nil {
+		return 0, err
+	}
+	return pagetable.TierRemote, nil
+}
+
+// Get fetches an entry from wherever it lives, returning the stored payload
+// and its location. Remote reads go one-sided to the primary and fail over
+// through the replicas.
+func (vs *VirtualServer) Get(ctx context.Context, id pagetable.EntryID) ([]byte, pagetable.Location, error) {
+	loc, err := vs.table.Get(id)
+	if err != nil {
+		return nil, loc, err
+	}
+	switch loc.Tier {
+	case pagetable.TierSharedMemory:
+		h := slab.Handle{SlabID: loc.Ref.SlabID, Offset: loc.Ref.Offset, Class: loc.StoredSize}
+		data, err := vs.node.shared.Read(h, loc.StoredSize)
+		if err != nil {
+			return nil, loc, err
+		}
+		vs.node.mu.Lock()
+		vs.node.stats.SharedGets++
+		vs.node.mu.Unlock()
+		return data, loc, nil
+	case pagetable.TierRemote:
+		data, _, err := vs.node.repl.Read(ctx, locationNodes(loc), replication.EntryID(vs.key(id)))
+		if err != nil {
+			return nil, loc, err
+		}
+		vs.node.mu.Lock()
+		vs.node.stats.RemoteGets++
+		vs.node.mu.Unlock()
+		return data, loc, nil
+	default:
+		return nil, loc, fmt.Errorf("core: entry %d is on tier %v, not managed here", id, loc.Tier)
+	}
+}
+
+// GetAt fetches n bytes starting at off within a stored entry, without
+// moving the rest — the window-based batch layout relies on this to fault a
+// single page out of a parked batch (one message, one slot). Remote reads go
+// one-sided at the recorded region offset plus off.
+func (vs *VirtualServer) GetAt(ctx context.Context, id pagetable.EntryID, off, n int) ([]byte, error) {
+	loc, err := vs.table.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	if off < 0 || n < 0 || off+n > loc.StoredSize {
+		return nil, fmt.Errorf("core: range [%d,%d) exceeds stored size %d", off, off+n, loc.StoredSize)
+	}
+	switch loc.Tier {
+	case pagetable.TierSharedMemory:
+		h := slab.Handle{SlabID: loc.Ref.SlabID, Offset: loc.Ref.Offset, Class: loc.StoredSize}
+		data, err := vs.node.shared.ReadAt(h, off, n)
+		if err != nil {
+			return nil, err
+		}
+		vs.node.mu.Lock()
+		vs.node.stats.SharedGets++
+		vs.node.mu.Unlock()
+		return data, nil
+	case pagetable.TierRemote:
+		data, err := vs.node.remote.getAt(ctx, locationNodes(loc), vs.key(id), off, n)
+		if err != nil {
+			return nil, err
+		}
+		vs.node.mu.Lock()
+		vs.node.stats.RemoteGets++
+		vs.node.mu.Unlock()
+		return data, nil
+	default:
+		return nil, fmt.Errorf("core: entry %d is on tier %v, not managed here", id, loc.Tier)
+	}
+}
+
+// Delete removes an entry from disaggregated memory. Deleting an absent
+// entry is not an error (idempotent, matching swap-slot semantics).
+func (vs *VirtualServer) Delete(ctx context.Context, id pagetable.EntryID) error {
+	loc, err := vs.table.Get(id)
+	if err != nil {
+		if errors.Is(err, pagetable.ErrNotFound) {
+			return nil
+		}
+		return err
+	}
+	vs.table.Delete(id)
+	return vs.releaseLocation(ctx, id, loc)
+}
+
+// dropOld releases storage held by a previous version of id, if any.
+func (vs *VirtualServer) dropOld(ctx context.Context, id pagetable.EntryID) {
+	loc, err := vs.table.Get(id)
+	if err != nil {
+		return
+	}
+	_ = vs.releaseLocation(ctx, id, loc)
+}
+
+func (vs *VirtualServer) releaseLocation(ctx context.Context, id pagetable.EntryID, loc pagetable.Location) error {
+	switch loc.Tier {
+	case pagetable.TierSharedMemory:
+		h := slab.Handle{SlabID: loc.Ref.SlabID, Offset: loc.Ref.Offset, Class: loc.StoredSize}
+		return vs.node.shared.Free(h)
+	case pagetable.TierRemote:
+		return vs.node.repl.Delete(ctx, locationNodes(loc), replication.EntryID(vs.key(id)))
+	default:
+		return nil
+	}
+}
+
+// Location reports where an entry currently lives.
+func (vs *VirtualServer) Location(id pagetable.EntryID) (pagetable.Location, error) {
+	return vs.table.Get(id)
+}

@@ -1,0 +1,18 @@
+package des
+
+import "context"
+
+type procKey struct{}
+
+// NewContext returns a context carrying the simulation process p. The
+// simulated transport fabric extracts it to charge transfer time to the
+// calling process; real transports never look for it.
+func NewContext(parent context.Context, p *Proc) context.Context {
+	return context.WithValue(parent, procKey{}, p)
+}
+
+// FromContext extracts the simulation process from ctx, if present.
+func FromContext(ctx context.Context) (*Proc, bool) {
+	p, ok := ctx.Value(procKey{}).(*Proc)
+	return p, ok
+}

@@ -1,0 +1,269 @@
+// Package dmcache implements the paper's second killer application for
+// partial memory disaggregation (§III): key-value caching over the idle
+// memory of remote nodes. It is a two-tier cache — a bounded local LRU in
+// front of cluster-wide disaggregated memory. Entries evicted from the
+// local tier are parked in the receive pool of a peer chosen by a §IV.E
+// balancing policy, and come back over one-sided reads instead of being
+// lost, so a cache sized far beyond one machine's DRAM keeps behaving like
+// a cache rather than like a database miss.
+//
+// The cache runs over any transport.Verbs attachment: the simulated RDMA
+// fabric in experiments, real TCP against dmnode daemons in deployments.
+package dmcache
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"godm/internal/core"
+	"godm/internal/placement"
+	"godm/internal/transport"
+)
+
+// ErrNoPeers is returned when no remote node can hold evicted entries.
+var ErrNoPeers = errors.New("dmcache: no peers available")
+
+// Config shapes a Cache.
+type Config struct {
+	// LocalBytes bounds the local hot tier (values only; keys are assumed
+	// comparatively small). Must be positive.
+	LocalBytes int64
+	// Verbs is the fabric attachment used to reach peers.
+	Verbs transport.Verbs
+	// Peers are the donor nodes whose receive pools absorb evictions.
+	Peers []transport.NodeID
+	// Balancer picks the peer for each parked entry; defaults to
+	// power-of-two-choices seeded with 1.
+	Balancer placement.Balancer
+	// StatsEvery refreshes peers' advertised free memory every N remote
+	// placements (default 64).
+	StatsEvery int
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	LocalHits   int64
+	RemoteHits  int64
+	Misses      int64
+	Evictions   int64 // local entries parked remotely
+	RemoteBytes int64 // bytes currently parked on peers
+	Dropped     int64 // evictions lost because every peer was full
+}
+
+type entry struct {
+	key   string
+	value []byte
+}
+
+type remoteRef struct {
+	node transport.NodeID
+	size int
+}
+
+// Cache is a disaggregated-memory key-value cache. It is safe for
+// concurrent use from real goroutines; within a simulation drive it from
+// simulation processes.
+type Cache struct {
+	cfg    Config
+	client *core.Client
+
+	mu         sync.Mutex
+	lru        *list.List // front = hottest
+	local      map[string]*list.Element
+	localBytes int64
+	remote     map[string]remoteRef
+	freeBytes  map[transport.NodeID]int64
+	sincePoll  int
+	nextKey    uint64
+	keyIDs     map[string]uint64
+	stats      Stats
+}
+
+// New builds a cache.
+func New(cfg Config) (*Cache, error) {
+	if cfg.LocalBytes <= 0 {
+		return nil, fmt.Errorf("dmcache: local budget %d must be positive", cfg.LocalBytes)
+	}
+	if cfg.Verbs == nil {
+		return nil, errors.New("dmcache: nil verbs attachment")
+	}
+	if len(cfg.Peers) == 0 {
+		return nil, ErrNoPeers
+	}
+	if cfg.Balancer == nil {
+		cfg.Balancer = placement.NewPowerOfTwo(1)
+	}
+	if cfg.StatsEvery <= 0 {
+		cfg.StatsEvery = 64
+	}
+	return &Cache{
+		cfg:       cfg,
+		client:    core.NewClient(cfg.Verbs),
+		lru:       list.New(),
+		local:     map[string]*list.Element{},
+		remote:    map[string]remoteRef{},
+		freeBytes: map[transport.NodeID]int64{},
+		keyIDs:    map[string]uint64{},
+	}, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// LocalLen reports the number of entries in the hot tier.
+func (c *Cache) LocalLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// keyID assigns a stable wire key for a string key.
+func (c *Cache) keyID(key string) uint64 {
+	if id, ok := c.keyIDs[key]; ok {
+		return id
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	// Mix in a counter to keep IDs unique even on hash collisions.
+	c.nextKey++
+	id := h.Sum64() ^ (c.nextKey << 1)
+	c.keyIDs[key] = id
+	return id
+}
+
+// Put stores a value. The entry lands in the local tier; older entries
+// overflow to remote memory as needed.
+func (c *Cache) Put(ctx context.Context, key string, value []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Drop any previous versions.
+	if err := c.dropLocked(ctx, key); err != nil {
+		return err
+	}
+	e := &entry{key: key, value: append([]byte(nil), value...)}
+	c.local[key] = c.lru.PushFront(e)
+	c.localBytes += int64(len(e.value))
+	return c.trimLocked(ctx)
+}
+
+// Get fetches a value. Remote hits are re-admitted to the local tier.
+func (c *Cache) Get(ctx context.Context, key string) ([]byte, bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.local[key]; ok {
+		c.lru.MoveToFront(el)
+		c.stats.LocalHits++
+		val := el.Value.(*entry).value
+		return append([]byte(nil), val...), true, nil
+	}
+	ref, ok := c.remote[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false, nil
+	}
+	data, err := c.client.Get(ctx, ref.node, c.keyID(key))
+	if err != nil {
+		// The peer evicted or crashed: a miss, not an error (cache
+		// semantics — the caller refills from the source of truth).
+		delete(c.remote, key)
+		c.stats.Misses++
+		return nil, false, nil
+	}
+	_ = c.client.Delete(ctx, ref.node, c.keyID(key))
+	delete(c.remote, key)
+	c.stats.RemoteBytes -= int64(ref.size)
+	c.stats.RemoteHits++
+	e := &entry{key: key, value: data}
+	c.local[key] = c.lru.PushFront(e)
+	c.localBytes += int64(len(data))
+	if err := c.trimLocked(ctx); err != nil {
+		return nil, false, err
+	}
+	return append([]byte(nil), data...), true, nil
+}
+
+// Delete removes a key from both tiers.
+func (c *Cache) Delete(ctx context.Context, key string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropLocked(ctx, key)
+}
+
+func (c *Cache) dropLocked(ctx context.Context, key string) error {
+	if el, ok := c.local[key]; ok {
+		c.localBytes -= int64(len(el.Value.(*entry).value))
+		c.lru.Remove(el)
+		delete(c.local, key)
+	}
+	if ref, ok := c.remote[key]; ok {
+		delete(c.remote, key)
+		c.stats.RemoteBytes -= int64(ref.size)
+		return c.client.Delete(ctx, ref.node, c.keyID(key))
+	}
+	return nil
+}
+
+// trimLocked parks LRU entries remotely until the local tier fits.
+func (c *Cache) trimLocked(ctx context.Context) error {
+	for c.localBytes > c.cfg.LocalBytes {
+		back := c.lru.Back()
+		if back == nil {
+			return nil
+		}
+		e := back.Value.(*entry)
+		c.lru.Remove(back)
+		delete(c.local, e.key)
+		c.localBytes -= int64(len(e.value))
+		node, err := c.pickPeer(ctx, len(e.value))
+		if err != nil {
+			c.stats.Dropped++
+			continue // cache semantics: losing an entry is legal
+		}
+		if err := c.client.Put(ctx, node, c.keyID(e.key), e.value); err != nil {
+			c.stats.Dropped++
+			continue
+		}
+		c.remote[e.key] = remoteRef{node: node, size: len(e.value)}
+		c.stats.RemoteBytes += int64(len(e.value))
+		c.stats.Evictions++
+	}
+	return nil
+}
+
+// pickPeer chooses a donor by advertised free memory, polling stats lazily.
+func (c *Cache) pickPeer(ctx context.Context, need int) (transport.NodeID, error) {
+	if c.sincePoll == 0 || len(c.freeBytes) == 0 {
+		for _, p := range c.cfg.Peers {
+			free, err := c.client.Stats(ctx, p)
+			if err != nil {
+				free = 0 // unreachable peers advertise nothing
+			}
+			c.freeBytes[p] = free
+		}
+	}
+	c.sincePoll = (c.sincePoll + 1) % c.cfg.StatsEvery
+	cands := make([]placement.Candidate, 0, len(c.cfg.Peers))
+	for _, p := range c.cfg.Peers {
+		if c.freeBytes[p] >= int64(need) {
+			cands = append(cands, placement.Candidate{Node: placement.NodeID(p), FreeBytes: c.freeBytes[p]})
+		}
+	}
+	if len(cands) == 0 {
+		return 0, ErrNoPeers
+	}
+	picked, err := c.cfg.Balancer.Pick(cands, 1)
+	if err != nil {
+		return 0, err
+	}
+	node := transport.NodeID(picked[0])
+	c.freeBytes[node] -= int64(need)
+	return node, nil
+}

@@ -1,0 +1,195 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"godm/internal/des"
+	"godm/internal/swap"
+	"godm/internal/workload"
+)
+
+// ------------------------------------------------- ablation: window size d
+
+// WindowRow is one batching-window point.
+type WindowRow struct {
+	Window     int
+	Completion time.Duration
+}
+
+// WindowResult is the §IV.H ablation the paper calls for ("it is worth to
+// experiment window based message batching with different window size d"):
+// FS-RDMA completion versus the swap-out batch size.
+type WindowResult struct {
+	Rows []WindowRow
+}
+
+// AblationWindow sweeps d over a remote-memory scan job.
+func AblationWindow(scale Scale) (*WindowResult, error) {
+	prof, err := workload.ByName("KMeans")
+	if err != nil {
+		return nil, err
+	}
+	resident := scale.Pages / 2
+	res := &WindowResult{}
+	for _, d := range []int{1, 4, 16, 64} {
+		cfg := swap.FastSwap(resident, 0, true, func(pg int) float64 { return prof.PageRatio(scale.Seed, pg) })
+		cfg.Window = d
+		cfg.Readahead = d
+		cfg.Name = fmt.Sprintf("FS-RDMA-d%d", d)
+		t, _, err := runMLCompletion(prof, cfg, mlTestbedConfig(scale.Pages), scale.Pages, scale.Iters, scale.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("window %d: %w", d, err)
+		}
+		res.Rows = append(res.Rows, WindowRow{Window: d, Completion: t})
+	}
+	return res, nil
+}
+
+// String renders the sweep.
+func (r *WindowResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: batching window d (FS-RDMA, sequential scan)\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "d=%-4d completion %v\n", row.Window, row.Completion.Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// --------------------------------------------- ablation: replication factor
+
+// ReplicationRow is one factor's cost/benefit measurement.
+type ReplicationRow struct {
+	Factor            int
+	Completion        time.Duration
+	SurvivesPartition bool
+}
+
+// ReplicationResult quantifies §IV.D's triple-replica choice: the write
+// amplification cost of factor 3 versus factor 1, and what it buys — reads
+// that survive a primary partition.
+type ReplicationResult struct {
+	Rows []ReplicationRow
+}
+
+// AblationReplication runs the comparison.
+func AblationReplication(scale Scale) (*ReplicationResult, error) {
+	prof, err := workload.ByName("KMeans")
+	if err != nil {
+		return nil, err
+	}
+	resident := scale.Pages / 2
+	res := &ReplicationResult{}
+	for _, factor := range []int{1, 3} {
+		tbCfg := mlTestbedConfig(scale.Pages)
+		tbCfg.ReplicationFactor = factor
+		tbCfg.RecvPoolBytes *= int64(factor) // capacity for the extra copies
+		cfg := swap.FastSwap(resident, 0, true, func(pg int) float64 { return prof.PageRatio(scale.Seed, pg) })
+		cfg.Name = fmt.Sprintf("FS-RDMA-r%d", factor)
+		completion, _, err := runMLCompletion(prof, cfg, tbCfg, scale.Pages, scale.Iters, scale.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("factor %d: %w", factor, err)
+		}
+		survives, err := partitionSurvival(factor)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, ReplicationRow{
+			Factor:            factor,
+			Completion:        completion,
+			SurvivesPartition: survives,
+		})
+	}
+	return res, nil
+}
+
+// partitionSurvival checks whether a remote entry stays readable when its
+// primary is cut off, at the given replication factor.
+func partitionSurvival(factor int) (bool, error) {
+	tb, err := NewTestbed(TestbedConfig{NodeCount: 5, ReplicationFactor: factor})
+	if err != nil {
+		return false, err
+	}
+	vs, err := tb.Nodes[0].AddServer("repl-vm", 0)
+	if err != nil {
+		return false, err
+	}
+	survives := false
+	_, err = tb.Run("check", func(ctx context.Context, p *des.Proc) error {
+		if err := vs.PutRemote(ctx, 1, make([]byte, 4096), 4096, 4096); err != nil {
+			return err
+		}
+		loc, err := vs.Location(1)
+		if err != nil {
+			return err
+		}
+		tb.Fabric.Partition(1, nodeID(loc.Primary))
+		if _, _, err := vs.Get(ctx, 1); err == nil {
+			survives = true
+		}
+		return nil
+	})
+	return survives, err
+}
+
+// String renders the comparison.
+func (r *ReplicationResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: replication factor (FS-RDMA)\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "factor=%d completion %v, read survives primary partition: %v\n",
+			row.Factor, row.Completion.Round(time.Microsecond), row.SurvivesPartition)
+	}
+	return b.String()
+}
+
+// ------------------------------------------------ ablation: message size m
+
+// MessageSizeRow is one fabric message-size point.
+type MessageSizeRow struct {
+	MessageBytes int
+	Completion   time.Duration
+}
+
+// MessageSizeResult is the second half of the §IV.H ablation the paper asks
+// for: window-based batching with different message sizes m (DAHI's RPC
+// layer defaults to 8 KB messages with a 1 MB maximum).
+type MessageSizeResult struct {
+	Window int
+	Rows   []MessageSizeRow
+}
+
+// AblationMessageSize fixes the window at the FastSwap default and sweeps
+// the fabric message cap from per-page up to unlimited.
+func AblationMessageSize(scale Scale) (*MessageSizeResult, error) {
+	prof, err := workload.ByName("KMeans")
+	if err != nil {
+		return nil, err
+	}
+	resident := scale.Pages / 2
+	res := &MessageSizeResult{Window: swap.DefaultWindow}
+	for _, m := range []int{4 << 10, 8 << 10, 64 << 10, 1 << 20} {
+		cfg := swap.FastSwap(resident, 0, true, func(pg int) float64 { return prof.PageRatio(scale.Seed, pg) })
+		cfg.MaxMessageBytes = m
+		cfg.MessageOverhead = 3 * time.Microsecond
+		cfg.Name = fmt.Sprintf("FS-RDMA-m%dk", m>>10)
+		t, _, err := runMLCompletion(prof, cfg, mlTestbedConfig(scale.Pages), scale.Pages, scale.Iters, scale.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("message size %d: %w", m, err)
+		}
+		res.Rows = append(res.Rows, MessageSizeRow{MessageBytes: m, Completion: t})
+	}
+	return res, nil
+}
+
+// String renders the sweep.
+func (r *MessageSizeResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: fabric message size m (window d=%d)\n", r.Window)
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "m=%-8s completion %v\n", fmt.Sprintf("%dKB", row.MessageBytes>>10), row.Completion.Round(time.Microsecond))
+	}
+	return b.String()
+}

@@ -1,0 +1,115 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"godm/internal/pagetable"
+	"godm/internal/transport"
+)
+
+// nodeID converts a pagetable node id to a fabric node id.
+func nodeID(n pagetable.NodeID) transport.NodeID { return transport.NodeID(n) }
+
+// Experiment is a named, runnable reproduction of one table or figure.
+type Experiment struct {
+	// ID is the flag value passed to `dmsim -exp`.
+	ID string
+	// Paper names what the experiment reproduces.
+	Paper string
+	// Run executes the experiment and returns a printable result.
+	Run func(scale Scale) (fmt.Stringer, error)
+}
+
+// Registry returns every experiment in presentation order.
+func Registry() []Experiment {
+	return []Experiment{
+		{
+			ID: "table1", Paper: "Table 1: applications used in experiments",
+			Run: func(Scale) (fmt.Stringer, error) { return Table1(), nil },
+		},
+		{
+			ID: "fig3", Paper: "Figure 3: compression ratio for 10 workloads",
+			Run: func(s Scale) (fmt.Stringer, error) { return Fig3(s) },
+		},
+		{
+			ID: "fig4", Paper: "Figure 4: compression ratio vs remote/disk swap",
+			Run: func(s Scale) (fmt.Stringer, error) { return Fig4(s) },
+		},
+		{
+			ID: "fig5", Paper: "Figure 5: compression on application performance",
+			Run: func(s Scale) (fmt.Stringer, error) { return Fig5(s) },
+		},
+		{
+			ID: "fig6", Paper: "Figure 6: proactive batch swap-in vs baselines",
+			Run: func(s Scale) (fmt.Stringer, error) { return Fig6(s) },
+		},
+		{
+			ID: "fig7", Paper: "Figure 7: ML workloads, FastSwap vs Infiniswap vs Linux",
+			Run: func(s Scale) (fmt.Stringer, error) { return Fig7(s) },
+		},
+		{
+			ID: "fig8", Paper: "Figure 8: distribution-ratio throughput sweep",
+			Run: func(s Scale) (fmt.Stringer, error) { return Fig8(s) },
+		},
+		{
+			ID: "fig9", Paper: "Figure 9: Memcached ETC recovery curve",
+			Run: func(s Scale) (fmt.Stringer, error) { return Fig9(s) },
+		},
+		{
+			ID: "fig10", Paper: "Figure 10: vanilla Spark vs DAHI",
+			Run: func(s Scale) (fmt.Stringer, error) { return Fig10(s) },
+		},
+		{
+			ID: "mapscale", Paper: "§IV.C: memory-map metadata scalability",
+			Run: func(Scale) (fmt.Stringer, error) { return MapScale(), nil },
+		},
+		{
+			ID: "balance", Paper: "§IV.E: memory balancing policies",
+			Run: func(s Scale) (fmt.Stringer, error) { return Balance(s), nil },
+		},
+		{
+			ID: "failover", Paper: "§IV.D: leader election and replica repair",
+			Run: func(s Scale) (fmt.Stringer, error) { return Failover(s) },
+		},
+		{
+			ID: "window", Paper: "§IV.H ablation: batching window size d",
+			Run: func(s Scale) (fmt.Stringer, error) { return AblationWindow(s) },
+		},
+		{
+			ID: "replication", Paper: "§IV.D ablation: replication factor",
+			Run: func(s Scale) (fmt.Stringer, error) { return AblationReplication(s) },
+		},
+		{
+			ID: "msgsize", Paper: "§IV.H ablation: fabric message size m",
+			Run: func(s Scale) (fmt.Stringer, error) { return AblationMessageSize(s) },
+		},
+		{
+			ID: "tiers", Paper: "§VI: the memory-hierarchy latency ladder",
+			Run: func(Scale) (fmt.Stringer, error) { return Tiers() },
+		},
+		{
+			ID: "xmempod", Paper: "extension [36]: XMemPod flash tier under exhaustion",
+			Run: func(s Scale) (fmt.Stringer, error) { return XMemPod(s) },
+		},
+		{
+			ID: "multitenant", Paper: "§I motivation: idle-neighbour memory sharing + contention",
+			Run: func(s Scale) (fmt.Stringer, error) { return MultiTenant(s) },
+		},
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0)
+	for _, e := range Registry() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("exp: unknown experiment %q (have %v)", id, ids)
+}

@@ -1,0 +1,278 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"godm/internal/cluster"
+	"godm/internal/des"
+	"godm/internal/pagetable"
+	"godm/internal/placement"
+	"godm/internal/transport"
+	"godm/internal/workload"
+)
+
+// ---------------------------------------------------------------- Table 1
+
+// Table1Result renders the application catalog used in the experiments.
+type Table1Result struct {
+	Profiles []workload.Profile
+}
+
+// Table1 returns the catalog.
+func Table1() *Table1Result {
+	return &Table1Result{Profiles: workload.Catalog()}
+}
+
+// String renders the table.
+func (r *Table1Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: applications used in experiments\n")
+	fmt.Fprintf(&b, "%-22s %-14s %12s %10s %8s\n", "application", "kind", "working set", "input", "compress")
+	for _, p := range r.Profiles {
+		fmt.Fprintf(&b, "%-22s %-14s %9.0f GB %7.0f GB %7.1fx\n",
+			p.Name, p.Kind, p.WorkingSetGB, p.InputGB, p.Compressibility)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------- §IV.C map scale
+
+// MapScaleRow is one cluster-size point of the metadata cost model.
+type MapScaleRow struct {
+	ClusterMemory string
+	FlatBytes     int64
+	GroupedBytes  map[int]int64 // group size -> per-node metadata
+}
+
+// MapScaleResult reproduces the §IV.C scalability arithmetic: the per-node
+// metadata a flat disaggregated memory map needs (the paper's 5 GB at 2 TB
+// and 25 GB at 10 TB figures) and how hierarchical group sharing divides it.
+type MapScaleResult struct {
+	Rows       []MapScaleRow
+	GroupSizes []int
+	TotalNodes int
+}
+
+// MapScale computes the table for a 32-node cluster at 4 KB entries.
+func MapScale() *MapScaleResult {
+	const entry = 4096
+	const totalNodes = 32
+	groupSizes := []int{4, 8, 16}
+	res := &MapScaleResult{GroupSizes: groupSizes, TotalNodes: totalNodes}
+	for _, tb := range []struct {
+		label string
+		bytes int64
+	}{
+		{"2 TB", 2 << 40},
+		{"10 TB", 10 << 40},
+	} {
+		row := MapScaleRow{
+			ClusterMemory: tb.label,
+			FlatBytes:     pagetable.MetadataBytes(tb.bytes, entry),
+			GroupedBytes:  map[int]int64{},
+		}
+		for _, g := range groupSizes {
+			row.GroupedBytes[g] = pagetable.GroupedMetadataBytes(tb.bytes, entry, totalNodes, g)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// String renders the table.
+func (r *MapScaleResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "§IV.C: per-node memory-map metadata (4 KB entries, %d nodes)\n", r.TotalNodes)
+	fmt.Fprintf(&b, "%-10s %12s", "cluster", "flat map")
+	for _, g := range r.GroupSizes {
+		fmt.Fprintf(&b, " %10s", fmt.Sprintf("group=%d", g))
+	}
+	fmt.Fprintf(&b, "\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s %9.1f GB", row.ClusterMemory, gib(row.FlatBytes))
+		for _, g := range r.GroupSizes {
+			fmt.Fprintf(&b, " %7.1f GB", gib(row.GroupedBytes[g]))
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String()
+}
+
+func gib(n int64) float64 { return float64(n) / float64(1<<30) }
+
+// ----------------------------------------------------------- §IV.E balance
+
+// BalanceRow is one balancer's imbalance under a placement stream.
+type BalanceRow struct {
+	Policy    string
+	Imbalance float64 // max node load / mean load (1.0 = perfect)
+}
+
+// BalanceResult reproduces the §IV.E comparison of memory balancing
+// algorithms: random, round robin, weighted round robin, power of two
+// choices.
+type BalanceResult struct {
+	Rows       []BalanceRow
+	Placements int
+	NodeCount  int
+}
+
+// Balance streams placements through each policy with capacity feedback.
+func Balance(scale Scale) *BalanceResult {
+	const nodes = 32
+	placements := scale.KVOps
+	if placements <= 0 {
+		placements = 10000
+	}
+	res := &BalanceResult{Placements: placements, NodeCount: nodes}
+	policies := []placement.Balancer{
+		placement.NewRandom(scale.Seed),
+		placement.NewRoundRobin(),
+		placement.NewWeightedRoundRobin(scale.Seed),
+		placement.NewPowerOfTwo(scale.Seed),
+	}
+	for _, pol := range policies {
+		free := make([]int64, nodes)
+		for i := range free {
+			free[i] = int64(placements)
+		}
+		loads := map[placement.NodeID]int64{}
+		for i := 0; i < placements; i++ {
+			cands := make([]placement.Candidate, nodes)
+			for j := range free {
+				cands[j] = placement.Candidate{Node: placement.NodeID(j), FreeBytes: free[j]}
+			}
+			ids, err := pol.Pick(cands, 1)
+			if err != nil {
+				continue
+			}
+			loads[ids[0]]++
+			free[ids[0]]--
+		}
+		res.Rows = append(res.Rows, BalanceRow{Policy: pol.Name(), Imbalance: placement.Imbalance(loads)})
+	}
+	return res
+}
+
+// String renders the table.
+func (r *BalanceResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "§IV.E: memory balancing, %d placements over %d nodes (1.0 = perfect)\n",
+		r.Placements, r.NodeCount)
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-16s imbalance %.3f\n", row.Policy, row.Imbalance)
+	}
+	return b.String()
+}
+
+// --------------------------------------------------------- §IV.D failover
+
+// FailoverResult reproduces the §IV.D fault-tolerance behaviours: leader
+// re-election latency after a crash and replicated-entry survival across a
+// primary failure with repair.
+type FailoverResult struct {
+	// ElectionTicks is how many failure-detector ticks re-election took.
+	ElectionTicks int
+	// NewLeader is the re-elected node.
+	NewLeader cluster.NodeID
+	// SurvivedPartition reports that a replicated entry stayed readable
+	// when its primary was partitioned away.
+	SurvivedPartition bool
+	// Repaired reports that the replication factor was restored after a
+	// replica eviction.
+	Repaired bool
+}
+
+// Failover runs the crash and repair scenario.
+func Failover(scale Scale) (*FailoverResult, error) {
+	res := &FailoverResult{}
+
+	// Leader election: 8 nodes, leader crashes, count ticks to re-election.
+	dir, err := cluster.NewDirectory(cluster.Config{GroupSize: 8, HeartbeatTimeout: 2})
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i <= 8; i++ {
+		dir.Join(cluster.NodeID(i), int64(i*100))
+	}
+	leader, ok := dir.Leader(0)
+	if !ok {
+		return nil, fmt.Errorf("no initial leader")
+	}
+	for tick := 1; tick <= 10; tick++ {
+		for i := 1; i <= 8; i++ {
+			if cluster.NodeID(i) == leader {
+				continue // crashed
+			}
+			_ = dir.Heartbeat(cluster.NodeID(i), int64(i*100))
+		}
+		events := dir.Tick()
+		for _, e := range events {
+			if e.Kind == cluster.EventLeaderElected {
+				res.ElectionTicks = tick
+				res.NewLeader = e.Node
+			}
+		}
+		if res.ElectionTicks > 0 {
+			break
+		}
+	}
+
+	// Replicated-entry survival: triple replication, partition the primary,
+	// then repair after an eviction.
+	tb, err := NewTestbed(TestbedConfig{NodeCount: 5, ReplicationFactor: 3})
+	if err != nil {
+		return nil, err
+	}
+	vs, err := tb.Nodes[0].AddServer("ft-vm", 0)
+	if err != nil {
+		return nil, err
+	}
+	_, err = tb.Run("ft", func(ctx context.Context, p *des.Proc) error {
+		payload := make([]byte, 4096)
+		if err := vs.PutRemote(ctx, 1, payload, 4096, 4096); err != nil {
+			return err
+		}
+		loc, err := vs.Location(1)
+		if err != nil {
+			return err
+		}
+		tb.Fabric.Partition(1, transport.NodeID(loc.Primary))
+		if _, _, err := vs.Get(ctx, 1); err == nil {
+			res.SurvivedPartition = true
+		}
+		tb.Fabric.Heal(1, transport.NodeID(loc.Primary))
+
+		// Evict on one replica host and let the owner repair.
+		victim := loc.Replicas[0]
+		if _, err := tb.Nodes[victim-1].EvictRecvSlabs(ctx, 1<<20); err != nil {
+			return err
+		}
+		repaired, err := tb.Nodes[0].Maintain(ctx)
+		if err != nil {
+			return err
+		}
+		if repaired == 1 {
+			if _, _, err := vs.Get(ctx, 1); err == nil {
+				res.Repaired = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// String renders the result.
+func (r *FailoverResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "§IV.D: fault tolerance\n")
+	fmt.Fprintf(&b, "leader re-elected after %d ticks (node %d)\n", r.ElectionTicks, r.NewLeader)
+	fmt.Fprintf(&b, "replicated read survived primary partition: %v\n", r.SurvivedPartition)
+	fmt.Fprintf(&b, "replication factor restored after eviction: %v\n", r.Repaired)
+	return b.String()
+}

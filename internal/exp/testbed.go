@@ -1,0 +1,231 @@
+// Package exp reproduces every table and figure of the paper's evaluation
+// (§V) on the simulated testbed: a 32-machine 56 Gbps InfiniBand cluster
+// scaled down so each experiment completes in seconds of wall-clock time.
+// Each experiment constructs fresh clusters per system under test, drives
+// the Table-1 workloads through them, and returns a structured result that
+// renders as the rows/series the paper reports.
+//
+// Absolute numbers are simulated; the experiments are judged on shape —
+// which system wins, by roughly what factor, and where the crossovers fall —
+// as recorded in EXPERIMENTS.md.
+package exp
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"godm/internal/cluster"
+	"godm/internal/core"
+	"godm/internal/des"
+	"godm/internal/memdev"
+	"godm/internal/simnet"
+	"godm/internal/swap"
+	"godm/internal/transport"
+	"godm/internal/workload"
+)
+
+// Scale sets the size of every experiment. The defaults run the full suite
+// in well under a minute; multiply Pages and Iters for higher fidelity.
+type Scale struct {
+	// Pages is the per-VM working set in 4 KiB pages.
+	Pages int
+	// Iters is the iteration count for ML jobs.
+	Iters int
+	// KVOps is the operation count for server throughput runs.
+	KVOps int
+	// Fig9Window is the simulated duration of the recovery experiment.
+	Fig9Window time.Duration
+	// Seed fixes all randomness.
+	Seed int64
+}
+
+// DefaultScale returns the CI-friendly configuration.
+func DefaultScale() Scale {
+	return Scale{
+		Pages:      2048,
+		Iters:      3,
+		KVOps:      20000,
+		Fig9Window: 0, // auto-sized from the heap
+		Seed:       1,
+	}
+}
+
+// Testbed is one simulated cluster instance. Experiments create a fresh
+// testbed per system run so no state leaks between measurements.
+type Testbed struct {
+	Env    *des.Env
+	Fabric *simnet.Fabric
+	Dir    *cluster.Directory
+	Nodes  []*core.Node
+	Params memdev.Params
+	DRAM   *memdev.DRAM
+	SHM    *memdev.SharedMem
+}
+
+// TestbedConfig shapes a testbed.
+type TestbedConfig struct {
+	// NodeCount is the cluster size (default 4: one host + 3 remote peers,
+	// enough for triple replication).
+	NodeCount int
+	// SharedPoolBytes and RecvPoolBytes size each node's pools.
+	SharedPoolBytes int64
+	RecvPoolBytes   int64
+	// ReplicationFactor for remote entries (default 1, matching the
+	// FastSwap prototype; the fault-tolerance experiments use 3).
+	ReplicationFactor int
+	// SlabSize is the pool registration granularity (default 1 MiB).
+	SlabSize int
+}
+
+// NewTestbed builds a cluster.
+func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
+	if cfg.NodeCount == 0 {
+		cfg.NodeCount = 4
+	}
+	if cfg.SharedPoolBytes == 0 {
+		cfg.SharedPoolBytes = 64 << 20
+	}
+	if cfg.RecvPoolBytes == 0 {
+		cfg.RecvPoolBytes = 64 << 20
+	}
+	if cfg.ReplicationFactor == 0 {
+		cfg.ReplicationFactor = 1
+	}
+	if cfg.SlabSize == 0 {
+		cfg.SlabSize = 1 << 20
+	}
+	env := des.NewEnv()
+	fabric := simnet.New(env, simnet.DefaultParams())
+	dir, err := cluster.NewDirectory(cluster.Config{GroupSize: cfg.NodeCount, HeartbeatTimeout: 3})
+	if err != nil {
+		return nil, err
+	}
+	params := memdev.DefaultParams()
+	tb := &Testbed{
+		Env:    env,
+		Fabric: fabric,
+		Dir:    dir,
+		Params: params,
+		DRAM:   memdev.NewDRAM(params),
+		SHM:    memdev.NewSharedMem(params),
+	}
+	for i := 1; i <= cfg.NodeCount; i++ {
+		ep, err := fabric.Attach(transport.NodeID(i))
+		if err != nil {
+			return nil, err
+		}
+		node, err := core.NewNode(core.Config{
+			ID:                transport.NodeID(i),
+			SharedPoolBytes:   cfg.SharedPoolBytes,
+			SendPoolBytes:     16 << 20,
+			RecvPoolBytes:     cfg.RecvPoolBytes,
+			SlabSize:          cfg.SlabSize,
+			ReplicationFactor: cfg.ReplicationFactor,
+		}, ep, dir)
+		if err != nil {
+			return nil, err
+		}
+		tb.Nodes = append(tb.Nodes, node)
+	}
+	return tb, nil
+}
+
+// SwapDeps wires a swap.Deps for a fresh virtual server named name on node 1
+// with its own swap disk.
+func (tb *Testbed) SwapDeps(name string) (swap.Deps, error) {
+	vs, err := tb.Nodes[0].AddServer(name, 0)
+	if err != nil {
+		return swap.Deps{}, err
+	}
+	return swap.Deps{
+		VS:     vs,
+		DRAM:   tb.DRAM,
+		Shared: tb.SHM,
+		Disk:   memdev.NewDisk(tb.Env, name+".swap", tb.Params),
+	}, nil
+}
+
+// Run executes body as a single simulation process and drives the
+// simulation to completion, returning the process's finish time.
+func (tb *Testbed) Run(name string, body func(ctx context.Context, p *des.Proc) error) (time.Duration, error) {
+	var finish time.Duration
+	var bodyErr error
+	tb.Env.Go(name, func(p *des.Proc) {
+		ctx := des.NewContext(context.Background(), p)
+		bodyErr = body(ctx, p)
+		finish = p.Now()
+	})
+	if err := tb.Env.Run(); err != nil {
+		return 0, err
+	}
+	if bodyErr != nil {
+		return 0, bodyErr
+	}
+	return finish, nil
+}
+
+// runMLCompletion builds a fresh testbed + manager for cfg, drives the
+// workload's ML trace through it, and returns the job completion time.
+func runMLCompletion(prof workload.Profile, cfg swap.Config, tbCfg TestbedConfig, pages, iters int, seed int64) (time.Duration, swap.Stats, error) {
+	tb, err := NewTestbed(tbCfg)
+	if err != nil {
+		return 0, swap.Stats{}, err
+	}
+	deps, err := tb.SwapDeps("vm-" + prof.Name)
+	if err != nil {
+		return 0, swap.Stats{}, err
+	}
+	if cfg.NodeRatio < 0 && !cfg.RemoteEnabled {
+		deps.VS = nil // Linux-class system: no disaggregated memory
+	}
+	mgr, err := swap.NewManager(cfg, deps)
+	if err != nil {
+		return 0, swap.Stats{}, err
+	}
+	completion, err := driveTrace(tb, mgr, prof, pages, iters, seed)
+	if err != nil {
+		return 0, swap.Stats{}, err
+	}
+	return completion, mgr.Stats(), nil
+}
+
+// driveTrace runs a workload's ML trace through mgr on tb, returning the
+// simulated completion time.
+func driveTrace(tb *Testbed, mgr *swap.Manager, prof workload.Profile, pages, iters int, seed int64) (time.Duration, error) {
+	return tb.Run("job", func(ctx context.Context, p *des.Proc) error {
+		tr := workload.NewMLTrace(prof, pages, iters, seed)
+		for {
+			a, ok := tr.Next()
+			if !ok {
+				return nil
+			}
+			if err := mgr.Touch(ctx, a.Page, a.Compute, a.Write); err != nil {
+				return fmt.Errorf("touch page %d: %w", a.Page, err)
+			}
+		}
+	})
+}
+
+// mlTestbedConfig sizes pools so a 50% configuration's overflow fits the
+// disaggregated tiers (the paper provisions the cluster's idle memory to
+// absorb it).
+func mlTestbedConfig(pages int) TestbedConfig {
+	// 4x headroom: the swap cache keeps clean pages' parked copies live, and
+	// slab pools dedicate whole slabs to each size class.
+	bytes := alignMiB(4 * int64(pages) * swap.PageSize)
+	return TestbedConfig{
+		NodeCount:       4,
+		SharedPoolBytes: bytes, // generous: FS-SM parks the full overflow
+		RecvPoolBytes:   bytes,
+	}
+}
+
+// alignMiB rounds n up to the 1 MiB slab granularity.
+func alignMiB(n int64) int64 {
+	const mib = 1 << 20
+	if n < mib {
+		return mib
+	}
+	return (n + mib - 1) / mib * mib
+}

@@ -1,0 +1,154 @@
+// Package kv implements the in-memory server substrate for the paper's
+// Figure 8 and Figure 9 experiments: Memcached-, Redis-, and VoltDB-shaped
+// key-value servers whose heaps are paged by a swap.Manager. The store keeps
+// real key/value semantics; every operation touches the heap page that holds
+// the key, so server throughput is governed by where that page currently
+// lives — resident memory, the node's shared pool, remote memory, or disk.
+package kv
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"godm/internal/des"
+	"godm/internal/metrics"
+	"godm/internal/swap"
+	"godm/internal/workload"
+)
+
+// Server is one key-value server instance.
+type Server struct {
+	profile workload.Profile
+	mgr     *swap.Manager
+	pages   int
+	values  map[string][]byte
+	ts      *metrics.TimeSeries
+	ops     int64
+}
+
+// NewServer builds a server over pages heap pages managed by mgr, recording
+// throughput into windows of tsWindow.
+func NewServer(profile workload.Profile, mgr *swap.Manager, pages int, tsWindow time.Duration) (*Server, error) {
+	if mgr == nil {
+		return nil, errors.New("kv: nil swap manager")
+	}
+	if pages <= 1 {
+		return nil, fmt.Errorf("kv: pages %d must be > 1", pages)
+	}
+	return &Server{
+		profile: profile,
+		mgr:     mgr,
+		pages:   pages,
+		values:  map[string][]byte{},
+		ts:      metrics.NewTimeSeries(tsWindow),
+	}, nil
+}
+
+// pageOf maps a key onto its heap page.
+func (s *Server) pageOf(key string) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum32()) % s.pages
+}
+
+// Set stores a value, touching the key's heap page.
+func (s *Server) Set(ctx context.Context, key string, value []byte) error {
+	if err := s.mgr.Touch(ctx, s.pageOf(key), s.profile.ComputePerPage, true); err != nil {
+		return fmt.Errorf("kv: set %q: %w", key, err)
+	}
+	s.values[key] = append([]byte(nil), value...)
+	s.recordOp(ctx)
+	return nil
+}
+
+// Get fetches a value, touching the key's heap page. The boolean reports
+// presence.
+func (s *Server) Get(ctx context.Context, key string) ([]byte, bool, error) {
+	if err := s.mgr.Touch(ctx, s.pageOf(key), s.profile.ComputePerPage, false); err != nil {
+		return nil, false, fmt.Errorf("kv: get %q: %w", key, err)
+	}
+	v, ok := s.values[key]
+	s.recordOp(ctx)
+	return v, ok, nil
+}
+
+func (s *Server) recordOp(ctx context.Context) {
+	p, ok := des.FromContext(ctx)
+	if !ok {
+		panic("kv: context does not carry a des.Proc")
+	}
+	s.ops++
+	s.ts.Record(p.Now(), 1)
+}
+
+// Manager exposes the underlying swap manager (e.g. to run the proactive
+// batch swap-in pump alongside the server).
+func (s *Server) Manager() *swap.Manager { return s.mgr }
+
+// Ops returns the total operations served.
+func (s *Server) Ops() int64 { return s.ops }
+
+// Throughput returns the per-window ops/sec series (Figure 9's curve).
+func (s *Server) Throughput() []metrics.Point { return s.ts.Series() }
+
+// Populate fills the heap: one representative key per page, forcing every
+// page to materialize (and overflow through the swap hierarchy).
+func (s *Server) Populate(ctx context.Context, valueBytes int) error {
+	val := make([]byte, valueBytes)
+	for pg := 0; pg < s.pages; pg++ {
+		if err := s.mgr.Touch(ctx, pg, s.profile.ComputePerPage, true); err != nil {
+			return fmt.Errorf("kv: populate page %d: %w", pg, err)
+		}
+		s.values[fmt.Sprintf("key-%d", pg)] = val
+	}
+	return nil
+}
+
+// ColdRestart pages the whole heap out, modelling the Figure 9 scenario
+// where the server recovers from a fully swapped state.
+func (s *Server) ColdRestart(ctx context.Context) {
+	s.mgr.EvictAll(ctx)
+}
+
+// RunOps serves nOps operations drawn from the profile's trace generator
+// (zipfian ETC mix for Memcached/Redis, transactions for VoltDB).
+func (s *Server) RunOps(ctx context.Context, nOps int, seed int64) error {
+	tr := workload.NewServerTrace(s.profile, s.pages, nOps, seed)
+	for {
+		a, ok := tr.Next()
+		if !ok {
+			return nil
+		}
+		if err := s.mgr.Touch(ctx, a.Page, a.Compute, a.Write); err != nil {
+			return fmt.Errorf("kv: op on page %d: %w", a.Page, err)
+		}
+		s.recordOp(ctx)
+	}
+}
+
+// RunFor serves trace operations until d of simulated time has elapsed,
+// returning the operations completed (Figure 9 drives 300 s this way).
+func (s *Server) RunFor(ctx context.Context, d time.Duration, seed int64) (int64, error) {
+	p, ok := des.FromContext(ctx)
+	if !ok {
+		panic("kv: context does not carry a des.Proc")
+	}
+	deadline := p.Now() + d
+	tr := workload.NewServerTrace(s.profile, s.pages, 1<<62, seed)
+	var served int64
+	for p.Now() < deadline {
+		a, ok := tr.Next()
+		if !ok {
+			break
+		}
+		if err := s.mgr.Touch(ctx, a.Page, a.Compute, a.Write); err != nil {
+			return served, fmt.Errorf("kv: op on page %d: %w", a.Page, err)
+		}
+		s.recordOp(ctx)
+		served++
+	}
+	return served, nil
+}

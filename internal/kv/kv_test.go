@@ -1,0 +1,246 @@
+package kv
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"godm/internal/cluster"
+	"godm/internal/core"
+	"godm/internal/des"
+	"godm/internal/memdev"
+	"godm/internal/simnet"
+	"godm/internal/swap"
+	"godm/internal/transport"
+	"godm/internal/workload"
+)
+
+type rig struct {
+	env  *des.Env
+	deps swap.Deps
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	env := des.NewEnv()
+	fabric := simnet.New(env, simnet.DefaultParams())
+	dir, err := cluster.NewDirectory(cluster.Config{GroupSize: 8, HeartbeatTimeout: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vs *core.VirtualServer
+	for i := 1; i <= 4; i++ {
+		ep, err := fabric.Attach(transport.NodeID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, err := core.NewNode(core.Config{
+			ID:                transport.NodeID(i),
+			SharedPoolBytes:   32 << 20,
+			SendPoolBytes:     1 << 20,
+			RecvPoolBytes:     32 << 20,
+			SlabSize:          1 << 20,
+			ReplicationFactor: 1,
+		}, ep, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 1 {
+			vs, err = node.AddServer("kv0", 32<<20)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	params := memdev.DefaultParams()
+	return &rig{
+		env: env,
+		deps: swap.Deps{
+			VS:     vs,
+			DRAM:   memdev.NewDRAM(params),
+			Shared: memdev.NewSharedMem(params),
+			Disk:   memdev.NewDisk(env, "swapdev", params),
+		},
+	}
+}
+
+func (r *rig) newServer(t *testing.T, prof workload.Profile, cfg swap.Config, pages int) *Server {
+	t.Helper()
+	mgr, err := swap.NewManager(cfg, r.deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(prof, mgr, pages, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func (r *rig) run(t *testing.T, body func(ctx context.Context, p *des.Proc)) {
+	t.Helper()
+	r.env.Go("client", func(p *des.Proc) {
+		body(des.NewContext(context.Background(), p), p)
+	})
+	if err := r.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func memcachedProfile(t *testing.T) workload.Profile {
+	t.Helper()
+	prof, err := workload.ByName("Memcached")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prof
+}
+
+func TestNewServerValidation(t *testing.T) {
+	r := newRig(t)
+	mgr, err := swap.NewManager(swap.FastSwap(16, 10, true, func(int) float64 { return 2 }), r.deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewServer(memcachedProfile(t), nil, 10, time.Second); err == nil {
+		t.Fatal("expected error for nil manager")
+	}
+	if _, err := NewServer(memcachedProfile(t), mgr, 1, time.Second); err == nil {
+		t.Fatal("expected error for 1 page")
+	}
+}
+
+func TestSetGetRoundTrip(t *testing.T) {
+	r := newRig(t)
+	srv := r.newServer(t, memcachedProfile(t), swap.FastSwap(64, 10, true, func(int) float64 { return 2 }), 128)
+	r.run(t, func(ctx context.Context, p *des.Proc) {
+		if err := srv.Set(ctx, "user:1", []byte("alice")); err != nil {
+			t.Errorf("Set: %v", err)
+			return
+		}
+		v, ok, err := srv.Get(ctx, "user:1")
+		if err != nil || !ok || string(v) != "alice" {
+			t.Errorf("Get = %q, %v, %v", v, ok, err)
+		}
+		_, ok, err = srv.Get(ctx, "missing")
+		if err != nil || ok {
+			t.Errorf("missing key: ok=%v err=%v", ok, err)
+		}
+	})
+	if srv.Ops() != 3 {
+		t.Fatalf("Ops = %d, want 3", srv.Ops())
+	}
+}
+
+func TestSetGetSurvivesSwapOut(t *testing.T) {
+	r := newRig(t)
+	// Tiny resident set: the value's page will be swapped out and back.
+	srv := r.newServer(t, memcachedProfile(t), swap.FastSwap(4, 10, false, func(int) float64 { return 2 }), 64)
+	r.run(t, func(ctx context.Context, p *des.Proc) {
+		if err := srv.Set(ctx, "k", []byte("v")); err != nil {
+			t.Errorf("Set: %v", err)
+			return
+		}
+		if err := srv.Populate(ctx, 16); err != nil { // churn all pages through
+			t.Errorf("Populate: %v", err)
+			return
+		}
+		v, ok, err := srv.Get(ctx, "k")
+		if err != nil || !ok || string(v) != "v" {
+			t.Errorf("Get after churn = %q, %v, %v", v, ok, err)
+		}
+	})
+}
+
+func TestRunOpsRecordsThroughput(t *testing.T) {
+	r := newRig(t)
+	srv := r.newServer(t, memcachedProfile(t), swap.FastSwap(256, 10, true, func(int) float64 { return 2 }), 512)
+	r.run(t, func(ctx context.Context, p *des.Proc) {
+		if err := srv.Populate(ctx, 64); err != nil {
+			t.Errorf("Populate: %v", err)
+			return
+		}
+		if err := srv.RunOps(ctx, 2000, 7); err != nil {
+			t.Errorf("RunOps: %v", err)
+		}
+	})
+	if srv.Ops() != 2000 { // populate is setup, not served traffic
+		t.Fatalf("Ops = %d, want 2000", srv.Ops())
+	}
+	pts := srv.Throughput()
+	if len(pts) == 0 {
+		t.Fatal("no throughput points")
+	}
+	var total float64
+	for _, pt := range pts {
+		total += pt.Rate
+	}
+	if total <= 0 {
+		t.Fatal("zero throughput")
+	}
+}
+
+func TestRunForStopsAtDeadline(t *testing.T) {
+	r := newRig(t)
+	srv := r.newServer(t, memcachedProfile(t), swap.FastSwap(256, 10, true, func(int) float64 { return 2 }), 512)
+	r.run(t, func(ctx context.Context, p *des.Proc) {
+		served, err := srv.RunFor(ctx, 50*time.Millisecond, 3)
+		if err != nil {
+			t.Errorf("RunFor: %v", err)
+			return
+		}
+		if served == 0 {
+			t.Error("no ops served")
+		}
+		if p.Now() < 50*time.Millisecond {
+			t.Errorf("stopped early at %v", p.Now())
+		}
+		if p.Now() > 60*time.Millisecond {
+			t.Errorf("overran deadline: %v", p.Now())
+		}
+	})
+}
+
+func TestColdRestartRecovery(t *testing.T) {
+	// The Figure 9 mechanism: after a cold restart, a background proactive
+	// batch swap-in pump (PBS) restores the working set while the foreground
+	// serves, recovering throughput much faster than fault-driven paging.
+	measure := func(pbs bool) float64 {
+		r := newRig(t)
+		ratio := func(int) float64 { return 2 }
+		cfg := swap.FastSwap(512, 10, false, ratio) // readahead off: random keys
+		srv := r.newServer(t, memcachedProfile(t), cfg, 1024)
+		mgr := srv.Manager()
+		var served float64
+		done := false
+		if pbs {
+			r.env.Go("pbs-pump", func(p *des.Proc) {
+				ctx := des.NewContext(context.Background(), p)
+				for !done {
+					if mgr.ProactiveSwapIn(ctx, 64) == 0 {
+						p.Sleep(time.Millisecond)
+					}
+				}
+			})
+		}
+		r.run(t, func(ctx context.Context, p *des.Proc) {
+			defer func() { done = true }()
+			if err := srv.Populate(ctx, 64); err != nil {
+				t.Errorf("Populate: %v", err)
+				return
+			}
+			srv.ColdRestart(ctx)
+			if _, err := srv.RunFor(ctx, 100*time.Millisecond, 11); err != nil {
+				t.Errorf("RunFor: %v", err)
+				return
+			}
+			served = float64(srv.Ops())
+		})
+		return served
+	}
+	withPBS := measure(true)
+	noPBS := measure(false)
+	if withPBS <= noPBS {
+		t.Fatalf("PBS recovery %v not better than no-PBS %v", withPBS, noPBS)
+	}
+}

@@ -1,0 +1,189 @@
+// Package memdev models the latency of every tier in the disaggregated
+// memory hierarchy (§III and §VI of the paper): local DRAM, the
+// node-coordinated shared memory pool, and the external swap disk. Remote
+// memory latency lives in the simulated fabric (internal/simnet) because it
+// depends on the interconnect.
+//
+// All devices charge their latency to the calling discrete-event simulation
+// process, so application "completion times" in the experiments are the sum
+// of compute time plus the modelled memory-hierarchy time — the same
+// accounting the paper's testbed produces with real hardware.
+package memdev
+
+import (
+	"time"
+
+	"godm/internal/des"
+)
+
+// Params holds the latency/bandwidth constants of one node's hardware. The
+// defaults mirror the paper's testbed (§V): DDR3-class DRAM, a 2 TB SATA
+// 7.2k-rpm disk, and §VI's latency hierarchy.
+type Params struct {
+	// DRAMLatency is the fixed cost of a local memory access.
+	DRAMLatency time.Duration
+	// DRAMBandwidth is local memory bandwidth in bytes/second.
+	DRAMBandwidth float64
+	// SharedMemLatency is the fixed cost of a page move between a virtual
+	// server and the node-coordinated shared memory pool (a same-host copy
+	// plus map update — DRAM speed, no network).
+	SharedMemLatency time.Duration
+	// SharedMemBandwidth is the shared-memory copy bandwidth in bytes/second.
+	SharedMemBandwidth float64
+	// SSDLatency is the fixed access cost of a flash/NVM tier (§VI places
+	// SSDs between remote memory and the spinning swap device).
+	SSDLatency time.Duration
+	// SSDBandwidth is SSD transfer bandwidth in bytes/second.
+	SSDBandwidth float64
+	// DiskSeek is the average positioning cost of the swap disk.
+	DiskSeek time.Duration
+	// DiskSequentialSeek is the reduced positioning cost when an access hits
+	// the block right after the previous one (swap devices lay batches out
+	// contiguously).
+	DiskSequentialSeek time.Duration
+	// DiskBandwidth is disk transfer bandwidth in bytes/second.
+	DiskBandwidth float64
+}
+
+// DefaultParams returns the testbed-calibrated constants.
+func DefaultParams() Params {
+	return Params{
+		DRAMLatency:        100 * time.Nanosecond,
+		DRAMBandwidth:      25e9,
+		SharedMemLatency:   1 * time.Microsecond,
+		SharedMemBandwidth: 12e9,
+		SSDLatency:         80 * time.Microsecond,
+		SSDBandwidth:       500e6,
+		DiskSeek:           4 * time.Millisecond,
+		DiskSequentialSeek: 200 * time.Microsecond,
+		DiskBandwidth:      150e6,
+	}
+}
+
+// DRAM models local memory accesses.
+type DRAM struct {
+	latency   time.Duration
+	bandwidth float64
+}
+
+// NewDRAM returns a DRAM device with the given parameters.
+func NewDRAM(p Params) *DRAM {
+	return &DRAM{latency: p.DRAMLatency, bandwidth: p.DRAMBandwidth}
+}
+
+// Access charges one access of n bytes to proc.
+func (d *DRAM) Access(proc *des.Proc, n int64) {
+	proc.Sleep(d.latency + transfer(n, d.bandwidth))
+}
+
+// AccessTime returns the modelled latency without charging it.
+func (d *DRAM) AccessTime(n int64) time.Duration {
+	return d.latency + transfer(n, d.bandwidth)
+}
+
+// SharedMem models page moves into and out of the node-coordinated shared
+// memory pool. Per the paper's core argument, this runs at DRAM speed — not
+// network speed — because the pool lives on the same physical host.
+type SharedMem struct {
+	latency   time.Duration
+	bandwidth float64
+	engines   *des.Resource // nil = uncontended
+}
+
+// NewSharedMem returns an uncontended shared-memory device.
+func NewSharedMem(p Params) *SharedMem {
+	return &SharedMem{latency: p.SharedMemLatency, bandwidth: p.SharedMemBandwidth}
+}
+
+// NewSharedMemContended returns a shared-memory device whose copies
+// serialize on a fixed number of copy engines — concurrent tenants moving
+// pages through the same node's pool contend for memory bandwidth.
+func NewSharedMemContended(env *des.Env, name string, p Params, engines int) *SharedMem {
+	return &SharedMem{
+		latency:   p.SharedMemLatency,
+		bandwidth: p.SharedMemBandwidth,
+		engines:   des.NewResource(env, name+".copy", int64(engines)),
+	}
+}
+
+// Move charges a copy of n bytes between a virtual server and the pool.
+func (s *SharedMem) Move(proc *des.Proc, n int64) {
+	if s.engines != nil {
+		s.engines.Acquire(proc, 1)
+		defer s.engines.Release(1)
+	}
+	proc.Sleep(s.latency + transfer(n, s.bandwidth))
+}
+
+// MoveTime returns the modelled latency without charging it.
+func (s *SharedMem) MoveTime(n int64) time.Duration {
+	return s.latency + transfer(n, s.bandwidth)
+}
+
+// SSD models a flash or NVM tier: fixed access latency, no seek penalty,
+// modest internal parallelism.
+type SSD struct {
+	latency   time.Duration
+	bandwidth float64
+	channels  *des.Resource
+}
+
+// NewSSD returns an SSD bound to the simulation environment with 4 internal
+// channels.
+func NewSSD(env *des.Env, name string, p Params) *SSD {
+	return &SSD{
+		latency:   p.SSDLatency,
+		bandwidth: p.SSDBandwidth,
+		channels:  des.NewResource(env, name+".chan", 4),
+	}
+}
+
+// Transfer charges one I/O of n bytes.
+func (s *SSD) Transfer(proc *des.Proc, n int64) {
+	s.channels.Acquire(proc, 1)
+	proc.Sleep(s.latency + transfer(n, s.bandwidth))
+	s.channels.Release(1)
+}
+
+// AccessTime returns the uncontended latency of an n-byte I/O.
+func (s *SSD) AccessTime(n int64) time.Duration {
+	return s.latency + transfer(n, s.bandwidth)
+}
+
+// Disk models the swap device: a single head (concurrent requests serialize,
+// which is what makes disk-swap thrashing catastrophic under memory
+// pressure), seek-dominated random access, and cheap sequential access.
+type Disk struct {
+	params  Params
+	head    *des.Resource
+	nextOff int64 // offset immediately after the previous access
+}
+
+// NewDisk returns a disk bound to the simulation environment.
+func NewDisk(env *des.Env, name string, p Params) *Disk {
+	return &Disk{params: p, head: des.NewResource(env, name+".head", 1), nextOff: -1}
+}
+
+// Transfer charges one I/O of n bytes at byte offset off, serializing on the
+// disk head and applying the sequential-seek discount when the access
+// continues where the previous one ended.
+func (d *Disk) Transfer(proc *des.Proc, off, n int64) {
+	d.head.Acquire(proc, 1)
+	seek := d.params.DiskSeek
+	if off == d.nextOff {
+		seek = d.params.DiskSequentialSeek
+	}
+	d.nextOff = off + n
+	proc.Sleep(seek + transfer(n, d.params.DiskBandwidth))
+	d.head.Release(1)
+}
+
+// QueueLen reports the number of requests waiting for the head.
+func (d *Disk) QueueLen() int { return d.head.QueueLen() }
+
+func transfer(n int64, bytesPerSec float64) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / bytesPerSec * float64(time.Second))
+}

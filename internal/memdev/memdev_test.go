@@ -1,0 +1,119 @@
+package memdev
+
+import (
+	"testing"
+	"time"
+
+	"godm/internal/des"
+)
+
+func TestHierarchyOrdering(t *testing.T) {
+	// The paper's whole premise: DRAM << shared memory << disk per 4 KB page.
+	p := DefaultParams()
+	dram := NewDRAM(p).AccessTime(4096)
+	shared := NewSharedMem(p).MoveTime(4096)
+	if dram >= shared {
+		t.Fatalf("DRAM %v not faster than shared memory %v", dram, shared)
+	}
+	// Disk random access is at least 1000x slower than shared memory.
+	diskTime := p.DiskSeek + time.Duration(4096/p.DiskBandwidth*float64(time.Second))
+	if diskTime < 1000*shared {
+		t.Fatalf("disk %v not >=1000x shared memory %v", diskTime, shared)
+	}
+}
+
+func TestDRAMAccessCharges(t *testing.T) {
+	env := des.NewEnv()
+	dram := NewDRAM(DefaultParams())
+	var elapsed time.Duration
+	env.Go("reader", func(p *des.Proc) {
+		dram.Access(p, 4096)
+		elapsed = p.Now()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := dram.AccessTime(4096)
+	if elapsed != want {
+		t.Fatalf("elapsed = %v, want %v", elapsed, want)
+	}
+	if elapsed < 100*time.Nanosecond || elapsed > time.Microsecond {
+		t.Fatalf("4KB DRAM access = %v, want ~100-400ns", elapsed)
+	}
+}
+
+func TestSharedMemMoveCharges(t *testing.T) {
+	env := des.NewEnv()
+	sm := NewSharedMem(DefaultParams())
+	var elapsed time.Duration
+	env.Go("mover", func(p *des.Proc) {
+		sm.Move(p, 4096)
+		elapsed = p.Now()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed < time.Microsecond || elapsed > 10*time.Microsecond {
+		t.Fatalf("4KB shared-memory move = %v, want ~1-2µs", elapsed)
+	}
+}
+
+func TestDiskRandomVsSequential(t *testing.T) {
+	env := des.NewEnv()
+	disk := NewDisk(env, "sda", DefaultParams())
+	var randomTime, seqTime time.Duration
+	env.Go("io", func(p *des.Proc) {
+		start := p.Now()
+		disk.Transfer(p, 0, 4096) // first access: random seek
+		randomTime = p.Now() - start
+		start = p.Now()
+		disk.Transfer(p, 4096, 4096) // continues previous: sequential
+		seqTime = p.Now() - start
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if randomTime < 4*time.Millisecond {
+		t.Fatalf("random access = %v, want >= 4ms seek", randomTime)
+	}
+	if seqTime >= randomTime/2 {
+		t.Fatalf("sequential %v not much cheaper than random %v", seqTime, randomTime)
+	}
+}
+
+func TestDiskHeadSerializes(t *testing.T) {
+	env := des.NewEnv()
+	disk := NewDisk(env, "sda", DefaultParams())
+	var finishes []time.Duration
+	for i := 0; i < 3; i++ {
+		i := i
+		env.Go("io", func(p *des.Proc) {
+			disk.Transfer(p, int64(i)*1e6, 4096) // far-apart offsets: all random
+			finishes = append(finishes, p.Now())
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Three random 4KB I/Os on one head: each waits for the previous.
+	if finishes[2] < 12*time.Millisecond {
+		t.Fatalf("third I/O finished at %v, want >= 3 seeks (12ms)", finishes[2])
+	}
+	if finishes[0] >= finishes[1] || finishes[1] >= finishes[2] {
+		t.Fatalf("finishes not serialized: %v", finishes)
+	}
+}
+
+func TestZeroByteTransfer(t *testing.T) {
+	env := des.NewEnv()
+	dram := NewDRAM(DefaultParams())
+	env.Go("z", func(p *des.Proc) {
+		dram.Access(p, 0)
+		if p.Now() != dram.AccessTime(0) {
+			t.Errorf("zero-byte access mismatch")
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

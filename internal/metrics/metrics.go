@@ -1,0 +1,295 @@
+// Package metrics provides lightweight, concurrency-safe instrumentation
+// primitives used across the disaggregated-memory stack: counters, gauges,
+// latency histograms, and windowed throughput time series.
+//
+// Simulated-time components pass explicit timestamps; nothing in this package
+// reads the wall clock, which keeps simulation results deterministic.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n must be non-negative).
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("metrics: Counter.Add with negative delta")
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous value that can move in both directions.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram records duration observations into exponential buckets and keeps
+// enough state to answer count, sum, mean, and approximate quantiles.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []time.Duration
+	buckets []int64
+	count   int64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+}
+
+// NewLatencyHistogram returns a histogram with exponential bucket bounds
+// from 100 ns to ~100 s (factor 2 per bucket), suitable for the full memory
+// hierarchy from DRAM hits to disk thrashing.
+func NewLatencyHistogram() *Histogram {
+	var bounds []time.Duration
+	for b := 100 * time.Nanosecond; b < 200*time.Second; b *= 2 {
+		bounds = append(bounds, b)
+	}
+	return &Histogram{bounds: bounds, buckets: make([]int64, len(bounds)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	idx := sort.Search(len(h.bounds), func(i int) bool { return d <= h.bounds[i] })
+	h.buckets[idx]++
+	h.count++
+	h.sum += d
+	if h.count == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Mean returns the average observation, or zero when empty.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Min returns the smallest observation, or zero when empty.
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+// Max returns the largest observation, or zero when empty.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (0 < q <= 1)
+// using bucket upper bounds. It returns zero when the histogram is empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if q <= 0 || q > 1 || math.IsNaN(q) {
+		panic(fmt.Sprintf("metrics: quantile %v out of (0,1]", q))
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(h.count)))
+	var cum int64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.max
+		}
+	}
+	return h.max
+}
+
+// String summarizes the histogram for logs.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("count=%d mean=%v p50=%v p99=%v max=%v",
+		h.Count(), h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Max())
+}
+
+// TimeSeries accumulates per-window event counts keyed by explicit
+// timestamps, producing throughput curves such as Figure 9's ops/sec series.
+type TimeSeries struct {
+	mu     sync.Mutex
+	window time.Duration
+	counts map[int64]int64
+}
+
+// NewTimeSeries returns a series that buckets events into windows of width w.
+func NewTimeSeries(w time.Duration) *TimeSeries {
+	if w <= 0 {
+		panic("metrics: TimeSeries window must be positive")
+	}
+	return &TimeSeries{window: w, counts: map[int64]int64{}}
+}
+
+// Record adds n events at timestamp at.
+func (ts *TimeSeries) Record(at time.Duration, n int64) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	ts.counts[int64(at/ts.window)] += n
+}
+
+// Point is one window of a throughput series.
+type Point struct {
+	Start time.Duration // window start time
+	Rate  float64       // events per second within the window
+}
+
+// Series returns the ordered sequence of points from time zero through the
+// last recorded window, filling empty windows with zero rates.
+func (ts *TimeSeries) Series() []Point {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if len(ts.counts) == 0 {
+		return nil
+	}
+	var maxWin int64
+	for w := range ts.counts {
+		if w > maxWin {
+			maxWin = w
+		}
+	}
+	pts := make([]Point, 0, maxWin+1)
+	perSec := float64(time.Second) / float64(ts.window)
+	for w := int64(0); w <= maxWin; w++ {
+		pts = append(pts, Point{
+			Start: time.Duration(w) * ts.window,
+			Rate:  float64(ts.counts[w]) * perSec,
+		})
+	}
+	return pts
+}
+
+// Registry is a named collection of metrics for one component, rendered as a
+// stable, sorted text block (useful in CLI stats output).
+type Registry struct {
+	mu       sync.Mutex
+	name     string
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry labelled name.
+func NewRegistry(name string) *Registry {
+	return &Registry{
+		name:     name,
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named latency histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewLatencyHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// String renders all metrics sorted by kind then name.
+func (r *Registry) String() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%s]\n", r.name)
+	for _, k := range sortedKeys(r.counters) {
+		fmt.Fprintf(&b, "  counter %-32s %d\n", k, r.counters[k].Value())
+	}
+	for _, k := range sortedKeys(r.gauges) {
+		fmt.Fprintf(&b, "  gauge   %-32s %d\n", k, r.gauges[k].Value())
+	}
+	for _, k := range sortedKeys(r.hists) {
+		fmt.Fprintf(&b, "  hist    %-32s %s\n", k, r.hists[k].String())
+	}
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,191 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value = %d, want 5", got)
+	}
+}
+
+func TestCounterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative Add")
+		}
+	}()
+	var c Counter
+	c.Add(-1)
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("Value = %d, want 8000", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("Value = %d, want 7", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewLatencyHistogram()
+	for _, d := range []time.Duration{time.Microsecond, 2 * time.Microsecond, 3 * time.Microsecond} {
+		h.Observe(d)
+	}
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", h.Count())
+	}
+	if h.Sum() != 6*time.Microsecond {
+		t.Fatalf("Sum = %v, want 6µs", h.Sum())
+	}
+	if h.Mean() != 2*time.Microsecond {
+		t.Fatalf("Mean = %v, want 2µs", h.Mean())
+	}
+	if h.Min() != time.Microsecond {
+		t.Fatalf("Min = %v, want 1µs", h.Min())
+	}
+	if h.Max() != 3*time.Microsecond {
+		t.Fatalf("Max = %v, want 3µs", h.Max())
+	}
+}
+
+func TestHistogramQuantileOrdering(t *testing.T) {
+	h := NewLatencyHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	p50 := h.Quantile(0.50)
+	p99 := h.Quantile(0.99)
+	if p50 > p99 {
+		t.Fatalf("p50 %v > p99 %v", p50, p99)
+	}
+	// p50 upper bound must cover 500µs but not be wildly above (exponential
+	// buckets: next power-of-two bound above 500µs within factor 2.1).
+	if p50 < 500*time.Microsecond || p50 > 1100*time.Microsecond {
+		t.Fatalf("p50 = %v, want within [500µs, 1.1ms]", p50)
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	h := NewLatencyHistogram()
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+}
+
+func TestHistogramQuantilePanicsOnBadQ(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for q=0")
+		}
+	}()
+	NewLatencyHistogram().Quantile(0)
+}
+
+func TestHistogramExtremeTail(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Observe(500 * time.Second) // beyond last bound -> overflow bucket
+	if got := h.Quantile(1); got != 500*time.Second {
+		t.Fatalf("Quantile(1) = %v, want max 500s", got)
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := NewTimeSeries(time.Second)
+	ts.Record(0, 100)
+	ts.Record(500*time.Millisecond, 100)
+	ts.Record(2*time.Second, 50)
+	pts := ts.Series()
+	if len(pts) != 3 {
+		t.Fatalf("len(pts) = %d, want 3 (gap filled)", len(pts))
+	}
+	if pts[0].Rate != 200 {
+		t.Fatalf("window 0 rate = %v, want 200", pts[0].Rate)
+	}
+	if pts[1].Rate != 0 {
+		t.Fatalf("window 1 rate = %v, want 0 (gap)", pts[1].Rate)
+	}
+	if pts[2].Rate != 50 {
+		t.Fatalf("window 2 rate = %v, want 50", pts[2].Rate)
+	}
+}
+
+func TestTimeSeriesSubSecondWindowScalesToPerSecond(t *testing.T) {
+	ts := NewTimeSeries(100 * time.Millisecond)
+	ts.Record(0, 10)
+	pts := ts.Series()
+	if pts[0].Rate != 100 {
+		t.Fatalf("rate = %v, want 100/s (10 events in 100ms)", pts[0].Rate)
+	}
+}
+
+func TestTimeSeriesEmpty(t *testing.T) {
+	ts := NewTimeSeries(time.Second)
+	if pts := ts.Series(); pts != nil {
+		t.Fatalf("empty series = %v, want nil", pts)
+	}
+}
+
+func TestRegistryCreatesAndReuses(t *testing.T) {
+	r := NewRegistry("node0")
+	c1 := r.Counter("faults")
+	c1.Inc()
+	c2 := r.Counter("faults")
+	if c2.Value() != 1 {
+		t.Fatal("Counter did not return the same instance")
+	}
+	r.Gauge("free_pages").Set(42)
+	r.Histogram("swap_latency").Observe(time.Millisecond)
+	out := r.String()
+	for _, want := range []string{"node0", "faults", "free_pages", "swap_latency"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry("x")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h").Observe(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 800 {
+		t.Fatalf("c = %d, want 800", got)
+	}
+}

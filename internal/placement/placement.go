@@ -1,0 +1,236 @@
+// Package placement implements the memory-balancing node selectors from
+// §IV.E of the paper: when a node must park a data entry remotely, the node
+// manager picks one primary and, for fault tolerance, additional replica
+// nodes from the candidates its group leader advertises. The paper names
+// four algorithms for minimizing memory imbalance across the cluster:
+// random, round robin, weighted round robin, and the power of two choices.
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// NodeID names a node; it matches pagetable.NodeID numerically but is kept
+// local to avoid a dependency cycle.
+type NodeID int
+
+// Candidate describes one remote node offering disaggregated memory.
+type Candidate struct {
+	Node NodeID
+	// FreeBytes is the node's advertised free receive-pool capacity.
+	FreeBytes int64
+}
+
+// ErrInsufficientCandidates is returned when fewer distinct candidates exist
+// than the number of copies requested.
+var ErrInsufficientCandidates = errors.New("placement: not enough candidate nodes")
+
+// Balancer selects n distinct nodes from candidates to host an entry (the
+// first is the primary). Implementations must be safe for concurrent use.
+type Balancer interface {
+	// Pick returns n distinct node IDs drawn from candidates.
+	Pick(candidates []Candidate, n int) ([]NodeID, error)
+	// Name identifies the policy in experiment output.
+	Name() string
+}
+
+func validate(candidates []Candidate, n int) error {
+	if n <= 0 {
+		return fmt.Errorf("placement: n = %d must be positive", n)
+	}
+	if len(candidates) < n {
+		return fmt.Errorf("%w: need %d, have %d", ErrInsufficientCandidates, n, len(candidates))
+	}
+	return nil
+}
+
+// Random picks uniformly at random without replacement.
+type Random struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRandom returns a seeded random balancer.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Balancer.
+func (r *Random) Name() string { return "random" }
+
+// Pick implements Balancer.
+func (r *Random) Pick(candidates []Candidate, n int) ([]NodeID, error) {
+	if err := validate(candidates, n); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	idx := r.rng.Perm(len(candidates))[:n]
+	out := make([]NodeID, n)
+	for i, j := range idx {
+		out[i] = candidates[j].Node
+	}
+	return out, nil
+}
+
+// RoundRobin cycles through candidates in node-ID order regardless of load.
+type RoundRobin struct {
+	mu   sync.Mutex
+	next int
+}
+
+// NewRoundRobin returns a round-robin balancer.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements Balancer.
+func (rr *RoundRobin) Name() string { return "round-robin" }
+
+// Pick implements Balancer.
+func (rr *RoundRobin) Pick(candidates []Candidate, n int) ([]NodeID, error) {
+	if err := validate(candidates, n); err != nil {
+		return nil, err
+	}
+	sorted := append([]Candidate(nil), candidates...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Node < sorted[j].Node })
+	rr.mu.Lock()
+	start := rr.next
+	rr.next += n
+	rr.mu.Unlock()
+	out := make([]NodeID, n)
+	for i := 0; i < n; i++ {
+		out[i] = sorted[(start+i)%len(sorted)].Node
+	}
+	return out, nil
+}
+
+// WeightedRoundRobin favors candidates proportionally to advertised free
+// memory: each pick samples without replacement with probability mass equal
+// to FreeBytes.
+type WeightedRoundRobin struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewWeightedRoundRobin returns a seeded weighted balancer.
+func NewWeightedRoundRobin(seed int64) *WeightedRoundRobin {
+	return &WeightedRoundRobin{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Balancer.
+func (w *WeightedRoundRobin) Name() string { return "weighted-rr" }
+
+// Pick implements Balancer.
+func (w *WeightedRoundRobin) Pick(candidates []Candidate, n int) ([]NodeID, error) {
+	if err := validate(candidates, n); err != nil {
+		return nil, err
+	}
+	pool := append([]Candidate(nil), candidates...)
+	out := make([]NodeID, 0, n)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for len(out) < n {
+		var total int64
+		for _, c := range pool {
+			if c.FreeBytes > 0 {
+				total += c.FreeBytes
+			}
+		}
+		var chosen int
+		if total == 0 {
+			chosen = w.rng.Intn(len(pool))
+		} else {
+			target := w.rng.Int63n(total)
+			var cum int64
+			for i, c := range pool {
+				if c.FreeBytes <= 0 {
+					continue
+				}
+				cum += c.FreeBytes
+				if target < cum {
+					chosen = i
+					break
+				}
+			}
+		}
+		out = append(out, pool[chosen].Node)
+		pool = append(pool[:chosen], pool[chosen+1:]...)
+	}
+	return out, nil
+}
+
+// PowerOfTwo samples two random candidates per copy and keeps the one with
+// more free memory (Mitzenmacher's power of two choices, the paper's [31]).
+type PowerOfTwo struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewPowerOfTwo returns a seeded power-of-two-choices balancer.
+func NewPowerOfTwo(seed int64) *PowerOfTwo {
+	return &PowerOfTwo{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Balancer.
+func (p *PowerOfTwo) Name() string { return "power-of-two" }
+
+// Pick implements Balancer.
+func (p *PowerOfTwo) Pick(candidates []Candidate, n int) ([]NodeID, error) {
+	if err := validate(candidates, n); err != nil {
+		return nil, err
+	}
+	pool := append([]Candidate(nil), candidates...)
+	out := make([]NodeID, 0, n)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(out) < n {
+		var chosen int
+		if len(pool) == 1 {
+			chosen = 0
+		} else {
+			a := p.rng.Intn(len(pool))
+			b := p.rng.Intn(len(pool) - 1)
+			if b >= a {
+				b++
+			}
+			chosen = a
+			if pool[b].FreeBytes > pool[a].FreeBytes {
+				chosen = b
+			}
+		}
+		out = append(out, pool[chosen].Node)
+		pool = append(pool[:chosen], pool[chosen+1:]...)
+	}
+	return out, nil
+}
+
+// Compile-time interface compliance checks.
+var (
+	_ Balancer = (*Random)(nil)
+	_ Balancer = (*RoundRobin)(nil)
+	_ Balancer = (*WeightedRoundRobin)(nil)
+	_ Balancer = (*PowerOfTwo)(nil)
+)
+
+// Imbalance summarizes how evenly a placement stream landed across nodes:
+// the ratio of the maximum node load to the mean (1.0 is perfect balance).
+func Imbalance(loads map[NodeID]int64) float64 {
+	if len(loads) == 0 {
+		return 0
+	}
+	var total, maxLoad int64
+	for _, v := range loads {
+		total += v
+		if v > maxLoad {
+			maxLoad = v
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(loads))
+	return float64(maxLoad) / mean
+}

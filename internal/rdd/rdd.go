@@ -1,0 +1,331 @@
+// Package rdd implements a miniature Spark-style execution engine — resilient
+// distributed datasets with lineage, partitions, lazy transformations, and
+// executor cache management — plus DAHI, the paper's disaggregated-memory
+// system for caching RDD partitions off-heap (§V.B, Figure 10).
+//
+// An RDD is computed partition by partition. A partition of a cached dataset
+// is served from the executor's storage memory when it fits; the systems
+// differ in what happens to the overflow:
+//
+//   - Vanilla Spark (MEMORY_ONLY, the .cache() default): overflow partitions
+//     are simply not cached — every later use recomputes them through the
+//     lineage, re-reading the input from disk.
+//   - DAHI: overflow partitions are parked in disaggregated memory — the
+//     node-coordinated shared pool first, then remote memory via RDMA — and
+//     come back at memory/network speed instead of being recomputed.
+package rdd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"godm/internal/core"
+	"godm/internal/des"
+	"godm/internal/memdev"
+	"godm/internal/pagetable"
+)
+
+// PageSize is the accounting unit for partition sizes.
+const PageSize = 4096
+
+// Mode selects the cache-overflow policy.
+type Mode int
+
+// Cache modes.
+const (
+	// ModeVanilla recomputes partitions that do not fit in executor memory.
+	ModeVanilla Mode = iota + 1
+	// ModeDAHI parks overflow partitions in disaggregated memory.
+	ModeDAHI
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeVanilla:
+		return "vanilla"
+	case ModeDAHI:
+		return "dahi"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// CacheTier says where a cached partition lives.
+type CacheTier int
+
+// Cache tiers.
+const (
+	// TierNone means the partition is not cached anywhere.
+	TierNone CacheTier = iota
+	// TierMemory is the executor's own storage memory.
+	TierMemory
+	// TierDisagg is DAHI's disaggregated memory (shared pool or remote).
+	TierDisagg
+)
+
+// Stats counts executor activity.
+type Stats struct {
+	Computed    int64 // partitions computed through lineage
+	SourceReads int64 // input partitions read from stable storage
+	MemHits     int64 // partitions served from executor memory
+	DisaggHits  int64 // partitions served from disaggregated memory
+	CacheStores int64
+	Overflowed  int64 // cache stores that did not fit executor memory
+}
+
+// Executor runs partitions with a bounded storage memory.
+type Executor struct {
+	name     string
+	mode     Mode
+	memPages int
+	used     int
+	vs       *core.VirtualServer
+	dram     *memdev.DRAM
+	shm      *memdev.SharedMem
+	disk     *memdev.Disk
+
+	cache    map[uint64]cacheEntry
+	diskNext int64
+	stats    Stats
+}
+
+type cacheEntry struct {
+	tier  CacheTier
+	pages int
+}
+
+// ExecutorConfig shapes an executor.
+type ExecutorConfig struct {
+	Name string
+	Mode Mode
+	// MemPages is the executor storage memory in pages.
+	MemPages int
+	// VS attaches the executor to disaggregated memory (required for
+	// ModeDAHI).
+	VS *core.VirtualServer
+	// Devices.
+	DRAM *memdev.DRAM
+	SHM  *memdev.SharedMem
+	Disk *memdev.Disk
+}
+
+// NewExecutor builds an executor.
+func NewExecutor(cfg ExecutorConfig) (*Executor, error) {
+	if cfg.MemPages <= 0 {
+		return nil, fmt.Errorf("rdd: executor memory %d pages must be positive", cfg.MemPages)
+	}
+	if cfg.DRAM == nil || cfg.Disk == nil {
+		return nil, errors.New("rdd: DRAM and Disk devices are required")
+	}
+	if cfg.Mode == ModeDAHI && (cfg.VS == nil || cfg.SHM == nil) {
+		return nil, errors.New("rdd: DAHI mode needs a virtual server and shared-memory device")
+	}
+	if cfg.Mode != ModeVanilla && cfg.Mode != ModeDAHI {
+		return nil, fmt.Errorf("rdd: unknown mode %v", cfg.Mode)
+	}
+	return &Executor{
+		name:     cfg.Name,
+		mode:     cfg.Mode,
+		memPages: cfg.MemPages,
+		vs:       cfg.VS,
+		dram:     cfg.DRAM,
+		shm:      cfg.SHM,
+		disk:     cfg.Disk,
+		cache:    map[uint64]cacheEntry{},
+	}, nil
+}
+
+// Stats returns a copy of the executor counters.
+func (e *Executor) Stats() Stats { return e.stats }
+
+// Engine builds datasets over one executor.
+type Engine struct {
+	exec   *Executor
+	nextID int
+}
+
+// NewEngine returns an engine over exec.
+func NewEngine(exec *Executor) *Engine { return &Engine{exec: exec} }
+
+// Executor returns the engine's executor.
+func (e *Engine) Executor() *Executor { return e.exec }
+
+// Dataset is an immutable, lazily evaluated RDD.
+type Dataset struct {
+	eng        *Engine
+	id         int
+	parent     *Dataset
+	partitions int
+	pagesPer   int
+	cpuPerPage time.Duration
+	cached     bool
+	isSource   bool
+	sourceOff  int64
+}
+
+// TextFile creates a source dataset of partitions x pagesPer pages backed by
+// stable storage (the paper's 12–20 GB inputs).
+func (e *Engine) TextFile(partitions, pagesPer int) (*Dataset, error) {
+	if partitions <= 0 || pagesPer <= 0 {
+		return nil, fmt.Errorf("rdd: partitions %d and pagesPer %d must be positive", partitions, pagesPer)
+	}
+	d := &Dataset{
+		eng:        e,
+		id:         e.nextID,
+		partitions: partitions,
+		pagesPer:   pagesPer,
+		isSource:   true,
+		sourceOff:  e.exec.diskNext,
+	}
+	e.nextID++
+	e.exec.diskNext += int64(partitions*pagesPer) * PageSize
+	return d, nil
+}
+
+// Map derives a dataset applying cpuPerPage of work per page (narrow
+// dependency: partition i depends only on parent partition i).
+func (d *Dataset) Map(cpuPerPage time.Duration) *Dataset {
+	nd := &Dataset{
+		eng:        d.eng,
+		id:         d.eng.nextID,
+		parent:     d,
+		partitions: d.partitions,
+		pagesPer:   d.pagesPer,
+		cpuPerPage: cpuPerPage,
+	}
+	d.eng.nextID++
+	return nd
+}
+
+// Cache marks the dataset for caching (Spark's .cache()); it returns the
+// dataset for chaining.
+func (d *Dataset) Cache() *Dataset {
+	d.cached = true
+	return d
+}
+
+// Partitions returns the partition count.
+func (d *Dataset) Partitions() int { return d.partitions }
+
+func (d *Dataset) key(part int) uint64 {
+	return uint64(d.id)<<32 | uint64(part)
+}
+
+// Count materializes every partition and returns the total page count — the
+// action that drives each iteration of the Figure 10 jobs.
+func (d *Dataset) Count(ctx context.Context) (int64, error) {
+	p, ok := des.FromContext(ctx)
+	if !ok {
+		panic("rdd: context does not carry a des.Proc")
+	}
+	var total int64
+	for part := 0; part < d.partitions; part++ {
+		if err := d.materialize(ctx, p, part); err != nil {
+			return total, err
+		}
+		total += int64(d.pagesPer)
+	}
+	return total, nil
+}
+
+// materialize produces partition part: cache hit, or lineage recompute, then
+// a cache store if the dataset is marked cached.
+func (d *Dataset) materialize(ctx context.Context, p *des.Proc, part int) error {
+	exec := d.eng.exec
+	if d.cached {
+		if entry, ok := exec.cache[d.key(part)]; ok {
+			return exec.loadCached(ctx, p, d.key(part), entry)
+		}
+	}
+	if err := d.computeLineage(ctx, p, part); err != nil {
+		return err
+	}
+	if d.cached {
+		exec.storeCached(ctx, p, d.key(part), d.pagesPer)
+	}
+	return nil
+}
+
+// computeLineage runs the partition through its dependency chain.
+func (d *Dataset) computeLineage(ctx context.Context, p *des.Proc, part int) error {
+	exec := d.eng.exec
+	if d.isSource {
+		off := d.sourceOff + int64(part*d.pagesPer)*PageSize
+		exec.disk.Transfer(p, off, int64(d.pagesPer)*PageSize)
+		exec.stats.SourceReads++
+		return nil
+	}
+	if err := d.parent.materialize(ctx, p, part); err != nil {
+		return err
+	}
+	p.Sleep(time.Duration(d.pagesPer) * d.cpuPerPage)
+	exec.stats.Computed++
+	return nil
+}
+
+// loadCached charges the cost of reading a cached partition.
+func (e *Executor) loadCached(ctx context.Context, p *des.Proc, key uint64, entry cacheEntry) error {
+	bytes := int64(entry.pages) * PageSize
+	switch entry.tier {
+	case TierMemory:
+		e.dram.Access(p, bytes)
+		e.stats.MemHits++
+		return nil
+	case TierDisagg:
+		loc, err := e.vs.Location(pagetable.EntryID(key))
+		if err != nil {
+			return fmt.Errorf("rdd: cached partition lost: %w", err)
+		}
+		if _, _, err := e.vs.Get(ctx, pagetable.EntryID(key)); err != nil {
+			return fmt.Errorf("rdd: disagg read: %w", err)
+		}
+		if loc.Tier == pagetable.TierSharedMemory {
+			e.shm.Move(p, bytes)
+		}
+		e.stats.DisaggHits++
+		return nil
+	default:
+		return fmt.Errorf("rdd: cache entry in unknown tier %d", entry.tier)
+	}
+}
+
+// storeCached places a freshly computed partition in the cache hierarchy.
+func (e *Executor) storeCached(ctx context.Context, p *des.Proc, key uint64, pages int) {
+	e.stats.CacheStores++
+	if e.used+pages <= e.memPages {
+		e.used += pages
+		e.dram.Access(p, int64(pages)*PageSize)
+		e.cache[key] = cacheEntry{tier: TierMemory, pages: pages}
+		return
+	}
+	e.stats.Overflowed++
+	if e.mode == ModeVanilla {
+		// MEMORY_ONLY: the overflow partition is not cached; later uses
+		// recompute it through the lineage.
+		return
+	}
+	// DAHI: park the partition off-heap in disaggregated memory.
+	bytes := pages * PageSize
+	payload := make([]byte, bytes)
+	tier, err := e.vs.Put(ctx, pagetable.EntryID(key), payload, roundClass(bytes), bytes)
+	if err != nil {
+		// Disaggregated memory exhausted: behave like vanilla.
+		return
+	}
+	if tier == pagetable.TierSharedMemory {
+		e.shm.Move(p, int64(bytes))
+	}
+	e.cache[key] = cacheEntry{tier: TierDisagg, pages: pages}
+}
+
+// roundClass rounds partition payloads to power-of-two allocation classes.
+func roundClass(n int) int {
+	c := PageSize
+	for c < n {
+		c *= 2
+	}
+	return c
+}

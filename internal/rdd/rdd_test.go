@@ -1,0 +1,286 @@
+package rdd
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"godm/internal/cluster"
+	"godm/internal/core"
+	"godm/internal/des"
+	"godm/internal/memdev"
+	"godm/internal/simnet"
+	"godm/internal/transport"
+)
+
+type rig struct {
+	env  *des.Env
+	vs   *core.VirtualServer
+	dram *memdev.DRAM
+	shm  *memdev.SharedMem
+	disk *memdev.Disk
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	env := des.NewEnv()
+	fabric := simnet.New(env, simnet.DefaultParams())
+	dir, err := cluster.NewDirectory(cluster.Config{GroupSize: 8, HeartbeatTimeout: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vs *core.VirtualServer
+	for i := 1; i <= 4; i++ {
+		ep, err := fabric.Attach(transport.NodeID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, err := core.NewNode(core.Config{
+			ID:                transport.NodeID(i),
+			SharedPoolBytes:   16 << 20,
+			SendPoolBytes:     1 << 20,
+			RecvPoolBytes:     64 << 20,
+			SlabSize:          1 << 20,
+			ReplicationFactor: 1,
+		}, ep, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 1 {
+			vs, err = node.AddServer("executor0", 16<<20)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	params := memdev.DefaultParams()
+	return &rig{
+		env:  env,
+		vs:   vs,
+		dram: memdev.NewDRAM(params),
+		shm:  memdev.NewSharedMem(params),
+		disk: memdev.NewDisk(env, "hdfs", params),
+	}
+}
+
+func (r *rig) newExecutor(t *testing.T, mode Mode, memPages int) *Executor {
+	t.Helper()
+	cfg := ExecutorConfig{
+		Name: "exec0", Mode: mode, MemPages: memPages,
+		DRAM: r.dram, Disk: r.disk,
+	}
+	if mode == ModeDAHI {
+		cfg.VS = r.vs
+		cfg.SHM = r.shm
+	}
+	exec, err := NewExecutor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exec
+}
+
+// runJob executes an iterative cached-scan job and returns completion time.
+func (r *rig) runJob(t *testing.T, exec *Executor, partitions, pagesPer, iters int) time.Duration {
+	t.Helper()
+	var done time.Duration
+	r.env.Go("driver", func(p *des.Proc) {
+		ctx := des.NewContext(context.Background(), p)
+		eng := NewEngine(exec)
+		src, err := eng.TextFile(partitions, pagesPer)
+		if err != nil {
+			t.Errorf("TextFile: %v", err)
+			return
+		}
+		data := src.Map(2 * time.Microsecond).Cache()
+		for i := 0; i < iters; i++ {
+			step := data.Map(3 * time.Microsecond)
+			if _, err := step.Count(ctx); err != nil {
+				t.Errorf("iteration %d: %v", i, err)
+				return
+			}
+		}
+		done = p.Now()
+	})
+	if err := r.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return done
+}
+
+func TestExecutorValidation(t *testing.T) {
+	r := newRig(t)
+	if _, err := NewExecutor(ExecutorConfig{Mode: ModeVanilla, MemPages: 0, DRAM: r.dram, Disk: r.disk}); err == nil {
+		t.Fatal("expected error for zero memory")
+	}
+	if _, err := NewExecutor(ExecutorConfig{Mode: ModeDAHI, MemPages: 10, DRAM: r.dram, Disk: r.disk}); err == nil {
+		t.Fatal("expected error for DAHI without VS")
+	}
+	if _, err := NewExecutor(ExecutorConfig{Mode: Mode(9), MemPages: 10, DRAM: r.dram, Disk: r.disk}); err == nil {
+		t.Fatal("expected error for unknown mode")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeVanilla.String() != "vanilla" || ModeDAHI.String() != "dahi" {
+		t.Fatal("mode names wrong")
+	}
+	if Mode(9).String() != "mode(9)" {
+		t.Fatal("unknown mode name wrong")
+	}
+}
+
+func TestTextFileValidation(t *testing.T) {
+	r := newRig(t)
+	eng := NewEngine(r.newExecutor(t, ModeVanilla, 100))
+	if _, err := eng.TextFile(0, 10); err == nil {
+		t.Fatal("expected error for zero partitions")
+	}
+}
+
+func TestFullyCachedJobHitsMemory(t *testing.T) {
+	r := newRig(t)
+	exec := r.newExecutor(t, ModeVanilla, 1000) // everything fits
+	r.runJob(t, exec, 8, 16, 3)                 // 128 pages cached
+	st := exec.Stats()
+	if st.SourceReads != 8 {
+		t.Fatalf("SourceReads = %d, want 8 (input read once)", st.SourceReads)
+	}
+	// First iteration computes and stores; the next two hit memory.
+	if st.MemHits != 8*2 {
+		t.Fatalf("MemHits = %d, want 16", st.MemHits)
+	}
+	if st.Overflowed != 0 {
+		t.Fatalf("Overflowed = %d, want 0", st.Overflowed)
+	}
+}
+
+func TestVanillaRecomputesOverflow(t *testing.T) {
+	r := newRig(t)
+	exec := r.newExecutor(t, ModeVanilla, 64) // half of 128 pages fit
+	r.runJob(t, exec, 8, 16, 3)
+	st := exec.Stats()
+	// 4 partitions cached, 4 recomputed every iteration: source re-read.
+	if st.SourceReads <= 8 {
+		t.Fatalf("SourceReads = %d, want re-reads beyond the initial 8", st.SourceReads)
+	}
+	if st.DisaggHits != 0 {
+		t.Fatalf("vanilla used disaggregated memory: %+v", st)
+	}
+}
+
+func TestDAHIParksOverflowInDisagg(t *testing.T) {
+	r := newRig(t)
+	exec := r.newExecutor(t, ModeDAHI, 64)
+	r.runJob(t, exec, 8, 16, 3)
+	st := exec.Stats()
+	if st.SourceReads != 8 {
+		t.Fatalf("SourceReads = %d, want 8 (no recompute)", st.SourceReads)
+	}
+	if st.DisaggHits == 0 {
+		t.Fatalf("no disagg hits: %+v", st)
+	}
+	if st.Overflowed == 0 {
+		t.Fatalf("expected overflow: %+v", st)
+	}
+}
+
+func TestDAHIBeatsVanillaOnPartialCache(t *testing.T) {
+	// Figure 10's core claim: with medium/large datasets (partial caching),
+	// DAHI finishes iterative jobs substantially faster than vanilla.
+	r1 := newRig(t)
+	vanilla := r1.newExecutor(t, ModeVanilla, 64)
+	tVanilla := r1.runJob(t, vanilla, 8, 16, 4)
+	r2 := newRig(t)
+	dahi := r2.newExecutor(t, ModeDAHI, 64)
+	tDAHI := r2.runJob(t, dahi, 8, 16, 4)
+	if tDAHI >= tVanilla {
+		t.Fatalf("DAHI %v not faster than vanilla %v", tDAHI, tVanilla)
+	}
+	speedup := float64(tVanilla) / float64(tDAHI)
+	if speedup < 1.2 {
+		t.Fatalf("speedup %.2f too small", speedup)
+	}
+}
+
+func TestSmallDatasetModesEquivalent(t *testing.T) {
+	// Figure 10: with small datasets everything fits in executor memory and
+	// the two systems perform the same.
+	r1 := newRig(t)
+	vanilla := r1.newExecutor(t, ModeVanilla, 1000)
+	tVanilla := r1.runJob(t, vanilla, 8, 16, 4)
+	r2 := newRig(t)
+	dahi := r2.newExecutor(t, ModeDAHI, 1000)
+	tDAHI := r2.runJob(t, dahi, 8, 16, 4)
+	ratio := float64(tVanilla) / float64(tDAHI)
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Fatalf("fully-cached runs differ: vanilla %v vs dahi %v", tVanilla, tDAHI)
+	}
+}
+
+func TestLineageChainComputes(t *testing.T) {
+	r := newRig(t)
+	exec := r.newExecutor(t, ModeVanilla, 1000)
+	r.env.Go("driver", func(p *des.Proc) {
+		ctx := des.NewContext(context.Background(), p)
+		eng := NewEngine(exec)
+		src, err := eng.TextFile(4, 8)
+		if err != nil {
+			t.Errorf("TextFile: %v", err)
+			return
+		}
+		chain := src.Map(time.Microsecond).Map(time.Microsecond).Map(time.Microsecond)
+		n, err := chain.Count(ctx)
+		if err != nil {
+			t.Errorf("Count: %v", err)
+			return
+		}
+		if n != 32 {
+			t.Errorf("Count = %d, want 32", n)
+		}
+	})
+	if err := r.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if st := exec.Stats(); st.Computed != 12 { // 3 maps x 4 partitions
+		t.Fatalf("Computed = %d, want 12", st.Computed)
+	}
+}
+
+func TestCacheIsolationBetweenDatasets(t *testing.T) {
+	r := newRig(t)
+	exec := r.newExecutor(t, ModeDAHI, 32)
+	r.env.Go("driver", func(p *des.Proc) {
+		ctx := des.NewContext(context.Background(), p)
+		eng := NewEngine(exec)
+		srcA, _ := eng.TextFile(2, 16)
+		srcB, _ := eng.TextFile(2, 16)
+		a := srcA.Map(time.Microsecond).Cache()
+		b := srcB.Map(time.Microsecond).Cache()
+		if _, err := a.Count(ctx); err != nil {
+			t.Errorf("a: %v", err)
+			return
+		}
+		if _, err := b.Count(ctx); err != nil {
+			t.Errorf("b: %v", err)
+			return
+		}
+		// Second pass: both come from cache (memory or disagg), no source
+		// re-reads.
+		before := exec.Stats().SourceReads
+		if _, err := a.Count(ctx); err != nil {
+			t.Errorf("a2: %v", err)
+			return
+		}
+		if _, err := b.Count(ctx); err != nil {
+			t.Errorf("b2: %v", err)
+			return
+		}
+		if exec.Stats().SourceReads != before {
+			t.Error("cached datasets re-read the source")
+		}
+	})
+	if err := r.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

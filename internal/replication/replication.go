@@ -1,0 +1,157 @@
+// Package replication implements the fault-tolerance protocol of §IV.D: each
+// remote write is replicated to a primary plus two replica nodes (the paper
+// adopts HDFS-style triple-replica modularity), every remote operation is
+// atomic ("all or nothing"), and reads fail over from the primary through the
+// replicas. When a replica is lost — connection failure, node crash, or
+// preemptive slab eviction — Repair re-establishes the replication factor on
+// a replacement node.
+//
+// The package is transport-agnostic: it drives any Store implementation,
+// which in this repository is backed by the simulated RDMA fabric, the TCP
+// fabric, or an in-memory fake in tests.
+package replication
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// NodeID names a remote node.
+type NodeID int
+
+// EntryID names a replicated data entry.
+type EntryID uint64
+
+// Sentinel errors.
+var (
+	// ErrNoReplica is returned when every node in the replica set failed.
+	ErrNoReplica = errors.New("replication: no reachable replica")
+	// ErrAborted is returned when an atomic write rolled back.
+	ErrAborted = errors.New("replication: write aborted")
+)
+
+// Store is the per-node storage the replicator drives. Implementations must
+// be safe for concurrent use.
+type Store interface {
+	// Put writes data for id on node.
+	Put(ctx context.Context, node NodeID, id EntryID, data []byte) error
+	// Get reads data for id from node.
+	Get(ctx context.Context, node NodeID, id EntryID) ([]byte, error)
+	// Delete removes id from node. Deleting an absent entry is not an error.
+	Delete(ctx context.Context, node NodeID, id EntryID) error
+}
+
+// DefaultFactor is the paper's replication factor (primary + 2 replicas).
+const DefaultFactor = 3
+
+// Replicator coordinates replicated, atomic remote writes.
+type Replicator struct {
+	store  Store
+	factor int
+}
+
+// Option configures a Replicator.
+type Option func(*Replicator)
+
+// WithFactor overrides the replication factor (>= 1).
+func WithFactor(n int) Option {
+	return func(r *Replicator) { r.factor = n }
+}
+
+// New returns a replicator over store.
+func New(store Store, opts ...Option) (*Replicator, error) {
+	r := &Replicator{store: store, factor: DefaultFactor}
+	for _, o := range opts {
+		o(r)
+	}
+	if r.factor < 1 {
+		return nil, fmt.Errorf("replication: factor %d < 1", r.factor)
+	}
+	if store == nil {
+		return nil, errors.New("replication: nil store")
+	}
+	return r, nil
+}
+
+// Factor returns the configured replication factor.
+func (r *Replicator) Factor() int { return r.factor }
+
+// Write stores data for id on the given nodes (nodes[0] is the primary) as an
+// atomic transaction: if any node fails, the copies already written are
+// rolled back and ErrAborted is returned. len(nodes) must equal the factor.
+func (r *Replicator) Write(ctx context.Context, nodes []NodeID, id EntryID, data []byte) error {
+	if len(nodes) != r.factor {
+		return fmt.Errorf("replication: got %d nodes, factor is %d", len(nodes), r.factor)
+	}
+	var written []NodeID
+	for _, n := range nodes {
+		if err := r.store.Put(ctx, n, id, data); err != nil {
+			for _, w := range written {
+				// Best-effort rollback; a node that fails rollback will be
+				// cleaned up by eviction/repair.
+				_ = r.store.Delete(ctx, w, id)
+			}
+			return fmt.Errorf("%w: put on node %d: %v", ErrAborted, n, err)
+		}
+		written = append(written, n)
+	}
+	return nil
+}
+
+// Read fetches id, trying the primary first and failing over to replicas in
+// order. It returns the data together with the node that served it.
+func (r *Replicator) Read(ctx context.Context, nodes []NodeID, id EntryID) ([]byte, NodeID, error) {
+	var lastErr error
+	for _, n := range nodes {
+		data, err := r.store.Get(ctx, n, id)
+		if err == nil {
+			return data, n, nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = errors.New("empty replica set")
+	}
+	return nil, 0, fmt.Errorf("%w: entry %d: %v", ErrNoReplica, id, lastErr)
+}
+
+// Delete removes id from every node, returning the first error encountered
+// after attempting all.
+func (r *Replicator) Delete(ctx context.Context, nodes []NodeID, id EntryID) error {
+	var firstErr error
+	for _, n := range nodes {
+		if err := r.store.Delete(ctx, n, id); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("replication: delete on node %d: %w", n, err)
+		}
+	}
+	return firstErr
+}
+
+// Repair restores the replication factor after node lost is no longer usable
+// for entry id: it reads a surviving copy from the remaining nodes and writes
+// it to replacement. It returns the updated replica set.
+func (r *Replicator) Repair(ctx context.Context, nodes []NodeID, id EntryID, lost, replacement NodeID) ([]NodeID, error) {
+	survivors := make([]NodeID, 0, len(nodes))
+	for _, n := range nodes {
+		if n != lost {
+			survivors = append(survivors, n)
+		}
+	}
+	if len(survivors) == len(nodes) {
+		return nodes, fmt.Errorf("replication: node %d not in replica set %v", lost, nodes)
+	}
+	for _, n := range survivors {
+		if n == replacement {
+			return nodes, fmt.Errorf("replication: replacement %d already holds entry %d", replacement, id)
+		}
+	}
+	data, _, err := r.Read(ctx, survivors, id)
+	if err != nil {
+		return nodes, fmt.Errorf("replication: repair of entry %d: %w", id, err)
+	}
+	if err := r.store.Put(ctx, replacement, id, data); err != nil {
+		return nodes, fmt.Errorf("replication: repair put on node %d: %w", replacement, err)
+	}
+	return append(survivors, replacement), nil
+}

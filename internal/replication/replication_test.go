@@ -1,0 +1,291 @@
+package replication
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// fakeStore is an in-memory Store with per-node failure injection.
+type fakeStore struct {
+	mu       sync.Mutex
+	data     map[NodeID]map[EntryID][]byte
+	failPut  map[NodeID]bool
+	failGet  map[NodeID]bool
+	putCalls int
+}
+
+func newFakeStore() *fakeStore {
+	return &fakeStore{
+		data:    map[NodeID]map[EntryID][]byte{},
+		failPut: map[NodeID]bool{},
+		failGet: map[NodeID]bool{},
+	}
+}
+
+func (f *fakeStore) Put(_ context.Context, node NodeID, id EntryID, data []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.putCalls++
+	if f.failPut[node] {
+		return fmt.Errorf("node %d unreachable", node)
+	}
+	if f.data[node] == nil {
+		f.data[node] = map[EntryID][]byte{}
+	}
+	f.data[node][id] = append([]byte(nil), data...)
+	return nil
+}
+
+func (f *fakeStore) Get(_ context.Context, node NodeID, id EntryID) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failGet[node] {
+		return nil, fmt.Errorf("node %d unreachable", node)
+	}
+	d, ok := f.data[node][id]
+	if !ok {
+		return nil, fmt.Errorf("node %d: entry %d absent", node, id)
+	}
+	return append([]byte(nil), d...), nil
+}
+
+func (f *fakeStore) Delete(_ context.Context, node NodeID, id EntryID) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.data[node], id)
+	return nil
+}
+
+func (f *fakeStore) has(node NodeID, id EntryID) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	_, ok := f.data[node][id]
+	return ok
+}
+
+var _ Store = (*fakeStore)(nil)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("expected error for nil store")
+	}
+	if _, err := New(newFakeStore(), WithFactor(0)); err == nil {
+		t.Fatal("expected error for factor 0")
+	}
+	r, err := New(newFakeStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Factor() != DefaultFactor {
+		t.Fatalf("Factor = %d, want %d", r.Factor(), DefaultFactor)
+	}
+}
+
+func TestWriteReplicatesToAllNodes(t *testing.T) {
+	ctx := context.Background()
+	st := newFakeStore()
+	r, _ := New(st)
+	nodes := []NodeID{1, 2, 3}
+	if err := r.Write(ctx, nodes, 42, []byte("page")); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nodes {
+		if !st.has(n, 42) {
+			t.Fatalf("node %d missing replica", n)
+		}
+	}
+}
+
+func TestWriteWrongNodeCount(t *testing.T) {
+	ctx := context.Background()
+	r, _ := New(newFakeStore())
+	if err := r.Write(ctx, []NodeID{1, 2}, 1, nil); err == nil {
+		t.Fatal("expected error for wrong node count")
+	}
+}
+
+func TestWriteAbortsAtomically(t *testing.T) {
+	ctx := context.Background()
+	st := newFakeStore()
+	st.failPut[3] = true
+	r, _ := New(st)
+	err := r.Write(ctx, []NodeID{1, 2, 3}, 7, []byte("x"))
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+	// All-or-nothing: successful copies rolled back.
+	for _, n := range []NodeID{1, 2, 3} {
+		if st.has(n, 7) {
+			t.Fatalf("node %d still holds aborted entry", n)
+		}
+	}
+}
+
+func TestReadFailsOverToReplicas(t *testing.T) {
+	ctx := context.Background()
+	st := newFakeStore()
+	r, _ := New(st)
+	nodes := []NodeID{1, 2, 3}
+	if err := r.Write(ctx, nodes, 9, []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	st.failGet[1] = true
+	st.failGet[2] = true
+	data, servedBy, err := r.Read(ctx, nodes, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if servedBy != 3 {
+		t.Fatalf("servedBy = %d, want 3", servedBy)
+	}
+	if !bytes.Equal(data, []byte("data")) {
+		t.Fatalf("data = %q", data)
+	}
+}
+
+func TestReadAllReplicasDown(t *testing.T) {
+	ctx := context.Background()
+	st := newFakeStore()
+	r, _ := New(st)
+	nodes := []NodeID{1, 2, 3}
+	_ = r.Write(ctx, nodes, 9, []byte("data"))
+	for _, n := range nodes {
+		st.failGet[n] = true
+	}
+	_, _, err := r.Read(ctx, nodes, 9)
+	if !errors.Is(err, ErrNoReplica) {
+		t.Fatalf("err = %v, want ErrNoReplica", err)
+	}
+}
+
+func TestReadEmptyReplicaSet(t *testing.T) {
+	ctx := context.Background()
+	r, _ := New(newFakeStore())
+	if _, _, err := r.Read(ctx, nil, 1); !errors.Is(err, ErrNoReplica) {
+		t.Fatalf("err = %v, want ErrNoReplica", err)
+	}
+}
+
+func TestDeleteRemovesAllCopies(t *testing.T) {
+	ctx := context.Background()
+	st := newFakeStore()
+	r, _ := New(st)
+	nodes := []NodeID{1, 2, 3}
+	_ = r.Write(ctx, nodes, 5, []byte("z"))
+	if err := r.Delete(ctx, nodes, 5); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nodes {
+		if st.has(n, 5) {
+			t.Fatalf("node %d still holds deleted entry", n)
+		}
+	}
+}
+
+func TestRepairRestoresFactor(t *testing.T) {
+	ctx := context.Background()
+	st := newFakeStore()
+	r, _ := New(st)
+	nodes := []NodeID{1, 2, 3}
+	if err := r.Write(ctx, nodes, 11, []byte("page11")); err != nil {
+		t.Fatal(err)
+	}
+	// Node 2 is evicted/crashed; node 4 replaces it.
+	newSet, err := r.Repair(ctx, nodes, 11, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(newSet) != 3 {
+		t.Fatalf("replica set = %v, want 3 nodes", newSet)
+	}
+	if !st.has(4, 11) {
+		t.Fatal("replacement node missing copy")
+	}
+	for _, n := range newSet {
+		if n == 2 {
+			t.Fatalf("lost node still in set %v", newSet)
+		}
+	}
+	// Data still readable from new set.
+	data, _, err := r.Read(ctx, newSet, 11)
+	if err != nil || !bytes.Equal(data, []byte("page11")) {
+		t.Fatalf("read after repair: %q, %v", data, err)
+	}
+}
+
+func TestRepairLostNotInSet(t *testing.T) {
+	ctx := context.Background()
+	st := newFakeStore()
+	r, _ := New(st)
+	nodes := []NodeID{1, 2, 3}
+	_ = r.Write(ctx, nodes, 1, []byte("x"))
+	if _, err := r.Repair(ctx, nodes, 1, 9, 4); err == nil {
+		t.Fatal("expected error for lost node outside set")
+	}
+}
+
+func TestRepairReplacementAlreadyHolds(t *testing.T) {
+	ctx := context.Background()
+	st := newFakeStore()
+	r, _ := New(st)
+	nodes := []NodeID{1, 2, 3}
+	_ = r.Write(ctx, nodes, 1, []byte("x"))
+	if _, err := r.Repair(ctx, nodes, 1, 2, 3); err == nil {
+		t.Fatal("expected error for replacement already in set")
+	}
+}
+
+func TestRepairWithNoSurvivingCopy(t *testing.T) {
+	ctx := context.Background()
+	st := newFakeStore()
+	r, _ := New(st)
+	nodes := []NodeID{1, 2, 3}
+	_ = r.Write(ctx, nodes, 1, []byte("x"))
+	st.failGet[1] = true
+	st.failGet[3] = true
+	if _, err := r.Repair(ctx, nodes, 1, 2, 4); !errors.Is(err, ErrNoReplica) {
+		t.Fatalf("err = %v, want ErrNoReplica", err)
+	}
+}
+
+func TestSingleFactorNoReplication(t *testing.T) {
+	ctx := context.Background()
+	st := newFakeStore()
+	r, err := New(st, WithFactor(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Write(ctx, []NodeID{5}, 1, []byte("solo")); err != nil {
+		t.Fatal(err)
+	}
+	if st.putCalls != 1 {
+		t.Fatalf("putCalls = %d, want 1", st.putCalls)
+	}
+}
+
+func TestConcurrentWrites(t *testing.T) {
+	ctx := context.Background()
+	st := newFakeStore()
+	r, _ := New(st)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := EntryID(i)
+			if err := r.Write(ctx, []NodeID{1, 2, 3}, id, []byte{byte(i)}); err != nil {
+				t.Errorf("Write(%d): %v", id, err)
+				return
+			}
+			data, _, err := r.Read(ctx, []NodeID{1, 2, 3}, id)
+			if err != nil || data[0] != byte(i) {
+				t.Errorf("Read(%d) = %v, %v", id, data, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,315 @@
+package simnet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"godm/internal/des"
+	"godm/internal/transport"
+)
+
+// runSim executes body as a single simulation process and fails on sim error.
+func runSim(t *testing.T, env *des.Env, body func(ctx context.Context, p *des.Proc)) {
+	t.Helper()
+	env.Go("test", func(p *des.Proc) {
+		body(des.NewContext(context.Background(), p), p)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func twoNodes(t *testing.T) (*des.Env, *Endpoint, *Endpoint, *Fabric) {
+	t.Helper()
+	env := des.NewEnv()
+	f := New(env, DefaultParams())
+	a, err := f.Attach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.Attach(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, a, b, f
+}
+
+func TestAttachDuplicate(t *testing.T) {
+	env := des.NewEnv()
+	f := New(env, DefaultParams())
+	if _, err := f.Attach(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Attach(1); err == nil {
+		t.Fatal("expected error for duplicate attach")
+	}
+}
+
+func TestOneSidedWriteRead(t *testing.T) {
+	env, a, b, _ := twoNodes(t)
+	if _, err := b.RegisterRegion(10, 8192); err != nil {
+		t.Fatal(err)
+	}
+	runSim(t, env, func(ctx context.Context, p *des.Proc) {
+		data := bytes.Repeat([]byte{0xCD}, 4096)
+		if err := a.WriteRegion(ctx, 2, 10, 4096, data); err != nil {
+			t.Errorf("WriteRegion: %v", err)
+			return
+		}
+		got, err := a.ReadRegion(ctx, 2, 10, 4096, 4096)
+		if err != nil {
+			t.Errorf("ReadRegion: %v", err)
+			return
+		}
+		if !bytes.Equal(got, data) {
+			t.Error("read data mismatch")
+		}
+	})
+}
+
+func TestWriteIsOneSided(t *testing.T) {
+	// A write must land without any handler installed on the target.
+	env, a, b, _ := twoNodes(t)
+	buf, err := b.RegisterRegion(1, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runSim(t, env, func(ctx context.Context, p *des.Proc) {
+		if err := a.WriteRegion(ctx, 2, 1, 0, []byte("direct")); err != nil {
+			t.Errorf("WriteRegion: %v", err)
+		}
+	})
+	if !bytes.Equal(buf[:6], []byte("direct")) {
+		t.Fatalf("region = %q, want direct placement", buf[:6])
+	}
+}
+
+func TestWriteChargesRDMALatency(t *testing.T) {
+	env, a, b, _ := twoNodes(t)
+	if _, err := b.RegisterRegion(1, 4096); err != nil {
+		t.Fatal(err)
+	}
+	var elapsed time.Duration
+	runSim(t, env, func(ctx context.Context, p *des.Proc) {
+		start := p.Now()
+		if err := a.WriteRegion(ctx, 2, 1, 0, make([]byte, 4096)); err != nil {
+			t.Errorf("WriteRegion: %v", err)
+		}
+		elapsed = p.Now() - start
+	})
+	// 4 KB at 7 GB/s (~585ns) + 1.5µs latency + 1.5µs overhead: ~3.6µs.
+	if elapsed < 2*time.Microsecond || elapsed > 10*time.Microsecond {
+		t.Fatalf("4KB RDMA write = %v, want ~3-4µs", elapsed)
+	}
+}
+
+func TestReadChargesResponseTransfer(t *testing.T) {
+	env, a, b, _ := twoNodes(t)
+	if _, err := b.RegisterRegion(1, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	var small, large time.Duration
+	runSim(t, env, func(ctx context.Context, p *des.Proc) {
+		start := p.Now()
+		if _, err := a.ReadRegion(ctx, 2, 1, 0, 64); err != nil {
+			t.Errorf("small read: %v", err)
+		}
+		small = p.Now() - start
+		start = p.Now()
+		if _, err := a.ReadRegion(ctx, 2, 1, 0, 1<<20); err != nil {
+			t.Errorf("large read: %v", err)
+		}
+		large = p.Now() - start
+	})
+	if large <= small*2 {
+		t.Fatalf("1MB read %v not much slower than 64B read %v", large, small)
+	}
+}
+
+func TestWriteUnregisteredRegion(t *testing.T) {
+	env, a, _, _ := twoNodes(t)
+	runSim(t, env, func(ctx context.Context, p *des.Proc) {
+		err := a.WriteRegion(ctx, 2, 99, 0, []byte("x"))
+		if !errors.Is(err, transport.ErrNoRegion) {
+			t.Errorf("err = %v, want ErrNoRegion", err)
+		}
+	})
+}
+
+func TestWriteOutOfBounds(t *testing.T) {
+	env, a, b, _ := twoNodes(t)
+	if _, err := b.RegisterRegion(1, 100); err != nil {
+		t.Fatal(err)
+	}
+	runSim(t, env, func(ctx context.Context, p *des.Proc) {
+		err := a.WriteRegion(ctx, 2, 1, 90, make([]byte, 20))
+		if !errors.Is(err, transport.ErrOutOfBounds) {
+			t.Errorf("err = %v, want ErrOutOfBounds", err)
+		}
+		if _, err := a.ReadRegion(ctx, 2, 1, -1, 4); !errors.Is(err, transport.ErrOutOfBounds) {
+			t.Errorf("negative offset err = %v, want ErrOutOfBounds", err)
+		}
+	})
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	env, a, b, _ := twoNodes(t)
+	b.SetHandler(func(from transport.NodeID, payload []byte) ([]byte, error) {
+		if from != 1 {
+			t.Errorf("from = %d, want 1", from)
+		}
+		return append([]byte("echo:"), payload...), nil
+	})
+	runSim(t, env, func(ctx context.Context, p *des.Proc) {
+		resp, err := a.Call(ctx, 2, []byte("ping"))
+		if err != nil {
+			t.Errorf("Call: %v", err)
+			return
+		}
+		if string(resp) != "echo:ping" {
+			t.Errorf("resp = %q", resp)
+		}
+	})
+}
+
+func TestCallNoHandler(t *testing.T) {
+	env, a, _, _ := twoNodes(t)
+	runSim(t, env, func(ctx context.Context, p *des.Proc) {
+		if _, err := a.Call(ctx, 2, []byte("x")); !errors.Is(err, transport.ErrNoHandler) {
+			t.Errorf("err = %v, want ErrNoHandler", err)
+		}
+	})
+}
+
+func TestCallHandlerError(t *testing.T) {
+	env, a, b, _ := twoNodes(t)
+	wantErr := errors.New("backend failure")
+	b.SetHandler(func(transport.NodeID, []byte) ([]byte, error) { return nil, wantErr })
+	runSim(t, env, func(ctx context.Context, p *des.Proc) {
+		if _, err := a.Call(ctx, 2, nil); !errors.Is(err, wantErr) {
+			t.Errorf("err = %v, want handler error", err)
+		}
+	})
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	env, a, b, f := twoNodes(t)
+	if _, err := b.RegisterRegion(1, 4096); err != nil {
+		t.Fatal(err)
+	}
+	f.Partition(1, 2)
+	runSim(t, env, func(ctx context.Context, p *des.Proc) {
+		if err := a.WriteRegion(ctx, 2, 1, 0, []byte("x")); !errors.Is(err, transport.ErrUnreachable) {
+			t.Errorf("partitioned write err = %v, want ErrUnreachable", err)
+		}
+		f.Heal(1, 2)
+		if err := a.WriteRegion(ctx, 2, 1, 0, []byte("x")); err != nil {
+			t.Errorf("healed write err = %v", err)
+		}
+	})
+}
+
+func TestClosedTargetUnreachable(t *testing.T) {
+	env, a, b, _ := twoNodes(t)
+	if _, err := b.RegisterRegion(1, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	runSim(t, env, func(ctx context.Context, p *des.Proc) {
+		if err := a.WriteRegion(ctx, 2, 1, 0, []byte("x")); !errors.Is(err, transport.ErrUnreachable) {
+			t.Errorf("err = %v, want ErrUnreachable", err)
+		}
+	})
+}
+
+func TestClosedSourceRejected(t *testing.T) {
+	env, a, b, _ := twoNodes(t)
+	if _, err := b.RegisterRegion(1, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	runSim(t, env, func(ctx context.Context, p *des.Proc) {
+		if err := a.WriteRegion(ctx, 2, 1, 0, []byte("x")); !errors.Is(err, transport.ErrClosed) {
+			t.Errorf("err = %v, want ErrClosed", err)
+		}
+	})
+}
+
+func TestDeregisterRegionBreaksAccess(t *testing.T) {
+	env, a, b, _ := twoNodes(t)
+	if _, err := b.RegisterRegion(1, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.DeregisterRegion(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.DeregisterRegion(1); !errors.Is(err, transport.ErrNoRegion) {
+		t.Fatalf("double deregister err = %v, want ErrNoRegion", err)
+	}
+	runSim(t, env, func(ctx context.Context, p *des.Proc) {
+		if _, err := a.ReadRegion(ctx, 2, 1, 0, 1); !errors.Is(err, transport.ErrNoRegion) {
+			t.Errorf("err = %v, want ErrNoRegion", err)
+		}
+	})
+}
+
+func TestRegisterRegionValidation(t *testing.T) {
+	_, _, b, _ := twoNodes(t)
+	if _, err := b.RegisterRegion(1, 0); err == nil {
+		t.Fatal("expected error for zero-size region")
+	}
+	if _, err := b.RegisterRegion(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.RegisterRegion(1, 10); err == nil {
+		t.Fatal("expected error for duplicate region")
+	}
+}
+
+func TestTransfersSerializeInOrder(t *testing.T) {
+	// Two writes from the same source serialize on the directed link (RC QP
+	// in-order delivery): the second lands strictly after the first.
+	env, a, b, _ := twoNodes(t)
+	buf, err := b.RegisterRegion(1, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var finishes []time.Duration
+	for i := 0; i < 2; i++ {
+		i := i
+		env.Go("writer", func(p *des.Proc) {
+			ctx := des.NewContext(context.Background(), p)
+			payload := bytes.Repeat([]byte{byte(i + 1)}, 4096)
+			if err := a.WriteRegion(ctx, 2, 1, int64(i)*4096, payload); err != nil {
+				t.Errorf("write %d: %v", i, err)
+			}
+			finishes = append(finishes, p.Now())
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(finishes) != 2 || finishes[0] >= finishes[1] {
+		t.Fatalf("finishes = %v, want strictly ordered", finishes)
+	}
+	if buf[0] != 1 || buf[4096] != 2 {
+		t.Fatalf("buf starts = %v, %v", buf[0], buf[4096])
+	}
+}
+
+func TestMissingProcPanics(t *testing.T) {
+	_, a, _, _ := twoNodes(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic without des.Proc in context")
+		}
+	}()
+	_ = a.WriteRegion(context.Background(), 2, 1, 0, nil)
+}

@@ -1,0 +1,366 @@
+// Package slab implements the registered-memory slab allocator that backs
+// every disaggregated memory pool in the system: the node-coordinated shared
+// memory pool and the cluster-wide RDMA send/receive buffer pools (§IV.B,
+// §IV.F of the paper).
+//
+// Memory is carved into fixed-size slabs. Each slab is dedicated to one size
+// class (512 B … 4 KB compressed-page classes) and subdivided into blocks.
+// Slab creation models RDMA memory-region registration; slab eviction models
+// preemptive deregistration when a node reclaims donated memory, returning
+// the still-live blocks so the caller can relocate them (to another node or
+// to disk) before the region disappears.
+package slab
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Sentinel errors.
+var (
+	// ErrNoSpace is returned when the pool cannot allocate another block and
+	// cannot register another slab within its byte budget.
+	ErrNoSpace = errors.New("slab: pool exhausted")
+	// ErrBadHandle is returned for operations on freed or foreign handles.
+	ErrBadHandle = errors.New("slab: invalid handle")
+	// ErrEmpty is returned by EvictLRU when no slab exists.
+	ErrEmpty = errors.New("slab: no slabs to evict")
+)
+
+// DefaultSlabSize is 1 MiB, matching common RDMA registration granularity.
+const DefaultSlabSize = 1 << 20
+
+// Handle identifies one allocated block.
+type Handle struct {
+	SlabID int
+	Offset int // byte offset within the slab
+	Class  int // block size in bytes
+}
+
+type slabRegion struct {
+	id       int
+	class    int
+	base     int // offset of this slab within a backing buffer, if any
+	buf      []byte
+	freeOffs []int
+	live     map[int]bool // offset -> allocated
+	lastUse  int64
+}
+
+// Pool is a concurrency-safe slab allocator with a fixed byte budget.
+type Pool struct {
+	mu         sync.Mutex
+	name       string
+	slabSize   int
+	maxBytes   int64
+	tick       int64
+	nextSlabID int
+	slabs      map[int]*slabRegion
+	// partial[class] lists slabs of that class with at least one free block.
+	partial map[int]map[int]*slabRegion
+
+	// backing, when non-nil, is the contiguous buffer slabs are carved from
+	// (see NewPoolOver); freeBases recycles slab slots after eviction.
+	backing   []byte
+	freeBases []int
+	nextBase  int
+
+	registrations   int64
+	deregistrations int64
+}
+
+// Option configures a Pool.
+type Option func(*Pool)
+
+// WithSlabSize overrides the slab size in bytes (must be positive).
+func WithSlabSize(n int) Option {
+	return func(p *Pool) { p.slabSize = n }
+}
+
+// NewPool returns a pool named name limited to maxBytes of registered memory.
+func NewPool(name string, maxBytes int64, opts ...Option) (*Pool, error) {
+	p := &Pool{
+		name:     name,
+		slabSize: DefaultSlabSize,
+		maxBytes: maxBytes,
+		slabs:    map[int]*slabRegion{},
+		partial:  map[int]map[int]*slabRegion{},
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	if p.slabSize <= 0 {
+		return nil, fmt.Errorf("slab: slab size %d must be positive", p.slabSize)
+	}
+	if maxBytes < 0 {
+		return nil, fmt.Errorf("slab: max bytes %d must be non-negative", maxBytes)
+	}
+	return p, nil
+}
+
+// Name returns the pool name.
+func (p *Pool) Name() string { return p.name }
+
+// Alloc claims one block of the given size class. class must be positive and
+// no larger than the slab size.
+func (p *Pool) Alloc(class int) (Handle, error) {
+	if class <= 0 || class > p.slabSize {
+		return Handle{}, fmt.Errorf("slab: class %d out of range (0, %d]", class, p.slabSize)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tick++
+
+	if set := p.partial[class]; len(set) > 0 {
+		s := minIDSlab(set)
+		return p.takeBlock(s), nil
+	}
+	// Need a fresh slab: register one if the budget allows.
+	if int64(len(p.slabs)+1)*int64(p.slabSize) > p.maxBytes {
+		return Handle{}, fmt.Errorf("%w: %s at %d bytes", ErrNoSpace, p.name, p.maxBytes)
+	}
+	s := p.registerSlab(class)
+	return p.takeBlock(s), nil
+}
+
+// minIDSlab picks the lowest-ID slab for deterministic allocation order.
+func minIDSlab(set map[int]*slabRegion) *slabRegion {
+	best := -1
+	for id := range set {
+		if best == -1 || id < best {
+			best = id
+		}
+	}
+	return set[best]
+}
+
+func (p *Pool) registerSlab(class int) *slabRegion {
+	id := p.nextSlabID
+	p.nextSlabID++
+	blocks := p.slabSize / class
+	s := &slabRegion{
+		id:    id,
+		class: class,
+		live:  make(map[int]bool, blocks),
+	}
+	if p.backing != nil {
+		if len(p.freeBases) > 0 {
+			s.base = p.freeBases[len(p.freeBases)-1]
+			p.freeBases = p.freeBases[:len(p.freeBases)-1]
+		} else {
+			s.base = p.nextBase
+			p.nextBase += p.slabSize
+		}
+		s.buf = p.backing[s.base : s.base+p.slabSize]
+	} else {
+		s.buf = make([]byte, p.slabSize)
+	}
+	for i := blocks - 1; i >= 0; i-- {
+		s.freeOffs = append(s.freeOffs, i*class)
+	}
+	p.slabs[id] = s
+	if p.partial[class] == nil {
+		p.partial[class] = map[int]*slabRegion{}
+	}
+	p.partial[class][id] = s
+	p.registrations++
+	return s
+}
+
+func (p *Pool) takeBlock(s *slabRegion) Handle {
+	off := s.freeOffs[len(s.freeOffs)-1]
+	s.freeOffs = s.freeOffs[:len(s.freeOffs)-1]
+	s.live[off] = true
+	s.lastUse = p.tick
+	if len(s.freeOffs) == 0 {
+		delete(p.partial[s.class], s.id)
+	}
+	return Handle{SlabID: s.id, Offset: off, Class: s.class}
+}
+
+// Free releases a block back to its slab.
+func (p *Pool) Free(h Handle) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, err := p.validate(h)
+	if err != nil {
+		return err
+	}
+	delete(s.live, h.Offset)
+	s.freeOffs = append(s.freeOffs, h.Offset)
+	if p.partial[s.class] == nil {
+		p.partial[s.class] = map[int]*slabRegion{}
+	}
+	p.partial[s.class][s.id] = s
+	return nil
+}
+
+func (p *Pool) validate(h Handle) (*slabRegion, error) {
+	s, ok := p.slabs[h.SlabID]
+	if !ok {
+		return nil, fmt.Errorf("%w: slab %d not registered", ErrBadHandle, h.SlabID)
+	}
+	if h.Class != s.class || h.Offset < 0 || h.Offset+h.Class > len(s.buf) || h.Offset%s.class != 0 {
+		return nil, fmt.Errorf("%w: handle %+v does not match slab layout", ErrBadHandle, h)
+	}
+	if !s.live[h.Offset] {
+		return nil, fmt.Errorf("%w: block at %d not allocated", ErrBadHandle, h.Offset)
+	}
+	return s, nil
+}
+
+// Write copies data into the block. len(data) must not exceed the class size.
+func (p *Pool) Write(h Handle, data []byte) error {
+	if len(data) > h.Class {
+		return fmt.Errorf("slab: write of %d bytes exceeds class %d", len(data), h.Class)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, err := p.validate(h)
+	if err != nil {
+		return err
+	}
+	p.tick++
+	s.lastUse = p.tick
+	copy(s.buf[h.Offset:h.Offset+h.Class], data)
+	return nil
+}
+
+// Read copies up to n bytes of the block into a fresh slice.
+func (p *Pool) Read(h Handle, n int) ([]byte, error) {
+	return p.ReadAt(h, 0, n)
+}
+
+// ReadAt copies n bytes starting at off within the block into a fresh slice.
+func (p *Pool) ReadAt(h Handle, off, n int) ([]byte, error) {
+	if off < 0 || n < 0 || off+n > h.Class {
+		return nil, fmt.Errorf("slab: read [%d,%d) exceeds class %d", off, off+n, h.Class)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, err := p.validate(h)
+	if err != nil {
+		return nil, err
+	}
+	p.tick++
+	s.lastUse = p.tick
+	out := make([]byte, n)
+	copy(out, s.buf[h.Offset+off:h.Offset+off+n])
+	return out, nil
+}
+
+// EvictLRU deregisters the least-recently-used slab and returns the handles
+// of blocks that were still live in it, so the caller can relocate their
+// contents. The block data is gone after this call.
+func (p *Pool) EvictLRU() ([]Handle, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var victim *slabRegion
+	for _, s := range p.slabs {
+		if victim == nil || s.lastUse < victim.lastUse ||
+			(s.lastUse == victim.lastUse && s.id < victim.id) {
+			victim = s
+		}
+	}
+	if victim == nil {
+		return nil, ErrEmpty
+	}
+	return p.dropSlab(victim), nil
+}
+
+func (p *Pool) dropSlab(s *slabRegion) []Handle {
+	offs := make([]int, 0, len(s.live))
+	for off := range s.live {
+		offs = append(offs, off)
+	}
+	sort.Ints(offs)
+	handles := make([]Handle, 0, len(offs))
+	for _, off := range offs {
+		handles = append(handles, Handle{SlabID: s.id, Offset: off, Class: s.class})
+	}
+	delete(p.slabs, s.id)
+	if set := p.partial[s.class]; set != nil {
+		delete(set, s.id)
+	}
+	if p.backing != nil {
+		p.freeBases = append(p.freeBases, s.base)
+	}
+	p.deregistrations++
+	return handles
+}
+
+// ShrinkEmpty releases fully-free slabs until the budget drops by up to
+// wantBytes, returning the bytes actually released. Live blocks are never
+// disturbed.
+func (p *Pool) ShrinkEmpty(wantBytes int64) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var released int64
+	ids := make([]int, 0, len(p.slabs))
+	for id := range p.slabs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if released >= wantBytes {
+			break
+		}
+		s := p.slabs[id]
+		if len(s.live) == 0 {
+			p.dropSlab(s)
+			released += int64(p.slabSize)
+		}
+	}
+	p.maxBytes -= released
+	if p.maxBytes < 0 {
+		p.maxBytes = 0
+	}
+	return released
+}
+
+// Grow raises the pool's byte budget by n.
+func (p *Pool) Grow(n int64) {
+	if n < 0 {
+		panic("slab: Grow with negative bytes")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.maxBytes += n
+}
+
+// Stats is a snapshot of pool occupancy.
+type Stats struct {
+	MaxBytes        int64
+	RegisteredBytes int64 // bytes currently held in registered slabs
+	LiveBytes       int64 // bytes of allocated blocks (class-rounded)
+	LiveBlocks      int
+	Slabs           int
+	Registrations   int64 // cumulative slab registrations
+	Deregistrations int64 // cumulative slab deregistrations (evictions)
+}
+
+// Stats returns a consistent snapshot.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := Stats{
+		MaxBytes:        p.maxBytes,
+		RegisteredBytes: int64(len(p.slabs)) * int64(p.slabSize),
+		Slabs:           len(p.slabs),
+		Registrations:   p.registrations,
+		Deregistrations: p.deregistrations,
+	}
+	for _, s := range p.slabs {
+		st.LiveBlocks += len(s.live)
+		st.LiveBytes += int64(len(s.live)) * int64(s.class)
+	}
+	return st
+}
+
+// FreeBytes reports budget headroom plus free blocks inside registered slabs.
+func (p *Pool) FreeBytes() int64 {
+	st := p.Stats()
+	return (st.MaxBytes - st.RegisteredBytes) + (st.RegisteredBytes - st.LiveBytes)
+}

@@ -1,0 +1,742 @@
+// Package swap implements FastSwap — the paper's hybrid disaggregated-memory
+// swapping system (§IV.H, §V.A) — together with every baseline the
+// evaluation compares against, all as configurations of one page-fault
+// engine:
+//
+//   - FastSwap: node-level shared memory + cluster-level remote memory with
+//     a configurable distribution ratio (FS-SM, FS-9:1 … FS-RDMA), page
+//     compression with size-class granularities, window-based batch swap-out
+//     through the send buffer pool, and proactive batch swap-in (PBS).
+//   - Infiniswap and NBDX: remote-only paging through an RDMA block device —
+//     per-page requests, no compression, no shared memory, block-stack
+//     overhead per request.
+//   - Linux: disk swap with kernel-style swap clustering and readahead.
+//   - Zswap: a compressed in-RAM cache (zbud size classes) in front of disk.
+//
+// The engine maintains a resident-set LRU. A Touch of a non-resident page is
+// a fault: the page is fetched from wherever its batch is parked (shared
+// pool, remote memory, or disk), and a victim overflows into the staging
+// window, which flushes as one batch entry when full. All latencies are
+// charged to the calling simulation process.
+package swap
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"godm/internal/compress"
+	"godm/internal/core"
+	"godm/internal/des"
+	"godm/internal/memdev"
+	"godm/internal/pagetable"
+)
+
+// PageSize is the swap unit.
+const PageSize = compress.PageSize
+
+// ErrNoBacking is returned when a fault cannot be served from any tier.
+var ErrNoBacking = errors.New("swap: page lost on every tier")
+
+// Config selects a swapping system.
+type Config struct {
+	// Name labels the system in experiment output.
+	Name string
+	// ResidentPages is how many pages fit in the virtual server's memory
+	// (the 50%/75% "configurations" of §V scale this against the working
+	// set).
+	ResidentPages int
+	// Window is the swap-out batch size d (§IV.H window-based batching);
+	// 1 disables batching.
+	Window int
+	// NodeRatio is the tenths of swap-out traffic directed to the
+	// node-level shared memory pool: 10 = FS-SM, 9 = FS-9:1, 0 = FS-RDMA.
+	// -1 disables the shared tier entirely (Linux, Infiniswap, NBDX).
+	NodeRatio int
+	// RemoteEnabled allows the cluster-level remote memory tier.
+	RemoteEnabled bool
+	// Readahead is how many pages of a parked batch a single fault brings
+	// in (PBS when > 1). Kernel-style disk readahead is the same mechanism.
+	Readahead int
+	// Compression enables page compression with the given granularity.
+	Compression bool
+	Granularity compress.Granularity
+	// PageRatio gives each page's compressibility (required when
+	// Compression is on).
+	PageRatio func(page int) float64
+	// CompressCPU and DecompressCPU are charged per page (de)compressed.
+	CompressCPU   time.Duration
+	DecompressCPU time.Duration
+	// RemoteOverhead is the block-I/O stack cost per remote request, the
+	// penalty Infiniswap and NBDX pay for riding a block device (nbd queue,
+	// bio handling) instead of FastSwap's direct path.
+	RemoteOverhead time.Duration
+	// MaxMessageBytes caps a single fabric message (§IV.H's message size m;
+	// DAHI's RPC layer defaults to 8 KB messages with a 1 MB maximum). A
+	// batch larger than m is split into multiple messages, each paying
+	// MessageOverhead. Zero means unlimited.
+	MaxMessageBytes int
+	// MessageOverhead is the per-extra-message cost when a batch splits.
+	MessageOverhead time.Duration
+	// SSDEnabled inserts a local flash tier between remote memory and the
+	// spinning swap device — the XMemPod hierarchy of the paper's [36]
+	// (shared memory, then remote memory, then SSD, then disk).
+	SSDEnabled bool
+}
+
+func (c Config) validate() error {
+	if c.ResidentPages <= 0 {
+		return fmt.Errorf("swap: resident pages %d must be positive", c.ResidentPages)
+	}
+	if c.Window < 1 {
+		return fmt.Errorf("swap: window %d must be >= 1", c.Window)
+	}
+	if c.Readahead < 1 {
+		return fmt.Errorf("swap: readahead %d must be >= 1", c.Readahead)
+	}
+	if c.NodeRatio < -1 || c.NodeRatio > 10 {
+		return fmt.Errorf("swap: node ratio %d outside [-1,10]", c.NodeRatio)
+	}
+	if c.Compression && c.PageRatio == nil {
+		return errors.New("swap: compression enabled without PageRatio")
+	}
+	if c.MaxMessageBytes < 0 {
+		return fmt.Errorf("swap: max message bytes %d must be non-negative", c.MaxMessageBytes)
+	}
+	return nil
+}
+
+// Stats counts engine activity.
+type Stats struct {
+	Accesses   int64
+	Hits       int64
+	Faults     int64
+	ColdFills  int64 // first-touch zero fills
+	SwapOuts   int64 // pages written out
+	SwapIns    int64 // pages read in on demand
+	Prefetched int64 // pages brought in by PBS/readahead
+	SharedOuts int64
+	RemoteOuts int64
+	DiskOuts   int64
+	SharedIns  int64
+	RemoteIns  int64
+	SSDOuts    int64
+	SSDIns     int64
+	DiskIns    int64
+	CleanDrops int64 // clean pages dropped without rewrite (swap-cache hit)
+	BytesOut   int64 // stored (possibly compressed) bytes written
+	BytesIn    int64
+	RawOut     int64 // uncompressed bytes represented by BytesOut
+}
+
+// Deps are the devices and disaggregated-memory attachment of one engine.
+type Deps struct {
+	// VS is the virtual server's LDMC; nil when the system uses neither
+	// shared nor remote memory (Linux baseline).
+	VS *core.VirtualServer
+	// DRAM, Shared, and Disk model the local tiers. DRAM and Disk are
+	// required; Shared only when the shared tier is enabled, SSD only when
+	// SSDEnabled.
+	DRAM   *memdev.DRAM
+	Shared *memdev.SharedMem
+	SSD    *memdev.SSD
+	Disk   *memdev.Disk
+}
+
+type tier int
+
+const (
+	tierShared tier = iota + 1
+	tierRemote
+	tierSSD
+	tierDisk
+)
+
+type slotRef struct {
+	batch uint64
+	slot  int
+}
+
+type batchInfo struct {
+	id        uint64
+	where     tier
+	diskOff   int64
+	slotPage  []int
+	slotOff   []int // offset of each slot within the stored payload
+	slotSize  []int // stored (class) size of each slot
+	live      []bool
+	liveCount int
+	total     int // stored payload bytes
+}
+
+// Manager is one virtual server's swapping system.
+type Manager struct {
+	cfg   Config
+	deps  Deps
+	model *compress.Model
+
+	lru      *list.List            // front = most recent
+	resident map[int]*list.Element // page -> lru element
+	pending  map[int]int           // staged pages -> index in window
+	window   []int                 // staged victim pages, in eviction order
+	dirty    map[int]bool          // resident pages modified since swap-in
+	swapped  map[int]slotRef       // parked copies (kept for clean residents)
+	batches  map[uint64]*batchInfo
+	nextID   uint64
+	diskNext int64
+	counter  int64
+
+	stats Stats
+}
+
+// NewManager builds an engine. deps.VS may be nil only if both the shared
+// and remote tiers are disabled.
+func NewManager(cfg Config, deps Deps) (*Manager, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if deps.DRAM == nil || deps.Disk == nil {
+		return nil, errors.New("swap: DRAM and Disk devices are required")
+	}
+	usesShared := cfg.NodeRatio > 0
+	if (usesShared || cfg.RemoteEnabled) && deps.VS == nil {
+		return nil, errors.New("swap: shared/remote tiers need a virtual server")
+	}
+	if usesShared && deps.Shared == nil {
+		return nil, errors.New("swap: shared tier needs a SharedMem device")
+	}
+	if cfg.SSDEnabled && deps.SSD == nil {
+		return nil, errors.New("swap: SSD tier needs an SSD device")
+	}
+	m := &Manager{
+		cfg:      cfg,
+		deps:     deps,
+		lru:      list.New(),
+		resident: map[int]*list.Element{},
+		pending:  map[int]int{},
+		dirty:    map[int]bool{},
+		swapped:  map[int]slotRef{},
+		batches:  map[uint64]*batchInfo{},
+	}
+	if cfg.Compression {
+		model, err := compress.NewModel(cfg.Granularity)
+		if err != nil {
+			return nil, err
+		}
+		m.model = model
+	}
+	return m, nil
+}
+
+// Name returns the configured system name.
+func (m *Manager) Name() string { return m.cfg.Name }
+
+// Stats returns a copy of the engine counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// ResidentLen reports the current resident-set size (tests).
+func (m *Manager) ResidentLen() int { return m.lru.Len() + len(m.pending) }
+
+// Touch accesses page (write marks it dirty), charging compute plus whatever
+// the memory hierarchy costs. Clean resident pages keep their parked copy —
+// the swap cache — so evicting them later costs nothing. ctx must carry the
+// calling des.Proc.
+func (m *Manager) Touch(ctx context.Context, page int, compute time.Duration, write bool) error {
+	p, ok := des.FromContext(ctx)
+	if !ok {
+		panic("swap: context does not carry a des.Proc")
+	}
+	m.stats.Accesses++
+	if el, ok := m.resident[page]; ok {
+		m.lru.MoveToFront(el)
+		m.stats.Hits++
+		if write {
+			m.dirty[page] = true
+		}
+		p.Sleep(compute + m.deps.DRAM.AccessTime(PageSize))
+		return nil
+	}
+	if idx, ok := m.pending[page]; ok {
+		// Staged in the send-buffer window: pull it back, no I/O.
+		m.unstage(page, idx)
+		m.resident[page] = m.lru.PushFront(page)
+		m.dirty[page] = true // staged pages were dirty
+		m.trim(ctx, p)
+		m.stats.Hits++
+		p.Sleep(compute + m.deps.DRAM.AccessTime(PageSize))
+		return nil
+	}
+	m.stats.Faults++
+	if ref, ok := m.swapped[page]; ok {
+		if err := m.swapIn(ctx, p, page, ref); err != nil {
+			return err
+		}
+	} else {
+		m.stats.ColdFills++ // first touch: zero-fill
+		m.dirty[page] = true
+	}
+	if write {
+		m.dirty[page] = true
+	}
+	m.insertResident(ctx, p, page)
+	p.Sleep(compute + m.deps.DRAM.AccessTime(PageSize))
+	return nil
+}
+
+// unstage removes a page from the window.
+func (m *Manager) unstage(page, idx int) {
+	m.window = append(m.window[:idx], m.window[idx+1:]...)
+	delete(m.pending, page)
+	for pg, i := range m.pending {
+		if i > idx {
+			m.pending[pg] = i - 1
+		}
+	}
+}
+
+// insertResident adds page to the LRU (or refreshes it, when a concurrent
+// proactive pump already restored it) and trims the resident set.
+func (m *Manager) insertResident(ctx context.Context, p *des.Proc, page int) {
+	if el, ok := m.resident[page]; ok {
+		m.lru.MoveToFront(el)
+		return
+	}
+	m.resident[page] = m.lru.PushFront(page)
+	m.trim(ctx, p)
+}
+
+// trim evicts LRU victims until the resident set fits. Dirty victims stage
+// into the send-buffer window for batch write-out; clean victims still have
+// a valid parked copy and are dropped for free (the swap-cache effect).
+// Staged pages occupy the send buffer, not the resident set, so they do not
+// count against capacity here.
+func (m *Manager) trim(ctx context.Context, p *des.Proc) {
+	for m.lru.Len() > m.cfg.ResidentPages {
+		back := m.lru.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(int)
+		m.lru.Remove(back)
+		delete(m.resident, victim)
+		if !m.dirty[victim] {
+			if _, ok := m.swapped[victim]; ok {
+				m.stats.CleanDrops++
+				continue
+			}
+		}
+		delete(m.dirty, victim)
+		m.pending[victim] = len(m.window)
+		m.window = append(m.window, victim)
+		m.stats.SwapOuts++
+	}
+	if len(m.window) >= m.cfg.Window {
+		m.flushWindow(ctx, p)
+	}
+}
+
+// EvictAll pushes every resident page out to the backing tiers — the cold
+// restart scenario of Figure 9 (a server whose working set was entirely
+// paged out recovering to peak throughput).
+func (m *Manager) EvictAll(ctx context.Context) {
+	p, ok := des.FromContext(ctx)
+	if !ok {
+		panic("swap: context does not carry a des.Proc")
+	}
+	for m.lru.Len() > 0 {
+		back := m.lru.Back()
+		victim := back.Value.(int)
+		m.lru.Remove(back)
+		delete(m.resident, victim)
+		if !m.dirty[victim] {
+			if _, ok := m.swapped[victim]; ok {
+				m.stats.CleanDrops++
+				continue
+			}
+		}
+		delete(m.dirty, victim)
+		m.pending[victim] = len(m.window)
+		m.window = append(m.window, victim)
+		m.stats.SwapOuts++
+		if len(m.window) >= m.cfg.Window {
+			m.flushWindow(ctx, p)
+		}
+	}
+	m.flushWindow(ctx, p)
+}
+
+// Flush forces the staging window out (end of run, or single-page systems).
+func (m *Manager) Flush(ctx context.Context) {
+	p, ok := des.FromContext(ctx)
+	if !ok {
+		panic("swap: context does not carry a des.Proc")
+	}
+	m.flushWindow(ctx, p)
+}
+
+// storedSize returns the stored class for page plus the compression CPU
+// charged at swap-out.
+func (m *Manager) storedSize(page int) int {
+	if m.model == nil {
+		return PageSize
+	}
+	return m.model.StoredSize(m.cfg.PageRatio(page))
+}
+
+// flushWindow writes the staged pages as one batch entry to the chosen tier.
+func (m *Manager) flushWindow(ctx context.Context, p *des.Proc) {
+	if len(m.window) == 0 {
+		return
+	}
+	pages := m.window
+	m.window = nil
+	for pg := range m.pending {
+		delete(m.pending, pg)
+	}
+
+	b := &batchInfo{id: m.nextID}
+	m.nextID++
+	off := 0
+	for _, pg := range pages {
+		size := m.storedSize(pg)
+		b.slotPage = append(b.slotPage, pg)
+		b.slotOff = append(b.slotOff, off)
+		b.slotSize = append(b.slotSize, size)
+		b.live = append(b.live, true)
+		off += size
+	}
+	b.liveCount = len(pages)
+	b.total = off
+	if m.cfg.Compression {
+		p.Sleep(time.Duration(len(pages)) * m.cfg.CompressCPU)
+	}
+
+	m.writeBatch(ctx, p, b)
+
+	// Drop any stale older copies of these pages and point them at the new
+	// batch.
+	for i, pg := range pages {
+		if old, ok := m.swapped[pg]; ok {
+			m.releaseSlot(ctx, old)
+		}
+		m.swapped[pg] = slotRef{batch: b.id, slot: i}
+	}
+	m.batches[b.id] = b
+	m.stats.BytesOut += int64(b.total)
+	m.stats.RawOut += int64(len(pages) * PageSize)
+}
+
+// writeBatch places the batch on the first tier in the configured order
+// with room, falling back tier by tier and resorting to disk.
+func (m *Manager) writeBatch(ctx context.Context, p *des.Proc, b *batchInfo) {
+	payload := make([]byte, b.total)
+	class := roundClass(b.total)
+	for _, t := range m.tierOrder() {
+		switch t {
+		case tierShared:
+			if err := m.deps.VS.PutShared(pagetable.EntryID(b.id), payload, class, len(b.slotPage)*PageSize); err != nil {
+				continue
+			}
+			m.deps.Shared.Move(p, int64(b.total))
+			b.where = tierShared
+			m.stats.SharedOuts += int64(len(b.slotPage))
+			return
+		case tierRemote:
+			p.Sleep(m.cfg.RemoteOverhead + m.splitCost(b.total))
+			if err := m.deps.VS.PutRemote(ctx, pagetable.EntryID(b.id), payload, class, len(b.slotPage)*PageSize); err != nil {
+				continue
+			}
+			b.where = tierRemote
+			m.stats.RemoteOuts += int64(len(b.slotPage))
+			return
+		}
+	}
+	if m.cfg.SSDEnabled {
+		// XMemPod's flash tier: cheaper than the spinning device, capacity
+		// assumed ample (flash swap partitions dwarf DRAM).
+		b.where = tierSSD
+		m.deps.SSD.Transfer(p, int64(b.total))
+		m.stats.SSDOuts += int64(len(b.slotPage))
+		return
+	}
+	// Disk is the unconditional last resort (the OS swap device).
+	b.where = tierDisk
+	b.diskOff = m.diskNext
+	m.diskNext += int64(b.total)
+	m.deps.Disk.Transfer(p, b.diskOff, int64(b.total))
+	m.stats.DiskOuts += int64(len(b.slotPage))
+}
+
+// tierOrder applies the node:cluster distribution ratio of §V.A: NodeRatio
+// tenths of the swap-out traffic try the shared pool first, the rest goes to
+// remote memory.
+func (m *Manager) tierOrder() []tier {
+	sharedOK := m.cfg.NodeRatio > 0
+	remoteOK := m.cfg.RemoteEnabled
+	if !sharedOK && !remoteOK {
+		return nil
+	}
+	if !remoteOK {
+		return []tier{tierShared}
+	}
+	if !sharedOK {
+		return []tier{tierRemote}
+	}
+	m.counter++
+	if int((m.counter-1)%10) < m.cfg.NodeRatio {
+		return []tier{tierShared, tierRemote}
+	}
+	return []tier{tierRemote, tierShared}
+}
+
+// swapIn faults page in from its parked batch, prefetching up to Readahead
+// live pages of the same batch in the same request.
+func (m *Manager) swapIn(ctx context.Context, p *des.Proc, page int, ref slotRef) error {
+	b, ok := m.batches[ref.batch]
+	if !ok || !b.live[ref.slot] {
+		return fmt.Errorf("%w: page %d", ErrNoBacking, page)
+	}
+	// Pick the slots this request brings in: the faulted one plus, under
+	// PBS/readahead, the following live slots of the batch.
+	slots := []int{ref.slot}
+	if m.cfg.Readahead > 1 {
+		// Classic readahead: only slots after the faulted one (batches are
+		// laid out in eviction order, so later slots are the pages a scan
+		// will touch next); pages already in memory are skipped.
+		for s := ref.slot + 1; s < len(b.live) && len(slots) < m.cfg.Readahead; s++ {
+			if !b.live[s] {
+				continue
+			}
+			// Skip pages already in memory: their live slots are just the
+			// swap cache backing a clean resident copy.
+			pg := b.slotPage[s]
+			if _, resident := m.resident[pg]; resident {
+				continue
+			}
+			if _, staged := m.pending[pg]; staged {
+				continue
+			}
+			slots = append(slots, s)
+		}
+	}
+	var bytes int
+	for _, s := range slots {
+		bytes += b.slotSize[s]
+	}
+
+	switch b.where {
+	case tierShared:
+		if len(slots) == 1 {
+			if _, err := m.deps.VS.GetAt(ctx, pagetable.EntryID(b.id), b.slotOff[ref.slot], b.slotSize[ref.slot]); err != nil {
+				return fmt.Errorf("swap: shared read: %w", err)
+			}
+		} else {
+			if _, _, err := m.deps.VS.Get(ctx, pagetable.EntryID(b.id)); err != nil {
+				return fmt.Errorf("swap: shared batch read: %w", err)
+			}
+		}
+		m.deps.Shared.Move(p, int64(bytes))
+		m.stats.SharedIns += int64(len(slots))
+	case tierRemote:
+		p.Sleep(m.cfg.RemoteOverhead + m.splitCost(bytes))
+		if len(slots) == 1 {
+			if _, err := m.deps.VS.GetAt(ctx, pagetable.EntryID(b.id), b.slotOff[ref.slot], b.slotSize[ref.slot]); err != nil {
+				return fmt.Errorf("swap: remote read: %w", err)
+			}
+		} else {
+			if _, _, err := m.deps.VS.Get(ctx, pagetable.EntryID(b.id)); err != nil {
+				return fmt.Errorf("swap: remote batch read: %w", err)
+			}
+		}
+		m.stats.RemoteIns += int64(len(slots))
+	case tierSSD:
+		m.deps.SSD.Transfer(p, int64(bytes))
+		m.stats.SSDIns += int64(len(slots))
+	case tierDisk:
+		// One seek for the faulted slot; prefetched slots stream
+		// sequentially behind it.
+		m.deps.Disk.Transfer(p, b.diskOff+int64(b.slotOff[ref.slot]), int64(bytes))
+		m.stats.DiskIns += int64(len(slots))
+	default:
+		return fmt.Errorf("%w: page %d in unknown tier", ErrNoBacking, page)
+	}
+	if m.cfg.Compression {
+		p.Sleep(time.Duration(len(slots)) * m.cfg.DecompressCPU)
+	}
+	m.stats.BytesIn += int64(bytes)
+	m.stats.SwapIns++
+	m.stats.Prefetched += int64(len(slots) - 1)
+
+	// Admit the pages to the resident set as clean copies: their slots stay
+	// live in the batch (swap cache), so a later clean eviction is free.
+	for _, s := range slots {
+		pg := b.slotPage[s]
+		delete(m.dirty, pg)
+		if s != ref.slot {
+			if _, already := m.resident[pg]; already {
+				continue // restored concurrently by the proactive pump
+			}
+			m.resident[pg] = m.lru.PushFront(pg)
+			// Prefetch must not recursively evict: trim happens in
+			// insertResident for the faulted page.
+		}
+	}
+	return nil
+}
+
+// ProactiveSwapIn restores up to maxPages parked pages without waiting for
+// faults — FastSwap's PBS (§IV.H, Figure 9): after memory pressure subsides,
+// a background pump streams recently swapped-out batches back in so the
+// application recovers to peak throughput instead of paying one fault per
+// page. It reads the most recently parked batches first (they approximate
+// the hottest data) and stops when the resident set is full. It returns the
+// number of pages restored; zero means there is nothing (or no room) left.
+//
+// Run it from its own simulation process so its transfer time overlaps the
+// foreground workload, as the real background thread's would.
+func (m *Manager) ProactiveSwapIn(ctx context.Context, maxPages int) int {
+	p, ok := des.FromContext(ctx)
+	if !ok {
+		panic("swap: context does not carry a des.Proc")
+	}
+	restored := 0
+	for restored < maxPages {
+		room := m.cfg.ResidentPages - m.lru.Len()
+		if room <= 0 {
+			break
+		}
+		b := m.newestLiveBatch()
+		if b == nil {
+			break
+		}
+		// Snapshot the slots to restore before sleeping: the foreground can
+		// fault pages of this batch while the transfer is in flight.
+		want := make([]int, 0, b.liveCount)
+		var bytes int
+		for s := range b.live {
+			if !b.live[s] {
+				continue
+			}
+			if _, already := m.resident[b.slotPage[s]]; already {
+				continue
+			}
+			if len(want) >= room || restored+len(want) >= maxPages {
+				break
+			}
+			want = append(want, s)
+			bytes += b.slotSize[s]
+		}
+		if len(want) == 0 {
+			break
+		}
+		switch b.where {
+		case tierShared:
+			m.deps.Shared.Move(p, int64(bytes))
+			m.stats.SharedIns += int64(len(want))
+		case tierRemote:
+			p.Sleep(m.cfg.RemoteOverhead + m.splitCost(bytes))
+			if _, _, err := m.deps.VS.Get(ctx, pagetable.EntryID(b.id)); err != nil {
+				return restored
+			}
+			m.stats.RemoteIns += int64(len(want))
+		case tierSSD:
+			m.deps.SSD.Transfer(p, int64(bytes))
+			m.stats.SSDIns += int64(len(want))
+		case tierDisk:
+			m.deps.Disk.Transfer(p, b.diskOff, int64(b.total))
+			m.stats.DiskIns += int64(len(want))
+		}
+		if m.cfg.Compression {
+			p.Sleep(time.Duration(len(want)) * m.cfg.DecompressCPU)
+		}
+		for _, s := range want {
+			pg := b.slotPage[s]
+			if _, already := m.resident[pg]; already {
+				continue // faulted in while we slept
+			}
+			if m.lru.Len() >= m.cfg.ResidentPages {
+				break
+			}
+			m.resident[pg] = m.lru.PushFront(pg)
+			delete(m.dirty, pg)
+			restored++
+			m.stats.Prefetched++
+		}
+		m.stats.BytesIn += int64(bytes)
+	}
+	return restored
+}
+
+// newestLiveBatch returns the most recently created batch that still has a
+// live slot whose page is not resident.
+func (m *Manager) newestLiveBatch() *batchInfo {
+	var best *batchInfo
+	for _, b := range m.batches {
+		if b.liveCount == 0 {
+			continue
+		}
+		hasWork := false
+		for s := range b.live {
+			if b.live[s] {
+				if _, already := m.resident[b.slotPage[s]]; !already {
+					hasWork = true
+					break
+				}
+			}
+		}
+		if !hasWork {
+			continue
+		}
+		if best == nil || b.id > best.id {
+			best = b
+		}
+	}
+	return best
+}
+
+// releaseSlot retires one slot of a batch (page rewritten elsewhere).
+func (m *Manager) releaseSlot(ctx context.Context, ref slotRef) {
+	b, ok := m.batches[ref.batch]
+	if !ok || !b.live[ref.slot] {
+		return
+	}
+	b.live[ref.slot] = false
+	b.liveCount--
+	if b.liveCount == 0 {
+		m.releaseBatch(ctx, b)
+	}
+}
+
+func (m *Manager) releaseBatch(ctx context.Context, b *batchInfo) {
+	delete(m.batches, b.id)
+	switch b.where {
+	case tierShared, tierRemote:
+		_ = m.deps.VS.Delete(ctx, pagetable.EntryID(b.id))
+	case tierDisk:
+		// Swap-device slots are reused implicitly by the bump allocator's
+		// successor batches; nothing to free.
+	}
+}
+
+// splitCost is the extra time a transfer of n bytes pays when the fabric
+// message size caps at MaxMessageBytes: one MessageOverhead per message
+// beyond the first.
+func (m *Manager) splitCost(n int) time.Duration {
+	if m.cfg.MaxMessageBytes <= 0 || n <= m.cfg.MaxMessageBytes {
+		return 0
+	}
+	extra := (n + m.cfg.MaxMessageBytes - 1) / m.cfg.MaxMessageBytes
+	return time.Duration(extra-1) * m.cfg.MessageOverhead
+}
+
+// roundClass rounds a batch payload up to the next power of two of at least
+// one page, bounding allocator fragmentation from odd compressed sizes.
+func roundClass(n int) int {
+	c := PageSize
+	for c < n {
+		c *= 2
+	}
+	return c
+}

@@ -1,0 +1,219 @@
+package swap
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"godm/internal/des"
+)
+
+// TestEngineMatchesModelProperty drives random access traces through every
+// system preset and checks the engine against a trivially correct model:
+//   - every access returns without error,
+//   - page accounting is conserved (resident + staged + swapped covers every
+//     page ever touched, with no page in two places),
+//   - hits + faults == accesses.
+func TestEngineMatchesModelProperty(t *testing.T) {
+	type systemCase struct {
+		name string
+		cfg  func(resident int) Config
+	}
+	flat := func(int) float64 { return 2.5 }
+	systems := []systemCase{
+		{"fastswap", func(r int) Config { return FastSwap(r, 9, true, flat) }},
+		{"fastswap-rdma", func(r int) Config { return FastSwap(r, 0, false, flat) }},
+		{"linux", Linux},
+		{"zswap", func(r int) Config { return Zswap(r, flat) }},
+		{"infiniswap", Infiniswap},
+	}
+	for _, sys := range systems {
+		sys := sys
+		t.Run(sys.name, func(t *testing.T) {
+			f := func(seed int64, opsRaw []uint16) bool {
+				if len(opsRaw) == 0 {
+					return true
+				}
+				r := newRig(t, 16<<20, 16<<20)
+				deps := r.deps
+				cfg := sys.cfg(8)
+				if cfg.NodeRatio < 0 && !cfg.RemoteEnabled {
+					deps = Deps{DRAM: r.deps.DRAM, Disk: r.deps.Disk}
+				}
+				m, err := NewManager(cfg, deps)
+				if err != nil {
+					t.Logf("NewManager: %v", err)
+					return false
+				}
+				rng := rand.New(rand.NewSource(seed))
+				ok := true
+				touched := map[int]bool{}
+				r.env.Go("driver", func(p *des.Proc) {
+					ctx := des.NewContext(context.Background(), p)
+					for _, op := range opsRaw {
+						page := int(op) % 64
+						write := rng.Intn(2) == 0
+						if err := m.Touch(ctx, page, time.Microsecond, write); err != nil {
+							t.Logf("Touch(%d): %v", page, err)
+							ok = false
+							return
+						}
+						touched[page] = true
+					}
+				})
+				if err := r.env.Run(); err != nil {
+					t.Logf("Run: %v", err)
+					return false
+				}
+				if !ok {
+					return false
+				}
+				st := m.Stats()
+				if st.Hits+st.Faults != st.Accesses {
+					t.Logf("hits %d + faults %d != accesses %d", st.Hits, st.Faults, st.Accesses)
+					return false
+				}
+				if st.Accesses != int64(len(opsRaw)) {
+					return false
+				}
+				// Every touched page is findable somewhere (resident,
+				// staged, or swapped); none is double-resident.
+				for pg := range touched {
+					inResident := false
+					if _, ok := m.resident[pg]; ok {
+						inResident = true
+					}
+					_, inPending := m.pending[pg]
+					_, inSwapped := m.swapped[pg]
+					if !inResident && !inPending && !inSwapped {
+						t.Logf("page %d lost", pg)
+						return false
+					}
+					if inResident && inPending {
+						t.Logf("page %d in two places", pg)
+						return false
+					}
+				}
+				// LRU list and resident map agree.
+				if m.lru.Len() != len(m.resident) {
+					t.Logf("lru %d != resident %d", m.lru.Len(), len(m.resident))
+					return false
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestProactiveSwapInRestoresNewestFirst(t *testing.T) {
+	r := newRig(t, 32<<20, 32<<20)
+	m, err := NewManager(FastSwap(64, 10, false, flatRatio(2)), r.deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.env.Go("driver", func(p *des.Proc) {
+		ctx := des.NewContext(context.Background(), p)
+		// Touch 64 pages (fills resident), then evict everything.
+		for pg := 0; pg < 64; pg++ {
+			if err := m.Touch(ctx, pg, 0, true); err != nil {
+				t.Errorf("Touch: %v", err)
+				return
+			}
+		}
+		m.EvictAll(ctx)
+		if m.lru.Len() != 0 {
+			t.Errorf("resident = %d after EvictAll", m.lru.Len())
+			return
+		}
+		restored := m.ProactiveSwapIn(ctx, 16)
+		if restored != 16 {
+			t.Errorf("restored = %d, want 16", restored)
+			return
+		}
+		// The newest batch holds the most recently evicted (MRU) pages:
+		// 48..63. All 16 restored pages must come from that range.
+		for pg := 48; pg < 64; pg++ {
+			if _, ok := m.resident[pg]; !ok {
+				t.Errorf("hot page %d not restored", pg)
+			}
+		}
+		// Restored pages are clean: touching them is a hit, and evicting
+		// them again costs nothing.
+		before := m.Stats().Faults
+		if err := m.Touch(ctx, 50, 0, false); err != nil {
+			t.Errorf("Touch restored: %v", err)
+			return
+		}
+		if m.Stats().Faults != before {
+			t.Error("restored page faulted")
+		}
+	})
+	if err := r.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProactiveSwapInStopsWhenResidentFull(t *testing.T) {
+	r := newRig(t, 32<<20, 32<<20)
+	m, err := NewManager(FastSwap(8, 10, false, flatRatio(2)), r.deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.env.Go("driver", func(p *des.Proc) {
+		ctx := des.NewContext(context.Background(), p)
+		for pg := 0; pg < 32; pg++ {
+			if err := m.Touch(ctx, pg, 0, true); err != nil {
+				t.Errorf("Touch: %v", err)
+				return
+			}
+		}
+		// Resident set is full (8 pages): the pump must refuse to evict for
+		// the sake of prefetch.
+		if n := m.ProactiveSwapIn(ctx, 100); n != 0 {
+			t.Errorf("pump restored %d into a full resident set", n)
+		}
+	})
+	if err := r.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageSplitCost(t *testing.T) {
+	cfg := FastSwap(8, 0, false, flatRatio(2))
+	cfg.MaxMessageBytes = 8 << 10
+	cfg.MessageOverhead = 3 * time.Microsecond
+	r := newRig(t, 16<<20, 16<<20)
+	m, err := NewManager(cfg, r.deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		bytes int
+		want  time.Duration
+	}{
+		{0, 0},
+		{8 << 10, 0},                     // one message
+		{16 << 10, 3 * time.Microsecond}, // two messages: one extra
+		{64 << 10, 21 * time.Microsecond},
+	}
+	for _, tt := range tests {
+		if got := m.splitCost(tt.bytes); got != tt.want {
+			t.Errorf("splitCost(%d) = %v, want %v", tt.bytes, got, tt.want)
+		}
+	}
+	// Unlimited messages never split.
+	cfg.MaxMessageBytes = 0
+	r2 := newRig(t, 16<<20, 16<<20)
+	m2, err := NewManager(cfg, r2.deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m2.splitCost(1 << 30); got != 0 {
+		t.Errorf("unlimited splitCost = %v, want 0", got)
+	}
+}

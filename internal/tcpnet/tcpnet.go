@@ -1,0 +1,431 @@
+// Package tcpnet implements transport.Endpoint over real TCP sockets, so a
+// disaggregated memory cluster can run as ordinary processes on commodity
+// networks. It preserves the verbs semantics of the simulated fabric —
+// one-sided region writes/reads execute against pre-registered buffers
+// without invoking the application handler, and requests on one connection
+// are delivered in order — while trading RDMA's kernel bypass for
+// portability (the paper's §IV.G notes TCP and RDMA share the connected,
+// reliable, in-order model).
+//
+// Wire format (all integers big-endian):
+//
+//	request:  op(1) from(8) region(4) offset(8) n(4) payloadLen(4) payload
+//	response: status(1) payloadLen(4) payload
+package tcpnet
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"godm/internal/transport"
+)
+
+const (
+	opWrite = 1
+	opRead  = 2
+	opCall  = 3
+)
+
+const (
+	statusOK          = 0
+	statusNoRegion    = 1
+	statusOutOfBounds = 2
+	statusNoHandler   = 3
+	statusAppError    = 4
+)
+
+// maxPayload bounds a single frame (64 MiB) to keep a malformed peer from
+// forcing huge allocations.
+const maxPayload = 64 << 20
+
+// Endpoint is one node's TCP attachment.
+type Endpoint struct {
+	id       transport.NodeID
+	listener net.Listener
+
+	mu      sync.Mutex
+	regions map[transport.RegionID][]byte
+	handler transport.Handler
+	peers   map[transport.NodeID]string
+	conns   map[transport.NodeID]*clientConn
+	inbound map[net.Conn]struct{}
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+var _ transport.Endpoint = (*Endpoint)(nil)
+
+type clientConn struct {
+	mu sync.Mutex // serializes request/response pairs
+	c  net.Conn
+	r  *bufio.Reader
+	w  *bufio.Writer
+}
+
+// Listen creates an endpoint for node id serving on addr (e.g. ":7400").
+// Use Addr to discover the bound address when addr has port 0.
+func Listen(id transport.NodeID, addr string) (*Endpoint, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: listen %s: %w", addr, err)
+	}
+	e := &Endpoint{
+		id:       id,
+		listener: l,
+		regions:  map[transport.RegionID][]byte{},
+		peers:    map[transport.NodeID]string{},
+		conns:    map[transport.NodeID]*clientConn{},
+		inbound:  map[net.Conn]struct{}{},
+	}
+	e.wg.Add(1)
+	go e.acceptLoop()
+	return e, nil
+}
+
+// Addr returns the listener's address.
+func (e *Endpoint) Addr() string { return e.listener.Addr().String() }
+
+// ID implements transport.Endpoint.
+func (e *Endpoint) ID() transport.NodeID { return e.id }
+
+// AddPeer records the address of node id for outbound operations.
+func (e *Endpoint) AddPeer(id transport.NodeID, addr string) {
+	e.mu.Lock()
+	e.peers[id] = addr
+	e.mu.Unlock()
+}
+
+// RegisterRegion implements transport.Endpoint.
+func (e *Endpoint) RegisterRegion(id transport.RegionID, size int) ([]byte, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("tcpnet: region size %d must be positive", size)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, transport.ErrClosed
+	}
+	if _, ok := e.regions[id]; ok {
+		return nil, fmt.Errorf("tcpnet: region %d already registered", id)
+	}
+	buf := make([]byte, size)
+	e.regions[id] = buf
+	return buf, nil
+}
+
+// DeregisterRegion implements transport.Endpoint.
+func (e *Endpoint) DeregisterRegion(id transport.RegionID) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.regions[id]; !ok {
+		return fmt.Errorf("%w: region %d", transport.ErrNoRegion, id)
+	}
+	delete(e.regions, id)
+	return nil
+}
+
+// SetHandler implements transport.Endpoint.
+func (e *Endpoint) SetHandler(h transport.Handler) {
+	e.mu.Lock()
+	e.handler = h
+	e.mu.Unlock()
+}
+
+// Close implements transport.Endpoint.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	conns := e.conns
+	e.conns = map[transport.NodeID]*clientConn{}
+	inbound := make([]net.Conn, 0, len(e.inbound))
+	for c := range e.inbound {
+		inbound = append(inbound, c)
+	}
+	e.mu.Unlock()
+	err := e.listener.Close()
+	for _, cc := range conns {
+		_ = cc.c.Close()
+	}
+	for _, c := range inbound {
+		_ = c.Close()
+	}
+	e.wg.Wait()
+	return err
+}
+
+func (e *Endpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			e.serveConn(conn)
+		}()
+	}
+}
+
+func (e *Endpoint) serveConn(conn net.Conn) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	e.inbound[conn] = struct{}{}
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		delete(e.inbound, conn)
+		e.mu.Unlock()
+		_ = conn.Close()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		op, from, region, offset, n, payload, err := readRequest(r)
+		if err != nil {
+			return // peer hung up or sent garbage
+		}
+		status, resp := e.execute(op, from, region, offset, n, payload)
+		if err := writeResponse(w, status, resp); err != nil {
+			return
+		}
+	}
+}
+
+func (e *Endpoint) execute(op byte, from transport.NodeID, region transport.RegionID, offset int64, n int, payload []byte) (byte, []byte) {
+	switch op {
+	case opWrite:
+		e.mu.Lock()
+		buf, ok := e.regions[region]
+		e.mu.Unlock()
+		if !ok {
+			return statusNoRegion, nil
+		}
+		if offset < 0 || offset+int64(len(payload)) > int64(len(buf)) {
+			return statusOutOfBounds, nil
+		}
+		copy(buf[offset:], payload)
+		return statusOK, nil
+	case opRead:
+		e.mu.Lock()
+		buf, ok := e.regions[region]
+		e.mu.Unlock()
+		if !ok {
+			return statusNoRegion, nil
+		}
+		if offset < 0 || n < 0 || offset+int64(n) > int64(len(buf)) {
+			return statusOutOfBounds, nil
+		}
+		out := make([]byte, n)
+		copy(out, buf[offset:])
+		return statusOK, out
+	case opCall:
+		e.mu.Lock()
+		h := e.handler
+		e.mu.Unlock()
+		if h == nil {
+			return statusNoHandler, nil
+		}
+		resp, err := h(from, payload)
+		if err != nil {
+			return statusAppError, []byte(err.Error())
+		}
+		return statusOK, resp
+	default:
+		return statusAppError, []byte(fmt.Sprintf("unknown op %d", op))
+	}
+}
+
+// conn returns a pooled connection to peer id, dialling on first use.
+func (e *Endpoint) conn(to transport.NodeID) (*clientConn, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, transport.ErrClosed
+	}
+	if cc, ok := e.conns[to]; ok {
+		e.mu.Unlock()
+		return cc, nil
+	}
+	addr, ok := e.peers[to]
+	e.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: node %d has no known address", transport.ErrUnreachable, to)
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial %s: %v", transport.ErrUnreachable, addr, err)
+	}
+	cc := &clientConn{c: c, r: bufio.NewReader(c), w: bufio.NewWriter(c)}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		_ = c.Close()
+		return nil, transport.ErrClosed
+	}
+	if existing, ok := e.conns[to]; ok {
+		e.mu.Unlock()
+		_ = c.Close()
+		return existing, nil
+	}
+	e.conns[to] = cc
+	e.mu.Unlock()
+	return cc, nil
+}
+
+// dropConn discards a broken pooled connection.
+func (e *Endpoint) dropConn(to transport.NodeID, cc *clientConn) {
+	e.mu.Lock()
+	if e.conns[to] == cc {
+		delete(e.conns, to)
+	}
+	e.mu.Unlock()
+	_ = cc.c.Close()
+}
+
+func (e *Endpoint) roundTrip(to transport.NodeID, op byte, region transport.RegionID, offset int64, n int, payload []byte) ([]byte, error) {
+	if to == e.id {
+		// Loopback: execute locally without touching the network.
+		e.mu.Lock()
+		closed := e.closed
+		e.mu.Unlock()
+		if closed {
+			return nil, transport.ErrClosed
+		}
+		status, resp := e.execute(op, e.id, region, offset, n, payload)
+		return e.decodeStatus(to, region, status, resp)
+	}
+	cc, err := e.conn(to)
+	if err != nil {
+		return nil, err
+	}
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if err := writeRequest(cc.w, op, e.id, region, offset, n, payload); err != nil {
+		e.dropConn(to, cc)
+		return nil, fmt.Errorf("%w: send: %v", transport.ErrUnreachable, err)
+	}
+	status, resp, err := readResponse(cc.r)
+	if err != nil {
+		e.dropConn(to, cc)
+		return nil, fmt.Errorf("%w: recv: %v", transport.ErrUnreachable, err)
+	}
+	return e.decodeStatus(to, region, status, resp)
+}
+
+// decodeStatus maps a wire status byte back to the transport sentinel errors.
+func (e *Endpoint) decodeStatus(to transport.NodeID, region transport.RegionID, status byte, resp []byte) ([]byte, error) {
+	switch status {
+	case statusOK:
+		return resp, nil
+	case statusNoRegion:
+		return nil, fmt.Errorf("%w: region %d on node %d", transport.ErrNoRegion, region, to)
+	case statusOutOfBounds:
+		return nil, fmt.Errorf("%w: region %d on node %d", transport.ErrOutOfBounds, region, to)
+	case statusNoHandler:
+		return nil, fmt.Errorf("%w: node %d", transport.ErrNoHandler, to)
+	case statusAppError:
+		return nil, fmt.Errorf("tcpnet: remote error: %s", resp)
+	default:
+		return nil, fmt.Errorf("tcpnet: unknown status %d", status)
+	}
+}
+
+// WriteRegion implements transport.Verbs.
+func (e *Endpoint) WriteRegion(_ context.Context, to transport.NodeID, region transport.RegionID, offset int64, data []byte) error {
+	_, err := e.roundTrip(to, opWrite, region, offset, 0, data)
+	return err
+}
+
+// ReadRegion implements transport.Verbs.
+func (e *Endpoint) ReadRegion(_ context.Context, to transport.NodeID, region transport.RegionID, offset int64, n int) ([]byte, error) {
+	return e.roundTrip(to, opRead, region, offset, n, nil)
+}
+
+// Call implements transport.Verbs.
+func (e *Endpoint) Call(_ context.Context, to transport.NodeID, payload []byte) ([]byte, error) {
+	return e.roundTrip(to, opCall, 0, 0, 0, payload)
+}
+
+func writeRequest(w *bufio.Writer, op byte, from transport.NodeID, region transport.RegionID, offset int64, n int, payload []byte) error {
+	var hdr [29]byte
+	hdr[0] = op
+	binary.BigEndian.PutUint64(hdr[1:9], uint64(from))
+	binary.BigEndian.PutUint32(hdr[9:13], uint32(region))
+	binary.BigEndian.PutUint64(hdr[13:21], uint64(offset))
+	binary.BigEndian.PutUint32(hdr[21:25], uint32(n))
+	binary.BigEndian.PutUint32(hdr[25:29], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+func readRequest(r *bufio.Reader) (op byte, from transport.NodeID, region transport.RegionID, offset int64, n int, payload []byte, err error) {
+	var hdr [29]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, 0, 0, 0, nil, err
+	}
+	op = hdr[0]
+	from = transport.NodeID(binary.BigEndian.Uint64(hdr[1:9]))
+	region = transport.RegionID(binary.BigEndian.Uint32(hdr[9:13]))
+	offset = int64(binary.BigEndian.Uint64(hdr[13:21]))
+	n = int(int32(binary.BigEndian.Uint32(hdr[21:25])))
+	payloadLen := binary.BigEndian.Uint32(hdr[25:29])
+	if payloadLen > maxPayload {
+		return 0, 0, 0, 0, 0, nil, errors.New("tcpnet: oversized frame")
+	}
+	payload = make([]byte, payloadLen)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, 0, 0, 0, 0, nil, err
+	}
+	return op, from, region, offset, n, payload, nil
+}
+
+func writeResponse(w *bufio.Writer, status byte, payload []byte) error {
+	var hdr [5]byte
+	hdr[0] = status
+	binary.BigEndian.PutUint32(hdr[1:5], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+func readResponse(r *bufio.Reader) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	payloadLen := binary.BigEndian.Uint32(hdr[1:5])
+	if payloadLen > maxPayload {
+		return 0, nil, errors.New("tcpnet: oversized frame")
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}

@@ -1,0 +1,72 @@
+// Package transport defines the verbs-style interface every interconnect in
+// this repository implements (§IV.G of the paper). The paper builds its data
+// plane on one-sided RDMA READ/WRITE into pre-registered memory regions and
+// its control plane on two-sided SEND/RECV over a reliable-connected queue
+// pair (RC QP), which delivers messages at most once and in order.
+//
+// Two fabrics implement the interface: internal/simnet, a discrete-event
+// simulated InfiniBand network used by all experiments, and internal/tcpnet,
+// a real TCP implementation used by the multi-process daemon, which trades
+// kernel bypass for portability while preserving the same semantics.
+package transport
+
+import (
+	"context"
+	"errors"
+)
+
+// NodeID names a node on the fabric.
+type NodeID int
+
+// RegionID names a registered memory region within one node.
+type RegionID uint32
+
+// Sentinel errors shared by all fabrics.
+var (
+	// ErrUnreachable is returned when the target node is down, closed, or
+	// partitioned away.
+	ErrUnreachable = errors.New("transport: node unreachable")
+	// ErrNoRegion is returned for one-sided operations on unregistered
+	// regions (the RDMA equivalent of a protection-domain violation).
+	ErrNoRegion = errors.New("transport: region not registered")
+	// ErrOutOfBounds is returned when an access exceeds the region.
+	ErrOutOfBounds = errors.New("transport: access outside region")
+	// ErrNoHandler is returned for control-plane calls to a node that has
+	// not installed a handler.
+	ErrNoHandler = errors.New("transport: no control-plane handler")
+	// ErrClosed is returned for operations on a closed endpoint.
+	ErrClosed = errors.New("transport: endpoint closed")
+)
+
+// Handler serves control-plane (two-sided) requests. Implementations must be
+// safe for concurrent use.
+type Handler func(from NodeID, payload []byte) ([]byte, error)
+
+// Verbs is the operation set a node can issue toward its peers.
+type Verbs interface {
+	// WriteRegion performs a one-sided RDMA write: data lands in the target
+	// region without involving the remote CPU.
+	WriteRegion(ctx context.Context, to NodeID, region RegionID, offset int64, data []byte) error
+	// ReadRegion performs a one-sided RDMA read of n bytes.
+	ReadRegion(ctx context.Context, to NodeID, region RegionID, offset int64, n int) ([]byte, error)
+	// Call performs a two-sided send/receive round trip: the payload is
+	// delivered to the target's Handler and its response returned.
+	Call(ctx context.Context, to NodeID, payload []byte) ([]byte, error)
+}
+
+// Endpoint is one node's attachment to a fabric.
+type Endpoint interface {
+	Verbs
+	// ID returns this endpoint's node ID.
+	ID() NodeID
+	// RegisterRegion pins size bytes and exposes them for one-sided access,
+	// returning the backing buffer for local zero-copy use.
+	RegisterRegion(id RegionID, size int) ([]byte, error)
+	// DeregisterRegion unpins a region; in-flight remote accesses fail.
+	DeregisterRegion(id RegionID) error
+	// SetHandler installs the control-plane handler.
+	SetHandler(h Handler)
+	// Close detaches from the fabric; subsequent operations targeting this
+	// node fail with ErrUnreachable.
+	Close() error
+}

@@ -1,0 +1,231 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCatalogHasTenApplications(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 10 {
+		t.Fatalf("catalog has %d applications, want 10 (Table 1)", len(cat))
+	}
+	seen := map[string]bool{}
+	for _, p := range cat {
+		if seen[p.Name] {
+			t.Fatalf("duplicate application %q", p.Name)
+		}
+		seen[p.Name] = true
+		// Table 1 ranges: working sets 25-30 GB, inputs 12-20 GB.
+		if p.WorkingSetGB < 25 || p.WorkingSetGB > 30 {
+			t.Errorf("%s working set %v outside 25-30 GB", p.Name, p.WorkingSetGB)
+		}
+		if p.InputGB < 12 || p.InputGB > 20 {
+			t.Errorf("%s input %v outside 12-20 GB", p.Name, p.InputGB)
+		}
+		if p.Compressibility < 1 || p.Compressibility > 8 {
+			t.Errorf("%s compressibility %v unreasonable", p.Name, p.Compressibility)
+		}
+		if p.ComputePerPage <= 0 {
+			t.Errorf("%s has no compute cost", p.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("PageRank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != KindMLIterative {
+		t.Fatalf("PageRank kind = %v", p.Kind)
+	}
+	if _, err := ByName("Doom"); err == nil {
+		t.Fatal("expected error for unknown name")
+	}
+}
+
+func TestFigureWorkloadSetsExist(t *testing.T) {
+	for _, n := range append(MLNames(), ServerNames()...) {
+		if _, err := ByName(n); err != nil {
+			t.Errorf("figure workload %q not in catalog: %v", n, err)
+		}
+	}
+	if len(MLNames()) != 5 {
+		t.Errorf("MLNames = %v, want 5 (Figure 7)", MLNames())
+	}
+	if len(ServerNames()) != 3 {
+		t.Errorf("ServerNames = %v, want 3 (Figure 8)", ServerNames())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		k    Kind
+		want string
+	}{
+		{KindMLIterative, "ml-iterative"},
+		{KindKeyValue, "key-value"},
+		{KindOLTP, "oltp"},
+		{Kind(9), "kind(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.k.String(); got != tt.want {
+			t.Errorf("String = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestPageRatioDeterministicAndClamped(t *testing.T) {
+	p, _ := ByName("LogisticRegression")
+	for page := 0; page < 1000; page++ {
+		r1 := p.PageRatio(42, page)
+		r2 := p.PageRatio(42, page)
+		if r1 != r2 {
+			t.Fatalf("PageRatio not deterministic at page %d", page)
+		}
+		if r1 < 1 || r1 > 8 {
+			t.Fatalf("PageRatio = %v outside [1,8]", r1)
+		}
+	}
+}
+
+func TestPageRatioMeanTracksProfile(t *testing.T) {
+	p, _ := ByName("LogisticRegression")
+	var sum float64
+	const n = 5000
+	for page := 0; page < n; page++ {
+		sum += p.PageRatio(1, page)
+	}
+	mean := sum / n
+	if mean < p.Compressibility-0.3 || mean > p.Compressibility+0.3 {
+		t.Fatalf("mean ratio %v far from profile %v", mean, p.Compressibility)
+	}
+}
+
+func TestMLTraceCoversWorkingSetEachIteration(t *testing.T) {
+	p, _ := ByName("KMeans")
+	const pages, iters = 200, 3
+	tr := NewMLTrace(p, pages, iters, 7)
+	accesses := tr.Drain()
+	if len(accesses) != pages*iters {
+		t.Fatalf("len = %d, want %d", len(accesses), pages*iters)
+	}
+	for i, a := range accesses {
+		if a.Page < 0 || a.Page >= pages {
+			t.Fatalf("access %d page %d out of range", i, a.Page)
+		}
+		if a.Compute != p.ComputePerPage {
+			t.Fatalf("compute = %v", a.Compute)
+		}
+	}
+}
+
+func TestMLTraceMostlySequential(t *testing.T) {
+	p, _ := ByName("LogisticRegression") // locality 0.95
+	tr := NewMLTrace(p, 1000, 2, 3)
+	accesses := tr.Drain()
+	sequential := 0
+	for i := 1; i < len(accesses); i++ {
+		if accesses[i].Page == (accesses[i-1].Page+1)%1000 || accesses[i].Page == 0 {
+			sequential++
+		}
+	}
+	frac := float64(sequential) / float64(len(accesses)-1)
+	if frac < 0.85 {
+		t.Fatalf("sequential fraction = %v, want >= 0.85", frac)
+	}
+}
+
+func TestMLTraceDeterministic(t *testing.T) {
+	p, _ := ByName("PageRank")
+	a := NewMLTrace(p, 100, 2, 9).Drain()
+	b := NewMLTrace(p, 100, 2, 9).Drain()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d", i)
+		}
+	}
+}
+
+func TestServerTraceSkewAndMix(t *testing.T) {
+	p, _ := ByName("Memcached")
+	const pages, ops = 10000, 20000
+	tr := NewServerTrace(p, pages, ops, 5)
+	counts := map[int]int{}
+	writes := 0
+	total := 0
+	for {
+		a, ok := tr.Next()
+		if !ok {
+			break
+		}
+		total++
+		counts[a.Page]++
+		if a.Write {
+			writes++
+		}
+	}
+	if total != ops {
+		t.Fatalf("total = %d, want %d", total, ops)
+	}
+	// Zipfian skew: the hottest page absorbs far more than uniform share.
+	var hottest int
+	for _, c := range counts {
+		if c > hottest {
+			hottest = c
+		}
+	}
+	if hottest < 10*ops/pages {
+		t.Fatalf("hottest page got %d accesses, want heavy skew", hottest)
+	}
+	// ETC mix: ~5% writes.
+	frac := float64(writes) / float64(total)
+	if frac < 0.03 || frac > 0.08 {
+		t.Fatalf("write fraction = %v, want ~0.05", frac)
+	}
+}
+
+func TestOLTPTraceBursts(t *testing.T) {
+	p, _ := ByName("VoltDB")
+	tr := NewServerTrace(p, 1000, 100, 1)
+	accesses := tr.Drain()
+	// 100 transactions of 2-4 pages each: 200-400 accesses.
+	if len(accesses) < 200 || len(accesses) > 400 {
+		t.Fatalf("accesses = %d, want 200-400", len(accesses))
+	}
+	var totalCompute time.Duration
+	for _, a := range accesses {
+		totalCompute += a.Compute
+	}
+	// Per-transaction compute stays near the profile cost.
+	perTxn := totalCompute / 100
+	if perTxn < p.ComputePerPage/2 || perTxn > 2*p.ComputePerPage {
+		t.Fatalf("per-txn compute = %v, profile %v", perTxn, p.ComputePerPage)
+	}
+}
+
+func TestNewTraceDispatch(t *testing.T) {
+	ml, _ := ByName("SVM")
+	kv, _ := ByName("Redis")
+	oltp, _ := ByName("VoltDB")
+	if got := len(NewTrace(ml, 50, 2, 1).Drain()); got != 100 {
+		t.Fatalf("ML trace len = %d, want 100", got)
+	}
+	if got := len(NewTrace(kv, 50, 30, 1).Drain()); got != 30 {
+		t.Fatalf("KV trace len = %d, want 30", got)
+	}
+	if got := len(NewTrace(oltp, 50, 10, 1).Drain()); got < 20 {
+		t.Fatalf("OLTP trace len = %d, want >= 20", got)
+	}
+}
+
+func TestTracePanicsOnBadInput(t *testing.T) {
+	p, _ := ByName("SVM")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMLTrace(p, 0, 1, 1)
+}
