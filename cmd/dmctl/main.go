@@ -15,6 +15,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"godm/internal/core"
 	"godm/internal/tcpnet"
@@ -32,6 +33,7 @@ func run(args []string) error {
 	var (
 		nodeFlag = fs.String("node", "", "target node as id=host:port")
 		myID     = fs.Int("id", 1000, "this client's node id")
+		timeout  = fs.Duration("timeout", 10*time.Second, "overall deadline for the command (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -57,6 +59,13 @@ func run(args []string) error {
 	ep.AddPeer(target, addr)
 	client := core.NewClient(ep)
 	ctx := context.Background()
+	if *timeout > 0 {
+		// The transport honors deadlines mid-RPC, so a hung daemon fails the
+		// command promptly instead of wedging it.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	switch fs.Arg(0) {
 	case "stats":

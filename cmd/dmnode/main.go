@@ -46,6 +46,8 @@ func run(args []string) error {
 		sharedMiB = fs.Int64("shared-mib", 256, "node-coordinated shared pool (MiB)")
 		replicas  = fs.Int("replicas", 3, "replication factor for remote entries")
 		tick      = fs.Duration("tick", 2*time.Second, "heartbeat/maintenance interval")
+		workers   = fs.Int("call-workers", tcpnet.DefaultCallConcurrency, "max concurrent control-plane handlers")
+		lanes     = fs.Int("conns-per-peer", 0, "pooled TCP connections per peer (0 = auto)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,7 +57,11 @@ func run(args []string) error {
 		return err
 	}
 
-	ep, err := tcpnet.Listen(transport.NodeID(*id), *listen)
+	opts := []tcpnet.Option{tcpnet.WithCallConcurrency(*workers)}
+	if *lanes > 0 {
+		opts = append(opts, tcpnet.WithConnsPerPeer(*lanes))
+	}
+	ep, err := tcpnet.Listen(transport.NodeID(*id), *listen, opts...)
 	if err != nil {
 		return err
 	}
@@ -97,10 +103,17 @@ func run(args []string) error {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	ticker := time.NewTicker(*tick)
 	defer ticker.Stop()
-	ctx := context.Background()
+	rpcRTT := ep.Metrics().Histogram("rpc_rtt")
+	bytesTx := ep.Metrics().Counter("bytes_tx")
+	bytesRx := ep.Metrics().Counter("bytes_rx")
+	reconnects := ep.Metrics().Counter("reconnect_attempts")
 	for {
 		select {
 		case <-ticker.C:
+			// Bound each maintenance round by the tick so a wedged peer can
+			// never stall the loop past one interval: the transport honors
+			// cancellation mid-RPC.
+			ctx, cancel := context.WithTimeout(context.Background(), *tick)
 			node.BroadcastHeartbeat(ctx)
 			if err := node.Heartbeat(); err != nil {
 				log.Printf("heartbeat: %v", err)
@@ -111,9 +124,13 @@ func run(args []string) error {
 			} else if repaired > 0 {
 				log.Printf("re-replicated %d entries", repaired)
 			}
+			cancel()
 			st := node.Stats()
 			log.Printf("stats: remote-allocs=%d shared-puts=%d remote-puts=%d evicted=%d free-recv=%d",
 				st.RemoteAllocs, st.SharedPuts, st.RemotePuts, st.EvictedBlocks, node.RecvPool().FreeBytes())
+			log.Printf("transport: rpcs=%d rtt-mean=%s rtt-p99=%s tx=%d rx=%d reconnects=%d",
+				rpcRTT.Count(), rpcRTT.Mean(), rpcRTT.Quantile(0.99),
+				bytesTx.Value(), bytesRx.Value(), reconnects.Value())
 		case <-stop:
 			log.Printf("dmnode %d shutting down", *id)
 			return nil

@@ -379,9 +379,10 @@ func NewRDDEngine(exec *RDDExecutor) *RDDEngine { return rdd.NewEngine(exec) }
 
 // ListenNode starts a real disaggregated memory node serving the verbs
 // protocol on addr over TCP (use cmd/dmnode for the packaged daemon). peers
-// maps the other nodes' IDs to their addresses.
-func ListenNode(cfg NodeConfig, addr string, peers map[NodeID]string) (*Node, *tcpnet.Endpoint, error) {
-	ep, err := tcpnet.Listen(cfg.ID, addr)
+// maps the other nodes' IDs to their addresses; opts tune the transport
+// (e.g. tcpnet.WithCallConcurrency, tcpnet.WithConnsPerPeer).
+func ListenNode(cfg NodeConfig, addr string, peers map[NodeID]string, opts ...tcpnet.Option) (*Node, *tcpnet.Endpoint, error) {
+	ep, err := tcpnet.Listen(cfg.ID, addr, opts...)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -405,9 +406,9 @@ func ListenNode(cfg NodeConfig, addr string, peers map[NodeID]string) (*Node, *t
 }
 
 // DialClient attaches a lightweight client to a TCP cluster for direct use
-// of peers' receive pools.
-func DialClient(id NodeID, addr string, peers map[NodeID]string) (*Client, *tcpnet.Endpoint, error) {
-	ep, err := tcpnet.Listen(id, addr)
+// of peers' receive pools. opts tune the transport, as in ListenNode.
+func DialClient(id NodeID, addr string, peers map[NodeID]string, opts ...tcpnet.Option) (*Client, *tcpnet.Endpoint, error) {
+	ep, err := tcpnet.Listen(id, addr, opts...)
 	if err != nil {
 		return nil, nil, err
 	}

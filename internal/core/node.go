@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"godm/internal/cluster"
+	"godm/internal/des"
 	"godm/internal/pagetable"
 	"godm/internal/placement"
 	"godm/internal/replication"
@@ -315,15 +316,36 @@ func (n *Node) Heartbeat() error {
 
 // BroadcastHeartbeat sends a heartbeat to every other known node over the
 // control plane, for deployments where each node runs its own directory.
+// Over a real fabric the calls fan out concurrently — the multiplexed
+// transport pipelines them over pooled connections — so one slow or dead
+// peer no longer delays the heartbeats of the rest past its round-trip (or
+// context) timeout. Under the discrete-event simulation the fan-out stays
+// serial: a simulated process is cooperative and must issue its fabric
+// operations from its own goroutine.
 func (n *Node) BroadcastHeartbeat(ctx context.Context) {
 	msg := encodeHeartbeatReq(heartbeatReq{FreeBytes: n.recv.FreeBytes()})
+	if _, simulated := des.FromContext(ctx); simulated {
+		for _, st := range n.dir.Snapshot() {
+			if st.ID == cluster.NodeID(n.cfg.ID) || !st.Alive {
+				continue
+			}
+			// Best-effort: the failure detector handles unreachable peers.
+			_, _ = n.ep.Call(ctx, transport.NodeID(st.ID), msg)
+		}
+		return
+	}
+	var wg sync.WaitGroup
 	for _, st := range n.dir.Snapshot() {
 		if st.ID == cluster.NodeID(n.cfg.ID) || !st.Alive {
 			continue
 		}
-		// Best-effort: the failure detector handles unreachable peers.
-		_, _ = n.ep.Call(ctx, transport.NodeID(st.ID), msg)
+		wg.Add(1)
+		go func(to transport.NodeID) {
+			defer wg.Done()
+			_, _ = n.ep.Call(ctx, to, msg)
+		}(transport.NodeID(st.ID))
 	}
+	wg.Wait()
 }
 
 // handleCall is the control-plane dispatcher (RDMS side).

@@ -2,15 +2,57 @@
 // disaggregated memory cluster can run as ordinary processes on commodity
 // networks. It preserves the verbs semantics of the simulated fabric —
 // one-sided region writes/reads execute against pre-registered buffers
-// without invoking the application handler, and requests on one connection
-// are delivered in order — while trading RDMA's kernel bypass for
-// portability (the paper's §IV.G notes TCP and RDMA share the connected,
-// reliable, in-order model).
+// without invoking the application handler — while trading RDMA's kernel
+// bypass for portability (the paper's §IV.G notes TCP and RDMA share the
+// connected, reliable, in-order model).
 //
-// Wire format (all integers big-endian):
+// # Wire format
 //
-//	request:  op(1) from(8) region(4) offset(8) n(4) payloadLen(4) payload
-//	response: status(1) payloadLen(4) payload
+// Every request carries a 64-bit request ID that the peer echoes back in the
+// matching response, so many RPCs can be in flight on one connection and
+// responses may return in any order (all integers big-endian):
+//
+//	request:  op(1) reqID(8) from(8) region(4) offset(8) n(4) payloadLen(4) payload
+//	response: reqID(8) status(1) payloadLen(4) payload
+//
+// Payloads above 64 MiB are rejected on the send side with ErrFrameTooLarge
+// before a byte hits the wire; a receiver treats an oversized length prefix
+// as a protocol violation and drops the connection.
+//
+// # Concurrency model
+//
+// Like an RDMA reliable connection with many outstanding verbs, each pooled
+// connection is split into a send side (a mutex held only for the duration
+// of one frame write) and a single demultiplexing reader goroutine that
+// routes responses to per-request channels. Unlimited RPCs to the same peer
+// proceed concurrently; none waits for another's round trip. Because a
+// single connection's frame-processing loops are themselves serial, each
+// peer gets a small stripe of such connections ("lanes", like a pool of RC
+// queue pairs; WithConnsPerPeer) and requests round-robin across them, and
+// flush syscalls are coalesced: senders only buffer their frame, and a
+// per-connection flush goroutine pushes everything the current burst of
+// runnable senders wrote out in one syscall (doorbell batching, in RDMA
+// terms).
+//
+// On the serving side, one-sided opWrite/opRead frames are executed inline
+// in the connection's read loop — so one-sided operations on a connection
+// execute in exactly the order they were sent, mirroring RC QP ordering —
+// while two-sided opCall frames are dispatched to worker goroutines bounded
+// by a configurable endpoint-wide cap (WithCallConcurrency). With a cap of 1
+// control-plane calls are delivered strictly serially in arrival order;
+// with a larger cap, calls whose issuer did not wait for a prior completion
+// may be handled concurrently, exactly as multiple outstanding SENDs would.
+// Registered regions are guarded by an RWMutex so one-sided operations from
+// many connections proceed in parallel. As with real RDMA, concurrently
+// accessing overlapping bytes of one region is the application's race to
+// avoid.
+//
+// Broken pooled connections are redialled with exponential backoff instead
+// of failing the caller, and every verb honors its context: cancellation or
+// deadline expiry abandons the wait immediately (the late response, if any,
+// is discarded by the demux reader). A retry is only ever attempted when the
+// request could not be fully sent, so operations are never duplicated on the
+// peer by the transport itself.
 package tcpnet
 
 import (
@@ -20,9 +62,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/bits"
 	"net"
+	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"godm/internal/metrics"
 	"godm/internal/transport"
 )
 
@@ -40,38 +87,184 @@ const (
 	statusAppError    = 4
 )
 
+const (
+	reqHeaderSize  = 37
+	respHeaderSize = 13
+)
+
 // maxPayload bounds a single frame (64 MiB) to keep a malformed peer from
 // forcing huge allocations.
 const maxPayload = 64 << 20
+
+// ErrFrameTooLarge is returned before anything is written to the wire when a
+// single operation's payload exceeds the 64 MiB frame limit. Callers should
+// split such transfers into smaller operations.
+var ErrFrameTooLarge = transport.ErrFrameTooLarge
+
+// DefaultCallConcurrency is the endpoint-wide cap on concurrently executing
+// control-plane handlers unless overridden with WithCallConcurrency.
+const DefaultCallConcurrency = 32
+
+const (
+	// retryAttempts bounds how many times an operation is retried when its
+	// request could not be sent (dead pooled connection, dial failure).
+	retryAttempts = 3
+	// retryBackoff is the base delay between attempts; it doubles each time.
+	retryBackoff = 20 * time.Millisecond
+)
+
+// Option configures an Endpoint at Listen time.
+type Option func(*Endpoint)
+
+// WithCallConcurrency caps how many control-plane (Call) handlers may run
+// concurrently across all inbound connections. n < 1 is treated as 1; a cap
+// of 1 restores strictly serial, in-arrival-order call delivery.
+func WithCallConcurrency(n int) Option {
+	return func(e *Endpoint) {
+		if n < 1 {
+			n = 1
+		}
+		e.callCap = n
+	}
+}
+
+// DefaultConnsPerPeer caps the default number of striped connections
+// ("lanes") kept per peer, like a small pool of RC queue pairs to one remote
+// NIC. The actual default is min(DefaultConnsPerPeer, GOMAXPROCS): extra
+// lanes only pay off when their frame-processing loops can run in parallel.
+const DefaultConnsPerPeer = 8
+
+// WithConnsPerPeer sets how many TCP connections are pooled per peer.
+// Requests round-robin across lanes, so the per-connection read/demux loops
+// — the serial bottleneck once RPCs are multiplexed — run in parallel.
+// n < 1 is treated as 1 (a single shared connection).
+func WithConnsPerPeer(n int) Option {
+	return func(e *Endpoint) {
+		if n < 1 {
+			n = 1
+		}
+		e.lanes = n
+	}
+}
 
 // Endpoint is one node's TCP attachment.
 type Endpoint struct {
 	id       transport.NodeID
 	listener net.Listener
+	callCap  int
+	callSem  chan struct{}
+	closedCh chan struct{}
 
-	mu      sync.Mutex
+	// regMu guards the server data plane: registered regions and the
+	// control-plane handler. One-sided ops take only the read lock, so they
+	// no longer serialize on the endpoint's connection-pool mutex.
+	regMu   sync.RWMutex
 	regions map[transport.RegionID][]byte
 	handler transport.Handler
+
+	// mu guards connection-pool and lifecycle state.
+	mu      sync.Mutex
 	peers   map[transport.NodeID]string
-	conns   map[transport.NodeID]*clientConn
+	conns   map[laneKey]*clientConn
 	inbound map[net.Conn]struct{}
 	closed  bool
+
+	lanes int
+	rr    atomic.Uint64
+
+	reg        *metrics.Registry
+	inflight   *metrics.Gauge
+	rtt        *metrics.Histogram
+	bytesTx    *metrics.Counter
+	bytesRx    *metrics.Counter
+	reconnects *metrics.Counter
+	served     *metrics.Counter
 
 	wg sync.WaitGroup
 }
 
 var _ transport.Endpoint = (*Endpoint)(nil)
 
+// laneKey names one striped connection to one peer.
+type laneKey struct {
+	to   transport.NodeID
+	lane int
+}
+
+// rpcResult is what the demux reader delivers to a waiting round trip.
+// retry marks failures where the request provably never left this host
+// (its frame was still in the unflushed write buffer), so the operation can
+// be re-sent without risking duplicate execution on the peer.
+type rpcResult struct {
+	status  byte
+	payload []byte
+	err     error
+	retry   bool
+}
+
+// clientConn is one pooled outbound connection. The write side is guarded by
+// wmu (held only while one frame is written); responses are consumed by a
+// single reader goroutine that routes them to pending by request ID.
+//
+// Flushes are coalesced: senders only mark the writer dirty, and the
+// connection's flush goroutine pushes every frame buffered by the current
+// burst of runnable senders out in one syscall. unflushed tracks which
+// request IDs are still sitting in that buffer, so when a flush fails (a
+// stale pooled connection, typically) exactly those requests are failed as
+// retryable — they provably never reached the peer — while requests already
+// on the wire surface the error to their callers.
 type clientConn struct {
-	mu sync.Mutex // serializes request/response pairs
-	c  net.Conn
-	r  *bufio.Reader
-	w  *bufio.Writer
+	c net.Conn
+
+	wmu       sync.Mutex
+	w         *bufio.Writer
+	unflushed []uint64
+	wdead     bool          // write side failed; senders must not buffer more frames
+	dirty     chan struct{} // cap 1: "buffered frames await a flush"
+	done      chan struct{} // closed exactly once by failConn
+
+	pmu     sync.Mutex
+	pending map[uint64]chan rpcResult
+	nextID  uint64
+	dead    bool
+	deadErr error
+}
+
+// resultChanPool recycles the buffered per-request response channels.
+var resultChanPool = sync.Pool{New: func() any { return make(chan rpcResult, 1) }}
+
+// register allocates a request ID and its response channel.
+func (cc *clientConn) register() (uint64, chan rpcResult, error) {
+	cc.pmu.Lock()
+	defer cc.pmu.Unlock()
+	if cc.dead {
+		return 0, nil, cc.deadErr
+	}
+	cc.nextID++
+	id := cc.nextID
+	ch := resultChanPool.Get().(chan rpcResult)
+	cc.pending[id] = ch
+	return id, ch, nil
+}
+
+// cancel abandons a pending request (context fired, or send failed). If the
+// entry was already claimed by the reader a send may still be in flight, so
+// the channel is abandoned rather than pooled.
+func (cc *clientConn) cancel(id uint64, ch chan rpcResult) {
+	cc.pmu.Lock()
+	_, mine := cc.pending[id]
+	if mine {
+		delete(cc.pending, id)
+	}
+	cc.pmu.Unlock()
+	if mine {
+		resultChanPool.Put(ch)
+	}
 }
 
 // Listen creates an endpoint for node id serving on addr (e.g. ":7400").
 // Use Addr to discover the bound address when addr has port 0.
-func Listen(id transport.NodeID, addr string) (*Endpoint, error) {
+func Listen(id transport.NodeID, addr string, opts ...Option) (*Endpoint, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("tcpnet: listen %s: %w", addr, err)
@@ -79,11 +272,25 @@ func Listen(id transport.NodeID, addr string) (*Endpoint, error) {
 	e := &Endpoint{
 		id:       id,
 		listener: l,
+		callCap:  DefaultCallConcurrency,
+		lanes:    min(DefaultConnsPerPeer, runtime.GOMAXPROCS(0)),
+		closedCh: make(chan struct{}),
 		regions:  map[transport.RegionID][]byte{},
 		peers:    map[transport.NodeID]string{},
-		conns:    map[transport.NodeID]*clientConn{},
+		conns:    map[laneKey]*clientConn{},
 		inbound:  map[net.Conn]struct{}{},
+		reg:      metrics.NewRegistry(fmt.Sprintf("tcpnet/node-%d", id)),
 	}
+	for _, o := range opts {
+		o(e)
+	}
+	e.callSem = make(chan struct{}, e.callCap)
+	e.inflight = e.reg.Gauge("rpc_inflight")
+	e.rtt = e.reg.Histogram("rpc_rtt")
+	e.bytesTx = e.reg.Counter("bytes_tx")
+	e.bytesRx = e.reg.Counter("bytes_rx")
+	e.reconnects = e.reg.Counter("reconnect_attempts")
+	e.served = e.reg.Counter("requests_served")
 	e.wg.Add(1)
 	go e.acceptLoop()
 	return e, nil
@@ -94,6 +301,11 @@ func (e *Endpoint) Addr() string { return e.listener.Addr().String() }
 
 // ID implements transport.Endpoint.
 func (e *Endpoint) ID() transport.NodeID { return e.id }
+
+// Metrics exposes the endpoint's transport instrumentation: the rpc_inflight
+// gauge, rpc_rtt latency histogram, bytes_tx/bytes_rx counters, the
+// reconnect_attempts counter, and the requests_served counter.
+func (e *Endpoint) Metrics() *metrics.Registry { return e.reg }
 
 // AddPeer records the address of node id for outbound operations.
 func (e *Endpoint) AddPeer(id transport.NodeID, addr string) {
@@ -107,11 +319,11 @@ func (e *Endpoint) RegisterRegion(id transport.RegionID, size int) ([]byte, erro
 	if size <= 0 {
 		return nil, fmt.Errorf("tcpnet: region size %d must be positive", size)
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed {
+	if e.isClosed() {
 		return nil, transport.ErrClosed
 	}
+	e.regMu.Lock()
+	defer e.regMu.Unlock()
 	if _, ok := e.regions[id]; ok {
 		return nil, fmt.Errorf("tcpnet: region %d already registered", id)
 	}
@@ -122,8 +334,8 @@ func (e *Endpoint) RegisterRegion(id transport.RegionID, size int) ([]byte, erro
 
 // DeregisterRegion implements transport.Endpoint.
 func (e *Endpoint) DeregisterRegion(id transport.RegionID) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.regMu.Lock()
+	defer e.regMu.Unlock()
 	if _, ok := e.regions[id]; !ok {
 		return fmt.Errorf("%w: region %d", transport.ErrNoRegion, id)
 	}
@@ -133,9 +345,15 @@ func (e *Endpoint) DeregisterRegion(id transport.RegionID) error {
 
 // SetHandler implements transport.Endpoint.
 func (e *Endpoint) SetHandler(h transport.Handler) {
-	e.mu.Lock()
+	e.regMu.Lock()
 	e.handler = h
-	e.mu.Unlock()
+	e.regMu.Unlock()
+}
+
+func (e *Endpoint) isClosed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.closed
 }
 
 // Close implements transport.Endpoint.
@@ -147,12 +365,13 @@ func (e *Endpoint) Close() error {
 	}
 	e.closed = true
 	conns := e.conns
-	e.conns = map[transport.NodeID]*clientConn{}
+	e.conns = map[laneKey]*clientConn{}
 	inbound := make([]net.Conn, 0, len(e.inbound))
 	for c := range e.inbound {
 		inbound = append(inbound, c)
 	}
 	e.mu.Unlock()
+	close(e.closedCh)
 	err := e.listener.Close()
 	for _, cc := range conns {
 		_ = cc.c.Close()
@@ -188,145 +407,534 @@ func (e *Endpoint) serveConn(conn net.Conn) {
 	}
 	e.inbound[conn] = struct{}{}
 	e.mu.Unlock()
+	// Response frames are written by the read loop (one-sided fast path) and
+	// by call workers; cw serializes them and coalesces flushes. callWG is
+	// drained before the connection is torn down so workers never write to a
+	// freed buffer.
+	cw := &connWriter{
+		w:     bufio.NewWriterSize(conn, 64<<10),
+		dirty: make(chan struct{}, 1),
+		done:  make(chan struct{}),
+	}
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		cw.flushLoop()
+	}()
+	var callWG sync.WaitGroup
 	defer func() {
+		callWG.Wait()
+		close(cw.done)
 		e.mu.Lock()
 		delete(e.inbound, conn)
 		e.mu.Unlock()
 		_ = conn.Close()
 	}()
-	r := bufio.NewReader(conn)
-	w := bufio.NewWriter(conn)
+	r := bufio.NewReaderSize(conn, 64<<10)
 	for {
-		op, from, region, offset, n, payload, err := readRequest(r)
+		// Flush deferred responses before the read can block: as long as
+		// more pipelined requests are already buffered, responses keep
+		// accumulating and go out in one syscall.
+		if r.Buffered() == 0 {
+			if err := cw.flushPending(); err != nil {
+				return
+			}
+		}
+		req, err := readRequest(r)
 		if err != nil {
 			return // peer hung up or sent garbage
 		}
-		status, resp := e.execute(op, from, region, offset, n, payload)
-		if err := writeResponse(w, status, resp); err != nil {
+		e.bytesRx.Add(int64(reqHeaderSize + len(req.payload)))
+		e.served.Inc()
+		switch req.op {
+		case opRead:
+			// One-sided fast path: executed inline, in arrival order. The
+			// region bytes are framed straight into the response buffer while
+			// the read lock is held — no intermediate copy — and not flushed;
+			// the loop top flushes once the request burst is drained.
+			if e.serveRead(cw, req) != nil {
+				return
+			}
+		case opWrite:
+			status, resp, pooled := e.execute(req, true)
+			werr := e.respond(cw, req.id, status, resp, false)
+			if pooled {
+				putBuf(resp)
+			}
+			if req.pooled {
+				putBuf(req.payload)
+			}
+			if werr != nil {
+				return
+			}
+		case opCall:
+			// Two-sided calls go to bounded workers so a slow handler never
+			// stalls one-sided traffic behind it. Acquiring the semaphore
+			// here (not in the worker) applies backpressure: a saturated
+			// server stops reading new frames from this connection.
+			select {
+			case e.callSem <- struct{}{}:
+			case <-e.closedCh:
+				return
+			}
+			callWG.Add(1)
+			go func(req request) {
+				defer callWG.Done()
+				defer func() { <-e.callSem }()
+				status, resp, _ := e.execute(req, false)
+				// Workers hand the flush to the connection's flusher so a
+				// burst of completing handlers coalesces into one syscall.
+				_ = e.respond(cw, req.id, status, resp, true)
+			}(req)
+		default:
+			if e.respond(cw, req.id, statusAppError,
+				[]byte(fmt.Sprintf("unknown op %d", req.op)), false) != nil {
+				return
+			}
+		}
+	}
+}
+
+// connWriter is the shared, flush-coalescing response writer for one inbound
+// connection. The read loop's inline responses are flushed at the loop top
+// once the request burst drains; call workers mark the writer dirty and the
+// flush goroutine pushes a burst of handler responses out in one syscall.
+type connWriter struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	dirty chan struct{} // cap 1: worker responses await a flush
+	done  chan struct{} // closed by serveConn after workers drain
+}
+
+// flushPending pushes out any deferred response frames.
+func (cw *connWriter) flushPending() error {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	if cw.w.Buffered() == 0 {
+		return nil
+	}
+	return cw.w.Flush()
+}
+
+// flushLoop drains worker responses. Flush errors are ignored here: the
+// connection is torn down by the read loop, which sees the same failure.
+func (cw *connWriter) flushLoop() {
+	for {
+		select {
+		case <-cw.dirty:
+			waitForBurst(&cw.mu, cw.w)
+			_ = cw.flushPending()
+		case <-cw.done:
+			_ = cw.flushPending() // whatever the last workers left behind
 			return
 		}
 	}
 }
 
-func (e *Endpoint) execute(op byte, from transport.NodeID, region transport.RegionID, offset int64, n int, payload []byte) (byte, []byte) {
-	switch op {
+// respond frames one response. With deferFlush=false (read-loop fast path)
+// the frame stays buffered for the loop-top flush; with deferFlush=true
+// (call workers) the connection's flush goroutine batches the burst.
+func (e *Endpoint) respond(cw *connWriter, id uint64, status byte, payload []byte, deferFlush bool) error {
+	cw.mu.Lock()
+	err := writeResponse(cw.w, id, status, payload)
+	cw.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	e.bytesTx.Add(int64(respHeaderSize + len(payload)))
+	if deferFlush {
+		select {
+		case cw.dirty <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// serveRead answers an inline opRead frame with zero copies: the response is
+// framed directly from the region's backing buffer under the read lock. Only
+// write errors (broken connection) are returned; status errors go back to
+// the issuer in-band.
+func (e *Endpoint) serveRead(cw *connWriter, req request) error {
+	if req.n > maxPayload {
+		return e.respond(cw, req.id, statusAppError,
+			[]byte(fmt.Sprintf("read of %d bytes exceeds %d-byte frame limit", req.n, maxPayload)), false)
+	}
+	e.regMu.RLock()
+	buf, ok := e.regions[req.region]
+	if !ok {
+		e.regMu.RUnlock()
+		return e.respond(cw, req.id, statusNoRegion, nil, false)
+	}
+	if req.offset < 0 || req.n < 0 || req.offset+int64(req.n) > int64(len(buf)) {
+		e.regMu.RUnlock()
+		return e.respond(cw, req.id, statusOutOfBounds, nil, false)
+	}
+	err := e.respond(cw, req.id, statusOK, buf[req.offset:req.offset+int64(req.n)], false)
+	e.regMu.RUnlock()
+	return err
+}
+
+// execute runs one decoded request against local state. When pool is true
+// the opRead response buffer comes from the frame pool and the returned bool
+// tells the caller to recycle it after the frame is written; the loopback
+// path passes pool=false because its result is handed to the application.
+func (e *Endpoint) execute(req request, pool bool) (byte, []byte, bool) {
+	switch req.op {
 	case opWrite:
-		e.mu.Lock()
-		buf, ok := e.regions[region]
-		e.mu.Unlock()
+		e.regMu.RLock()
+		buf, ok := e.regions[req.region]
 		if !ok {
-			return statusNoRegion, nil
+			e.regMu.RUnlock()
+			return statusNoRegion, nil, false
 		}
-		if offset < 0 || offset+int64(len(payload)) > int64(len(buf)) {
-			return statusOutOfBounds, nil
+		if req.offset < 0 || req.offset+int64(len(req.payload)) > int64(len(buf)) {
+			e.regMu.RUnlock()
+			return statusOutOfBounds, nil, false
 		}
-		copy(buf[offset:], payload)
-		return statusOK, nil
+		copy(buf[req.offset:], req.payload)
+		e.regMu.RUnlock()
+		return statusOK, nil, false
 	case opRead:
-		e.mu.Lock()
-		buf, ok := e.regions[region]
-		e.mu.Unlock()
+		e.regMu.RLock()
+		buf, ok := e.regions[req.region]
 		if !ok {
-			return statusNoRegion, nil
+			e.regMu.RUnlock()
+			return statusNoRegion, nil, false
 		}
-		if offset < 0 || n < 0 || offset+int64(n) > int64(len(buf)) {
-			return statusOutOfBounds, nil
+		if req.offset < 0 || req.n < 0 || req.offset+int64(req.n) > int64(len(buf)) {
+			e.regMu.RUnlock()
+			return statusOutOfBounds, nil, false
 		}
-		out := make([]byte, n)
-		copy(out, buf[offset:])
-		return statusOK, out
+		var out []byte
+		if pool {
+			out = getBuf(req.n)
+		} else {
+			out = make([]byte, req.n)
+		}
+		copy(out, buf[req.offset:])
+		e.regMu.RUnlock()
+		return statusOK, out, pool
 	case opCall:
-		e.mu.Lock()
+		e.regMu.RLock()
 		h := e.handler
-		e.mu.Unlock()
+		e.regMu.RUnlock()
 		if h == nil {
-			return statusNoHandler, nil
+			return statusNoHandler, nil, false
 		}
-		resp, err := h(from, payload)
+		resp, err := h(req.from, req.payload)
 		if err != nil {
-			return statusAppError, []byte(err.Error())
+			return statusAppError, []byte(err.Error()), false
 		}
-		return statusOK, resp
+		return statusOK, resp, false
 	default:
-		return statusAppError, []byte(fmt.Sprintf("unknown op %d", op))
+		return statusAppError, []byte(fmt.Sprintf("unknown op %d", req.op)), false
 	}
 }
 
-// conn returns a pooled connection to peer id, dialling on first use.
-func (e *Endpoint) conn(to transport.NodeID) (*clientConn, error) {
+// conn returns a pooled connection to peer id on the next round-robin lane,
+// dialling on first use.
+func (e *Endpoint) conn(ctx context.Context, to transport.NodeID) (laneKey, *clientConn, error) {
+	key := laneKey{to: to, lane: int(e.rr.Add(1) % uint64(e.lanes))}
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
-		return nil, transport.ErrClosed
+		return key, nil, transport.ErrClosed
 	}
-	if cc, ok := e.conns[to]; ok {
+	if cc, ok := e.conns[key]; ok {
 		e.mu.Unlock()
-		return cc, nil
+		return key, cc, nil
 	}
 	addr, ok := e.peers[to]
 	e.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("%w: node %d has no known address", transport.ErrUnreachable, to)
+		return key, nil, fmt.Errorf("%w: node %d has no known address", transport.ErrUnreachable, to)
 	}
-	c, err := net.Dial("tcp", addr)
+	var d net.Dialer
+	c, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("%w: dial %s: %v", transport.ErrUnreachable, addr, err)
+		if ctx.Err() != nil {
+			return key, nil, ctx.Err()
+		}
+		return key, nil, fmt.Errorf("%w: dial %s: %v", transport.ErrUnreachable, addr, err)
 	}
-	cc := &clientConn{c: c, r: bufio.NewReader(c), w: bufio.NewWriter(c)}
+	cc := &clientConn{
+		c:       c,
+		w:       bufio.NewWriterSize(c, 64<<10),
+		dirty:   make(chan struct{}, 1),
+		done:    make(chan struct{}),
+		pending: map[uint64]chan rpcResult{},
+	}
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
 		_ = c.Close()
-		return nil, transport.ErrClosed
+		return key, nil, transport.ErrClosed
 	}
-	if existing, ok := e.conns[to]; ok {
+	if existing, ok := e.conns[key]; ok {
 		e.mu.Unlock()
 		_ = c.Close()
-		return existing, nil
+		return key, existing, nil
 	}
-	e.conns[to] = cc
+	e.conns[key] = cc
 	e.mu.Unlock()
-	return cc, nil
+	e.wg.Add(2)
+	go e.readLoop(key, cc, bufio.NewReaderSize(c, 64<<10))
+	go e.flushLoop(key, cc)
+	return key, cc, nil
 }
 
 // dropConn discards a broken pooled connection.
-func (e *Endpoint) dropConn(to transport.NodeID, cc *clientConn) {
+func (e *Endpoint) dropConn(key laneKey, cc *clientConn) {
 	e.mu.Lock()
-	if e.conns[to] == cc {
-		delete(e.conns, to)
+	if e.conns[key] == cc {
+		delete(e.conns, key)
 	}
 	e.mu.Unlock()
 	_ = cc.c.Close()
 }
 
-func (e *Endpoint) roundTrip(to transport.NodeID, op byte, region transport.RegionID, offset int64, n int, payload []byte) ([]byte, error) {
-	if to == e.id {
-		// Loopback: execute locally without touching the network.
-		e.mu.Lock()
-		closed := e.closed
-		e.mu.Unlock()
-		if closed {
-			return nil, transport.ErrClosed
+// readLoop is the demultiplexer: the single goroutine that consumes response
+// frames from one pooled connection and completes the matching round trips.
+func (e *Endpoint) readLoop(key laneKey, cc *clientConn, r *bufio.Reader) {
+	defer e.wg.Done()
+	for {
+		id, status, payload, err := readResponse(r)
+		if err != nil {
+			e.failConn(key, cc, err)
+			return
 		}
-		status, resp := e.execute(op, e.id, region, offset, n, payload)
-		return e.decodeStatus(to, region, status, resp)
+		e.bytesRx.Add(int64(respHeaderSize + len(payload)))
+		cc.pmu.Lock()
+		ch, ok := cc.pending[id]
+		if ok {
+			delete(cc.pending, id)
+		}
+		cc.pmu.Unlock()
+		if ok {
+			ch <- rpcResult{status: status, payload: payload}
+		}
+		// else: the waiter's context fired; discard the late response.
 	}
-	cc, err := e.conn(to)
+}
+
+// failConn marks a connection dead and fails every pending round trip.
+// Round trips whose frames were still sitting in the unflushed write buffer
+// provably never reached the peer, so they are failed as retryable and the
+// caller transparently redials; requests already on the wire get the
+// terminal error (their fate on the peer is unknown). Writes and reads
+// racing a Close of the local endpoint are reported as ErrClosed, not
+// ErrUnreachable: the peer did not go away, we did.
+func (e *Endpoint) failConn(key laneKey, cc *clientConn, cause error) {
+	e.dropConn(key, cc)
+	closed := e.isClosed()
+	err := error(transport.ErrClosed)
+	if !closed {
+		err = fmt.Errorf("%w: recv: %v", transport.ErrUnreachable, cause)
+	}
+	cc.wmu.Lock()
+	cc.wdead = true
+	unsent := cc.unflushed
+	cc.unflushed = nil
+	cc.wmu.Unlock()
+	cc.pmu.Lock()
+	if cc.dead {
+		cc.pmu.Unlock()
+		return // the read loop or flush loop already failed this connection
+	}
+	cc.dead = true
+	cc.deadErr = err
+	pending := cc.pending
+	cc.pending = nil
+	cc.pmu.Unlock()
+	close(cc.done)
+	var unsentSet map[uint64]struct{}
+	if len(unsent) > 0 && !closed {
+		unsentSet = make(map[uint64]struct{}, len(unsent))
+		for _, id := range unsent {
+			unsentSet[id] = struct{}{}
+		}
+	}
+	for id, ch := range pending {
+		if _, ok := unsentSet[id]; ok {
+			ch <- rpcResult{err: fmt.Errorf("%w: send: %v", transport.ErrUnreachable, cause), retry: true}
+		} else {
+			ch <- rpcResult{err: err}
+		}
+	}
+}
+
+// send writes one request frame; wmu is held only for the write itself, so
+// concurrent round trips interleave whole frames rather than waiting for
+// each other's responses. The flush syscall is always deferred to the
+// connection's flush goroutine, which batches every frame written by the
+// current burst of runnable senders — the mechanism that keeps a one-core
+// host from paying one write syscall per concurrent RPC. Until that flush
+// succeeds the request ID rides in unflushed, which is what lets a failed
+// flush (a stale pooled connection, typically) be retried safely.
+func (e *Endpoint) send(cc *clientConn, op byte, id uint64, region transport.RegionID, offset int64, n int, payload []byte) error {
+	cc.wmu.Lock()
+	if cc.wdead {
+		cc.wmu.Unlock()
+		return errors.New("connection already failed")
+	}
+	err := writeRequest(cc.w, op, id, e.id, region, offset, n, payload)
+	if err == nil {
+		cc.unflushed = append(cc.unflushed, id)
+	}
+	cc.wmu.Unlock()
 	if err != nil {
+		return err
+	}
+	e.bytesTx.Add(int64(reqHeaderSize + len(payload)))
+	select {
+	case cc.dirty <- struct{}{}:
+	default: // a flush is already scheduled
+	}
+	return nil
+}
+
+// flushLoop is one connection's deferred flusher: it wakes after a burst of
+// senders has marked the writer dirty and pushes their frames out together.
+// A failed flush fails the connection; requests whose frames never left the
+// buffer are failed as retryable.
+func (e *Endpoint) flushLoop(key laneKey, cc *clientConn) {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-cc.dirty:
+			waitForBurst(&cc.wmu, cc.w)
+			cc.wmu.Lock()
+			var err error
+			if cc.w.Buffered() > 0 {
+				err = cc.w.Flush()
+			}
+			if err == nil {
+				cc.unflushed = cc.unflushed[:0]
+			}
+			cc.wmu.Unlock()
+			if err != nil {
+				// failConn snapshots the still-unflushed IDs and fails those
+				// round trips as retryable.
+				e.failConn(key, cc, err)
+				return
+			}
+		case <-cc.done:
+			return
+		}
+	}
+}
+
+// waitForBurst yields the processor until w stops accumulating frames, so a
+// flush goroutine woken by the first sender of a burst does not fire before
+// the rest of the runnable senders have buffered theirs. Bounded: at most a
+// few yields, and a buffer already past half its capacity flushes at once.
+func waitForBurst(mu *sync.Mutex, w *bufio.Writer) {
+	prev := -1
+	for i := 0; i < 4; i++ {
+		mu.Lock()
+		cur, avail := w.Buffered(), w.Available()
+		mu.Unlock()
+		if cur == prev || cur > avail {
+			return
+		}
+		prev = cur
+		runtime.Gosched()
+	}
+}
+
+func (e *Endpoint) roundTrip(ctx context.Context, to transport.NodeID, op byte, region transport.RegionID, offset int64, n int, payload []byte) ([]byte, error) {
+	if len(payload) > maxPayload {
+		return nil, fmt.Errorf("%w: payload %d exceeds %d", ErrFrameTooLarge, len(payload), maxPayload)
+	}
+	if n > maxPayload {
+		return nil, fmt.Errorf("%w: read of %d exceeds %d", ErrFrameTooLarge, n, maxPayload)
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	cc.mu.Lock()
-	defer cc.mu.Unlock()
-	if err := writeRequest(cc.w, op, e.id, region, offset, n, payload); err != nil {
-		e.dropConn(to, cc)
-		return nil, fmt.Errorf("%w: send: %v", transport.ErrUnreachable, err)
+	if to == e.id {
+		// Loopback: execute locally without touching the network.
+		if e.isClosed() {
+			return nil, transport.ErrClosed
+		}
+		status, resp, _ := e.execute(request{
+			op: op, from: e.id, region: region, offset: offset, n: n, payload: payload,
+		}, false)
+		return e.decodeStatus(to, region, status, resp)
 	}
-	status, resp, err := readResponse(cc.r)
+	for attempt := 0; ; attempt++ {
+		resp, retry, err := e.attempt(ctx, to, op, region, offset, n, payload)
+		if err == nil {
+			return resp, nil
+		}
+		if !retry || attempt+1 >= retryAttempts {
+			return nil, err
+		}
+		// Reconnect with backoff instead of failing the caller.
+		e.reconnects.Inc()
+		t := time.NewTimer(retryBackoff << attempt)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// attempt runs one round trip. retry reports whether the failure is safe to
+// retry: only errors where the request provably never reached the peer
+// (dial failures, dead pooled connections, send errors) are retryable;
+// once a request is on the wire a lost response is surfaced to the caller,
+// never re-executed.
+func (e *Endpoint) attempt(ctx context.Context, to transport.NodeID, op byte, region transport.RegionID, offset int64, n int, payload []byte) (_ []byte, retry bool, _ error) {
+	key, cc, err := e.conn(ctx, to)
 	if err != nil {
-		e.dropConn(to, cc)
-		return nil, fmt.Errorf("%w: recv: %v", transport.ErrUnreachable, err)
+		if errors.Is(err, transport.ErrClosed) || ctx.Err() != nil {
+			return nil, false, err
+		}
+		e.mu.Lock()
+		_, known := e.peers[to]
+		e.mu.Unlock()
+		return nil, known, err // unknown peers fail fast, dial errors retry
 	}
-	return e.decodeStatus(to, region, status, resp)
+	id, ch, err := cc.register()
+	if err != nil {
+		return nil, true, err // connection died while pooled
+	}
+	if err := e.send(cc, op, id, region, offset, n, payload); err != nil {
+		cc.cancel(id, ch)
+		e.dropConn(key, cc)
+		if e.isClosed() {
+			return nil, false, transport.ErrClosed
+		}
+		return nil, true, fmt.Errorf("%w: send: %v", transport.ErrUnreachable, err)
+	}
+	e.inflight.Add(1)
+	start := time.Now()
+	var res rpcResult
+	if done := ctx.Done(); done == nil {
+		// Background-style context: a plain channel receive skips the
+		// two-case select machinery on the hot path.
+		res = <-ch
+	} else {
+		select {
+		case res = <-ch:
+		case <-done:
+			e.inflight.Add(-1)
+			cc.cancel(id, ch)
+			return nil, false, ctx.Err()
+		}
+	}
+	e.inflight.Add(-1)
+	e.rtt.Observe(time.Since(start))
+	if res.err != nil {
+		return nil, res.retry, res.err
+	}
+	resultChanPool.Put(ch)
+	out, err := e.decodeStatus(to, region, res.status, res.payload)
+	return out, false, err
 }
 
 // decodeStatus maps a wire status byte back to the transport sentinel errors.
@@ -348,84 +956,171 @@ func (e *Endpoint) decodeStatus(to transport.NodeID, region transport.RegionID, 
 }
 
 // WriteRegion implements transport.Verbs.
-func (e *Endpoint) WriteRegion(_ context.Context, to transport.NodeID, region transport.RegionID, offset int64, data []byte) error {
-	_, err := e.roundTrip(to, opWrite, region, offset, 0, data)
+func (e *Endpoint) WriteRegion(ctx context.Context, to transport.NodeID, region transport.RegionID, offset int64, data []byte) error {
+	_, err := e.roundTrip(ctx, to, opWrite, region, offset, 0, data)
 	return err
 }
 
 // ReadRegion implements transport.Verbs.
-func (e *Endpoint) ReadRegion(_ context.Context, to transport.NodeID, region transport.RegionID, offset int64, n int) ([]byte, error) {
-	return e.roundTrip(to, opRead, region, offset, n, nil)
+func (e *Endpoint) ReadRegion(ctx context.Context, to transport.NodeID, region transport.RegionID, offset int64, n int) ([]byte, error) {
+	return e.roundTrip(ctx, to, opRead, region, offset, n, nil)
 }
 
 // Call implements transport.Verbs.
-func (e *Endpoint) Call(_ context.Context, to transport.NodeID, payload []byte) ([]byte, error) {
-	return e.roundTrip(to, opCall, 0, 0, 0, payload)
+func (e *Endpoint) Call(ctx context.Context, to transport.NodeID, payload []byte) ([]byte, error) {
+	return e.roundTrip(ctx, to, opCall, 0, 0, 0, payload)
 }
 
-func writeRequest(w *bufio.Writer, op byte, from transport.NodeID, region transport.RegionID, offset int64, n int, payload []byte) error {
-	var hdr [29]byte
+// request is one decoded request frame. pooled marks a payload drawn from
+// the frame pool (one-sided writes only; call payloads are handler-owned).
+type request struct {
+	op      byte
+	id      uint64
+	from    transport.NodeID
+	region  transport.RegionID
+	offset  int64
+	n       int
+	payload []byte
+	pooled  bool
+}
+
+// writeRequest frames one request without flushing; the caller decides when
+// the flush syscall happens (see Endpoint.send's coalescing).
+func writeRequest(w *bufio.Writer, op byte, id uint64, from transport.NodeID, region transport.RegionID, offset int64, n int, payload []byte) error {
+	if len(payload) > maxPayload {
+		return fmt.Errorf("%w: payload %d exceeds %d", ErrFrameTooLarge, len(payload), maxPayload)
+	}
+	var hdr [reqHeaderSize]byte
 	hdr[0] = op
-	binary.BigEndian.PutUint64(hdr[1:9], uint64(from))
-	binary.BigEndian.PutUint32(hdr[9:13], uint32(region))
-	binary.BigEndian.PutUint64(hdr[13:21], uint64(offset))
-	binary.BigEndian.PutUint32(hdr[21:25], uint32(n))
-	binary.BigEndian.PutUint32(hdr[25:29], uint32(len(payload)))
+	binary.BigEndian.PutUint64(hdr[1:9], id)
+	binary.BigEndian.PutUint64(hdr[9:17], uint64(from))
+	binary.BigEndian.PutUint32(hdr[17:21], uint32(region))
+	binary.BigEndian.PutUint64(hdr[21:29], uint64(offset))
+	binary.BigEndian.PutUint32(hdr[29:33], uint32(n))
+	binary.BigEndian.PutUint32(hdr[33:37], uint32(len(payload)))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	if _, err := w.Write(payload); err != nil {
-		return err
-	}
-	return w.Flush()
+	_, err := w.Write(payload)
+	return err
 }
 
-func readRequest(r *bufio.Reader) (op byte, from transport.NodeID, region transport.RegionID, offset int64, n int, payload []byte, err error) {
-	var hdr [29]byte
-	if _, err = io.ReadFull(r, hdr[:]); err != nil {
-		return 0, 0, 0, 0, 0, nil, err
+func readRequest(r *bufio.Reader) (request, error) {
+	var hdr [reqHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return request{}, err
 	}
-	op = hdr[0]
-	from = transport.NodeID(binary.BigEndian.Uint64(hdr[1:9]))
-	region = transport.RegionID(binary.BigEndian.Uint32(hdr[9:13]))
-	offset = int64(binary.BigEndian.Uint64(hdr[13:21]))
-	n = int(int32(binary.BigEndian.Uint32(hdr[21:25])))
-	payloadLen := binary.BigEndian.Uint32(hdr[25:29])
+	req := request{
+		op:     hdr[0],
+		id:     binary.BigEndian.Uint64(hdr[1:9]),
+		from:   transport.NodeID(binary.BigEndian.Uint64(hdr[9:17])),
+		region: transport.RegionID(binary.BigEndian.Uint32(hdr[17:21])),
+		offset: int64(binary.BigEndian.Uint64(hdr[21:29])),
+		n:      int(int32(binary.BigEndian.Uint32(hdr[29:33]))),
+	}
+	payloadLen := binary.BigEndian.Uint32(hdr[33:37])
 	if payloadLen > maxPayload {
-		return 0, 0, 0, 0, 0, nil, errors.New("tcpnet: oversized frame")
+		return request{}, errors.New("tcpnet: oversized frame")
+	}
+	if req.op == opCall {
+		// Handlers may retain their payload, so it cannot come from the pool.
+		req.payload = make([]byte, payloadLen)
+	} else {
+		req.payload = getBuf(int(payloadLen))
+		req.pooled = true
+	}
+	if _, err := io.ReadFull(r, req.payload); err != nil {
+		if req.pooled {
+			putBuf(req.payload)
+		}
+		return request{}, err
+	}
+	return req, nil
+}
+
+func writeResponse(w *bufio.Writer, id uint64, status byte, payload []byte) error {
+	if len(payload) > maxPayload {
+		return fmt.Errorf("%w: payload %d exceeds %d", ErrFrameTooLarge, len(payload), maxPayload)
+	}
+	var hdr [respHeaderSize]byte
+	binary.BigEndian.PutUint64(hdr[0:8], id)
+	hdr[8] = status
+	binary.BigEndian.PutUint32(hdr[9:13], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readResponse(r *bufio.Reader) (id uint64, status byte, payload []byte, err error) {
+	var hdr [respHeaderSize]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	id = binary.BigEndian.Uint64(hdr[0:8])
+	status = hdr[8]
+	payloadLen := binary.BigEndian.Uint32(hdr[9:13])
+	if payloadLen > maxPayload {
+		return 0, 0, nil, errors.New("tcpnet: oversized frame")
 	}
 	payload = make([]byte, payloadLen)
 	if _, err = io.ReadFull(r, payload); err != nil {
-		return 0, 0, 0, 0, 0, nil, err
+		return 0, 0, nil, err
 	}
-	return op, from, region, offset, n, payload, nil
+	return id, status, payload, nil
 }
 
-func writeResponse(w *bufio.Writer, status byte, payload []byte) error {
-	var hdr [5]byte
-	hdr[0] = status
-	binary.BigEndian.PutUint32(hdr[1:5], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
+// Frame buffer pool: size-classed so a 4 KiB page write doesn't hand back a
+// 4 MiB buffer. Classes are powers of two from 4 KiB to 4 MiB; anything
+// larger is allocated directly (rare: bulk transfers), anything smaller
+// rides in the 4 KiB class.
+const (
+	minPoolBuf  = 4 << 10
+	maxPoolBuf  = 4 << 20
+	poolClasses = 11 // 4<<10 << 10 == 4<<20
+)
+
+var bufPools [poolClasses]sync.Pool
+
+// classFor returns the smallest class whose buffers hold n bytes.
+func classFor(n int) int {
+	if n <= minPoolBuf {
+		return 0
 	}
-	if _, err := w.Write(payload); err != nil {
-		return err
+	c := bits.Len(uint(n-1)) - bits.Len(uint(minPoolBuf)) + 1
+	if c >= poolClasses {
+		return poolClasses - 1
 	}
-	return w.Flush()
+	return c
 }
 
-func readResponse(r *bufio.Reader) (byte, []byte, error) {
-	var hdr [5]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, err
+// getBuf returns a length-n buffer, reusing a pooled one when available.
+func getBuf(n int) []byte {
+	if n == 0 {
+		return []byte{}
 	}
-	payloadLen := binary.BigEndian.Uint32(hdr[1:5])
-	if payloadLen > maxPayload {
-		return 0, nil, errors.New("tcpnet: oversized frame")
+	if n > maxPoolBuf {
+		return make([]byte, n)
 	}
-	payload := make([]byte, payloadLen)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, err
+	c := classFor(n)
+	if p, ok := bufPools[c].Get().(*[]byte); ok {
+		return (*p)[:n]
 	}
-	return hdr[0], payload, nil
+	return make([]byte, n, minPoolBuf<<c)
+}
+
+// putBuf recycles a buffer previously returned by getBuf.
+func putBuf(b []byte) {
+	c := cap(b)
+	if c < minPoolBuf || c > maxPoolBuf {
+		return
+	}
+	cl := bits.Len(uint(c)) - bits.Len(uint(minPoolBuf))
+	if c != minPoolBuf<<cl {
+		// Not a class-sized buffer (didn't come from the pool); drop it.
+		return
+	}
+	b = b[:0]
+	bufPools[cl].Put(&b)
 }

@@ -268,22 +268,26 @@ func TestBidirectional(t *testing.T) {
 // TestFrameCodecRoundTripProperty checks the wire format against random
 // inputs: whatever one endpoint writes, the other reads back bit-for-bit.
 func TestFrameCodecRoundTripProperty(t *testing.T) {
-	f := func(op byte, from int64, region uint32, offset int64, n int32, payload []byte) bool {
+	f := func(op byte, id uint64, from int64, region uint32, offset int64, n int32, payload []byte) bool {
 		var buf bytes.Buffer
 		w := bufio.NewWriter(&buf)
-		if err := writeRequest(w, op, transport.NodeID(from), transport.RegionID(region), offset, int(n), payload); err != nil {
+		if err := writeRequest(w, op, id, transport.NodeID(from), transport.RegionID(region), offset, int(n), payload); err != nil {
 			return false
 		}
-		gotOp, gotFrom, gotRegion, gotOffset, gotN, gotPayload, err := readRequest(bufio.NewReader(&buf))
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		got, err := readRequest(bufio.NewReader(&buf))
 		if err != nil {
 			return false
 		}
-		return gotOp == op &&
-			gotFrom == transport.NodeID(from) &&
-			gotRegion == transport.RegionID(region) &&
-			gotOffset == offset &&
-			gotN == int(n) &&
-			bytes.Equal(gotPayload, payload)
+		return got.op == op &&
+			got.id == id &&
+			got.from == transport.NodeID(from) &&
+			got.region == transport.RegionID(region) &&
+			got.offset == offset &&
+			got.n == int(n) &&
+			bytes.Equal(got.payload, payload)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
@@ -291,14 +295,17 @@ func TestFrameCodecRoundTripProperty(t *testing.T) {
 }
 
 func TestResponseCodecRoundTripProperty(t *testing.T) {
-	f := func(status byte, payload []byte) bool {
+	f := func(id uint64, status byte, payload []byte) bool {
 		var buf bytes.Buffer
 		w := bufio.NewWriter(&buf)
-		if err := writeResponse(w, status, payload); err != nil {
+		if err := writeResponse(w, id, status, payload); err != nil {
 			return false
 		}
-		gotStatus, gotPayload, err := readResponse(bufio.NewReader(&buf))
-		return err == nil && gotStatus == status && bytes.Equal(gotPayload, payload)
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		gotID, gotStatus, gotPayload, err := readResponse(bufio.NewReader(&buf))
+		return err == nil && gotID == id && gotStatus == status && bytes.Equal(gotPayload, payload)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
@@ -308,18 +315,18 @@ func TestResponseCodecRoundTripProperty(t *testing.T) {
 func TestOversizedFrameRejected(t *testing.T) {
 	var buf bytes.Buffer
 	// Hand-craft a request header claiming a payload beyond maxPayload.
-	hdr := make([]byte, 29)
+	hdr := make([]byte, reqHeaderSize)
 	hdr[0] = opCall
-	binary.BigEndian.PutUint32(hdr[25:29], maxPayload+1)
+	binary.BigEndian.PutUint32(hdr[33:37], maxPayload+1)
 	buf.Write(hdr)
-	if _, _, _, _, _, _, err := readRequest(bufio.NewReader(&buf)); err == nil {
+	if _, err := readRequest(bufio.NewReader(&buf)); err == nil {
 		t.Fatal("oversized request accepted")
 	}
 	buf.Reset()
-	resp := make([]byte, 5)
-	binary.BigEndian.PutUint32(resp[1:5], maxPayload+1)
+	resp := make([]byte, respHeaderSize)
+	binary.BigEndian.PutUint32(resp[9:13], maxPayload+1)
 	buf.Write(resp)
-	if _, _, err := readResponse(bufio.NewReader(&buf)); err == nil {
+	if _, _, _, err := readResponse(bufio.NewReader(&buf)); err == nil {
 		t.Fatal("oversized response accepted")
 	}
 }

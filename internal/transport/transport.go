@@ -36,6 +36,11 @@ var (
 	ErrNoHandler = errors.New("transport: no control-plane handler")
 	// ErrClosed is returned for operations on a closed endpoint.
 	ErrClosed = errors.New("transport: endpoint closed")
+	// ErrFrameTooLarge is returned by fabrics with a bounded frame size when
+	// a single operation's payload exceeds that bound. It is detected on the
+	// send side, before anything reaches the wire, so the caller can split
+	// the transfer into smaller operations.
+	ErrFrameTooLarge = errors.New("transport: frame too large")
 )
 
 // Handler serves control-plane (two-sided) requests. Implementations must be
@@ -43,6 +48,14 @@ var (
 type Handler func(from NodeID, payload []byte) ([]byte, error)
 
 // Verbs is the operation set a node can issue toward its peers.
+//
+// All three verbs honor their context: when ctx is cancelled or its deadline
+// expires, the operation returns promptly with ctx.Err(), and any late
+// response from the peer is discarded by the fabric. Many operations toward
+// the same peer may be in flight at once (like outstanding work requests on
+// an RC QP); ordering is guaranteed between operations where one completes
+// before the next is issued, while concurrently issued operations may be
+// executed by the peer in any order.
 type Verbs interface {
 	// WriteRegion performs a one-sided RDMA write: data lands in the target
 	// region without involving the remote CPU.
