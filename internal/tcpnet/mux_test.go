@@ -6,6 +6,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -391,5 +392,79 @@ func TestBufferPoolClasses(t *testing.T) {
 	if classFor(minPoolBuf) != 0 || classFor(minPoolBuf+1) != 1 || classFor(maxPoolBuf) != poolClasses-1 {
 		t.Fatalf("classFor boundaries wrong: %d %d %d",
 			classFor(minPoolBuf), classFor(minPoolBuf+1), classFor(maxPoolBuf))
+	}
+}
+
+// budgetConn is a fake net.Conn whose write side accepts exactly budget
+// bytes and then fails, standing in for a kernel that died mid-stream.
+type budgetConn struct {
+	budget int
+	wrote  int
+}
+
+func (c *budgetConn) Write(p []byte) (int, error) {
+	if c.wrote+len(p) > c.budget {
+		n := c.budget - c.wrote
+		if n < 0 {
+			n = 0
+		}
+		c.wrote += n
+		return n, errors.New("budget exhausted")
+	}
+	c.wrote += len(p)
+	return len(p), nil
+}
+
+func (c *budgetConn) Read([]byte) (int, error)         { return 0, errors.New("not readable") }
+func (c *budgetConn) Close() error                     { return nil }
+func (c *budgetConn) LocalAddr() net.Addr              { return &net.TCPAddr{} }
+func (c *budgetConn) RemoteAddr() net.Addr             { return &net.TCPAddr{} }
+func (c *budgetConn) SetDeadline(time.Time) error      { return nil }
+func (c *budgetConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *budgetConn) SetWriteDeadline(time.Time) error { return nil }
+
+// TestRetryExcludesAutoFlushedFrames pins the at-most-once guarantee against
+// bufio's automatic overflow flush: when buffering frame B pushes the
+// already-buffered frame A out to the kernel, a subsequent connection
+// failure must fail A as non-retryable (it may have executed on the peer)
+// while B — whose bytes never fully left the host — stays retryable.
+func TestRetryExcludesAutoFlushedFrames(t *testing.T) {
+	e, err := Listen(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	const bufSize = 64
+	// Frame A fills 45 of the 64 buffered bytes; framing B (47 bytes)
+	// overflows the buffer, auto-flushing exactly bufSize bytes — all of A
+	// plus a prefix of B — which the conn accepts before dying.
+	sink := &budgetConn{budget: bufSize}
+	cw := &countingConn{Conn: sink}
+	cc := &clientConn{
+		c:       sink,
+		cw:      cw,
+		w:       bufio.NewWriterSize(cw, bufSize),
+		dirty:   make(chan struct{}, 1),
+		done:    make(chan struct{}),
+		pending: map[uint64]chan rpcResult{},
+	}
+	idA, chA, _ := cc.register()
+	idB, chB, _ := cc.register()
+	if err := e.send(cc, opWrite, idA, 1, 0, 0, make([]byte, 8)); err != nil {
+		t.Fatalf("send A: %v", err)
+	}
+	if err := e.send(cc, opWrite, idB, 1, 0, 0, make([]byte, 10)); err != nil {
+		t.Fatalf("send B: %v", err)
+	}
+	if got := cw.n; got != bufSize {
+		t.Fatalf("kernel accepted %d bytes, want auto-flush of %d", got, bufSize)
+	}
+	e.failConn(laneKey{to: 2, lane: 0}, cc, errors.New("flush failed"))
+	resA, resB := <-chA, <-chB
+	if resA.err == nil || resA.retry {
+		t.Fatalf("frame A was fully handed to the kernel; must not be retryable (err=%v retry=%v)", resA.err, resA.retry)
+	}
+	if resB.err == nil || !resB.retry {
+		t.Fatalf("frame B never fully reached the kernel; must be retryable (err=%v retry=%v)", resB.err, resB.retry)
 	}
 }

@@ -51,8 +51,11 @@
 // of failing the caller, and every verb honors its context: cancellation or
 // deadline expiry abandons the wait immediately (the late response, if any,
 // is discarded by the demux reader). A retry is only ever attempted when the
-// request could not be fully sent, so operations are never duplicated on the
-// peer by the transport itself.
+// request frame provably never fully reached the socket: the transport
+// counts every byte handed to the kernel and records each frame's end offset
+// in the outbound stream, so a frame is re-sent only if the connection died
+// before all of its bytes were written — operations are never duplicated on
+// the peer by the transport itself.
 package tcpnet
 
 import (
@@ -192,14 +195,41 @@ type laneKey struct {
 }
 
 // rpcResult is what the demux reader delivers to a waiting round trip.
-// retry marks failures where the request provably never left this host
-// (its frame was still in the unflushed write buffer), so the operation can
-// be re-sent without risking duplicate execution on the peer.
+// retry marks failures where the request provably never fully left this host
+// (the connection died before all of its frame's bytes were handed to the
+// kernel), so the operation can be re-sent without risking duplicate
+// execution on the peer.
 type rpcResult struct {
 	status  byte
 	payload []byte
 	err     error
 	retry   bool
+}
+
+// countingConn wraps the outbound socket and counts every byte actually
+// handed to the kernel — including bufio's automatic overflow flushes and
+// its large-write bypass, not just the explicit flush-goroutine syscalls.
+// All writes (and the failConn read of n) happen under clientConn.wmu, so a
+// plain field suffices.
+type countingConn struct {
+	net.Conn
+	n int64 // bytes handed to the kernel since dial
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// frameRef remembers where one request frame ends in the outbound byte
+// stream, so a connection failure can tell frames that were fully handed to
+// the kernel (possibly delivered and executed — never retried) from frames
+// the socket provably never finished accepting (safe to retry: the peer can
+// at most have seen a truncated frame, which it discards without executing).
+type frameRef struct {
+	id  uint64
+	end int64 // stream offset one past the frame's last byte
 }
 
 // clientConn is one pooled outbound connection. The write side is guarded by
@@ -208,17 +238,20 @@ type rpcResult struct {
 //
 // Flushes are coalesced: senders only mark the writer dirty, and the
 // connection's flush goroutine pushes every frame buffered by the current
-// burst of runnable senders out in one syscall. unflushed tracks which
-// request IDs are still sitting in that buffer, so when a flush fails (a
-// stale pooled connection, typically) exactly those requests are failed as
-// retryable — they provably never reached the peer — while requests already
-// on the wire surface the error to their callers.
+// burst of runnable senders out in one syscall. unflushed records the stream
+// end offset of every frame not yet confirmed flushed; because cw counts the
+// bytes the kernel has actually accepted (bufio may flush on its own when
+// the buffer overflows), a failure marks exactly the frames whose end offset
+// lies beyond the accepted-byte count as retryable — those provably never
+// reached the peer intact — while frames fully handed to the kernel surface
+// the error to their callers.
 type clientConn struct {
-	c net.Conn
+	c  net.Conn
+	cw *countingConn // the bufio.Writer's sink; wraps c
 
 	wmu       sync.Mutex
 	w         *bufio.Writer
-	unflushed []uint64
+	unflushed []frameRef
 	wdead     bool          // write side failed; senders must not buffer more frames
 	dirty     chan struct{} // cap 1: "buffered frames await a flush"
 	done      chan struct{} // closed exactly once by failConn
@@ -447,16 +480,22 @@ func (e *Endpoint) serveConn(conn net.Conn) {
 		e.bytesRx.Add(int64(reqHeaderSize + len(req.payload)))
 		e.served.Inc()
 		switch req.op {
-		case opRead:
-			// One-sided fast path: executed inline, in arrival order. The
-			// region bytes are framed straight into the response buffer while
-			// the read lock is held — no intermediate copy — and not flushed;
-			// the loop top flushes once the request burst is drained.
-			if e.serveRead(cw, req) != nil {
-				return
+		case opRead, opWrite:
+			// One-sided fast path: executed inline, in arrival order, and not
+			// flushed — the loop top flushes once the request burst drains.
+			// opRead copies the region bytes into a pooled buffer so the
+			// regions read lock is released before the response is framed: a
+			// slow peer stalling the socket write must not pin the lock and
+			// wedge registration or one-sided traffic endpoint-wide.
+			var status byte
+			var resp []byte
+			var pooled bool
+			if req.op == opRead && req.n > maxPayload {
+				status = statusAppError
+				resp = []byte(fmt.Sprintf("read of %d bytes exceeds %d-byte frame limit", req.n, maxPayload))
+			} else {
+				status, resp, pooled = e.execute(req, true)
 			}
-		case opWrite:
-			status, resp, pooled := e.execute(req, true)
 			werr := e.respond(cw, req.id, status, resp, false)
 			if pooled {
 				putBuf(resp)
@@ -487,6 +526,9 @@ func (e *Endpoint) serveConn(conn net.Conn) {
 				_ = e.respond(cw, req.id, status, resp, true)
 			}(req)
 		default:
+			if req.pooled {
+				putBuf(req.payload)
+			}
 			if e.respond(cw, req.id, statusAppError,
 				[]byte(fmt.Sprintf("unknown op %d", req.op)), false) != nil {
 				return
@@ -551,34 +593,12 @@ func (e *Endpoint) respond(cw *connWriter, id uint64, status byte, payload []byt
 	return nil
 }
 
-// serveRead answers an inline opRead frame with zero copies: the response is
-// framed directly from the region's backing buffer under the read lock. Only
-// write errors (broken connection) are returned; status errors go back to
-// the issuer in-band.
-func (e *Endpoint) serveRead(cw *connWriter, req request) error {
-	if req.n > maxPayload {
-		return e.respond(cw, req.id, statusAppError,
-			[]byte(fmt.Sprintf("read of %d bytes exceeds %d-byte frame limit", req.n, maxPayload)), false)
-	}
-	e.regMu.RLock()
-	buf, ok := e.regions[req.region]
-	if !ok {
-		e.regMu.RUnlock()
-		return e.respond(cw, req.id, statusNoRegion, nil, false)
-	}
-	if req.offset < 0 || req.n < 0 || req.offset+int64(req.n) > int64(len(buf)) {
-		e.regMu.RUnlock()
-		return e.respond(cw, req.id, statusOutOfBounds, nil, false)
-	}
-	err := e.respond(cw, req.id, statusOK, buf[req.offset:req.offset+int64(req.n)], false)
-	e.regMu.RUnlock()
-	return err
-}
-
 // execute runs one decoded request against local state. When pool is true
 // the opRead response buffer comes from the frame pool and the returned bool
 // tells the caller to recycle it after the frame is written; the loopback
 // path passes pool=false because its result is handed to the application.
+// No branch holds regMu across socket I/O: the copy under the read lock is
+// what lets the caller frame the response after the lock is released.
 func (e *Endpoint) execute(req request, pool bool) (byte, []byte, bool) {
 	switch req.op {
 	case opWrite:
@@ -658,9 +678,11 @@ func (e *Endpoint) conn(ctx context.Context, to transport.NodeID) (laneKey, *cli
 		}
 		return key, nil, fmt.Errorf("%w: dial %s: %v", transport.ErrUnreachable, addr, err)
 	}
+	cw := &countingConn{Conn: c}
 	cc := &clientConn{
 		c:       c,
-		w:       bufio.NewWriterSize(c, 64<<10),
+		cw:      cw,
+		w:       bufio.NewWriterSize(cw, 64<<10),
 		dirty:   make(chan struct{}, 1),
 		done:    make(chan struct{}),
 		pending: map[uint64]chan rpcResult{},
@@ -677,8 +699,10 @@ func (e *Endpoint) conn(ctx context.Context, to transport.NodeID) (laneKey, *cli
 		return key, existing, nil
 	}
 	e.conns[key] = cc
-	e.mu.Unlock()
+	// Add while still holding e.mu: the closed check above means Close has
+	// not yet reached wg.Wait, so the Add cannot race it.
 	e.wg.Add(2)
+	e.mu.Unlock()
 	go e.readLoop(key, cc, bufio.NewReaderSize(c, 64<<10))
 	go e.flushLoop(key, cc)
 	return key, cc, nil
@@ -719,11 +743,15 @@ func (e *Endpoint) readLoop(key laneKey, cc *clientConn, r *bufio.Reader) {
 }
 
 // failConn marks a connection dead and fails every pending round trip.
-// Round trips whose frames were still sitting in the unflushed write buffer
-// provably never reached the peer, so they are failed as retryable and the
-// caller transparently redials; requests already on the wire get the
-// terminal error (their fate on the peer is unknown). Writes and reads
-// racing a Close of the local endpoint are reported as ErrClosed, not
+// A round trip is failed as retryable only when the kernel provably never
+// accepted its frame's final byte (the recorded stream end offset exceeds
+// the counted bytes handed to the socket): the peer can at most have
+// received a truncated frame, which it discards without executing, so the
+// caller transparently redials and re-sends. Frames fully handed to the
+// kernel — whether by the flush goroutine or by a bufio overflow flush —
+// may have been delivered and executed, so those requests get the terminal
+// error (their fate on the peer is unknown). Writes and reads racing a
+// Close of the local endpoint are reported as ErrClosed, not
 // ErrUnreachable: the peer did not go away, we did.
 func (e *Endpoint) failConn(key laneKey, cc *clientConn, cause error) {
 	e.dropConn(key, cc)
@@ -734,8 +762,9 @@ func (e *Endpoint) failConn(key laneKey, cc *clientConn, cause error) {
 	}
 	cc.wmu.Lock()
 	cc.wdead = true
-	unsent := cc.unflushed
+	refs := cc.unflushed
 	cc.unflushed = nil
+	accepted := cc.cw.n
 	cc.wmu.Unlock()
 	cc.pmu.Lock()
 	if cc.dead {
@@ -749,10 +778,12 @@ func (e *Endpoint) failConn(key laneKey, cc *clientConn, cause error) {
 	cc.pmu.Unlock()
 	close(cc.done)
 	var unsentSet map[uint64]struct{}
-	if len(unsent) > 0 && !closed {
-		unsentSet = make(map[uint64]struct{}, len(unsent))
-		for _, id := range unsent {
-			unsentSet[id] = struct{}{}
+	if len(refs) > 0 && !closed {
+		unsentSet = make(map[uint64]struct{}, len(refs))
+		for _, ref := range refs {
+			if ref.end > accepted {
+				unsentSet[ref.id] = struct{}{}
+			}
 		}
 	}
 	for id, ch := range pending {
@@ -769,9 +800,13 @@ func (e *Endpoint) failConn(key laneKey, cc *clientConn, cause error) {
 // each other's responses. The flush syscall is always deferred to the
 // connection's flush goroutine, which batches every frame written by the
 // current burst of runnable senders — the mechanism that keeps a one-core
-// host from paying one write syscall per concurrent RPC. Until that flush
-// succeeds the request ID rides in unflushed, which is what lets a failed
-// flush (a stale pooled connection, typically) be retried safely.
+// host from paying one write syscall per concurrent RPC. Until a flush
+// confirms delivery to the kernel, the frame's stream end offset rides in
+// unflushed, which is what lets a failed flush (a stale pooled connection,
+// typically) be retried safely: failConn compares each recorded offset
+// against the bytes the socket actually accepted. A writeRequest error kills
+// the write side immediately — the buffer may hold a truncated frame that
+// must never be followed by more bytes.
 func (e *Endpoint) send(cc *clientConn, op byte, id uint64, region transport.RegionID, offset int64, n int, payload []byte) error {
 	cc.wmu.Lock()
 	if cc.wdead {
@@ -780,7 +815,13 @@ func (e *Endpoint) send(cc *clientConn, op byte, id uint64, region transport.Reg
 	}
 	err := writeRequest(cc.w, op, id, e.id, region, offset, n, payload)
 	if err == nil {
-		cc.unflushed = append(cc.unflushed, id)
+		// Stream offset of this frame's last byte: everything the kernel has
+		// accepted so far plus everything still sitting in the bufio buffer.
+		// Holds even when bufio auto-flushed mid-frame or bypassed the buffer
+		// for a large payload — cw counted those bytes as they went out.
+		cc.unflushed = append(cc.unflushed, frameRef{id: id, end: cc.cw.n + int64(cc.w.Buffered())})
+	} else {
+		cc.wdead = true
 	}
 	cc.wmu.Unlock()
 	if err != nil {
@@ -810,6 +851,8 @@ func (e *Endpoint) flushLoop(key laneKey, cc *clientConn) {
 				err = cc.w.Flush()
 			}
 			if err == nil {
+				// Buffer empty: every recorded frame end is <= cw.n, i.e.
+				// fully handed to the kernel and no longer retryable.
 				cc.unflushed = cc.unflushed[:0]
 			}
 			cc.wmu.Unlock()
