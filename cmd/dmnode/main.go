@@ -14,6 +14,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -114,17 +115,11 @@ func run(args []string) error {
 			// never stall the loop past one interval: the transport honors
 			// cancellation mid-RPC.
 			ctx, cancel := context.WithTimeout(context.Background(), *tick)
-			node.BroadcastHeartbeat(ctx)
-			if err := node.Heartbeat(); err != nil {
-				log.Printf("heartbeat: %v", err)
-			}
-			dir.Tick()
-			if repaired, err := node.Maintain(ctx); err != nil {
-				log.Printf("maintain: %v", err)
-			} else if repaired > 0 {
-				log.Printf("re-replicated %d entries", repaired)
-			}
+			err := tickOnce(ctx, node, dir, log.Printf)
 			cancel()
+			if err != nil {
+				return fmt.Errorf("maintenance tick: %w", err)
+			}
 			st := node.Stats()
 			log.Printf("stats: remote-allocs=%d shared-puts=%d remote-puts=%d evicted=%d free-recv=%d",
 				st.RemoteAllocs, st.SharedPuts, st.RemotePuts, st.EvictedBlocks, node.RecvPool().FreeBytes())
@@ -135,6 +130,36 @@ func run(args []string) error {
 			log.Printf("dmnode %d shutting down", *id)
 			return nil
 		}
+	}
+}
+
+// tickOnce runs one heartbeat/maintenance round. Transient cluster
+// conditions — a peer vanishing mid-tick (transport.ErrUnreachable), the
+// round's deadline expiring, or the cluster momentarily lacking replacement
+// capacity — are logged and left for the next tick to retry: Maintain keeps
+// failed repairs queued. Any other error is returned and terminates the
+// daemon.
+func tickOnce(ctx context.Context, node *core.Node, dir *cluster.Directory, logf func(format string, v ...any)) error {
+	node.BroadcastHeartbeat(ctx)
+	if err := node.Heartbeat(); err != nil {
+		return fmt.Errorf("heartbeat: %w", err)
+	}
+	dir.Tick()
+	repaired, err := node.Maintain(ctx)
+	if repaired > 0 {
+		logf("re-replicated %d entries", repaired)
+	}
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, transport.ErrUnreachable),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, core.ErrNoCandidates):
+		logf("maintain: %v (retrying next tick)", err)
+		return nil
+	default:
+		return fmt.Errorf("maintain: %w", err)
 	}
 }
 

@@ -1,8 +1,16 @@
 package main
 
 import (
+	"context"
+	"fmt"
+	"strings"
 	"testing"
+	"time"
 
+	"godm/internal/cluster"
+	"godm/internal/core"
+	"godm/internal/faulty"
+	"godm/internal/tcpnet"
 	"godm/internal/transport"
 )
 
@@ -48,5 +56,151 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-nope"}); err == nil {
 		t.Fatal("expected error for unknown flag")
+	}
+}
+
+// tickCluster is a four-node in-process cluster whose first node speaks
+// through a fault injector — the regression fixture for the daemon's tick
+// loop.
+type tickCluster struct {
+	inj  *faulty.Injector
+	node *core.Node // node 1, faulty endpoint
+	dir  *cluster.Directory
+	vs   *core.VirtualServer
+}
+
+func newTickCluster(t *testing.T) *tickCluster {
+	t.Helper()
+	const n = 4
+	inj := faulty.New(1)
+	addrs := map[transport.NodeID]string{}
+	var eps []*tcpnet.Endpoint
+	for i := 1; i <= n; i++ {
+		ep, err := tcpnet.Listen(transport.NodeID(i), "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps = append(eps, ep)
+		addrs[ep.ID()] = ep.Addr()
+		t.Cleanup(func() { _ = ep.Close() })
+	}
+	tc := &tickCluster{inj: inj}
+	for i, ep := range eps {
+		for id, addr := range addrs {
+			if id != ep.ID() {
+				ep.AddPeer(id, addr)
+			}
+		}
+		dir, err := cluster.NewDirectory(cluster.Config{GroupSize: n, HeartbeatTimeout: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 1; j <= n; j++ {
+			if j != i+1 {
+				dir.Join(cluster.NodeID(j), 1<<20)
+			}
+		}
+		fabric := transport.Endpoint(ep)
+		if i == 0 {
+			fabric = inj.Wrap(ep)
+		}
+		node, err := core.NewNode(core.Config{
+			ID:                ep.ID(),
+			SharedPoolBytes:   8192,
+			SendPoolBytes:     8192,
+			RecvPoolBytes:     1 << 20,
+			SlabSize:          4096,
+			ReplicationFactor: 2,
+		}, fabric, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			tc.node, tc.dir = node, dir
+			vs, err := node.AddServer("tick-test", 1<<20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.vs = vs
+		}
+	}
+	return tc
+}
+
+// TestTickOnceRetriesUnreachablePeer reproduces the mid-tick peer loss: a
+// replica holder becomes unreachable while a repair is pending, so Maintain
+// fails with transport.ErrUnreachable. The tick must log and carry on — not
+// kill the daemon — and the next tick, with the peer back, must complete the
+// repair it kept queued.
+func TestTickOnceRetriesUnreachablePeer(t *testing.T) {
+	tc := newTickCluster(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	payload := []byte("tick-loop-regression-payload")
+	if err := tc.vs.PutRemote(ctx, 1, payload, 4096, 4096); err != nil {
+		t.Fatalf("PutRemote: %v", err)
+	}
+	loc, err := tc.vs.Location(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := transport.NodeID(loc.Replicas[0])
+	if queued := tc.node.RepairLost(lost); queued != 1 {
+		t.Fatalf("RepairLost queued %d repairs, want 1", queued)
+	}
+
+	// Every fabric operation from node 1 now fails as unreachable.
+	tc.inj.AddRules([]faulty.Rule{{
+		Kind: faulty.KindDrop, Verb: faulty.VerbAny,
+		From: faulty.AnyNode, To: faulty.AnyNode, Pct: 100,
+	}})
+	var lines []string
+	logf := func(format string, v ...any) { lines = append(lines, fmt.Sprintf(format, v...)) }
+	if err := tickOnce(ctx, tc.node, tc.dir, logf); err != nil {
+		t.Fatalf("tickOnce during outage: %v, want nil (logged retry)", err)
+	}
+	retried := false
+	for _, l := range lines {
+		if strings.Contains(l, "retrying next tick") {
+			retried = true
+		}
+	}
+	if !retried {
+		t.Fatalf("no retry log line during outage; got %q", lines)
+	}
+
+	// Fabric heals; the queued repair completes and the lost holder is
+	// replaced.
+	tc.inj.SetEnabled(false)
+	lines = nil
+	if err := tickOnce(ctx, tc.node, tc.dir, logf); err != nil {
+		t.Fatalf("tickOnce after heal: %v", err)
+	}
+	repaired := false
+	for _, l := range lines {
+		if strings.Contains(l, "re-replicated 1 entries") {
+			repaired = true
+		}
+	}
+	if !repaired {
+		t.Fatalf("repair did not complete after heal; got %q", lines)
+	}
+	loc, err = tc.vs.Location(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	holders := []transport.NodeID{transport.NodeID(loc.Primary)}
+	for _, r := range loc.Replicas {
+		holders = append(holders, transport.NodeID(r))
+	}
+	for _, h := range holders {
+		if h == lost {
+			t.Fatalf("lost node %d still in replica set after repair", lost)
+		}
+	}
+	got, _, err := tc.vs.Get(ctx, 1)
+	if err != nil || string(got) != string(payload) {
+		t.Fatalf("entry unreadable after repair: %q, %v", got, err)
 	}
 }

@@ -1,0 +1,227 @@
+// Package chaos is the seeded cluster chaos test harness: it wires a full
+// disaggregated-memory cluster — per-node directories, heartbeat failure
+// detection, triple-replica remote writes — over either fabric (the
+// discrete-event simulated RDMA network or real TCP sockets), with every
+// endpoint wrapped by one shared faulty.Injector. Scenarios drive workloads
+// under a seeded fault schedule and assert the §IV.D invariants with the
+// checkers in invariants.go.
+//
+// Determinism contract: a scenario that issues its fabric operations serially
+// from one goroutine while the injector is enabled produces the same
+// faulty.Trace and the same outcome sequence on every run with the same seed,
+// on both fabrics. Setup traffic that is inherently concurrent under TCP
+// (heartbeat fan-out) must run with the injector disabled so it does not
+// advance the decision counters.
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"godm/internal/cluster"
+	"godm/internal/core"
+	"godm/internal/des"
+	"godm/internal/faulty"
+	"godm/internal/simnet"
+	"godm/internal/tcpnet"
+	"godm/internal/transport"
+)
+
+// FabricKind selects the transport under test.
+type FabricKind string
+
+// The two interchangeable fabrics.
+const (
+	FabricSim FabricKind = "sim"
+	FabricTCP FabricKind = "tcp"
+)
+
+// Config shapes a chaos cluster.
+type Config struct {
+	// Nodes is the cluster size (IDs 1..Nodes).
+	Nodes int
+	// ReplicationFactor for remote entries.
+	ReplicationFactor int
+	// HeartbeatTimeout in failure-detector ticks.
+	HeartbeatTimeout int64
+}
+
+// DefaultConfig is a six-node cluster with the paper's triple replicas —
+// large enough that losing one replica holder leaves a repair candidate.
+func DefaultConfig() Config {
+	return Config{Nodes: 6, ReplicationFactor: 3, HeartbeatTimeout: 3}
+}
+
+// Cluster is a fault-injected test cluster. Every node runs its own
+// directory (as real dmnode processes do) fed by control-plane heartbeats,
+// so leader views can genuinely diverge and re-converge.
+type Cluster struct {
+	Kind FabricKind
+	Seed int64
+	Inj  *faulty.Injector
+	// Nodes[i] has fabric ID i+1.
+	Nodes []*core.Node
+	// Dirs[i] is node i+1's private membership view.
+	Dirs []*cluster.Directory
+
+	env     *des.Env
+	closers []func()
+}
+
+// New builds a chaos cluster of the given kind. The injector starts enabled
+// with no rules; load a schedule with cl.Inj.AddRules or Load.
+func New(t *testing.T, kind FabricKind, seed int64, cfg Config) *Cluster {
+	t.Helper()
+	if cfg.Nodes < 2 {
+		t.Fatalf("chaos: cluster needs at least 2 nodes, got %d", cfg.Nodes)
+	}
+	cl := &Cluster{Kind: kind, Seed: seed, Inj: faulty.New(seed)}
+
+	var raw []transport.Endpoint
+	switch kind {
+	case FabricSim:
+		cl.env = des.NewEnv()
+		fabric := simnet.New(cl.env, simnet.DefaultParams())
+		for i := 1; i <= cfg.Nodes; i++ {
+			ep, err := fabric.Attach(transport.NodeID(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw = append(raw, ep)
+		}
+	case FabricTCP:
+		addrs := map[transport.NodeID]string{}
+		var eps []*tcpnet.Endpoint
+		for i := 1; i <= cfg.Nodes; i++ {
+			ep, err := tcpnet.Listen(transport.NodeID(i), "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			eps = append(eps, ep)
+			addrs[transport.NodeID(i)] = ep.Addr()
+			cl.closers = append(cl.closers, func() { _ = ep.Close() })
+		}
+		for _, ep := range eps {
+			for id, addr := range addrs {
+				if id != ep.ID() {
+					ep.AddPeer(id, addr)
+				}
+			}
+			raw = append(raw, ep)
+		}
+	default:
+		t.Fatalf("chaos: unknown fabric %q", kind)
+	}
+
+	for i := 1; i <= cfg.Nodes; i++ {
+		dir, err := cluster.NewDirectory(cluster.Config{
+			GroupSize:        cfg.Nodes,
+			HeartbeatTimeout: cfg.HeartbeatTimeout,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Pre-seed peers as dmnode does; real free-byte figures arrive with
+		// the first heartbeat round.
+		for j := 1; j <= cfg.Nodes; j++ {
+			if j != i {
+				dir.Join(cluster.NodeID(j), 0)
+			}
+		}
+		node, err := core.NewNode(core.Config{
+			ID:                transport.NodeID(i),
+			SharedPoolBytes:   8192, // two 4 KiB blocks: puts overflow to remote
+			SendPoolBytes:     8192,
+			RecvPoolBytes:     1 << 20,
+			SlabSize:          4096,
+			ReplicationFactor: cfg.ReplicationFactor,
+		}, cl.Inj.Wrap(raw[i-1]), dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl.Nodes = append(cl.Nodes, node)
+		cl.Dirs = append(cl.Dirs, dir)
+	}
+	return cl
+}
+
+// Close releases listeners (TCP) — a no-op under simulation.
+func (cl *Cluster) Close() {
+	for _, fn := range cl.closers {
+		fn()
+	}
+}
+
+// Run executes body with a fabric-appropriate context: a simulation process
+// under FabricSim (driving the event loop to completion), a plain background
+// context under FabricTCP.
+func (cl *Cluster) Run(t *testing.T, body func(ctx context.Context)) {
+	t.Helper()
+	if cl.Kind == FabricSim {
+		cl.env.Go("chaos", func(p *des.Proc) {
+			body(des.NewContext(context.Background(), p))
+		})
+		if err := cl.env.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	body(context.Background())
+}
+
+// HeartbeatRound performs one failure-detector interval: every node that the
+// injector has not crashed broadcasts its heartbeat, records its own, and
+// advances its directory tick. It returns the membership events each node
+// observed, indexed like Nodes.
+func (cl *Cluster) HeartbeatRound(ctx context.Context) [][]cluster.Event {
+	events := make([][]cluster.Event, len(cl.Nodes))
+	for _, n := range cl.Nodes {
+		if cl.Inj.Crashed(ctx, n.ID()) {
+			continue // a dead process sends nothing and does not tick
+		}
+		n.BroadcastHeartbeat(ctx)
+		_ = n.Heartbeat()
+	}
+	for i, n := range cl.Nodes {
+		if cl.Inj.Crashed(ctx, n.ID()) {
+			continue
+		}
+		events[i] = cl.Dirs[i].Tick()
+	}
+	return events
+}
+
+// Payload derives the deterministic test payload for entry i under this
+// cluster's seed: size bytes, content a function of (seed, i) only.
+func (cl *Cluster) Payload(i, size int) []byte {
+	out := make([]byte, size)
+	x := uint64(cl.Seed)*0x9E3779B97F4A7C15 + uint64(i)
+	for j := range out {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		out[j] = byte(x)
+	}
+	return out
+}
+
+// Classify maps a put/get error to a stable label for outcome traces: error
+// strings can embed run-specific details (addresses, offsets), labels cannot.
+func Classify(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, core.ErrRemoteFull):
+		return "aborted"
+	case errors.Is(err, core.ErrNoCandidates):
+		return "no-candidates"
+	case errors.Is(err, faulty.ErrInjected):
+		return "injected"
+	case errors.Is(err, transport.ErrUnreachable):
+		return "unreachable"
+	default:
+		return fmt.Sprintf("error:%T", err)
+	}
+}

@@ -1,0 +1,186 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"godm/internal/cluster"
+	"godm/internal/core"
+	"godm/internal/faulty"
+	"godm/internal/pagetable"
+	"godm/internal/transport"
+)
+
+// RequireWriteAtomicity asserts the §IV.D all-or-nothing contract for one
+// replicated write that returned werr: on success, the owner's Get and a
+// direct read from every node in the recorded replica set all return exactly
+// payload (no torn quorum); on failure, the memory map has no entry — a
+// rolled-back write left nothing visible. The injector is paused during the
+// checks so verification traffic is not itself faulted and does not advance
+// the decision counters.
+func RequireWriteAtomicity(ctx context.Context, t *testing.T, inj *faulty.Injector, vs *core.VirtualServer, id pagetable.EntryID, payload []byte, werr error) {
+	t.Helper()
+	inj.SetEnabled(false)
+	defer inj.SetEnabled(true)
+
+	if werr != nil {
+		if _, err := vs.Location(id); !errors.Is(err, pagetable.ErrNotFound) {
+			t.Errorf("entry %d: write failed (%v) but memory map still has a location (err=%v): torn write visible", id, werr, err)
+		}
+		return
+	}
+	got, loc, err := vs.Get(ctx, id)
+	if err != nil {
+		t.Errorf("entry %d: committed write not readable: %v", id, err)
+		return
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("entry %d: Get returned wrong bytes after committed write", id)
+	}
+	holders := append([]pagetable.NodeID{loc.Primary}, loc.Replicas...)
+	for _, h := range holders {
+		data, err := vs.ReadFrom(ctx, id, transport.NodeID(h))
+		if err != nil {
+			t.Errorf("entry %d: holder %d unreadable after committed write: %v", id, h, err)
+			continue
+		}
+		if !bytes.Equal(data, payload) {
+			t.Errorf("entry %d: holder %d serves torn/wrong bytes", id, h)
+		}
+	}
+}
+
+// RequireReplicationFactor asserts that id's replica set holds factor
+// distinct nodes, none of them lost.
+func RequireReplicationFactor(t *testing.T, vs *core.VirtualServer, id pagetable.EntryID, factor int, lost transport.NodeID) {
+	t.Helper()
+	loc, err := vs.Location(id)
+	if err != nil {
+		t.Errorf("entry %d: no location: %v", id, err)
+		return
+	}
+	holders := append([]pagetable.NodeID{loc.Primary}, loc.Replicas...)
+	seen := map[pagetable.NodeID]bool{}
+	for _, h := range holders {
+		if h == pagetable.NodeID(lost) {
+			t.Errorf("entry %d: lost node %d still in replica set %v", id, lost, holders)
+		}
+		if seen[h] {
+			t.Errorf("entry %d: duplicate holder %d in replica set %v", id, h, holders)
+		}
+		seen[h] = true
+	}
+	if len(holders) != factor {
+		t.Errorf("entry %d: replica set %v has %d holders, want %d", id, holders, len(holders), factor)
+	}
+}
+
+// RequireSingleLeader asserts that, in every listed directory, each group
+// with alive members has exactly one leader and that leader is an alive
+// member of the group. Directories of crashed nodes should be excluded by
+// the caller — a dead process's stale view is not an invariant violation.
+func RequireSingleLeader(t *testing.T, dirs []*cluster.Directory) {
+	t.Helper()
+	for i, dir := range dirs {
+		groups := dir.Groups()
+		if groups == 0 {
+			groups = 1
+		}
+		for g := 0; g < groups; g++ {
+			members := dir.GroupMembers(g)
+			if len(members) == 0 {
+				continue
+			}
+			leader, ok := dir.Leader(g)
+			if !ok {
+				t.Errorf("dir %d: group %d has %d alive members but no leader", i, g, len(members))
+				continue
+			}
+			if !dir.Alive(leader) {
+				t.Errorf("dir %d: group %d leader %d is not alive", i, g, leader)
+			}
+			found := false
+			for _, m := range members {
+				if m.ID == leader {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("dir %d: group %d leader %d is not a group member %v", i, g, leader, members)
+			}
+		}
+	}
+}
+
+// RequireLeaderAgreement asserts every listed directory names the same
+// leader for group g. Call it after equal membership views have propagated
+// (a heartbeat round with forced re-election, i.e. §IV.C dynamic
+// regrouping); under the stable-incumbent election rule, views may
+// legitimately disagree before that.
+func RequireLeaderAgreement(t *testing.T, dirs []*cluster.Directory, g int) cluster.NodeID {
+	t.Helper()
+	var agreed cluster.NodeID
+	have := false
+	for i, dir := range dirs {
+		leader, ok := dir.Leader(g)
+		if !ok {
+			t.Errorf("dir %d: no leader for group %d", i, g)
+			continue
+		}
+		if !have {
+			agreed, have = leader, true
+			continue
+		}
+		if leader != agreed {
+			t.Errorf("dir %d: leader %d for group %d, others say %d", i, leader, g, agreed)
+		}
+	}
+	return agreed
+}
+
+// CallRecorder counts control-plane deliveries per request payload. Wrap a
+// node's handler with it and send each logical request with a unique payload:
+// if any payload is delivered more than once, the transport's retry machinery
+// has broken its at-most-once contract (it retried a request that may have
+// already executed).
+type CallRecorder struct {
+	mu   sync.Mutex
+	seen map[string]int
+}
+
+// NewCallRecorder returns an empty recorder.
+func NewCallRecorder() *CallRecorder {
+	return &CallRecorder{seen: map[string]int{}}
+}
+
+// Wrap returns a handler that counts each delivery, then invokes h.
+func (r *CallRecorder) Wrap(h transport.Handler) transport.Handler {
+	return func(from transport.NodeID, payload []byte) ([]byte, error) {
+		r.mu.Lock()
+		r.seen[string(payload)]++
+		r.mu.Unlock()
+		return h(from, payload)
+	}
+}
+
+// Deliveries returns how many times the given request payload arrived.
+func (r *CallRecorder) Deliveries(payload string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seen[payload]
+}
+
+// RequireAtMostOnce asserts no recorded request was delivered twice.
+func (r *CallRecorder) RequireAtMostOnce(t *testing.T) {
+	t.Helper()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for payload, n := range r.seen {
+		if n > 1 {
+			t.Errorf("request %q delivered %d times: at-most-once violated", payload, n)
+		}
+	}
+}

@@ -474,24 +474,54 @@ func (n *Node) EvictRecvSlabs(ctx context.Context, wantBytes int64) (int64, erro
 	return reclaimed, nil
 }
 
+// RepairLost enqueues re-replication for every remote entry whose replica set
+// includes lost, as if the node had managed to send eviction notices before
+// dying. A crashed host cannot notify anyone, so the failure detector is the
+// only signal: call this when the directory reports EventNodeDown (the chaos
+// harness and a production tick loop both do), then let the next Maintain
+// pass restore the replication factor. It returns the number of entries
+// queued.
+func (n *Node) RepairLost(lost transport.NodeID) int {
+	n.mu.Lock()
+	servers := append([]*VirtualServer(nil), n.vsByIndex...)
+	n.mu.Unlock()
+	queued := 0
+	for _, vs := range servers {
+		for _, id := range vs.table.EntriesOnNode(pagetable.NodeID(lost)) {
+			key := vs.key(id)
+			n.remote.drop(lost, key)
+			n.mu.Lock()
+			n.pendingRepairs = append(n.pendingRepairs, pendingRepair{key: key, lost: lost})
+			n.mu.Unlock()
+			queued++
+		}
+	}
+	return queued
+}
+
 // Maintain performs deferred re-replication for blocks lost to remote
 // evictions or failures. Call it periodically (the daemon does so from its
-// tick loop; simulations from a maintenance process).
+// tick loop; simulations from a maintenance process). Repairs that fail —
+// typically because a source or replacement peer is unreachable right now —
+// stay queued and are retried on the next call.
 func (n *Node) Maintain(ctx context.Context) (repaired int, firstErr error) {
 	n.mu.Lock()
 	pending := n.pendingRepairs
 	n.pendingRepairs = nil
 	n.mu.Unlock()
+	var failed []pendingRepair
 	for _, p := range pending {
 		if err := n.repairEntry(ctx, p); err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}
+			failed = append(failed, p)
 			continue
 		}
 		repaired++
 	}
 	n.mu.Lock()
+	n.pendingRepairs = append(n.pendingRepairs, failed...)
 	n.stats.RepairsDone += int64(repaired)
 	n.mu.Unlock()
 	return repaired, firstErr

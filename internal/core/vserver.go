@@ -9,6 +9,7 @@ import (
 	"godm/internal/pagetable"
 	"godm/internal/replication"
 	"godm/internal/slab"
+	"godm/internal/transport"
 )
 
 // keyEntryMask keeps the low 48 bits of an entry ID; the top 16 bits carry
@@ -251,4 +252,29 @@ func (vs *VirtualServer) releaseLocation(ctx context.Context, id pagetable.Entry
 // Location reports where an entry currently lives.
 func (vs *VirtualServer) Location(id pagetable.EntryID) (pagetable.Location, error) {
 	return vs.table.Get(id)
+}
+
+// ReadFrom fetches a remote entry's payload directly from one specific member
+// of its replica set, bypassing the usual primary-then-replicas failover. The
+// chaos invariant checkers use it to verify replicated-write atomicity: after
+// a committed write, every holder must serve the same bytes.
+func (vs *VirtualServer) ReadFrom(ctx context.Context, id pagetable.EntryID, node transport.NodeID) ([]byte, error) {
+	loc, err := vs.table.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	if loc.Tier != pagetable.TierRemote {
+		return nil, fmt.Errorf("core: entry %d is on tier %v, not remote", id, loc.Tier)
+	}
+	member := false
+	for _, n := range locationNodes(loc) {
+		if transport.NodeID(n) == node {
+			member = true
+			break
+		}
+	}
+	if !member {
+		return nil, fmt.Errorf("core: node %d is not in the replica set of entry %d", node, id)
+	}
+	return vs.node.remote.Get(ctx, replication.NodeID(node), replication.EntryID(vs.key(id)))
 }

@@ -1,0 +1,119 @@
+package exp
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The headline experiments run entirely on the simulated clock with a fixed
+// seed, so their rendered output is a pure function of the code: any diff in a
+// golden file is a behaviour change in the model, not noise. Regenerate with
+//
+//	go test ./internal/exp -run Golden -update
+//
+// and review the diff like any other code change.
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output drifted from %s\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestFig7Golden(t *testing.T) {
+	res, err := Fig7(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig7", res.String())
+
+	// Beyond byte-stability, pin the crossover claims the paper leads with:
+	// the tighter 50% configuration widens FastSwap's advantage over both
+	// baselines, and the worst case over Linux exceeds the average.
+	for _, cfg := range []string{"75%", "50%"} {
+		if res.AvgOverLinux[cfg] <= 1 || res.AvgOverInfiniswap[cfg] <= 1 {
+			t.Errorf("config %s: aggregates not above 1 (Linux %.2f, Infiniswap %.2f)",
+				cfg, res.AvgOverLinux[cfg], res.AvgOverInfiniswap[cfg])
+		}
+		if res.MaxOverLinux[cfg] < res.AvgOverLinux[cfg] {
+			t.Errorf("config %s: max over Linux %.2f below avg %.2f",
+				cfg, res.MaxOverLinux[cfg], res.AvgOverLinux[cfg])
+		}
+	}
+	if res.AvgOverInfiniswap["50%"] <= res.AvgOverInfiniswap["75%"] {
+		t.Errorf("50%% config did not widen the Infiniswap gap: %.2f vs %.2f",
+			res.AvgOverInfiniswap["50%"], res.AvgOverInfiniswap["75%"])
+	}
+}
+
+func TestFig8Golden(t *testing.T) {
+	res, err := Fig8(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig8", res.String())
+
+	// The sweep's crossover claims: the all-disaggregated FastSwap still beats
+	// both block-device baselines, and Linux disk swap is the floor everywhere.
+	for _, row := range res.Rows {
+		for _, sys := range []string{"Infiniswap", "NBDX"} {
+			if row.OpsPerSec["FS-RDMA"] < row.OpsPerSec[sys] {
+				t.Errorf("%s: FS-RDMA (%.0f ops/s) below %s (%.0f ops/s)",
+					row.Workload, row.OpsPerSec["FS-RDMA"], sys, row.OpsPerSec[sys])
+			}
+		}
+		for _, sys := range Fig8SystemNames[:len(Fig8SystemNames)-1] {
+			if row.OpsPerSec[sys] <= row.OpsPerSec["Linux"] {
+				t.Errorf("%s: %s (%.0f ops/s) not above the Linux floor (%.0f ops/s)",
+					row.Workload, sys, row.OpsPerSec[sys], row.OpsPerSec["Linux"])
+			}
+		}
+	}
+}
+
+func TestMapScaleGolden(t *testing.T) {
+	res := MapScale()
+	checkGolden(t, "mapscale", res.String())
+
+	// The arithmetic is exact, so pin it exactly: grouping by g on n nodes
+	// divides the flat per-node map by n/g, and larger groups always cost more
+	// per node than smaller ones.
+	for _, row := range res.Rows {
+		for _, g := range res.GroupSizes {
+			want := row.FlatBytes * int64(g) / int64(res.TotalNodes)
+			if got := row.GroupedBytes[g]; got != want {
+				t.Errorf("%s group=%d: %d bytes, want flat/%d = %d",
+					row.ClusterMemory, g, got, res.TotalNodes/g, want)
+			}
+		}
+		for i := 1; i < len(res.GroupSizes); i++ {
+			lo, hi := res.GroupSizes[i-1], res.GroupSizes[i]
+			if row.GroupedBytes[hi] <= row.GroupedBytes[lo] {
+				t.Errorf("%s: group=%d (%d B) not above group=%d (%d B)",
+					row.ClusterMemory, hi, row.GroupedBytes[hi], lo, row.GroupedBytes[lo])
+			}
+		}
+	}
+	// Metadata scales linearly with cluster memory: 10 TB costs 5x the 2 TB map.
+	if res.Rows[1].FlatBytes != 5*res.Rows[0].FlatBytes {
+		t.Errorf("flat map not linear in cluster memory: %d vs %d",
+			res.Rows[1].FlatBytes, res.Rows[0].FlatBytes)
+	}
+}

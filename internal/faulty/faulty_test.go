@@ -1,0 +1,440 @@
+package faulty
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"godm/internal/transport"
+)
+
+// memEndpoint is a loopback fabric for injector tests: every node shares one
+// map of regions and handlers, all operations succeed.
+type memFabric struct {
+	mu       sync.Mutex
+	regions  map[transport.NodeID]map[transport.RegionID][]byte
+	handlers map[transport.NodeID]transport.Handler
+	calls    map[transport.NodeID]int // handler invocations per node
+	writes   map[transport.NodeID]int // writes landed per node
+}
+
+func newMemFabric() *memFabric {
+	return &memFabric{
+		regions:  map[transport.NodeID]map[transport.RegionID][]byte{},
+		handlers: map[transport.NodeID]transport.Handler{},
+		calls:    map[transport.NodeID]int{},
+		writes:   map[transport.NodeID]int{},
+	}
+}
+
+type memEndpoint struct {
+	f  *memFabric
+	id transport.NodeID
+}
+
+func (f *memFabric) attach(id transport.NodeID) *memEndpoint {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.regions[id] = map[transport.RegionID][]byte{}
+	return &memEndpoint{f: f, id: id}
+}
+
+func (e *memEndpoint) ID() transport.NodeID { return e.id }
+
+func (e *memEndpoint) RegisterRegion(id transport.RegionID, size int) ([]byte, error) {
+	e.f.mu.Lock()
+	defer e.f.mu.Unlock()
+	buf := make([]byte, size)
+	e.f.regions[e.id][id] = buf
+	return buf, nil
+}
+
+func (e *memEndpoint) DeregisterRegion(id transport.RegionID) error {
+	e.f.mu.Lock()
+	defer e.f.mu.Unlock()
+	delete(e.f.regions[e.id], id)
+	return nil
+}
+
+func (e *memEndpoint) SetHandler(h transport.Handler) {
+	e.f.mu.Lock()
+	e.f.handlers[e.id] = h
+	e.f.mu.Unlock()
+}
+
+func (e *memEndpoint) Close() error { return nil }
+
+func (e *memEndpoint) WriteRegion(_ context.Context, to transport.NodeID, region transport.RegionID, offset int64, data []byte) error {
+	e.f.mu.Lock()
+	defer e.f.mu.Unlock()
+	buf, ok := e.f.regions[to][region]
+	if !ok {
+		return transport.ErrNoRegion
+	}
+	copy(buf[offset:], data)
+	e.f.writes[to]++
+	return nil
+}
+
+func (e *memEndpoint) ReadRegion(_ context.Context, to transport.NodeID, region transport.RegionID, offset int64, n int) ([]byte, error) {
+	e.f.mu.Lock()
+	defer e.f.mu.Unlock()
+	buf, ok := e.f.regions[to][region]
+	if !ok {
+		return nil, transport.ErrNoRegion
+	}
+	out := make([]byte, n)
+	copy(out, buf[offset:])
+	return out, nil
+}
+
+func (e *memEndpoint) Call(_ context.Context, to transport.NodeID, payload []byte) ([]byte, error) {
+	e.f.mu.Lock()
+	h := e.f.handlers[to]
+	e.f.calls[to]++
+	e.f.mu.Unlock()
+	if h == nil {
+		return nil, transport.ErrNoHandler
+	}
+	return h(e.id, payload)
+}
+
+// stillClock pins injector time to a settable instant, so window tests do not
+// depend on the wall clock.
+type stillClock struct {
+	mu    sync.Mutex
+	now   time.Duration
+	slept []time.Duration
+}
+
+func (c *stillClock) Now(context.Context) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *stillClock) Sleep(_ context.Context, d time.Duration) {
+	c.mu.Lock()
+	c.slept = append(c.slept, d)
+	c.mu.Unlock()
+}
+
+func (c *stillClock) set(d time.Duration) {
+	c.mu.Lock()
+	c.now = d
+	c.mu.Unlock()
+}
+
+func TestInjectedErrorMatchesBothSentinels(t *testing.T) {
+	err := injectedf("boom")
+	if !errors.Is(err, ErrInjected) {
+		t.Errorf("injected error does not match ErrInjected")
+	}
+	if !errors.Is(err, transport.ErrUnreachable) {
+		t.Errorf("injected error does not match transport.ErrUnreachable")
+	}
+	if errors.Is(err, transport.ErrClosed) {
+		t.Errorf("injected error must not match unrelated sentinels")
+	}
+}
+
+func TestDropRuleAlwaysFires(t *testing.T) {
+	fab := newMemFabric()
+	inj := New(1)
+	inj.AddRule(Rule{Kind: KindDrop, Verb: VerbWrite, From: AnyNode, To: 2, Pct: 100})
+	ep1 := inj.Wrap(fab.attach(1))
+	fab.attach(2)
+	ctx := context.Background()
+
+	if err := ep1.WriteRegion(ctx, 2, 7, 0, []byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write to node2: got %v, want injected drop", err)
+	}
+	// Other targets and verbs are untouched.
+	fab.attach(3)
+	if _, err := ep1.(*Endpoint).Inner().RegisterRegion(9, 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := ep1.WriteRegion(ctx, 3, 0, 0, nil); !errors.Is(err, transport.ErrNoRegion) {
+		t.Fatalf("write to node3 should reach the fabric, got %v", err)
+	}
+	if got := inj.Stats().Drops; got != 1 {
+		t.Errorf("Drops = %d, want 1", got)
+	}
+}
+
+func TestDelayUsesClock(t *testing.T) {
+	fab := newMemFabric()
+	clk := &stillClock{}
+	inj := New(1, WithClock(clk))
+	inj.AddRule(Rule{Kind: KindDelay, Verb: VerbAny, From: AnyNode, To: AnyNode, Pct: 100, Delay: 3 * time.Millisecond})
+	ep := inj.Wrap(fab.attach(1))
+	tgt := fab.attach(2)
+	if _, err := tgt.RegisterRegion(1, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := ep.WriteRegion(context.Background(), 2, 1, 0, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if len(clk.slept) != 1 || clk.slept[0] != 3*time.Millisecond {
+		t.Errorf("slept %v, want one 3ms sleep", clk.slept)
+	}
+	if fab.writes[2] != 1 {
+		t.Errorf("delayed write did not land")
+	}
+}
+
+func TestDuplicateCallExecutesHandlerTwice(t *testing.T) {
+	fab := newMemFabric()
+	inj := New(1)
+	inj.AddRule(Rule{Kind: KindDuplicate, Verb: VerbCall, From: AnyNode, To: AnyNode, Pct: 100})
+	ep := inj.Wrap(fab.attach(1))
+	tgt := fab.attach(2)
+	tgt.SetHandler(func(transport.NodeID, []byte) ([]byte, error) { return []byte("ok"), nil })
+
+	resp, err := ep.Call(context.Background(), 2, []byte("ping"))
+	if err != nil || string(resp) != "ok" {
+		t.Fatalf("Call = %q, %v", resp, err)
+	}
+	if fab.calls[2] != 2 {
+		t.Errorf("handler ran %d times, want 2 (duplicate delivery)", fab.calls[2])
+	}
+}
+
+func TestTruncateWriteLandsTornPrefix(t *testing.T) {
+	fab := newMemFabric()
+	inj := New(1)
+	inj.AddRule(Rule{Kind: KindTruncate, Verb: VerbWrite, From: AnyNode, To: AnyNode, Pct: 100})
+	ep := inj.Wrap(fab.attach(1))
+	tgt := fab.attach(2)
+	buf, err := tgt.RegisterRegion(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	err = ep.WriteRegion(context.Background(), 2, 1, 0, []byte("ABCDEFGH"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("truncated write: got %v, want injected error", err)
+	}
+	if string(buf) != "ABCD\x00\x00\x00\x00" {
+		t.Errorf("region = %q, want torn prefix %q", buf, "ABCD\x00\x00\x00\x00")
+	}
+}
+
+func TestPartitionIsDirectional(t *testing.T) {
+	fab := newMemFabric()
+	inj := New(1)
+	rules, err := ParseRules("partition node1 -> node2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.AddRules(rules)
+	ep1 := inj.Wrap(fab.attach(1))
+	ep2 := inj.Wrap(fab.attach(2))
+	ctx := context.Background()
+	if _, err := ep1.RegisterRegion(1, 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ep2.RegisterRegion(2, 8); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := ep1.WriteRegion(ctx, 2, 2, 0, []byte("x")); !errors.Is(err, transport.ErrUnreachable) {
+		t.Errorf("1->2 should be partitioned, got %v", err)
+	}
+	if err := ep2.WriteRegion(ctx, 1, 1, 0, []byte("x")); err != nil {
+		t.Errorf("2->1 should be open, got %v", err)
+	}
+}
+
+func TestCrashAfterOpsAndRestart(t *testing.T) {
+	fab := newMemFabric()
+	inj := New(1)
+	if err := inj.Load("crash node2 after 3 ops\nrestart node2 after 5 ops"); err != nil {
+		t.Fatal(err)
+	}
+	ep := inj.Wrap(fab.attach(1))
+	tgt := fab.attach(2)
+	if _, err := tgt.RegisterRegion(1, 64); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	var results []bool
+	for i := 0; i < 8; i++ {
+		err := ep.WriteRegion(ctx, 2, 1, 0, []byte("x"))
+		results = append(results, err == nil)
+	}
+	// Ops 1..3 succeed, 4..5 hit the crash, 6+ succeed after restart.
+	want := []bool{true, true, true, false, false, true, true, true}
+	if !reflect.DeepEqual(results, want) {
+		t.Errorf("op outcomes = %v, want %v", results, want)
+	}
+}
+
+func TestManualCrashRestart(t *testing.T) {
+	fab := newMemFabric()
+	inj := New(1)
+	ep := inj.Wrap(fab.attach(1))
+	tgt := fab.attach(2)
+	if _, err := tgt.RegisterRegion(1, 8); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	inj.Crash(2)
+	if err := ep.WriteRegion(ctx, 2, 1, 0, []byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write to crashed node: got %v", err)
+	}
+	inj.Restart(2)
+	if err := ep.WriteRegion(ctx, 2, 1, 0, []byte("x")); err != nil {
+		t.Fatalf("write after restart: %v", err)
+	}
+}
+
+func TestSetEnabledHealsEverything(t *testing.T) {
+	fab := newMemFabric()
+	inj := New(1)
+	inj.AddRule(Rule{Kind: KindDrop, Verb: VerbAny, From: AnyNode, To: AnyNode, Pct: 100})
+	inj.Crash(2)
+	ep := inj.Wrap(fab.attach(1))
+	tgt := fab.attach(2)
+	if _, err := tgt.RegisterRegion(1, 8); err != nil {
+		t.Fatal(err)
+	}
+
+	inj.SetEnabled(false)
+	if err := ep.WriteRegion(context.Background(), 2, 1, 0, []byte("x")); err != nil {
+		t.Fatalf("disabled injector must pass everything through, got %v", err)
+	}
+}
+
+func TestTimeWindowGatesRule(t *testing.T) {
+	fab := newMemFabric()
+	clk := &stillClock{}
+	inj := New(1, WithClock(clk))
+	if err := inj.Load("drop 100% of write to node2 between t=5s..8s"); err != nil {
+		t.Fatal(err)
+	}
+	ep := inj.Wrap(fab.attach(1))
+	tgt := fab.attach(2)
+	if _, err := tgt.RegisterRegion(1, 8); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	for _, tc := range []struct {
+		at   time.Duration
+		drop bool
+	}{
+		{4 * time.Second, false},
+		{5 * time.Second, true},
+		{7 * time.Second, true},
+		{8 * time.Second, false},
+	} {
+		clk.set(tc.at)
+		err := ep.WriteRegion(ctx, 2, 1, 0, []byte("x"))
+		if dropped := errors.Is(err, ErrInjected); dropped != tc.drop {
+			t.Errorf("at %v: dropped=%v, want %v (err=%v)", tc.at, dropped, tc.drop, err)
+		}
+	}
+}
+
+// TestDecisionSequenceIsDeterministic replays the same operation sequence
+// through two injectors with the same seed and requires identical fates, and
+// through a third with another seed expecting a different fate pattern.
+func TestDecisionSequenceIsDeterministic(t *testing.T) {
+	run := func(seed int64) []string {
+		fab := newMemFabric()
+		inj := New(seed)
+		inj.AddRule(Rule{Kind: KindDrop, Verb: VerbAny, From: AnyNode, To: AnyNode, Pct: 30})
+		eps := map[transport.NodeID]transport.Endpoint{}
+		for _, id := range []transport.NodeID{1, 2, 3} {
+			inner := fab.attach(id)
+			if _, err := inner.RegisterRegion(1, 32); err != nil {
+				t.Fatal(err)
+			}
+			eps[id] = inj.Wrap(inner)
+		}
+		ctx := context.Background()
+		var fates []string
+		for i := 0; i < 200; i++ {
+			from := transport.NodeID(1 + i%3)
+			to := transport.NodeID(1 + (i+1)%3)
+			err := eps[from].WriteRegion(ctx, to, 1, 0, []byte("p"))
+			fates = append(fates, fmt.Sprintf("%d->%d:%v", from, to, errors.Is(err, ErrInjected)))
+		}
+		return fates
+	}
+
+	a, b := run(42), run(42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different decision sequences")
+	}
+	c := run(43)
+	if reflect.DeepEqual(a, c) {
+		t.Fatalf("different seeds produced identical decision sequences (suspicious)")
+	}
+	// ~30% of 200 ops should be dropped; allow a generous band.
+	drops := 0
+	for _, f := range a {
+		if f[len(f)-4:] == "true" {
+			drops++
+		}
+	}
+	if drops < 30 || drops > 90 {
+		t.Errorf("30%% drop rule hit %d/200 ops, outside [30,90]", drops)
+	}
+}
+
+func TestTraceReplaysIdentically(t *testing.T) {
+	run := func() []string {
+		fab := newMemFabric()
+		inj := New(7)
+		inj.AddRules(RandomSchedule(7, []transport.NodeID{2, 3}))
+		eps := map[transport.NodeID]transport.Endpoint{}
+		for _, id := range []transport.NodeID{1, 2, 3} {
+			inner := fab.attach(id)
+			if _, err := inner.RegisterRegion(1, 32); err != nil {
+				t.Fatal(err)
+			}
+			eps[id] = inj.Wrap(inner)
+		}
+		ctx := context.Background()
+		for i := 0; i < 100; i++ {
+			to := transport.NodeID(1 + (i+1)%3)
+			_ = eps[1+transport.NodeID(i%3)].WriteRegion(ctx, to, 1, 0, []byte("q"))
+		}
+		return inj.Trace()
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatalf("RandomSchedule injected nothing over 100 ops")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("trace replay differs:\n run1: %v\n run2: %v", a, b)
+	}
+}
+
+func TestRandomScheduleIsSeedStable(t *testing.T) {
+	a := RandomSchedule(99, []transport.NodeID{1, 2, 3})
+	b := RandomSchedule(99, []transport.NodeID{1, 2, 3})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("RandomSchedule not deterministic for equal seeds")
+	}
+	c := RandomSchedule(100, []transport.NodeID{1, 2, 3})
+	if reflect.DeepEqual(a, c) {
+		t.Fatalf("RandomSchedule identical across different seeds")
+	}
+	var crash, restart bool
+	for _, r := range a {
+		crash = crash || r.Kind == KindCrash
+		restart = restart || r.Kind == KindRestart
+	}
+	if !crash || !restart {
+		t.Errorf("schedule lacks crash/restart pair: %+v", a)
+	}
+}

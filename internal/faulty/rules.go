@@ -1,0 +1,429 @@
+package faulty
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+
+	"godm/internal/transport"
+)
+
+// Verb selects which transport operations a rule applies to.
+type Verb int
+
+// Verbs a rule can match.
+const (
+	// VerbAny matches every operation.
+	VerbAny Verb = iota
+	// VerbWrite matches one-sided WriteRegion.
+	VerbWrite
+	// VerbRead matches one-sided ReadRegion.
+	VerbRead
+	// VerbCall matches two-sided Call.
+	VerbCall
+)
+
+// String returns the DSL spelling.
+func (v Verb) String() string {
+	switch v {
+	case VerbAny:
+		return "any"
+	case VerbWrite:
+		return "write"
+	case VerbRead:
+		return "read"
+	case VerbCall:
+		return "call"
+	default:
+		return fmt.Sprintf("verb(%d)", int(v))
+	}
+}
+
+// Kind labels a fault type.
+type Kind int
+
+// Fault kinds.
+const (
+	// KindDrop fails the operation without delivering it.
+	KindDrop Kind = iota + 1
+	// KindDelay holds the operation for Rule.Delay first.
+	KindDelay
+	// KindDuplicate delivers the operation twice.
+	KindDuplicate
+	// KindTruncate delivers a torn prefix (writes) or nothing (reads,
+	// calls), then fails the operation.
+	KindTruncate
+	// KindPartition refuses every From->To operation inside the window.
+	KindPartition
+	// KindCrash takes Rule.Node down when the rule triggers.
+	KindCrash
+	// KindRestart revives Rule.Node when the rule triggers.
+	KindRestart
+)
+
+// String returns the DSL spelling.
+func (k Kind) String() string {
+	switch k {
+	case KindDrop:
+		return "drop"
+	case KindDelay:
+		return "delay"
+	case KindDuplicate:
+		return "duplicate"
+	case KindTruncate:
+		return "truncate"
+	case KindPartition:
+		return "partition"
+	case KindCrash:
+		return "crash"
+	case KindRestart:
+		return "restart"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// AnyNode matches every node in a rule's From/To fields.
+const AnyNode transport.NodeID = -1
+
+// Rule is one entry of a fault schedule. The zero value of From/To is node
+// 0, not a wildcard — use AnyNode (the parser and helpers do).
+//
+// For drop/delay/duplicate/truncate rules, AfterOps skips the first AfterOps
+// matching operations (an operation-count window start); Start/End bound the
+// active time window (Start == End == 0 means always). For crash/restart
+// rules, exactly one of At (time trigger) or AfterOps (fires once AfterOps
+// operations have been delivered toward Node) should be set.
+type Rule struct {
+	Kind Kind
+	Verb Verb
+	From transport.NodeID
+	To   transport.NodeID
+	// Pct is the probability in percent (0..100] that a matching operation
+	// is hit. 100 hits every matching operation deterministically.
+	Pct   float64
+	Delay time.Duration
+	// Node is the crash/restart subject.
+	Node transport.NodeID
+	// At is the crash/restart trigger time.
+	At time.Duration
+	// AfterOps: see the type comment.
+	AfterOps uint64
+	// Start and End bound the active window for non-crash rules.
+	Start, End time.Duration
+}
+
+// matchOp reports whether a probabilistic rule applies to this operation.
+func (r *Rule) matchOp(verb Verb, from, to transport.NodeID) bool {
+	if r.Verb != VerbAny && r.Verb != verb {
+		return false
+	}
+	return r.matchPair(from, to)
+}
+
+// matchPair matches the rule's endpoints.
+func (r *Rule) matchPair(from, to transport.NodeID) bool {
+	if r.From != AnyNode && r.From != from {
+		return false
+	}
+	if r.To != AnyNode && r.To != to {
+		return false
+	}
+	return true
+}
+
+// activeAt reports whether the rule's time window covers now.
+func (r *Rule) activeAt(now time.Duration) bool {
+	if r.Start == 0 && r.End == 0 {
+		return true
+	}
+	return now >= r.Start && now < r.End
+}
+
+// ParseRules parses a fault schedule script: one rule per line, '#' starts a
+// comment, blank lines are skipped. The grammar (case-insensitive):
+//
+//	drop      PCT% of VERB [from nodeN] [to nodeN] [between t=A..B] [after N ops]
+//	delay     DUR [PCT%] of VERB [from nodeN] [to nodeN] [between t=A..B] [after N ops]
+//	duplicate PCT% of VERB [...]
+//	truncate  PCT% of VERB [...]
+//	partition nodeA -> nodeB [between t=A..B]
+//	partition nodeA <-> nodeB [between t=A..B]
+//	crash     nodeN (at t=T | after N ops)
+//	restart   nodeN (at t=T | after N ops)
+//
+// VERB is write, read, call, or any; DUR and window times use Go duration
+// syntax ("2ms", "5s"). For example:
+//
+//	drop 10% of write to node3 between t=5s..8s
+//	crash node2 after 12 ops
+func ParseRules(script string) ([]Rule, error) {
+	var rules []Rule
+	for lineNo, line := range strings.Split(script, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(strings.ToLower(line))
+		if len(fields) == 0 {
+			continue
+		}
+		parsed, err := parseRuleLine(fields)
+		if err != nil {
+			return nil, fmt.Errorf("faulty: line %d: %w", lineNo+1, err)
+		}
+		rules = append(rules, parsed...)
+	}
+	return rules, nil
+}
+
+// parseRuleLine parses one non-empty rule line into one or two rules (a
+// bidirectional partition expands to two).
+func parseRuleLine(fields []string) ([]Rule, error) {
+	switch fields[0] {
+	case "crash", "restart":
+		return parseCrashLine(fields)
+	case "partition":
+		return parsePartitionLine(fields)
+	case "drop", "delay", "duplicate", "truncate":
+		r, err := parseFaultLine(fields)
+		if err != nil {
+			return nil, err
+		}
+		return []Rule{r}, nil
+	default:
+		return nil, fmt.Errorf("unknown rule kind %q", fields[0])
+	}
+}
+
+func parseCrashLine(fields []string) ([]Rule, error) {
+	kind := KindCrash
+	if fields[0] == "restart" {
+		kind = KindRestart
+	}
+	if len(fields) < 4 {
+		return nil, fmt.Errorf("%s needs a node and a trigger: %q", fields[0], strings.Join(fields, " "))
+	}
+	node, err := parseNode(fields[1])
+	if err != nil {
+		return nil, err
+	}
+	r := Rule{Kind: kind, Node: node, From: AnyNode, To: AnyNode}
+	switch fields[2] {
+	case "at":
+		at, err := parseTimePoint(fields[3])
+		if err != nil {
+			return nil, err
+		}
+		if len(fields) > 4 {
+			return nil, fmt.Errorf("trailing tokens after %q", fields[3])
+		}
+		r.At = at
+	case "after":
+		if len(fields) != 5 || fields[4] != "ops" {
+			return nil, fmt.Errorf("want %q, got %q", fields[0]+" nodeN after N ops", strings.Join(fields, " "))
+		}
+		n, err := strconv.ParseUint(fields[3], 10, 64)
+		if err != nil || n == 0 {
+			return nil, fmt.Errorf("bad op count %q", fields[3])
+		}
+		r.AfterOps = n
+	default:
+		return nil, fmt.Errorf("want 'at t=T' or 'after N ops', got %q", fields[2])
+	}
+	return []Rule{r}, nil
+}
+
+func parsePartitionLine(fields []string) ([]Rule, error) {
+	if len(fields) < 4 {
+		return nil, fmt.Errorf("partition needs 'nodeA -> nodeB'")
+	}
+	a, err := parseNode(fields[1])
+	if err != nil {
+		return nil, err
+	}
+	b, err := parseNode(fields[3])
+	if err != nil {
+		return nil, err
+	}
+	start, end, rest, err := parseWindow(fields[4:])
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) > 0 {
+		return nil, fmt.Errorf("trailing tokens %v", rest)
+	}
+	r := Rule{Kind: KindPartition, From: a, To: b, Start: start, End: end}
+	switch fields[2] {
+	case "->":
+		return []Rule{r}, nil
+	case "<->":
+		back := r
+		back.From, back.To = b, a
+		return []Rule{r, back}, nil
+	default:
+		return nil, fmt.Errorf("want '->' or '<->', got %q", fields[2])
+	}
+}
+
+func parseFaultLine(fields []string) (Rule, error) {
+	r := Rule{From: AnyNode, To: AnyNode, Pct: 100}
+	switch fields[0] {
+	case "drop":
+		r.Kind = KindDrop
+	case "delay":
+		r.Kind = KindDelay
+	case "duplicate":
+		r.Kind = KindDuplicate
+	case "truncate":
+		r.Kind = KindTruncate
+	}
+	rest := fields[1:]
+	if r.Kind == KindDelay {
+		if len(rest) == 0 {
+			return r, fmt.Errorf("delay needs a duration")
+		}
+		d, err := time.ParseDuration(rest[0])
+		if err != nil {
+			return r, fmt.Errorf("bad delay duration %q: %v", rest[0], err)
+		}
+		r.Delay = d
+		rest = rest[1:]
+	}
+	if len(rest) > 0 && strings.HasSuffix(rest[0], "%") {
+		pct, err := strconv.ParseFloat(strings.TrimSuffix(rest[0], "%"), 64)
+		if err != nil || pct <= 0 || pct > 100 {
+			return r, fmt.Errorf("bad percentage %q", rest[0])
+		}
+		r.Pct = pct
+		rest = rest[1:]
+	} else if r.Kind != KindDelay {
+		return r, fmt.Errorf("%s needs a percentage (e.g. '10%%')", r.Kind)
+	}
+	if len(rest) < 2 || rest[0] != "of" {
+		return r, fmt.Errorf("want 'of VERB', got %v", rest)
+	}
+	switch rest[1] {
+	case "any":
+		r.Verb = VerbAny
+	case "write":
+		r.Verb = VerbWrite
+	case "read":
+		r.Verb = VerbRead
+	case "call":
+		r.Verb = VerbCall
+	default:
+		return r, fmt.Errorf("unknown verb %q", rest[1])
+	}
+	rest = rest[2:]
+	for len(rest) > 0 {
+		switch rest[0] {
+		case "from", "to":
+			if len(rest) < 2 {
+				return r, fmt.Errorf("%q needs a node", rest[0])
+			}
+			n, err := parseNode(rest[1])
+			if err != nil {
+				return r, err
+			}
+			if rest[0] == "from" {
+				r.From = n
+			} else {
+				r.To = n
+			}
+			rest = rest[2:]
+		case "between":
+			start, end, remaining, err := parseWindow(rest)
+			if err != nil {
+				return r, err
+			}
+			r.Start, r.End = start, end
+			rest = remaining
+		case "after":
+			if len(rest) < 3 || rest[2] != "ops" {
+				return r, fmt.Errorf("want 'after N ops', got %v", rest)
+			}
+			n, err := strconv.ParseUint(rest[1], 10, 64)
+			if err != nil || n == 0 {
+				return r, fmt.Errorf("bad op count %q", rest[1])
+			}
+			r.AfterOps = n
+			rest = rest[3:]
+		default:
+			return r, fmt.Errorf("unexpected token %q", rest[0])
+		}
+	}
+	return r, nil
+}
+
+// parseWindow consumes a leading "between t=A..B" clause, if present, and
+// returns the remaining tokens.
+func parseWindow(fields []string) (start, end time.Duration, rest []string, err error) {
+	if len(fields) == 0 || fields[0] != "between" {
+		return 0, 0, fields, nil
+	}
+	if len(fields) < 2 {
+		return 0, 0, nil, fmt.Errorf("'between' needs 't=A..B'")
+	}
+	spec := strings.TrimPrefix(fields[1], "t=")
+	lo, hi, ok := strings.Cut(spec, "..")
+	if !ok {
+		return 0, 0, nil, fmt.Errorf("bad window %q, want t=A..B", fields[1])
+	}
+	if start, err = time.ParseDuration(lo); err != nil {
+		return 0, 0, nil, fmt.Errorf("bad window start %q: %v", lo, err)
+	}
+	if end, err = time.ParseDuration(hi); err != nil {
+		return 0, 0, nil, fmt.Errorf("bad window end %q: %v", hi, err)
+	}
+	if end <= start {
+		return 0, 0, nil, fmt.Errorf("empty window %q", fields[1])
+	}
+	return start, end, fields[2:], nil
+}
+
+// parseTimePoint parses "t=5s" (or a bare duration) into a duration.
+func parseTimePoint(s string) (time.Duration, error) {
+	d, err := time.ParseDuration(strings.TrimPrefix(s, "t="))
+	if err != nil {
+		return 0, fmt.Errorf("bad time %q: %v", s, err)
+	}
+	return d, nil
+}
+
+// parseNode parses "node3" or "3".
+func parseNode(s string) (transport.NodeID, error) {
+	n, err := strconv.Atoi(strings.TrimPrefix(s, "node"))
+	if err != nil {
+		return 0, fmt.Errorf("bad node %q", s)
+	}
+	return transport.NodeID(n), nil
+}
+
+// RandomSchedule derives a reproducible fault schedule from seed for a
+// cluster of the given nodes: low-probability drops, delays, duplicates,
+// and truncations across the fabric, plus one crash/restart pair on a
+// victim node triggered by operation counts, so the same schedule replays
+// identically on the simulated and the TCP fabric. victims should exclude
+// nodes the scenario cannot lose (the writer driving the workload).
+func RandomSchedule(seed int64, victims []transport.NodeID) []Rule {
+	rng := rand.New(rand.NewSource(seed))
+	pct := func(lo, hi float64) float64 { return lo + rng.Float64()*(hi-lo) }
+	rules := []Rule{
+		{Kind: KindDrop, Verb: VerbAny, From: AnyNode, To: AnyNode, Pct: pct(1, 8)},
+		{Kind: KindDelay, Verb: VerbAny, From: AnyNode, To: AnyNode, Pct: pct(5, 20),
+			Delay: time.Duration(1+rng.Intn(5)) * time.Millisecond},
+		{Kind: KindDuplicate, Verb: VerbCall, From: AnyNode, To: AnyNode, Pct: pct(1, 6)},
+		{Kind: KindTruncate, Verb: VerbWrite, From: AnyNode, To: AnyNode, Pct: pct(1, 6)},
+	}
+	if len(victims) > 0 {
+		victim := victims[rng.Intn(len(victims))]
+		crashAt := uint64(5 + rng.Intn(30))
+		rules = append(rules,
+			Rule{Kind: KindCrash, Node: victim, From: AnyNode, To: AnyNode, AfterOps: crashAt},
+			Rule{Kind: KindRestart, Node: victim, From: AnyNode, To: AnyNode, AfterOps: crashAt + uint64(10+rng.Intn(40))},
+		)
+	}
+	return rules
+}

@@ -1,0 +1,133 @@
+package faulty
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestParseRulesFullScript(t *testing.T) {
+	script := `
+# chaos schedule for the replication scenario
+drop 10% of write to node3 between t=5s..8s
+delay 2ms 50% of read from node1
+duplicate 5% of call
+truncate 3% of write from node2 to node4
+partition node1 -> node2
+partition node3 <-> node4 between t=1s..2s
+crash node2 at t=5s
+restart node2 at t=9s
+crash node5 after 12 ops
+`
+	rules, err := ParseRules(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Rule{
+		{Kind: KindDrop, Verb: VerbWrite, From: AnyNode, To: 3, Pct: 10,
+			Start: 5 * time.Second, End: 8 * time.Second},
+		{Kind: KindDelay, Verb: VerbRead, From: 1, To: AnyNode, Pct: 50, Delay: 2 * time.Millisecond},
+		{Kind: KindDuplicate, Verb: VerbCall, From: AnyNode, To: AnyNode, Pct: 5},
+		{Kind: KindTruncate, Verb: VerbWrite, From: 2, To: 4, Pct: 3},
+		{Kind: KindPartition, From: 1, To: 2},
+		{Kind: KindPartition, From: 3, To: 4, Start: time.Second, End: 2 * time.Second},
+		{Kind: KindPartition, From: 4, To: 3, Start: time.Second, End: 2 * time.Second},
+		{Kind: KindCrash, Node: 2, From: AnyNode, To: AnyNode, At: 5 * time.Second},
+		{Kind: KindRestart, Node: 2, From: AnyNode, To: AnyNode, At: 9 * time.Second},
+		{Kind: KindCrash, Node: 5, From: AnyNode, To: AnyNode, AfterOps: 12},
+	}
+	if !reflect.DeepEqual(rules, want) {
+		t.Fatalf("ParseRules mismatch:\n got  %+v\n want %+v", rules, want)
+	}
+}
+
+func TestParseRulesDelayWithoutPctDefaults100(t *testing.T) {
+	rules, err := ParseRules("delay 1ms of any")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 || rules[0].Pct != 100 || rules[0].Delay != time.Millisecond {
+		t.Fatalf("got %+v", rules)
+	}
+}
+
+func TestParseRulesAfterOpsClause(t *testing.T) {
+	rules, err := ParseRules("drop 100% of call to node2 after 4 ops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 || rules[0].AfterOps != 4 {
+		t.Fatalf("got %+v", rules)
+	}
+}
+
+func TestParseRulesErrors(t *testing.T) {
+	for _, script := range []string{
+		"drop of write",                 // missing percentage
+		"drop 0% of write",              // pct out of range
+		"drop 101% of write",            // pct out of range
+		"drop 10% of teleport",          // unknown verb
+		"drop 10% write",                // missing 'of'
+		"delay of write",                // missing duration
+		"partition node1 node2",         // missing arrow
+		"partition node1 -> bogus",      // bad node
+		"crash node1",                   // missing trigger
+		"crash node1 at",                // missing time
+		"crash node1 after 0 ops",       // zero count
+		"crash node1 after 3 potatoes",  // bad unit
+		"explode 50% of write",          // unknown kind
+		"drop 10% of write between t=8s..5s", // empty window
+	} {
+		if _, err := ParseRules(script); err == nil {
+			t.Errorf("ParseRules(%q) accepted invalid script", script)
+		}
+	}
+}
+
+func TestParseRulesIsCaseInsensitive(t *testing.T) {
+	rules, err := ParseRules("DROP 10% OF Write TO Node3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 || rules[0].Kind != KindDrop || rules[0].To != 3 {
+		t.Fatalf("got %+v", rules)
+	}
+}
+
+func TestRuleMatchers(t *testing.T) {
+	r := Rule{Kind: KindDrop, Verb: VerbWrite, From: 1, To: AnyNode, Pct: 100}
+	if !r.matchOp(VerbWrite, 1, 9) {
+		t.Errorf("rule should match write 1->9")
+	}
+	if r.matchOp(VerbRead, 1, 9) {
+		t.Errorf("rule must not match reads")
+	}
+	if r.matchOp(VerbWrite, 2, 9) {
+		t.Errorf("rule must not match other sources")
+	}
+	any := Rule{Verb: VerbAny, From: AnyNode, To: AnyNode}
+	if !any.matchOp(VerbCall, 5, 6) {
+		t.Errorf("wildcard rule should match everything")
+	}
+}
+
+func TestRuleActiveAt(t *testing.T) {
+	always := Rule{}
+	if !always.activeAt(0) || !always.activeAt(time.Hour) {
+		t.Errorf("zero window must mean always-active")
+	}
+	windowed := Rule{Start: time.Second, End: 2 * time.Second}
+	for _, tc := range []struct {
+		at   time.Duration
+		want bool
+	}{
+		{0, false},
+		{time.Second, true},
+		{1500 * time.Millisecond, true},
+		{2 * time.Second, false},
+	} {
+		if got := windowed.activeAt(tc.at); got != tc.want {
+			t.Errorf("activeAt(%v) = %v, want %v", tc.at, got, tc.want)
+		}
+	}
+}

@@ -113,7 +113,9 @@ func (r *Replicator) Read(ctx context.Context, nodes []NodeID, id EntryID) ([]by
 	if lastErr == nil {
 		lastErr = errors.New("empty replica set")
 	}
-	return nil, 0, fmt.Errorf("%w: entry %d: %v", ErrNoReplica, id, lastErr)
+	// Dual %w: callers branch both on "every replica failed" and on the
+	// underlying cause (the daemon retries ErrUnreachable ticks, for one).
+	return nil, 0, fmt.Errorf("%w: entry %d: %w", ErrNoReplica, id, lastErr)
 }
 
 // Delete removes id from every node, returning the first error encountered

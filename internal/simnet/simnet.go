@@ -207,6 +207,12 @@ func (e *Endpoint) checkOpen() error {
 // WriteRegion implements transport.Verbs (one-sided RDMA write).
 func (e *Endpoint) WriteRegion(ctx context.Context, to transport.NodeID, region transport.RegionID, offset int64, data []byte) error {
 	p := proc(ctx)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if len(data) > transport.MaxFrameSize {
+		return fmt.Errorf("%w: payload %d exceeds %d", transport.ErrFrameTooLarge, len(data), transport.MaxFrameSize)
+	}
 	if err := e.checkOpen(); err != nil {
 		return err
 	}
@@ -237,6 +243,12 @@ func (e *Endpoint) applyWrite(region transport.RegionID, offset int64, data []by
 // ReadRegion implements transport.Verbs (one-sided RDMA read).
 func (e *Endpoint) ReadRegion(ctx context.Context, to transport.NodeID, region transport.RegionID, offset int64, n int) ([]byte, error) {
 	p := proc(ctx)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if n > transport.MaxFrameSize {
+		return nil, fmt.Errorf("%w: read of %d exceeds %d", transport.ErrFrameTooLarge, n, transport.MaxFrameSize)
+	}
 	if err := e.checkOpen(); err != nil {
 		return nil, err
 	}
@@ -274,6 +286,12 @@ func (e *Endpoint) applyRead(region transport.RegionID, offset int64, n int) ([]
 // Call implements transport.Verbs (two-sided send/receive RPC).
 func (e *Endpoint) Call(ctx context.Context, to transport.NodeID, payload []byte) ([]byte, error) {
 	p := proc(ctx)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(payload) > transport.MaxFrameSize {
+		return nil, fmt.Errorf("%w: payload %d exceeds %d", transport.ErrFrameTooLarge, len(payload), transport.MaxFrameSize)
+	}
 	if err := e.checkOpen(); err != nil {
 		return nil, err
 	}

@@ -95,9 +95,10 @@ const (
 	respHeaderSize = 13
 )
 
-// maxPayload bounds a single frame (64 MiB) to keep a malformed peer from
-// forcing huge allocations.
-const maxPayload = 64 << 20
+// maxPayload bounds a single frame (transport.MaxFrameSize, 64 MiB) to keep
+// a malformed peer from forcing huge allocations. The bound is shared with
+// the simulated fabric so the two cannot drift on the contract.
+const maxPayload = transport.MaxFrameSize
 
 // ErrFrameTooLarge is returned before anything is written to the wire when a
 // single operation's payload exceeds the 64 MiB frame limit. Callers should

@@ -1,0 +1,94 @@
+package transport_test
+
+import (
+	"context"
+	"testing"
+
+	"godm/internal/des"
+	"godm/internal/simnet"
+	"godm/internal/tcpnet"
+	"godm/internal/transport"
+	"godm/internal/transport/transporttest"
+)
+
+// simFabric runs the conformance table over the discrete-event simulated
+// network: verbs must be issued from inside a des process, so Run wraps the
+// body in one and drives the event loop to completion.
+type simFabric struct {
+	env    *des.Env
+	fabric *simnet.Fabric
+}
+
+func newSimFabric(t *testing.T) transporttest.Fabric {
+	env := des.NewEnv()
+	return &simFabric{env: env, fabric: simnet.New(env, simnet.DefaultParams())}
+}
+
+func (f *simFabric) Endpoints(t *testing.T, n int) []transport.Endpoint {
+	t.Helper()
+	eps := make([]transport.Endpoint, n)
+	for i := 0; i < n; i++ {
+		ep, err := f.fabric.Attach(transport.NodeID(i + 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps[i] = ep
+	}
+	return eps
+}
+
+func (f *simFabric) Run(t *testing.T, body func(ctx context.Context)) {
+	t.Helper()
+	f.env.Go("conformance", func(p *des.Proc) {
+		body(des.NewContext(context.Background(), p))
+	})
+	if err := f.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// tcpFabric runs the same table over real loopback sockets with a full-mesh
+// peer table.
+type tcpFabric struct {
+	eps []*tcpnet.Endpoint
+}
+
+func newTCPFabric(t *testing.T) transporttest.Fabric {
+	return &tcpFabric{}
+}
+
+func (f *tcpFabric) Endpoints(t *testing.T, n int) []transport.Endpoint {
+	t.Helper()
+	addrs := map[transport.NodeID]string{}
+	for i := 0; i < n; i++ {
+		ep, err := tcpnet.Listen(transport.NodeID(i+1), "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.eps = append(f.eps, ep)
+		addrs[ep.ID()] = ep.Addr()
+		t.Cleanup(func() { _ = ep.Close() })
+	}
+	out := make([]transport.Endpoint, n)
+	for i, ep := range f.eps {
+		for id, addr := range addrs {
+			if id != ep.ID() {
+				ep.AddPeer(id, addr)
+			}
+		}
+		out[i] = ep
+	}
+	return out
+}
+
+func (f *tcpFabric) Run(t *testing.T, body func(ctx context.Context)) {
+	body(context.Background())
+}
+
+func TestConformanceSim(t *testing.T) {
+	transporttest.RunConformance(t, newSimFabric)
+}
+
+func TestConformanceTCP(t *testing.T) {
+	transporttest.RunConformance(t, newTCPFabric)
+}

@@ -1,0 +1,22 @@
+package transport
+
+// MaxFrameSize bounds a single operation's payload on every fabric (64 MiB).
+// Both fabrics reject larger transfers on the send side with ErrFrameTooLarge
+// before anything reaches the wire, so callers can rely on one portable limit
+// when splitting bulk transfers — and so the simulated and real transports
+// cannot drift apart on this part of the contract.
+const MaxFrameSize = 64 << 20
+
+// Middleware wraps an Endpoint with additional behaviour — fault injection,
+// tracing, metrics — while preserving the verbs contract. Middlewares
+// compose: the outermost wrapper sees every operation first.
+type Middleware func(Endpoint) Endpoint
+
+// Chain applies middlewares to ep, first middleware outermost, so
+// Chain(ep, a, b) routes every verb through a, then b, then ep.
+func Chain(ep Endpoint, mws ...Middleware) Endpoint {
+	for i := len(mws) - 1; i >= 0; i-- {
+		ep = mws[i](ep)
+	}
+	return ep
+}

@@ -1,0 +1,282 @@
+// Package transporttest is the shared conformance suite for
+// transport.Endpoint implementations. Both fabrics — the discrete-event
+// simulated RDMA network and the real TCP transport — run the same table, so
+// the verbs contract (sentinel errors, reliable-connected ordering, frame
+// limits, close and cancellation semantics) cannot drift between them: a
+// behaviour change that only one fabric exhibits fails here before any
+// higher layer trips over it.
+package transporttest
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"godm/internal/transport"
+)
+
+// Fabric abstracts one network under test. Each conformance case asks for a
+// fresh fabric, so implementations must not share state between calls.
+type Fabric interface {
+	// Endpoints attaches n endpoints with IDs 1..n to one shared network.
+	Endpoints(t *testing.T, n int) []transport.Endpoint
+	// Run executes body with a context suitable for issuing verbs (the
+	// simulated fabric needs a discrete-event process carried in it) and
+	// drives the network until body returns.
+	Run(t *testing.T, body func(ctx context.Context))
+}
+
+// Case is one conformance check, run against a fresh fabric.
+type Case struct {
+	Name string
+	Run  func(t *testing.T, f Fabric)
+}
+
+// Cases is the shared conformance table.
+func Cases() []Case {
+	return []Case{
+		{"WriteReadRoundTrip", testWriteReadRoundTrip},
+		{"RCOrdering", testRCOrdering},
+		{"CallEchoAndPeerIdentity", testCallEcho},
+		{"FrameTooLarge", testFrameTooLarge},
+		{"SentinelErrors", testSentinels},
+		{"LocalCloseRace", testLocalClose},
+		{"RemoteCloseUnreachable", testRemoteClose},
+		{"ContextCancellation", testContextCancellation},
+	}
+}
+
+// RunConformance runs every case as a subtest, building a fresh fabric per
+// case via newFabric.
+func RunConformance(t *testing.T, newFabric func(t *testing.T) Fabric) {
+	for _, c := range Cases() {
+		t.Run(c.Name, func(t *testing.T) {
+			c.Run(t, newFabric(t))
+		})
+	}
+}
+
+const region transport.RegionID = 7
+
+func testWriteReadRoundTrip(t *testing.T, f Fabric) {
+	eps := f.Endpoints(t, 2)
+	if _, err := eps[1].RegisterRegion(region, 4096); err != nil {
+		t.Fatal(err)
+	}
+	f.Run(t, func(ctx context.Context) {
+		want := bytes.Repeat([]byte{0x5A}, 1024)
+		if err := eps[0].WriteRegion(ctx, 2, region, 128, want); err != nil {
+			t.Fatalf("WriteRegion: %v", err)
+		}
+		got, err := eps[0].ReadRegion(ctx, 2, region, 128, len(want))
+		if err != nil {
+			t.Fatalf("ReadRegion: %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Error("read-back mismatch")
+		}
+		// Bytes outside the written window stay zero.
+		head, err := eps[0].ReadRegion(ctx, 2, region, 0, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range head {
+			if b != 0 {
+				t.Error("write spilled outside its window")
+				break
+			}
+		}
+	})
+}
+
+// testRCOrdering checks the reliable-connected contract: operations issued
+// in order on one connection are applied in order — the last serial write to
+// an offset wins, and a read issued after a write observes it.
+func testRCOrdering(t *testing.T, f Fabric) {
+	eps := f.Endpoints(t, 2)
+	if _, err := eps[1].RegisterRegion(region, 4096); err != nil {
+		t.Fatal(err)
+	}
+	f.Run(t, func(ctx context.Context) {
+		for round := 0; round < 8; round++ {
+			payload := bytes.Repeat([]byte{byte(round + 1)}, 512)
+			if err := eps[0].WriteRegion(ctx, 2, region, 0, payload); err != nil {
+				t.Fatalf("round %d write: %v", round, err)
+			}
+			got, err := eps[0].ReadRegion(ctx, 2, region, 0, 512)
+			if err != nil {
+				t.Fatalf("round %d read: %v", round, err)
+			}
+			if got[0] != byte(round+1) || got[511] != byte(round+1) {
+				t.Fatalf("round %d: read observed stale bytes %d/%d (write-read reordered)",
+					round, got[0], got[511])
+			}
+		}
+	})
+}
+
+func testCallEcho(t *testing.T, f Fabric) {
+	eps := f.Endpoints(t, 2)
+	var gotFrom transport.NodeID
+	eps[1].SetHandler(func(from transport.NodeID, payload []byte) ([]byte, error) {
+		gotFrom = from
+		return append([]byte("echo:"), payload...), nil
+	})
+	f.Run(t, func(ctx context.Context) {
+		resp, err := eps[0].Call(ctx, 2, []byte("ping"))
+		if err != nil {
+			t.Fatalf("Call: %v", err)
+		}
+		if string(resp) != "echo:ping" {
+			t.Errorf("resp = %q", resp)
+		}
+		if gotFrom != 1 {
+			t.Errorf("handler saw caller %d, want 1", gotFrom)
+		}
+	})
+}
+
+func testFrameTooLarge(t *testing.T, f Fabric) {
+	eps := f.Endpoints(t, 2)
+	if _, err := eps[1].RegisterRegion(region, 4096); err != nil {
+		t.Fatal(err)
+	}
+	huge := make([]byte, transport.MaxFrameSize+1)
+	f.Run(t, func(ctx context.Context) {
+		if err := eps[0].WriteRegion(ctx, 2, region, 0, huge); !errors.Is(err, transport.ErrFrameTooLarge) {
+			t.Errorf("oversized write: %v, want ErrFrameTooLarge", err)
+		}
+		if _, err := eps[0].ReadRegion(ctx, 2, region, 0, transport.MaxFrameSize+1); !errors.Is(err, transport.ErrFrameTooLarge) {
+			t.Errorf("oversized read: %v, want ErrFrameTooLarge", err)
+		}
+		if _, err := eps[0].Call(ctx, 2, huge); !errors.Is(err, transport.ErrFrameTooLarge) {
+			t.Errorf("oversized call: %v, want ErrFrameTooLarge", err)
+		}
+		// The limit itself must not leak the payload onto the fabric: the
+		// region is untouched after the rejected write.
+		got, err := eps[0].ReadRegion(ctx, 2, region, 0, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range got {
+			if b != 0 {
+				t.Error("rejected write modified the region")
+				break
+			}
+		}
+	})
+}
+
+func testSentinels(t *testing.T, f Fabric) {
+	eps := f.Endpoints(t, 2)
+	if _, err := eps[1].RegisterRegion(region, 1024); err != nil {
+		t.Fatal(err)
+	}
+	f.Run(t, func(ctx context.Context) {
+		if err := eps[0].WriteRegion(ctx, 2, 99, 0, []byte("x")); !errors.Is(err, transport.ErrNoRegion) {
+			t.Errorf("unknown region: %v, want ErrNoRegion", err)
+		}
+		if err := eps[0].WriteRegion(ctx, 2, region, 1020, []byte("xxxxx")); !errors.Is(err, transport.ErrOutOfBounds) {
+			t.Errorf("out-of-bounds write: %v, want ErrOutOfBounds", err)
+		}
+		if _, err := eps[0].ReadRegion(ctx, 2, region, -1, 4); !errors.Is(err, transport.ErrOutOfBounds) {
+			t.Errorf("negative-offset read: %v, want ErrOutOfBounds", err)
+		}
+		if _, err := eps[0].Call(ctx, 2, []byte("nobody home")); !errors.Is(err, transport.ErrNoHandler) {
+			t.Errorf("call without handler: %v, want ErrNoHandler", err)
+		}
+		if err := eps[0].WriteRegion(ctx, 42, region, 0, []byte("x")); !errors.Is(err, transport.ErrUnreachable) {
+			t.Errorf("unknown node: %v, want ErrUnreachable", err)
+		}
+	})
+}
+
+// testLocalClose checks the close contract from the closing side: once Close
+// returns, every subsequent operation fails with ErrClosed — no operation
+// half-succeeds after close.
+func testLocalClose(t *testing.T, f Fabric) {
+	eps := f.Endpoints(t, 2)
+	if _, err := eps[1].RegisterRegion(region, 1024); err != nil {
+		t.Fatal(err)
+	}
+	f.Run(t, func(ctx context.Context) {
+		if err := eps[0].WriteRegion(ctx, 2, region, 0, []byte("pre")); err != nil {
+			t.Fatalf("write before close: %v", err)
+		}
+		if err := eps[0].Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		if err := eps[0].WriteRegion(ctx, 2, region, 0, []byte("post")); !errors.Is(err, transport.ErrClosed) {
+			t.Errorf("write after close: %v, want ErrClosed", err)
+		}
+		if _, err := eps[0].ReadRegion(ctx, 2, region, 0, 3); !errors.Is(err, transport.ErrClosed) {
+			t.Errorf("read after close: %v, want ErrClosed", err)
+		}
+		if _, err := eps[0].Call(ctx, 2, []byte("x")); !errors.Is(err, transport.ErrClosed) {
+			t.Errorf("call after close: %v, want ErrClosed", err)
+		}
+		// Registration on a closed endpoint also fails with ErrClosed.
+		if _, err := eps[0].RegisterRegion(99, 64); !errors.Is(err, transport.ErrClosed) {
+			t.Errorf("register after close: %v, want ErrClosed", err)
+		}
+	})
+}
+
+// testRemoteClose checks the close contract from the other side: a peer that
+// closed is unreachable, not "closed" — the caller's endpoint is still fine.
+func testRemoteClose(t *testing.T, f Fabric) {
+	eps := f.Endpoints(t, 3)
+	if _, err := eps[1].RegisterRegion(region, 1024); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eps[2].RegisterRegion(region, 1024); err != nil {
+		t.Fatal(err)
+	}
+	f.Run(t, func(ctx context.Context) {
+		if err := eps[1].Close(); err != nil {
+			t.Fatalf("peer Close: %v", err)
+		}
+		if err := eps[0].WriteRegion(ctx, 2, region, 0, []byte("x")); !errors.Is(err, transport.ErrUnreachable) {
+			t.Errorf("write to closed peer: %v, want ErrUnreachable", err)
+		}
+		// Other peers are unaffected.
+		if err := eps[0].WriteRegion(ctx, 3, region, 0, []byte("x")); err != nil {
+			t.Errorf("write to healthy peer after neighbour closed: %v", err)
+		}
+	})
+}
+
+func testContextCancellation(t *testing.T, f Fabric) {
+	eps := f.Endpoints(t, 2)
+	if _, err := eps[1].RegisterRegion(region, 1024); err != nil {
+		t.Fatal(err)
+	}
+	f.Run(t, func(ctx context.Context) {
+		cancelled, cancel := context.WithCancel(ctx)
+		cancel()
+		if err := eps[0].WriteRegion(cancelled, 2, region, 0, []byte("x")); !errors.Is(err, context.Canceled) {
+			t.Errorf("write with cancelled ctx: %v, want context.Canceled", err)
+		}
+		if _, err := eps[0].ReadRegion(cancelled, 2, region, 0, 4); !errors.Is(err, context.Canceled) {
+			t.Errorf("read with cancelled ctx: %v, want context.Canceled", err)
+		}
+		if _, err := eps[0].Call(cancelled, 2, []byte("x")); !errors.Is(err, context.Canceled) {
+			t.Errorf("call with cancelled ctx: %v, want context.Canceled", err)
+		}
+		// The endpoint survives: a fresh context works.
+		if err := eps[0].WriteRegion(ctx, 2, region, 0, []byte("ok")); err != nil {
+			t.Errorf("write after cancellation: %v", err)
+		}
+	})
+}
+
+// Describe renders the table for documentation/debugging.
+func Describe() string {
+	var b bytes.Buffer
+	for _, c := range Cases() {
+		fmt.Fprintf(&b, "%s\n", c.Name)
+	}
+	return b.String()
+}
