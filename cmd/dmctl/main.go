@@ -74,6 +74,14 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("node %d free receive-pool bytes: %d (%.1f MiB)\n", target, free, float64(free)/(1<<20))
+		// The instrumentation tree rides a separate control-plane op; a
+		// daemon predating it still answers the free-memory query above.
+		tree, err := client.Metrics(ctx, target)
+		if err != nil {
+			fmt.Printf("(metrics tree unavailable: %v)\n", err)
+			return nil
+		}
+		fmt.Print(tree)
 		return nil
 	case "put":
 		if fs.NArg() < 3 {

@@ -27,7 +27,11 @@ import (
 
 	"godm/internal/cluster"
 	"godm/internal/core"
+	"godm/internal/metrics"
+	"godm/internal/obs"
+	"godm/internal/swap"
 	"godm/internal/tcpnet"
+	"godm/internal/trace"
 	"godm/internal/transport"
 )
 
@@ -49,6 +53,7 @@ func run(args []string) error {
 		tick      = fs.Duration("tick", 2*time.Second, "heartbeat/maintenance interval")
 		workers   = fs.Int("call-workers", tcpnet.DefaultCallConcurrency, "max concurrent control-plane handlers")
 		lanes     = fs.Int("conns-per-peer", 0, "pooled TCP connections per peer (0 = auto)")
+		httpAddr  = fs.String("http", "", "serve /metrics, /stats, /trace, and /debug/pprof on this address (empty = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,6 +91,17 @@ func run(args []string) error {
 	if factor < 1 {
 		factor = 1
 	}
+	// One tracer and one metrics tree per process. The node's fabric
+	// traffic runs through the trace middleware so a remote op's spans
+	// reassemble under its caller's trace; the raw endpoint keeps serving
+	// Addr/AddPeer/transport metrics.
+	tracer := trace.New()
+	tree := metrics.NewTree()
+	tree.Attach("node/transport", ep.Metrics())
+	// Pre-declare the swap families: dmnode hosts no swap engine itself, but
+	// scrapers want the full schema (zero-valued) from every node.
+	swap.NewMetrics(tree.Registry("node/swap"))
+
 	node, err := core.NewNode(core.Config{
 		ID:                transport.NodeID(*id),
 		SharedPoolBytes:   *sharedMiB << 20,
@@ -93,9 +109,21 @@ func run(args []string) error {
 		RecvPoolBytes:     *recvMiB << 20,
 		SlabSize:          1 << 20,
 		ReplicationFactor: factor,
-	}, ep, dir)
+	}, transport.Chain(ep, trace.Middleware(tracer)), dir)
 	if err != nil {
 		return err
+	}
+	tree.Attach("node/core", node.Metrics())
+	tree.Attach("node/replication", node.ReplicationMetrics())
+	node.SetMetricsTree(tree)
+
+	if *httpAddr != "" {
+		srv, bound, err := obs.Serve(*httpAddr, tree, tracer)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		log.Printf("observability on http://%s (/metrics /stats /trace /debug/pprof)", bound)
 	}
 	log.Printf("dmnode %d listening on %s, donating %d MiB, %d peers, replication %d",
 		*id, ep.Addr(), *recvMiB, len(peers), factor)
@@ -115,6 +143,7 @@ func run(args []string) error {
 			// never stall the loop past one interval: the transport honors
 			// cancellation mid-RPC.
 			ctx, cancel := context.WithTimeout(context.Background(), *tick)
+			ctx = trace.WithTracer(ctx, tracer)
 			err := tickOnce(ctx, node, dir, log.Printf)
 			cancel()
 			if err != nil {

@@ -283,7 +283,7 @@ func TestChaosAtMostOnceAcrossReconnect(t *testing.T) {
 	seed := *chaosSeed
 	logSeed(t, seed)
 	rec := NewCallRecorder()
-	echo := func(from transport.NodeID, payload []byte) ([]byte, error) {
+	echo := func(_ context.Context, from transport.NodeID, payload []byte) ([]byte, error) {
 		return payload, nil
 	}
 

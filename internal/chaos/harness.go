@@ -24,8 +24,10 @@ import (
 	"godm/internal/core"
 	"godm/internal/des"
 	"godm/internal/faulty"
+	"godm/internal/metrics"
 	"godm/internal/simnet"
 	"godm/internal/tcpnet"
+	"godm/internal/trace"
 	"godm/internal/transport"
 )
 
@@ -65,6 +67,13 @@ type Cluster struct {
 	Nodes []*core.Node
 	// Dirs[i] is node i+1's private membership view.
 	Dirs []*cluster.Directory
+	// Tracer records every node's spans in one ring; under FabricSim it runs
+	// on simulated time, so serial scenarios reassemble into byte-identical
+	// timelines across runs with the same seed.
+	Tracer *trace.Tracer
+	// Tree mounts every node's instrumentation plus the invariant counters,
+	// for failure dumps.
+	Tree *metrics.Tree
 
 	env     *des.Env
 	closers []func()
@@ -77,7 +86,7 @@ func New(t *testing.T, kind FabricKind, seed int64, cfg Config) *Cluster {
 	if cfg.Nodes < 2 {
 		t.Fatalf("chaos: cluster needs at least 2 nodes, got %d", cfg.Nodes)
 	}
-	cl := &Cluster{Kind: kind, Seed: seed, Inj: faulty.New(seed)}
+	cl := &Cluster{Kind: kind, Seed: seed, Inj: faulty.New(seed), Tree: metrics.NewTree()}
 
 	var raw []transport.Endpoint
 	switch kind {
@@ -115,6 +124,13 @@ func New(t *testing.T, kind FabricKind, seed int64, cfg Config) *Cluster {
 		t.Fatalf("chaos: unknown fabric %q", kind)
 	}
 
+	if cl.env != nil {
+		cl.Tracer = trace.New(trace.WithClock(cl.env.Now))
+	} else {
+		cl.Tracer = trace.New()
+	}
+	cl.Tree.Attach("chaos/invariants", InvariantMetrics())
+
 	for i := 1; i <= cfg.Nodes; i++ {
 		dir, err := cluster.NewDirectory(cluster.Config{
 			GroupSize:        cfg.Nodes,
@@ -137,10 +153,12 @@ func New(t *testing.T, kind FabricKind, seed int64, cfg Config) *Cluster {
 			RecvPoolBytes:     1 << 20,
 			SlabSize:          4096,
 			ReplicationFactor: cfg.ReplicationFactor,
-		}, cl.Inj.Wrap(raw[i-1]), dir)
+		}, transport.Chain(raw[i-1], trace.Middleware(cl.Tracer), cl.Inj.Wrap), dir)
 		if err != nil {
 			t.Fatal(err)
 		}
+		cl.Tree.Attach(fmt.Sprintf("node-%d/core", i), node.Metrics())
+		cl.Tree.Attach(fmt.Sprintf("node-%d/replication", i), node.ReplicationMetrics())
 		cl.Nodes = append(cl.Nodes, node)
 		cl.Dirs = append(cl.Dirs, dir)
 	}
@@ -159,16 +177,40 @@ func (cl *Cluster) Close() {
 // context under FabricTCP.
 func (cl *Cluster) Run(t *testing.T, body func(ctx context.Context)) {
 	t.Helper()
+	base := trace.WithTracer(context.Background(), cl.Tracer)
 	if cl.Kind == FabricSim {
 		cl.env.Go("chaos", func(p *des.Proc) {
-			body(des.NewContext(context.Background(), p))
+			body(des.NewContext(base, p))
 		})
 		if err := cl.env.Run(); err != nil {
 			t.Fatal(err)
 		}
 		return
 	}
-	body(context.Background())
+	body(base)
+}
+
+// maxDumpTraces bounds how many timelines a failure dump prints.
+const maxDumpTraces = 8
+
+// DumpOnFailure registers a cleanup that, if the test failed, logs the
+// cluster's metrics tree (including per-invariant check/violation counters)
+// and the most recent trace timelines — the bundle a failed seed leaves
+// behind for diagnosis.
+func (cl *Cluster) DumpOnFailure(t *testing.T) {
+	t.Cleanup(func() {
+		if !t.Failed() {
+			return
+		}
+		t.Logf("chaos: metrics tree at failure (seed %d, fabric %s):\n%s", cl.Seed, cl.Kind, cl.Tree.String())
+		ids := cl.Tracer.TraceIDs()
+		if len(ids) > maxDumpTraces {
+			ids = ids[len(ids)-maxDumpTraces:]
+		}
+		for _, id := range ids {
+			t.Logf("chaos: trace %d:\n%s", uint64(id), cl.Tracer.Timeline(id))
+		}
+	})
 }
 
 // HeartbeatRound performs one failure-detector interval: every node that the

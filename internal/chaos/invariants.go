@@ -10,9 +10,37 @@ import (
 	"godm/internal/cluster"
 	"godm/internal/core"
 	"godm/internal/faulty"
+	"godm/internal/metrics"
 	"godm/internal/pagetable"
 	"godm/internal/transport"
 )
+
+// invReg counts invariant checks and violations per invariant, so a failed
+// seed's dump shows which contract broke and how often. It is process-wide:
+// every cluster mounts it at chaos/invariants in its tree.
+var invReg = metrics.NewRegistry("chaos/invariants")
+
+// InvariantMetrics exposes the per-invariant check/violation counters.
+func InvariantMetrics() *metrics.Registry { return invReg }
+
+// countingTB wraps the test handle so every invariant failure is also
+// counted in invReg before reaching the real reporter.
+type countingTB struct {
+	testing.TB
+	violations *metrics.Counter
+}
+
+func (c countingTB) Errorf(format string, args ...any) {
+	c.violations.Inc()
+	c.TB.Errorf(format, args...)
+}
+
+// checked counts one run of the named invariant and returns a reporter that
+// counts its violations.
+func checked(t testing.TB, name string) countingTB {
+	invReg.Counter(name + "_checks").Inc()
+	return countingTB{TB: t, violations: invReg.Counter(name + "_violations")}
+}
 
 // RequireWriteAtomicity asserts the §IV.D all-or-nothing contract for one
 // replicated write that returned werr: on success, the owner's Get and a
@@ -21,60 +49,62 @@ import (
 // rolled-back write left nothing visible. The injector is paused during the
 // checks so verification traffic is not itself faulted and does not advance
 // the decision counters.
-func RequireWriteAtomicity(ctx context.Context, t *testing.T, inj *faulty.Injector, vs *core.VirtualServer, id pagetable.EntryID, payload []byte, werr error) {
+func RequireWriteAtomicity(ctx context.Context, t testing.TB, inj *faulty.Injector, vs *core.VirtualServer, id pagetable.EntryID, payload []byte, werr error) {
 	t.Helper()
+	tb := checked(t, "write_atomicity")
 	inj.SetEnabled(false)
 	defer inj.SetEnabled(true)
 
 	if werr != nil {
 		if _, err := vs.Location(id); !errors.Is(err, pagetable.ErrNotFound) {
-			t.Errorf("entry %d: write failed (%v) but memory map still has a location (err=%v): torn write visible", id, werr, err)
+			tb.Errorf("entry %d: write failed (%v) but memory map still has a location (err=%v): torn write visible", id, werr, err)
 		}
 		return
 	}
 	got, loc, err := vs.Get(ctx, id)
 	if err != nil {
-		t.Errorf("entry %d: committed write not readable: %v", id, err)
+		tb.Errorf("entry %d: committed write not readable: %v", id, err)
 		return
 	}
 	if !bytes.Equal(got, payload) {
-		t.Errorf("entry %d: Get returned wrong bytes after committed write", id)
+		tb.Errorf("entry %d: Get returned wrong bytes after committed write", id)
 	}
 	holders := append([]pagetable.NodeID{loc.Primary}, loc.Replicas...)
 	for _, h := range holders {
 		data, err := vs.ReadFrom(ctx, id, transport.NodeID(h))
 		if err != nil {
-			t.Errorf("entry %d: holder %d unreadable after committed write: %v", id, h, err)
+			tb.Errorf("entry %d: holder %d unreadable after committed write: %v", id, h, err)
 			continue
 		}
 		if !bytes.Equal(data, payload) {
-			t.Errorf("entry %d: holder %d serves torn/wrong bytes", id, h)
+			tb.Errorf("entry %d: holder %d serves torn/wrong bytes", id, h)
 		}
 	}
 }
 
 // RequireReplicationFactor asserts that id's replica set holds factor
 // distinct nodes, none of them lost.
-func RequireReplicationFactor(t *testing.T, vs *core.VirtualServer, id pagetable.EntryID, factor int, lost transport.NodeID) {
+func RequireReplicationFactor(t testing.TB, vs *core.VirtualServer, id pagetable.EntryID, factor int, lost transport.NodeID) {
 	t.Helper()
+	tb := checked(t, "replication_factor")
 	loc, err := vs.Location(id)
 	if err != nil {
-		t.Errorf("entry %d: no location: %v", id, err)
+		tb.Errorf("entry %d: no location: %v", id, err)
 		return
 	}
 	holders := append([]pagetable.NodeID{loc.Primary}, loc.Replicas...)
 	seen := map[pagetable.NodeID]bool{}
 	for _, h := range holders {
 		if h == pagetable.NodeID(lost) {
-			t.Errorf("entry %d: lost node %d still in replica set %v", id, lost, holders)
+			tb.Errorf("entry %d: lost node %d still in replica set %v", id, lost, holders)
 		}
 		if seen[h] {
-			t.Errorf("entry %d: duplicate holder %d in replica set %v", id, h, holders)
+			tb.Errorf("entry %d: duplicate holder %d in replica set %v", id, h, holders)
 		}
 		seen[h] = true
 	}
 	if len(holders) != factor {
-		t.Errorf("entry %d: replica set %v has %d holders, want %d", id, holders, len(holders), factor)
+		tb.Errorf("entry %d: replica set %v has %d holders, want %d", id, holders, len(holders), factor)
 	}
 }
 
@@ -82,8 +112,9 @@ func RequireReplicationFactor(t *testing.T, vs *core.VirtualServer, id pagetable
 // with alive members has exactly one leader and that leader is an alive
 // member of the group. Directories of crashed nodes should be excluded by
 // the caller — a dead process's stale view is not an invariant violation.
-func RequireSingleLeader(t *testing.T, dirs []*cluster.Directory) {
+func RequireSingleLeader(t testing.TB, dirs []*cluster.Directory) {
 	t.Helper()
+	tb := checked(t, "single_leader")
 	for i, dir := range dirs {
 		groups := dir.Groups()
 		if groups == 0 {
@@ -96,11 +127,11 @@ func RequireSingleLeader(t *testing.T, dirs []*cluster.Directory) {
 			}
 			leader, ok := dir.Leader(g)
 			if !ok {
-				t.Errorf("dir %d: group %d has %d alive members but no leader", i, g, len(members))
+				tb.Errorf("dir %d: group %d has %d alive members but no leader", i, g, len(members))
 				continue
 			}
 			if !dir.Alive(leader) {
-				t.Errorf("dir %d: group %d leader %d is not alive", i, g, leader)
+				tb.Errorf("dir %d: group %d leader %d is not alive", i, g, leader)
 			}
 			found := false
 			for _, m := range members {
@@ -109,7 +140,7 @@ func RequireSingleLeader(t *testing.T, dirs []*cluster.Directory) {
 				}
 			}
 			if !found {
-				t.Errorf("dir %d: group %d leader %d is not a group member %v", i, g, leader, members)
+				tb.Errorf("dir %d: group %d leader %d is not a group member %v", i, g, leader, members)
 			}
 		}
 	}
@@ -120,14 +151,15 @@ func RequireSingleLeader(t *testing.T, dirs []*cluster.Directory) {
 // (a heartbeat round with forced re-election, i.e. §IV.C dynamic
 // regrouping); under the stable-incumbent election rule, views may
 // legitimately disagree before that.
-func RequireLeaderAgreement(t *testing.T, dirs []*cluster.Directory, g int) cluster.NodeID {
+func RequireLeaderAgreement(t testing.TB, dirs []*cluster.Directory, g int) cluster.NodeID {
 	t.Helper()
+	tb := checked(t, "leader_agreement")
 	var agreed cluster.NodeID
 	have := false
 	for i, dir := range dirs {
 		leader, ok := dir.Leader(g)
 		if !ok {
-			t.Errorf("dir %d: no leader for group %d", i, g)
+			tb.Errorf("dir %d: no leader for group %d", i, g)
 			continue
 		}
 		if !have {
@@ -135,7 +167,7 @@ func RequireLeaderAgreement(t *testing.T, dirs []*cluster.Directory, g int) clus
 			continue
 		}
 		if leader != agreed {
-			t.Errorf("dir %d: leader %d for group %d, others say %d", i, leader, g, agreed)
+			tb.Errorf("dir %d: leader %d for group %d, others say %d", i, leader, g, agreed)
 		}
 	}
 	return agreed
@@ -158,11 +190,11 @@ func NewCallRecorder() *CallRecorder {
 
 // Wrap returns a handler that counts each delivery, then invokes h.
 func (r *CallRecorder) Wrap(h transport.Handler) transport.Handler {
-	return func(from transport.NodeID, payload []byte) ([]byte, error) {
+	return func(ctx context.Context, from transport.NodeID, payload []byte) ([]byte, error) {
 		r.mu.Lock()
 		r.seen[string(payload)]++
 		r.mu.Unlock()
-		return h(from, payload)
+		return h(ctx, from, payload)
 	}
 }
 
@@ -174,13 +206,14 @@ func (r *CallRecorder) Deliveries(payload string) int {
 }
 
 // RequireAtMostOnce asserts no recorded request was delivered twice.
-func (r *CallRecorder) RequireAtMostOnce(t *testing.T) {
+func (r *CallRecorder) RequireAtMostOnce(t testing.TB) {
 	t.Helper()
+	tb := checked(t, "at_most_once")
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for payload, n := range r.seen {
 		if n > 1 {
-			t.Errorf("request %q delivered %d times: at-most-once violated", payload, n)
+			tb.Errorf("request %q delivered %d times: at-most-once violated", payload, n)
 		}
 	}
 }

@@ -49,6 +49,16 @@ func (c *Client) Stats(ctx context.Context, node transport.NodeID) (int64, error
 	return st.FreeBytes, nil
 }
 
+// Metrics fetches node's rendered metrics tree over the control plane — the
+// transport behind `dmctl stats`.
+func (c *Client) Metrics(ctx context.Context, node transport.NodeID) (string, error) {
+	resp, err := c.ep.Call(ctx, node, encodeMetricsReq())
+	if err != nil {
+		return "", fmt.Errorf("core: metrics from node %d: %w", node, err)
+	}
+	return decodeMetricsResp(resp)
+}
+
 // Put parks data under key in node's receive pool.
 func (c *Client) Put(ctx context.Context, node transport.NodeID, key uint64, data []byte) error {
 	class := len(data)

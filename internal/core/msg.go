@@ -14,6 +14,7 @@ const (
 	opHeartbeat = 3 // advertise liveness + free receive-pool bytes
 	opEvicted   = 4 // notify an owner that its block was evicted
 	opStats     = 5 // query free receive-pool bytes
+	opMetrics   = 6 // fetch the node's rendered metrics tree
 )
 
 // Response status codes.
@@ -146,6 +147,19 @@ func decodeEvictedReq(b []byte) (evictedReq, error) {
 }
 
 func encodeStatsReq() []byte { return []byte{opStats} }
+
+func encodeMetricsReq() []byte { return []byte{opMetrics} }
+
+func encodeMetricsResp(text string) []byte {
+	return append([]byte{stOK}, text...)
+}
+
+func decodeMetricsResp(b []byte) (string, error) {
+	if len(b) < 1 || b[0] != stOK {
+		return "", errShortMessage
+	}
+	return string(b[1:]), nil
+}
 
 func encodeStatsResp(r statsResp) []byte {
 	buf := make([]byte, 1+8)

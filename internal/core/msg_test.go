@@ -103,7 +103,7 @@ func TestHandleCallNeverPanicsOnGarbage(t *testing.T) {
 	tc := newTestCluster(t, 1, smallConfig)
 	node := tc.nodes[0]
 	f := func(payload []byte) bool {
-		resp, err := node.handleCall(2, payload)
+		resp, err := node.handleCall(context.Background(), 2, payload)
 		// The handler reports protocol errors in-band.
 		return err == nil && len(resp) >= 1
 	}

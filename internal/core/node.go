@@ -22,10 +22,12 @@ import (
 
 	"godm/internal/cluster"
 	"godm/internal/des"
+	"godm/internal/metrics"
 	"godm/internal/pagetable"
 	"godm/internal/placement"
 	"godm/internal/replication"
 	"godm/internal/slab"
+	"godm/internal/trace"
 	"godm/internal/transport"
 )
 
@@ -124,6 +126,43 @@ type Node struct {
 	pendingRepairs []pendingRepair
 
 	stats NodeStats
+
+	reg     *metrics.Registry // core request-path instrumentation
+	replReg *metrics.Registry // replication protocol instrumentation
+	met     coreMetrics       // pre-bound hot-path instruments from reg
+
+	treeMu sync.Mutex
+	tree   *metrics.Tree // optional: the process-wide tree served over opMetrics
+}
+
+// coreMetrics pre-binds the request-path instruments so hot paths never take
+// the registry's name-lookup lock.
+type coreMetrics struct {
+	sharedPuts       *metrics.Counter
+	remotePuts       *metrics.Counter
+	sharedGets       *metrics.Counter
+	remoteGets       *metrics.Counter
+	remoteAllocs     *metrics.Counter
+	evictedBlocks    *metrics.Counter
+	repairsDone      *metrics.Counter
+	recvFreeBytes    *metrics.Gauge
+	remotePutLatency *metrics.Histogram
+	remoteGetLatency *metrics.Histogram
+}
+
+func newCoreMetrics(reg *metrics.Registry) coreMetrics {
+	return coreMetrics{
+		sharedPuts:       reg.Counter("shared_puts"),
+		remotePuts:       reg.Counter("remote_puts"),
+		sharedGets:       reg.Counter("shared_gets"),
+		remoteGets:       reg.Counter("remote_gets"),
+		remoteAllocs:     reg.Counter("remote_allocs"),
+		evictedBlocks:    reg.Counter("evicted_blocks"),
+		repairsDone:      reg.Counter("repairs_done"),
+		recvFreeBytes:    reg.Gauge("recv_free_bytes"),
+		remotePutLatency: reg.Histogram("remote_put_latency"),
+		remoteGetLatency: reg.Histogram("remote_get_latency"),
+	}
 }
 
 type pendingRepair struct {
@@ -184,9 +223,15 @@ func NewNode(cfg Config, ep transport.Endpoint, dir *cluster.Directory) (*Node, 
 		balancer:   balancer,
 		vservers:   map[string]*VirtualServer{},
 		recvOwners: map[slab.Handle]ownerRef{},
+		reg:        metrics.NewRegistry(fmt.Sprintf("core/node-%d", cfg.ID)),
+		replReg:    metrics.NewRegistry(fmt.Sprintf("replication/node-%d", cfg.ID)),
 	}
+	n.met = newCoreMetrics(n.reg)
+	n.met.recvFreeBytes.Set(recv.FreeBytes())
 	n.remote = &remoteStore{node: n, handles: map[remoteKey]remoteHandle{}}
-	repl, err := replication.New(n.remote, replication.WithFactor(cfg.ReplicationFactor))
+	repl, err := replication.New(n.remote,
+		replication.WithFactor(cfg.ReplicationFactor),
+		replication.WithMetrics(n.replReg))
 	if err != nil {
 		return nil, err
 	}
@@ -217,6 +262,34 @@ func (n *Node) Stats() NodeStats {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.stats
+}
+
+// Metrics exposes the node's request-path instrumentation (puts, gets,
+// latency histograms), for mounting under a process-wide metrics tree.
+func (n *Node) Metrics() *metrics.Registry { return n.reg }
+
+// ReplicationMetrics exposes the replication protocol's instrumentation.
+func (n *Node) ReplicationMetrics() *metrics.Registry { return n.replReg }
+
+// SetMetricsTree installs the process-wide metrics tree the node serves to
+// remote stats clients over the control plane (dmctl stats).
+func (n *Node) SetMetricsTree(t *metrics.Tree) {
+	n.treeMu.Lock()
+	n.tree = t
+	n.treeMu.Unlock()
+}
+
+// metricsText renders what this node knows about its own instrumentation:
+// the full tree when the daemon installed one, otherwise the node's own
+// registries.
+func (n *Node) metricsText() string {
+	n.treeMu.Lock()
+	t := n.tree
+	n.treeMu.Unlock()
+	if t != nil {
+		return t.String()
+	}
+	return n.reg.String() + n.replReg.String()
 }
 
 // AddServer registers a virtual server with the node manager. The donation
@@ -311,7 +384,9 @@ func (n *Node) pickRemotes(count int, exclude []transport.NodeID) ([]replication
 // Heartbeat advertises this node's free receive-pool bytes to the directory
 // (in-process) — the cluster-wide equivalent is BroadcastHeartbeat.
 func (n *Node) Heartbeat() error {
-	return n.dir.Heartbeat(cluster.NodeID(n.cfg.ID), n.recv.FreeBytes())
+	free := n.recv.FreeBytes()
+	n.met.recvFreeBytes.Set(free)
+	return n.dir.Heartbeat(cluster.NodeID(n.cfg.ID), free)
 }
 
 // BroadcastHeartbeat sends a heartbeat to every other known node over the
@@ -349,10 +424,13 @@ func (n *Node) BroadcastHeartbeat(ctx context.Context) {
 }
 
 // handleCall is the control-plane dispatcher (RDMS side).
-func (n *Node) handleCall(from transport.NodeID, payload []byte) ([]byte, error) {
+func (n *Node) handleCall(ctx context.Context, from transport.NodeID, payload []byte) ([]byte, error) {
 	if len(payload) == 0 {
 		return errorResp(errShortMessage), nil
 	}
+	_, sp := trace.Start(ctx, "core.handle")
+	sp.Annotate("op", int(payload[0]))
+	defer sp.End()
 	switch payload[0] {
 	case opAlloc:
 		req, err := decodeAllocReq(payload)
@@ -382,6 +460,8 @@ func (n *Node) handleCall(from transport.NodeID, payload []byte) ([]byte, error)
 		return okResp(), nil
 	case opStats:
 		return encodeStatsResp(statsResp{FreeBytes: n.recv.FreeBytes()}), nil
+	case opMetrics:
+		return encodeMetricsResp(n.metricsText()), nil
 	default:
 		return errorResp(fmt.Errorf("core: unknown op %d", payload[0])), nil
 	}
@@ -405,6 +485,8 @@ func (n *Node) handleAlloc(from transport.NodeID, req allocReq) []byte {
 	n.recvOwners[h] = ownerRef{owner: from, key: req.Key}
 	n.stats.RemoteAllocs++
 	n.mu.Unlock()
+	n.met.remoteAllocs.Inc()
+	n.met.recvFreeBytes.Set(n.recv.FreeBytes())
 	return encodeAllocResp(allocResp{Offset: off})
 }
 
@@ -457,6 +539,7 @@ func (n *Node) EvictRecvSlabs(ctx context.Context, wantBytes int64) (int64, erro
 				delete(n.recvOwners, h)
 			}
 			n.stats.EvictedBlocks++
+			n.met.evictedBlocks.Inc()
 		}
 		n.mu.Unlock()
 		for _, ref := range owners {
@@ -524,6 +607,7 @@ func (n *Node) Maintain(ctx context.Context) (repaired int, firstErr error) {
 	n.pendingRepairs = append(n.pendingRepairs, failed...)
 	n.stats.RepairsDone += int64(repaired)
 	n.mu.Unlock()
+	n.met.repairsDone.Add(int64(repaired))
 	return repaired, firstErr
 }
 

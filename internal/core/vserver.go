@@ -9,6 +9,7 @@ import (
 	"godm/internal/pagetable"
 	"godm/internal/replication"
 	"godm/internal/slab"
+	"godm/internal/trace"
 	"godm/internal/transport"
 )
 
@@ -86,6 +87,7 @@ func (vs *VirtualServer) PutShared(id pagetable.EntryID, data []byte, class, raw
 	vs.node.mu.Lock()
 	vs.node.stats.SharedPuts++
 	vs.node.mu.Unlock()
+	vs.node.met.sharedPuts.Inc()
 	vs.putCount.Add(1)
 	return nil
 }
@@ -98,16 +100,25 @@ func (vs *VirtualServer) PutRemote(ctx context.Context, id pagetable.EntryID, da
 	if len(data) > class {
 		return fmt.Errorf("core: payload %d exceeds class %d", len(data), class)
 	}
+	ctx, sp := trace.Start(ctx, "core.put_remote")
+	sp.Annotate("entry", uint64(id))
+	sp.Annotate("class", class)
+	defer sp.End()
+	start := trace.Now(ctx)
+	_, pick := trace.Start(ctx, "placement.pick")
 	nodes, err := vs.node.pickRemotes(vs.node.cfg.ReplicationFactor, nil)
+	pick.EndErr(err)
 	if err != nil {
+		sp.Annotate("err", err)
 		return err
 	}
 	key := vs.key(id)
 	vs.node.remote.setClass(key, class)
 	if err := vs.node.repl.Write(ctx, nodes, replication.EntryID(key), data); err != nil {
 		if errors.Is(err, replication.ErrAborted) {
-			return fmt.Errorf("%w: %v", ErrRemoteFull, err)
+			err = fmt.Errorf("%w: %v", ErrRemoteFull, err)
 		}
+		sp.Annotate("err", err)
 		return err
 	}
 	vs.dropOld(ctx, id)
@@ -124,6 +135,8 @@ func (vs *VirtualServer) PutRemote(ctx context.Context, id pagetable.EntryID, da
 	vs.node.mu.Lock()
 	vs.node.stats.RemotePuts++
 	vs.node.mu.Unlock()
+	vs.node.met.remotePuts.Inc()
+	vs.node.met.remotePutLatency.Observe(trace.Now(ctx) - start)
 	vs.putCount.Add(1)
 	return nil
 }
@@ -152,25 +165,35 @@ func (vs *VirtualServer) Get(ctx context.Context, id pagetable.EntryID) ([]byte,
 	if err != nil {
 		return nil, loc, err
 	}
+	ctx, sp := trace.Start(ctx, "core.get")
+	sp.Annotate("entry", uint64(id))
+	sp.Annotate("tier", loc.Tier)
+	defer sp.End()
 	switch loc.Tier {
 	case pagetable.TierSharedMemory:
 		h := slab.Handle{SlabID: loc.Ref.SlabID, Offset: loc.Ref.Offset, Class: loc.StoredSize}
 		data, err := vs.node.shared.Read(h, loc.StoredSize)
 		if err != nil {
+			sp.Annotate("err", err)
 			return nil, loc, err
 		}
 		vs.node.mu.Lock()
 		vs.node.stats.SharedGets++
 		vs.node.mu.Unlock()
+		vs.node.met.sharedGets.Inc()
 		return data, loc, nil
 	case pagetable.TierRemote:
+		start := trace.Now(ctx)
 		data, _, err := vs.node.repl.Read(ctx, locationNodes(loc), replication.EntryID(vs.key(id)))
 		if err != nil {
+			sp.Annotate("err", err)
 			return nil, loc, err
 		}
 		vs.node.mu.Lock()
 		vs.node.stats.RemoteGets++
 		vs.node.mu.Unlock()
+		vs.node.met.remoteGets.Inc()
+		vs.node.met.remoteGetLatency.Observe(trace.Now(ctx) - start)
 		return data, loc, nil
 	default:
 		return nil, loc, fmt.Errorf("core: entry %d is on tier %v, not managed here", id, loc.Tier)

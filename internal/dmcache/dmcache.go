@@ -20,7 +20,9 @@ import (
 	"sync"
 
 	"godm/internal/core"
+	"godm/internal/metrics"
 	"godm/internal/placement"
+	"godm/internal/trace"
 	"godm/internal/transport"
 )
 
@@ -42,6 +44,9 @@ type Config struct {
 	// StatsEvery refreshes peers' advertised free memory every N remote
 	// placements (default 64).
 	StatsEvery int
+	// Metrics mounts the cache's instrumentation; nil means a private
+	// registry nothing exports.
+	Metrics *metrics.Registry
 }
 
 // Stats counts cache activity.
@@ -64,12 +69,40 @@ type remoteRef struct {
 	size int
 }
 
+// cacheMetrics is the tier instrumentation, bound once at construction.
+// Remote-hit latency uses trace.Now so simulated runs stay deterministic.
+type cacheMetrics struct {
+	localHits        *metrics.Counter
+	remoteHits       *metrics.Counter
+	misses           *metrics.Counter
+	evictions        *metrics.Counter
+	dropped          *metrics.Counter
+	localBytes       *metrics.Gauge
+	remoteBytes      *metrics.Gauge
+	remoteGetLatency *metrics.Histogram
+}
+
+func newCacheMetrics(reg *metrics.Registry) cacheMetrics {
+	return cacheMetrics{
+		localHits:        reg.Counter("local_hits"),
+		remoteHits:       reg.Counter("remote_hits"),
+		misses:           reg.Counter("misses"),
+		evictions:        reg.Counter("evictions"),
+		dropped:          reg.Counter("dropped"),
+		localBytes:       reg.Gauge("local_bytes"),
+		remoteBytes:      reg.Gauge("remote_bytes"),
+		remoteGetLatency: reg.Histogram("remote_get_latency"),
+	}
+}
+
 // Cache is a disaggregated-memory key-value cache. It is safe for
 // concurrent use from real goroutines; within a simulation drive it from
 // simulation processes.
 type Cache struct {
 	cfg    Config
 	client *core.Client
+
+	met cacheMetrics
 
 	mu         sync.Mutex
 	lru        *list.List // front = hottest
@@ -100,7 +133,12 @@ func New(cfg Config) (*Cache, error) {
 	if cfg.StatsEvery <= 0 {
 		cfg.StatsEvery = 64
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry("dmcache")
+	}
 	return &Cache{
+		met:       newCacheMetrics(reg),
 		cfg:       cfg,
 		client:    core.NewClient(cfg.Verbs),
 		lru:       list.New(),
@@ -142,6 +180,9 @@ func (c *Cache) keyID(key string) uint64 {
 // Put stores a value. The entry lands in the local tier; older entries
 // overflow to remote memory as needed.
 func (c *Cache) Put(ctx context.Context, key string, value []byte) error {
+	ctx, sp := trace.Start(ctx, "cache.put")
+	sp.Annotate("bytes", len(value))
+	defer sp.End()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	// Drop any previous versions.
@@ -156,31 +197,43 @@ func (c *Cache) Put(ctx context.Context, key string, value []byte) error {
 
 // Get fetches a value. Remote hits are re-admitted to the local tier.
 func (c *Cache) Get(ctx context.Context, key string) ([]byte, bool, error) {
+	ctx, sp := trace.Start(ctx, "cache.get")
+	defer sp.End()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.local[key]; ok {
 		c.lru.MoveToFront(el)
 		c.stats.LocalHits++
+		c.met.localHits.Inc()
+		sp.Annotate("tier", "local")
 		val := el.Value.(*entry).value
 		return append([]byte(nil), val...), true, nil
 	}
 	ref, ok := c.remote[key]
 	if !ok {
 		c.stats.Misses++
+		c.met.misses.Inc()
+		sp.Annotate("tier", "miss")
 		return nil, false, nil
 	}
+	start := trace.Now(ctx)
 	data, err := c.client.Get(ctx, ref.node, c.keyID(key))
 	if err != nil {
 		// The peer evicted or crashed: a miss, not an error (cache
 		// semantics — the caller refills from the source of truth).
 		delete(c.remote, key)
 		c.stats.Misses++
+		c.met.misses.Inc()
+		sp.Annotate("tier", "miss")
 		return nil, false, nil
 	}
 	_ = c.client.Delete(ctx, ref.node, c.keyID(key))
 	delete(c.remote, key)
 	c.stats.RemoteBytes -= int64(ref.size)
 	c.stats.RemoteHits++
+	c.met.remoteHits.Inc()
+	c.met.remoteGetLatency.Observe(trace.Now(ctx) - start)
+	sp.Annotate("tier", "remote")
 	e := &entry{key: key, value: data}
 	c.local[key] = c.lru.PushFront(e)
 	c.localBytes += int64(len(data))
@@ -225,16 +278,21 @@ func (c *Cache) trimLocked(ctx context.Context) error {
 		node, err := c.pickPeer(ctx, len(e.value))
 		if err != nil {
 			c.stats.Dropped++
+			c.met.dropped.Inc()
 			continue // cache semantics: losing an entry is legal
 		}
 		if err := c.client.Put(ctx, node, c.keyID(e.key), e.value); err != nil {
 			c.stats.Dropped++
+			c.met.dropped.Inc()
 			continue
 		}
 		c.remote[e.key] = remoteRef{node: node, size: len(e.value)}
 		c.stats.RemoteBytes += int64(len(e.value))
 		c.stats.Evictions++
+		c.met.evictions.Inc()
 	}
+	c.met.localBytes.Set(c.localBytes)
+	c.met.remoteBytes.Set(c.stats.RemoteBytes)
 	return nil
 }
 

@@ -92,7 +92,7 @@ func (e *memEndpoint) ReadRegion(_ context.Context, to transport.NodeID, region 
 	return out, nil
 }
 
-func (e *memEndpoint) Call(_ context.Context, to transport.NodeID, payload []byte) ([]byte, error) {
+func (e *memEndpoint) Call(ctx context.Context, to transport.NodeID, payload []byte) ([]byte, error) {
 	e.f.mu.Lock()
 	h := e.f.handlers[to]
 	e.f.calls[to]++
@@ -100,7 +100,7 @@ func (e *memEndpoint) Call(_ context.Context, to transport.NodeID, payload []byt
 	if h == nil {
 		return nil, transport.ErrNoHandler
 	}
-	return h(e.id, payload)
+	return h(ctx, e.id, payload)
 }
 
 // stillClock pins injector time to a settable instant, so window tests do not
@@ -193,7 +193,7 @@ func TestDuplicateCallExecutesHandlerTwice(t *testing.T) {
 	inj.AddRule(Rule{Kind: KindDuplicate, Verb: VerbCall, From: AnyNode, To: AnyNode, Pct: 100})
 	ep := inj.Wrap(fab.attach(1))
 	tgt := fab.attach(2)
-	tgt.SetHandler(func(transport.NodeID, []byte) ([]byte, error) { return []byte("ok"), nil })
+	tgt.SetHandler(func(context.Context, transport.NodeID, []byte) ([]byte, error) { return []byte("ok"), nil })
 
 	resp, err := ep.Call(context.Background(), 2, []byte("ping"))
 	if err != nil || string(resp) != "ok" {

@@ -72,8 +72,14 @@ func NewLatencyHistogram() *Histogram {
 	return &Histogram{bounds: bounds, buckets: make([]int64, len(bounds)+1)}
 }
 
-// Observe records one duration.
+// Observe records one duration. Durations above the top bucket bound land in
+// the overflow bucket; negative durations (possible when a caller diffs two
+// clock readings across a clock step) are clamped to zero so they can never
+// drag the sum or the quantile estimates below the observable range.
 func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	idx := sort.Search(len(h.bounds), func(i int) bool { return d <= h.bounds[i] })
@@ -142,13 +148,58 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	for i, c := range h.buckets {
 		cum += c
 		if cum >= target {
-			if i < len(h.bounds) {
-				return h.bounds[i]
+			if i >= len(h.bounds) {
+				// Overflow bucket: everything here is above the top bound,
+				// and the true maximum is the tightest upper bound we have.
+				return h.max
 			}
-			return h.max
+			// Clamp the bucket's upper bound into the observed [min, max]
+			// range: a bound can overshoot the max (all observations sit low
+			// in a wide bucket) and, for all-zero observations, undershoot is
+			// impossible but min clamping keeps the estimate honest anyway.
+			v := h.bounds[i]
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return v
 		}
 	}
 	return h.max
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state, used by
+// the Prometheus exposition writer so rendering never holds the hot-path lock
+// across I/O.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts has one extra trailing
+	// overflow bucket for observations above the top bound.
+	Bounds []time.Duration
+	Counts []int64
+	Count  int64
+	Sum    time.Duration
+	Min    time.Duration
+	Max    time.Duration
+}
+
+// Snapshot returns a consistent copy of the histogram's buckets and summary
+// statistics.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{
+		Bounds: make([]time.Duration, len(h.bounds)),
+		Counts: make([]int64, len(h.buckets)),
+		Count:  h.count,
+		Sum:    h.sum,
+		Min:    h.min,
+		Max:    h.max,
+	}
+	copy(s.Bounds, h.bounds)
+	copy(s.Counts, h.buckets)
+	return s
 }
 
 // String summarizes the histogram for logs.
@@ -229,6 +280,21 @@ func NewRegistry(name string) *Registry {
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
 	}
+}
+
+// Name returns the registry's label.
+func (r *Registry) Name() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.name
+}
+
+// setName relabels the registry; Tree.Attach uses it to fold free-floating
+// registries into one namespace.
+func (r *Registry) setName(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.name = name
 }
 
 // Counter returns the named counter, creating it on first use.

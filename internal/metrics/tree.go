@@ -1,0 +1,181 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Tree is the unified per-process metrics namespace: a hierarchy of
+// registries addressed by slash-separated paths ("node/swap",
+// "node/transport", "chaos/invariants"). Every component keeps its own
+// Registry; the tree only names and aggregates them, so attaching a registry
+// costs nothing on the hot path.
+type Tree struct {
+	mu   sync.Mutex
+	regs map[string]*Registry
+}
+
+// NewTree returns an empty metrics tree.
+func NewTree() *Tree {
+	return &Tree{regs: map[string]*Registry{}}
+}
+
+// Registry returns the registry mounted at path, creating an empty one on
+// first use.
+func (t *Tree) Registry(path string) *Registry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r, ok := t.regs[path]
+	if !ok {
+		r = NewRegistry(path)
+		t.regs[path] = r
+	}
+	return r
+}
+
+// Attach mounts an existing registry at path, relabelling it to the path so
+// every export surface shows one namespace. Attaching over an occupied path
+// replaces the previous registry.
+func (t *Tree) Attach(path string, r *Registry) {
+	if r == nil {
+		return
+	}
+	r.setName(path)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.regs[path] = r
+}
+
+// Paths returns the mounted paths in sorted order.
+func (t *Tree) Paths() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return sortedKeys(t.regs)
+}
+
+// snapshot returns the mounted registries in path order without holding the
+// tree lock during rendering.
+func (t *Tree) snapshot() []*Registry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	regs := make([]*Registry, 0, len(t.regs))
+	for _, p := range sortedKeys(t.regs) {
+		regs = append(regs, t.regs[p])
+	}
+	return regs
+}
+
+// String renders every mounted registry in path order — the pretty-printed
+// form served to `dmctl stats`.
+func (t *Tree) String() string {
+	var b strings.Builder
+	for _, r := range t.snapshot() {
+		b.WriteString(r.String())
+	}
+	return b.String()
+}
+
+// WritePrometheus writes the whole tree in Prometheus text exposition format.
+// Metric families are named godm_<path>_<metric> with path separators folded
+// to underscores; histograms become cumulative le-bucket families in seconds.
+func (t *Tree) WritePrometheus(w io.Writer) error {
+	for _, r := range t.snapshot() {
+		if err := r.WritePrometheus(w, "godm_"+sanitizeMetricName(r.Name())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePrometheus writes the registry's metrics as Prometheus text, each
+// family named prefix_<metric>.
+func (r *Registry) WritePrometheus(w io.Writer, prefix string) error {
+	r.mu.Lock()
+	counters := make(map[string]int64, len(r.counters))
+	for k, c := range r.counters {
+		counters[k] = c.Value()
+	}
+	gauges := make(map[string]int64, len(r.gauges))
+	for k, g := range r.gauges {
+		gauges[k] = g.Value()
+	}
+	hists := make(map[string]HistogramSnapshot, len(r.hists))
+	histRefs := make(map[string]*Histogram, len(r.hists))
+	for k, h := range r.hists {
+		histRefs[k] = h
+	}
+	r.mu.Unlock()
+	// Snapshot histograms outside the registry lock: Observe holds the
+	// histogram lock, never the registry's.
+	for k, h := range histRefs {
+		hists[k] = h.Snapshot()
+	}
+
+	for _, k := range sortedKeys(counters) {
+		name := prefix + "_" + sanitizeMetricName(k)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, counters[k]); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(gauges) {
+		name := prefix + "_" + sanitizeMetricName(k)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, gauges[k]); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(hists) {
+		if err := writePromHistogram(w, prefix+"_"+sanitizeMetricName(k), hists[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, name string, s HistogramSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	var cum int64
+	for i, b := range s.Bounds {
+		cum += s.Counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, promFloat(b.Seconds()), cum); err != nil {
+			return err
+		}
+	}
+	if len(s.Counts) > len(s.Bounds) {
+		cum += s.Counts[len(s.Bounds)]
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, promFloat(s.Sum.Seconds()), name, s.Count); err != nil {
+		return err
+	}
+	return nil
+}
+
+// promFloat renders a float the way Prometheus clients expect: shortest
+// round-trippable decimal form.
+func promFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// sanitizeMetricName folds every character outside [a-zA-Z0-9_] — path
+// separators, dashes, dots — to an underscore so tree paths become legal
+// Prometheus metric name segments.
+func sanitizeMetricName(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,193 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramObserveAboveTopBound(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Observe(250 * time.Second) // well above the ~110s top bound
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", h.Count())
+	}
+	if h.Min() != 250*time.Second || h.Max() != 250*time.Second {
+		t.Fatalf("Min/Max = %v/%v, want 250s/250s", h.Min(), h.Max())
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 250*time.Second {
+			t.Fatalf("Quantile(%v) = %v, want 250s (overflow bucket reports max)", q, got)
+		}
+	}
+}
+
+func TestHistogramObserveZero(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Observe(0)
+	if h.Count() != 1 || h.Sum() != 0 {
+		t.Fatalf("Count/Sum = %d/%v, want 1/0", h.Count(), h.Sum())
+	}
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("Min/Max = %v/%v, want 0/0", h.Min(), h.Max())
+	}
+	// The first bucket's upper bound is 100ns; a raw bound would overstate an
+	// all-zero population, so the estimate must clamp to the observed max.
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("Quantile(0.5) = %v, want 0 (clamped to max)", got)
+	}
+}
+
+func TestHistogramObserveNegativeClampsToZero(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Observe(-5 * time.Millisecond)
+	h.Observe(-time.Nanosecond)
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", h.Count())
+	}
+	if h.Sum() != 0 {
+		t.Fatalf("Sum = %v, want 0 (negatives clamp, never subtract)", h.Sum())
+	}
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("Min/Max = %v/%v, want 0/0", h.Min(), h.Max())
+	}
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("Quantile(0.99) = %v, want 0", got)
+	}
+}
+
+func TestHistogramMixedExtremes(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Observe(-time.Second)      // clamps to 0
+	h.Observe(50 * time.Nanosecond)
+	h.Observe(300 * time.Second) // overflow
+	if h.Min() != 0 {
+		t.Fatalf("Min = %v, want 0", h.Min())
+	}
+	if h.Max() != 300*time.Second {
+		t.Fatalf("Max = %v, want 300s", h.Max())
+	}
+	if got := h.Quantile(1); got != 300*time.Second {
+		t.Fatalf("Quantile(1) = %v, want 300s", got)
+	}
+	// Two of three observations sit in the first bucket: its 100ns bound is a
+	// valid upper estimate for the low quantiles.
+	if got := h.Quantile(0.5); got != 100*time.Nanosecond {
+		t.Fatalf("Quantile(0.5) = %v, want 100ns", got)
+	}
+}
+
+func TestHistogramSnapshotConsistency(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Observe(time.Millisecond)
+	h.Observe(400 * time.Second)
+	s := h.Snapshot()
+	if s.Count != 2 || s.Max != 400*time.Second {
+		t.Fatalf("snapshot Count/Max = %d/%v, want 2/400s", s.Count, s.Max)
+	}
+	if len(s.Counts) != len(s.Bounds)+1 {
+		t.Fatalf("snapshot has %d counts for %d bounds, want bounds+1", len(s.Counts), len(s.Bounds))
+	}
+	var total int64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total != s.Count {
+		t.Fatalf("bucket total %d != count %d", total, s.Count)
+	}
+	if s.Counts[len(s.Counts)-1] != 1 {
+		t.Fatalf("overflow bucket = %d, want 1", s.Counts[len(s.Counts)-1])
+	}
+}
+
+func TestTreeRegistryAndAttach(t *testing.T) {
+	tree := NewTree()
+	tree.Registry("node/swap").Counter("faults").Inc()
+
+	// Attaching a free-floating registry folds it into the tree namespace.
+	free := NewRegistry("tcpnet/node-7")
+	free.Counter("rpcs").Add(3)
+	tree.Attach("node/transport", free)
+	if free.Name() != "node/transport" {
+		t.Fatalf("attached registry name = %q, want node/transport", free.Name())
+	}
+	if tree.Registry("node/transport") != free {
+		t.Fatal("Registry after Attach did not return the attached instance")
+	}
+
+	paths := tree.Paths()
+	if len(paths) != 2 || paths[0] != "node/swap" || paths[1] != "node/transport" {
+		t.Fatalf("Paths = %v", paths)
+	}
+	out := tree.String()
+	for _, want := range []string{"[node/swap]", "[node/transport]", "faults", "rpcs"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tree String missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "tcpnet/node-7") {
+		t.Fatalf("tree String still shows free-floating name:\n%s", out)
+	}
+}
+
+func TestTreeWritePrometheus(t *testing.T) {
+	tree := NewTree()
+	reg := tree.Registry("node/swap")
+	reg.Counter("faults").Add(7)
+	reg.Gauge("resident_pages").Set(42)
+	reg.Histogram("fault_latency").Observe(3 * time.Microsecond)
+	tree.Registry("node/replication") // empty registry: no output, no error
+
+	var b strings.Builder
+	if err := tree.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE godm_node_swap_faults counter",
+		"godm_node_swap_faults 7",
+		"# TYPE godm_node_swap_resident_pages gauge",
+		"godm_node_swap_resident_pages 42",
+		"# TYPE godm_node_swap_fault_latency histogram",
+		"godm_node_swap_fault_latency_bucket{le=\"+Inf\"} 1",
+		"godm_node_swap_fault_latency_count 1",
+		"godm_node_swap_fault_latency_sum 3e-06",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Buckets must be cumulative: the 3µs observation is inside the 3.2µs
+	// bound (100ns * 2^5), so every bucket from there on reports 1.
+	if !strings.Contains(out, "godm_node_swap_fault_latency_bucket{le=\"3.2e-06\"} 1") {
+		t.Fatalf("missing cumulative 3.2e-06 bucket:\n%s", out)
+	}
+	if !strings.Contains(out, "godm_node_swap_fault_latency_bucket{le=\"1.6e-06\"} 0") {
+		t.Fatalf("missing empty 1.6e-06 bucket:\n%s", out)
+	}
+	// Every non-comment line must be "name[{labels}] value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestZeroCountHistogramStillExported(t *testing.T) {
+	tree := NewTree()
+	tree.Registry("node/swap").Histogram("fault_latency") // declared, never observed
+	var b strings.Builder
+	if err := tree.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "godm_node_swap_fault_latency_count 0") {
+		t.Fatalf("zero-count histogram not exported:\n%s", out)
+	}
+	if !strings.Contains(out, "godm_node_swap_fault_latency_bucket{le=\"+Inf\"} 0") {
+		t.Fatalf("zero-count histogram missing +Inf bucket:\n%s", out)
+	}
+}

@@ -1,0 +1,88 @@
+// Package obs serves a node's observability surfaces over HTTP: the metrics
+// tree as Prometheus text on /metrics and as the human-readable tree on
+// /stats, reassembled trace timelines on /trace, and the standard pprof
+// profiles under /debug/pprof/. The listener is opt-in (dmnode -http); the
+// data plane never depends on it.
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+
+	"godm/internal/metrics"
+	"godm/internal/trace"
+)
+
+// maxTraceList bounds how many recent trace IDs /trace enumerates.
+const maxTraceList = 64
+
+// Handler returns the observability mux over tree and tr. Either may be nil;
+// its surfaces then report an empty document.
+func Handler(tree *metrics.Tree, tr *trace.Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if tree != nil {
+			_ = tree.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if tree != nil {
+			_, _ = fmt.Fprint(w, tree.String())
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if tr == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		if idStr := r.URL.Query().Get("id"); idStr != "" {
+			id, err := strconv.ParseUint(idStr, 10, 64)
+			if err != nil {
+				http.Error(w, "bad trace id", http.StatusBadRequest)
+				return
+			}
+			tl := tr.Timeline(trace.TraceID(id))
+			if tl == "" {
+				http.Error(w, "trace not found (evicted or never recorded)", http.StatusNotFound)
+				return
+			}
+			_, _ = fmt.Fprintf(w, "trace %d\n%s", id, tl)
+			return
+		}
+		ids := tr.TraceIDs()
+		if len(ids) > maxTraceList {
+			ids = ids[len(ids)-maxTraceList:] // newest traces are most useful
+		}
+		_, _ = fmt.Fprintf(w, "%d retained traces (newest last); fetch one with /trace?id=N\n", len(ids))
+		for _, id := range ids {
+			_, _ = fmt.Fprintf(w, "%d\n", uint64(id))
+		}
+	})
+	// The default pprof handlers register on http.DefaultServeMux; bind them
+	// explicitly so this mux works standalone.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the observability listener on addr and returns the running
+// server plus its bound address (useful with ":0"). Close the server to stop
+// it; serve errors after Close are swallowed.
+func Serve(addr string, tree *metrics.Tree, tr *trace.Tracer) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(tree, tr)}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr(), nil
+}

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"godm/internal/metrics"
+	"godm/internal/trace"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s body: %v", path, err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func testFixtures() (*metrics.Tree, *trace.Tracer, trace.TraceID) {
+	tree := metrics.NewTree()
+	reg := tree.Registry("node/swap")
+	reg.Counter("faults").Add(3)
+	reg.Histogram("fault_latency").Observe(5 * time.Microsecond)
+
+	var now time.Duration
+	tr := trace.New(trace.WithClock(func() time.Duration { now += time.Millisecond; return now }))
+	ctx := trace.WithTracer(context.Background(), tr)
+	ctx, root := trace.Start(ctx, "swap.fault")
+	_, child := trace.Start(ctx, "net.call")
+	child.End()
+	root.End()
+	return tree, tr, root.TraceID()
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	tree, tr, _ := testFixtures()
+	srv := httptest.NewServer(Handler(tree, tr))
+	defer srv.Close()
+
+	code, body, hdr := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	for _, want := range []string{
+		"godm_node_swap_faults 3",
+		"# TYPE godm_node_swap_fault_latency histogram",
+		`godm_node_swap_fault_latency_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	tree, tr, _ := testFixtures()
+	srv := httptest.NewServer(Handler(tree, tr))
+	defer srv.Close()
+
+	code, body, _ := get(t, srv, "/stats")
+	if code != http.StatusOK || !strings.Contains(body, "node/swap") {
+		t.Fatalf("/stats status %d body:\n%s", code, body)
+	}
+}
+
+func TestTraceEndpoints(t *testing.T) {
+	tree, tr, id := testFixtures()
+	srv := httptest.NewServer(Handler(tree, tr))
+	defer srv.Close()
+
+	code, body, _ := get(t, srv, "/trace")
+	if code != http.StatusOK || !strings.Contains(body, "retained traces") {
+		t.Fatalf("/trace listing status %d body:\n%s", code, body)
+	}
+
+	code, body, _ = get(t, srv, "/trace?id="+strconv.FormatUint(uint64(id), 10))
+	if code != http.StatusOK {
+		t.Fatalf("/trace?id status %d body:\n%s", code, body)
+	}
+	if !strings.Contains(body, "swap.fault") || !strings.Contains(body, "net.call") {
+		t.Fatalf("timeline incomplete:\n%s", body)
+	}
+
+	if code, _, _ = get(t, srv, "/trace?id=999999"); code != http.StatusNotFound {
+		t.Fatalf("unknown trace returned %d", code)
+	}
+	if code, _, _ = get(t, srv, "/trace?id=junk"); code != http.StatusBadRequest {
+		t.Fatalf("bad trace id returned %d", code)
+	}
+}
+
+func TestPprofEndpoint(t *testing.T) {
+	tree, tr, _ := testFixtures()
+	srv := httptest.NewServer(Handler(tree, tr))
+	defer srv.Close()
+
+	code, body, _ := get(t, srv, "/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+}
+
+func TestNilSurfaces(t *testing.T) {
+	srv := httptest.NewServer(Handler(nil, nil))
+	defer srv.Close()
+	if code, body, _ := get(t, srv, "/metrics"); code != http.StatusOK || body != "" {
+		t.Fatalf("nil tree /metrics: %d %q", code, body)
+	}
+	if code, _, _ := get(t, srv, "/trace"); code != http.StatusNotFound {
+		t.Fatalf("nil tracer /trace status %d", code)
+	}
+}
+
+func TestServeBindsAndStops(t *testing.T) {
+	tree, tr, _ := testFixtures()
+	srv, addr, err := Serve("127.0.0.1:0", tree, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr.String() + "/metrics")
+	if err != nil {
+		t.Fatalf("GET live server: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -15,6 +15,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+
+	"godm/internal/metrics"
+	"godm/internal/trace"
 )
 
 // NodeID names a remote node.
@@ -49,6 +52,33 @@ const DefaultFactor = 3
 type Replicator struct {
 	store  Store
 	factor int
+	met    replMetrics
+}
+
+// replMetrics is the protocol's instrumentation. Latency observations use
+// trace.Now, so simulated runs stay deterministic.
+type replMetrics struct {
+	writes       *metrics.Counter
+	writeAborts  *metrics.Counter
+	reads        *metrics.Counter
+	readFailover *metrics.Counter
+	deletes      *metrics.Counter
+	repairs      *metrics.Counter
+	writeLatency *metrics.Histogram
+	readLatency  *metrics.Histogram
+}
+
+func newReplMetrics(reg *metrics.Registry) replMetrics {
+	return replMetrics{
+		writes:       reg.Counter("writes"),
+		writeAborts:  reg.Counter("write_aborts"),
+		reads:        reg.Counter("reads"),
+		readFailover: reg.Counter("read_failovers"),
+		deletes:      reg.Counter("deletes"),
+		repairs:      reg.Counter("repairs"),
+		writeLatency: reg.Histogram("write_latency"),
+		readLatency:  reg.Histogram("read_latency"),
+	}
 }
 
 // Option configures a Replicator.
@@ -59,9 +89,20 @@ func WithFactor(n int) Option {
 	return func(r *Replicator) { r.factor = n }
 }
 
+// WithMetrics mounts the replicator's instrumentation on reg (by default it
+// lives in a private registry nothing exports).
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(r *Replicator) {
+		if reg != nil {
+			r.met = newReplMetrics(reg)
+		}
+	}
+}
+
 // New returns a replicator over store.
 func New(store Store, opts ...Option) (*Replicator, error) {
 	r := &Replicator{store: store, factor: DefaultFactor}
+	r.met = newReplMetrics(metrics.NewRegistry("replication"))
 	for _, o := range opts {
 		o(r)
 	}
@@ -84,6 +125,11 @@ func (r *Replicator) Write(ctx context.Context, nodes []NodeID, id EntryID, data
 	if len(nodes) != r.factor {
 		return fmt.Errorf("replication: got %d nodes, factor is %d", len(nodes), r.factor)
 	}
+	ctx, sp := trace.Start(ctx, "repl.write")
+	sp.Annotate("entry", uint64(id))
+	sp.Annotate("nodes", len(nodes))
+	r.met.writes.Inc()
+	start := trace.Now(ctx)
 	var written []NodeID
 	for _, n := range nodes {
 		if err := r.store.Put(ctx, n, id, data); err != nil {
@@ -92,20 +138,35 @@ func (r *Replicator) Write(ctx context.Context, nodes []NodeID, id EntryID, data
 				// cleaned up by eviction/repair.
 				_ = r.store.Delete(ctx, w, id)
 			}
-			return fmt.Errorf("%w: put on node %d: %v", ErrAborted, n, err)
+			r.met.writeAborts.Inc()
+			err = fmt.Errorf("%w: put on node %d: %v", ErrAborted, n, err)
+			sp.EndErr(err)
+			return err
 		}
 		written = append(written, n)
 	}
+	r.met.writeLatency.Observe(trace.Now(ctx) - start)
+	sp.End()
 	return nil
 }
 
 // Read fetches id, trying the primary first and failing over to replicas in
 // order. It returns the data together with the node that served it.
 func (r *Replicator) Read(ctx context.Context, nodes []NodeID, id EntryID) ([]byte, NodeID, error) {
+	ctx, sp := trace.Start(ctx, "repl.read")
+	sp.Annotate("entry", uint64(id))
+	r.met.reads.Inc()
+	start := trace.Now(ctx)
 	var lastErr error
-	for _, n := range nodes {
+	for i, n := range nodes {
 		data, err := r.store.Get(ctx, n, id)
 		if err == nil {
+			if i > 0 {
+				r.met.readFailover.Inc()
+				sp.Annotate("failovers", i)
+			}
+			r.met.readLatency.Observe(trace.Now(ctx) - start)
+			sp.End()
 			return data, n, nil
 		}
 		lastErr = err
@@ -115,12 +176,15 @@ func (r *Replicator) Read(ctx context.Context, nodes []NodeID, id EntryID) ([]by
 	}
 	// Dual %w: callers branch both on "every replica failed" and on the
 	// underlying cause (the daemon retries ErrUnreachable ticks, for one).
-	return nil, 0, fmt.Errorf("%w: entry %d: %w", ErrNoReplica, id, lastErr)
+	err := fmt.Errorf("%w: entry %d: %w", ErrNoReplica, id, lastErr)
+	sp.EndErr(err)
+	return nil, 0, err
 }
 
 // Delete removes id from every node, returning the first error encountered
 // after attempting all.
 func (r *Replicator) Delete(ctx context.Context, nodes []NodeID, id EntryID) error {
+	r.met.deletes.Inc()
 	var firstErr error
 	for _, n := range nodes {
 		if err := r.store.Delete(ctx, n, id); err != nil && firstErr == nil {
@@ -134,6 +198,11 @@ func (r *Replicator) Delete(ctx context.Context, nodes []NodeID, id EntryID) err
 // for entry id: it reads a surviving copy from the remaining nodes and writes
 // it to replacement. It returns the updated replica set.
 func (r *Replicator) Repair(ctx context.Context, nodes []NodeID, id EntryID, lost, replacement NodeID) ([]NodeID, error) {
+	ctx, sp := trace.Start(ctx, "repl.repair")
+	sp.Annotate("entry", uint64(id))
+	sp.Annotate("lost", int(lost))
+	defer sp.End()
+	r.met.repairs.Inc()
 	survivors := make([]NodeID, 0, len(nodes))
 	for _, n := range nodes {
 		if n != lost {

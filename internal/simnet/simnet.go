@@ -308,8 +308,9 @@ func (e *Endpoint) Call(ctx context.Context, to transport.NodeID, payload []byte
 		return nil, fmt.Errorf("%w: node %d", transport.ErrNoHandler, to)
 	}
 	// The handler runs on the remote CPU; its simulated cost is charged to
-	// the calling process, which is blocked for the round trip anyway.
-	resp, err := h(e.id, payload)
+	// the calling process, which is blocked for the round trip anyway. The
+	// caller's context rides along, carrying the des.Proc and trace state.
+	resp, err := h(ctx, e.id, payload)
 	if err != nil {
 		return nil, err
 	}

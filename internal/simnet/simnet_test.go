@@ -157,7 +157,7 @@ func TestWriteOutOfBounds(t *testing.T) {
 
 func TestCallRoundTrip(t *testing.T) {
 	env, a, b, _ := twoNodes(t)
-	b.SetHandler(func(from transport.NodeID, payload []byte) ([]byte, error) {
+	b.SetHandler(func(_ context.Context, from transport.NodeID, payload []byte) ([]byte, error) {
 		if from != 1 {
 			t.Errorf("from = %d, want 1", from)
 		}
@@ -187,7 +187,7 @@ func TestCallNoHandler(t *testing.T) {
 func TestCallHandlerError(t *testing.T) {
 	env, a, b, _ := twoNodes(t)
 	wantErr := errors.New("backend failure")
-	b.SetHandler(func(transport.NodeID, []byte) ([]byte, error) { return nil, wantErr })
+	b.SetHandler(func(context.Context, transport.NodeID, []byte) ([]byte, error) { return nil, wantErr })
 	runSim(t, env, func(ctx context.Context, p *des.Proc) {
 		if _, err := a.Call(ctx, 2, nil); !errors.Is(err, wantErr) {
 			t.Errorf("err = %v, want handler error", err)

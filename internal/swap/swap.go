@@ -31,7 +31,9 @@ import (
 	"godm/internal/core"
 	"godm/internal/des"
 	"godm/internal/memdev"
+	"godm/internal/metrics"
 	"godm/internal/pagetable"
+	"godm/internal/trace"
 )
 
 // PageSize is the swap unit.
@@ -131,6 +133,37 @@ type Stats struct {
 	RawOut     int64 // uncompressed bytes represented by BytesOut
 }
 
+// Metrics is the engine's instrumentation, bound once at construction so the
+// fault path never takes a registry lock. Constructing it on a tree-mounted
+// registry pre-declares every family, so an exporter lists them (zeroed)
+// before the first fault. All latency observations use simulated time.
+type Metrics struct {
+	accesses       *metrics.Counter
+	hits           *metrics.Counter
+	faults         *metrics.Counter
+	swapIns        *metrics.Counter
+	swapOuts       *metrics.Counter
+	prefetched     *metrics.Counter
+	residentPages  *metrics.Gauge
+	faultLatency   *metrics.Histogram
+	swapOutLatency *metrics.Histogram
+}
+
+// NewMetrics binds the swap instrument families on reg.
+func NewMetrics(reg *metrics.Registry) *Metrics {
+	return &Metrics{
+		accesses:       reg.Counter("accesses"),
+		hits:           reg.Counter("hits"),
+		faults:         reg.Counter("faults"),
+		swapIns:        reg.Counter("swap_ins"),
+		swapOuts:       reg.Counter("swap_outs"),
+		prefetched:     reg.Counter("prefetched"),
+		residentPages:  reg.Gauge("resident_pages"),
+		faultLatency:   reg.Histogram("fault_latency"),
+		swapOutLatency: reg.Histogram("swap_out_latency"),
+	}
+}
+
 // Deps are the devices and disaggregated-memory attachment of one engine.
 type Deps struct {
 	// VS is the virtual server's LDMC; nil when the system uses neither
@@ -143,6 +176,9 @@ type Deps struct {
 	Shared *memdev.SharedMem
 	SSD    *memdev.SSD
 	Disk   *memdev.Disk
+	// Metrics mounts the engine's instrumentation; nil means a private
+	// registry nothing exports.
+	Metrics *Metrics
 }
 
 type tier int
@@ -175,6 +211,7 @@ type batchInfo struct {
 type Manager struct {
 	cfg   Config
 	deps  Deps
+	met   *Metrics
 	model *compress.Model
 
 	lru      *list.List            // front = most recent
@@ -210,9 +247,14 @@ func NewManager(cfg Config, deps Deps) (*Manager, error) {
 	if cfg.SSDEnabled && deps.SSD == nil {
 		return nil, errors.New("swap: SSD tier needs an SSD device")
 	}
+	met := deps.Metrics
+	if met == nil {
+		met = NewMetrics(metrics.NewRegistry("swap"))
+	}
 	m := &Manager{
 		cfg:      cfg,
 		deps:     deps,
+		met:      met,
 		lru:      list.New(),
 		resident: map[int]*list.Element{},
 		pending:  map[int]int{},
@@ -249,9 +291,11 @@ func (m *Manager) Touch(ctx context.Context, page int, compute time.Duration, wr
 		panic("swap: context does not carry a des.Proc")
 	}
 	m.stats.Accesses++
+	m.met.accesses.Inc()
 	if el, ok := m.resident[page]; ok {
 		m.lru.MoveToFront(el)
 		m.stats.Hits++
+		m.met.hits.Inc()
 		if write {
 			m.dirty[page] = true
 		}
@@ -265,12 +309,18 @@ func (m *Manager) Touch(ctx context.Context, page int, compute time.Duration, wr
 		m.dirty[page] = true // staged pages were dirty
 		m.trim(ctx, p)
 		m.stats.Hits++
+		m.met.hits.Inc()
 		p.Sleep(compute + m.deps.DRAM.AccessTime(PageSize))
 		return nil
 	}
 	m.stats.Faults++
+	m.met.faults.Inc()
+	ctx, sp := trace.Start(ctx, "swap.fault")
+	sp.Annotate("page", page)
+	start := p.Now()
 	if ref, ok := m.swapped[page]; ok {
 		if err := m.swapIn(ctx, p, page, ref); err != nil {
+			sp.EndErr(err)
 			return err
 		}
 	} else {
@@ -282,6 +332,9 @@ func (m *Manager) Touch(ctx context.Context, page int, compute time.Duration, wr
 	}
 	m.insertResident(ctx, p, page)
 	p.Sleep(compute + m.deps.DRAM.AccessTime(PageSize))
+	m.met.faultLatency.Observe(p.Now() - start)
+	m.met.residentPages.Set(int64(m.lru.Len()))
+	sp.End()
 	return nil
 }
 
@@ -331,6 +384,7 @@ func (m *Manager) trim(ctx context.Context, p *des.Proc) {
 		m.pending[victim] = len(m.window)
 		m.window = append(m.window, victim)
 		m.stats.SwapOuts++
+		m.met.swapOuts.Inc()
 	}
 	if len(m.window) >= m.cfg.Window {
 		m.flushWindow(ctx, p)
@@ -360,11 +414,13 @@ func (m *Manager) EvictAll(ctx context.Context) {
 		m.pending[victim] = len(m.window)
 		m.window = append(m.window, victim)
 		m.stats.SwapOuts++
+		m.met.swapOuts.Inc()
 		if len(m.window) >= m.cfg.Window {
 			m.flushWindow(ctx, p)
 		}
 	}
 	m.flushWindow(ctx, p)
+	m.met.residentPages.Set(int64(m.lru.Len()))
 }
 
 // Flush forces the staging window out (end of run, or single-page systems).
@@ -409,11 +465,18 @@ func (m *Manager) flushWindow(ctx context.Context, p *des.Proc) {
 	}
 	b.liveCount = len(pages)
 	b.total = off
+	ctx, sp := trace.Start(ctx, "swap.out")
+	sp.Annotate("pages", len(pages))
+	sp.Annotate("bytes", b.total)
+	outStart := p.Now()
 	if m.cfg.Compression {
 		p.Sleep(time.Duration(len(pages)) * m.cfg.CompressCPU)
 	}
 
 	m.writeBatch(ctx, p, b)
+	sp.Annotate("tier", int(b.where))
+	m.met.swapOutLatency.Observe(p.Now() - outStart)
+	sp.End()
 
 	// Drop any stale older copies of these pages and point them at the new
 	// batch.
@@ -493,7 +556,10 @@ func (m *Manager) tierOrder() []tier {
 
 // swapIn faults page in from its parked batch, prefetching up to Readahead
 // live pages of the same batch in the same request.
-func (m *Manager) swapIn(ctx context.Context, p *des.Proc, page int, ref slotRef) error {
+func (m *Manager) swapIn(ctx context.Context, p *des.Proc, page int, ref slotRef) (err error) {
+	ctx, sp := trace.Start(ctx, "swap.in")
+	sp.Annotate("page", page)
+	defer func() { sp.EndErr(err) }()
 	b, ok := m.batches[ref.batch]
 	if !ok || !b.live[ref.slot] {
 		return fmt.Errorf("%w: page %d", ErrNoBacking, page)
@@ -568,6 +634,10 @@ func (m *Manager) swapIn(ctx context.Context, p *des.Proc, page int, ref slotRef
 	m.stats.BytesIn += int64(bytes)
 	m.stats.SwapIns++
 	m.stats.Prefetched += int64(len(slots) - 1)
+	m.met.swapIns.Inc()
+	m.met.prefetched.Add(int64(len(slots) - 1))
+	sp.Annotate("tier", int(b.where))
+	sp.Annotate("slots", len(slots))
 
 	// Admit the pages to the resident set as clean copies: their slots stay
 	// live in the batch (swap cache), so a later clean eviction is free.

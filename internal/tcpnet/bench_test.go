@@ -37,7 +37,7 @@ const benchPayload = 4096
 // issuing control-plane calls back to back.
 func BenchmarkTCPNetSerialCall(b *testing.B) {
 	a, peer := benchPair(b)
-	peer.SetHandler(func(_ transport.NodeID, payload []byte) ([]byte, error) {
+	peer.SetHandler(func(_ context.Context, _ transport.NodeID, payload []byte) ([]byte, error) {
 		return payload, nil
 	})
 	msg := bytes.Repeat([]byte{0xAB}, benchPayload)
@@ -56,7 +56,7 @@ func BenchmarkTCPNetSerialCall(b *testing.B) {
 // one connection instead of serializing.
 func BenchmarkTCPNetPipelinedCall(b *testing.B) {
 	a, peer := benchPair(b)
-	peer.SetHandler(func(_ transport.NodeID, payload []byte) ([]byte, error) {
+	peer.SetHandler(func(_ context.Context, _ transport.NodeID, payload []byte) ([]byte, error) {
 		return payload, nil
 	})
 	msg := bytes.Repeat([]byte{0xAB}, benchPayload)

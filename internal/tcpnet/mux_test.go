@@ -27,7 +27,7 @@ func TestConcurrentMixedStress(t *testing.T) {
 		iters   = 50
 	)
 	a, b := pairUp(t)
-	b.SetHandler(func(_ transport.NodeID, payload []byte) ([]byte, error) {
+	b.SetHandler(func(_ context.Context, _ transport.NodeID, payload []byte) ([]byte, error) {
 		return payload, nil
 	})
 	if _, err := b.RegisterRegion(1, workers*slot); err != nil {
@@ -85,7 +85,7 @@ func TestContextCancelMidRPC(t *testing.T) {
 	var releaseOnce sync.Once
 	releaseHandler := func() { releaseOnce.Do(func() { close(release) }) }
 	t.Cleanup(releaseHandler) // let serveConn's worker finish before Close
-	b.SetHandler(func(transport.NodeID, []byte) ([]byte, error) {
+	b.SetHandler(func(context.Context, transport.NodeID, []byte) ([]byte, error) {
 		<-release
 		return []byte("late"), nil
 	})
@@ -108,7 +108,7 @@ func TestContextCancelMidRPC(t *testing.T) {
 	// The connection must still be usable: the late response is discarded by
 	// the demux reader, not misdelivered to the next request.
 	releaseHandler()
-	b.SetHandler(func(_ transport.NodeID, p []byte) ([]byte, error) { return p, nil })
+	b.SetHandler(func(_ context.Context, _ transport.NodeID, p []byte) ([]byte, error) { return p, nil })
 	resp, err := a.Call(context.Background(), 2, []byte("after"))
 	if err != nil {
 		t.Fatalf("Call after cancel: %v", err)
@@ -124,7 +124,7 @@ func TestContextDeadlineMidRPC(t *testing.T) {
 	a, b := pairUp(t)
 	release := make(chan struct{})
 	t.Cleanup(func() { close(release) })
-	b.SetHandler(func(transport.NodeID, []byte) ([]byte, error) {
+	b.SetHandler(func(context.Context, transport.NodeID, []byte) ([]byte, error) {
 		<-release
 		return nil, nil
 	})
@@ -156,7 +156,7 @@ func TestSequentialOrdering(t *testing.T) {
 	a, b := pairUp(t)
 	var mu sync.Mutex
 	var seen []string
-	b.SetHandler(func(_ transport.NodeID, payload []byte) ([]byte, error) {
+	b.SetHandler(func(_ context.Context, _ transport.NodeID, payload []byte) ([]byte, error) {
 		mu.Lock()
 		seen = append(seen, string(payload))
 		mu.Unlock()
@@ -207,7 +207,7 @@ func TestCallConcurrencyCapOne(t *testing.T) {
 	t.Cleanup(func() { _ = a.Close(); _ = b.Close() })
 	a.AddPeer(2, b.Addr())
 	var inHandler, maxSeen atomic.Int64
-	b.SetHandler(func(transport.NodeID, []byte) ([]byte, error) {
+	b.SetHandler(func(context.Context, transport.NodeID, []byte) ([]byte, error) {
 		n := inHandler.Add(1)
 		defer inHandler.Add(-1)
 		if prev := maxSeen.Load(); n > prev {
@@ -278,7 +278,7 @@ func TestCloseDuringInflightRPC(t *testing.T) {
 	a, b := pairUp(t)
 	release := make(chan struct{})
 	t.Cleanup(func() { close(release) })
-	b.SetHandler(func(transport.NodeID, []byte) ([]byte, error) {
+	b.SetHandler(func(context.Context, transport.NodeID, []byte) ([]byte, error) {
 		<-release
 		return nil, nil
 	})
@@ -344,7 +344,7 @@ func TestReconnectAfterBrokenConn(t *testing.T) {
 func TestPipelinedCallsMakeProgressConcurrently(t *testing.T) {
 	a, b := pairUp(t)
 	second := make(chan struct{})
-	b.SetHandler(func(_ transport.NodeID, payload []byte) ([]byte, error) {
+	b.SetHandler(func(_ context.Context, _ transport.NodeID, payload []byte) ([]byte, error) {
 		switch string(payload) {
 		case "first":
 			select {

@@ -151,6 +151,17 @@ func WithConnsPerPeer(n int) Option {
 	}
 }
 
+// WithMetrics mounts the endpoint's instrumentation on reg instead of a
+// free-floating per-node registry, so a daemon can hang transport metrics
+// under its unified metrics tree.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(e *Endpoint) {
+		if reg != nil {
+			e.reg = reg
+		}
+	}
+}
+
 // Endpoint is one node's TCP attachment.
 type Endpoint struct {
 	id       transport.NodeID
@@ -158,6 +169,11 @@ type Endpoint struct {
 	callCap  int
 	callSem  chan struct{}
 	closedCh chan struct{}
+
+	// baseCtx is the server-side request context handed to inbound
+	// control-plane handlers; it is cancelled when the endpoint closes.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
 
 	// regMu guards the server data plane: registered regions and the
 	// control-plane handler. One-sided ops take only the read lock, so they
@@ -318,6 +334,7 @@ func Listen(id transport.NodeID, addr string, opts ...Option) (*Endpoint, error)
 	for _, o := range opts {
 		o(e)
 	}
+	e.baseCtx, e.baseCancel = context.WithCancel(context.Background())
 	e.callSem = make(chan struct{}, e.callCap)
 	e.inflight = e.reg.Gauge("rpc_inflight")
 	e.rtt = e.reg.Histogram("rpc_rtt")
@@ -406,6 +423,7 @@ func (e *Endpoint) Close() error {
 	}
 	e.mu.Unlock()
 	close(e.closedCh)
+	e.baseCancel()
 	err := e.listener.Close()
 	for _, cc := range conns {
 		_ = cc.c.Close()
@@ -495,7 +513,7 @@ func (e *Endpoint) serveConn(conn net.Conn) {
 				status = statusAppError
 				resp = []byte(fmt.Sprintf("read of %d bytes exceeds %d-byte frame limit", req.n, maxPayload))
 			} else {
-				status, resp, pooled = e.execute(req, true)
+				status, resp, pooled = e.execute(e.baseCtx, req, true)
 			}
 			werr := e.respond(cw, req.id, status, resp, false)
 			if pooled {
@@ -521,7 +539,7 @@ func (e *Endpoint) serveConn(conn net.Conn) {
 			go func(req request) {
 				defer callWG.Done()
 				defer func() { <-e.callSem }()
-				status, resp, _ := e.execute(req, false)
+				status, resp, _ := e.execute(e.baseCtx, req, false)
 				// Workers hand the flush to the connection's flusher so a
 				// burst of completing handlers coalesces into one syscall.
 				_ = e.respond(cw, req.id, status, resp, true)
@@ -594,13 +612,16 @@ func (e *Endpoint) respond(cw *connWriter, id uint64, status byte, payload []byt
 	return nil
 }
 
-// execute runs one decoded request against local state. When pool is true
-// the opRead response buffer comes from the frame pool and the returned bool
-// tells the caller to recycle it after the frame is written; the loopback
-// path passes pool=false because its result is handed to the application.
-// No branch holds regMu across socket I/O: the copy under the read lock is
-// what lets the caller frame the response after the lock is released.
-func (e *Endpoint) execute(req request, pool bool) (byte, []byte, bool) {
+// execute runs one decoded request against local state. ctx is the request
+// context handed to control-plane handlers: the endpoint's base context for
+// inbound frames, the caller's context on the loopback path. When pool is
+// true the opRead response buffer comes from the frame pool and the returned
+// bool tells the caller to recycle it after the frame is written; the
+// loopback path passes pool=false because its result is handed to the
+// application. No branch holds regMu across socket I/O: the copy under the
+// read lock is what lets the caller frame the response after the lock is
+// released.
+func (e *Endpoint) execute(ctx context.Context, req request, pool bool) (byte, []byte, bool) {
 	switch req.op {
 	case opWrite:
 		e.regMu.RLock()
@@ -643,7 +664,7 @@ func (e *Endpoint) execute(req request, pool bool) (byte, []byte, bool) {
 		if h == nil {
 			return statusNoHandler, nil, false
 		}
-		resp, err := h(req.from, req.payload)
+		resp, err := h(ctx, req.from, req.payload)
 		if err != nil {
 			return statusAppError, []byte(err.Error()), false
 		}
@@ -902,7 +923,7 @@ func (e *Endpoint) roundTrip(ctx context.Context, to transport.NodeID, op byte, 
 		if e.isClosed() {
 			return nil, transport.ErrClosed
 		}
-		status, resp, _ := e.execute(request{
+		status, resp, _ := e.execute(ctx, request{
 			op: op, from: e.id, region: region, offset: offset, n: n, payload: payload,
 		}, false)
 		return e.decodeStatus(to, region, status, resp)

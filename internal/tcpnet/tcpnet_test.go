@@ -72,7 +72,7 @@ func TestWriteWithoutHandlerIsOneSided(t *testing.T) {
 
 func TestCallRoundTrip(t *testing.T) {
 	a, b := pairUp(t)
-	b.SetHandler(func(from transport.NodeID, payload []byte) ([]byte, error) {
+	b.SetHandler(func(_ context.Context, from transport.NodeID, payload []byte) ([]byte, error) {
 		return []byte(fmt.Sprintf("from=%d:%s", from, payload)), nil
 	})
 	resp, err := a.Call(context.Background(), 2, []byte("ping"))
@@ -93,7 +93,7 @@ func TestCallNoHandler(t *testing.T) {
 
 func TestCallHandlerErrorPropagates(t *testing.T) {
 	a, b := pairUp(t)
-	b.SetHandler(func(transport.NodeID, []byte) ([]byte, error) {
+	b.SetHandler(func(context.Context, transport.NodeID, []byte) ([]byte, error) {
 		return nil, errors.New("quota exceeded")
 	})
 	_, err := a.Call(context.Background(), 2, nil)
@@ -199,7 +199,7 @@ func TestRegisterValidation(t *testing.T) {
 
 func TestConcurrentCalls(t *testing.T) {
 	a, b := pairUp(t)
-	b.SetHandler(func(_ transport.NodeID, payload []byte) ([]byte, error) {
+	b.SetHandler(func(_ context.Context, _ transport.NodeID, payload []byte) ([]byte, error) {
 		return payload, nil
 	})
 	var wg sync.WaitGroup

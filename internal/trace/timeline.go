@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// sortSpans orders spans by start time, breaking ties by span ID so the
+// rendering is total and deterministic.
+func sortSpans(spans []SpanRecord) {
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].ID < spans[j].ID
+	})
+}
+
+// Timeline renders the spans of one trace as an indented tree, children under
+// their parents, times relative to the trace's earliest span. Spans whose
+// parent is not in the slice (a remote parent recorded in another process's
+// ring, or one evicted from this ring) render as roots. The output is a pure
+// function of the span records, so deterministic runs yield byte-identical
+// timelines.
+func Timeline(spans []SpanRecord) string {
+	if len(spans) == 0 {
+		return ""
+	}
+	ordered := make([]SpanRecord, len(spans))
+	copy(ordered, spans)
+	sortSpans(ordered)
+
+	base := ordered[0].Start
+	for _, s := range ordered {
+		if s.Start < base {
+			base = s.Start
+		}
+	}
+	present := make(map[SpanID]bool, len(ordered))
+	for _, s := range ordered {
+		present[s.ID] = true
+	}
+	children := map[SpanID][]SpanRecord{}
+	var roots []SpanRecord
+	for _, s := range ordered {
+		if s.Parent != 0 && present[s.Parent] {
+			children[s.Parent] = append(children[s.Parent], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+
+	var b strings.Builder
+	var walk func(s SpanRecord, depth int)
+	walk = func(s SpanRecord, depth int) {
+		fmt.Fprintf(&b, "%*s[+%-10v %10v] %s", depth*2, "", s.Start-base, s.End-s.Start, s.Name)
+		for _, a := range s.Attrs {
+			b.WriteByte(' ')
+			b.WriteString(a)
+		}
+		b.WriteByte('\n')
+		for _, c := range children[s.ID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	return b.String()
+}
+
+// Timeline renders one retained trace; the empty string means the ring holds
+// no spans for id.
+func (t *Tracer) Timeline(id TraceID) string {
+	return Timeline(t.Spans(id))
+}

@@ -1,0 +1,41 @@
+package trace
+
+import "encoding/binary"
+
+// The wire envelope prepends 20 bytes to every two-sided Call payload:
+//
+//	[0:4)   magic 0x9D 0x7C 0x01 0x67 ("godm trace v1")
+//	[4:12)  trace ID, big endian
+//	[12:20) parent span ID, big endian
+//
+// The server-side middleware strips the envelope before the application
+// handler runs, so handlers and at-most-once recorders always see the bare
+// payload. A peer without the middleware sees an unknown first opcode byte
+// (0x9D collides with no control-plane op) and rejects the call cleanly.
+var wireMagic = [4]byte{0x9D, 0x7C, 0x01, 0x67}
+
+// WireHeaderSize is the envelope length in bytes.
+const WireHeaderSize = 20
+
+// injectWire prepends the envelope carrying sc to payload.
+func injectWire(sc SpanContext, payload []byte) []byte {
+	out := make([]byte, WireHeaderSize+len(payload))
+	copy(out, wireMagic[:])
+	binary.BigEndian.PutUint64(out[4:], uint64(sc.Trace))
+	binary.BigEndian.PutUint64(out[12:], uint64(sc.Span))
+	copy(out[WireHeaderSize:], payload)
+	return out
+}
+
+// extractWire splits an enveloped payload into the carried span context and
+// the bare payload. ok is false when payload carries no envelope.
+func extractWire(payload []byte) (SpanContext, []byte, bool) {
+	if len(payload) < WireHeaderSize || [4]byte(payload[:4]) != wireMagic {
+		return SpanContext{}, payload, false
+	}
+	sc := SpanContext{
+		Trace: TraceID(binary.BigEndian.Uint64(payload[4:])),
+		Span:  SpanID(binary.BigEndian.Uint64(payload[12:])),
+	}
+	return sc, payload[WireHeaderSize:], true
+}

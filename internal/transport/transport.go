@@ -45,7 +45,12 @@ var (
 
 // Handler serves control-plane (two-sided) requests. Implementations must be
 // safe for concurrent use.
-type Handler func(from NodeID, payload []byte) ([]byte, error)
+//
+// ctx is the request-scoped context. On the simulated fabric it is the
+// caller's context (so it carries the calling des.Proc and any trace state);
+// on the TCP fabric it is a server context that is cancelled when the
+// endpoint closes. Tracing middleware augments it with the caller's span.
+type Handler func(ctx context.Context, from NodeID, payload []byte) ([]byte, error)
 
 // Verbs is the operation set a node can issue toward its peers.
 //

@@ -12,8 +12,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 
+	"godm/internal/trace"
 	"godm/internal/transport"
 )
 
@@ -45,6 +47,7 @@ func Cases() []Case {
 		{"LocalCloseRace", testLocalClose},
 		{"RemoteCloseUnreachable", testRemoteClose},
 		{"ContextCancellation", testContextCancellation},
+		{"TraceContextPropagation", testTracePropagation},
 	}
 }
 
@@ -120,7 +123,7 @@ func testRCOrdering(t *testing.T, f Fabric) {
 func testCallEcho(t *testing.T, f Fabric) {
 	eps := f.Endpoints(t, 2)
 	var gotFrom transport.NodeID
-	eps[1].SetHandler(func(from transport.NodeID, payload []byte) ([]byte, error) {
+	eps[1].SetHandler(func(_ context.Context, from transport.NodeID, payload []byte) ([]byte, error) {
 		gotFrom = from
 		return append([]byte("echo:"), payload...), nil
 	})
@@ -268,6 +271,62 @@ func testContextCancellation(t *testing.T, f Fabric) {
 		// The endpoint survives: a fresh context works.
 		if err := eps[0].WriteRegion(ctx, 2, region, 0, []byte("ok")); err != nil {
 			t.Errorf("write after cancellation: %v", err)
+		}
+	})
+}
+
+// testTracePropagation checks that the trace middleware carries the caller's
+// trace identity across the wire on both fabrics: the remote handler runs
+// under the caller's trace, sees the bare payload (the envelope never leaks
+// to application code), and the client- and server-side spans land in the
+// same reassembled trace.
+func testTracePropagation(t *testing.T, f Fabric) {
+	eps := f.Endpoints(t, 2)
+	tr := trace.New()
+	mw := trace.Middleware(tr)
+	client := mw(eps[0])
+	server := mw(eps[1])
+
+	var gotPayload string
+	var gotTrace trace.TraceID
+	var handlerSawContext bool
+	server.SetHandler(func(ctx context.Context, _ transport.NodeID, payload []byte) ([]byte, error) {
+		gotPayload = string(payload)
+		if sc, ok := trace.SpanContextFrom(ctx); ok {
+			handlerSawContext = true
+			gotTrace = sc.Trace
+		}
+		return payload, nil
+	})
+	f.Run(t, func(ctx context.Context) {
+		ctx = trace.WithTracer(ctx, tr)
+		ctx, root := trace.Start(ctx, "conformance.op")
+		resp, err := client.Call(ctx, 2, []byte("ping"))
+		root.End()
+		if err != nil {
+			t.Fatalf("Call: %v", err)
+		}
+		if string(resp) != "ping" {
+			t.Errorf("resp = %q, want the bare payload echoed", resp)
+		}
+		if gotPayload != "ping" {
+			t.Errorf("handler payload = %q: the wire envelope leaked to application code", gotPayload)
+		}
+		if !handlerSawContext {
+			t.Fatal("handler context carried no span context")
+		}
+		if gotTrace != root.TraceID() {
+			t.Errorf("handler ran under trace %d, caller's trace is %d", gotTrace, root.TraceID())
+		}
+		var names []string
+		for _, s := range tr.Spans(root.TraceID()) {
+			names = append(names, s.Name)
+		}
+		joined := strings.Join(names, " ")
+		for _, want := range []string{"conformance.op", "net.call", "net.serve"} {
+			if !strings.Contains(joined, want) {
+				t.Errorf("trace %d spans = %v, missing %s", root.TraceID(), names, want)
+			}
 		}
 	})
 }
