@@ -5,6 +5,8 @@
 //	dmctl -node 1=localhost:7401 stats
 //	dmctl -node 1=localhost:7401 put 42 "hello disaggregated world"
 //	dmctl -node 1=localhost:7401 getput 42    # put then read back
+//	dmctl -node 1=localhost:7401 -batch put 1=alpha 2=beta 3=gamma
+//	dmctl -node 1=localhost:7401 -batch getput 1 2 3
 package main
 
 import (
@@ -34,12 +36,14 @@ func run(args []string) error {
 		nodeFlag = fs.String("node", "", "target node as id=host:port")
 		myID     = fs.Int("id", 1000, "this client's node id")
 		timeout  = fs.Duration("timeout", 10*time.Second, "overall deadline for the command (0 = none)")
+		batch    = fs.Bool("batch", false, "windowed data plane: put takes KEY=DATA pairs, getput takes keys; one alloc RPC, coalesced writes")
+		compress = fs.Bool("compress", false, "compress entries at or above the default threshold before they hit the wire")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *nodeFlag == "" || fs.NArg() < 1 {
-		return fmt.Errorf("usage: dmctl -node id=host:port <stats|put KEY DATA|getput KEY>")
+		return fmt.Errorf("usage: dmctl -node id=host:port [-batch] [-compress] <stats|put KEY DATA|getput KEY>")
 	}
 	idStr, addr, ok := strings.Cut(*nodeFlag, "=")
 	if !ok {
@@ -57,7 +61,11 @@ func run(args []string) error {
 	}
 	defer ep.Close()
 	ep.AddPeer(target, addr)
-	client := core.NewClient(ep)
+	var copts []core.ClientOption
+	if *compress {
+		copts = append(copts, core.WithCompression(0))
+	}
+	client := core.NewClient(ep, copts...)
 	ctx := context.Background()
 	if *timeout > 0 {
 		// The transport honors deadlines mid-RPC, so a hung daemon fails the
@@ -84,6 +92,30 @@ func run(args []string) error {
 		fmt.Print(tree)
 		return nil
 	case "put":
+		if *batch {
+			if fs.NArg() < 2 {
+				return fmt.Errorf("usage: -batch put KEY=DATA [KEY=DATA ...]")
+			}
+			entries := make([]core.Entry, 0, fs.NArg()-1)
+			total := 0
+			for _, arg := range fs.Args()[1:] {
+				keyStr, data, ok := strings.Cut(arg, "=")
+				if !ok {
+					return fmt.Errorf("bad entry %q, want KEY=DATA", arg)
+				}
+				key, err := strconv.ParseUint(keyStr, 10, 64)
+				if err != nil {
+					return fmt.Errorf("bad key in %q: %v", arg, err)
+				}
+				entries = append(entries, core.Entry{Key: key, Data: []byte(data)})
+				total += len(data)
+			}
+			if err := client.PutAll(ctx, target, entries); err != nil {
+				return err
+			}
+			fmt.Printf("parked %d entries (%d bytes) on node %d in one batch\n", len(entries), total, target)
+			return nil
+		}
 		if fs.NArg() < 3 {
 			return fmt.Errorf("usage: put KEY DATA")
 		}
@@ -98,7 +130,33 @@ func run(args []string) error {
 		return nil
 	case "getput":
 		if fs.NArg() < 2 {
-			return fmt.Errorf("usage: getput KEY")
+			return fmt.Errorf("usage: getput KEY [KEY ...]")
+		}
+		if *batch {
+			keys := make([]uint64, 0, fs.NArg()-1)
+			entries := make([]core.Entry, 0, fs.NArg()-1)
+			for _, arg := range fs.Args()[1:] {
+				key, err := strconv.ParseUint(arg, 10, 64)
+				if err != nil {
+					return fmt.Errorf("bad key %q: %v", arg, err)
+				}
+				keys = append(keys, key)
+				entries = append(entries, core.Entry{Key: key, Data: []byte(fmt.Sprintf("probe-entry-%d", key))})
+			}
+			if err := client.PutAll(ctx, target, entries); err != nil {
+				return err
+			}
+			got, err := client.GetAll(ctx, target, keys)
+			if err != nil {
+				return err
+			}
+			for _, e := range entries {
+				if string(got[e.Key]) != string(e.Data) {
+					return fmt.Errorf("key %d: read back %q, wrote %q", e.Key, got[e.Key], e.Data)
+				}
+			}
+			fmt.Printf("batched round trip ok: %d entries\n", len(entries))
+			return client.DeleteAll(ctx, target, keys)
 		}
 		key, err := strconv.ParseUint(fs.Arg(1), 10, 64)
 		if err != nil {

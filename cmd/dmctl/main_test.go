@@ -67,6 +67,31 @@ func TestPutAndGetPutAgainstLiveNode(t *testing.T) {
 	}
 }
 
+func TestBatchPutAndGetPutAgainstLiveNode(t *testing.T) {
+	ep := startNode(t, 9)
+	if err := run([]string{"-node", "9=" + ep.Addr(), "-batch", "put",
+		"1=alpha", "2=beta", "3=gamma"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-node", "9=" + ep.Addr(), "-batch", "-compress", "getput",
+		"11", "12", "13"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchArgValidation(t *testing.T) {
+	ep := startNode(t, 9)
+	if err := run([]string{"-node", "9=" + ep.Addr(), "-batch", "put", "noequals"}); err == nil {
+		t.Fatal("expected error for entry without KEY=DATA form")
+	}
+	if err := run([]string{"-node", "9=" + ep.Addr(), "-batch", "put", "x=data"}); err == nil {
+		t.Fatal("expected error for non-numeric key")
+	}
+	if err := run([]string{"-node", "9=" + ep.Addr(), "-batch", "getput", "notanumber"}); err == nil {
+		t.Fatal("expected error for non-numeric key")
+	}
+}
+
 func TestPutArgValidation(t *testing.T) {
 	ep := startNode(t, 9)
 	if err := run([]string{"-node", "9=" + ep.Addr(), "put", "notanumber", "x"}); err == nil {

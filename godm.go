@@ -82,6 +82,14 @@ type (
 	VirtualServer = core.VirtualServer
 	// Client parks entries in a peer's receive pool directly.
 	Client = core.Client
+	// Entry is one key/payload pair for the batched data plane
+	// (Client.PutAll / Window).
+	Entry = core.Entry
+	// ClientWindow is the §IV.H staging window: entries accumulate and
+	// flush to a peer as one batched PutAll.
+	ClientWindow = core.Window
+	// ClientOption tunes a Client (e.g. WithClientCompression).
+	ClientOption = core.ClientOption
 	// PolicyEngine applies the §IV.F eviction/ballooning/regrouping
 	// policies to a node.
 	PolicyEngine = core.PolicyEngine
@@ -175,6 +183,14 @@ var (
 
 	// NewRemoteCache builds a two-tier cache over disaggregated memory.
 	NewRemoteCache = dmcache.New
+
+	// NewClient wraps a transport attachment in a receive-pool client;
+	// DialClient is the TCP convenience wrapper (it accepts no client
+	// options — construct via NewClient to pass any).
+	NewClient = core.NewClient
+	// WithClientCompression deflates entries >= minSize into smaller §IV.H
+	// size classes before they cross the fabric (0 = default threshold).
+	WithClientCompression = core.WithCompression
 
 	// Balancer constructors (§IV.E policies).
 	NewRandomBalancer     = placement.NewRandom

@@ -9,9 +9,13 @@
 // Determinism contract: a scenario that issues its fabric operations serially
 // from one goroutine while the injector is enabled produces the same
 // faulty.Trace and the same outcome sequence on every run with the same seed,
-// on both fabrics. Setup traffic that is inherently concurrent under TCP
-// (heartbeat fan-out) must run with the injector disabled so it does not
-// advance the decision counters.
+// on both fabrics. The replicator's parallel fan-out is safe under this
+// contract: it always attempts every replica, each replica stream issues its
+// operations in order, and faulty.Trace is canonically sorted, so the
+// per-stream decision counters see the same sequence regardless of how the
+// concurrent streams interleave. Setup traffic that is inherently concurrent
+// under TCP (heartbeat fan-out) must run with the injector disabled so it
+// does not advance the decision counters.
 package chaos
 
 import (
@@ -65,6 +69,10 @@ type Cluster struct {
 	Inj  *faulty.Injector
 	// Nodes[i] has fabric ID i+1.
 	Nodes []*core.Node
+	// Eps[i] is node i+1's fault-injected fabric attachment. Scenarios that
+	// drive a core.Client (the batch data plane) ride these, so client
+	// traffic passes the same injector and tracer as node traffic.
+	Eps []transport.Endpoint
 	// Dirs[i] is node i+1's private membership view.
 	Dirs []*cluster.Directory
 	// Tracer records every node's spans in one ring; under FabricSim it runs
@@ -146,6 +154,7 @@ func New(t *testing.T, kind FabricKind, seed int64, cfg Config) *Cluster {
 				dir.Join(cluster.NodeID(j), 0)
 			}
 		}
+		wrapped := transport.Chain(raw[i-1], trace.Middleware(cl.Tracer), cl.Inj.Wrap)
 		node, err := core.NewNode(core.Config{
 			ID:                transport.NodeID(i),
 			SharedPoolBytes:   8192, // two 4 KiB blocks: puts overflow to remote
@@ -153,10 +162,11 @@ func New(t *testing.T, kind FabricKind, seed int64, cfg Config) *Cluster {
 			RecvPoolBytes:     1 << 20,
 			SlabSize:          4096,
 			ReplicationFactor: cfg.ReplicationFactor,
-		}, transport.Chain(raw[i-1], trace.Middleware(cl.Tracer), cl.Inj.Wrap), dir)
+		}, wrapped, dir)
 		if err != nil {
 			t.Fatal(err)
 		}
+		cl.Eps = append(cl.Eps, wrapped)
 		cl.Tree.Attach(fmt.Sprintf("node-%d/core", i), node.Metrics())
 		cl.Tree.Attach(fmt.Sprintf("node-%d/replication", i), node.ReplicationMetrics())
 		cl.Nodes = append(cl.Nodes, node)

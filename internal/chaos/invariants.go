@@ -217,3 +217,71 @@ func (r *CallRecorder) RequireAtMostOnce(t testing.TB) {
 		}
 	}
 }
+
+// RequireNoStrandedCopies asserts the memory-safety half of the §IV.D
+// rollback contract: after a failed (rolled-back) replicated or batched
+// write of key owned by owner, no node still hosts a receive-pool block
+// recorded for that (owner, key) pair. A violation means an abort path
+// forgot to release a reservation, leaking one donor block per failure.
+func RequireNoStrandedCopies(t testing.TB, nodes []*core.Node, owner transport.NodeID, key uint64) {
+	t.Helper()
+	tb := checked(t, "no_stranded_copies")
+	for _, n := range nodes {
+		if n.ID() == owner {
+			continue
+		}
+		if n.HostsRemoteKey(owner, key) {
+			tb.Errorf("node %d still hosts a block for key %d owned by node %d: rolled-back write stranded a copy", n.ID(), key, owner)
+		}
+	}
+}
+
+// RequireBatchAtomicity extends the write-atomicity invariant to the §IV.H
+// batched data plane: one PutAll that returned werr is all-or-nothing. On
+// success every entry reads back exactly as written (in one batched read).
+// On failure the target hosts no block for any key the batch introduced,
+// and keys that existed before the batch still serve their previous value
+// (prev maps key to it; keys absent from prev did not exist). The injector
+// is paused so verification traffic is unfaulted and does not advance
+// decision counters.
+func RequireBatchAtomicity(ctx context.Context, t testing.TB, inj *faulty.Injector, client *core.Client, target *core.Node, owner transport.NodeID, entries []core.Entry, prev map[uint64][]byte, werr error) {
+	t.Helper()
+	tb := checked(t, "batch_atomicity")
+	inj.SetEnabled(false)
+	defer inj.SetEnabled(true)
+
+	if werr != nil {
+		for _, e := range entries {
+			old, existed := prev[e.Key]
+			if !existed {
+				if target.HostsRemoteKey(owner, e.Key) {
+					tb.Errorf("key %d: aborted batch (%v) left a block on node %d", e.Key, werr, target.ID())
+				}
+				continue
+			}
+			got, err := client.Get(ctx, target.ID(), e.Key)
+			if err != nil {
+				tb.Errorf("key %d: previous version unreadable after aborted batch: %v", e.Key, err)
+				continue
+			}
+			if !bytes.Equal(got, old) {
+				tb.Errorf("key %d: aborted batch clobbered the previous version", e.Key)
+			}
+		}
+		return
+	}
+	keys := make([]uint64, len(entries))
+	for i, e := range entries {
+		keys[i] = e.Key
+	}
+	got, err := client.GetAll(ctx, target.ID(), keys)
+	if err != nil {
+		tb.Errorf("committed batch unreadable: %v", err)
+		return
+	}
+	for _, e := range entries {
+		if !bytes.Equal(got[e.Key], e.Data) {
+			tb.Errorf("key %d: committed batch serves wrong bytes", e.Key)
+		}
+	}
+}

@@ -162,6 +162,59 @@ func (c *Codec) Decompress(comp Compressed, dst []byte) error {
 	return nil
 }
 
+// CompressEntry deflates an arbitrary-length payload — the data-plane
+// batching path parks whole entries, not just 4 KiB pages. It returns the
+// deflated bytes and true when compression actually pays (the deflated form
+// is smaller than the input), or (nil, false) for incompressible input. The
+// writer is pooled like Compress's.
+func (c *Codec) CompressEntry(data []byte) ([]byte, bool) {
+	if len(data) == 0 {
+		return nil, false
+	}
+	var buf bytes.Buffer
+	buf.Grow(len(data))
+	w, _ := c.writer(&buf)
+	if _, err := w.Write(data); err != nil {
+		return nil, false
+	}
+	if err := w.Close(); err != nil {
+		return nil, false
+	}
+	c.wp.Put(w)
+	payload := buf.Bytes()
+	if len(payload) >= len(data) {
+		return nil, false
+	}
+	return payload, true
+}
+
+// DecompressEntry reverses CompressEntry: it inflates payload back to exactly
+// rawLen bytes, failing with ErrCorrupt on any mismatch.
+func DecompressEntry(payload []byte, rawLen int) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(payload))
+	defer r.Close()
+	out := make([]byte, rawLen)
+	if n, err := io.ReadFull(r, out); err != nil || n != rawLen {
+		return nil, fmt.Errorf("%w: read %d of %d bytes: %v", ErrCorrupt, n, rawLen, err)
+	}
+	var extra [1]byte
+	if m, _ := r.Read(extra[:]); m != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrCorrupt)
+	}
+	return out, nil
+}
+
+// EntryClassFor returns the slab size class for an entry payload of n bytes
+// under granularity g: the granularity's class when the payload fits within
+// a page, the exact byte length above that (entries, unlike pages, may be
+// arbitrarily large), and never below the smallest class.
+func (g Granularity) EntryClassFor(n int) int {
+	if n > g[len(g)-1] {
+		return n
+	}
+	return g.ClassFor(n)
+}
+
 // ZbudStoredSize models Zswap's zbud allocator: at most two compressed pages
 // share one physical page, so a compressed payload costs half a page when it
 // fits in 2 KB and a whole page otherwise.

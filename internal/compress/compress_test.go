@@ -331,3 +331,66 @@ func BenchmarkDecompress(b *testing.B) {
 		}
 	}
 }
+
+func TestEntryRoundTrip(t *testing.T) {
+	c, _ := NewCodec(Four)
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{1, 100, 512, 4096, 8192, 70000} {
+		// Compressible payload: repeated runs.
+		data := bytes.Repeat([]byte("disaggregate "), n/13+1)[:n]
+		payload, ok := c.CompressEntry(data)
+		if n >= 64 && !ok {
+			t.Fatalf("len %d: repetitive entry did not compress", n)
+		}
+		if ok {
+			if len(payload) >= n {
+				t.Fatalf("len %d: payload %d not smaller", n, len(payload))
+			}
+			back, err := DecompressEntry(payload, n)
+			if err != nil {
+				t.Fatalf("len %d: %v", n, err)
+			}
+			if !bytes.Equal(back, data) {
+				t.Fatalf("len %d: round trip mismatch", n)
+			}
+		}
+		// Incompressible payload must be refused rather than inflated.
+		rnd := make([]byte, n)
+		rng.Read(rnd)
+		if _, ok := c.CompressEntry(rnd); ok && n < 512 {
+			t.Fatalf("len %d: random entry claimed compressible", n)
+		}
+	}
+	if _, ok := c.CompressEntry(nil); ok {
+		t.Fatal("empty entry claimed compressible")
+	}
+}
+
+func TestDecompressEntryRejectsCorrupt(t *testing.T) {
+	c, _ := NewCodec(Four)
+	data := bytes.Repeat([]byte("x"), 4096)
+	payload, ok := c.CompressEntry(data)
+	if !ok {
+		t.Fatal("setup: run of x did not compress")
+	}
+	if _, err := DecompressEntry(payload, len(data)+1); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("wrong rawLen err = %v, want ErrCorrupt", err)
+	}
+	if _, err := DecompressEntry(payload[:len(payload)/2], len(data)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated payload err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestEntryClassFor(t *testing.T) {
+	tests := []struct{ n, want int }{
+		{1, 512}, {512, 512}, {513, 1024}, {4096, 4096}, {4097, 4097}, {70000, 70000},
+	}
+	for _, tt := range tests {
+		if got := Four.EntryClassFor(tt.n); got != tt.want {
+			t.Errorf("EntryClassFor(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+	if got := Two.EntryClassFor(100); got != 2048 {
+		t.Errorf("Two.EntryClassFor(100) = %d, want 2048", got)
+	}
+}

@@ -1,0 +1,360 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"godm/internal/trace"
+	"godm/internal/transport"
+)
+
+// Entry is one key/payload pair moved by the batch data plane.
+type Entry struct {
+	Key  uint64
+	Data []byte
+}
+
+// blockRef locates one entry's block for span coalescing: idx indexes the
+// caller's slice, payloadLen is the meaningful byte count (storedLen), class
+// the block stride.
+type blockRef struct {
+	idx        int
+	off        int64
+	class      int
+	payloadLen int
+}
+
+// coalesceSpans sorts refs by offset and groups blocks into maximal runs
+// where each block starts exactly at the previous block's end
+// (off == prev.off + prev.class) — the layout a fresh batch allocation
+// produces — capping each span's wire size at transport.MaxFrameSize. Each
+// span becomes one one-sided transfer instead of len(span) transfers.
+func coalesceSpans(refs []blockRef) [][]blockRef {
+	sort.Slice(refs, func(i, j int) bool { return refs[i].off < refs[j].off })
+	var spans [][]blockRef
+	for i := 0; i < len(refs); {
+		j := i + 1
+		for j < len(refs) {
+			prev := refs[j-1]
+			size := refs[j].off + int64(refs[j].payloadLen) - refs[i].off
+			if refs[j].off != prev.off+int64(prev.class) || size > int64(transport.MaxFrameSize) {
+				break
+			}
+			j++
+		}
+		spans = append(spans, refs[i:j])
+		i = j
+	}
+	return spans
+}
+
+// spanBufPool recycles the contiguous staging buffers scatter-gathered
+// writes ride in, mirroring the send buffer pool role of §IV.B.
+var spanBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+func getSpanBuf(n int) (*[]byte, []byte) {
+	bp := spanBufPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	return bp, (*bp)[:n]
+}
+
+// PutAll parks a window of entries in node's receive pool: one opAllocBatch
+// round trip reserves every block all-or-nothing, then the payloads are
+// scatter-gathered into contiguous spans and written with as few one-sided
+// writes as the allocation layout allows (§IV.H window-based batching).
+//
+// The batch is atomic: on any failure every block reserved for it is
+// released and no handle changes, so previously parked versions of the keys
+// remain readable. On success, displaced blocks from overwritten keys are
+// freed in one batch round trip. Keys must be unique within one call.
+func (c *Client) PutAll(ctx context.Context, node transport.NodeID, entries []Entry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	if len(entries) > maxBatchEntries {
+		return fmt.Errorf("core: batch of %d entries exceeds %d", len(entries), maxBatchEntries)
+	}
+	ctx, sp := trace.Start(ctx, "client.put_all")
+	sp.Annotate("entries", len(entries))
+	defer sp.End()
+
+	reqs := make([]batchAllocEntry, len(entries))
+	payloads := make([][]byte, len(entries))
+	seen := make(map[uint64]bool, len(entries))
+	for i, e := range entries {
+		if seen[e.Key] {
+			return fmt.Errorf("core: duplicate key %d in batch", e.Key)
+		}
+		seen[e.Key] = true
+		payload, class, flags := c.encodeEntry(e.Data)
+		payloads[i] = payload
+		reqs[i] = batchAllocEntry{Key: e.Key, Class: int32(class), Flags: flags}
+	}
+
+	resp, err := c.ep.Call(ctx, node, encodeAllocBatchReq(reqs))
+	if err != nil {
+		return fmt.Errorf("core: batch alloc on node %d: %w", node, err)
+	}
+	offsets, err := decodeAllocBatchResp(resp, len(entries))
+	if err != nil {
+		return err
+	}
+
+	refs := make([]blockRef, len(entries))
+	for i := range entries {
+		refs[i] = blockRef{idx: i, off: offsets[i], class: int(reqs[i].Class), payloadLen: len(payloads[i])}
+	}
+	spans := coalesceSpans(refs)
+	sp.Annotate("spans", len(spans))
+	if err := c.writeSpans(ctx, node, spans, payloads); err != nil {
+		// Atomic batch: release every block we reserved, on a detached
+		// context (the write failure may be the caller's context dying).
+		fctx, cancel := detached(ctx)
+		defer cancel()
+		frees := make([]batchFreeEntry, len(entries))
+		for i := range entries {
+			frees[i] = batchFreeEntry{Key: entries[i].Key, Offset: offsets[i]}
+		}
+		_, _ = c.ep.Call(fctx, node, encodeFreeBatchReq(frees))
+		return err
+	}
+
+	// Commit: install the new handles, then free displaced blocks in one
+	// round trip.
+	var displaced []batchFreeEntry
+	c.mu.Lock()
+	for i, e := range entries {
+		ck := clientKey{node: node, key: e.Key}
+		if old, ok := c.handles[ck]; ok {
+			displaced = append(displaced, batchFreeEntry{Key: e.Key, Offset: old.offset})
+		}
+		c.handles[ck] = clientHandle{
+			offset:    offsets[i],
+			class:     int(reqs[i].Class),
+			storedLen: len(payloads[i]),
+			rawLen:    len(e.Data),
+			flags:     reqs[i].Flags,
+		}
+	}
+	c.mu.Unlock()
+	if len(displaced) > 0 {
+		// Best-effort like freeBlock: a failure strands the old blocks only
+		// until the host evicts them.
+		_, _ = c.ep.Call(ctx, node, encodeFreeBatchReq(displaced))
+	}
+	return nil
+}
+
+// writeSpans gathers each span's payloads into one pooled contiguous buffer
+// and issues one one-sided write per span. Gaps between a payload's end and
+// its block's class boundary are padding the receiver never reads.
+func (c *Client) writeSpans(ctx context.Context, node transport.NodeID, spans [][]blockRef, payloads [][]byte) error {
+	for _, span := range spans {
+		if len(span) == 1 {
+			r := span[0]
+			if err := c.ep.WriteRegion(ctx, node, RecvRegionID, r.off, payloads[r.idx]); err != nil {
+				return fmt.Errorf("core: batch write to node %d: %w", node, err)
+			}
+			continue
+		}
+		first := span[0].off
+		last := span[len(span)-1]
+		bp, buf := getSpanBuf(int(last.off + int64(last.payloadLen) - first))
+		for _, r := range span {
+			copy(buf[r.off-first:], payloads[r.idx])
+		}
+		err := c.ep.WriteRegion(ctx, node, RecvRegionID, first, buf)
+		spanBufPool.Put(bp)
+		if err != nil {
+			return fmt.Errorf("core: batch write to node %d: %w", node, err)
+		}
+	}
+	return nil
+}
+
+// GetAll reads back a batch of entries parked on node. Handles whose blocks
+// sit contiguously in the remote region are coalesced into single
+// one-sided span reads (the PBS-style batched read-ahead of §IV.H), so a
+// window parked by PutAll typically comes back in one transfer. Every key
+// must have been parked through this client.
+func (c *Client) GetAll(ctx context.Context, node transport.NodeID, keys []uint64) (map[uint64][]byte, error) {
+	if len(keys) == 0 {
+		return map[uint64][]byte{}, nil
+	}
+	ctx, sp := trace.Start(ctx, "client.get_all")
+	sp.Annotate("entries", len(keys))
+	defer sp.End()
+	handles := make([]clientHandle, len(keys))
+	refs := make([]blockRef, len(keys))
+	c.mu.Lock()
+	for i, k := range keys {
+		h, ok := c.handles[clientKey{node: node, key: k}]
+		if !ok {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("core: no handle for key %d on node %d", k, node)
+		}
+		handles[i] = h
+		refs[i] = blockRef{idx: i, off: h.offset, class: h.class, payloadLen: h.storedLen}
+	}
+	c.mu.Unlock()
+	spans := coalesceSpans(refs)
+	sp.Annotate("spans", len(spans))
+	out := make(map[uint64][]byte, len(keys))
+	for _, span := range spans {
+		first := span[0].off
+		last := span[len(span)-1]
+		data, err := c.ep.ReadRegion(ctx, node, RecvRegionID, first, int(last.off+int64(last.payloadLen)-first))
+		if err != nil {
+			return nil, fmt.Errorf("core: batch read from node %d: %w", node, err)
+		}
+		for _, r := range span {
+			rel := r.off - first
+			decoded, err := decodeEntry(data[rel:rel+int64(r.payloadLen)], handles[r.idx])
+			if err != nil {
+				return nil, err
+			}
+			out[keys[r.idx]] = decoded
+		}
+	}
+	return out, nil
+}
+
+// DeleteAll releases a batch of entries on node in one control-plane round
+// trip. Keys without a handle are skipped, like Delete.
+func (c *Client) DeleteAll(ctx context.Context, node transport.NodeID, keys []uint64) error {
+	var frees []batchFreeEntry
+	c.mu.Lock()
+	for _, k := range keys {
+		ck := clientKey{node: node, key: k}
+		if h, ok := c.handles[ck]; ok {
+			frees = append(frees, batchFreeEntry{Key: k, Offset: h.offset})
+			delete(c.handles, ck)
+		}
+	}
+	c.mu.Unlock()
+	if len(frees) == 0 {
+		return nil
+	}
+	resp, err := c.ep.Call(ctx, node, encodeFreeBatchReq(frees))
+	if err != nil {
+		return fmt.Errorf("core: batch free on node %d: %w", node, err)
+	}
+	return checkOKResp(resp)
+}
+
+// Window is a client-side staging window for writes (§IV.H "window-based
+// batching"): entries accumulate until the window holds size of them, its
+// flush timer fires, or Flush is called, then the whole window moves to the
+// target node as one atomic PutAll batch.
+//
+// The timer flush runs on a background goroutine with a wall clock; inside
+// the discrete-event simulation use explicit Flush calls instead. A timer
+// flush that fails keeps the staged entries and surfaces the error on the
+// next Put or Flush.
+type Window struct {
+	c          *Client
+	node       transport.NodeID
+	size       int
+	flushAfter time.Duration
+
+	mu       sync.Mutex
+	staged   []Entry
+	inflight int
+	timer    *time.Timer
+	lastErr  error
+}
+
+// NewWindow returns a staging window of the given size (entries) toward
+// node. flushAfter > 0 arms a timer on the first staged entry that flushes
+// whatever is in the window when it fires.
+func (c *Client) NewWindow(node transport.NodeID, size int, flushAfter time.Duration) (*Window, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("core: window size %d must be positive", size)
+	}
+	return &Window{c: c, node: node, size: size, flushAfter: flushAfter}, nil
+}
+
+// Put stages one entry (the data is copied). When the window reaches its
+// configured size it flushes synchronously; the returned error is that
+// flush's (or a previous timer flush's) outcome.
+func (w *Window) Put(ctx context.Context, key uint64, data []byte) error {
+	w.mu.Lock()
+	if err := w.lastErr; err != nil {
+		w.lastErr = nil
+		w.mu.Unlock()
+		return err
+	}
+	w.staged = append(w.staged, Entry{Key: key, Data: append([]byte(nil), data...)})
+	if len(w.staged) >= w.size {
+		return w.flushLocked(ctx)
+	}
+	if w.flushAfter > 0 && w.timer == nil {
+		w.timer = time.AfterFunc(w.flushAfter, func() {
+			w.mu.Lock()
+			if err := w.flushLocked(context.Background()); err != nil {
+				w.mu.Lock()
+				w.lastErr = err
+				w.mu.Unlock()
+			}
+		})
+	}
+	w.mu.Unlock()
+	return nil
+}
+
+// Len reports the number of entries not yet parked remotely: staged plus
+// mid-flush. Zero means every Put so far has landed (a failed flush re-stages
+// its batch, so failures keep Len nonzero until retried).
+func (w *Window) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.staged) + w.inflight
+}
+
+// Flush sends every staged entry now, as one atomic batch. On failure the
+// entries stay staged (PutAll released its reservations), so a retry is
+// safe.
+func (w *Window) Flush(ctx context.Context) error {
+	w.mu.Lock()
+	if err := w.lastErr; err != nil {
+		w.lastErr = nil
+		w.mu.Unlock()
+		return err
+	}
+	return w.flushLocked(ctx)
+}
+
+// flushLocked is called with w.mu held and releases it.
+func (w *Window) flushLocked(ctx context.Context) error {
+	if w.timer != nil {
+		w.timer.Stop()
+		w.timer = nil
+	}
+	batch := w.staged
+	w.staged = nil
+	w.inflight += len(batch)
+	w.mu.Unlock()
+	if len(batch) == 0 {
+		return nil
+	}
+	err := w.c.PutAll(ctx, w.node, batch)
+	w.mu.Lock()
+	w.inflight -= len(batch)
+	if err != nil {
+		w.staged = append(batch, w.staged...)
+		w.mu.Unlock()
+		return err
+	}
+	w.mu.Unlock()
+	return nil
+}
+
+// Close flushes any staged entries and stops the flush timer.
+func (w *Window) Close(ctx context.Context) error {
+	return w.Flush(ctx)
+}

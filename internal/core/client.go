@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
+	"godm/internal/compress"
 	"godm/internal/transport"
 )
 
@@ -13,8 +15,19 @@ import (
 // tool or an application-level cache uses to park data entries in a peer's
 // idle memory (alloc over the control plane, one-sided writes and reads for
 // data).
+//
+// Beyond per-entry Put/Get/Delete it offers the §IV.H batch data plane:
+// PutAll/GetAll/DeleteAll move whole windows of entries with one
+// control-plane round trip and span-coalesced one-sided transfers, and
+// NewWindow stages entries client-side until the window fills or times out.
+// With WithCompression, entries at or above a threshold travel and rest
+// deflate-compressed, negotiated per entry via a flags byte in the handle.
 type Client struct {
 	ep transport.Verbs
+
+	codec       *compress.Codec
+	gran        compress.Granularity
+	minCompress int
 
 	mu      sync.Mutex
 	handles map[clientKey]clientHandle
@@ -25,15 +38,106 @@ type clientKey struct {
 	key  uint64
 }
 
+// clientHandle is the client half of the memory map for one parked entry:
+// where it lives, how many bytes rest there (storedLen, possibly
+// compressed), how many bytes it decodes back to (rawLen), and the flags
+// byte saying how to decode it.
 type clientHandle struct {
-	offset  int64
-	class   int
-	dataLen int
+	offset    int64
+	class     int
+	storedLen int
+	rawLen    int
+	flags     byte
+}
+
+// minEntryClass is the smallest allocation requested for an entry, matching
+// the smallest §IV.H size class.
+const minEntryClass = 512
+
+// defaultCompressMin is the compression threshold when WithCompression is
+// given a non-positive one: entries below it stay raw (small entries cannot
+// drop below the minimum class, so deflating them buys nothing).
+const defaultCompressMin = 1024
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithCompression makes the client deflate entries of at least minSize bytes
+// before parking them, binning compressed payloads into the §IV.H
+// 4-granularity size classes (smaller class ⇒ smaller slab and fewer bytes
+// on the fabric). Entries that do not shrink below their raw size class are
+// stored raw. minSize <= 0 selects a default threshold.
+func WithCompression(minSize int) ClientOption {
+	return func(c *Client) {
+		if minSize <= 0 {
+			minSize = defaultCompressMin
+		}
+		codec, err := compress.NewCodec(compress.Four)
+		if err != nil {
+			panic(err) // compress.Four is a package constant; cannot fail
+		}
+		c.codec = codec
+		c.gran = compress.Four
+		c.minCompress = minSize
+	}
 }
 
 // NewClient wraps a transport attachment.
-func NewClient(ep transport.Verbs) *Client {
-	return &Client{ep: ep, handles: map[clientKey]clientHandle{}}
+func NewClient(ep transport.Verbs, opts ...ClientOption) *Client {
+	c := &Client{ep: ep, handles: map[clientKey]clientHandle{}}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// encodeEntry prepares one entry for the wire: the payload to store, the
+// size class to reserve, and the handle flags byte. Compression is applied
+// only when it moves the entry into a strictly smaller size class.
+func (c *Client) encodeEntry(data []byte) (payload []byte, class int, flags byte) {
+	rawClass := len(data)
+	if rawClass < minEntryClass {
+		rawClass = minEntryClass
+	}
+	if c.codec == nil || len(data) < c.minCompress {
+		return data, rawClass, 0
+	}
+	deflated, ok := c.codec.CompressEntry(data)
+	if !ok {
+		return data, rawClass, 0
+	}
+	compClass := c.gran.EntryClassFor(len(deflated))
+	if compClass >= rawClass {
+		return data, rawClass, 0
+	}
+	return deflated, compClass, flagDeflate
+}
+
+// decodeEntry reverses encodeEntry using the stored handle flags.
+func decodeEntry(data []byte, h clientHandle) ([]byte, error) {
+	if h.flags&flagDeflate == 0 {
+		return data, nil
+	}
+	out, err := compress.DecompressEntry(data, h.rawLen)
+	if err != nil {
+		return nil, fmt.Errorf("core: entry decompress: %w", err)
+	}
+	return out, nil
+}
+
+// cleanupTimeout bounds best-effort frees that must not ride the caller's
+// (possibly dying) context. The simulated fabric ignores deadlines, so the
+// wall-clock timer is inert under DES.
+const cleanupTimeout = 2 * time.Second
+
+func detached(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.WithoutCancel(ctx), cleanupTimeout)
+}
+
+// freeBlock releases one remote block, best-effort: a failed free strands
+// the block only until the host's eviction path reclaims it.
+func (c *Client) freeBlock(ctx context.Context, node transport.NodeID, key uint64, offset int64) {
+	_, _ = c.ep.Call(ctx, node, encodeFreeReq(freeReq{Key: key, Offset: offset}))
 }
 
 // Stats returns the free receive-pool bytes node advertises.
@@ -59,11 +163,31 @@ func (c *Client) Metrics(ctx context.Context, node transport.NodeID) (string, er
 	return decodeMetricsResp(resp)
 }
 
-// Put parks data under key in node's receive pool.
+// Put parks data under key in node's receive pool. Re-putting a key whose
+// new payload still fits the previously reserved class overwrites the block
+// in place with a single one-sided write (no alloc round trip); otherwise a
+// fresh block is reserved and the displaced one is freed, so overwrites
+// never leak remote memory.
 func (c *Client) Put(ctx context.Context, node transport.NodeID, key uint64, data []byte) error {
-	class := len(data)
-	if class < 512 {
-		class = 512
+	payload, class, flags := c.encodeEntry(data)
+	ck := clientKey{node: node, key: key}
+	c.mu.Lock()
+	old, hadOld := c.handles[ck]
+	c.mu.Unlock()
+	if hadOld && len(payload) <= old.class {
+		if err := c.ep.WriteRegion(ctx, node, RecvRegionID, old.offset, payload); err != nil {
+			return fmt.Errorf("core: write to node %d: %w", node, err)
+		}
+		c.mu.Lock()
+		c.handles[ck] = clientHandle{
+			offset:    old.offset,
+			class:     old.class,
+			storedLen: len(payload),
+			rawLen:    len(data),
+			flags:     flags,
+		}
+		c.mu.Unlock()
+		return nil
 	}
 	resp, err := c.ep.Call(ctx, node, encodeAllocReq(allocReq{Key: key, Class: int32(class)}))
 	if err != nil {
@@ -73,16 +197,28 @@ func (c *Client) Put(ctx context.Context, node transport.NodeID, key uint64, dat
 	if err != nil {
 		return err
 	}
-	if err := c.ep.WriteRegion(ctx, node, RecvRegionID, alloc.Offset, data); err != nil {
+	if err := c.ep.WriteRegion(ctx, node, RecvRegionID, alloc.Offset, payload); err != nil {
+		// Release the fresh reservation so a failed put strands nothing; the
+		// failure may be the caller's context dying, so detach.
+		fctx, cancel := detached(ctx)
+		defer cancel()
+		c.freeBlock(fctx, node, key, alloc.Offset)
 		return fmt.Errorf("core: write to node %d: %w", node, err)
 	}
 	c.mu.Lock()
-	c.handles[clientKey{node: node, key: key}] = clientHandle{
-		offset:  alloc.Offset,
-		class:   class,
-		dataLen: len(data),
+	c.handles[ck] = clientHandle{
+		offset:    alloc.Offset,
+		class:     class,
+		storedLen: len(payload),
+		rawLen:    len(data),
+		flags:     flags,
 	}
 	c.mu.Unlock()
+	if hadOld {
+		// The displaced block is no longer reachable through any handle;
+		// free it now rather than leaking it until eviction.
+		c.freeBlock(ctx, node, key, old.offset)
+	}
 	return nil
 }
 
@@ -94,11 +230,11 @@ func (c *Client) Get(ctx context.Context, node transport.NodeID, key uint64) ([]
 	if !ok {
 		return nil, fmt.Errorf("core: no handle for key %d on node %d", key, node)
 	}
-	data, err := c.ep.ReadRegion(ctx, node, RecvRegionID, h.offset, h.dataLen)
+	data, err := c.ep.ReadRegion(ctx, node, RecvRegionID, h.offset, h.storedLen)
 	if err != nil {
 		return nil, fmt.Errorf("core: read from node %d: %w", node, err)
 	}
-	return data, nil
+	return decodeEntry(data, h)
 }
 
 // Delete releases the entry parked under key on node.

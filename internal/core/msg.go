@@ -9,12 +9,14 @@ import (
 // Control-plane message opcodes (two-sided send/recv traffic, §IV.G: "RDMA
 // send/receive operations for control plane activities").
 const (
-	opAlloc     = 1 // reserve a block in the target's receive pool
-	opFree      = 2 // release a previously reserved block
-	opHeartbeat = 3 // advertise liveness + free receive-pool bytes
-	opEvicted   = 4 // notify an owner that its block was evicted
-	opStats     = 5 // query free receive-pool bytes
-	opMetrics   = 6 // fetch the node's rendered metrics tree
+	opAlloc      = 1 // reserve a block in the target's receive pool
+	opFree       = 2 // release a previously reserved block
+	opHeartbeat  = 3 // advertise liveness + free receive-pool bytes
+	opEvicted    = 4 // notify an owner that its block was evicted
+	opStats      = 5 // query free receive-pool bytes
+	opMetrics    = 6 // fetch the node's rendered metrics tree
+	opAllocBatch = 7 // reserve N blocks in one round trip (all or nothing)
+	opFreeBatch  = 8 // release N blocks in one round trip
 )
 
 // Response status codes.
@@ -144,6 +146,147 @@ func decodeEvictedReq(b []byte) (evictedReq, error) {
 		return evictedReq{}, errShortMessage
 	}
 	return evictedReq{Key: binary.BigEndian.Uint64(b[1:9])}, nil
+}
+
+// Entry-handle flag bits carried in batch alloc requests and recorded in
+// client handles. The hosting node treats payloads as opaque; the flags tell
+// the *owner's* read path how to decode what it parked.
+const (
+	// flagDeflate marks a payload stored deflate-compressed (§IV.H); Get
+	// inflates it back to the entry's raw length.
+	flagDeflate = 1 << 0
+)
+
+// batchAllocEntry is one slot of a batch allocation: the entry key, its size
+// class, and the handle flags byte.
+type batchAllocEntry struct {
+	Key   uint64
+	Class int32
+	Flags byte
+}
+
+// batchFreeEntry is one slot of a batch free.
+type batchFreeEntry struct {
+	Key    uint64
+	Offset int64
+}
+
+// maxBatchEntries bounds one batch request (a 64 Ki-entry batch of minimum
+// 512 B classes already exceeds any receive pool this repo configures).
+const maxBatchEntries = 1 << 16
+
+// encodeAllocBatchReq encodes [opAllocBatch][u32 count] followed by count
+// fixed-width entries of [u64 key][u32 class][u8 flags].
+func encodeAllocBatchReq(entries []batchAllocEntry) []byte {
+	buf := make([]byte, 5+13*len(entries))
+	buf[0] = opAllocBatch
+	binary.BigEndian.PutUint32(buf[1:5], uint32(len(entries)))
+	off := 5
+	for _, e := range entries {
+		binary.BigEndian.PutUint64(buf[off:off+8], e.Key)
+		binary.BigEndian.PutUint32(buf[off+8:off+12], uint32(e.Class))
+		buf[off+12] = e.Flags
+		off += 13
+	}
+	return buf
+}
+
+func decodeAllocBatchReq(b []byte) ([]batchAllocEntry, error) {
+	if len(b) < 5 {
+		return nil, errShortMessage
+	}
+	count := int(binary.BigEndian.Uint32(b[1:5]))
+	if count <= 0 || count > maxBatchEntries {
+		return nil, fmt.Errorf("core: batch alloc count %d out of range", count)
+	}
+	if len(b) < 5+13*count {
+		return nil, errShortMessage
+	}
+	entries := make([]batchAllocEntry, count)
+	off := 5
+	for i := range entries {
+		entries[i] = batchAllocEntry{
+			Key:   binary.BigEndian.Uint64(b[off : off+8]),
+			Class: int32(binary.BigEndian.Uint32(b[off+8 : off+12])),
+			Flags: b[off+12],
+		}
+		off += 13
+	}
+	return entries, nil
+}
+
+// encodeAllocBatchResp encodes [stOK] followed by one u64 global offset per
+// requested entry, in request order.
+func encodeAllocBatchResp(offsets []int64) []byte {
+	buf := make([]byte, 1+8*len(offsets))
+	buf[0] = stOK
+	off := 1
+	for _, o := range offsets {
+		binary.BigEndian.PutUint64(buf[off:off+8], uint64(o))
+		off += 8
+	}
+	return buf
+}
+
+func decodeAllocBatchResp(b []byte, count int) ([]int64, error) {
+	if len(b) < 1 {
+		return nil, errShortMessage
+	}
+	switch b[0] {
+	case stOK:
+		if len(b) < 1+8*count {
+			return nil, errShortMessage
+		}
+		offsets := make([]int64, count)
+		off := 1
+		for i := range offsets {
+			offsets[i] = int64(binary.BigEndian.Uint64(b[off : off+8]))
+			off += 8
+		}
+		return offsets, nil
+	case stNoSpace:
+		return nil, ErrRemoteFull
+	default:
+		return nil, fmt.Errorf("core: remote batch alloc failed: %s", b[1:])
+	}
+}
+
+// encodeFreeBatchReq encodes [opFreeBatch][u32 count] followed by count
+// fixed-width entries of [u64 key][u64 offset].
+func encodeFreeBatchReq(entries []batchFreeEntry) []byte {
+	buf := make([]byte, 5+16*len(entries))
+	buf[0] = opFreeBatch
+	binary.BigEndian.PutUint32(buf[1:5], uint32(len(entries)))
+	off := 5
+	for _, e := range entries {
+		binary.BigEndian.PutUint64(buf[off:off+8], e.Key)
+		binary.BigEndian.PutUint64(buf[off+8:off+16], uint64(e.Offset))
+		off += 16
+	}
+	return buf
+}
+
+func decodeFreeBatchReq(b []byte) ([]batchFreeEntry, error) {
+	if len(b) < 5 {
+		return nil, errShortMessage
+	}
+	count := int(binary.BigEndian.Uint32(b[1:5]))
+	if count <= 0 || count > maxBatchEntries {
+		return nil, fmt.Errorf("core: batch free count %d out of range", count)
+	}
+	if len(b) < 5+16*count {
+		return nil, errShortMessage
+	}
+	entries := make([]batchFreeEntry, count)
+	off := 5
+	for i := range entries {
+		entries[i] = batchFreeEntry{
+			Key:    binary.BigEndian.Uint64(b[off : off+8]),
+			Offset: int64(binary.BigEndian.Uint64(b[off+8 : off+16])),
+		}
+		off += 16
+	}
+	return entries, nil
 }
 
 func encodeStatsReq() []byte { return []byte{opStats} }

@@ -32,6 +32,77 @@ func TestFreeReqRoundTrip(t *testing.T) {
 	}
 }
 
+func TestAllocBatchRoundTrip(t *testing.T) {
+	entries := []batchAllocEntry{
+		{Key: 1, Class: 512, Flags: 0},
+		{Key: 1<<63 | 42, Class: 4096, Flags: flagDeflate},
+		{Key: 7, Class: 2048, Flags: 0xFF},
+	}
+	got, err := decodeAllocBatchReq(encodeAllocBatchReq(entries))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("decoded %d entries, want %d", len(got), len(entries))
+	}
+	for i := range entries {
+		if got[i] != entries[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, got[i], entries[i])
+		}
+	}
+	offsets := []int64{0, 4096, 1 << 40}
+	back, err := decodeAllocBatchResp(encodeAllocBatchResp(offsets), len(offsets))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range offsets {
+		if back[i] != offsets[i] {
+			t.Fatalf("offset %d = %d, want %d", i, back[i], offsets[i])
+		}
+	}
+	if _, err := decodeAllocBatchResp(noSpaceResp(), 3); !errors.Is(err, ErrRemoteFull) {
+		t.Fatalf("no-space batch resp err = %v", err)
+	}
+	if _, err := decodeAllocBatchResp(errorResp(errors.New("boom")), 3); err == nil {
+		t.Fatal("error batch resp should fail")
+	}
+}
+
+func TestFreeBatchRoundTrip(t *testing.T) {
+	entries := []batchFreeEntry{{Key: 3, Offset: 8192}, {Key: 9, Offset: 0}}
+	got, err := decodeFreeBatchReq(encodeFreeBatchReq(entries))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range entries {
+		if got[i] != entries[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, got[i], entries[i])
+		}
+	}
+}
+
+func TestBatchDecodeRejectsMalformed(t *testing.T) {
+	if _, err := decodeAllocBatchReq([]byte{opAllocBatch}); err == nil {
+		t.Fatal("short batch alloc header should fail")
+	}
+	// A count that promises more entries than the payload carries.
+	req := encodeAllocBatchReq([]batchAllocEntry{{Key: 1, Class: 512}})
+	if _, err := decodeAllocBatchReq(req[:len(req)-1]); err == nil {
+		t.Fatal("truncated batch alloc should fail")
+	}
+	huge := []byte{opAllocBatch, 0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := decodeAllocBatchReq(huge); err == nil {
+		t.Fatal("oversized batch count should fail")
+	}
+	if _, err := decodeFreeBatchReq([]byte{opFreeBatch, 0, 0, 0, 1}); err == nil {
+		t.Fatal("truncated batch free should fail")
+	}
+	// A short OK response (fewer offsets than requested entries).
+	if _, err := decodeAllocBatchResp(encodeAllocBatchResp([]int64{1}), 2); err == nil {
+		t.Fatal("short batch alloc resp should fail")
+	}
+}
+
 func TestHeartbeatAndStatsRoundTrip(t *testing.T) {
 	hb, err := decodeHeartbeatReq(encodeHeartbeatReq(heartbeatReq{FreeBytes: 12345}))
 	if err != nil || hb.FreeBytes != 12345 {

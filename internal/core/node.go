@@ -138,30 +138,38 @@ type Node struct {
 // coreMetrics pre-binds the request-path instruments so hot paths never take
 // the registry's name-lookup lock.
 type coreMetrics struct {
-	sharedPuts       *metrics.Counter
-	remotePuts       *metrics.Counter
-	sharedGets       *metrics.Counter
-	remoteGets       *metrics.Counter
-	remoteAllocs     *metrics.Counter
-	evictedBlocks    *metrics.Counter
-	repairsDone      *metrics.Counter
-	recvFreeBytes    *metrics.Gauge
-	remotePutLatency *metrics.Histogram
-	remoteGetLatency *metrics.Histogram
+	sharedPuts        *metrics.Counter
+	remotePuts        *metrics.Counter
+	sharedGets        *metrics.Counter
+	remoteGets        *metrics.Counter
+	remoteAllocs      *metrics.Counter
+	batchAllocs       *metrics.Counter
+	batchAllocEntries *metrics.Counter
+	batchAllocAborts  *metrics.Counter
+	batchFrees        *metrics.Counter
+	evictedBlocks     *metrics.Counter
+	repairsDone       *metrics.Counter
+	recvFreeBytes     *metrics.Gauge
+	remotePutLatency  *metrics.Histogram
+	remoteGetLatency  *metrics.Histogram
 }
 
 func newCoreMetrics(reg *metrics.Registry) coreMetrics {
 	return coreMetrics{
-		sharedPuts:       reg.Counter("shared_puts"),
-		remotePuts:       reg.Counter("remote_puts"),
-		sharedGets:       reg.Counter("shared_gets"),
-		remoteGets:       reg.Counter("remote_gets"),
-		remoteAllocs:     reg.Counter("remote_allocs"),
-		evictedBlocks:    reg.Counter("evicted_blocks"),
-		repairsDone:      reg.Counter("repairs_done"),
-		recvFreeBytes:    reg.Gauge("recv_free_bytes"),
-		remotePutLatency: reg.Histogram("remote_put_latency"),
-		remoteGetLatency: reg.Histogram("remote_get_latency"),
+		sharedPuts:        reg.Counter("shared_puts"),
+		remotePuts:        reg.Counter("remote_puts"),
+		sharedGets:        reg.Counter("shared_gets"),
+		remoteGets:        reg.Counter("remote_gets"),
+		remoteAllocs:      reg.Counter("remote_allocs"),
+		batchAllocs:       reg.Counter("batch_allocs"),
+		batchAllocEntries: reg.Counter("batch_alloc_entries"),
+		batchAllocAborts:  reg.Counter("batch_alloc_aborts"),
+		batchFrees:        reg.Counter("batch_frees"),
+		evictedBlocks:     reg.Counter("evicted_blocks"),
+		repairsDone:       reg.Counter("repairs_done"),
+		recvFreeBytes:     reg.Gauge("recv_free_bytes"),
+		remotePutLatency:  reg.Histogram("remote_put_latency"),
+		remoteGetLatency:  reg.Histogram("remote_get_latency"),
 	}
 }
 
@@ -444,6 +452,18 @@ func (n *Node) handleCall(ctx context.Context, from transport.NodeID, payload []
 			return errorResp(err), nil
 		}
 		return n.handleFree(req), nil
+	case opAllocBatch:
+		entries, err := decodeAllocBatchReq(payload)
+		if err != nil {
+			return errorResp(err), nil
+		}
+		return n.handleAllocBatch(from, entries), nil
+	case opFreeBatch:
+		entries, err := decodeFreeBatchReq(payload)
+		if err != nil {
+			return errorResp(err), nil
+		}
+		return n.handleFreeBatch(entries), nil
 	case opHeartbeat:
 		req, err := decodeHeartbeatReq(payload)
 		if err != nil {
@@ -488,6 +508,86 @@ func (n *Node) handleAlloc(from transport.NodeID, req allocReq) []byte {
 	n.met.remoteAllocs.Inc()
 	n.met.recvFreeBytes.Set(n.recv.FreeBytes())
 	return encodeAllocResp(allocResp{Offset: off})
+}
+
+// handleAllocBatch reserves a run of receive-pool blocks for a remote owner
+// in one control-plane round trip (the §IV.H window batch path). The batch
+// is all-or-nothing: if any slot cannot be reserved, every slot already
+// reserved is released and the whole batch fails, so the owner never has to
+// track a partially-allocated window.
+func (n *Node) handleAllocBatch(from transport.NodeID, entries []batchAllocEntry) []byte {
+	handles := make([]slab.Handle, 0, len(entries))
+	offsets := make([]int64, 0, len(entries))
+	rollback := func() {
+		for _, h := range handles {
+			_ = n.recv.Free(h)
+		}
+	}
+	for _, e := range entries {
+		h, err := n.recv.Alloc(int(e.Class))
+		if err != nil {
+			rollback()
+			n.met.batchAllocAborts.Inc()
+			if errors.Is(err, slab.ErrNoSpace) {
+				return noSpaceResp()
+			}
+			return errorResp(err)
+		}
+		off, err := n.recv.GlobalOffset(h)
+		if err != nil {
+			_ = n.recv.Free(h)
+			rollback()
+			n.met.batchAllocAborts.Inc()
+			return errorResp(err)
+		}
+		handles = append(handles, h)
+		offsets = append(offsets, off)
+	}
+	n.mu.Lock()
+	for i, h := range handles {
+		n.recvOwners[h] = ownerRef{owner: from, key: entries[i].Key}
+	}
+	n.stats.RemoteAllocs += int64(len(handles))
+	n.mu.Unlock()
+	n.met.batchAllocs.Inc()
+	n.met.batchAllocEntries.Add(int64(len(handles)))
+	n.met.remoteAllocs.Add(int64(len(handles)))
+	n.met.recvFreeBytes.Set(n.recv.FreeBytes())
+	return encodeAllocBatchResp(offsets)
+}
+
+// handleFreeBatch releases a run of receive-pool blocks in one round trip.
+// Like opFree, freeing an already-evicted block is not an error.
+func (n *Node) handleFreeBatch(entries []batchFreeEntry) []byte {
+	for _, e := range entries {
+		h, err := n.recv.HandleAt(e.Offset)
+		if err != nil {
+			continue
+		}
+		n.mu.Lock()
+		delete(n.recvOwners, h)
+		n.mu.Unlock()
+		if err := n.recv.Free(h); err != nil {
+			return errorResp(err)
+		}
+	}
+	n.met.batchFrees.Inc()
+	n.met.recvFreeBytes.Set(n.recv.FreeBytes())
+	return okResp()
+}
+
+// HostsRemoteKey reports whether this node currently hosts a receive-pool
+// block that owner parked under key. The chaos invariant checkers use it to
+// prove that aborted writes and batches leave no stranded copies behind.
+func (n *Node) HostsRemoteKey(owner transport.NodeID, key uint64) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, ref := range n.recvOwners {
+		if ref.owner == owner && ref.key == key {
+			return true
+		}
+	}
+	return false
 }
 
 // handleFree releases a receive-pool block (RDMS).
@@ -582,23 +682,62 @@ func (n *Node) RepairLost(lost transport.NodeID) int {
 	return queued
 }
 
+// maxParallelRepairs bounds how many deferred repairs one Maintain pass runs
+// concurrently over a real fabric.
+const maxParallelRepairs = 8
+
 // Maintain performs deferred re-replication for blocks lost to remote
 // evictions or failures. Call it periodically (the daemon does so from its
 // tick loop; simulations from a maintenance process). Repairs that fail —
 // typically because a source or replacement peer is unreachable right now —
 // stay queued and are retried on the next call.
+//
+// Independent repairs fan out concurrently over a real fabric (bounded by
+// maxParallelRepairs); under the discrete-event simulation they stay serial,
+// like every other fabric fan-out. Repairs queued more than once for the
+// same entry are deferred to the next pass so no two concurrent repairs
+// touch one entry.
 func (n *Node) Maintain(ctx context.Context) (repaired int, firstErr error) {
 	n.mu.Lock()
 	pending := n.pendingRepairs
 	n.pendingRepairs = nil
 	n.mu.Unlock()
-	var failed []pendingRepair
+	var batch, deferred []pendingRepair
+	seen := map[uint64]bool{}
 	for _, p := range pending {
-		if err := n.repairEntry(ctx, p); err != nil {
+		if seen[p.key] {
+			deferred = append(deferred, p)
+			continue
+		}
+		seen[p.key] = true
+		batch = append(batch, p)
+	}
+	errs := make([]error, len(batch))
+	if _, simulated := des.FromContext(ctx); simulated || len(batch) <= 1 {
+		for i, p := range batch {
+			errs[i] = n.repairEntry(ctx, p)
+		}
+	} else {
+		sem := make(chan struct{}, maxParallelRepairs)
+		var wg sync.WaitGroup
+		for i, p := range batch {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, p pendingRepair) {
+				defer wg.Done()
+				errs[i] = n.repairEntry(ctx, p)
+				<-sem
+			}(i, p)
+		}
+		wg.Wait()
+	}
+	failed := deferred
+	for i, err := range errs {
+		if err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}
-			failed = append(failed, p)
+			failed = append(failed, batch[i])
 			continue
 		}
 		repaired++

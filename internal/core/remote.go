@@ -66,7 +66,13 @@ func (s *remoteStore) Put(ctx context.Context, node replication.NodeID, id repli
 		return err
 	}
 	if err := s.node.ep.WriteRegion(ctx, to, RecvRegionID, alloc.Offset, data); err != nil {
-		// The reservation leaks until the remote evicts it; report failure.
+		// Release the reservation so a half-finished put strands no remote
+		// bytes; best-effort on a detached context (the write failure may be
+		// the caller's context dying), and the remote's eviction path is the
+		// backstop if the free itself is lost.
+		fctx, cancel := detached(ctx)
+		defer cancel()
+		_, _ = s.node.ep.Call(fctx, to, encodeFreeReq(freeReq{Key: key, Offset: alloc.Offset}))
 		return fmt.Errorf("core: one-sided write to node %d: %w", to, err)
 	}
 	s.mu.Lock()

@@ -57,6 +57,11 @@ func (vs *VirtualServer) key(id pagetable.EntryID) uint64 {
 	return uint64(vs.index)<<48 | (uint64(id) & keyEntryMask)
 }
 
+// WireKey returns the cluster-wide key id travels under — the key remote
+// hosts record against this owner. Invariant checkers use it to ask donor
+// nodes whether they still hold copies of a rolled-back entry.
+func (vs *VirtualServer) WireKey(id pagetable.EntryID) uint64 { return vs.key(id) }
+
 // PutShared parks an entry in the node-coordinated shared memory pool.
 // data is the (possibly compressed) payload, class its size class, and
 // rawSize the uncompressed size. It returns ErrNoSpace when the pool is

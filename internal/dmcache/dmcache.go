@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sync"
+	"time"
 
 	"godm/internal/core"
 	"godm/internal/metrics"
@@ -44,6 +45,13 @@ type Config struct {
 	// StatsEvery refreshes peers' advertised free memory every N remote
 	// placements (default 64).
 	StatsEvery int
+	// WindowSize bounds the per-peer write-combining window used when
+	// parking evicted entries (§IV.H window-based batching): up to
+	// WindowSize victims bound for the same peer move as one atomic batch.
+	// Defaults to 8; 1 disables batching.
+	WindowSize int
+	// NoCompress disables the transparent compression of parked entries.
+	NoCompress bool
 	// Metrics mounts the cache's instrumentation; nil means a private
 	// registry nothing exports.
 	Metrics *metrics.Registry
@@ -57,6 +65,7 @@ type Stats struct {
 	Evictions   int64 // local entries parked remotely
 	RemoteBytes int64 // bytes currently parked on peers
 	Dropped     int64 // evictions lost because every peer was full
+	Prefetched  int64 // entries pulled back alongside a requested batch member
 }
 
 type entry struct {
@@ -67,6 +76,10 @@ type entry struct {
 type remoteRef struct {
 	node transport.NodeID
 	size int
+	// batch links entries spilled in the same write-combining window, so a
+	// remote hit can prefetch the rest of its window in one span read.
+	// Zero means the entry was parked alone.
+	batch uint64
 }
 
 // cacheMetrics is the tier instrumentation, bound once at construction.
@@ -77,6 +90,7 @@ type cacheMetrics struct {
 	misses           *metrics.Counter
 	evictions        *metrics.Counter
 	dropped          *metrics.Counter
+	prefetches       *metrics.Counter
 	localBytes       *metrics.Gauge
 	remoteBytes      *metrics.Gauge
 	remoteGetLatency *metrics.Histogram
@@ -89,6 +103,7 @@ func newCacheMetrics(reg *metrics.Registry) cacheMetrics {
 		misses:           reg.Counter("misses"),
 		evictions:        reg.Counter("evictions"),
 		dropped:          reg.Counter("dropped"),
+		prefetches:       reg.Counter("prefetches"),
 		localBytes:       reg.Gauge("local_bytes"),
 		remoteBytes:      reg.Gauge("remote_bytes"),
 		remoteGetLatency: reg.Histogram("remote_get_latency"),
@@ -113,7 +128,11 @@ type Cache struct {
 	sincePoll  int
 	nextKey    uint64
 	keyIDs     map[string]uint64
-	stats      Stats
+	nextBatch  uint64
+	// batches remembers which keys were spilled together, keyed by the batch
+	// id recorded in their remoteRefs.
+	batches map[uint64][]string
+	stats   Stats
 }
 
 // New builds a cache.
@@ -133,19 +152,27 @@ func New(cfg Config) (*Cache, error) {
 	if cfg.StatsEvery <= 0 {
 		cfg.StatsEvery = 64
 	}
+	if cfg.WindowSize <= 0 {
+		cfg.WindowSize = 8
+	}
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = metrics.NewRegistry("dmcache")
 	}
+	var opts []core.ClientOption
+	if !cfg.NoCompress {
+		opts = append(opts, core.WithCompression(0))
+	}
 	return &Cache{
 		met:       newCacheMetrics(reg),
 		cfg:       cfg,
-		client:    core.NewClient(cfg.Verbs),
+		client:    core.NewClient(cfg.Verbs, opts...),
 		lru:       list.New(),
 		local:     map[string]*list.Element{},
 		remote:    map[string]remoteRef{},
 		freeBytes: map[transport.NodeID]int64{},
 		keyIDs:    map[string]uint64{},
+		batches:   map[uint64][]string{},
 	}, nil
 }
 
@@ -217,18 +244,23 @@ func (c *Cache) Get(ctx context.Context, key string) ([]byte, bool, error) {
 		return nil, false, nil
 	}
 	start := trace.Now(ctx)
+	if ref.batch != 0 {
+		if val, ok := c.prefetchBatchLocked(ctx, key, ref, start, sp); ok {
+			return val, true, nil
+		}
+	}
 	data, err := c.client.Get(ctx, ref.node, c.keyID(key))
 	if err != nil {
 		// The peer evicted or crashed: a miss, not an error (cache
 		// semantics — the caller refills from the source of truth).
-		delete(c.remote, key)
+		c.forgetRemoteLocked(key, ref)
 		c.stats.Misses++
 		c.met.misses.Inc()
 		sp.Annotate("tier", "miss")
 		return nil, false, nil
 	}
 	_ = c.client.Delete(ctx, ref.node, c.keyID(key))
-	delete(c.remote, key)
+	c.forgetRemoteLocked(key, ref)
 	c.stats.RemoteBytes -= int64(ref.size)
 	c.stats.RemoteHits++
 	c.met.remoteHits.Inc()
@@ -241,6 +273,91 @@ func (c *Cache) Get(ctx context.Context, key string) ([]byte, bool, error) {
 		return nil, false, err
 	}
 	return append([]byte(nil), data...), true, nil
+}
+
+// prefetchBatchLocked serves a remote hit by pulling back the requested
+// entry together with the rest of its spill window — the entries most
+// likely to be wanted next (they cooled together) — in span-coalesced batch
+// reads (§IV.H read-ahead). Only siblings that still rest on the same peer
+// and fit the local budget WITHOUT evicting anything ride along; when the
+// budget is too tight the requested entry alone falls back to the single-
+// entry path (ok=false).
+func (c *Cache) prefetchBatchLocked(ctx context.Context, key string, ref remoteRef, start time.Duration, sp *trace.Span) ([]byte, bool) {
+	members := []string{key}
+	total := int64(ref.size)
+	for _, k := range c.batches[ref.batch] {
+		if k == key {
+			continue
+		}
+		r, ok := c.remote[k]
+		if !ok || r.batch != ref.batch || r.node != ref.node {
+			continue
+		}
+		if c.localBytes+total+int64(r.size) > c.cfg.LocalBytes {
+			continue
+		}
+		members = append(members, k)
+		total += int64(r.size)
+	}
+	if len(members) == 1 || c.localBytes+total > c.cfg.LocalBytes {
+		return nil, false
+	}
+	ids := make([]uint64, len(members))
+	for i, k := range members {
+		ids[i] = c.keyID(k)
+	}
+	got, err := c.client.GetAll(ctx, ref.node, ids)
+	if err != nil {
+		return nil, false // single-entry path retries and classifies
+	}
+	// Migrate the window home: the remote copies are stale now.
+	_ = c.client.DeleteAll(ctx, ref.node, ids)
+	// Admit siblings first so the requested key ends up hottest.
+	var requested []byte
+	for i := len(members) - 1; i >= 0; i-- {
+		k := members[i]
+		data := got[ids[i]]
+		r := c.remote[k]
+		c.forgetRemoteLocked(k, r)
+		c.stats.RemoteBytes -= int64(r.size)
+		e := &entry{key: k, value: data}
+		c.local[k] = c.lru.PushFront(e)
+		c.localBytes += int64(len(data))
+		if k == key {
+			requested = data
+		}
+	}
+	c.stats.RemoteHits++
+	c.met.remoteHits.Inc()
+	c.stats.Prefetched += int64(len(members) - 1)
+	c.met.prefetches.Add(int64(len(members) - 1))
+	c.met.remoteGetLatency.Observe(trace.Now(ctx) - start)
+	c.met.localBytes.Set(c.localBytes)
+	c.met.remoteBytes.Set(c.stats.RemoteBytes)
+	sp.Annotate("tier", "remote")
+	sp.Annotate("prefetched", len(members)-1)
+	return append([]byte(nil), requested...), true
+}
+
+// forgetRemoteLocked drops the bookkeeping for a parked entry: its remote
+// ref and its membership in any spill window.
+func (c *Cache) forgetRemoteLocked(key string, ref remoteRef) {
+	delete(c.remote, key)
+	if ref.batch == 0 {
+		return
+	}
+	keys := c.batches[ref.batch]
+	for i, k := range keys {
+		if k == key {
+			keys = append(keys[:i], keys[i+1:]...)
+			break
+		}
+	}
+	if len(keys) == 0 {
+		delete(c.batches, ref.batch)
+	} else {
+		c.batches[ref.batch] = keys
+	}
 }
 
 // Delete removes a key from both tiers.
@@ -257,30 +374,88 @@ func (c *Cache) dropLocked(ctx context.Context, key string) error {
 		delete(c.local, key)
 	}
 	if ref, ok := c.remote[key]; ok {
-		delete(c.remote, key)
+		c.forgetRemoteLocked(key, ref)
 		c.stats.RemoteBytes -= int64(ref.size)
 		return c.client.Delete(ctx, ref.node, c.keyID(key))
 	}
 	return nil
 }
 
-// trimLocked parks LRU entries remotely until the local tier fits.
+// trimLocked parks LRU entries remotely until the local tier fits. Victims
+// are gathered first, grouped by their target peer, and spilled in windows
+// of up to cfg.WindowSize entries (§IV.H write combining): each window is
+// one batched alloc round trip plus span-coalesced one-sided writes instead
+// of two round trips per entry, and its members stay linked for batch
+// read-ahead on the way back.
 func (c *Cache) trimLocked(ctx context.Context) error {
+	var victims []*entry
 	for c.localBytes > c.cfg.LocalBytes {
 		back := c.lru.Back()
 		if back == nil {
-			return nil
+			break
 		}
 		e := back.Value.(*entry)
 		c.lru.Remove(back)
 		delete(c.local, e.key)
 		c.localBytes -= int64(len(e.value))
+		victims = append(victims, e)
+	}
+	groups := map[transport.NodeID][]*entry{}
+	var order []transport.NodeID
+	for _, e := range victims {
 		node, err := c.pickPeer(ctx, len(e.value))
 		if err != nil {
 			c.stats.Dropped++
 			c.met.dropped.Inc()
 			continue // cache semantics: losing an entry is legal
 		}
+		if _, ok := groups[node]; !ok {
+			order = append(order, node)
+		}
+		groups[node] = append(groups[node], e)
+	}
+	for _, node := range order {
+		g := groups[node]
+		for len(g) > 0 {
+			n := c.cfg.WindowSize
+			if n > len(g) {
+				n = len(g)
+			}
+			c.spillWindowLocked(ctx, node, g[:n])
+			g = g[n:]
+		}
+	}
+	c.met.localBytes.Set(c.localBytes)
+	c.met.remoteBytes.Set(c.stats.RemoteBytes)
+	return nil
+}
+
+// spillWindowLocked parks one window of victims on node — as an atomic
+// batch when the window has more than one entry, falling back to per-entry
+// puts when the batch fails as a unit (so one poisoned entry cannot drop
+// its whole window).
+func (c *Cache) spillWindowLocked(ctx context.Context, node transport.NodeID, window []*entry) {
+	if len(window) > 1 {
+		batch := make([]core.Entry, len(window))
+		for i, e := range window {
+			batch[i] = core.Entry{Key: c.keyID(e.key), Data: e.value}
+		}
+		if err := c.client.PutAll(ctx, node, batch); err == nil {
+			c.nextBatch++
+			id := c.nextBatch
+			keys := make([]string, len(window))
+			for i, e := range window {
+				keys[i] = e.key
+				c.remote[e.key] = remoteRef{node: node, size: len(e.value), batch: id}
+				c.stats.RemoteBytes += int64(len(e.value))
+				c.stats.Evictions++
+				c.met.evictions.Inc()
+			}
+			c.batches[id] = keys
+			return
+		}
+	}
+	for _, e := range window {
 		if err := c.client.Put(ctx, node, c.keyID(e.key), e.value); err != nil {
 			c.stats.Dropped++
 			c.met.dropped.Inc()
@@ -291,9 +466,6 @@ func (c *Cache) trimLocked(ctx context.Context) error {
 		c.stats.Evictions++
 		c.met.evictions.Inc()
 	}
-	c.met.localBytes.Set(c.localBytes)
-	c.met.remoteBytes.Set(c.stats.RemoteBytes)
-	return nil
 }
 
 // pickPeer chooses a donor by advertised free memory, polling stats lazily.

@@ -236,7 +236,16 @@ func TestAllPeersFullDropsEntries(t *testing.T) {
 	r := newRig(t, 1, 1<<20) // single donor with a 1 MiB pool
 	c := r.newCache(t, 8<<10)
 	r.run(t, func(ctx context.Context) {
+		// Incompressible values, so transparent compression cannot shrink
+		// them into the donor and the pool genuinely fills.
 		val := make([]byte, 8<<10)
+		s := uint64(0x9E3779B97F4A7C15)
+		for i := range val {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			val[i] = byte(s)
+		}
 		for i := 0; i < 300; i++ { // ~2.4 MiB of evictions into 1 MiB
 			if err := c.Put(ctx, fmt.Sprintf("k%d", i), val); err != nil {
 				t.Errorf("Put: %v", err)
@@ -292,4 +301,100 @@ func TestOverTCPFabric(t *testing.T) {
 	if st := c.Stats(); st.RemoteHits != 1 {
 		t.Fatalf("RemoteHits = %d", st.RemoteHits)
 	}
+}
+
+// TestBatchSpillAndPrefetch drives the §IV.H window path end to end: one
+// oversized admission evicts a whole window of siblings in a single batched
+// spill, and a later hit on any of them prefetches the rest of the window
+// back in one span read.
+func TestBatchSpillAndPrefetch(t *testing.T) {
+	r := newRig(t, 1, 4<<20)
+	c, err := New(Config{LocalBytes: 16 << 10, Verbs: r.clientEP, Peers: r.peers, WindowSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := func(b byte) []byte { return bytes.Repeat([]byte{b}, 4<<10) }
+	r.run(t, func(ctx context.Context) {
+		for i, k := range []string{"a", "b", "c", "d"} {
+			if err := c.Put(ctx, k, val(byte(i+1))); err != nil {
+				t.Errorf("Put %s: %v", k, err)
+				return
+			}
+		}
+		// A 16 KiB admission displaces all four entries at once: they spill
+		// to the donor as one write-combined window.
+		if err := c.Put(ctx, "big", make([]byte, 16<<10)); err != nil {
+			t.Errorf("Put big: %v", err)
+			return
+		}
+		if st := c.Stats(); st.Evictions != 4 || st.Dropped != 0 {
+			t.Errorf("after spill: %+v", st)
+		}
+		// Make room, then touch one window member: its three siblings must
+		// ride back with it.
+		if err := c.Delete(ctx, "big"); err != nil {
+			t.Errorf("Delete big: %v", err)
+			return
+		}
+		got, ok, err := c.Get(ctx, "b")
+		if err != nil || !ok || !bytes.Equal(got, val(2)) {
+			t.Errorf("Get b = %d bytes, %v, %v", len(got), ok, err)
+			return
+		}
+		st := c.Stats()
+		if st.RemoteHits != 1 || st.Prefetched != 3 {
+			t.Errorf("after prefetch: %+v", st)
+		}
+		if st.RemoteBytes != 0 {
+			t.Errorf("RemoteBytes = %d, want 0 (window migrated home)", st.RemoteBytes)
+		}
+		// The siblings are local now: no further remote traffic.
+		for i, k := range []string{"a", "c", "d"} {
+			got, ok, err := c.Get(ctx, k)
+			want := []byte{1, 3, 4}[i]
+			if err != nil || !ok || !bytes.Equal(got, val(want)) {
+				t.Errorf("Get %s = %d bytes, %v, %v", k, len(got), ok, err)
+			}
+		}
+		if st := c.Stats(); st.LocalHits != 3 || st.RemoteHits != 1 {
+			t.Errorf("after sibling gets: %+v", st)
+		}
+	})
+	// Nothing left parked on the donor.
+	if st := r.nodes[0].RecvPool().Stats(); st.LiveBytes != 0 {
+		t.Fatalf("donor LiveBytes = %d, want 0", st.LiveBytes)
+	}
+}
+
+// TestPrefetchSkippedWhenBudgetTight: a remote hit whose window no longer
+// fits the local tier must fall back to fetching just the requested entry.
+func TestPrefetchSkippedWhenBudgetTight(t *testing.T) {
+	r := newRig(t, 1, 4<<20)
+	c, err := New(Config{LocalBytes: 16 << 10, Verbs: r.clientEP, Peers: r.peers, WindowSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := func(b byte) []byte { return bytes.Repeat([]byte{b}, 4<<10) }
+	r.run(t, func(ctx context.Context) {
+		for i, k := range []string{"a", "b", "c", "d"} {
+			if err := c.Put(ctx, k, val(byte(i+1))); err != nil {
+				t.Errorf("Put %s: %v", k, err)
+				return
+			}
+		}
+		if err := c.Put(ctx, "big", make([]byte, 16<<10)); err != nil {
+			t.Errorf("Put big: %v", err)
+			return
+		}
+		// Local tier still holds "big": the window cannot come home whole.
+		got, ok, err := c.Get(ctx, "b")
+		if err != nil || !ok || !bytes.Equal(got, val(2)) {
+			t.Errorf("Get b = %d bytes, %v, %v", len(got), ok, err)
+			return
+		}
+		st := c.Stats()
+		if st.RemoteHits != 1 || st.Prefetched != 0 {
+			t.Errorf("tight-budget get: %+v", st)
+		}
+	})
 }

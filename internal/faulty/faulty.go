@@ -15,10 +15,15 @@
 // with the seed, so the n-th matching operation of a stream meets the same
 // fate in every run with that seed, regardless of wall-clock jitter. Under
 // the discrete-event fabric (internal/simnet) replays are byte-for-byte
-// identical; under real sockets (internal/tcpnet) the decision sequence is
-// identical whenever each stream issues its operations in the same order,
-// which the chaos harness guarantees by driving each stream from one
-// goroutine. Crash and restart triggers can be expressed in operation counts
+// identical; under real sockets (internal/tcpnet) the decision *set* is
+// identical whenever each stream issues its operations in the same order —
+// streams to distinct targets may interleave freely (the parallel replica
+// fan-out does), because Pct decisions key on the per-stream counter and
+// crash triggers on the per-target counter. Trace() returns the log in a
+// canonical sorted order so such interleavings still compare equal. Rules
+// combining AfterOps with a wildcard match are the exception: their gate
+// reads a shared per-rule counter, so keep them to serially-driven
+// scenarios. Crash and restart triggers can be expressed in operation counts
 // ("after 12 ops") for cross-fabric determinism, or in injector time ("at
 // t=5s") which is exact under simulation and approximate under wall clocks.
 //
@@ -47,6 +52,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -246,14 +252,18 @@ func (inj *Injector) Stats() Stats {
 }
 
 // Trace returns the decision log: one line per injected fault, identifying
-// the stream and its per-target operation number but no clock readings, so
-// two runs with the same seed and per-stream issue order produce identical
-// traces on either fabric.
+// the stream and its per-target operation number but no clock readings. The
+// copy is returned sorted: with concurrent but per-stream-ordered issue
+// (e.g. a parallel replica fan-out) the *set* of decisions is deterministic
+// while the global append order is scheduler-dependent, so the canonical
+// order makes two runs with the same seed and per-stream issue order produce
+// identical traces on either fabric.
 func (inj *Injector) Trace() []string {
 	inj.mu.Lock()
 	defer inj.mu.Unlock()
 	out := make([]string, len(inj.trace))
 	copy(out, inj.trace)
+	sort.Strings(out)
 	return out
 }
 

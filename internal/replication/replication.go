@@ -6,6 +6,11 @@
 // preemptive slab eviction — Repair re-establishes the replication factor on
 // a replacement node.
 //
+// Over a real fabric, Write and Delete fan their per-replica operations out
+// concurrently (every replica is always attempted; an aborted write rolls
+// back on a context detached from the caller's); under the discrete-event
+// simulation, or with WithSerialFanout, they stay serial.
+//
 // The package is transport-agnostic: it drives any Store implementation,
 // which in this repository is backed by the simulated RDMA fabric, the TCP
 // fabric, or an in-memory fake in tests.
@@ -15,7 +20,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
+	"time"
 
+	"godm/internal/des"
 	"godm/internal/metrics"
 	"godm/internal/trace"
 )
@@ -52,32 +60,42 @@ const DefaultFactor = 3
 type Replicator struct {
 	store  Store
 	factor int
+	serial bool
 	met    replMetrics
 }
+
+// rollbackTimeout bounds the detached rollback of an aborted write. It is a
+// wall-clock deadline: the simulated fabric never consults deadlines, so
+// under DES the timer is inert and rollback completes in simulated time.
+const rollbackTimeout = 2 * time.Second
 
 // replMetrics is the protocol's instrumentation. Latency observations use
 // trace.Now, so simulated runs stay deterministic.
 type replMetrics struct {
-	writes       *metrics.Counter
-	writeAborts  *metrics.Counter
-	reads        *metrics.Counter
-	readFailover *metrics.Counter
-	deletes      *metrics.Counter
-	repairs      *metrics.Counter
-	writeLatency *metrics.Histogram
-	readLatency  *metrics.Histogram
+	writes        *metrics.Counter
+	writeAborts   *metrics.Counter
+	rollbacks     *metrics.Counter
+	rollbackFails *metrics.Counter
+	reads         *metrics.Counter
+	readFailover  *metrics.Counter
+	deletes       *metrics.Counter
+	repairs       *metrics.Counter
+	writeLatency  *metrics.Histogram
+	readLatency   *metrics.Histogram
 }
 
 func newReplMetrics(reg *metrics.Registry) replMetrics {
 	return replMetrics{
-		writes:       reg.Counter("writes"),
-		writeAborts:  reg.Counter("write_aborts"),
-		reads:        reg.Counter("reads"),
-		readFailover: reg.Counter("read_failovers"),
-		deletes:      reg.Counter("deletes"),
-		repairs:      reg.Counter("repairs"),
-		writeLatency: reg.Histogram("write_latency"),
-		readLatency:  reg.Histogram("read_latency"),
+		writes:        reg.Counter("writes"),
+		writeAborts:   reg.Counter("write_aborts"),
+		rollbacks:     reg.Counter("rollbacks"),
+		rollbackFails: reg.Counter("rollback_fails"),
+		reads:         reg.Counter("reads"),
+		readFailover:  reg.Counter("read_failovers"),
+		deletes:       reg.Counter("deletes"),
+		repairs:       reg.Counter("repairs"),
+		writeLatency:  reg.Histogram("write_latency"),
+		readLatency:   reg.Histogram("read_latency"),
 	}
 }
 
@@ -99,6 +117,14 @@ func WithMetrics(reg *metrics.Registry) Option {
 	}
 }
 
+// WithSerialFanout forces Write and Delete to contact replicas one node at a
+// time, the pre-fan-out behavior. It exists as the baseline for the
+// data-plane benchmarks and as an escape hatch for transports that cannot
+// take concurrent operations.
+func WithSerialFanout() Option {
+	return func(r *Replicator) { r.serial = true }
+}
+
 // New returns a replicator over store.
 func New(store Store, opts ...Option) (*Replicator, error) {
 	r := &Replicator{store: store, factor: DefaultFactor}
@@ -118,9 +144,44 @@ func New(store Store, opts ...Option) (*Replicator, error) {
 // Factor returns the configured replication factor.
 func (r *Replicator) Factor() int { return r.factor }
 
+// fanout runs op against every node and returns one error slot per node.
+// Over a real fabric the operations run concurrently — the multiplexed
+// transport pipelines them over pooled connections, so a replicated write
+// costs one round trip instead of factor round trips. Under the
+// discrete-event simulation (or WithSerialFanout) the loop stays serial: a
+// simulated process is cooperative and must issue its fabric operations from
+// its own goroutine.
+//
+// Every node is always attempted — there is no short-circuit on first
+// failure. Besides gathering the full success set for rollback, this keeps
+// the per-stream operation sequence seen by the fault injector independent
+// of which replica happens to fail first, which the seeded chaos replay
+// tests depend on.
+func (r *Replicator) fanout(ctx context.Context, nodes []NodeID, op func(context.Context, NodeID) error) []error {
+	errs := make([]error, len(nodes))
+	_, simulated := des.FromContext(ctx)
+	if r.serial || simulated || len(nodes) == 1 {
+		for i, n := range nodes {
+			errs[i] = op(ctx, n)
+		}
+		return errs
+	}
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		wg.Add(1)
+		go func(i int, n NodeID) {
+			defer wg.Done()
+			errs[i] = op(ctx, n)
+		}(i, n)
+	}
+	wg.Wait()
+	return errs
+}
+
 // Write stores data for id on the given nodes (nodes[0] is the primary) as an
 // atomic transaction: if any node fails, the copies already written are
 // rolled back and ErrAborted is returned. len(nodes) must equal the factor.
+// The per-replica puts fan out concurrently over a real fabric (see fanout).
 func (r *Replicator) Write(ctx context.Context, nodes []NodeID, id EntryID, data []byte) error {
 	if len(nodes) != r.factor {
 		return fmt.Errorf("replication: got %d nodes, factor is %d", len(nodes), r.factor)
@@ -130,24 +191,41 @@ func (r *Replicator) Write(ctx context.Context, nodes []NodeID, id EntryID, data
 	sp.Annotate("nodes", len(nodes))
 	r.met.writes.Inc()
 	start := trace.Now(ctx)
-	var written []NodeID
-	for _, n := range nodes {
-		if err := r.store.Put(ctx, n, id, data); err != nil {
-			for _, w := range written {
-				// Best-effort rollback; a node that fails rollback will be
-				// cleaned up by eviction/repair.
-				_ = r.store.Delete(ctx, w, id)
-			}
-			r.met.writeAborts.Inc()
-			err = fmt.Errorf("%w: put on node %d: %v", ErrAborted, n, err)
-			sp.EndErr(err)
-			return err
+	errs := r.fanout(ctx, nodes, func(ctx context.Context, n NodeID) error {
+		return r.store.Put(ctx, n, id, data)
+	})
+	failed := -1
+	for i, err := range errs {
+		if err != nil {
+			failed = i
+			break
 		}
-		written = append(written, n)
 	}
-	r.met.writeLatency.Observe(trace.Now(ctx) - start)
-	sp.End()
-	return nil
+	if failed < 0 {
+		r.met.writeLatency.Observe(trace.Now(ctx) - start)
+		sp.End()
+		return nil
+	}
+	// Best-effort rollback of every copy that did land. It must not ride the
+	// caller's context: an abort is often *caused* by that context expiring,
+	// and rolling back on a dead context would strand the copies it should be
+	// erasing. Detach from cancellation (keeping values — the DES process and
+	// trace ride along) and bound the cleanup with a fresh deadline. A node
+	// that still fails rollback is cleaned up by eviction/repair.
+	rbCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), rollbackTimeout)
+	defer cancel()
+	for i, err := range errs {
+		if err == nil {
+			r.met.rollbacks.Inc()
+			if derr := r.store.Delete(rbCtx, nodes[i], id); derr != nil {
+				r.met.rollbackFails.Inc()
+			}
+		}
+	}
+	r.met.writeAborts.Inc()
+	err := fmt.Errorf("%w: put on node %d: %v", ErrAborted, nodes[failed], errs[failed])
+	sp.EndErr(err)
+	return err
 }
 
 // Read fetches id, trying the primary first and failing over to replicas in
@@ -181,17 +259,20 @@ func (r *Replicator) Read(ctx context.Context, nodes []NodeID, id EntryID) ([]by
 	return nil, 0, err
 }
 
-// Delete removes id from every node, returning the first error encountered
-// after attempting all.
+// Delete removes id from every node, returning the error of the
+// lowest-indexed node that failed after attempting all. Like Write, the
+// per-node frees fan out concurrently over a real fabric.
 func (r *Replicator) Delete(ctx context.Context, nodes []NodeID, id EntryID) error {
 	r.met.deletes.Inc()
-	var firstErr error
-	for _, n := range nodes {
-		if err := r.store.Delete(ctx, n, id); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("replication: delete on node %d: %w", n, err)
+	errs := r.fanout(ctx, nodes, func(ctx context.Context, n NodeID) error {
+		return r.store.Delete(ctx, n, id)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("replication: delete on node %d: %w", nodes[i], err)
 		}
 	}
-	return firstErr
+	return nil
 }
 
 // Repair restores the replication factor after node lost is no longer usable

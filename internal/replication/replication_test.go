@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 )
 
 // fakeStore is an in-memory Store with per-node failure injection.
@@ -264,6 +265,155 @@ func TestSingleFactorNoReplication(t *testing.T) {
 	}
 	if st.putCalls != 1 {
 		t.Fatalf("putCalls = %d, want 1", st.putCalls)
+	}
+}
+
+// barrierStore blocks every Put until all want puts have arrived, so a Write
+// completes only if the replicator genuinely fans out concurrently.
+type barrierStore struct {
+	*fakeStore
+	mu      sync.Mutex
+	arrived int
+	want    int
+	ready   chan struct{}
+}
+
+func newBarrierStore(want int) *barrierStore {
+	return &barrierStore{fakeStore: newFakeStore(), want: want, ready: make(chan struct{})}
+}
+
+func (b *barrierStore) Put(ctx context.Context, node NodeID, id EntryID, data []byte) error {
+	b.mu.Lock()
+	b.arrived++
+	if b.arrived == b.want {
+		close(b.ready)
+	}
+	b.mu.Unlock()
+	select {
+	case <-b.ready:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	return b.fakeStore.Put(ctx, node, id, data)
+}
+
+func TestWriteFansOutConcurrently(t *testing.T) {
+	st := newBarrierStore(3)
+	r, _ := New(st)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	// With a serial fan-out the first Put would block forever waiting for the
+	// other two and the context would expire; the parallel fan-out releases
+	// the barrier.
+	if err := r.Write(ctx, []NodeID{1, 2, 3}, 1, []byte("x")); err != nil {
+		t.Fatalf("parallel write did not fan out: %v", err)
+	}
+	for _, n := range []NodeID{1, 2, 3} {
+		if !st.has(n, 1) {
+			t.Fatalf("node %d missing replica", n)
+		}
+	}
+}
+
+// exclusiveStore fails any Put that overlaps another in-flight Put, proving
+// serial issue order.
+type exclusiveStore struct {
+	*fakeStore
+	mu       sync.Mutex
+	inFlight int
+}
+
+func (e *exclusiveStore) Put(ctx context.Context, node NodeID, id EntryID, data []byte) error {
+	e.mu.Lock()
+	e.inFlight++
+	over := e.inFlight > 1
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		e.inFlight--
+		e.mu.Unlock()
+	}()
+	if over {
+		return fmt.Errorf("node %d: overlapping put", node)
+	}
+	return e.fakeStore.Put(ctx, node, id, data)
+}
+
+func TestSerialFanoutOption(t *testing.T) {
+	st := &exclusiveStore{fakeStore: newFakeStore()}
+	r, err := New(st, WithSerialFanout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := r.Write(context.Background(), []NodeID{1, 2, 3}, EntryID(i), []byte("s")); err != nil {
+			t.Fatalf("serial write %d: %v", i, err)
+		}
+	}
+}
+
+func TestWriteAttemptsAllReplicasOnFailure(t *testing.T) {
+	ctx := context.Background()
+	st := newFakeStore()
+	st.failPut[1] = true // the first node fails; 2 and 3 must still be tried
+	r, _ := New(st)
+	err := r.Write(ctx, []NodeID{1, 2, 3}, 4, []byte("x"))
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+	if st.putCalls != 3 {
+		t.Fatalf("putCalls = %d, want 3 (no short-circuit on first failure)", st.putCalls)
+	}
+	for _, n := range []NodeID{1, 2, 3} {
+		if st.has(n, 4) {
+			t.Fatalf("node %d still holds aborted entry", n)
+		}
+	}
+}
+
+// cancellingStore fails Puts on one node and, before failing, cancels the
+// caller's context — modeling an abort caused by the caller's deadline
+// expiring mid-write. Deletes refuse to run on a dead context, exactly like
+// a real transport would.
+type cancellingStore struct {
+	*fakeStore
+	failNode NodeID
+	cancel   context.CancelFunc
+}
+
+func (c *cancellingStore) Put(ctx context.Context, node NodeID, id EntryID, data []byte) error {
+	if node == c.failNode {
+		c.cancel()
+		return fmt.Errorf("node %d unreachable", node)
+	}
+	return c.fakeStore.Put(ctx, node, id, data)
+}
+
+func (c *cancellingStore) Delete(ctx context.Context, node NodeID, id EntryID) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return c.fakeStore.Delete(ctx, node, id)
+}
+
+func TestRollbackRunsOnDetachedContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	st := &cancellingStore{fakeStore: newFakeStore(), failNode: 3, cancel: cancel}
+	r, _ := New(st, WithSerialFanout())
+	err := r.Write(ctx, []NodeID{1, 2, 3}, 8, []byte("x"))
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+	if ctx.Err() == nil {
+		t.Fatal("test store should have cancelled the caller context")
+	}
+	// The rollback must have run despite the dead caller context: a rollback
+	// on ctx would have been refused by Delete, stranding copies on 1 and 2.
+	for _, n := range []NodeID{1, 2} {
+		if st.has(n, 8) {
+			t.Fatalf("node %d holds a stranded copy: rollback used the cancelled caller context", n)
+		}
 	}
 }
 
