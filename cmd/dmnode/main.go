@@ -53,6 +53,7 @@ func run(args []string) error {
 		tick      = fs.Duration("tick", 2*time.Second, "heartbeat/maintenance interval")
 		workers   = fs.Int("call-workers", tcpnet.DefaultCallConcurrency, "max concurrent control-plane handlers")
 		lanes     = fs.Int("conns-per-peer", 0, "pooled TCP connections per peer (0 = auto)")
+		shards    = fs.Int("pool-shards", 0, "lock shards per memory pool (0 = auto, 1 = single-lock)")
 		httpAddr  = fs.String("http", "", "serve /metrics, /stats, /trace, and /debug/pprof on this address (empty = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -109,6 +110,7 @@ func run(args []string) error {
 		RecvPoolBytes:     *recvMiB << 20,
 		SlabSize:          1 << 20,
 		ReplicationFactor: factor,
+		PoolShards:        *shards,
 	}, transport.Chain(ep, trace.Middleware(tracer)), dir)
 	if err != nil {
 		return err

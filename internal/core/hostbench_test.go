@@ -1,0 +1,185 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"godm/internal/cluster"
+	"godm/internal/faulty"
+	"godm/internal/tcpnet"
+	"godm/internal/transport"
+)
+
+// hostRig is one donor node plus several independent clients, each with its
+// own loopback TCP endpoint and its own emulated fabric RTT. It is the
+// host-path mirror of benchFabric: there the client side fans out to many
+// donors; here many clients converge on one host, so the donor's sharded
+// pools and striped owner index are what the numbers measure.
+type hostRig struct {
+	clients []*Client
+}
+
+// hostBenchRTT is the nominal per-verb fabric round trip. 1 ms for the same
+// reason as the dataplane benchmarks: this host's sleep granularity floors
+// sub-ms delays there anyway, and the quantity under test is how much of
+// that latency concurrent clients can overlap, not its absolute size.
+const hostBenchRTT = time.Millisecond
+
+func newHostRig(b *testing.B, clients, shards int, rtt time.Duration) *hostRig {
+	b.Helper()
+	donorEP, err := tcpnet.Listen(1, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = donorEP.Close() })
+	dir, err := cluster.NewDirectory(cluster.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := NewNode(Config{
+		ID: 1, SharedPoolBytes: 1 << 20, SendPoolBytes: 1 << 20,
+		RecvPoolBytes: 64 << 20, SlabSize: 1 << 20, ReplicationFactor: 1,
+		PoolShards: shards,
+	}, donorEP, dir); err != nil {
+		b.Fatal(err)
+	}
+	rig := &hostRig{}
+	for i := 0; i < clients; i++ {
+		ep, err := tcpnet.Listen(transport.NodeID(100+i), "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { _ = ep.Close() })
+		ep.AddPeer(1, donorEP.Addr())
+		var verbs transport.Endpoint = ep
+		if rtt > 0 {
+			inj := faulty.New(int64(i) + 1)
+			inj.AddRule(faulty.Rule{Kind: faulty.KindDelay, Verb: faulty.VerbAny,
+				From: faulty.AnyNode, To: faulty.AnyNode, Pct: 100, Delay: rtt})
+			verbs = inj.Wrap(ep)
+		}
+		rig.clients = append(rig.clients, NewClient(verbs))
+	}
+	return rig
+}
+
+// runHostMixed drives b.N mixed host-path rounds — Put (alloc+write), Get
+// (read), Delete every other round (free) — split across the rig's clients.
+// Classes are mixed (600–3648 bytes rounds to 1 KiB–4 KiB slab classes) and
+// every client works a disjoint key space, so all contention is on the
+// host's shards, not on the keys themselves.
+func runHostMixed(b *testing.B, rig *hostRig) {
+	b.Helper()
+	ctx := context.Background()
+	clients := len(rig.clients)
+	perClient := b.N / clients
+	if b.N%clients != 0 {
+		perClient++
+	}
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w, c := range rig.clients {
+		wg.Add(1)
+		go func(w int, c *Client) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				key := uint64(w)<<32 | uint64(i)
+				data := bytes.Repeat([]byte{byte(w + 1)}, 600+1016*((w+i)%4))
+				if err := c.Put(ctx, 1, key, data); err != nil {
+					b.Errorf("client %d: Put: %v", w, err)
+					return
+				}
+				if _, err := c.Get(ctx, 1, key); err != nil {
+					b.Errorf("client %d: Get: %v", w, err)
+					return
+				}
+				if i%2 == 0 {
+					if err := c.Delete(ctx, 1, key); err != nil {
+						b.Errorf("client %d: Delete: %v", w, err)
+						return
+					}
+				}
+			}
+		}(w, c)
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rounds/s")
+}
+
+// BenchmarkHostParallelMixed is the tentpole's acceptance benchmark: N
+// concurrent clients, one host, 1 ms emulated RTT, mixed
+// alloc/write/read/free. clients=1 is the serial baseline; clients=4 must
+// clear 2x its throughput. On this single-CPU rig the scaling comes from
+// overlapping round trips that the host can now admit concurrently instead
+// of serializing behind one node lock and one pool lock.
+func BenchmarkHostParallelMixed(b *testing.B) {
+	for _, clients := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			rig := newHostRig(b, clients, DefaultPoolShards, hostBenchRTT)
+			runHostMixed(b, rig)
+		})
+	}
+}
+
+// BenchmarkHostParallelSingleLock is the same 4-client load against a host
+// configured with one shard per pool (the seed's lock layout), so the
+// sharded/unsharded comparison is a flag flip rather than a checkout.
+func BenchmarkHostParallelSingleLock(b *testing.B) {
+	rig := newHostRig(b, 4, 1, hostBenchRTT)
+	runHostMixed(b, rig)
+}
+
+// BenchmarkHostParallelBatch measures the batched host path under the same
+// convergence: each round is an 8-entry PutAll + GetAll + DeleteAll window,
+// exercising batch alloc, span-coalesced writes, and the
+// one-lock-per-stripe batched free.
+func BenchmarkHostParallelBatch(b *testing.B) {
+	for _, clients := range []int{1, 4} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			rig := newHostRig(b, clients, DefaultPoolShards, hostBenchRTT)
+			ctx := context.Background()
+			const window = 8
+			perClient := b.N / clients
+			if b.N%clients != 0 {
+				perClient++
+			}
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for w, c := range rig.clients {
+				wg.Add(1)
+				go func(w int, c *Client) {
+					defer wg.Done()
+					for i := 0; i < perClient; i++ {
+						entries := make([]Entry, window)
+						keys := make([]uint64, window)
+						for j := range entries {
+							key := uint64(w)<<32 | uint64(i*window+j)
+							keys[j] = key
+							entries[j] = Entry{Key: key, Data: bytes.Repeat([]byte{byte(j + 1)}, 1024)}
+						}
+						if err := c.PutAll(ctx, 1, entries); err != nil {
+							b.Errorf("client %d: PutAll: %v", w, err)
+							return
+						}
+						if _, err := c.GetAll(ctx, 1, keys); err != nil {
+							b.Errorf("client %d: GetAll: %v", w, err)
+							return
+						}
+						if err := c.DeleteAll(ctx, 1, keys); err != nil {
+							b.Errorf("client %d: DeleteAll: %v", w, err)
+							return
+						}
+					}
+				}(w, c)
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rounds/s")
+		})
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"godm/internal/cluster"
 	"godm/internal/des"
@@ -50,6 +51,12 @@ var (
 	ErrUnknownServer = errors.New("core: unknown virtual server")
 )
 
+// DefaultPoolShards is the lock-shard count used for the node's slab pools
+// when Config.PoolShards is zero. It is a constant (not derived from the
+// machine's core count) so simulated runs produce identical slab layouts on
+// every host.
+const DefaultPoolShards = 8
+
 // Config shapes one node.
 type Config struct {
 	// ID is this node's identity on the fabric and in the directory.
@@ -65,6 +72,10 @@ type Config struct {
 	RecvPoolBytes int64
 	// SlabSize is the registration granularity of all pools.
 	SlabSize int
+	// PoolShards is the lock-shard count for the node's slab pools: ops on
+	// blocks in different shards never contend. 0 selects DefaultPoolShards;
+	// 1 reproduces the single-lock allocator.
+	PoolShards int
 	// ReplicationFactor is the number of copies for each remote entry.
 	ReplicationFactor int
 	// Balancer selects remote nodes; defaults to power-of-two-choices
@@ -89,6 +100,9 @@ func (c Config) validate() error {
 	if c.SlabSize <= 0 {
 		return fmt.Errorf("core: slab size %d must be positive", c.SlabSize)
 	}
+	if c.PoolShards < 0 {
+		return fmt.Errorf("core: pool shards %d must be non-negative", c.PoolShards)
+	}
 	if c.RecvPoolBytes <= 0 || c.RecvPoolBytes%int64(c.SlabSize) != 0 {
 		return fmt.Errorf("core: recv pool %d must be a positive multiple of slab size %d",
 			c.RecvPoolBytes, c.SlabSize)
@@ -105,7 +119,49 @@ type ownerRef struct {
 	key   uint64
 }
 
+// ownerShardCount is the number of lock stripes over the receive pool's
+// owner bookkeeping. Independent control-plane ops on distinct blocks hash
+// to distinct stripes and never contend.
+const ownerShardCount = 16
+
+// ownerShard is one stripe of the recvOwners map. byKey is the reverse
+// (owner,key)→handle-count index that makes HostsRemoteKey O(shards) instead
+// of O(blocks) under the old single big lock.
+type ownerShard struct {
+	mu    sync.Mutex
+	refs  map[slab.Handle]ownerRef
+	byKey map[ownerRef]int
+}
+
+// ownerShardIdx stripes a handle to its owner shard.
+func ownerShardIdx(h slab.Handle) int {
+	x := uint64(uint32(h.SlabID))<<32 | uint64(uint32(h.Offset))
+	x *= 0x9E3779B97F4A7C15
+	x ^= x >> 32
+	return int(x % ownerShardCount)
+}
+
+// nodeCounters holds the node's activity counters as atomics, so hot paths
+// bump them without any lock.
+type nodeCounters struct {
+	sharedPuts     atomic.Int64
+	remotePuts     atomic.Int64
+	sharedGets     atomic.Int64
+	remoteGets     atomic.Int64
+	remoteAllocs   atomic.Int64
+	evictedBlocks  atomic.Int64
+	repairsDone    atomic.Int64
+	balloonedBytes atomic.Int64
+}
+
 // Node is one physical machine's disaggregated memory manager.
+//
+// Locking is decomposed so independent ops on distinct blocks proceed in
+// parallel end to end (see DESIGN.md §11): the slab pools shard internally,
+// owner bookkeeping is striped across ownerShardCount stripes, the
+// rarely-written virtual-server registry sits behind an RWMutex, the repair
+// queue behind its own mutex, and counters are atomics. No lock here is ever
+// held across a transport call.
 type Node struct {
 	cfg Config
 	ep  transport.Endpoint
@@ -119,13 +175,18 @@ type Node struct {
 	remote   *remoteStore
 	balancer placement.Balancer
 
-	mu             sync.Mutex
-	vservers       map[string]*VirtualServer
-	vsByIndex      []*VirtualServer
-	recvOwners     map[slab.Handle]ownerRef
+	// vsMu guards the virtual-server registry (written only by AddServer and
+	// SetBalloonCallback; read on every key resolution).
+	vsMu      sync.RWMutex
+	vservers  map[string]*VirtualServer
+	vsByIndex []*VirtualServer
+
+	owners [ownerShardCount]ownerShard
+
+	repairMu       sync.Mutex
 	pendingRepairs []pendingRepair
 
-	stats NodeStats
+	counters nodeCounters
 
 	reg     *metrics.Registry // core request-path instrumentation
 	replReg *metrics.Registry // replication protocol instrumentation
@@ -133,6 +194,62 @@ type Node struct {
 
 	treeMu sync.Mutex
 	tree   *metrics.Tree // optional: the process-wide tree served over opMetrics
+}
+
+// addOwner records who parked h in the receive pool.
+func (n *Node) addOwner(h slab.Handle, ref ownerRef) {
+	sh := &n.owners[ownerShardIdx(h)]
+	sh.mu.Lock()
+	sh.refs[h] = ref
+	sh.byKey[ref]++
+	sh.mu.Unlock()
+}
+
+// takeOwner removes and returns the owner record for h, if any.
+func (n *Node) takeOwner(h slab.Handle) (ownerRef, bool) {
+	sh := &n.owners[ownerShardIdx(h)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ref, ok := sh.refs[h]
+	if !ok {
+		return ownerRef{}, false
+	}
+	delete(sh.refs, h)
+	if sh.byKey[ref]--; sh.byKey[ref] <= 0 {
+		delete(sh.byKey, ref)
+	}
+	return ref, true
+}
+
+// takeOwners removes the owner records for a batch of handles, taking each
+// stripe's lock at most once, and returns the refs that were present.
+func (n *Node) takeOwners(handles []slab.Handle) []ownerRef {
+	var byShard [ownerShardCount][]slab.Handle
+	for _, h := range handles {
+		i := ownerShardIdx(h)
+		byShard[i] = append(byShard[i], h)
+	}
+	refs := make([]ownerRef, 0, len(handles))
+	for i := range byShard {
+		if len(byShard[i]) == 0 {
+			continue
+		}
+		sh := &n.owners[i]
+		sh.mu.Lock()
+		for _, h := range byShard[i] {
+			ref, ok := sh.refs[h]
+			if !ok {
+				continue
+			}
+			delete(sh.refs, h)
+			if sh.byKey[ref]--; sh.byKey[ref] <= 0 {
+				delete(sh.byKey, ref)
+			}
+			refs = append(refs, ref)
+		}
+		sh.mu.Unlock()
+	}
+	return refs
 }
 
 // coreMetrics pre-binds the request-path instruments so hot paths never take
@@ -204,15 +321,20 @@ func NewNode(cfg Config, ep transport.Endpoint, dir *cluster.Directory) (*Node, 
 	if err != nil {
 		return nil, fmt.Errorf("core: register receive region: %w", err)
 	}
-	recv, err := slab.NewPoolOver(fmt.Sprintf("node%d.recv", cfg.ID), recvBuf, slab.WithSlabSize(cfg.SlabSize))
+	shards := cfg.PoolShards
+	if shards == 0 {
+		shards = DefaultPoolShards
+	}
+	poolOpts := []slab.Option{slab.WithSlabSize(cfg.SlabSize), slab.WithShards(shards)}
+	recv, err := slab.NewPoolOver(fmt.Sprintf("node%d.recv", cfg.ID), recvBuf, poolOpts...)
 	if err != nil {
 		return nil, err
 	}
-	shared, err := slab.NewPool(fmt.Sprintf("node%d.shared", cfg.ID), cfg.SharedPoolBytes, slab.WithSlabSize(cfg.SlabSize))
+	shared, err := slab.NewPool(fmt.Sprintf("node%d.shared", cfg.ID), cfg.SharedPoolBytes, poolOpts...)
 	if err != nil {
 		return nil, err
 	}
-	send, err := slab.NewPool(fmt.Sprintf("node%d.send", cfg.ID), cfg.SendPoolBytes, slab.WithSlabSize(cfg.SlabSize))
+	send, err := slab.NewPool(fmt.Sprintf("node%d.send", cfg.ID), cfg.SendPoolBytes, poolOpts...)
 	if err != nil {
 		return nil, err
 	}
@@ -221,18 +343,21 @@ func NewNode(cfg Config, ep transport.Endpoint, dir *cluster.Directory) (*Node, 
 		balancer = placement.NewPowerOfTwo(int64(cfg.ID) + 1)
 	}
 	n := &Node{
-		cfg:        cfg,
-		ep:         ep,
-		dir:        dir,
-		shared:     shared,
-		send:       send,
-		recv:       recv,
-		recvBuf:    recvBuf,
-		balancer:   balancer,
-		vservers:   map[string]*VirtualServer{},
-		recvOwners: map[slab.Handle]ownerRef{},
-		reg:        metrics.NewRegistry(fmt.Sprintf("core/node-%d", cfg.ID)),
-		replReg:    metrics.NewRegistry(fmt.Sprintf("replication/node-%d", cfg.ID)),
+		cfg:      cfg,
+		ep:       ep,
+		dir:      dir,
+		shared:   shared,
+		send:     send,
+		recv:     recv,
+		recvBuf:  recvBuf,
+		balancer: balancer,
+		vservers: map[string]*VirtualServer{},
+		reg:      metrics.NewRegistry(fmt.Sprintf("core/node-%d", cfg.ID)),
+		replReg:  metrics.NewRegistry(fmt.Sprintf("replication/node-%d", cfg.ID)),
+	}
+	for i := range n.owners {
+		n.owners[i].refs = map[slab.Handle]ownerRef{}
+		n.owners[i].byKey = map[ownerRef]int{}
 	}
 	n.met = newCoreMetrics(n.reg)
 	n.met.recvFreeBytes.Set(recv.FreeBytes())
@@ -265,11 +390,19 @@ func (n *Node) SendPool() *slab.Pool { return n.send }
 // RecvPool exposes the receive buffer pool donated to the cluster.
 func (n *Node) RecvPool() *slab.Pool { return n.recv }
 
-// Stats returns a copy of the node's counters.
+// Stats returns a snapshot of the node's counters. The counters are atomics;
+// the snapshot is a racy-but-monotonic composite under concurrent traffic.
 func (n *Node) Stats() NodeStats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.stats
+	return NodeStats{
+		SharedPuts:     n.counters.sharedPuts.Load(),
+		RemotePuts:     n.counters.remotePuts.Load(),
+		SharedGets:     n.counters.sharedGets.Load(),
+		RemoteGets:     n.counters.remoteGets.Load(),
+		RemoteAllocs:   n.counters.remoteAllocs.Load(),
+		EvictedBlocks:  n.counters.evictedBlocks.Load(),
+		RepairsDone:    n.counters.repairsDone.Load(),
+		BalloonedBytes: n.counters.balloonedBytes.Load(),
+	}
 }
 
 // Metrics exposes the node's request-path instrumentation (puts, gets,
@@ -304,8 +437,8 @@ func (n *Node) metricsText() string {
 // is informational (the shared pool was sized from the aggregate donations
 // at cluster initialization, §IV.F).
 func (n *Node) AddServer(name string, donationBytes int64) (*VirtualServer, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.vsMu.Lock()
+	defer n.vsMu.Unlock()
 	if _, ok := n.vservers[name]; ok {
 		return nil, fmt.Errorf("core: virtual server %q already registered", name)
 	}
@@ -326,8 +459,8 @@ func (n *Node) AddServer(name string, donationBytes int64) (*VirtualServer, erro
 
 // Server returns the named virtual server.
 func (n *Node) Server(name string) (*VirtualServer, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.vsMu.RLock()
+	defer n.vsMu.RUnlock()
 	vs, ok := n.vservers[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownServer, name)
@@ -487,9 +620,11 @@ func (n *Node) handleCall(ctx context.Context, from transport.NodeID, payload []
 	}
 }
 
-// handleAlloc reserves a receive-pool block for a remote owner (RDMS).
+// handleAlloc reserves a receive-pool block for a remote owner (RDMS). The
+// entry key stripes the allocation across pool shards, so concurrent allocs
+// for distinct keys take distinct locks even within one size class.
 func (n *Node) handleAlloc(from transport.NodeID, req allocReq) []byte {
-	h, err := n.recv.Alloc(int(req.Class))
+	h, err := n.recv.AllocHint(int(req.Class), req.Key)
 	if err != nil {
 		if errors.Is(err, slab.ErrNoSpace) {
 			return noSpaceResp()
@@ -501,10 +636,8 @@ func (n *Node) handleAlloc(from transport.NodeID, req allocReq) []byte {
 		_ = n.recv.Free(h)
 		return errorResp(err)
 	}
-	n.mu.Lock()
-	n.recvOwners[h] = ownerRef{owner: from, key: req.Key}
-	n.stats.RemoteAllocs++
-	n.mu.Unlock()
+	n.addOwner(h, ownerRef{owner: from, key: req.Key})
+	n.counters.remoteAllocs.Add(1)
 	n.met.remoteAllocs.Inc()
 	n.met.recvFreeBytes.Set(n.recv.FreeBytes())
 	return encodeAllocResp(allocResp{Offset: off})
@@ -523,8 +656,12 @@ func (n *Node) handleAllocBatch(from transport.NodeID, entries []batchAllocEntry
 			_ = n.recv.Free(h)
 		}
 	}
+	// The whole window stripes to the first entry's shard so a fresh batch
+	// allocation stays contiguous in the region — the layout span coalescing
+	// on the client data plane relies on.
+	hint := entries[0].Key
 	for _, e := range entries {
-		h, err := n.recv.Alloc(int(e.Class))
+		h, err := n.recv.AllocHint(int(e.Class), hint)
 		if err != nil {
 			rollback()
 			n.met.batchAllocAborts.Inc()
@@ -543,12 +680,10 @@ func (n *Node) handleAllocBatch(from transport.NodeID, entries []batchAllocEntry
 		handles = append(handles, h)
 		offsets = append(offsets, off)
 	}
-	n.mu.Lock()
 	for i, h := range handles {
-		n.recvOwners[h] = ownerRef{owner: from, key: entries[i].Key}
+		n.addOwner(h, ownerRef{owner: from, key: entries[i].Key})
 	}
-	n.stats.RemoteAllocs += int64(len(handles))
-	n.mu.Unlock()
+	n.counters.remoteAllocs.Add(int64(len(handles)))
 	n.met.batchAllocs.Inc()
 	n.met.batchAllocEntries.Add(int64(len(handles)))
 	n.met.remoteAllocs.Add(int64(len(handles)))
@@ -557,33 +692,51 @@ func (n *Node) handleAllocBatch(from transport.NodeID, entries []batchAllocEntry
 }
 
 // handleFreeBatch releases a run of receive-pool blocks in one round trip.
-// Like opFree, freeing an already-evicted block is not an error.
+// Like opFree, freeing an already-evicted block is not an error, and
+// duplicate offsets within one batch collapse to a single free. Every entry
+// is processed even if one fails mid-batch — the first error is reported
+// after the rest have been freed, so a partial failure can never strand the
+// remaining blocks — and the owner bookkeeping takes each stripe's lock at
+// most once per batch instead of once per entry.
 func (n *Node) handleFreeBatch(entries []batchFreeEntry) []byte {
+	handles := make([]slab.Handle, 0, len(entries))
+	seen := make(map[slab.Handle]bool, len(entries))
 	for _, e := range entries {
 		h, err := n.recv.HandleAt(e.Offset)
-		if err != nil {
+		if err != nil || seen[h] {
+			// Already evicted (or repeated in this batch): not an error.
 			continue
 		}
-		n.mu.Lock()
-		delete(n.recvOwners, h)
-		n.mu.Unlock()
-		if err := n.recv.Free(h); err != nil {
-			return errorResp(err)
+		seen[h] = true
+		handles = append(handles, h)
+	}
+	n.takeOwners(handles)
+	var firstErr error
+	for _, h := range handles {
+		if err := n.recv.Free(h); err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
 	n.met.batchFrees.Inc()
 	n.met.recvFreeBytes.Set(n.recv.FreeBytes())
+	if firstErr != nil {
+		return errorResp(firstErr)
+	}
 	return okResp()
 }
 
 // HostsRemoteKey reports whether this node currently hosts a receive-pool
 // block that owner parked under key. The chaos invariant checkers use it to
-// prove that aborted writes and batches leave no stranded copies behind.
+// prove that aborted writes and batches leave no stranded copies behind. The
+// reverse (owner,key) index makes this O(stripes), not O(blocks).
 func (n *Node) HostsRemoteKey(owner transport.NodeID, key uint64) bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	for _, ref := range n.recvOwners {
-		if ref.owner == owner && ref.key == key {
+	ref := ownerRef{owner: owner, key: key}
+	for i := range n.owners {
+		sh := &n.owners[i]
+		sh.mu.Lock()
+		hosted := sh.byKey[ref] > 0
+		sh.mu.Unlock()
+		if hosted {
 			return true
 		}
 	}
@@ -598,9 +751,7 @@ func (n *Node) handleFree(req freeReq) []byte {
 		// failure semantics match local free of a gone page).
 		return okResp()
 	}
-	n.mu.Lock()
-	delete(n.recvOwners, h)
-	n.mu.Unlock()
+	n.takeOwner(h)
 	if err := n.recv.Free(h); err != nil {
 		return errorResp(err)
 	}
@@ -611,9 +762,9 @@ func (n *Node) handleFree(req freeReq) []byte {
 // next Maintain pass re-establishes the replication factor.
 func (n *Node) handleEvicted(from transport.NodeID, req evictedReq) {
 	n.remote.drop(from, req.Key)
-	n.mu.Lock()
+	n.repairMu.Lock()
 	n.pendingRepairs = append(n.pendingRepairs, pendingRepair{key: req.Key, lost: from})
-	n.mu.Unlock()
+	n.repairMu.Unlock()
 }
 
 // EvictRecvSlabs preemptively deregisters receive-pool slabs until at least
@@ -622,6 +773,12 @@ func (n *Node) handleEvicted(from transport.NodeID, req evictedReq) {
 // blocks are notified over the control plane so they can re-replicate.
 func (n *Node) EvictRecvSlabs(ctx context.Context, wantBytes int64) (int64, error) {
 	var reclaimed int64
+	// Several evicted blocks — within one slab or across slabs evicted by
+	// successive LRU passes — can be parked under the same (owner,key):
+	// replicated windows and re-replication both land that way. Dedup across
+	// the whole call so each owner hears about a key once, and a node
+	// evicting its own parked blocks queues exactly one repair per key.
+	notified := map[ownerRef]bool{}
 	for reclaimed < wantBytes {
 		victims, err := n.recv.EvictLRU()
 		if err != nil {
@@ -631,18 +788,14 @@ func (n *Node) EvictRecvSlabs(ctx context.Context, wantBytes int64) (int64, erro
 			return reclaimed, err
 		}
 		reclaimed += int64(n.cfg.SlabSize)
-		owners := make([]ownerRef, 0, len(victims))
-		n.mu.Lock()
-		for _, h := range victims {
-			if ref, ok := n.recvOwners[h]; ok {
-				owners = append(owners, ref)
-				delete(n.recvOwners, h)
-			}
-			n.stats.EvictedBlocks++
-			n.met.evictedBlocks.Inc()
-		}
-		n.mu.Unlock()
+		owners := n.takeOwners(victims)
+		n.counters.evictedBlocks.Add(int64(len(victims)))
+		n.met.evictedBlocks.Add(int64(len(victims)))
 		for _, ref := range owners {
+			if notified[ref] {
+				continue
+			}
+			notified[ref] = true
 			if ref.owner == n.cfg.ID {
 				n.handleEvicted(n.cfg.ID, evictedReq{Key: ref.key})
 				continue
@@ -665,17 +818,17 @@ func (n *Node) EvictRecvSlabs(ctx context.Context, wantBytes int64) (int64, erro
 // pass restore the replication factor. It returns the number of entries
 // queued.
 func (n *Node) RepairLost(lost transport.NodeID) int {
-	n.mu.Lock()
+	n.vsMu.RLock()
 	servers := append([]*VirtualServer(nil), n.vsByIndex...)
-	n.mu.Unlock()
+	n.vsMu.RUnlock()
 	queued := 0
 	for _, vs := range servers {
 		for _, id := range vs.table.EntriesOnNode(pagetable.NodeID(lost)) {
 			key := vs.key(id)
 			n.remote.drop(lost, key)
-			n.mu.Lock()
+			n.repairMu.Lock()
 			n.pendingRepairs = append(n.pendingRepairs, pendingRepair{key: key, lost: lost})
-			n.mu.Unlock()
+			n.repairMu.Unlock()
 			queued++
 		}
 	}
@@ -698,10 +851,10 @@ const maxParallelRepairs = 8
 // same entry are deferred to the next pass so no two concurrent repairs
 // touch one entry.
 func (n *Node) Maintain(ctx context.Context) (repaired int, firstErr error) {
-	n.mu.Lock()
+	n.repairMu.Lock()
 	pending := n.pendingRepairs
 	n.pendingRepairs = nil
-	n.mu.Unlock()
+	n.repairMu.Unlock()
 	var batch, deferred []pendingRepair
 	seen := map[uint64]bool{}
 	for _, p := range pending {
@@ -742,10 +895,10 @@ func (n *Node) Maintain(ctx context.Context) (repaired int, firstErr error) {
 		}
 		repaired++
 	}
-	n.mu.Lock()
+	n.repairMu.Lock()
 	n.pendingRepairs = append(n.pendingRepairs, failed...)
-	n.stats.RepairsDone += int64(repaired)
-	n.mu.Unlock()
+	n.repairMu.Unlock()
+	n.counters.repairsDone.Add(int64(repaired))
 	n.met.repairsDone.Add(int64(repaired))
 	return repaired, firstErr
 }
@@ -785,8 +938,8 @@ func (n *Node) repairEntry(ctx context.Context, p pendingRepair) error {
 // resolveKey splits a wire key into its virtual server and entry ID.
 func (n *Node) resolveKey(key uint64) (*VirtualServer, pagetable.EntryID, error) {
 	idx := int(key >> 48)
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.vsMu.RLock()
+	defer n.vsMu.RUnlock()
 	if idx >= len(n.vsByIndex) {
 		return nil, 0, fmt.Errorf("%w: index %d", ErrUnknownServer, idx)
 	}
@@ -806,10 +959,10 @@ func (n *Node) BalloonToServer(name string, wantBytes int64) (int64, error) {
 	if moved == 0 {
 		return 0, nil
 	}
-	n.mu.Lock()
-	n.stats.BalloonedBytes += moved
+	n.counters.balloonedBytes.Add(moved)
+	n.vsMu.RLock()
 	cb := vs.onBalloon
-	n.mu.Unlock()
+	n.vsMu.RUnlock()
 	if cb != nil {
 		cb(moved)
 	}

@@ -94,7 +94,7 @@ func (e *PolicyEngine) Evaluate(ctx context.Context) (PolicyActions, error) {
 	e.mu.Lock()
 	remoteDelta := st.RemotePuts - e.lastRemotePuts
 	e.lastRemotePuts = st.RemotePuts
-	e.node.mu.Lock()
+	e.node.vsMu.RLock()
 	type serverPuts struct {
 		name string
 		puts int64
@@ -103,7 +103,7 @@ func (e *PolicyEngine) Evaluate(ctx context.Context) (PolicyActions, error) {
 	for name, vs := range e.node.vservers {
 		servers = append(servers, serverPuts{name: name, puts: vs.putCount.Load()})
 	}
-	e.node.mu.Unlock()
+	e.node.vsMu.RUnlock()
 	deltas := map[string]int64{}
 	for _, s := range servers {
 		deltas[s.name] = s.puts - e.lastServerPuts[s.name]

@@ -48,9 +48,9 @@ func (vs *VirtualServer) Table() *pagetable.Table { return vs.table }
 // SetBalloonCallback installs the function invoked when the node manager
 // balloons memory back to this server.
 func (vs *VirtualServer) SetBalloonCallback(fn func(bytes int64)) {
-	vs.node.mu.Lock()
+	vs.node.vsMu.Lock()
 	vs.onBalloon = fn
-	vs.node.mu.Unlock()
+	vs.node.vsMu.Unlock()
 }
 
 func (vs *VirtualServer) key(id pagetable.EntryID) uint64 {
@@ -89,9 +89,7 @@ func (vs *VirtualServer) PutShared(id pagetable.EntryID, data []byte, class, raw
 		StoredSize: class,
 		RawSize:    rawSize,
 	})
-	vs.node.mu.Lock()
-	vs.node.stats.SharedPuts++
-	vs.node.mu.Unlock()
+	vs.node.counters.sharedPuts.Add(1)
 	vs.node.met.sharedPuts.Inc()
 	vs.putCount.Add(1)
 	return nil
@@ -137,9 +135,7 @@ func (vs *VirtualServer) PutRemote(ctx context.Context, id pagetable.EntryID, da
 		loc.Replicas = append(loc.Replicas, pagetable.NodeID(n))
 	}
 	vs.table.Put(id, loc)
-	vs.node.mu.Lock()
-	vs.node.stats.RemotePuts++
-	vs.node.mu.Unlock()
+	vs.node.counters.remotePuts.Add(1)
 	vs.node.met.remotePuts.Inc()
 	vs.node.met.remotePutLatency.Observe(trace.Now(ctx) - start)
 	vs.putCount.Add(1)
@@ -182,9 +178,7 @@ func (vs *VirtualServer) Get(ctx context.Context, id pagetable.EntryID) ([]byte,
 			sp.Annotate("err", err)
 			return nil, loc, err
 		}
-		vs.node.mu.Lock()
-		vs.node.stats.SharedGets++
-		vs.node.mu.Unlock()
+		vs.node.counters.sharedGets.Add(1)
 		vs.node.met.sharedGets.Inc()
 		return data, loc, nil
 	case pagetable.TierRemote:
@@ -194,9 +188,7 @@ func (vs *VirtualServer) Get(ctx context.Context, id pagetable.EntryID) ([]byte,
 			sp.Annotate("err", err)
 			return nil, loc, err
 		}
-		vs.node.mu.Lock()
-		vs.node.stats.RemoteGets++
-		vs.node.mu.Unlock()
+		vs.node.counters.remoteGets.Add(1)
 		vs.node.met.remoteGets.Inc()
 		vs.node.met.remoteGetLatency.Observe(trace.Now(ctx) - start)
 		return data, loc, nil
@@ -224,18 +216,14 @@ func (vs *VirtualServer) GetAt(ctx context.Context, id pagetable.EntryID, off, n
 		if err != nil {
 			return nil, err
 		}
-		vs.node.mu.Lock()
-		vs.node.stats.SharedGets++
-		vs.node.mu.Unlock()
+		vs.node.counters.sharedGets.Add(1)
 		return data, nil
 	case pagetable.TierRemote:
 		data, err := vs.node.remote.getAt(ctx, locationNodes(loc), vs.key(id), off, n)
 		if err != nil {
 			return nil, err
 		}
-		vs.node.mu.Lock()
-		vs.node.stats.RemoteGets++
-		vs.node.mu.Unlock()
+		vs.node.counters.remoteGets.Add(1)
 		return data, nil
 	default:
 		return nil, fmt.Errorf("core: entry %d is on tier %v, not managed here", id, loc.Tier)

@@ -21,6 +21,7 @@ func NewPoolOver(name string, buf []byte, opts ...Option) (*Pool, error) {
 		return nil, fmt.Errorf("slab: backing buffer of %d bytes is not a positive multiple of slab size %d", len(buf), p.slabSize)
 	}
 	p.backing = buf
+	p.baseSlab = map[int]int{}
 	return p, nil
 }
 
@@ -28,12 +29,16 @@ func NewPoolOver(name string, buf []byte, opts ...Option) (*Pool, error) {
 // its block within the backing buffer, the address a remote peer uses for
 // one-sided access.
 func (p *Pool) GlobalOffset(h Handle) (int64, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.backing == nil {
 		return 0, fmt.Errorf("slab: pool %s has no backing buffer", p.name)
 	}
-	s, err := p.validate(h)
+	sh, err := p.shardOf(h)
+	if err != nil {
+		return 0, err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s, err := sh.validate(h)
 	if err != nil {
 		return 0, err
 	}
@@ -42,23 +47,34 @@ func (p *Pool) GlobalOffset(h Handle) (int64, error) {
 
 // HandleAt reverse-maps a global offset in the backing buffer to the live
 // handle covering it, as needed when a remote peer names a block by offset.
+// The base→slab index makes this O(1) regardless of slab count.
 func (p *Pool) HandleAt(globalOff int64) (Handle, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.backing == nil {
 		return Handle{}, fmt.Errorf("slab: pool %s has no backing buffer", p.name)
 	}
-	for _, s := range p.slabs {
-		base := int64(s.base)
-		if globalOff < base || globalOff >= base+int64(p.slabSize) {
-			continue
-		}
-		off := int(globalOff - base)
-		off -= off % s.class
-		if !s.live[off] {
-			return Handle{}, fmt.Errorf("%w: offset %d not allocated", ErrBadHandle, globalOff)
-		}
-		return Handle{SlabID: s.id, Offset: off, Class: s.class}, nil
+	if globalOff < 0 || globalOff >= int64(len(p.backing)) {
+		return Handle{}, fmt.Errorf("%w: offset %d outside any slab", ErrBadHandle, globalOff)
 	}
-	return Handle{}, fmt.Errorf("%w: offset %d outside any slab", ErrBadHandle, globalOff)
+	base := int(globalOff) - int(globalOff)%p.slabSize
+	p.baseMu.Lock()
+	id, ok := p.baseSlab[base]
+	p.baseMu.Unlock()
+	if !ok {
+		return Handle{}, fmt.Errorf("%w: offset %d outside any slab", ErrBadHandle, globalOff)
+	}
+	sh := p.shards[id%len(p.shards)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s, ok := sh.slabs[id]
+	if !ok || s.base != base {
+		// The slab was dropped (and possibly its base re-issued) between the
+		// index lookup and taking its shard lock.
+		return Handle{}, fmt.Errorf("%w: offset %d outside any slab", ErrBadHandle, globalOff)
+	}
+	off := int(globalOff) - base
+	off -= off % s.class
+	if !s.live[off] {
+		return Handle{}, fmt.Errorf("%w: offset %d not allocated", ErrBadHandle, globalOff)
+	}
+	return Handle{SlabID: s.id, Offset: off, Class: s.class}, nil
 }

@@ -9,6 +9,15 @@
 // preemptive deregistration when a node reclaims donated memory, returning
 // the still-live blocks so the caller can relocate them (to another node or
 // to disk) before the region disappears.
+//
+// A pool is internally sharded (WithShards): each shard owns a disjoint set
+// of slabs under its own mutex, so operations on blocks in different shards
+// never contend. The shard for an allocation is striped by hashing the size
+// class together with the caller's hint (typically the entry key), while the
+// pool-wide byte budget is enforced with a lock-free reservation, so the
+// capacity behaviour — an allocation fails only when no shard holds a free
+// block of the class and the budget cannot register another slab — is
+// identical to a single-shard pool.
 package slab
 
 import (
@@ -16,6 +25,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Sentinel errors.
@@ -31,6 +41,10 @@ var (
 
 // DefaultSlabSize is 1 MiB, matching common RDMA registration granularity.
 const DefaultSlabSize = 1 << 20
+
+// maxShards bounds WithShards; beyond this the per-shard fixed cost
+// outweighs any contention win.
+const maxShards = 256
 
 // Handle identifies one allocated block.
 type Handle struct {
@@ -49,80 +63,192 @@ type slabRegion struct {
 	lastUse  int64
 }
 
-// Pool is a concurrency-safe slab allocator with a fixed byte budget.
-type Pool struct {
-	mu         sync.Mutex
-	name       string
-	slabSize   int
-	maxBytes   int64
-	tick       int64
-	nextSlabID int
-	slabs      map[int]*slabRegion
+// shard is one lock domain of the pool. Slab IDs encode their shard
+// (id % shards == shard index), so any handle maps to its lock in O(1).
+type shard struct {
+	idx int
+
+	mu          sync.Mutex
+	nextLocalID int
+	slabs       map[int]*slabRegion
 	// partial[class] lists slabs of that class with at least one free block.
 	partial map[int]map[int]*slabRegion
+}
+
+// Pool is a concurrency-safe, sharded slab allocator with a fixed byte
+// budget. Independent operations on blocks in different shards proceed in
+// parallel; the budget is a pool-wide atomic.
+type Pool struct {
+	name     string
+	slabSize int
+	shards   []*shard
+
+	// maxBytes is the byte budget; registeredBytes the bytes currently held
+	// in registered slabs. registeredBytes is reserved with a CAS loop
+	// before a slab is created, so it never exceeds maxBytes and never goes
+	// negative, without any pool-wide lock.
+	maxBytes        atomic.Int64
+	registeredBytes atomic.Int64
+
+	// tick is the pool-wide logical clock ordering slabs for LRU eviction.
+	tick atomic.Int64
+
+	registrations   atomic.Int64
+	deregistrations atomic.Int64
 
 	// backing, when non-nil, is the contiguous buffer slabs are carved from
-	// (see NewPoolOver); freeBases recycles slab slots after eviction.
+	// (see NewPoolOver). baseMu is a leaf lock (acquired, if at all, inside
+	// a shard lock) guarding base-slot recycling and the base→slab index
+	// that makes HandleAt O(1).
 	backing   []byte
+	baseMu    sync.Mutex
 	freeBases []int
 	nextBase  int
-
-	registrations   int64
-	deregistrations int64
+	baseSlab  map[int]int // slab base offset -> slab id
 }
 
 // Option configures a Pool.
-type Option func(*Pool)
+type Option func(*poolConfig)
+
+type poolConfig struct {
+	slabSize int
+	shards   int
+}
 
 // WithSlabSize overrides the slab size in bytes (must be positive).
 func WithSlabSize(n int) Option {
-	return func(p *Pool) { p.slabSize = n }
+	return func(c *poolConfig) { c.slabSize = n }
+}
+
+// WithShards splits the pool into n independently locked shards (default 1,
+// which reproduces the single-lock allocator exactly). Striping is by size
+// class and allocation hint, so it is deterministic for a given workload.
+func WithShards(n int) Option {
+	return func(c *poolConfig) { c.shards = n }
 }
 
 // NewPool returns a pool named name limited to maxBytes of registered memory.
 func NewPool(name string, maxBytes int64, opts ...Option) (*Pool, error) {
-	p := &Pool{
-		name:     name,
-		slabSize: DefaultSlabSize,
-		maxBytes: maxBytes,
-		slabs:    map[int]*slabRegion{},
-		partial:  map[int]map[int]*slabRegion{},
-	}
+	cfg := poolConfig{slabSize: DefaultSlabSize, shards: 1}
 	for _, o := range opts {
-		o(p)
+		o(&cfg)
 	}
-	if p.slabSize <= 0 {
-		return nil, fmt.Errorf("slab: slab size %d must be positive", p.slabSize)
+	if cfg.slabSize <= 0 {
+		return nil, fmt.Errorf("slab: slab size %d must be positive", cfg.slabSize)
+	}
+	if cfg.shards < 1 || cfg.shards > maxShards {
+		return nil, fmt.Errorf("slab: shard count %d out of range [1, %d]", cfg.shards, maxShards)
 	}
 	if maxBytes < 0 {
 		return nil, fmt.Errorf("slab: max bytes %d must be non-negative", maxBytes)
 	}
+	p := &Pool{
+		name:     name,
+		slabSize: cfg.slabSize,
+		shards:   make([]*shard, cfg.shards),
+	}
+	for i := range p.shards {
+		p.shards[i] = &shard{
+			idx:     i,
+			slabs:   map[int]*slabRegion{},
+			partial: map[int]map[int]*slabRegion{},
+		}
+	}
+	p.maxBytes.Store(maxBytes)
 	return p, nil
 }
 
 // Name returns the pool name.
 func (p *Pool) Name() string { return p.name }
 
+// Shards returns the number of lock shards.
+func (p *Pool) Shards() int { return len(p.shards) }
+
+// shardFor stripes an allocation to a shard by size class and hint. The
+// result depends only on (class, hint), never on timing, so simulated runs
+// stay deterministic.
+func (p *Pool) shardFor(class int, hint uint64) int {
+	if len(p.shards) == 1 {
+		return 0
+	}
+	h := uint64(class)*0x9E3779B97F4A7C15 ^ hint*0xBF58476D1CE4E5B9
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 29
+	return int(h % uint64(len(p.shards)))
+}
+
+// shardOf maps a handle to the shard owning its slab.
+func (p *Pool) shardOf(h Handle) (*shard, error) {
+	if h.SlabID < 0 {
+		return nil, fmt.Errorf("%w: slab %d not registered", ErrBadHandle, h.SlabID)
+	}
+	return p.shards[h.SlabID%len(p.shards)], nil
+}
+
 // Alloc claims one block of the given size class. class must be positive and
 // no larger than the slab size.
 func (p *Pool) Alloc(class int) (Handle, error) {
+	return p.AllocHint(class, 0)
+}
+
+// AllocHint is Alloc with a striping hint: allocations with different hints
+// (typically the entry key) spread across shards even within one size class,
+// so concurrent allocators contend only when they hash to the same shard.
+// Capacity is pool-wide: if the home shard has no free block and the budget
+// is spent, every other shard is tried before reporting ErrNoSpace.
+func (p *Pool) AllocHint(class int, hint uint64) (Handle, error) {
 	if class <= 0 || class > p.slabSize {
 		return Handle{}, fmt.Errorf("slab: class %d out of range (0, %d]", class, p.slabSize)
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.tick++
+	tick := p.tick.Add(1)
+	home := p.shardFor(class, hint)
+	if h, ok := p.allocIn(p.shards[home], class, tick, true); ok {
+		return h, nil
+	}
+	// The home shard had no free block and could not register a new slab.
+	// Fall back to any shard with a partial slab of this class so the pool
+	// never fails while a compatible free block exists anywhere.
+	for i := range p.shards {
+		if i == home {
+			continue
+		}
+		if h, ok := p.allocIn(p.shards[i], class, tick, false); ok {
+			return h, nil
+		}
+	}
+	return Handle{}, fmt.Errorf("%w: %s at %d bytes", ErrNoSpace, p.name, p.maxBytes.Load())
+}
 
-	if set := p.partial[class]; len(set) > 0 {
-		s := minIDSlab(set)
-		return p.takeBlock(s), nil
+// allocIn tries to take a block of class from sh, registering a fresh slab
+// (if mayRegister and the budget allows) when no partial slab exists.
+func (p *Pool) allocIn(sh *shard, class int, tick int64, mayRegister bool) (Handle, bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if set := sh.partial[class]; len(set) > 0 {
+		return p.takeBlock(sh, minIDSlab(set), tick), true
 	}
-	// Need a fresh slab: register one if the budget allows.
-	if int64(len(p.slabs)+1)*int64(p.slabSize) > p.maxBytes {
-		return Handle{}, fmt.Errorf("%w: %s at %d bytes", ErrNoSpace, p.name, p.maxBytes)
+	if !mayRegister || !p.reserveSlabBudget() {
+		return Handle{}, false
 	}
-	s := p.registerSlab(class)
-	return p.takeBlock(s), nil
+	s := p.registerSlab(sh, class)
+	return p.takeBlock(sh, s, tick), true
+}
+
+// reserveSlabBudget claims slabSize bytes of the pool budget, or reports
+// false when the budget is spent. The CAS loop means registeredBytes can
+// never overshoot maxBytes, even transiently.
+func (p *Pool) reserveSlabBudget() bool {
+	n := int64(p.slabSize)
+	for {
+		cur := p.registeredBytes.Load()
+		if cur+n > p.maxBytes.Load() {
+			return false
+		}
+		if p.registeredBytes.CompareAndSwap(cur, cur+n) {
+			return true
+		}
+	}
 }
 
 // minIDSlab picks the lowest-ID slab for deterministic allocation order.
@@ -136,9 +262,11 @@ func minIDSlab(set map[int]*slabRegion) *slabRegion {
 	return set[best]
 }
 
-func (p *Pool) registerSlab(class int) *slabRegion {
-	id := p.nextSlabID
-	p.nextSlabID++
+// registerSlab creates a slab in sh. Caller holds sh.mu and has already
+// reserved the budget.
+func (p *Pool) registerSlab(sh *shard, class int) *slabRegion {
+	id := sh.nextLocalID*len(p.shards) + sh.idx
+	sh.nextLocalID++
 	blocks := p.slabSize / class
 	s := &slabRegion{
 		id:    id,
@@ -146,6 +274,7 @@ func (p *Pool) registerSlab(class int) *slabRegion {
 		live:  make(map[int]bool, blocks),
 	}
 	if p.backing != nil {
+		p.baseMu.Lock()
 		if len(p.freeBases) > 0 {
 			s.base = p.freeBases[len(p.freeBases)-1]
 			p.freeBases = p.freeBases[:len(p.freeBases)-1]
@@ -153,6 +282,8 @@ func (p *Pool) registerSlab(class int) *slabRegion {
 			s.base = p.nextBase
 			p.nextBase += p.slabSize
 		}
+		p.baseSlab[s.base] = id
+		p.baseMu.Unlock()
 		s.buf = p.backing[s.base : s.base+p.slabSize]
 	} else {
 		s.buf = make([]byte, p.slabSize)
@@ -160,45 +291,51 @@ func (p *Pool) registerSlab(class int) *slabRegion {
 	for i := blocks - 1; i >= 0; i-- {
 		s.freeOffs = append(s.freeOffs, i*class)
 	}
-	p.slabs[id] = s
-	if p.partial[class] == nil {
-		p.partial[class] = map[int]*slabRegion{}
+	sh.slabs[id] = s
+	if sh.partial[class] == nil {
+		sh.partial[class] = map[int]*slabRegion{}
 	}
-	p.partial[class][id] = s
-	p.registrations++
+	sh.partial[class][id] = s
+	p.registrations.Add(1)
 	return s
 }
 
-func (p *Pool) takeBlock(s *slabRegion) Handle {
+// takeBlock pops a free block from s. Caller holds the shard lock.
+func (p *Pool) takeBlock(sh *shard, s *slabRegion, tick int64) Handle {
 	off := s.freeOffs[len(s.freeOffs)-1]
 	s.freeOffs = s.freeOffs[:len(s.freeOffs)-1]
 	s.live[off] = true
-	s.lastUse = p.tick
+	s.lastUse = tick
 	if len(s.freeOffs) == 0 {
-		delete(p.partial[s.class], s.id)
+		delete(sh.partial[s.class], s.id)
 	}
 	return Handle{SlabID: s.id, Offset: off, Class: s.class}
 }
 
 // Free releases a block back to its slab.
 func (p *Pool) Free(h Handle) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	s, err := p.validate(h)
+	sh, err := p.shardOf(h)
+	if err != nil {
+		return err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s, err := sh.validate(h)
 	if err != nil {
 		return err
 	}
 	delete(s.live, h.Offset)
 	s.freeOffs = append(s.freeOffs, h.Offset)
-	if p.partial[s.class] == nil {
-		p.partial[s.class] = map[int]*slabRegion{}
+	if sh.partial[s.class] == nil {
+		sh.partial[s.class] = map[int]*slabRegion{}
 	}
-	p.partial[s.class][s.id] = s
+	sh.partial[s.class][s.id] = s
 	return nil
 }
 
-func (p *Pool) validate(h Handle) (*slabRegion, error) {
-	s, ok := p.slabs[h.SlabID]
+// validate resolves a handle within the shard. Caller holds sh.mu.
+func (sh *shard) validate(h Handle) (*slabRegion, error) {
+	s, ok := sh.slabs[h.SlabID]
 	if !ok {
 		return nil, fmt.Errorf("%w: slab %d not registered", ErrBadHandle, h.SlabID)
 	}
@@ -216,14 +353,18 @@ func (p *Pool) Write(h Handle, data []byte) error {
 	if len(data) > h.Class {
 		return fmt.Errorf("slab: write of %d bytes exceeds class %d", len(data), h.Class)
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	s, err := p.validate(h)
+	sh, err := p.shardOf(h)
 	if err != nil {
 		return err
 	}
-	p.tick++
-	s.lastUse = p.tick
+	tick := p.tick.Add(1)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s, err := sh.validate(h)
+	if err != nil {
+		return err
+	}
+	s.lastUse = tick
 	copy(s.buf[h.Offset:h.Offset+h.Class], data)
 	return nil
 }
@@ -238,39 +379,60 @@ func (p *Pool) ReadAt(h Handle, off, n int) ([]byte, error) {
 	if off < 0 || n < 0 || off+n > h.Class {
 		return nil, fmt.Errorf("slab: read [%d,%d) exceeds class %d", off, off+n, h.Class)
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	s, err := p.validate(h)
+	sh, err := p.shardOf(h)
 	if err != nil {
 		return nil, err
 	}
-	p.tick++
-	s.lastUse = p.tick
+	tick := p.tick.Add(1)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s, err := sh.validate(h)
+	if err != nil {
+		return nil, err
+	}
+	s.lastUse = tick
 	out := make([]byte, n)
 	copy(out, s.buf[h.Offset+off:h.Offset+off+n])
 	return out, nil
 }
 
-// EvictLRU deregisters the least-recently-used slab and returns the handles
-// of blocks that were still live in it, so the caller can relocate their
-// contents. The block data is gone after this call.
+// EvictLRU deregisters the least-recently-used slab across all shards and
+// returns the handles of blocks that were still live in it, so the caller
+// can relocate their contents. The block data is gone after this call.
 func (p *Pool) EvictLRU() ([]Handle, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	var victim *slabRegion
-	for _, s := range p.slabs {
-		if victim == nil || s.lastUse < victim.lastUse ||
-			(s.lastUse == victim.lastUse && s.id < victim.id) {
-			victim = s
+	for {
+		// Pass 1: find the global LRU candidate, locking one shard at a time.
+		victimShard, victimID := -1, 0
+		var victimUse int64
+		for si, sh := range p.shards {
+			sh.mu.Lock()
+			for _, s := range sh.slabs {
+				if victimShard == -1 || s.lastUse < victimUse ||
+					(s.lastUse == victimUse && s.id < victimID) {
+					victimShard, victimID, victimUse = si, s.id, s.lastUse
+				}
+			}
+			sh.mu.Unlock()
 		}
+		if victimShard == -1 {
+			return nil, ErrEmpty
+		}
+		// Pass 2: re-acquire the winner's shard and drop the slab if it still
+		// exists; a concurrent eviction or shrink may have raced us, in which
+		// case rescan.
+		sh := p.shards[victimShard]
+		sh.mu.Lock()
+		if s, ok := sh.slabs[victimID]; ok {
+			handles := p.dropSlab(sh, s)
+			sh.mu.Unlock()
+			return handles, nil
+		}
+		sh.mu.Unlock()
 	}
-	if victim == nil {
-		return nil, ErrEmpty
-	}
-	return p.dropSlab(victim), nil
 }
 
-func (p *Pool) dropSlab(s *slabRegion) []Handle {
+// dropSlab deregisters s from sh. Caller holds sh.mu.
+func (p *Pool) dropSlab(sh *shard, s *slabRegion) []Handle {
 	offs := make([]int, 0, len(s.live))
 	for off := range s.live {
 		offs = append(offs, off)
@@ -280,14 +442,18 @@ func (p *Pool) dropSlab(s *slabRegion) []Handle {
 	for _, off := range offs {
 		handles = append(handles, Handle{SlabID: s.id, Offset: off, Class: s.class})
 	}
-	delete(p.slabs, s.id)
-	if set := p.partial[s.class]; set != nil {
+	delete(sh.slabs, s.id)
+	if set := sh.partial[s.class]; set != nil {
 		delete(set, s.id)
 	}
 	if p.backing != nil {
+		p.baseMu.Lock()
 		p.freeBases = append(p.freeBases, s.base)
+		delete(p.baseSlab, s.base)
+		p.baseMu.Unlock()
 	}
-	p.deregistrations++
+	p.registeredBytes.Add(-int64(p.slabSize))
+	p.deregistrations.Add(1)
 	return handles
 }
 
@@ -295,27 +461,38 @@ func (p *Pool) dropSlab(s *slabRegion) []Handle {
 // wantBytes, returning the bytes actually released. Live blocks are never
 // disturbed.
 func (p *Pool) ShrinkEmpty(wantBytes int64) int64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	var released int64
-	ids := make([]int, 0, len(p.slabs))
-	for id := range p.slabs {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
+	for _, sh := range p.shards {
 		if released >= wantBytes {
 			break
 		}
-		s := p.slabs[id]
-		if len(s.live) == 0 {
-			p.dropSlab(s)
-			released += int64(p.slabSize)
+		sh.mu.Lock()
+		ids := make([]int, 0, len(sh.slabs))
+		for id := range sh.slabs {
+			ids = append(ids, id)
 		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			if released >= wantBytes {
+				break
+			}
+			s := sh.slabs[id]
+			if len(s.live) == 0 {
+				p.dropSlab(sh, s)
+				released += int64(p.slabSize)
+			}
+		}
+		sh.mu.Unlock()
 	}
-	p.maxBytes -= released
-	if p.maxBytes < 0 {
-		p.maxBytes = 0
+	for {
+		cur := p.maxBytes.Load()
+		next := cur - released
+		if next < 0 {
+			next = 0
+		}
+		if p.maxBytes.CompareAndSwap(cur, next) {
+			break
+		}
 	}
 	return released
 }
@@ -325,9 +502,7 @@ func (p *Pool) Grow(n int64) {
 	if n < 0 {
 		panic("slab: Grow with negative bytes")
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.maxBytes += n
+	p.maxBytes.Add(n)
 }
 
 // Stats is a snapshot of pool occupancy.
@@ -337,29 +512,37 @@ type Stats struct {
 	LiveBytes       int64 // bytes of allocated blocks (class-rounded)
 	LiveBlocks      int
 	Slabs           int
+	Shards          int
 	Registrations   int64 // cumulative slab registrations
 	Deregistrations int64 // cumulative slab deregistrations (evictions)
 }
 
-// Stats returns a consistent snapshot.
+// Stats returns a snapshot. Under concurrent mutation the per-shard figures
+// are each internally consistent but the cross-shard sums are a racy (still
+// monotonic-in-aggregate) composite; quiescent pools get exact numbers.
 func (p *Pool) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	st := Stats{
-		MaxBytes:        p.maxBytes,
-		RegisteredBytes: int64(len(p.slabs)) * int64(p.slabSize),
-		Slabs:           len(p.slabs),
-		Registrations:   p.registrations,
-		Deregistrations: p.deregistrations,
+		MaxBytes:        p.maxBytes.Load(),
+		RegisteredBytes: p.registeredBytes.Load(),
+		Shards:          len(p.shards),
+		Registrations:   p.registrations.Load(),
+		Deregistrations: p.deregistrations.Load(),
 	}
-	for _, s := range p.slabs {
-		st.LiveBlocks += len(s.live)
-		st.LiveBytes += int64(len(s.live)) * int64(s.class)
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		st.Slabs += len(sh.slabs)
+		for _, s := range sh.slabs {
+			st.LiveBlocks += len(s.live)
+			st.LiveBytes += int64(len(s.live)) * int64(s.class)
+		}
+		sh.mu.Unlock()
 	}
 	return st
 }
 
-// FreeBytes reports budget headroom plus free blocks inside registered slabs.
+// FreeBytes reports budget headroom plus free blocks inside registered slabs
+// (algebraically, MaxBytes - LiveBytes — independent of how blocks are
+// distributed across slabs or shards).
 func (p *Pool) FreeBytes() int64 {
 	st := p.Stats()
 	return (st.MaxBytes - st.RegisteredBytes) + (st.RegisteredBytes - st.LiveBytes)
