@@ -136,7 +136,48 @@ func (c *Codec) writer(buf *bytes.Buffer) (*flate.Writer, error) {
 	return flate.NewWriter(buf, flate.BestSpeed)
 }
 
-// Decompress reverses Compress into dst, which must be PageSize long.
+// inflater is a pooled decompressor: a reusable bytes.Reader feeding a
+// flate reader whose 32 KB sliding window survives Reset. The window, the
+// source reader, and the struct itself all come back from the pool; the only
+// steady-state allocation left is stdlib flate re-deriving dynamic-Huffman
+// link tables per block inside huffmanDecoder.init (~230 B for a 4 KB page,
+// versus ~40 KB/op without pooling).
+type inflater struct {
+	src bytes.Reader
+	fr  io.ReadCloser
+}
+
+var inflaters = sync.Pool{New: func() any {
+	inf := &inflater{}
+	inf.fr = flate.NewReader(&inf.src)
+	return inf
+}}
+
+// inflate decompresses payload into exactly len(dst) bytes using a pooled
+// flate reader, failing with an ErrCorrupt-wrapped error on short output or
+// trailing garbage.
+func inflate(dst, payload []byte) error {
+	inf := inflaters.Get().(*inflater)
+	defer inflaters.Put(inf)
+	inf.src.Reset(payload)
+	if err := inf.fr.(flate.Resetter).Reset(&inf.src, nil); err != nil {
+		return fmt.Errorf("%w: reset: %v", ErrCorrupt, err)
+	}
+	n, err := io.ReadFull(inf.fr, dst)
+	if err != nil || n != len(dst) {
+		return fmt.Errorf("%w: read %d of %d bytes: %v", ErrCorrupt, n, len(dst), err)
+	}
+	// A valid payload must end exactly at the expected length.
+	var extra [1]byte
+	if m, _ := inf.fr.Read(extra[:]); m != 0 {
+		return fmt.Errorf("%w: trailing bytes", ErrCorrupt)
+	}
+	return nil
+}
+
+// Decompress reverses Compress into dst, which must be PageSize long. The
+// flate state is pooled: after warm-up this path allocates only the
+// per-block Huffman link tables noted on inflater.
 func (c *Codec) Decompress(comp Compressed, dst []byte) error {
 	if len(dst) != PageSize {
 		return fmt.Errorf("compress: dst length %d != %d", len(dst), PageSize)
@@ -148,18 +189,7 @@ func (c *Codec) Decompress(comp Compressed, dst []byte) error {
 		copy(dst, comp.Data)
 		return nil
 	}
-	r := flate.NewReader(bytes.NewReader(comp.Data))
-	defer r.Close()
-	n, err := io.ReadFull(r, dst)
-	if err != nil || n != PageSize {
-		return fmt.Errorf("%w: read %d bytes: %v", ErrCorrupt, n, err)
-	}
-	// A valid payload must end exactly at page boundary.
-	var extra [1]byte
-	if m, _ := r.Read(extra[:]); m != 0 {
-		return fmt.Errorf("%w: trailing bytes", ErrCorrupt)
-	}
-	return nil
+	return inflate(dst, comp.Data)
 }
 
 // CompressEntry deflates an arbitrary-length payload — the data-plane
@@ -189,19 +219,23 @@ func (c *Codec) CompressEntry(data []byte) ([]byte, bool) {
 }
 
 // DecompressEntry reverses CompressEntry: it inflates payload back to exactly
-// rawLen bytes, failing with ErrCorrupt on any mismatch.
+// rawLen bytes, failing with ErrCorrupt on any mismatch. The returned slice
+// is freshly allocated; callers holding a destination buffer should prefer
+// DecompressEntryInto.
 func DecompressEntry(payload []byte, rawLen int) ([]byte, error) {
-	r := flate.NewReader(bytes.NewReader(payload))
-	defer r.Close()
 	out := make([]byte, rawLen)
-	if n, err := io.ReadFull(r, out); err != nil || n != rawLen {
-		return nil, fmt.Errorf("%w: read %d of %d bytes: %v", ErrCorrupt, n, rawLen, err)
-	}
-	var extra [1]byte
-	if m, _ := r.Read(extra[:]); m != 0 {
-		return nil, fmt.Errorf("%w: trailing bytes", ErrCorrupt)
+	if err := DecompressEntryInto(out, payload); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// DecompressEntryInto inflates payload into exactly len(dst) bytes using
+// pooled flate state — the zero-copy read path's counterpart to
+// DecompressEntry. After warm-up it allocates only the per-block Huffman
+// link tables noted on inflater.
+func DecompressEntryInto(dst, payload []byte) error {
+	return inflate(dst, payload)
 }
 
 // EntryClassFor returns the slab size class for an entry payload of n bytes

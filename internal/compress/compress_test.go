@@ -394,3 +394,62 @@ func TestEntryClassFor(t *testing.T) {
 		t.Errorf("Two.EntryClassFor(100) = %d, want 2048", got)
 	}
 }
+
+// TestDecompressZeroAlloc pins the pooled-inflater contract: steady-state
+// page decompression and entry decompression into a caller buffer stay
+// within a tiny allocation budget. Literal zero is out of reach with stdlib
+// flate — huffmanDecoder.init rebuilds dynamic-Huffman link tables for every
+// block (~230 B for a 4 KB page) — but pooling eliminates the window, reader
+// state, and output buffer that dominate the unpooled path (~40 KB/op).
+func TestDecompressZeroAlloc(t *testing.T) {
+	if testing.CoverMode() != "" {
+		t.Skip("coverage instrumentation allocates")
+	}
+	c, err := NewCodec(Four)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := GeneratePage(rand.New(rand.NewSource(7)), 3.0)
+	comp, err := c.Compress(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Raw {
+		t.Fatal("expected a compressible page")
+	}
+	dst := make([]byte, PageSize)
+	// Warm the pool before measuring.
+	if err := c.Decompress(comp, dst); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := c.Decompress(comp, dst); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 8 {
+		t.Errorf("Decompress allocates %.1f objects/op, budget 8 (stdlib Huffman tables only)", allocs)
+	}
+	if !bytes.Equal(dst, page) {
+		t.Fatal("round trip mismatch")
+	}
+
+	entry := bytes.Repeat([]byte("entry payload "), 100)
+	payload, ok := c.CompressEntry(entry)
+	if !ok {
+		t.Fatal("expected compressible entry")
+	}
+	edst := make([]byte, len(entry))
+	if err := DecompressEntryInto(edst, payload); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := DecompressEntryInto(edst, payload); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 8 {
+		t.Errorf("DecompressEntryInto allocates %.1f objects/op, budget 8 (stdlib Huffman tables only)", allocs)
+	}
+	if !bytes.Equal(edst, entry) {
+		t.Fatal("entry round trip mismatch")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"godm/internal/bufpool"
 	"godm/internal/trace"
 	"godm/internal/transport"
 )
@@ -51,17 +52,17 @@ func coalesceSpans(refs []blockRef) [][]blockRef {
 	return spans
 }
 
-// spanBufPool recycles the contiguous staging buffers scatter-gathered
-// writes ride in, mirroring the send buffer pool role of §IV.B.
-var spanBufPool = sync.Pool{New: func() any { return new([]byte) }}
+// vecPool recycles the iovec lists multi-block spans are described with; the
+// payload bytes themselves are never staged — the gather list references the
+// caller's encoded payloads directly (zero-copy until the fabric).
+var vecPool = sync.Pool{New: func() any { return new([][]byte) }}
 
-func getSpanBuf(n int) (*[]byte, []byte) {
-	bp := spanBufPool.Get().(*[]byte)
-	if cap(*bp) < n {
-		*bp = make([]byte, n)
-	}
-	return bp, (*bp)[:n]
-}
+// zeroPad is the shared padding source for the gap between a payload's end
+// and its block's class boundary inside a coalesced span. Gaps are always
+// smaller than one size class (≤ 4 KiB for granularity classes, and exact-fit
+// classes above that), so one page of zeros covers any single gap; the
+// writer still loops for safety.
+var zeroPad [4096]byte
 
 // PutAll parks a window of entries in node's receive pool: one opAllocBatch
 // round trip reserves every block all-or-nothing, then the payloads are
@@ -150,10 +151,24 @@ func (c *Client) PutAll(ctx context.Context, node transport.NodeID, entries []En
 	return nil
 }
 
-// writeSpans gathers each span's payloads into one pooled contiguous buffer
-// and issues one one-sided write per span. Gaps between a payload's end and
-// its block's class boundary are padding the receiver never reads.
+// writeSpans describes each span as an iovec list — the payload slices in
+// offset order, with shared zero-padding slices filling the gap between a
+// payload's end and its block's class boundary — and hands the list to one
+// gather write per span. No assembly copy happens on this side: a vectored
+// fabric (tcpnet, simnet) carries the list as-is, and transport.WriteRegionV
+// falls back to a single pooled gather only for fabrics without the
+// capability. Padding bytes are zeros the receiver never reads.
 func (c *Client) writeSpans(ctx context.Context, node transport.NodeID, spans [][]blockRef, payloads [][]byte) error {
+	vp := vecPool.Get().(*[][]byte)
+	defer func() {
+		// Drop payload references before pooling so the list doesn't pin
+		// caller buffers across uses.
+		full := (*vp)[:cap(*vp)]
+		for i := range full {
+			full[i] = nil
+		}
+		vecPool.Put(vp)
+	}()
 	for _, span := range spans {
 		if len(span) == 1 {
 			r := span[0]
@@ -162,14 +177,21 @@ func (c *Client) writeSpans(ctx context.Context, node transport.NodeID, spans []
 			}
 			continue
 		}
-		first := span[0].off
-		last := span[len(span)-1]
-		bp, buf := getSpanBuf(int(last.off + int64(last.payloadLen) - first))
+		vec := (*vp)[:0]
+		pos := span[0].off
 		for _, r := range span {
-			copy(buf[r.off-first:], payloads[r.idx])
+			for gap := r.off - pos; gap > 0; gap -= int64(len(zeroPad)) {
+				pad := gap
+				if pad > int64(len(zeroPad)) {
+					pad = int64(len(zeroPad))
+				}
+				vec = append(vec, zeroPad[:pad])
+			}
+			vec = append(vec, payloads[r.idx])
+			pos = r.off + int64(r.payloadLen)
 		}
-		err := c.ep.WriteRegion(ctx, node, RecvRegionID, first, buf)
-		spanBufPool.Put(bp)
+		err := transport.WriteRegionV(ctx, c.ep, node, RecvRegionID, span[0].off, vec)
+		*vp = vec[:0]
 		if err != nil {
 			return fmt.Errorf("core: batch write to node %d: %w", node, err)
 		}
@@ -208,20 +230,100 @@ func (c *Client) GetAll(ctx context.Context, node transport.NodeID, keys []uint6
 	for _, span := range spans {
 		first := span[0].off
 		last := span[len(span)-1]
-		data, err := c.ep.ReadRegion(ctx, node, RecvRegionID, first, int(last.off+int64(last.payloadLen)-first))
-		if err != nil {
+		// One fresh buffer per span, scattered into straight off the fabric.
+		// Uncompressed results alias subranges of it (the caller owns the map,
+		// so handing out views of a buffer nothing else retains is safe and
+		// saves a per-entry copy); only compressed entries decode into their
+		// own allocation. The buffer is therefore NOT pooled — entries pin it.
+		buf := make([]byte, int(last.off+int64(last.payloadLen)-first))
+		if err := transport.ReadRegionInto(ctx, c.ep, node, RecvRegionID, first, buf); err != nil {
 			return nil, fmt.Errorf("core: batch read from node %d: %w", node, err)
 		}
 		for _, r := range span {
 			rel := r.off - first
-			decoded, err := decodeEntry(data[rel:rel+int64(r.payloadLen)], handles[r.idx])
-			if err != nil {
+			h := handles[r.idx]
+			view := buf[rel : rel+int64(r.payloadLen)]
+			if h.flags&flagDeflate == 0 {
+				out[keys[r.idx]] = view[:h.rawLen]
+				continue
+			}
+			decoded := make([]byte, h.rawLen)
+			if err := decodeEntryInto(decoded, view, h); err != nil {
 				return nil, err
 			}
 			out[keys[r.idx]] = decoded
 		}
 	}
 	return out, nil
+}
+
+// GetAllInto is GetAll with caller-owned result buffers: dsts[i] receives
+// the entry parked under keys[i] and must hold at least its decoded length;
+// on return dsts[i] is resliced to exactly that length. Reads are
+// span-coalesced like GetAll. A span holding a single uncompressed entry
+// scatters from the fabric straight into the caller's buffer; multi-entry
+// spans stage one pooled buffer per span (the span read is one contiguous
+// transfer — splitting it across destination buffers requires one copy), and
+// compressed entries inflate into dsts[i] from pooled staging. Steady state
+// allocates only the span bookkeeping, never payload-sized buffers.
+func (c *Client) GetAllInto(ctx context.Context, node transport.NodeID, keys []uint64, dsts [][]byte) error {
+	if len(keys) != len(dsts) {
+		return fmt.Errorf("core: %d keys but %d destination buffers", len(keys), len(dsts))
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	ctx, sp := trace.Start(ctx, "client.get_all")
+	sp.Annotate("entries", len(keys))
+	defer sp.End()
+	handles := make([]clientHandle, len(keys))
+	refs := make([]blockRef, len(keys))
+	c.mu.Lock()
+	for i, k := range keys {
+		h, ok := c.handles[clientKey{node: node, key: k}]
+		if !ok {
+			c.mu.Unlock()
+			return fmt.Errorf("core: no handle for key %d on node %d", k, node)
+		}
+		if len(dsts[i]) < h.rawLen {
+			c.mu.Unlock()
+			return fmt.Errorf("core: dst for key %d holds %d bytes, entry is %d", k, len(dsts[i]), h.rawLen)
+		}
+		handles[i] = h
+		refs[i] = blockRef{idx: i, off: h.offset, class: h.class, payloadLen: h.storedLen}
+	}
+	c.mu.Unlock()
+	spans := coalesceSpans(refs)
+	sp.Annotate("spans", len(spans))
+	for _, span := range spans {
+		if len(span) == 1 && handles[span[0].idx].flags&flagDeflate == 0 {
+			i := span[0].idx
+			n, err := c.getInto(ctx, node, handles[i], dsts[i])
+			if err != nil {
+				return err
+			}
+			dsts[i] = dsts[i][:n]
+			continue
+		}
+		first := span[0].off
+		last := span[len(span)-1]
+		buf := bufpool.Get(int(last.off + int64(last.payloadLen) - first))
+		if err := transport.ReadRegionInto(ctx, c.ep, node, RecvRegionID, first, buf); err != nil {
+			bufpool.Put(buf)
+			return fmt.Errorf("core: batch read from node %d: %w", node, err)
+		}
+		for _, r := range span {
+			rel := r.off - first
+			h := handles[r.idx]
+			if err := decodeEntryInto(dsts[r.idx][:h.rawLen], buf[rel:rel+int64(r.payloadLen)], h); err != nil {
+				bufpool.Put(buf)
+				return err
+			}
+			dsts[r.idx] = dsts[r.idx][:h.rawLen]
+		}
+		bufpool.Put(buf)
+	}
+	return nil
 }
 
 // DeleteAll releases a batch of entries on node in one control-plane round
@@ -279,17 +381,37 @@ func (c *Client) NewWindow(node transport.NodeID, size int, flushAfter time.Dura
 	return &Window{c: c, node: node, size: size, flushAfter: flushAfter}, nil
 }
 
-// Put stages one entry (the data is copied). When the window reaches its
-// configured size it flushes synchronously; the returned error is that
-// flush's (or a previous timer flush's) outcome.
+// Put stages one entry (the data is copied, so the caller may reuse its
+// buffer immediately). When the window reaches its configured size it
+// flushes synchronously; the returned error is that flush's (or a previous
+// timer flush's) outcome.
 func (w *Window) Put(ctx context.Context, key uint64, data []byte) error {
+	return w.put(ctx, key, data, true)
+}
+
+// PutOwned stages one entry without copying: the window takes ownership of
+// data. The caller must not modify (or reuse) the slice until the entry has
+// been flushed — i.e. until the Put/PutOwned or Flush call that drains it
+// returns successfully; with a flushAfter timer, until Len reports it
+// drained. The staged slice is also what rides the gather write, so mutating
+// it mid-flush would tear the bytes on the wire. Use Put when in doubt; use
+// PutOwned when the producer already hands over dedicated buffers and the
+// defensive copy is pure overhead.
+func (w *Window) PutOwned(ctx context.Context, key uint64, data []byte) error {
+	return w.put(ctx, key, data, false)
+}
+
+func (w *Window) put(ctx context.Context, key uint64, data []byte, copyData bool) error {
 	w.mu.Lock()
 	if err := w.lastErr; err != nil {
 		w.lastErr = nil
 		w.mu.Unlock()
 		return err
 	}
-	w.staged = append(w.staged, Entry{Key: key, Data: append([]byte(nil), data...)})
+	if copyData {
+		data = append([]byte(nil), data...)
+	}
+	w.staged = append(w.staged, Entry{Key: key, Data: data})
 	if len(w.staged) >= w.size {
 		return w.flushLocked(ctx)
 	}

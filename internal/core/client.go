@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"godm/internal/bufpool"
 	"godm/internal/compress"
 	"godm/internal/transport"
 )
@@ -113,16 +114,18 @@ func (c *Client) encodeEntry(data []byte) (payload []byte, class int, flags byte
 	return deflated, compClass, flagDeflate
 }
 
-// decodeEntry reverses encodeEntry using the stored handle flags.
-func decodeEntry(data []byte, h clientHandle) ([]byte, error) {
+// decodeEntryInto reverses encodeEntry into dst, which must hold exactly
+// h.rawLen bytes; data may be a view into a staging buffer (it is never
+// retained).
+func decodeEntryInto(dst, data []byte, h clientHandle) error {
 	if h.flags&flagDeflate == 0 {
-		return data, nil
+		copy(dst, data)
+		return nil
 	}
-	out, err := compress.DecompressEntry(data, h.rawLen)
-	if err != nil {
-		return nil, fmt.Errorf("core: entry decompress: %w", err)
+	if err := compress.DecompressEntryInto(dst, data); err != nil {
+		return fmt.Errorf("core: entry decompress: %w", err)
 	}
-	return out, nil
+	return nil
 }
 
 // cleanupTimeout bounds best-effort frees that must not ride the caller's
@@ -222,7 +225,9 @@ func (c *Client) Put(ctx context.Context, node transport.NodeID, key uint64, dat
 	return nil
 }
 
-// Get reads back the entry parked under key on node.
+// Get reads back the entry parked under key on node. The result buffer is
+// freshly allocated and owned by the caller; loops that can reuse a buffer
+// should prefer GetInto, which is allocation-free for uncompressed entries.
 func (c *Client) Get(ctx context.Context, node transport.NodeID, key uint64) ([]byte, error) {
 	c.mu.Lock()
 	h, ok := c.handles[clientKey{node: node, key: key}]
@@ -230,11 +235,54 @@ func (c *Client) Get(ctx context.Context, node transport.NodeID, key uint64) ([]
 	if !ok {
 		return nil, fmt.Errorf("core: no handle for key %d on node %d", key, node)
 	}
-	data, err := c.ep.ReadRegion(ctx, node, RecvRegionID, h.offset, h.storedLen)
-	if err != nil {
-		return nil, fmt.Errorf("core: read from node %d: %w", node, err)
+	out := make([]byte, h.rawLen)
+	if _, err := c.getInto(ctx, node, h, out); err != nil {
+		return nil, err
 	}
-	return decodeEntry(data, h)
+	return out, nil
+}
+
+// GetInto reads the entry parked under key on node directly into dst and
+// returns the entry's decoded length. dst must be at least that long (an
+// entry put as n bytes reads back as n bytes). For uncompressed entries the
+// payload scatters from the fabric straight into dst — no intermediate
+// buffer, no allocation; compressed entries stage the deflate payload in a
+// pooled buffer and inflate into dst. dst is lent to the transport for the
+// duration of the call and released by return, per the
+// transport.ScatterReader contract.
+func (c *Client) GetInto(ctx context.Context, node transport.NodeID, key uint64, dst []byte) (int, error) {
+	c.mu.Lock()
+	h, ok := c.handles[clientKey{node: node, key: key}]
+	c.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("core: no handle for key %d on node %d", key, node)
+	}
+	if len(dst) < h.rawLen {
+		return 0, fmt.Errorf("core: dst holds %d bytes, entry is %d", len(dst), h.rawLen)
+	}
+	return c.getInto(ctx, node, h, dst)
+}
+
+// getInto scatters the entry behind h into dst (which must hold rawLen
+// bytes) and returns the decoded length.
+func (c *Client) getInto(ctx context.Context, node transport.NodeID, h clientHandle, dst []byte) (int, error) {
+	if h.flags&flagDeflate == 0 {
+		if err := transport.ReadRegionInto(ctx, c.ep, node, RecvRegionID, h.offset, dst[:h.storedLen]); err != nil {
+			return 0, fmt.Errorf("core: read from node %d: %w", node, err)
+		}
+		return h.storedLen, nil
+	}
+	buf := bufpool.Get(h.storedLen)
+	if err := transport.ReadRegionInto(ctx, c.ep, node, RecvRegionID, h.offset, buf); err != nil {
+		bufpool.Put(buf)
+		return 0, fmt.Errorf("core: read from node %d: %w", node, err)
+	}
+	derr := compress.DecompressEntryInto(dst[:h.rawLen], buf)
+	bufpool.Put(buf)
+	if derr != nil {
+		return 0, fmt.Errorf("core: entry decompress: %w", derr)
+	}
+	return h.rawLen, nil
 }
 
 // Delete releases the entry parked under key on node.

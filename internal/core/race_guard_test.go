@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled gates allocation-count assertions: the race detector's
+// instrumentation allocates, so zero-alloc contracts are checked only in
+// normal builds.
+const raceEnabled = true

@@ -94,8 +94,8 @@ func (s *remoteStore) Get(ctx context.Context, node replication.NodeID, id repli
 	if !ok {
 		return nil, fmt.Errorf("core: no handle for entry %d on node %d", id, to)
 	}
-	data, err := s.node.ep.ReadRegion(ctx, to, RecvRegionID, h.offset, h.dataLen)
-	if err != nil {
+	data := make([]byte, h.dataLen)
+	if err := transport.ReadRegionInto(ctx, s.node.ep, to, RecvRegionID, h.offset, data); err != nil {
 		return nil, fmt.Errorf("core: one-sided read from node %d: %w", to, err)
 	}
 	return data, nil
@@ -138,7 +138,8 @@ func (s *remoteStore) getAt(ctx context.Context, nodes []replication.NodeID, key
 		if off < 0 || n < 0 || off+n > h.dataLen {
 			return nil, fmt.Errorf("core: range [%d,%d) exceeds payload %d", off, off+n, h.dataLen)
 		}
-		data, err := s.node.ep.ReadRegion(ctx, to, RecvRegionID, h.offset+int64(off), n)
+		data := make([]byte, n)
+		err := transport.ReadRegionInto(ctx, s.node.ep, to, RecvRegionID, h.offset+int64(off), data)
 		if err == nil {
 			return data, nil
 		}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"godm/internal/cluster"
+	"godm/internal/des"
+	"godm/internal/tcpnet"
+)
+
+// TestGetIntoAndGetAllIntoOverSimFabric checks the caller-buffer read path
+// end to end on the simulated fabric: GetInto and GetAllInto return the same
+// bytes Put parked, for raw and compressed entries alike, and reslice the
+// destination buffers to the decoded lengths.
+func TestGetIntoAndGetAllIntoOverSimFabric(t *testing.T) {
+	tc := newTestCluster(t, 2, smallConfig)
+	client := NewClient(tc.nodes[0].ep, WithCompression(1024))
+	tc.run(t, func(ctx context.Context, p *des.Proc) {
+		raw := bytes.Repeat([]byte{0xAB, 0xCD}, 300) // 600 B: below threshold, stays raw
+		compressible := bytes.Repeat([]byte("compress me "), 400)
+		entries := []Entry{{Key: 1, Data: raw}, {Key: 2, Data: compressible}}
+		if err := client.PutAll(ctx, 2, entries); err != nil {
+			t.Errorf("PutAll: %v", err)
+			return
+		}
+		dst := make([]byte, 8192)
+		n, err := client.GetInto(ctx, 2, 1, dst)
+		if err != nil || !bytes.Equal(dst[:n], raw) {
+			t.Errorf("GetInto raw = %d bytes, %v", n, err)
+		}
+		n, err = client.GetInto(ctx, 2, 2, dst)
+		if err != nil || !bytes.Equal(dst[:n], compressible) {
+			t.Errorf("GetInto compressed = %d bytes, %v", n, err)
+		}
+		if _, err := client.GetInto(ctx, 2, 2, make([]byte, 16)); err == nil {
+			t.Error("GetInto with a short dst should fail")
+		}
+		dsts := [][]byte{make([]byte, 8192), make([]byte, 8192)}
+		if err := client.GetAllInto(ctx, 2, []uint64{1, 2}, dsts); err != nil {
+			t.Errorf("GetAllInto: %v", err)
+			return
+		}
+		if !bytes.Equal(dsts[0], raw) {
+			t.Errorf("GetAllInto[0] = %d bytes, want the raw entry", len(dsts[0]))
+		}
+		if !bytes.Equal(dsts[1], compressible) {
+			t.Errorf("GetAllInto[1] = %d bytes, want the compressed entry", len(dsts[1]))
+		}
+	})
+}
+
+// TestWindowPutOwnedSkipsCopy checks the ownership-handoff staging path: the
+// window stages the caller's slice itself (no defensive copy), and the batch
+// that flushes carries exactly those bytes.
+func TestWindowPutOwnedSkipsCopy(t *testing.T) {
+	tc := newTestCluster(t, 2, smallConfig)
+	client := NewClient(tc.nodes[0].ep)
+	tc.run(t, func(ctx context.Context, p *des.Proc) {
+		w, err := client.NewWindow(2, 4, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		owned := bytes.Repeat([]byte{0x11}, 2048)
+		if err := w.PutOwned(ctx, 1, owned); err != nil {
+			t.Error(err)
+			return
+		}
+		// The staged entry aliases the caller's slice — that is the contract.
+		w.mu.Lock()
+		aliased := len(w.staged) == 1 && &w.staged[0].Data[0] == &owned[0]
+		w.mu.Unlock()
+		if !aliased {
+			t.Error("PutOwned copied its input; it must stage the caller's slice")
+		}
+		copied := bytes.Repeat([]byte{0x22}, 2048)
+		if err := w.Put(ctx, 2, copied); err != nil {
+			t.Error(err)
+			return
+		}
+		w.mu.Lock()
+		unaliased := len(w.staged) == 2 && &w.staged[1].Data[0] != &copied[0]
+		w.mu.Unlock()
+		if !unaliased {
+			t.Error("Put must defensively copy its input")
+		}
+		if err := w.Flush(ctx); err != nil {
+			t.Errorf("Flush: %v", err)
+			return
+		}
+		for key, want := range map[uint64][]byte{1: owned, 2: copied} {
+			got, err := client.Get(ctx, 2, key)
+			if err != nil || !bytes.Equal(got, want) {
+				t.Errorf("Get(%d) = %d bytes, %v", key, len(got), err)
+			}
+		}
+	})
+}
+
+// TestGetIntoZeroAllocOverSim pins the allocation contract on the simulated
+// fabric: a steady-state GetInto of an uncompressed entry performs zero
+// allocations — the handle lookup, the simulated one-sided read, and the
+// discrete-event bookkeeping all run allocation-free.
+func TestGetIntoZeroAllocOverSim(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	tc := newTestCluster(t, 2, smallConfig)
+	client := NewClient(tc.nodes[0].ep)
+	tc.run(t, func(ctx context.Context, p *des.Proc) {
+		data := bytes.Repeat([]byte{0x5A}, 4096)
+		if err := client.Put(ctx, 2, 1, data); err != nil {
+			t.Errorf("Put: %v", err)
+			return
+		}
+		dst := make([]byte, 4096)
+		for i := 0; i < 8; i++ {
+			if _, err := client.GetInto(ctx, 2, 1, dst); err != nil {
+				t.Errorf("warm GetInto: %v", err)
+				return
+			}
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			if _, err := client.GetInto(ctx, 2, 1, dst); err != nil {
+				t.Errorf("GetInto: %v", err)
+			}
+		})
+		if allocs > 0 {
+			t.Errorf("GetInto allocates %.1f objects/op over simnet, want 0", allocs)
+		}
+		if !bytes.Equal(dst, data) {
+			t.Error("GetInto returned wrong bytes")
+		}
+	})
+}
+
+// TestGetIntoZeroAllocOverTCP pins the same contract on the real transport:
+// steady-state GetInto scatters the response off the socket into dst with
+// zero allocations on the whole client path (and the loopback donor's serve
+// path, which the global counter also sees).
+func TestGetIntoZeroAllocOverTCP(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	server, err := tcpnet.Listen(2, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = server.Close() })
+	dir, err := cluster.NewDirectory(cluster.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewNode(Config{
+		ID: 2, SharedPoolBytes: 1 << 20, SendPoolBytes: 1 << 20,
+		RecvPoolBytes: 1 << 20, SlabSize: 1 << 20, ReplicationFactor: 1,
+	}, server, dir); err != nil {
+		t.Fatal(err)
+	}
+	clientEP, err := tcpnet.Listen(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = clientEP.Close() })
+	clientEP.AddPeer(2, server.Addr())
+
+	ctx := context.Background()
+	client := NewClient(clientEP)
+	data := bytes.Repeat([]byte{0x5A}, 4096)
+	if err := client.Put(ctx, 2, 1, data); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 4096)
+	for i := 0; i < 16; i++ {
+		if _, err := client.GetInto(ctx, 2, 1, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := client.GetInto(ctx, 2, 1, dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("GetInto allocates %.1f objects/op over tcpnet, want 0", allocs)
+	}
+	if !bytes.Equal(dst, data) {
+		t.Fatal("GetInto returned wrong bytes")
+	}
+}
+
+// BenchmarkClientGetInto measures steady-state single-entry scatter reads
+// into a reused caller buffer over loopback TCP — the zero-alloc counterpart
+// of a Get loop.
+func BenchmarkClientGetInto(b *testing.B) {
+	bf := newBenchFabric(b, 1)
+	ctx := context.Background()
+	data := bytes.Repeat([]byte{0x5A}, 4096)
+	if err := bf.client.Put(ctx, 1, 1, data); err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bf.client.GetInto(ctx, 1, 1, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClientGetAllIntoBatched measures the batched scatter-read data
+// plane: one window of entries coming back through span-coalesced reads into
+// reused caller buffers.
+func BenchmarkClientGetAllIntoBatched(b *testing.B) {
+	bf := newBenchFabric(b, 1)
+	ctx := context.Background()
+	entries := benchEntries(0, benchWindow, 4096, false)
+	if err := bf.client.PutAll(ctx, 1, entries); err != nil {
+		b.Fatal(err)
+	}
+	keys := make([]uint64, len(entries))
+	dsts := make([][]byte, len(entries))
+	for i := range entries {
+		keys[i] = entries[i].Key
+		dsts[i] = make([]byte, 4096)
+	}
+	b.SetBytes(benchWindow * 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range dsts {
+			dsts[j] = dsts[j][:4096]
+		}
+		if err := bf.client.GetAllInto(ctx, 1, keys, dsts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

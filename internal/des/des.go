@@ -25,10 +25,15 @@ import (
 // processes are still blocked on a Gate, Resource, or Store.
 var ErrDeadlock = errors.New("des: deadlock: blocked processes remain")
 
+// event is one scheduled occurrence. Most events carry a closure in fn;
+// wake events (the Sleep fast path) instead carry the process to dispatch in
+// proc, so the busiest event in the kernel — a process sleeping — costs no
+// allocation: the event rides by value in the heap's backing array.
 type event struct {
-	at  time.Duration
-	seq uint64
-	fn  func()
+	at   time.Duration
+	seq  uint64
+	fn   func()
+	proc *Proc
 }
 
 type eventHeap []event
@@ -58,6 +63,7 @@ func (h *eventHeap) pop() event {
 	top := old[0]
 	n := len(old) - 1
 	old[0] = old[n]
+	old[n] = event{} // drop fn/proc references so the vacated slot pins nothing
 	*h = old[:n]
 	i := 0
 	for {
@@ -109,6 +115,16 @@ func (e *Env) schedule(at time.Duration, fn func()) {
 	}
 	e.seq++
 	e.events.push(event{at: at, seq: e.seq, fn: fn})
+}
+
+// scheduleWake enqueues a closure-free wake of p at absolute time at; the
+// scheduler dispatches p directly when the event fires.
+func (e *Env) scheduleWake(at time.Duration, p *Proc) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	e.events.push(event{at: at, seq: e.seq, proc: p})
 }
 
 // After schedules fn to run after delay d of simulated time. fn executes in
@@ -183,7 +199,7 @@ func (p *Proc) Sleep(d time.Duration) {
 		d = 0
 	}
 	e := p.env
-	e.schedule(e.now+d, func() { e.dispatch(p) })
+	e.scheduleWake(e.now+d, p)
 	p.pause()
 }
 
@@ -216,6 +232,12 @@ func (e *Env) RunUntil(horizon time.Duration) error {
 		}
 		e.events.pop()
 		e.now = next.at
+		if next.proc != nil {
+			if !next.proc.done {
+				e.dispatch(next.proc)
+			}
+			continue
+		}
 		next.fn()
 	}
 	if e.failure != nil {

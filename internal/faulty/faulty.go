@@ -483,6 +483,52 @@ func (f *Endpoint) WriteRegion(ctx context.Context, to transport.NodeID, region 
 	return err
 }
 
+// WriteRegionV implements transport.VectoredWriter under the same fault
+// schedule as WriteRegion: a truncated write lands a torn prefix of the
+// gathered payload (sliced from the iovec, no assembly copy) before failing.
+func (f *Endpoint) WriteRegionV(ctx context.Context, to transport.NodeID, region transport.RegionID, offset int64, bufs [][]byte) error {
+	d := f.inj.decide(ctx, VerbWrite, f.inner.ID(), to)
+	if d.delay > 0 {
+		f.inj.clock.Sleep(ctx, d.delay)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	if d.err != nil {
+		return d.err
+	}
+	if d.truncate {
+		total := 0
+		for _, b := range bufs {
+			total += len(b)
+		}
+		_ = transport.WriteRegionV(ctx, f.inner, to, region, offset, prefixVec(bufs, total/2))
+		return injectedf("truncated write %d->%d after %d/%d bytes", f.inner.ID(), to, total/2, total)
+	}
+	err := transport.WriteRegionV(ctx, f.inner, to, region, offset, bufs)
+	if err == nil && d.duplicate {
+		_ = transport.WriteRegionV(ctx, f.inner, to, region, offset, bufs)
+	}
+	return err
+}
+
+// prefixVec returns the iovec covering the first n bytes of bufs, slicing
+// the boundary buffer instead of copying.
+func prefixVec(bufs [][]byte, n int) [][]byte {
+	out := make([][]byte, 0, len(bufs))
+	for _, b := range bufs {
+		if n <= 0 {
+			break
+		}
+		if len(b) > n {
+			b = b[:n]
+		}
+		out = append(out, b)
+		n -= len(b)
+	}
+	return out
+}
+
 // ReadRegion implements transport.Verbs. A truncated read charges the fabric
 // but discards the short response, as a length-framed receiver would.
 func (f *Endpoint) ReadRegion(ctx context.Context, to transport.NodeID, region transport.RegionID, offset int64, n int) ([]byte, error) {
@@ -505,6 +551,32 @@ func (f *Endpoint) ReadRegion(ctx context.Context, to transport.NodeID, region t
 		_, _ = f.inner.ReadRegion(ctx, to, region, offset, n)
 	}
 	return out, err
+}
+
+// ReadRegionInto implements transport.ScatterReader under the same fault
+// schedule as ReadRegion. A truncated read never touches dst (the short
+// response is discarded at the framing layer), honouring the ScatterReader
+// ownership contract that dst is released untouched on error.
+func (f *Endpoint) ReadRegionInto(ctx context.Context, to transport.NodeID, region transport.RegionID, offset int64, dst []byte) error {
+	d := f.inj.decide(ctx, VerbRead, f.inner.ID(), to)
+	if d.delay > 0 {
+		f.inj.clock.Sleep(ctx, d.delay)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	if d.err != nil {
+		return d.err
+	}
+	if d.truncate {
+		_, _ = f.inner.ReadRegion(ctx, to, region, offset, len(dst))
+		return injectedf("truncated read %d->%d", f.inner.ID(), to)
+	}
+	err := transport.ReadRegionInto(ctx, f.inner, to, region, offset, dst)
+	if err == nil && d.duplicate {
+		_ = transport.ReadRegionInto(ctx, f.inner, to, region, offset, dst)
+	}
+	return err
 }
 
 // Call implements transport.Verbs. A duplicated call executes the handler

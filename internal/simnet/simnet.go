@@ -225,6 +225,51 @@ func (e *Endpoint) WriteRegion(ctx context.Context, to transport.NodeID, region 
 	return dst.applyWrite(region, offset, data)
 }
 
+// WriteRegionV implements transport.VectoredWriter: the slices of bufs land
+// contiguously at offset as one transfer, charged for their total size —
+// the simulated twin of the TCP fabric's writev path.
+func (e *Endpoint) WriteRegionV(ctx context.Context, to transport.NodeID, region transport.RegionID, offset int64, bufs [][]byte) error {
+	p := proc(ctx)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	var total int64
+	for _, b := range bufs {
+		total += int64(len(b))
+	}
+	if total > transport.MaxFrameSize {
+		return fmt.Errorf("%w: payload %d exceeds %d", transport.ErrFrameTooLarge, total, transport.MaxFrameSize)
+	}
+	if err := e.checkOpen(); err != nil {
+		return err
+	}
+	p.Sleep(e.fabric.params.PerMessage)
+	e.fabric.link(e.id, to).Transfer(p, total)
+	dst, err := e.fabric.target(e.id, to)
+	if err != nil {
+		return err
+	}
+	return dst.applyWriteV(region, offset, total, bufs)
+}
+
+func (e *Endpoint) applyWriteV(region transport.RegionID, offset int64, total int64, bufs [][]byte) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	buf, ok := e.regions[region]
+	if !ok {
+		return fmt.Errorf("%w: region %d on node %d", transport.ErrNoRegion, region, e.id)
+	}
+	if offset < 0 || offset+total > int64(len(buf)) {
+		return fmt.Errorf("%w: [%d,%d) in region of %d bytes",
+			transport.ErrOutOfBounds, offset, offset+total, len(buf))
+	}
+	at := offset
+	for _, b := range bufs {
+		at += int64(copy(buf[at:], b))
+	}
+	return nil
+}
+
 func (e *Endpoint) applyWrite(region transport.RegionID, offset int64, data []byte) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -265,6 +310,51 @@ func (e *Endpoint) ReadRegion(ctx context.Context, to transport.NodeID, region t
 	}
 	e.fabric.link(to, e.id).Transfer(p, int64(n))
 	return data, nil
+}
+
+// ReadRegionInto implements transport.ScatterReader: the response payload
+// lands directly in dst with no intermediate allocation, the simulated twin
+// of scattering a READ completion into caller-registered memory.
+func (e *Endpoint) ReadRegionInto(ctx context.Context, to transport.NodeID, region transport.RegionID, offset int64, dst []byte) error {
+	p := proc(ctx)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	n := len(dst)
+	if n > transport.MaxFrameSize {
+		return fmt.Errorf("%w: read of %d exceeds %d", transport.ErrFrameTooLarge, n, transport.MaxFrameSize)
+	}
+	if err := e.checkOpen(); err != nil {
+		return err
+	}
+	p.Sleep(e.fabric.params.PerMessage)
+	// Request message is tiny; response carries the payload.
+	e.fabric.link(e.id, to).Transfer(p, 64)
+	src, err := e.fabric.target(e.id, to)
+	if err != nil {
+		return err
+	}
+	if err := src.applyReadInto(region, offset, dst); err != nil {
+		return err
+	}
+	e.fabric.link(to, e.id).Transfer(p, int64(n))
+	return nil
+}
+
+func (e *Endpoint) applyReadInto(region transport.RegionID, offset int64, dst []byte) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	buf, ok := e.regions[region]
+	if !ok {
+		return fmt.Errorf("%w: region %d on node %d", transport.ErrNoRegion, region, e.id)
+	}
+	n := len(dst)
+	if offset < 0 || offset+int64(n) > int64(len(buf)) {
+		return fmt.Errorf("%w: [%d,%d) in region of %d bytes",
+			transport.ErrOutOfBounds, offset, offset+int64(n), len(buf))
+	}
+	copy(dst, buf[offset:])
+	return nil
 }
 
 func (e *Endpoint) applyRead(region transport.RegionID, offset int64, n int) ([]byte, error) {

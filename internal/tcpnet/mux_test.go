@@ -379,6 +379,11 @@ func TestBufferPoolClasses(t *testing.T) {
 		if len(b) != n {
 			t.Fatalf("getBuf(%d) returned len %d", n, len(b))
 		}
+		if n > 0 && n <= maxPoolBuf {
+			if c := cap(b); c < minPoolBuf || c&(c-1) != 0 {
+				t.Fatalf("getBuf(%d) capacity %d is not a pool class size", n, c)
+			}
+		}
 		putBuf(b)
 	}
 	// A recycled buffer must come back with the requested length and full
@@ -388,10 +393,6 @@ func TestBufferPoolClasses(t *testing.T) {
 	b2 := getBuf(10)
 	if len(b2) != 10 {
 		t.Fatalf("recycled buffer len = %d, want 10", len(b2))
-	}
-	if classFor(minPoolBuf) != 0 || classFor(minPoolBuf+1) != 1 || classFor(maxPoolBuf) != poolClasses-1 {
-		t.Fatalf("classFor boundaries wrong: %d %d %d",
-			classFor(minPoolBuf), classFor(minPoolBuf+1), classFor(maxPoolBuf))
 	}
 }
 
@@ -423,41 +424,43 @@ func (c *budgetConn) SetDeadline(time.Time) error      { return nil }
 func (c *budgetConn) SetReadDeadline(time.Time) error  { return nil }
 func (c *budgetConn) SetWriteDeadline(time.Time) error { return nil }
 
-// TestRetryExcludesAutoFlushedFrames pins the at-most-once guarantee against
-// bufio's automatic overflow flush: when buffering frame B pushes the
-// already-buffered frame A out to the kernel, a subsequent connection
-// failure must fail A as non-retryable (it may have executed on the peer)
-// while B — whose bytes never fully left the host — stays retryable.
-func TestRetryExcludesAutoFlushedFrames(t *testing.T) {
+// TestRetryExcludesPartiallyFlushedFrames pins the at-most-once guarantee
+// against a partial vectored write: when the kernel accepts all of frame A
+// plus a prefix of frame B before the connection dies, the failure must fail
+// A as non-retryable (it may have executed on the peer) while B — whose
+// bytes never fully left the host — stays retryable.
+func TestRetryExcludesPartiallyFlushedFrames(t *testing.T) {
 	e, err := Listen(1, "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer e.Close()
-	const bufSize = 64
-	// Frame A fills 45 of the 64 buffered bytes; framing B (47 bytes)
-	// overflows the buffer, auto-flushing exactly bufSize bytes — all of A
-	// plus a prefix of B — which the conn accepts before dying.
-	sink := &budgetConn{budget: bufSize}
-	cw := &countingConn{Conn: sink}
+	// Frame A is 45 bytes (37-byte header + 8-byte payload); a 64-byte budget
+	// accepts all of A plus 19 bytes of B's header, then dies mid-writev.
+	const budget = 64
+	sink := &budgetConn{budget: budget}
 	cc := &clientConn{
 		c:       sink,
-		cw:      cw,
-		w:       bufio.NewWriterSize(cw, bufSize),
 		dirty:   make(chan struct{}, 1),
 		done:    make(chan struct{}),
-		pending: map[uint64]chan rpcResult{},
+		pending: map[uint64]pendingOp{},
 	}
-	idA, chA, _ := cc.register()
-	idB, chB, _ := cc.register()
-	if err := e.send(cc, opWrite, idA, 1, 0, 0, make([]byte, 8)); err != nil {
+	idA, chA, _ := cc.register(nil, true)
+	idB, chB, _ := cc.register(nil, true)
+	if err := e.send(cc, opWrite, idA, 1, 0, 0, make([]byte, 8), nil); err != nil {
 		t.Fatalf("send A: %v", err)
 	}
-	if err := e.send(cc, opWrite, idB, 1, 0, 0, make([]byte, 10)); err != nil {
+	if err := e.send(cc, opWrite, idB, 1, 0, 0, make([]byte, 10), nil); err != nil {
 		t.Fatalf("send B: %v", err)
 	}
-	if got := cw.n; got != bufSize {
-		t.Fatalf("kernel accepted %d bytes, want auto-flush of %d", got, bufSize)
+	cc.wmu.Lock()
+	ferr := cc.vq.flush(sink)
+	cc.wmu.Unlock()
+	if ferr == nil {
+		t.Fatal("flush succeeded against an exhausted budget")
+	}
+	if got := cc.vq.written; got != budget {
+		t.Fatalf("kernel accepted %d bytes, want partial flush of %d", got, budget)
 	}
 	e.failConn(laneKey{to: 2, lane: 0}, cc, errors.New("flush failed"))
 	resA, resB := <-chA, <-chB

@@ -1,0 +1,7 @@
+//go:build !race
+
+package tcpnet
+
+// raceEnabled reports whether the race detector is compiled in. See race.go
+// for why the vectored flush checks it.
+const raceEnabled = false

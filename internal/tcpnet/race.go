@@ -1,0 +1,12 @@
+//go:build race
+
+package tcpnet
+
+// raceEnabled reports whether the race detector is compiled in. The
+// vectored flush degrades to sequential writes under the detector: the
+// happens-before edge the detector models for socket data rides on the
+// write/read syscall annotations (syscall's ioSync release/acquire), and the
+// raw writev path used by net.Buffers has no such annotation — so data sent
+// with writev to a peer in the same process would be reported as racing with
+// that peer's later, genuinely ordered reads.
+const raceEnabled = true

@@ -56,6 +56,21 @@
 // in the outbound stream, so a frame is re-sent only if the connection died
 // before all of its bytes were written — operations are never duplicated on
 // the peer by the transport itself.
+//
+// # Zero-copy data plane
+//
+// Outbound frames are never assembled into a contiguous staging buffer.
+// Senders queue an iovec list — a pooled header block plus the caller's
+// payload slices, unmodified — and the flush goroutine hands the whole burst
+// to the kernel with one vectored write (net.Buffers, i.e. writev on a TCP
+// socket). WriteRegionV extends this to gather writes: the slices land
+// contiguously on the peer without the client ever concatenating them.
+// Inbound, the demux reader is length-aware: a response whose round trip
+// registered a destination buffer (ReadRegionInto) is scattered straight
+// into it with io.ReadFull, and every other payload comes from the shared
+// size-classed pool (internal/bufpool) rather than a per-response make. The
+// ownership rules are bufpool's: pooled buffers handed to callers become
+// owned; owners that retain them simply strand one pooled buffer.
 package tcpnet
 
 import (
@@ -65,13 +80,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/bits"
 	"net"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"godm/internal/bufpool"
 	"godm/internal/metrics"
 	"godm/internal/transport"
 )
@@ -215,28 +230,14 @@ type laneKey struct {
 // retry marks failures where the request provably never fully left this host
 // (the connection died before all of its frame's bytes were handed to the
 // kernel), so the operation can be re-sent without risking duplicate
-// execution on the peer.
+// execution on the peer. pooled marks a payload drawn from the frame pool;
+// the round trip releases it unless ownership passes to the caller.
 type rpcResult struct {
 	status  byte
 	payload []byte
 	err     error
 	retry   bool
-}
-
-// countingConn wraps the outbound socket and counts every byte actually
-// handed to the kernel — including bufio's automatic overflow flushes and
-// its large-write bypass, not just the explicit flush-goroutine syscalls.
-// All writes (and the failConn read of n) happen under clientConn.wmu, so a
-// plain field suffices.
-type countingConn struct {
-	net.Conn
-	n int64 // bytes handed to the kernel since dial
-}
-
-func (c *countingConn) Write(p []byte) (int, error) {
-	n, err := c.Conn.Write(p)
-	c.n += int64(n)
-	return n, err
+	pooled  bool
 }
 
 // frameRef remembers where one request frame ends in the outbound byte
@@ -244,37 +245,137 @@ func (c *countingConn) Write(p []byte) (int, error) {
 // the kernel (possibly delivered and executed — never retried) from frames
 // the socket provably never finished accepting (safe to retry: the peer can
 // at most have seen a truncated frame, which it discards without executing).
+// bi/bn locate the frame's slices in the vecQueue while it is unflushed, so
+// a cancelled round trip can detach caller-owned payload memory from the
+// queue before returning.
 type frameRef struct {
-	id  uint64
-	end int64 // stream offset one past the frame's last byte
+	id     uint64
+	end    int64 // stream offset one past the frame's last byte
+	bi, bn int   // the frame's slice range in vecQueue.bufs
+}
+
+// burstBytes is the queue size past which a flush fires immediately instead
+// of yielding for more of the sender burst (the old bufio buffer size).
+const burstBytes = 64 << 10
+
+// vecQueue is the vectored outbound frame queue shared by the client send
+// path and the server response path. Frames are queued as iovecs — a pooled
+// header block plus the payload slices, unreferenced and uncopied — and
+// flush hands the whole queue to the kernel with one net.Buffers vectored
+// write. The embedding connection's mutex guards all fields.
+type vecQueue struct {
+	bufs    net.Buffers            // queued iovecs, in frame order
+	wto     net.Buffers            // WriteTo staging (see flush)
+	hdrs    []*[reqHeaderSize]byte // header blocks in flight, recycled on flush
+	free    []*[reqHeaderSize]byte // header block freelist
+	release [][]byte               // pooled payloads released after flush
+	queued  int64                  // bytes in bufs
+	written int64                  // bytes the kernel has accepted since dial
+}
+
+// header returns a recycled (or new) header block and tracks it for reuse
+// after the next successful flush. Response headers use a prefix of the
+// request-sized block.
+func (q *vecQueue) header() *[reqHeaderSize]byte {
+	var h *[reqHeaderSize]byte
+	if n := len(q.free); n > 0 {
+		h = q.free[n-1]
+		q.free = q.free[:n-1]
+	} else {
+		h = new([reqHeaderSize]byte)
+	}
+	q.hdrs = append(q.hdrs, h)
+	return h
+}
+
+// flush hands every queued iovec to the kernel in one vectored write. On
+// success the queue is reset with its backing storage retained, header
+// blocks return to the freelist, and pooled payloads are released. On error
+// the queue is left as-is (the connection is dead); written still reflects
+// the bytes the kernel accepted, which is what the retry classification in
+// failConn compares frame end offsets against.
+func (q *vecQueue) flush(conn net.Conn) error {
+	if len(q.bufs) == 0 {
+		return nil
+	}
+	var n int64
+	var err error
+	if raceEnabled {
+		// The race detector only annotates the write(2) syscall with the
+		// ioSync release that pairs with read(2)'s acquire; the writev path
+		// has no annotation, so vectored data sent to an endpoint in this
+		// same process would be falsely reported as racing with the peer's
+		// reads. Degrade to per-iovec writes when the detector is active.
+		for _, b := range q.bufs {
+			var m int
+			m, err = conn.Write(b)
+			n += int64(m)
+			if err != nil {
+				break
+			}
+		}
+	} else {
+		// WriteTo consumes its receiver (and nils out sent entries), so hand
+		// it a copy of the slice header and keep ours for backing-array reuse.
+		// The copy is staged in the queue struct, not a local: a local would
+		// escape to the heap on every flush through WriteTo's pointer
+		// receiver — the last allocation on the steady-state path.
+		q.wto = q.bufs
+		n, err = q.wto.WriteTo(conn)
+		q.wto = nil
+	}
+	q.written += n
+	if err != nil {
+		return err
+	}
+	q.bufs = q.bufs[:0]
+	q.queued = 0
+	q.free = append(q.free, q.hdrs...)
+	q.hdrs = q.hdrs[:0]
+	for _, b := range q.release {
+		putBuf(b)
+	}
+	q.release = q.release[:0]
+	return nil
+}
+
+// pendingOp is one in-flight round trip awaiting its response. dst, when
+// non-nil, is the caller's destination buffer: the demux reader scatters a
+// matching OK payload straight into it. pool selects how other payloads are
+// read: from the frame pool (one-sided ops; the round trip releases them)
+// or freshly allocated (call responses, which the application retains).
+type pendingOp struct {
+	ch   chan rpcResult
+	dst  []byte
+	pool bool
 }
 
 // clientConn is one pooled outbound connection. The write side is guarded by
-// wmu (held only while one frame is written); responses are consumed by a
-// single reader goroutine that routes them to pending by request ID.
+// wmu (held only while one frame is queued or the queue is flushed);
+// responses are consumed by a single reader goroutine that routes them to
+// pending by request ID.
 //
-// Flushes are coalesced: senders only mark the writer dirty, and the
-// connection's flush goroutine pushes every frame buffered by the current
-// burst of runnable senders out in one syscall. unflushed records the stream
-// end offset of every frame not yet confirmed flushed; because cw counts the
-// bytes the kernel has actually accepted (bufio may flush on its own when
-// the buffer overflows), a failure marks exactly the frames whose end offset
-// lies beyond the accepted-byte count as retryable — those provably never
-// reached the peer intact — while frames fully handed to the kernel surface
-// the error to their callers.
+// Flushes are coalesced: senders only queue their frame's iovecs and mark
+// the writer dirty, and the connection's flush goroutine pushes everything
+// the current burst of runnable senders queued out in one vectored write.
+// unflushed records the stream end offset of every frame not yet confirmed
+// flushed; because vq.written counts the bytes the kernel has actually
+// accepted (a failed writev reports its partial progress), a failure marks
+// exactly the frames whose end offset lies beyond the accepted-byte count as
+// retryable — those provably never reached the peer intact — while frames
+// fully handed to the kernel surface the error to their callers.
 type clientConn struct {
-	c  net.Conn
-	cw *countingConn // the bufio.Writer's sink; wraps c
+	c net.Conn
 
 	wmu       sync.Mutex
-	w         *bufio.Writer
+	vq        vecQueue
 	unflushed []frameRef
-	wdead     bool          // write side failed; senders must not buffer more frames
-	dirty     chan struct{} // cap 1: "buffered frames await a flush"
+	wdead     bool          // write side failed; senders must not queue more frames
+	dirty     chan struct{} // cap 1: "queued frames await a flush"
 	done      chan struct{} // closed exactly once by failConn
 
 	pmu     sync.Mutex
-	pending map[uint64]chan rpcResult
+	pending map[uint64]pendingOp
 	nextID  uint64
 	dead    bool
 	deadErr error
@@ -283,8 +384,9 @@ type clientConn struct {
 // resultChanPool recycles the buffered per-request response channels.
 var resultChanPool = sync.Pool{New: func() any { return make(chan rpcResult, 1) }}
 
-// register allocates a request ID and its response channel.
-func (cc *clientConn) register() (uint64, chan rpcResult, error) {
+// register allocates a request ID and its response channel. dst and pool
+// configure how the demux reader lands this request's response payload.
+func (cc *clientConn) register(dst []byte, pool bool) (uint64, chan rpcResult, error) {
 	cc.pmu.Lock()
 	defer cc.pmu.Unlock()
 	if cc.dead {
@@ -293,14 +395,18 @@ func (cc *clientConn) register() (uint64, chan rpcResult, error) {
 	cc.nextID++
 	id := cc.nextID
 	ch := resultChanPool.Get().(chan rpcResult)
-	cc.pending[id] = ch
+	cc.pending[id] = pendingOp{ch: ch, dst: dst, pool: pool}
 	return id, ch, nil
 }
 
 // cancel abandons a pending request (context fired, or send failed). If the
-// entry was already claimed by the reader a send may still be in flight, so
-// the channel is abandoned rather than pooled.
-func (cc *clientConn) cancel(id uint64, ch chan rpcResult) {
+// entry was already claimed — the reader or failConn owns it and will
+// deliver exactly one result — a round trip that lent out a destination
+// buffer must wait that result out: returning while the reader may still
+// scatter into dst would hand the caller a buffer the transport is about to
+// scribble on. Claimed entries without a dst are simply abandoned (the late
+// result is dropped on the buffered channel and collected).
+func (cc *clientConn) cancel(id uint64, ch chan rpcResult, dst []byte) {
 	cc.pmu.Lock()
 	_, mine := cc.pending[id]
 	if mine {
@@ -309,6 +415,39 @@ func (cc *clientConn) cancel(id uint64, ch chan rpcResult) {
 	cc.pmu.Unlock()
 	if mine {
 		resultChanPool.Put(ch)
+		return
+	}
+	if dst != nil {
+		res := <-ch
+		if res.pooled {
+			putBuf(res.payload)
+		}
+		resultChanPool.Put(ch)
+	}
+}
+
+// detach unbinds a cancelled frame's payload iovecs from caller-owned
+// memory: each still-queued payload slice is copied into a pooled buffer
+// that the flush releases. The caller regains exclusive ownership of its
+// buffers the moment detach returns, while the stream keeps its framing (the
+// queued header promised payloadLen bytes, so the bytes themselves must
+// still go out). The happy path never pays this copy — only a context
+// cancellation that outruns the flush goroutine does.
+func (cc *clientConn) detach(id uint64) {
+	cc.wmu.Lock()
+	defer cc.wmu.Unlock()
+	for _, ref := range cc.unflushed {
+		if ref.id != id {
+			continue
+		}
+		for i := ref.bi + 1; i < ref.bi+ref.bn; i++ {
+			b := cc.vq.bufs[i]
+			cp := getBuf(len(b))
+			copy(cp, b)
+			cc.vq.bufs[i] = cp
+			cc.vq.release = append(cc.vq.release, cp)
+		}
+		return
 	}
 }
 
@@ -459,12 +598,12 @@ func (e *Endpoint) serveConn(conn net.Conn) {
 	}
 	e.inbound[conn] = struct{}{}
 	e.mu.Unlock()
-	// Response frames are written by the read loop (one-sided fast path) and
-	// by call workers; cw serializes them and coalesces flushes. callWG is
-	// drained before the connection is torn down so workers never write to a
-	// freed buffer.
+	// Response frames are queued by the read loop (one-sided fast path) and
+	// by call workers; cw serializes them and coalesces flushes into one
+	// vectored write. callWG is drained before the connection is torn down so
+	// workers never queue onto a freed writer.
 	cw := &connWriter{
-		w:     bufio.NewWriterSize(conn, 64<<10),
+		conn:  conn,
 		dirty: make(chan struct{}, 1),
 		done:  make(chan struct{}),
 	}
@@ -505,7 +644,9 @@ func (e *Endpoint) serveConn(conn net.Conn) {
 			// opRead copies the region bytes into a pooled buffer so the
 			// regions read lock is released before the response is framed: a
 			// slow peer stalling the socket write must not pin the lock and
-			// wedge registration or one-sided traffic endpoint-wide.
+			// wedge registration or one-sided traffic endpoint-wide. The
+			// pooled response rides the queue as an iovec and is released by
+			// the flush that confirms the kernel took it.
 			var status byte
 			var resp []byte
 			var pooled bool
@@ -515,10 +656,7 @@ func (e *Endpoint) serveConn(conn net.Conn) {
 			} else {
 				status, resp, pooled = e.execute(e.baseCtx, req, true)
 			}
-			werr := e.respond(cw, req.id, status, resp, false)
-			if pooled {
-				putBuf(resp)
-			}
+			werr := e.respond(cw, req.id, status, resp, pooled, false)
 			if req.pooled {
 				putBuf(req.payload)
 			}
@@ -542,14 +680,14 @@ func (e *Endpoint) serveConn(conn net.Conn) {
 				status, resp, _ := e.execute(e.baseCtx, req, false)
 				// Workers hand the flush to the connection's flusher so a
 				// burst of completing handlers coalesces into one syscall.
-				_ = e.respond(cw, req.id, status, resp, true)
+				_ = e.respond(cw, req.id, status, resp, false, true)
 			}(req)
 		default:
 			if req.pooled {
 				putBuf(req.payload)
 			}
 			if e.respond(cw, req.id, statusAppError,
-				[]byte(fmt.Sprintf("unknown op %d", req.op)), false) != nil {
+				[]byte(fmt.Sprintf("unknown op %d", req.op)), false, false) != nil {
 				return
 			}
 		}
@@ -557,12 +695,16 @@ func (e *Endpoint) serveConn(conn net.Conn) {
 }
 
 // connWriter is the shared, flush-coalescing response writer for one inbound
-// connection. The read loop's inline responses are flushed at the loop top
-// once the request burst drains; call workers mark the writer dirty and the
-// flush goroutine pushes a burst of handler responses out in one syscall.
+// connection. Responses are queued as iovecs (header block plus payload,
+// uncopied); the read loop's inline responses are flushed at the loop top
+// once the request burst drains, while call workers mark the writer dirty
+// and the flush goroutine pushes a burst of handler responses out in one
+// vectored write.
 type connWriter struct {
 	mu    sync.Mutex
-	w     *bufio.Writer
+	conn  net.Conn
+	q     vecQueue
+	dead  bool
 	dirty chan struct{} // cap 1: worker responses await a flush
 	done  chan struct{} // closed by serveConn after workers drain
 }
@@ -571,10 +713,14 @@ type connWriter struct {
 func (cw *connWriter) flushPending() error {
 	cw.mu.Lock()
 	defer cw.mu.Unlock()
-	if cw.w.Buffered() == 0 {
-		return nil
+	if cw.dead {
+		return errors.New("tcpnet: connection writer failed")
 	}
-	return cw.w.Flush()
+	err := cw.q.flush(cw.conn)
+	if err != nil {
+		cw.dead = true
+	}
+	return err
 }
 
 // flushLoop drains worker responses. Flush errors are ignored here: the
@@ -583,7 +729,7 @@ func (cw *connWriter) flushLoop() {
 	for {
 		select {
 		case <-cw.dirty:
-			waitForBurst(&cw.mu, cw.w)
+			waitForBurst(&cw.mu, &cw.q)
 			_ = cw.flushPending()
 		case <-cw.done:
 			_ = cw.flushPending() // whatever the last workers left behind
@@ -592,16 +738,39 @@ func (cw *connWriter) flushLoop() {
 	}
 }
 
-// respond frames one response. With deferFlush=false (read-loop fast path)
-// the frame stays buffered for the loop-top flush; with deferFlush=true
-// (call workers) the connection's flush goroutine batches the burst.
-func (e *Endpoint) respond(cw *connWriter, id uint64, status byte, payload []byte, deferFlush bool) error {
-	cw.mu.Lock()
-	err := writeResponse(cw.w, id, status, payload)
-	cw.mu.Unlock()
-	if err != nil {
-		return err
+// respond queues one response frame as iovecs. A pooled payload stays queued
+// until the flush that hands it to the kernel releases it. With
+// deferFlush=false (read-loop fast path) the frame waits for the loop-top
+// flush; with deferFlush=true (call workers) the connection's flush
+// goroutine batches the burst.
+func (e *Endpoint) respond(cw *connWriter, id uint64, status byte, payload []byte, pooled, deferFlush bool) error {
+	if len(payload) > maxPayload {
+		if pooled {
+			putBuf(payload)
+		}
+		return fmt.Errorf("%w: payload %d exceeds %d", ErrFrameTooLarge, len(payload), maxPayload)
 	}
+	cw.mu.Lock()
+	if cw.dead {
+		cw.mu.Unlock()
+		if pooled {
+			putBuf(payload)
+		}
+		return errors.New("tcpnet: connection writer failed")
+	}
+	hdr := cw.q.header()
+	binary.BigEndian.PutUint64(hdr[0:8], id)
+	hdr[8] = status
+	binary.BigEndian.PutUint32(hdr[9:13], uint32(len(payload)))
+	cw.q.bufs = append(cw.q.bufs, hdr[:respHeaderSize])
+	if len(payload) > 0 {
+		cw.q.bufs = append(cw.q.bufs, payload)
+		if pooled {
+			cw.q.release = append(cw.q.release, payload)
+		}
+	}
+	cw.q.queued += int64(respHeaderSize + len(payload))
+	cw.mu.Unlock()
 	e.bytesTx.Add(int64(respHeaderSize + len(payload)))
 	if deferFlush {
 		select {
@@ -700,14 +869,11 @@ func (e *Endpoint) conn(ctx context.Context, to transport.NodeID) (laneKey, *cli
 		}
 		return key, nil, fmt.Errorf("%w: dial %s: %v", transport.ErrUnreachable, addr, err)
 	}
-	cw := &countingConn{Conn: c}
 	cc := &clientConn{
 		c:       c,
-		cw:      cw,
-		w:       bufio.NewWriterSize(cw, 64<<10),
 		dirty:   make(chan struct{}, 1),
 		done:    make(chan struct{}),
-		pending: map[uint64]chan rpcResult{},
+		pending: map[uint64]pendingOp{},
 	}
 	e.mu.Lock()
 	if e.closed {
@@ -742,25 +908,69 @@ func (e *Endpoint) dropConn(key laneKey, cc *clientConn) {
 
 // readLoop is the demultiplexer: the single goroutine that consumes response
 // frames from one pooled connection and completes the matching round trips.
+// It is length-aware: the pending entry is claimed before the payload is
+// read, so a round trip that registered a destination buffer gets its bytes
+// scattered straight off the socket into it, abandoned responses are
+// discarded without allocating, and everything else lands in a pooled
+// buffer. A claimed entry is always delivered exactly one result — on a read
+// error its waiter hears the failure before failConn sweeps the rest — which
+// is what lets a cancelled scatter read block until its buffer is safe.
 func (e *Endpoint) readLoop(key laneKey, cc *clientConn, r *bufio.Reader) {
 	defer e.wg.Done()
+	var hdr [respHeaderSize]byte
 	for {
-		id, status, payload, err := readResponse(r)
-		if err != nil {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
 			e.failConn(key, cc, err)
 			return
 		}
-		e.bytesRx.Add(int64(respHeaderSize + len(payload)))
+		id := binary.BigEndian.Uint64(hdr[0:8])
+		status := hdr[8]
+		payloadLen := int(binary.BigEndian.Uint32(hdr[9:13]))
+		if payloadLen > maxPayload {
+			e.failConn(key, cc, errors.New("tcpnet: oversized frame"))
+			return
+		}
 		cc.pmu.Lock()
-		ch, ok := cc.pending[id]
+		op, ok := cc.pending[id]
 		if ok {
 			delete(cc.pending, id)
 		}
 		cc.pmu.Unlock()
-		if ok {
-			ch <- rpcResult{status: status, payload: payload}
+		if !ok {
+			// The waiter's context fired; drain the late response in place.
+			if _, err := r.Discard(payloadLen); err != nil {
+				e.failConn(key, cc, err)
+				return
+			}
+			e.bytesRx.Add(int64(respHeaderSize + payloadLen))
+			continue
 		}
-		// else: the waiter's context fired; discard the late response.
+		if op.dst != nil && status == statusOK && payloadLen == len(op.dst) {
+			if _, err := io.ReadFull(r, op.dst); err != nil {
+				op.ch <- rpcResult{err: fmt.Errorf("%w: recv: %v", transport.ErrUnreachable, err)}
+				e.failConn(key, cc, err)
+				return
+			}
+			e.bytesRx.Add(int64(respHeaderSize + payloadLen))
+			op.ch <- rpcResult{status: status}
+			continue
+		}
+		var payload []byte
+		if op.pool {
+			payload = getBuf(payloadLen)
+		} else {
+			payload = make([]byte, payloadLen)
+		}
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if op.pool {
+				putBuf(payload)
+			}
+			op.ch <- rpcResult{err: fmt.Errorf("%w: recv: %v", transport.ErrUnreachable, err)}
+			e.failConn(key, cc, err)
+			return
+		}
+		e.bytesRx.Add(int64(respHeaderSize + payloadLen))
+		op.ch <- rpcResult{status: status, payload: payload, pooled: op.pool}
 	}
 }
 
@@ -786,7 +996,7 @@ func (e *Endpoint) failConn(key laneKey, cc *clientConn, cause error) {
 	cc.wdead = true
 	refs := cc.unflushed
 	cc.unflushed = nil
-	accepted := cc.cw.n
+	accepted := cc.vq.written
 	cc.wmu.Unlock()
 	cc.pmu.Lock()
 	if cc.dead {
@@ -808,48 +1018,63 @@ func (e *Endpoint) failConn(key laneKey, cc *clientConn, cause error) {
 			}
 		}
 	}
-	for id, ch := range pending {
+	for id, op := range pending {
 		if _, ok := unsentSet[id]; ok {
-			ch <- rpcResult{err: fmt.Errorf("%w: send: %v", transport.ErrUnreachable, cause), retry: true}
+			op.ch <- rpcResult{err: fmt.Errorf("%w: send: %v", transport.ErrUnreachable, cause), retry: true}
 		} else {
-			ch <- rpcResult{err: err}
+			op.ch <- rpcResult{err: err}
 		}
 	}
 }
 
-// send writes one request frame; wmu is held only for the write itself, so
+// send queues one request frame as iovecs — a pooled header block plus the
+// caller's payload slices, uncopied; wmu is held only for the queueing, so
 // concurrent round trips interleave whole frames rather than waiting for
-// each other's responses. The flush syscall is always deferred to the
-// connection's flush goroutine, which batches every frame written by the
+// each other's responses. The vectored-write syscall is always deferred to
+// the connection's flush goroutine, which batches every frame queued by the
 // current burst of runnable senders — the mechanism that keeps a one-core
 // host from paying one write syscall per concurrent RPC. Until a flush
 // confirms delivery to the kernel, the frame's stream end offset rides in
 // unflushed, which is what lets a failed flush (a stale pooled connection,
 // typically) be retried safely: failConn compares each recorded offset
-// against the bytes the socket actually accepted. A writeRequest error kills
-// the write side immediately — the buffer may hold a truncated frame that
-// must never be followed by more bytes.
-func (e *Endpoint) send(cc *clientConn, op byte, id uint64, region transport.RegionID, offset int64, n int, payload []byte) error {
+// against the bytes the socket actually accepted.
+//
+// The queued payload slices remain caller-owned: the caller is blocked in
+// its round trip until the response (which implies the flush) arrives, and
+// the cancellation path detaches the slices from the queue before returning.
+func (e *Endpoint) send(cc *clientConn, op byte, id uint64, region transport.RegionID, offset int64, n int, payload []byte, extra [][]byte) error {
+	plen := len(payload)
+	for _, b := range extra {
+		plen += len(b)
+	}
 	cc.wmu.Lock()
 	if cc.wdead {
 		cc.wmu.Unlock()
 		return errors.New("connection already failed")
 	}
-	err := writeRequest(cc.w, op, id, e.id, region, offset, n, payload)
-	if err == nil {
-		// Stream offset of this frame's last byte: everything the kernel has
-		// accepted so far plus everything still sitting in the bufio buffer.
-		// Holds even when bufio auto-flushed mid-frame or bypassed the buffer
-		// for a large payload — cw counted those bytes as they went out.
-		cc.unflushed = append(cc.unflushed, frameRef{id: id, end: cc.cw.n + int64(cc.w.Buffered())})
-	} else {
-		cc.wdead = true
+	q := &cc.vq
+	hdr := q.header()
+	hdr[0] = op
+	binary.BigEndian.PutUint64(hdr[1:9], id)
+	binary.BigEndian.PutUint64(hdr[9:17], uint64(e.id))
+	binary.BigEndian.PutUint32(hdr[17:21], uint32(region))
+	binary.BigEndian.PutUint64(hdr[21:29], uint64(offset))
+	binary.BigEndian.PutUint32(hdr[29:33], uint32(n))
+	binary.BigEndian.PutUint32(hdr[33:37], uint32(plen))
+	bi := len(q.bufs)
+	q.bufs = append(q.bufs, hdr[:])
+	if len(payload) > 0 {
+		q.bufs = append(q.bufs, payload)
 	}
+	for _, b := range extra {
+		if len(b) > 0 {
+			q.bufs = append(q.bufs, b)
+		}
+	}
+	q.queued += int64(reqHeaderSize + plen)
+	cc.unflushed = append(cc.unflushed, frameRef{id: id, end: q.written + q.queued, bi: bi, bn: len(q.bufs) - bi})
 	cc.wmu.Unlock()
-	if err != nil {
-		return err
-	}
-	e.bytesTx.Add(int64(reqHeaderSize + len(payload)))
+	e.bytesTx.Add(int64(reqHeaderSize + plen))
 	select {
 	case cc.dirty <- struct{}{}:
 	default: // a flush is already scheduled
@@ -858,23 +1083,20 @@ func (e *Endpoint) send(cc *clientConn, op byte, id uint64, region transport.Reg
 }
 
 // flushLoop is one connection's deferred flusher: it wakes after a burst of
-// senders has marked the writer dirty and pushes their frames out together.
-// A failed flush fails the connection; requests whose frames never left the
-// buffer are failed as retryable.
+// senders has marked the writer dirty and pushes their frames out together
+// in one vectored write. A failed flush fails the connection; requests whose
+// frames never reached the kernel are failed as retryable.
 func (e *Endpoint) flushLoop(key laneKey, cc *clientConn) {
 	defer e.wg.Done()
 	for {
 		select {
 		case <-cc.dirty:
-			waitForBurst(&cc.wmu, cc.w)
+			waitForBurst(&cc.wmu, &cc.vq)
 			cc.wmu.Lock()
-			var err error
-			if cc.w.Buffered() > 0 {
-				err = cc.w.Flush()
-			}
+			err := cc.vq.flush(cc.c)
 			if err == nil {
-				// Buffer empty: every recorded frame end is <= cw.n, i.e.
-				// fully handed to the kernel and no longer retryable.
+				// Queue empty: every recorded frame end is <= vq.written,
+				// i.e. fully handed to the kernel and no longer retryable.
 				cc.unflushed = cc.unflushed[:0]
 			}
 			cc.wmu.Unlock()
@@ -890,17 +1112,17 @@ func (e *Endpoint) flushLoop(key laneKey, cc *clientConn) {
 	}
 }
 
-// waitForBurst yields the processor until w stops accumulating frames, so a
+// waitForBurst yields the processor until q stops accumulating frames, so a
 // flush goroutine woken by the first sender of a burst does not fire before
-// the rest of the runnable senders have buffered theirs. Bounded: at most a
-// few yields, and a buffer already past half its capacity flushes at once.
-func waitForBurst(mu *sync.Mutex, w *bufio.Writer) {
-	prev := -1
+// the rest of the runnable senders have queued theirs. Bounded: at most a
+// few yields, and a queue already past the burst threshold flushes at once.
+func waitForBurst(mu *sync.Mutex, q *vecQueue) {
+	prev := int64(-1)
 	for i := 0; i < 4; i++ {
 		mu.Lock()
-		cur, avail := w.Buffered(), w.Available()
+		cur := q.queued
 		mu.Unlock()
-		if cur == prev || cur > avail {
+		if cur == prev || cur > burstBytes {
 			return
 		}
 		prev = cur
@@ -908,9 +1130,17 @@ func waitForBurst(mu *sync.Mutex, w *bufio.Writer) {
 	}
 }
 
-func (e *Endpoint) roundTrip(ctx context.Context, to transport.NodeID, op byte, region transport.RegionID, offset int64, n int, payload []byte) ([]byte, error) {
-	if len(payload) > maxPayload {
-		return nil, fmt.Errorf("%w: payload %d exceeds %d", ErrFrameTooLarge, len(payload), maxPayload)
+// roundTrip runs one request against a peer. payload and extra together form
+// the request payload (extra is WriteRegionV's gather list; both may be
+// nil); dst, when non-nil, is the caller's destination buffer for an opRead
+// response, scattered into directly by the demux reader.
+func (e *Endpoint) roundTrip(ctx context.Context, to transport.NodeID, op byte, region transport.RegionID, offset int64, n int, payload []byte, extra [][]byte, dst []byte) ([]byte, error) {
+	plen := len(payload)
+	for _, b := range extra {
+		plen += len(b)
+	}
+	if plen > maxPayload {
+		return nil, fmt.Errorf("%w: payload %d exceeds %d", ErrFrameTooLarge, plen, maxPayload)
 	}
 	if n > maxPayload {
 		return nil, fmt.Errorf("%w: read of %d exceeds %d", ErrFrameTooLarge, n, maxPayload)
@@ -923,13 +1153,19 @@ func (e *Endpoint) roundTrip(ctx context.Context, to transport.NodeID, op byte, 
 		if e.isClosed() {
 			return nil, transport.ErrClosed
 		}
+		if op == opWrite && extra != nil {
+			return nil, e.writeLocalV(to, region, offset, payload, extra)
+		}
+		if op == opRead && dst != nil {
+			return nil, e.readLocalInto(to, region, offset, dst)
+		}
 		status, resp, _ := e.execute(ctx, request{
 			op: op, from: e.id, region: region, offset: offset, n: n, payload: payload,
 		}, false)
 		return e.decodeStatus(to, region, status, resp)
 	}
 	for attempt := 0; ; attempt++ {
-		resp, retry, err := e.attempt(ctx, to, op, region, offset, n, payload)
+		resp, retry, err := e.attempt(ctx, to, op, region, offset, n, payload, extra, dst)
 		if err == nil {
 			return resp, nil
 		}
@@ -953,7 +1189,7 @@ func (e *Endpoint) roundTrip(ctx context.Context, to transport.NodeID, op byte, 
 // (dial failures, dead pooled connections, send errors) are retryable;
 // once a request is on the wire a lost response is surfaced to the caller,
 // never re-executed.
-func (e *Endpoint) attempt(ctx context.Context, to transport.NodeID, op byte, region transport.RegionID, offset int64, n int, payload []byte) (_ []byte, retry bool, _ error) {
+func (e *Endpoint) attempt(ctx context.Context, to transport.NodeID, op byte, region transport.RegionID, offset int64, n int, payload []byte, extra [][]byte, dst []byte) (_ []byte, retry bool, _ error) {
 	key, cc, err := e.conn(ctx, to)
 	if err != nil {
 		if errors.Is(err, transport.ErrClosed) || ctx.Err() != nil {
@@ -964,12 +1200,12 @@ func (e *Endpoint) attempt(ctx context.Context, to transport.NodeID, op byte, re
 		e.mu.Unlock()
 		return nil, known, err // unknown peers fail fast, dial errors retry
 	}
-	id, ch, err := cc.register()
+	id, ch, err := cc.register(dst, op != opCall)
 	if err != nil {
 		return nil, true, err // connection died while pooled
 	}
-	if err := e.send(cc, op, id, region, offset, n, payload); err != nil {
-		cc.cancel(id, ch)
+	if err := e.send(cc, op, id, region, offset, n, payload, extra); err != nil {
+		cc.cancel(id, ch, nil)
 		e.dropConn(key, cc)
 		if e.isClosed() {
 			return nil, false, transport.ErrClosed
@@ -988,7 +1224,12 @@ func (e *Endpoint) attempt(ctx context.Context, to transport.NodeID, op byte, re
 		case res = <-ch:
 		case <-done:
 			e.inflight.Add(-1)
-			cc.cancel(id, ch)
+			if payload != nil || extra != nil {
+				// Reclaim the caller's payload memory from the write queue
+				// before handing the buffers back.
+				cc.detach(id)
+			}
+			cc.cancel(id, ch, dst)
 			return nil, false, ctx.Err()
 		}
 	}
@@ -999,7 +1240,62 @@ func (e *Endpoint) attempt(ctx context.Context, to transport.NodeID, op byte, re
 	}
 	resultChanPool.Put(ch)
 	out, err := e.decodeStatus(to, region, res.status, res.payload)
+	if err != nil {
+		if res.pooled {
+			putBuf(res.payload)
+		}
+		return nil, false, err
+	}
+	if dst != nil && out != nil {
+		// The reader fell back to a buffered read (length mismatch with dst:
+		// a peer anomaly); salvage what fits.
+		copied := copy(dst, out)
+		if res.pooled {
+			putBuf(out)
+		}
+		if copied != len(dst) {
+			return nil, false, fmt.Errorf("tcpnet: short read: %d of %d bytes", copied, len(dst))
+		}
+		return nil, false, nil
+	}
 	return out, false, err
+}
+
+// writeLocalV applies a loopback gather write directly to the region.
+func (e *Endpoint) writeLocalV(to transport.NodeID, region transport.RegionID, offset int64, payload []byte, extra [][]byte) error {
+	e.regMu.RLock()
+	defer e.regMu.RUnlock()
+	buf, ok := e.regions[region]
+	if !ok {
+		return fmt.Errorf("%w: region %d on node %d", transport.ErrNoRegion, region, to)
+	}
+	total := int64(len(payload))
+	for _, b := range extra {
+		total += int64(len(b))
+	}
+	if offset < 0 || offset+total > int64(len(buf)) {
+		return fmt.Errorf("%w: region %d on node %d", transport.ErrOutOfBounds, region, to)
+	}
+	at := offset + int64(copy(buf[offset:], payload))
+	for _, b := range extra {
+		at += int64(copy(buf[at:], b))
+	}
+	return nil
+}
+
+// readLocalInto applies a loopback scatter read directly from the region.
+func (e *Endpoint) readLocalInto(to transport.NodeID, region transport.RegionID, offset int64, dst []byte) error {
+	e.regMu.RLock()
+	defer e.regMu.RUnlock()
+	buf, ok := e.regions[region]
+	if !ok {
+		return fmt.Errorf("%w: region %d on node %d", transport.ErrNoRegion, region, to)
+	}
+	if offset < 0 || offset+int64(len(dst)) > int64(len(buf)) {
+		return fmt.Errorf("%w: region %d on node %d", transport.ErrOutOfBounds, region, to)
+	}
+	copy(dst, buf[offset:])
+	return nil
 }
 
 // decodeStatus maps a wire status byte back to the transport sentinel errors.
@@ -1022,18 +1318,39 @@ func (e *Endpoint) decodeStatus(to transport.NodeID, region transport.RegionID, 
 
 // WriteRegion implements transport.Verbs.
 func (e *Endpoint) WriteRegion(ctx context.Context, to transport.NodeID, region transport.RegionID, offset int64, data []byte) error {
-	_, err := e.roundTrip(ctx, to, opWrite, region, offset, 0, data)
+	_, err := e.roundTrip(ctx, to, opWrite, region, offset, 0, data, nil, nil)
 	return err
 }
 
-// ReadRegion implements transport.Verbs.
+// WriteRegionV implements transport.VectoredWriter: bufs ride the write
+// queue as one frame's iovec list and land contiguously at offset on the
+// peer — the concatenation is performed by the kernel's vectored write and
+// the peer's sequential apply, never by an intermediate assembly copy here.
+func (e *Endpoint) WriteRegionV(ctx context.Context, to transport.NodeID, region transport.RegionID, offset int64, bufs [][]byte) error {
+	_, err := e.roundTrip(ctx, to, opWrite, region, offset, 0, nil, bufs, nil)
+	return err
+}
+
+// ReadRegion implements transport.Verbs. The returned buffer is drawn from
+// the shared frame pool; the caller owns it and may release it with
+// bufpool.Put when done (retaining it merely strands one pooled buffer).
 func (e *Endpoint) ReadRegion(ctx context.Context, to transport.NodeID, region transport.RegionID, offset int64, n int) ([]byte, error) {
-	return e.roundTrip(ctx, to, opRead, region, offset, n, nil)
+	return e.roundTrip(ctx, to, opRead, region, offset, n, nil, nil, nil)
+}
+
+// ReadRegionInto implements transport.ScatterReader: the demux reader
+// scatters the response payload straight off the socket into dst, so a
+// steady-state read allocates nothing. dst is lent to the transport for the
+// duration of the call; if ctx fires mid-response the call blocks until the
+// reader has finished with dst before returning ctx.Err().
+func (e *Endpoint) ReadRegionInto(ctx context.Context, to transport.NodeID, region transport.RegionID, offset int64, dst []byte) error {
+	_, err := e.roundTrip(ctx, to, opRead, region, offset, len(dst), nil, nil, dst)
+	return err
 }
 
 // Call implements transport.Verbs.
 func (e *Endpoint) Call(ctx context.Context, to transport.NodeID, payload []byte) ([]byte, error) {
-	return e.roundTrip(ctx, to, opCall, 0, 0, 0, payload)
+	return e.roundTrip(ctx, to, opCall, 0, 0, 0, payload, nil, nil)
 }
 
 // request is one decoded request frame. pooled marks a payload drawn from
@@ -1071,8 +1388,11 @@ func writeRequest(w *bufio.Writer, op byte, id uint64, from transport.NodeID, re
 }
 
 func readRequest(r *bufio.Reader) (request, error) {
-	var hdr [reqHeaderSize]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	// Peek+Discard instead of ReadFull into a local array: the array would
+	// escape through the io.Reader interface and cost one heap allocation per
+	// request frame.
+	hdr, err := r.Peek(reqHeaderSize)
+	if err != nil {
 		return request{}, err
 	}
 	req := request{
@@ -1084,6 +1404,9 @@ func readRequest(r *bufio.Reader) (request, error) {
 		n:      int(int32(binary.BigEndian.Uint32(hdr[29:33]))),
 	}
 	payloadLen := binary.BigEndian.Uint32(hdr[33:37])
+	if _, err := r.Discard(reqHeaderSize); err != nil {
+		return request{}, err
+	}
 	if payloadLen > maxPayload {
 		return request{}, errors.New("tcpnet: oversized frame")
 	}
@@ -1136,56 +1459,17 @@ func readResponse(r *bufio.Reader) (id uint64, status byte, payload []byte, err 
 	return id, status, payload, nil
 }
 
-// Frame buffer pool: size-classed so a 4 KiB page write doesn't hand back a
-// 4 MiB buffer. Classes are powers of two from 4 KiB to 4 MiB; anything
-// larger is allocated directly (rare: bulk transfers), anything smaller
-// rides in the 4 KiB class.
+// The frame buffer pool is the repository-wide size-classed pool in
+// internal/bufpool (4 KiB–4 MiB classes), shared with the core client's
+// scratch buffers so a response buffer released by one layer serves the
+// next. These thin wrappers keep the package's historical spelling.
 const (
-	minPoolBuf  = 4 << 10
-	maxPoolBuf  = 4 << 20
-	poolClasses = 11 // 4<<10 << 10 == 4<<20
+	minPoolBuf = bufpool.MinBuf
+	maxPoolBuf = bufpool.MaxBuf
 )
 
-var bufPools [poolClasses]sync.Pool
-
-// classFor returns the smallest class whose buffers hold n bytes.
-func classFor(n int) int {
-	if n <= minPoolBuf {
-		return 0
-	}
-	c := bits.Len(uint(n-1)) - bits.Len(uint(minPoolBuf)) + 1
-	if c >= poolClasses {
-		return poolClasses - 1
-	}
-	return c
-}
-
 // getBuf returns a length-n buffer, reusing a pooled one when available.
-func getBuf(n int) []byte {
-	if n == 0 {
-		return []byte{}
-	}
-	if n > maxPoolBuf {
-		return make([]byte, n)
-	}
-	c := classFor(n)
-	if p, ok := bufPools[c].Get().(*[]byte); ok {
-		return (*p)[:n]
-	}
-	return make([]byte, n, minPoolBuf<<c)
-}
+func getBuf(n int) []byte { return bufpool.Get(n) }
 
 // putBuf recycles a buffer previously returned by getBuf.
-func putBuf(b []byte) {
-	c := cap(b)
-	if c < minPoolBuf || c > maxPoolBuf {
-		return
-	}
-	cl := bits.Len(uint(c)) - bits.Len(uint(minPoolBuf))
-	if c != minPoolBuf<<cl {
-		// Not a class-sized buffer (didn't come from the pool); drop it.
-		return
-	}
-	b = b[:0]
-	bufPools[cl].Put(&b)
-}
+func putBuf(b []byte) { bufpool.Put(b) }

@@ -61,6 +61,28 @@ func (t *traced) ReadRegion(ctx context.Context, to transport.NodeID, region tra
 	return data, err
 }
 
+func (t *traced) WriteRegionV(ctx context.Context, to transport.NodeID, region transport.RegionID, offset int64, bufs [][]byte) error {
+	ctx, sp := t.tr.Start(ctx, "net.write")
+	sp.Annotate("to", int(to))
+	total := 0
+	for _, b := range bufs {
+		total += len(b)
+	}
+	sp.Annotate("bytes", total)
+	err := transport.WriteRegionV(ctx, t.ep, to, region, offset, bufs)
+	sp.EndErr(err)
+	return err
+}
+
+func (t *traced) ReadRegionInto(ctx context.Context, to transport.NodeID, region transport.RegionID, offset int64, dst []byte) error {
+	ctx, sp := t.tr.Start(ctx, "net.read")
+	sp.Annotate("to", int(to))
+	sp.Annotate("bytes", len(dst))
+	err := transport.ReadRegionInto(ctx, t.ep, to, region, offset, dst)
+	sp.EndErr(err)
+	return err
+}
+
 func (t *traced) Call(ctx context.Context, to transport.NodeID, payload []byte) ([]byte, error) {
 	ctx, sp := t.tr.Start(ctx, "net.call")
 	sp.Annotate("to", int(to))

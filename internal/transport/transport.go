@@ -13,6 +13,8 @@ package transport
 import (
 	"context"
 	"errors"
+
+	"godm/internal/bufpool"
 )
 
 // NodeID names a node on the fabric.
@@ -70,6 +72,71 @@ type Verbs interface {
 	// Call performs a two-sided send/receive round trip: the payload is
 	// delivered to the target's Handler and its response returned.
 	Call(ctx context.Context, to NodeID, payload []byte) ([]byte, error)
+}
+
+// VectoredWriter is the gather-write capability: a one-sided write whose
+// payload is a list of slices (an iovec) that land contiguously at offset, in
+// order, as if they had been concatenated — without the fabric requiring the
+// caller to assemble them first. Both fabrics and all transport middlewares
+// implement it natively; WriteRegionV (the package helper) falls back to a
+// pooled gather copy for a Verbs that does not.
+//
+// Buffer ownership: every slice remains owned by the caller and must stay
+// unmodified until the call returns (the fabric may reference it until the
+// frame reaches the wire, exactly as RDMA DMAs from registered memory).
+type VectoredWriter interface {
+	WriteRegionV(ctx context.Context, to NodeID, region RegionID, offset int64, bufs [][]byte) error
+}
+
+// ScatterReader is the scatter-read capability: a one-sided read whose
+// payload lands directly in the caller's dst buffer — true one-sided-READ
+// semantics with no intermediate allocation. len(dst) bytes are read.
+//
+// Buffer ownership: dst is lent to the fabric for the duration of the call.
+// On a clean return (nil or error) the fabric has released it. If ctx is
+// cancelled the fabric may be mid-scatter; implementations either finish
+// draining the response into dst before returning ctx.Err() or guarantee dst
+// was never touched — callers may reuse dst as soon as the call returns.
+type ScatterReader interface {
+	ReadRegionInto(ctx context.Context, to NodeID, region RegionID, offset int64, dst []byte) error
+}
+
+// WriteRegionV performs a gather write through v: natively when v implements
+// VectoredWriter, otherwise by assembling bufs into one pooled buffer and
+// issuing a plain WriteRegion. The result on the target region is identical
+// either way — a contiguous [offset, offset+total) write of the
+// concatenation of bufs.
+func WriteRegionV(ctx context.Context, v Verbs, to NodeID, region RegionID, offset int64, bufs [][]byte) error {
+	if vw, ok := v.(VectoredWriter); ok {
+		return vw.WriteRegionV(ctx, to, region, offset, bufs)
+	}
+	total := 0
+	for _, b := range bufs {
+		total += len(b)
+	}
+	gather := bufpool.Get(total)
+	n := 0
+	for _, b := range bufs {
+		n += copy(gather[n:], b)
+	}
+	err := v.WriteRegion(ctx, to, region, offset, gather)
+	bufpool.Put(gather)
+	return err
+}
+
+// ReadRegionInto performs a scatter read of len(dst) bytes through v:
+// natively when v implements ScatterReader, otherwise via ReadRegion plus a
+// copy into dst.
+func ReadRegionInto(ctx context.Context, v Verbs, to NodeID, region RegionID, offset int64, dst []byte) error {
+	if sr, ok := v.(ScatterReader); ok {
+		return sr.ReadRegionInto(ctx, to, region, offset, dst)
+	}
+	data, err := v.ReadRegion(ctx, to, region, offset, len(dst))
+	if err != nil {
+		return err
+	}
+	copy(dst, data)
+	return nil
 }
 
 // Endpoint is one node's attachment to a fabric.

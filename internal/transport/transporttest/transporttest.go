@@ -48,6 +48,8 @@ func Cases() []Case {
 		{"RemoteCloseUnreachable", testRemoteClose},
 		{"ContextCancellation", testContextCancellation},
 		{"TraceContextPropagation", testTracePropagation},
+		{"VectoredWriteEquivalence", testVectoredWriteEquivalence},
+		{"ScatterReadInto", testScatterReadInto},
 	}
 }
 
@@ -327,6 +329,97 @@ func testTracePropagation(t *testing.T, f Fabric) {
 			if !strings.Contains(joined, want) {
 				t.Errorf("trace %d spans = %v, missing %s", root.TraceID(), names, want)
 			}
+		}
+	})
+}
+
+// testVectoredWriteEquivalence checks the gather-write contract: a
+// WriteRegionV of an iovec list must land on the target region byte-for-byte
+// identically to a plain WriteRegion of the pre-assembled concatenation —
+// whether the fabric implements transport.VectoredWriter natively or the
+// package helper falls back to a pooled gather. Oversized iovec totals get
+// the same ErrFrameTooLarge as oversized flat writes.
+func testVectoredWriteEquivalence(t *testing.T, f Fabric) {
+	eps := f.Endpoints(t, 2)
+	if _, err := eps[1].RegisterRegion(region, 64<<10); err != nil {
+		t.Fatal(err)
+	}
+	// Slices of uneven sizes, including an empty one mid-list.
+	parts := [][]byte{
+		bytes.Repeat([]byte{0x11}, 7),
+		bytes.Repeat([]byte{0x22}, 4096),
+		{},
+		bytes.Repeat([]byte{0x33}, 513),
+		{0x44},
+	}
+	var flat []byte
+	for _, p := range parts {
+		flat = append(flat, p...)
+	}
+	f.Run(t, func(ctx context.Context) {
+		if err := transport.WriteRegionV(ctx, eps[0], 2, region, 100, parts); err != nil {
+			t.Fatalf("WriteRegionV: %v", err)
+		}
+		if err := eps[0].WriteRegion(ctx, 2, region, 20000, flat); err != nil {
+			t.Fatalf("WriteRegion: %v", err)
+		}
+		vGot, err := eps[0].ReadRegion(ctx, 2, region, 100, len(flat))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fGot, err := eps[0].ReadRegion(ctx, 2, region, 20000, len(flat))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(vGot, flat) {
+			t.Error("vectored write landed different bytes than the source iovec")
+		}
+		if !bytes.Equal(vGot, fGot) {
+			t.Error("vectored and flat writes of the same bytes diverge on the region")
+		}
+		huge := [][]byte{make([]byte, transport.MaxFrameSize), {0x1}}
+		if err := transport.WriteRegionV(ctx, eps[0], 2, region, 0, huge); !errors.Is(err, transport.ErrFrameTooLarge) {
+			t.Errorf("oversized vectored write: %v, want ErrFrameTooLarge", err)
+		}
+	})
+}
+
+// testScatterReadInto checks the scatter-read contract: ReadRegionInto fills
+// exactly len(dst) bytes of the caller's buffer with the same bytes a plain
+// ReadRegion returns, errors leave sentinel semantics intact, and a
+// destination overlapping the region bounds fails with ErrOutOfBounds.
+func testScatterReadInto(t *testing.T, f Fabric) {
+	eps := f.Endpoints(t, 2)
+	if _, err := eps[1].RegisterRegion(region, 4096); err != nil {
+		t.Fatal(err)
+	}
+	f.Run(t, func(ctx context.Context) {
+		want := make([]byte, 1500)
+		for i := range want {
+			want[i] = byte(i * 7)
+		}
+		if err := eps[0].WriteRegion(ctx, 2, region, 64, want); err != nil {
+			t.Fatal(err)
+		}
+		// Oversize dst with sentinel bytes: only the first len bytes may move.
+		dst := bytes.Repeat([]byte{0xEE}, len(want)+8)
+		if err := transport.ReadRegionInto(ctx, eps[0], 2, region, 64, dst[:len(want)]); err != nil {
+			t.Fatalf("ReadRegionInto: %v", err)
+		}
+		if !bytes.Equal(dst[:len(want)], want) {
+			t.Error("scatter read filled dst with different bytes than were written")
+		}
+		for _, b := range dst[len(want):] {
+			if b != 0xEE {
+				t.Error("scatter read wrote past len(dst)")
+				break
+			}
+		}
+		if err := transport.ReadRegionInto(ctx, eps[0], 2, region, 4000, make([]byte, 200)); !errors.Is(err, transport.ErrOutOfBounds) {
+			t.Errorf("out-of-bounds scatter read: %v, want ErrOutOfBounds", err)
+		}
+		if err := transport.ReadRegionInto(ctx, eps[0], 2, 99, 0, make([]byte, 8)); !errors.Is(err, transport.ErrNoRegion) {
+			t.Errorf("unknown-region scatter read: %v, want ErrNoRegion", err)
 		}
 	})
 }

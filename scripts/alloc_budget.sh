@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Allocation budget for the zero-copy data plane.
+#
+# Runs the hot transport benchmark with -benchmem and fails if its heap
+# traffic regresses above the checked-in thresholds. The budget guards the
+# vectored-write/scatter-read rewrite (see BENCH_zerocopy.json for how the
+# numbers were established):
+#
+#   BenchmarkTCPNetParallelRead sits at 4097 B/op, 1 alloc/op — the one
+#   residual allocation is the result buffer the legacy ReadRegion API hands
+#   the caller. Before the rewrite it ran at 4272 B/op, 7 allocs/op, so the
+#   thresholds below are chosen to fail on any return of per-frame staging
+#   copies or header/pool boxing while leaving room for counter noise.
+#
+# Must run WITHOUT the race detector: its instrumentation allocates and would
+# drown the signal (the zero-alloc AllocsPerRun tests skip under -race for
+# the same reason).
+set -eu
+
+MAX_B_PER_OP=4224
+MAX_ALLOCS_PER_OP=2
+
+out=$(go test -run '^$' -bench 'BenchmarkTCPNetParallelRead$' -benchmem -benchtime 2000x ./internal/tcpnet/)
+echo "$out"
+
+line=$(printf '%s\n' "$out" | grep '^BenchmarkTCPNetParallelRead')
+b_per_op=$(printf '%s\n' "$line" | awk '{for (i = 2; i <= NF; i++) if ($i == "B/op") print $(i - 1)}')
+allocs_per_op=$(printf '%s\n' "$line" | awk '{for (i = 2; i <= NF; i++) if ($i == "allocs/op") print $(i - 1)}')
+
+if [ -z "$b_per_op" ] || [ -z "$allocs_per_op" ]; then
+    echo "alloc_budget: could not parse -benchmem output" >&2
+    exit 1
+fi
+
+status=0
+if [ "$b_per_op" -gt "$MAX_B_PER_OP" ]; then
+    echo "alloc_budget: BenchmarkTCPNetParallelRead allocates $b_per_op B/op, budget is $MAX_B_PER_OP" >&2
+    status=1
+fi
+if [ "$allocs_per_op" -gt "$MAX_ALLOCS_PER_OP" ]; then
+    echo "alloc_budget: BenchmarkTCPNetParallelRead makes $allocs_per_op allocs/op, budget is $MAX_ALLOCS_PER_OP" >&2
+    status=1
+fi
+if [ "$status" -eq 0 ]; then
+    echo "alloc_budget: OK ($b_per_op B/op <= $MAX_B_PER_OP, $allocs_per_op allocs/op <= $MAX_ALLOCS_PER_OP)"
+fi
+exit "$status"
