@@ -7,6 +7,8 @@
 //	dmctl -node 1=localhost:7401 getput 42    # put then read back
 //	dmctl -node 1=localhost:7401 -batch put 1=alpha 2=beta 3=gamma
 //	dmctl -node 1=localhost:7401 -batch getput 1 2 3
+//	dmctl -node 1=localhost:7401 epoch        # epoch-versioned memory map
+//	dmctl -node 2=localhost:7402 decommission # drain node 2 gracefully
 package main
 
 import (
@@ -43,7 +45,7 @@ func run(args []string) error {
 		return err
 	}
 	if *nodeFlag == "" || fs.NArg() < 1 {
-		return fmt.Errorf("usage: dmctl -node id=host:port [-batch] [-compress] <stats|put KEY DATA|getput KEY>")
+		return fmt.Errorf("usage: dmctl -node id=host:port [-batch] [-compress] <stats|put KEY DATA|getput KEY|epoch|decommission>")
 	}
 	idStr, addr, ok := strings.Cut(*nodeFlag, "=")
 	if !ok {
@@ -172,6 +174,39 @@ func run(args []string) error {
 		}
 		fmt.Printf("round trip ok: %q\n", got)
 		return client.Delete(ctx, target, key)
+	case "epoch":
+		// Two syncs prove the delta path end to end: the first is a cold
+		// snapshot, the second asks for deltas past the received epoch.
+		if err := client.SyncMap(ctx, target); err != nil {
+			return err
+		}
+		if err := client.SyncMap(ctx, target); err != nil {
+			return err
+		}
+		m := client.Map()
+		fmt.Println(m)
+		snap := m.Snapshot()
+		for _, s := range snap.Nodes {
+			state := "down"
+			if s.Alive {
+				state = "alive"
+			}
+			fmt.Printf("  node %d: %s group=%d free=%d\n", s.ID, state, s.Group, s.FreeBytes)
+		}
+		for _, gl := range snap.Leaders {
+			fmt.Printf("  group %d leader: node %d\n", gl.Group, gl.Leader)
+		}
+		if snap.RootOK {
+			fmt.Printf("  root: node %d\n", snap.Root)
+		}
+		return nil
+	case "decommission":
+		moved, err := client.Decommission(ctx, target)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("node %d drained: %d blocks migrated; stale readers get redirects\n", target, moved)
+		return nil
 	default:
 		return fmt.Errorf("unknown command %q", fs.Arg(0))
 	}

@@ -105,6 +105,21 @@ func TestPutArgValidation(t *testing.T) {
 	}
 }
 
+func TestEpochAgainstLiveNode(t *testing.T) {
+	ep := startNode(t, 9)
+	if err := run([]string{"-node", "9=" + ep.Addr(), "epoch"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecommissionAgainstLiveNode(t *testing.T) {
+	ep := startNode(t, 9)
+	// A lone empty node drains zero blocks but must still answer cleanly.
+	if err := run([]string{"-node", "9=" + ep.Addr(), "decommission"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestUnreachableNode(t *testing.T) {
 	// Port 1 on loopback: nothing listens there.
 	if err := run([]string{"-node", "5=127.0.0.1:1", "stats"}); err == nil {

@@ -20,6 +20,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -55,9 +56,15 @@ func run(args []string) error {
 		lanes     = fs.Int("conns-per-peer", 0, "pooled TCP connections per peer (0 = auto)")
 		shards    = fs.Int("pool-shards", 0, "lock shards per memory pool (0 = auto, 1 = single-lock)")
 		httpAddr  = fs.String("http", "", "serve /metrics, /stats, /trace, and /debug/pprof on this address (empty = disabled)")
+		hbMode    = fs.String("heartbeat", "mesh", "control-plane scheme: mesh (all-to-all) or tree (members<->group leader<->root, O(group) per tick)")
+		groupSize = fs.Int("group-size", 0, "directory group size for the heartbeat tree (0 = one flat group)")
+		drain     = fs.Bool("drain", false, "on shutdown, decommission first: migrate hosted blocks to peers and announce departure")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *hbMode != "mesh" && *hbMode != "tree" {
+		return fmt.Errorf("bad -heartbeat %q, want mesh or tree", *hbMode)
 	}
 	peers, err := parsePeers(*peersFlag)
 	if err != nil {
@@ -77,12 +84,25 @@ func run(args []string) error {
 		ep.AddPeer(peerID, addr)
 	}
 
-	dir, err := cluster.NewDirectory(cluster.Config{GroupSize: len(peers) + 1, HeartbeatTimeout: 3})
+	gs := *groupSize
+	if gs <= 0 {
+		gs = len(peers) + 1
+	}
+	dir, err := cluster.NewDirectory(cluster.Config{GroupSize: gs, HeartbeatTimeout: 3})
 	if err != nil {
 		return err
 	}
+	// Seed the full roster — self included — in ID order, so every daemon
+	// computes identical group assignments for the heartbeat tree. (Map
+	// iteration order or joining self last would skew placement per node.)
+	roster := make([]int, 0, len(peers)+1)
+	roster = append(roster, *id)
 	for peerID := range peers {
-		dir.Join(cluster.NodeID(peerID), 0)
+		roster = append(roster, int(peerID))
+	}
+	sort.Ints(roster)
+	for _, member := range roster {
+		dir.Join(cluster.NodeID(member), 0)
 	}
 
 	factor := *replicas
@@ -146,7 +166,7 @@ func run(args []string) error {
 			// cancellation mid-RPC.
 			ctx, cancel := context.WithTimeout(context.Background(), *tick)
 			ctx = trace.WithTracer(ctx, tracer)
-			err := tickOnce(ctx, node, dir, log.Printf)
+			err := tickOnce(ctx, node, dir, *hbMode == "tree", log.Printf)
 			cancel()
 			if err != nil {
 				return fmt.Errorf("maintenance tick: %w", err)
@@ -158,24 +178,51 @@ func run(args []string) error {
 				rpcRTT.Count(), rpcRTT.Mean(), rpcRTT.Quantile(0.99),
 				bytesTx.Value(), bytesRx.Value(), reconnects.Value())
 		case <-stop:
+			if *drain {
+				// Graceful decommission: migrate every hosted block to a
+				// peer, announce the departure, and leave a redirect window
+				// so stale clients chase moved blocks instead of erroring.
+				ctx, cancel := context.WithTimeout(context.Background(), 2**tick)
+				ctx = trace.WithTracer(ctx, tracer)
+				moved, err := node.Decommission(ctx)
+				cancel()
+				if err != nil {
+					log.Printf("drain: %v (%d blocks migrated)", err, moved)
+				} else {
+					log.Printf("drained: %d blocks migrated to peers", moved)
+				}
+			}
 			log.Printf("dmnode %d shutting down", *id)
 			return nil
 		}
 	}
 }
 
-// tickOnce runs one heartbeat/maintenance round. Transient cluster
-// conditions — a peer vanishing mid-tick (transport.ErrUnreachable), the
-// round's deadline expiring, or the cluster momentarily lacking replacement
-// capacity — are logged and left for the next tick to retry: Maintain keeps
-// failed repairs queued. Any other error is returned and terminates the
-// daemon.
-func tickOnce(ctx context.Context, node *core.Node, dir *cluster.Directory, logf func(format string, v ...any)) error {
-	node.BroadcastHeartbeat(ctx)
-	if err := node.Heartbeat(); err != nil {
-		return fmt.Errorf("heartbeat: %w", err)
+// tickOnce runs one heartbeat/maintenance round — all-to-all mesh by
+// default, or the hierarchical tree exchange (heartbeats plus epoch-tagged
+// map deltas with this node's tree targets only) when tree is set. Transient
+// cluster conditions — a peer vanishing mid-tick (transport.ErrUnreachable),
+// the round's deadline expiring, or the cluster momentarily lacking
+// replacement capacity — are logged and left for the next tick to retry:
+// Maintain keeps failed repairs queued. Any other error is returned and
+// terminates the daemon.
+func tickOnce(ctx context.Context, node *core.Node, dir *cluster.Directory, tree bool, logf func(format string, v ...any)) error {
+	if tree {
+		node.TreeHeartbeat(ctx)
+		for _, e := range node.TickWatched() {
+			if e.Kind == cluster.EventNodeDown {
+				if queued := node.RepairLost(transport.NodeID(e.Node)); queued > 0 {
+					logf("node %d down: queued %d repairs", e.Node, queued)
+				}
+			}
+		}
+	} else {
+		node.BroadcastHeartbeat(ctx)
+		if err := node.Heartbeat(); err != nil {
+			return fmt.Errorf("heartbeat: %w", err)
+		}
+		dir.Tick()
 	}
-	dir.Tick()
 	repaired, err := node.Maintain(ctx)
 	if repaired > 0 {
 		logf("re-replicated %d entries", repaired)

@@ -57,6 +57,42 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-nope"}); err == nil {
 		t.Fatal("expected error for unknown flag")
 	}
+	if err := run([]string{"-heartbeat", "gossip"}); err == nil {
+		t.Fatal("expected error for unknown heartbeat mode")
+	}
+}
+
+// TestTickOnceTreeMode drives the daemon's tick in tree mode: heartbeats and
+// map deltas flow to tree targets only, the watch-scoped detector advances,
+// and the tick survives an unreachable peer exactly like the mesh path.
+func TestTickOnceTreeMode(t *testing.T) {
+	tc := newTickCluster(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	tc.inj.SetEnabled(false)
+	var lines []string
+	logf := func(format string, v ...any) { lines = append(lines, fmt.Sprintf(format, v...)) }
+	before := tc.dir.Epoch()
+	for i := 0; i < 3; i++ {
+		if err := tickOnce(ctx, tc.node, tc.dir, true, logf); err != nil {
+			t.Fatalf("tree tickOnce %d: %v", i, err)
+		}
+	}
+	if !tc.dir.Alive(cluster.NodeID(tc.node.ID())) {
+		t.Fatal("node not alive in its own directory after tree ticks")
+	}
+	if tc.dir.Epoch() < before {
+		t.Fatalf("directory epoch went backwards: %d -> %d", before, tc.dir.Epoch())
+	}
+	// A wedged fabric must not kill the tick loop in tree mode either.
+	tc.inj.SetEnabled(true)
+	tc.inj.AddRules([]faulty.Rule{{
+		Kind: faulty.KindDrop, Verb: faulty.VerbAny,
+		From: faulty.AnyNode, To: faulty.AnyNode, Pct: 100,
+	}})
+	if err := tickOnce(ctx, tc.node, tc.dir, true, logf); err != nil {
+		t.Fatalf("tree tickOnce during outage: %v, want nil", err)
+	}
 }
 
 // tickCluster is a four-node in-process cluster whose first node speaks
@@ -157,7 +193,7 @@ func TestTickOnceRetriesUnreachablePeer(t *testing.T) {
 	}})
 	var lines []string
 	logf := func(format string, v ...any) { lines = append(lines, fmt.Sprintf(format, v...)) }
-	if err := tickOnce(ctx, tc.node, tc.dir, logf); err != nil {
+	if err := tickOnce(ctx, tc.node, tc.dir, false, logf); err != nil {
 		t.Fatalf("tickOnce during outage: %v, want nil (logged retry)", err)
 	}
 	retried := false
@@ -174,7 +210,7 @@ func TestTickOnceRetriesUnreachablePeer(t *testing.T) {
 	// replaced.
 	tc.inj.SetEnabled(false)
 	lines = nil
-	if err := tickOnce(ctx, tc.node, tc.dir, logf); err != nil {
+	if err := tickOnce(ctx, tc.node, tc.dir, false, logf); err != nil {
 		t.Fatalf("tickOnce after heal: %v", err)
 	}
 	repaired := false

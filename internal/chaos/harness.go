@@ -48,6 +48,10 @@ const (
 type Config struct {
 	// Nodes is the cluster size (IDs 1..Nodes).
 	Nodes int
+	// GroupSize caps members per directory group; 0 means one flat group of
+	// all Nodes. Smaller groups give the heartbeat tree real depth (members →
+	// group leader → root).
+	GroupSize int
 	// ReplicationFactor for remote entries.
 	ReplicationFactor int
 	// HeartbeatTimeout in failure-detector ticks.
@@ -139,20 +143,25 @@ func New(t *testing.T, kind FabricKind, seed int64, cfg Config) *Cluster {
 	}
 	cl.Tree.Attach("chaos/invariants", InvariantMetrics())
 
+	groupSize := cfg.GroupSize
+	if groupSize == 0 {
+		groupSize = cfg.Nodes
+	}
 	for i := 1; i <= cfg.Nodes; i++ {
 		dir, err := cluster.NewDirectory(cluster.Config{
-			GroupSize:        cfg.Nodes,
+			GroupSize:        groupSize,
 			HeartbeatTimeout: cfg.HeartbeatTimeout,
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
-		// Pre-seed peers as dmnode does; real free-byte figures arrive with
-		// the first heartbeat round.
+		// Pre-seed the full roster in ID order — self included, so every
+		// directory computes identical group assignments (joining self last
+		// would skew its own placement). NewNode's self-join below is then a
+		// revival no-op that keeps the group. Real free-byte figures arrive
+		// with the first heartbeat round.
 		for j := 1; j <= cfg.Nodes; j++ {
-			if j != i {
-				dir.Join(cluster.NodeID(j), 0)
-			}
+			dir.Join(cluster.NodeID(j), 0)
 		}
 		wrapped := transport.Chain(raw[i-1], trace.Middleware(cl.Tracer), cl.Inj.Wrap)
 		node, err := core.NewNode(core.Config{
@@ -245,6 +254,30 @@ func (cl *Cluster) HeartbeatRound(ctx context.Context) [][]cluster.Event {
 			continue
 		}
 		events[i] = cl.Dirs[i].Tick()
+	}
+	return events
+}
+
+// TreeHeartbeatRound performs one interval of the hierarchical control
+// plane: every node the injector has not crashed exchanges heartbeats and
+// epoch-tagged map deltas with its tree targets only (members with their
+// group leader, leaders with the root and their members), then advances its
+// watch-scoped failure detector. It returns the membership events each node
+// observed, indexed like Nodes. Per-node traffic is O(group size), so this
+// is the round to drive at 24-node-and-up scale.
+func (cl *Cluster) TreeHeartbeatRound(ctx context.Context) [][]cluster.Event {
+	events := make([][]cluster.Event, len(cl.Nodes))
+	for _, n := range cl.Nodes {
+		if cl.Inj.Crashed(ctx, n.ID()) {
+			continue
+		}
+		n.TreeHeartbeat(ctx)
+	}
+	for i, n := range cl.Nodes {
+		if cl.Inj.Crashed(ctx, n.ID()) {
+			continue
+		}
+		events[i] = n.TickWatched()
 	}
 	return events
 }

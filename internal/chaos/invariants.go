@@ -173,6 +173,112 @@ func RequireLeaderAgreement(t testing.TB, dirs []*cluster.Directory, g int) clus
 	return agreed
 }
 
+// RequireEpochConvergence asserts the listed directories have converged on
+// one cluster map: identical alive sets and group assignments, the same
+// leader per group, and the same root. It also bounds client staleness:
+// every listed client map must be within maxLag epochs of its origin
+// directory's current epoch (a client that has never synced fails). Call it
+// after enough tree heartbeat rounds for deltas to propagate; before that,
+// views may legitimately differ.
+func (cl *Cluster) RequireEpochConvergence(t testing.TB, dirs []*cluster.Directory, clients []*core.Client, maxLag int) {
+	t.Helper()
+	tb := checked(t, "epoch_convergence")
+	if len(dirs) == 0 {
+		tb.Errorf("no directories to compare")
+		return
+	}
+	type view struct {
+		alive bool
+		group int
+	}
+	ref := map[cluster.NodeID]view{}
+	for _, st := range dirs[0].Snapshot() {
+		ref[st.ID] = view{alive: st.Alive, group: st.Group}
+	}
+	refRoot, refRootOK := dirs[0].RootLeader()
+	for i, dir := range dirs[1:] {
+		got := map[cluster.NodeID]view{}
+		for _, st := range dir.Snapshot() {
+			got[st.ID] = view{alive: st.Alive, group: st.Group}
+		}
+		if len(got) != len(ref) {
+			tb.Errorf("dir %d tracks %d members, dir 0 tracks %d", i+1, len(got), len(ref))
+		}
+		for id, v := range ref {
+			if gv, ok := got[id]; !ok || gv != v {
+				tb.Errorf("dir %d view of node %d = %+v, dir 0 says %+v", i+1, id, got[id], v)
+			}
+		}
+		root, ok := dir.RootLeader()
+		if ok != refRootOK || root != refRoot {
+			tb.Errorf("dir %d root = %d (ok=%v), dir 0 says %d (ok=%v)", i+1, root, ok, refRoot, refRootOK)
+		}
+		for g := 0; g < dir.Groups(); g++ {
+			l, lok := dir.Leader(g)
+			rl, rlok := dirs[0].Leader(g)
+			if lok != rlok || l != rl {
+				tb.Errorf("dir %d leader of group %d = %d (ok=%v), dir 0 says %d (ok=%v)", i+1, g, l, lok, rl, rlok)
+			}
+		}
+	}
+	for i, c := range clients {
+		if !c.Map().Synced() {
+			tb.Errorf("client %d never synced its map", i)
+			continue
+		}
+		origin, epoch := c.Map().Epoch()
+		if origin < 1 || int(origin) > len(cl.Dirs) {
+			tb.Errorf("client %d synced from unknown origin %d", i, origin)
+			continue
+		}
+		if lag := int64(cl.Dirs[origin-1].Epoch()) - int64(epoch); lag < 0 || lag > int64(maxLag) {
+			tb.Errorf("client %d epoch lag %d from origin %d exceeds bound %d", i, lag, origin, maxLag)
+		}
+	}
+}
+
+// RequireFailoverWithin drives tree heartbeat rounds until every surviving
+// directory has marked victim down (or gone) and agrees on a live root and
+// a live leader for every group with members, failing the test if
+// convergence takes more than within rounds. It returns the number of rounds
+// actually taken — the election latency the scale benchmarks record.
+func (cl *Cluster) RequireFailoverWithin(ctx context.Context, t testing.TB, victim transport.NodeID, within int) int {
+	t.Helper()
+	tb := checked(t, "failover_within")
+	converged := func() bool {
+		for i, dir := range cl.Dirs {
+			if cl.Nodes[i].ID() == victim {
+				continue
+			}
+			if dir.Alive(cluster.NodeID(victim)) {
+				return false
+			}
+			root, ok := dir.RootLeader()
+			if !ok || root == cluster.NodeID(victim) {
+				return false
+			}
+			for g := 0; g < dir.Groups(); g++ {
+				if len(dir.GroupMembers(g)) == 0 {
+					continue
+				}
+				l, lok := dir.Leader(g)
+				if !lok || l == cluster.NodeID(victim) || !dir.Alive(l) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for round := 1; round <= within; round++ {
+		cl.TreeHeartbeatRound(ctx)
+		if converged() {
+			return round
+		}
+	}
+	tb.Errorf("survivors did not converge on a post-crash view of node %d within %d rounds", victim, within)
+	return within
+}
+
 // CallRecorder counts control-plane deliveries per request payload. Wrap a
 // node's handler with it and send each logical request with a unique payload:
 // if any payload is delivered more than once, the transport's retry machinery

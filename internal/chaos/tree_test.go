@@ -1,0 +1,133 @@
+// Tree-topology chaos scenarios: the hierarchical control plane (tree-scoped
+// heartbeats + epoch-versioned map deltas) under crashes, at sizes where
+// all-to-all heartbeating would be the bottleneck. The cluster size is
+// tunable with -chaos.nodes; the headline scale test pins 24 nodes over real
+// TCP sockets.
+package chaos
+
+import (
+	"context"
+	"flag"
+	"testing"
+
+	"godm/internal/cluster"
+	"godm/internal/core"
+	"godm/internal/transport"
+)
+
+var chaosNodes = flag.Int("chaos.nodes", 6, "cluster size for the tree chaos scenarios")
+
+// treeConfig shapes an n-node cluster with real tree depth: groups of up to
+// 6, so leaders and the root do strictly less than O(n) work per round.
+func treeConfig(n int) Config {
+	cfg := DefaultConfig()
+	cfg.Nodes = n
+	cfg.GroupSize = 6
+	if n < 6 {
+		cfg.GroupSize = n
+	}
+	return cfg
+}
+
+// runTreeFailover converges a tree-heartbeat cluster, crashes the root, and
+// verifies failover plus epoch convergence of both directories and a client
+// map. It returns the election latency in rounds.
+func runTreeFailover(t *testing.T, kind FabricKind, seed int64, nodes int) int {
+	t.Helper()
+	cl := New(t, kind, seed, treeConfig(nodes))
+	defer cl.Close()
+	cl.DumpOnFailure(t)
+	latency := 0
+	cl.Run(t, func(ctx context.Context) {
+		// Setup convergence runs with the injector disabled per the serial-
+		// driver contract — and it MUST come back on before the crash: a
+		// disabled injector reports Crashed()==false, so the "dead" root
+		// would keep heartbeating and no failover would ever happen.
+		cl.Inj.SetEnabled(false)
+		for i := 0; i < 3; i++ {
+			cl.TreeHeartbeatRound(ctx)
+		}
+		root, ok := cl.Dirs[0].RootLeader()
+		if !ok {
+			cl.Inj.SetEnabled(true)
+			t.Error("no root before crash")
+			return
+		}
+		// The client rides a survivor's endpoint: once the root crashes the
+		// injector drops all its traffic, including client calls made
+		// through its fabric attachment.
+		clientID := transport.NodeID(nodes)
+		if clientID == transport.NodeID(root) {
+			clientID--
+		}
+		client := core.NewClient(cl.Eps[clientID-1])
+		if err := client.SyncMap(ctx, clientID); err != nil {
+			cl.Inj.SetEnabled(true)
+			t.Errorf("SyncMap: %v", err)
+			return
+		}
+		cl.RequireEpochConvergence(t, cl.Dirs, []*core.Client{client}, 0)
+		RequireSingleLeader(t, cl.Dirs)
+		cl.Inj.SetEnabled(true)
+		if t.Failed() {
+			return
+		}
+
+		cl.Inj.Crash(transport.NodeID(root))
+		// Detection takes HeartbeatTimeout ticks at the watcher, then the
+		// delta must ride the tree to every other directory.
+		latency = cl.RequireFailoverWithin(ctx, t, transport.NodeID(root), 10)
+
+		var survivors []*cluster.Directory
+		for i, d := range cl.Dirs {
+			if cl.Nodes[i].ID() != transport.NodeID(root) {
+				survivors = append(survivors, d)
+			}
+		}
+		// The stale client follows the map deltas to the new view.
+		if err := client.SyncMap(ctx, clientID); err != nil {
+			t.Errorf("SyncMap after crash: %v", err)
+			return
+		}
+		cl.RequireEpochConvergence(t, survivors, []*core.Client{client}, 0)
+		if client.Map().Alive(cluster.NodeID(root)) {
+			t.Errorf("client map still shows crashed root %d alive", root)
+		}
+	})
+	return latency
+}
+
+// TestChaosTreeFailover runs the tree failover scenario at -chaos.nodes
+// (default 6) on both fabrics and checks the election latency is within the
+// detection-plus-propagation budget.
+func TestChaosTreeFailover(t *testing.T) {
+	for _, kind := range []FabricKind{FabricSim, FabricTCP} {
+		t.Run(string(kind), func(t *testing.T) {
+			seed := *chaosSeed
+			logSeed(t, seed)
+			latency := runTreeFailover(t, kind, seed, *chaosNodes)
+			if t.Failed() {
+				return
+			}
+			t.Logf("chaos: root failover converged in %d tree rounds (%d nodes, %s)", latency, *chaosNodes, kind)
+		})
+	}
+}
+
+// TestChaosScaleTCPTree is the 24-node headline: real sockets, groups of 6,
+// root crash, failover, and client epoch convergence — the configuration the
+// CI scale job runs under -race. Election latency and client epoch lag land
+// in BENCH_cluster.json.
+func TestChaosScaleTCPTree(t *testing.T) {
+	nodes := *chaosNodes
+	if nodes < 24 {
+		nodes = 24
+	}
+	seed := *chaosSeed
+	logSeed(t, seed)
+	latency := runTreeFailover(t, FabricTCP, seed, nodes)
+	if t.Failed() {
+		return
+	}
+	t.Logf("chaos: scale failover converged in %d tree rounds (%d nodes, tcp)", latency, nodes)
+}

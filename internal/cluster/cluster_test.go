@@ -153,6 +153,8 @@ func TestGroupingSplitsEvenly(t *testing.T) {
 	if got := d.Groups(); got != 3 { // ceil(10/4)
 		t.Fatalf("Groups = %d, want 3", got)
 	}
+	// Stable joins fill groups to GroupSize before opening a new one: no
+	// group exceeds GroupSize and only the newest group runs partial.
 	counts := map[int]int{}
 	for _, s := range d.Snapshot() {
 		if s.Alive {
@@ -160,14 +162,30 @@ func TestGroupingSplitsEvenly(t *testing.T) {
 		}
 	}
 	for g, c := range counts {
-		if c < 3 || c > 4 {
-			t.Fatalf("group %d has %d members, want 3-4 (counts %v)", g, c, counts)
+		if c > 4 || c < 1 {
+			t.Fatalf("group %d has %d members, want 1-4 (counts %v)", g, c, counts)
+		}
+		if c < 4 && g != 2 {
+			t.Fatalf("non-newest group %d partial at %d members (counts %v)", g, c, counts)
 		}
 	}
 	// Every group has a leader.
 	for g := 0; g < 3; g++ {
 		if _, ok := d.Leader(g); !ok {
 			t.Fatalf("group %d has no leader", g)
+		}
+	}
+	// An explicit Regroup rebalances to sizes differing by at most one.
+	d.Regroup()
+	counts = map[int]int{}
+	for _, s := range d.Snapshot() {
+		if s.Alive {
+			counts[s.Group]++
+		}
+	}
+	for g, c := range counts {
+		if c < 3 || c > 4 {
+			t.Fatalf("after Regroup group %d has %d members, want 3-4 (counts %v)", g, c, counts)
 		}
 	}
 }
@@ -292,7 +310,7 @@ func TestSuperLeaderIsMaxFreeAmongLeaders(t *testing.T) {
 	if !ok {
 		t.Fatal("no super leader")
 	}
-	// Round-robin grouping: group0 = {1,3}, group1 = {2,4}; leaders 3 and 2;
+	// Stable join grouping: group0 = {1,2}, group1 = {3,4}; leaders 2 and 3;
 	// node 2 (400) has the most memory.
 	if super != 2 {
 		t.Fatalf("super leader = %d, want 2", super)

@@ -1,0 +1,282 @@
+// Wire codec for the epoch-versioned map sync protocol. Fixed-width
+// big-endian fields, in the style of internal/core's message codec, so the
+// same bytes decode identically on every node and fabric. The codec is
+// exported because both the core node ops (opMapSync) and the transport
+// conformance suite need to round-trip these payloads.
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// ErrBadSync is returned when a sync payload does not decode.
+var ErrBadSync = errors.New("cluster: malformed sync payload")
+
+// maxWireEntries caps decoded element counts so a corrupt length prefix
+// cannot drive a huge allocation.
+const maxWireEntries = 1 << 20
+
+const (
+	syncKindCurrent  = 0 // requester already current: no payload
+	syncKindDeltas   = 1
+	syncKindSnapshot = 2
+)
+
+// AppendSyncRequest appends the wire form of req to b.
+func AppendSyncRequest(b []byte, req SyncRequest) []byte {
+	b = binary.BigEndian.AppendUint64(b, uint64(req.Origin))
+	b = binary.BigEndian.AppendUint64(b, uint64(req.Epoch))
+	return b
+}
+
+// DecodeSyncRequest decodes a request and returns the remaining bytes.
+func DecodeSyncRequest(b []byte) (SyncRequest, []byte, error) {
+	if len(b) < 16 {
+		return SyncRequest{}, nil, ErrBadSync
+	}
+	req := SyncRequest{
+		Origin: NodeID(int64(binary.BigEndian.Uint64(b[0:8]))),
+		Epoch:  Epoch(binary.BigEndian.Uint64(b[8:16])),
+	}
+	return req, b[16:], nil
+}
+
+func appendNodeState(b []byte, s NodeState) []byte {
+	b = binary.BigEndian.AppendUint64(b, uint64(s.ID))
+	b = binary.BigEndian.AppendUint64(b, uint64(s.FreeBytes))
+	if s.Alive {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = binary.BigEndian.AppendUint32(b, uint32(s.Group))
+	b = binary.BigEndian.AppendUint64(b, s.Gver)
+	return b
+}
+
+func decodeNodeState(b []byte) (NodeState, []byte, error) {
+	if len(b) < 29 {
+		return NodeState{}, nil, ErrBadSync
+	}
+	s := NodeState{
+		ID:        NodeID(int64(binary.BigEndian.Uint64(b[0:8]))),
+		FreeBytes: int64(binary.BigEndian.Uint64(b[8:16])),
+		Alive:     b[16] == 1,
+		Group:     int(int32(binary.BigEndian.Uint32(b[17:21]))),
+		Gver:      binary.BigEndian.Uint64(b[21:29]),
+	}
+	return s, b[29:], nil
+}
+
+func appendLeaders(b []byte, leaders []GroupLeader) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(len(leaders)))
+	for _, gl := range leaders {
+		b = binary.BigEndian.AppendUint32(b, uint32(gl.Group))
+		b = binary.BigEndian.AppendUint64(b, uint64(gl.Leader))
+	}
+	return b
+}
+
+func decodeLeaders(b []byte) ([]GroupLeader, []byte, error) {
+	if len(b) < 4 {
+		return nil, nil, ErrBadSync
+	}
+	n := binary.BigEndian.Uint32(b)
+	b = b[4:]
+	if n > maxWireEntries || len(b) < int(n)*12 {
+		return nil, nil, ErrBadSync
+	}
+	var leaders []GroupLeader
+	for i := uint32(0); i < n; i++ {
+		leaders = append(leaders, GroupLeader{
+			Group:  int(int32(binary.BigEndian.Uint32(b[0:4]))),
+			Leader: NodeID(int64(binary.BigEndian.Uint64(b[4:12]))),
+		})
+		b = b[12:]
+	}
+	return leaders, b, nil
+}
+
+// AppendDelta appends the wire form of one delta to b.
+func AppendDelta(b []byte, d Delta) []byte {
+	b = binary.BigEndian.AppendUint64(b, uint64(d.Epoch))
+	b = binary.BigEndian.AppendUint32(b, uint32(d.Groups))
+	b = binary.BigEndian.AppendUint64(b, uint64(d.Root))
+	var flags byte
+	if d.RootOK {
+		flags |= 1
+	}
+	if d.LeadersChanged {
+		flags |= 2
+	}
+	b = append(b, flags)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(d.Changes)))
+	for _, ch := range d.Changes {
+		b = appendNodeState(b, ch.State)
+		if ch.Left {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	if d.LeadersChanged {
+		b = appendLeaders(b, d.Leaders)
+	}
+	return b
+}
+
+// DecodeDelta decodes one delta and returns the remaining bytes.
+func DecodeDelta(b []byte) (Delta, []byte, error) {
+	if len(b) < 25 {
+		return Delta{}, nil, ErrBadSync
+	}
+	d := Delta{
+		Epoch:  Epoch(binary.BigEndian.Uint64(b[0:8])),
+		Groups: int(int32(binary.BigEndian.Uint32(b[8:12]))),
+		Root:   NodeID(int64(binary.BigEndian.Uint64(b[12:20]))),
+	}
+	flags := b[20]
+	d.RootOK = flags&1 != 0
+	d.LeadersChanged = flags&2 != 0
+	n := binary.BigEndian.Uint32(b[21:25])
+	b = b[25:]
+	if n > maxWireEntries {
+		return Delta{}, nil, ErrBadSync
+	}
+	for i := uint32(0); i < n; i++ {
+		s, rest, err := decodeNodeState(b)
+		if err != nil {
+			return Delta{}, nil, err
+		}
+		if len(rest) < 1 {
+			return Delta{}, nil, ErrBadSync
+		}
+		d.Changes = append(d.Changes, Change{State: s, Left: rest[0] == 1})
+		b = rest[1:]
+	}
+	if d.LeadersChanged {
+		var err error
+		d.Leaders, b, err = decodeLeaders(b)
+		if err != nil {
+			return Delta{}, nil, err
+		}
+	}
+	return d, b, nil
+}
+
+// AppendSnapshot appends the wire form of a full map snapshot to b.
+func AppendSnapshot(b []byte, s MapSnapshot) []byte {
+	b = binary.BigEndian.AppendUint64(b, uint64(s.Epoch))
+	b = binary.BigEndian.AppendUint32(b, uint32(s.Groups))
+	b = binary.BigEndian.AppendUint64(b, uint64(s.Root))
+	if s.RootOK {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = binary.BigEndian.AppendUint32(b, uint32(len(s.Nodes)))
+	for _, n := range s.Nodes {
+		b = appendNodeState(b, n)
+	}
+	b = appendLeaders(b, s.Leaders)
+	return b
+}
+
+// DecodeSnapshot decodes a snapshot and returns the remaining bytes.
+func DecodeSnapshot(b []byte) (MapSnapshot, []byte, error) {
+	if len(b) < 25 {
+		return MapSnapshot{}, nil, ErrBadSync
+	}
+	s := MapSnapshot{
+		Epoch:  Epoch(binary.BigEndian.Uint64(b[0:8])),
+		Groups: int(int32(binary.BigEndian.Uint32(b[8:12]))),
+		Root:   NodeID(int64(binary.BigEndian.Uint64(b[12:20]))),
+		RootOK: b[20] == 1,
+	}
+	n := binary.BigEndian.Uint32(b[21:25])
+	b = b[25:]
+	if n > maxWireEntries {
+		return MapSnapshot{}, nil, ErrBadSync
+	}
+	for i := uint32(0); i < n; i++ {
+		var (
+			ns  NodeState
+			err error
+		)
+		ns, b, err = decodeNodeState(b)
+		if err != nil {
+			return MapSnapshot{}, nil, err
+		}
+		s.Nodes = append(s.Nodes, ns)
+	}
+	var err error
+	s.Leaders, b, err = decodeLeaders(b)
+	if err != nil {
+		return MapSnapshot{}, nil, err
+	}
+	return s, b, nil
+}
+
+// AppendSyncResponse appends the wire form of resp to b.
+func AppendSyncResponse(b []byte, resp SyncResponse) []byte {
+	b = binary.BigEndian.AppendUint64(b, uint64(resp.Origin))
+	switch {
+	case resp.Snapshot != nil:
+		b = append(b, syncKindSnapshot)
+		b = AppendSnapshot(b, *resp.Snapshot)
+	case len(resp.Deltas) > 0:
+		b = append(b, syncKindDeltas)
+		b = binary.BigEndian.AppendUint32(b, uint32(len(resp.Deltas)))
+		for _, d := range resp.Deltas {
+			b = AppendDelta(b, d)
+		}
+	default:
+		b = append(b, syncKindCurrent)
+	}
+	return b
+}
+
+// DecodeSyncResponse decodes a response and returns the remaining bytes.
+func DecodeSyncResponse(b []byte) (SyncResponse, []byte, error) {
+	if len(b) < 9 {
+		return SyncResponse{}, nil, ErrBadSync
+	}
+	resp := SyncResponse{Origin: NodeID(int64(binary.BigEndian.Uint64(b[0:8])))}
+	kind := b[8]
+	b = b[9:]
+	switch kind {
+	case syncKindCurrent:
+		return resp, b, nil
+	case syncKindDeltas:
+		if len(b) < 4 {
+			return SyncResponse{}, nil, ErrBadSync
+		}
+		n := binary.BigEndian.Uint32(b)
+		b = b[4:]
+		if n > maxWireEntries {
+			return SyncResponse{}, nil, ErrBadSync
+		}
+		for i := uint32(0); i < n; i++ {
+			var (
+				d   Delta
+				err error
+			)
+			d, b, err = DecodeDelta(b)
+			if err != nil {
+				return SyncResponse{}, nil, err
+			}
+			resp.Deltas = append(resp.Deltas, d)
+		}
+		return resp, b, nil
+	case syncKindSnapshot:
+		snap, rest, err := DecodeSnapshot(b)
+		if err != nil {
+			return SyncResponse{}, nil, err
+		}
+		resp.Snapshot = &snap
+		return resp, rest, nil
+	default:
+		return SyncResponse{}, nil, ErrBadSync
+	}
+}

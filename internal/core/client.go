@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"godm/internal/bufpool"
+	"godm/internal/cluster"
 	"godm/internal/compress"
 	"godm/internal/transport"
 )
@@ -30,6 +32,14 @@ type Client struct {
 	gran        compress.Granularity
 	minCompress int
 
+	// cm is the client's compact snapshot of the cluster memory map,
+	// refreshed with epoch-tagged deltas via SyncMap. Reads consult it to
+	// decide between an optimistic one-sided read and a locate-first probe.
+	cm *cluster.ClientMap
+	// redirects counts stRedirect hops followed by reads (observability; the
+	// scale suite asserts no single read needs more than maxRedirects).
+	redirects atomic.Int64
+
 	mu      sync.Mutex
 	handles map[clientKey]clientHandle
 }
@@ -49,6 +59,9 @@ type clientHandle struct {
 	storedLen int
 	rawLen    int
 	flags     byte
+	// home, when non-zero, is where the block actually lives after a
+	// decommission redirect was followed; zero means the clientKey's node.
+	home transport.NodeID
 }
 
 // minEntryClass is the smallest allocation requested for an entry, matching
@@ -85,7 +98,7 @@ func WithCompression(minSize int) ClientOption {
 
 // NewClient wraps a transport attachment.
 func NewClient(ep transport.Verbs, opts ...ClientOption) *Client {
-	c := &Client{ep: ep, handles: map[clientKey]clientHandle{}}
+	c := &Client{ep: ep, cm: cluster.NewClientMap(), handles: map[clientKey]clientHandle{}}
 	for _, o := range opts {
 		o(c)
 	}
@@ -178,8 +191,9 @@ func (c *Client) Put(ctx context.Context, node transport.NodeID, key uint64, dat
 	old, hadOld := c.handles[ck]
 	c.mu.Unlock()
 	if hadOld && len(payload) <= old.class {
-		if err := c.ep.WriteRegion(ctx, node, RecvRegionID, old.offset, payload); err != nil {
-			return fmt.Errorf("core: write to node %d: %w", node, err)
+		home := homeOf(ck, old)
+		if err := c.ep.WriteRegion(ctx, home, RecvRegionID, old.offset, payload); err != nil {
+			return fmt.Errorf("core: write to node %d: %w", home, err)
 		}
 		c.mu.Lock()
 		c.handles[ck] = clientHandle{
@@ -188,6 +202,7 @@ func (c *Client) Put(ctx context.Context, node transport.NodeID, key uint64, dat
 			storedLen: len(payload),
 			rawLen:    len(data),
 			flags:     flags,
+			home:      old.home,
 		}
 		c.mu.Unlock()
 		return nil
@@ -220,7 +235,7 @@ func (c *Client) Put(ctx context.Context, node transport.NodeID, key uint64, dat
 	if hadOld {
 		// The displaced block is no longer reachable through any handle;
 		// free it now rather than leaking it until eviction.
-		c.freeBlock(ctx, node, key, old.offset)
+		c.freeBlock(ctx, homeOf(ck, old), key, old.offset)
 	}
 	return nil
 }
@@ -236,7 +251,7 @@ func (c *Client) Get(ctx context.Context, node transport.NodeID, key uint64) ([]
 		return nil, fmt.Errorf("core: no handle for key %d on node %d", key, node)
 	}
 	out := make([]byte, h.rawLen)
-	if _, err := c.getInto(ctx, node, h, out); err != nil {
+	if _, err := c.readEntry(ctx, clientKey{node: node, key: key}, h, out); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -260,7 +275,7 @@ func (c *Client) GetInto(ctx context.Context, node transport.NodeID, key uint64,
 	if len(dst) < h.rawLen {
 		return 0, fmt.Errorf("core: dst holds %d bytes, entry is %d", len(dst), h.rawLen)
 	}
-	return c.getInto(ctx, node, h, dst)
+	return c.readEntry(ctx, clientKey{node: node, key: key}, h, dst)
 }
 
 // getInto scatters the entry behind h into dst (which must hold rawLen
@@ -296,9 +311,10 @@ func (c *Client) Delete(ctx context.Context, node transport.NodeID, key uint64) 
 	if !ok {
 		return nil
 	}
-	resp, err := c.ep.Call(ctx, node, encodeFreeReq(freeReq{Key: key, Offset: h.offset}))
+	home := homeOf(clientKey{node: node, key: key}, h)
+	resp, err := c.ep.Call(ctx, home, encodeFreeReq(freeReq{Key: key, Offset: h.offset}))
 	if err != nil {
-		return fmt.Errorf("core: free on node %d: %w", node, err)
+		return fmt.Errorf("core: free on node %d: %w", home, err)
 	}
 	return checkOKResp(resp)
 }

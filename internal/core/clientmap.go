@@ -1,0 +1,129 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"godm/internal/cluster"
+	"godm/internal/transport"
+)
+
+// maxRedirects caps how many stRedirect hops one read will chase. Two is
+// enough for the worst sanctioned chain — a block migrated in a drain whose
+// successor then drained itself — and the scale suite asserts the cluster
+// never produces a longer one.
+const maxRedirects = 2
+
+// Map exposes the client's epoch-versioned snapshot of the cluster memory
+// map (leaders, groups, liveness). It starts empty; SyncMap fills it.
+func (c *Client) Map() *cluster.ClientMap { return c.cm }
+
+// Redirects reports how many redirect hops this client's reads have followed
+// since creation.
+func (c *Client) Redirects() int64 { return c.redirects.Load() }
+
+// SyncMap refreshes the client's memory-map snapshot from node: the client
+// states the origin and epoch it already holds, and the node answers with
+// just the deltas recorded since — O(churn) bytes, not O(cluster) — or a
+// full snapshot when the client is cold, behind by too much, or switching
+// origins.
+func (c *Client) SyncMap(ctx context.Context, node transport.NodeID) error {
+	resp, err := c.ep.Call(ctx, node, encodeMapSyncReq(c.cm.Request()))
+	if err != nil {
+		return fmt.Errorf("core: map sync from node %d: %w", node, err)
+	}
+	sr, err := decodeMapSyncResp(resp)
+	if err != nil {
+		return err
+	}
+	return c.cm.Apply(sr)
+}
+
+// homeOf resolves where the block behind h actually lives: the node the
+// entry was put to, unless a followed redirect recorded a newer home.
+func homeOf(ck clientKey, h clientHandle) transport.NodeID {
+	if h.home != 0 {
+		return h.home
+	}
+	return ck.node
+}
+
+// readEntry is the redirect-aware read path behind Get and GetInto. The
+// common case is one optimistic one-sided read straight from the recorded
+// home — a draining host keeps migrated bytes intact (it refuses new
+// allocations), so even a stale-epoch read returns correct data. The client
+// probes opLocate only when its synced map says the home is gone, or when
+// the optimistic read fails; a redirect answer rewrites the handle so later
+// reads go straight to the new home.
+func (c *Client) readEntry(ctx context.Context, ck clientKey, h clientHandle, dst []byte) (int, error) {
+	node := homeOf(ck, h)
+	if c.cm.Synced() && !c.cm.Alive(cluster.NodeID(node)) {
+		if nn, noff, moved := c.chase(ctx, node, ck.key, h.offset); moved {
+			node, h.offset = nn, noff
+			c.rememberHome(ck, node, h.offset)
+		}
+	}
+	n, err := c.getInto(ctx, node, h, dst)
+	if err == nil {
+		return n, nil
+	}
+	nn, noff, moved := c.chase(ctx, node, ck.key, h.offset)
+	if !moved {
+		return 0, err
+	}
+	node, h.offset = nn, noff
+	c.rememberHome(ck, node, h.offset)
+	return c.getInto(ctx, node, h, dst)
+}
+
+// chase asks node where the block for key at offset lives, following up to
+// maxRedirects stRedirect hops, and reports the final location and whether
+// it differs from the starting one.
+func (c *Client) chase(ctx context.Context, node transport.NodeID, key uint64, offset int64) (transport.NodeID, int64, bool) {
+	moved := false
+	for hop := 0; hop < maxRedirects; hop++ {
+		resp, err := c.ep.Call(ctx, node, encodeLocateReq(locateReq{Key: key, Offset: offset}))
+		if err != nil {
+			return 0, 0, false
+		}
+		rd, inPlace, err := decodeLocateResp(resp)
+		if err != nil {
+			return 0, 0, false
+		}
+		if inPlace {
+			return node, offset, moved
+		}
+		c.redirects.Add(1)
+		node, offset, moved = rd.Node, rd.Offset, true
+	}
+	return node, offset, moved
+}
+
+// rememberHome rewrites the stored handle after a followed redirect so the
+// next read skips the locate round trip.
+func (c *Client) rememberHome(ck clientKey, node transport.NodeID, offset int64) {
+	c.mu.Lock()
+	if h, ok := c.handles[ck]; ok {
+		h.home = node
+		h.offset = offset
+		c.handles[ck] = h
+	}
+	c.mu.Unlock()
+}
+
+// Decommission asks node to drain: migrate every hosted block to alive group
+// peers, notify owners, install redirect tombstones, and leave the cluster
+// map. It returns the number of blocks migrated. The node keeps answering
+// reads, locates, and map syncs until its process exits, so stale clients
+// have a window to catch up.
+func (c *Client) Decommission(ctx context.Context, node transport.NodeID) (int, error) {
+	resp, err := c.ep.Call(ctx, node, encodeDecommissionReq())
+	if err != nil {
+		return 0, fmt.Errorf("core: decommission node %d: %w", node, err)
+	}
+	dr, err := decodeDecommissionResp(resp)
+	if err != nil {
+		return 0, err
+	}
+	return int(dr.Moved), nil
+}

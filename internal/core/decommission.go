@@ -1,0 +1,285 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"godm/internal/cluster"
+	"godm/internal/pagetable"
+	"godm/internal/slab"
+	"godm/internal/transport"
+)
+
+// This file is the node side of the cluster-scale control plane (§IV.C-D):
+// tree-scoped heartbeats with epoch-versioned map sync, graceful
+// decommission with block migration, and the redirect protocol that lets
+// stale-epoch readers chase a moved block instead of failing.
+
+// TreeHeartbeat runs one heartbeat-tree exchange: beat every tree target
+// (members beat their group leader, leaders beat the root and their members,
+// the root beats all leaders), then pull each target's map deltas and fold
+// them in. Liveness adopted this way is watch-scoped — only the targets this
+// node exchanges beats with can be declared down first-hand — so the
+// per-round fan-out is O(group size), not O(cluster size), and so is the
+// delta traffic. Unreachable targets are skipped; the failure detector
+// (TickWatched) turns their silence into a down verdict.
+func (n *Node) TreeHeartbeat(ctx context.Context) {
+	self := cluster.NodeID(n.cfg.ID)
+	free := n.recv.FreeBytes()
+	n.met.recvFreeBytes.Set(free)
+	_ = n.dir.Heartbeat(self, free)
+	watched := n.dir.WatchSet(self)
+	hb := encodeHeartbeatReq(heartbeatReq{FreeBytes: free})
+	for _, target := range n.dir.TreeTargets(self) {
+		to := transport.NodeID(target)
+		if _, err := n.ep.Call(ctx, to, hb); err != nil {
+			continue
+		}
+		n.syncMu.Lock()
+		after := n.lastSync[target]
+		n.syncMu.Unlock()
+		resp, err := n.ep.Call(ctx, to, encodeMapSyncReq(cluster.SyncRequest{Origin: target, Epoch: after}))
+		if err != nil {
+			continue
+		}
+		sr, err := decodeMapSyncResp(resp)
+		if err != nil {
+			continue
+		}
+		n.dir.ApplySync(self, sr, watched)
+		var seen cluster.Epoch
+		switch {
+		case sr.Snapshot != nil:
+			seen = sr.Snapshot.Epoch
+		case len(sr.Deltas) > 0:
+			seen = sr.Deltas[len(sr.Deltas)-1].Epoch
+		default:
+			continue
+		}
+		n.syncMu.Lock()
+		if n.lastSync == nil {
+			n.lastSync = map[cluster.NodeID]cluster.Epoch{}
+		}
+		n.lastSync[target] = seen
+		n.syncMu.Unlock()
+	}
+}
+
+// TickWatched advances the node's failure detector over its tree watch set
+// and returns the resulting events (the daemon feeds EventNodeDown into
+// RepairLost, exactly as with the all-to-all Tick).
+func (n *Node) TickWatched() []cluster.Event {
+	return n.dir.TickWatched(n.dir.WatchSet(cluster.NodeID(n.cfg.ID)))
+}
+
+// Draining reports whether the node has begun a decommission drain (it
+// refuses new allocations but keeps serving reads and redirects).
+func (n *Node) Draining() bool {
+	n.drainMu.Lock()
+	defer n.drainMu.Unlock()
+	return n.draining
+}
+
+// movedBlock is one drain tombstone: where a hosted block went.
+type movedBlock struct {
+	to     transport.NodeID
+	offset int64
+}
+
+// hostedBlock pairs a receive-pool handle with its owner record for the
+// drain walk.
+type hostedBlock struct {
+	h   slab.Handle
+	ref ownerRef
+}
+
+// Decommission gracefully removes this node from the cluster (§IV.C dynamic
+// grouping): every block parked in the receive pool is migrated to another
+// alive group member, each block's owner is told the new home (opMoved), a
+// redirect tombstone is kept so stale-epoch readers that still dereference
+// this node get a cheap stRedirect instead of a failure, and finally the
+// departure is announced (opLeave) so peers record a Left map delta rather
+// than waiting out their failure detectors. The node keeps serving reads,
+// locates, and map syncs for its drain window — the process should exit only
+// after stale clients have had time to catch up.
+//
+// It returns the number of blocks migrated. Blocks with no reachable
+// successor fall back to an eviction notice to the owner, whose repair path
+// restores the replication factor.
+func (n *Node) Decommission(ctx context.Context) (int, error) {
+	n.drainMu.Lock()
+	if n.draining {
+		n.drainMu.Unlock()
+		return 0, nil
+	}
+	n.draining = true
+	if n.movedTo == nil {
+		n.movedTo = map[uint64]movedBlock{}
+	}
+	n.drainMu.Unlock()
+
+	var blocks []hostedBlock
+	for i := range n.owners {
+		sh := &n.owners[i]
+		sh.mu.Lock()
+		for h, ref := range sh.refs {
+			blocks = append(blocks, hostedBlock{h: h, ref: ref})
+		}
+		sh.mu.Unlock()
+	}
+	// Map iteration order is random; migrate in a fixed order so simulated
+	// drains are deterministic.
+	sort.Slice(blocks, func(i, j int) bool {
+		a, b := blocks[i], blocks[j]
+		if a.ref.key != b.ref.key {
+			return a.ref.key < b.ref.key
+		}
+		if a.h.SlabID != b.h.SlabID {
+			return a.h.SlabID < b.h.SlabID
+		}
+		return a.h.Offset < b.h.Offset
+	})
+
+	moved := 0
+	var firstErr error
+	for _, b := range blocks {
+		err := n.migrateBlock(ctx, b)
+		if err == nil {
+			moved++
+			continue
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		// No new home: tell the owner the block is gone so its repair path
+		// re-replicates from the surviving copies.
+		n.notifyEvicted(ctx, b.ref)
+		n.takeOwner(b.h)
+		_ = n.recv.Free(b.h)
+	}
+
+	// Announce the departure so peers drop us via a Left delta immediately.
+	self := cluster.NodeID(n.cfg.ID)
+	leave := encodeLeaveReq(leaveReq{Node: n.cfg.ID})
+	for _, st := range n.dir.Snapshot() {
+		if st.ID == self || !st.Alive {
+			continue
+		}
+		_, _ = n.ep.Call(ctx, transport.NodeID(st.ID), leave)
+	}
+	n.dir.Leave(self)
+	return moved, firstErr
+}
+
+// migrateBlock copies one hosted block to an alive group peer, records the
+// redirect tombstone, and notifies the owner of the new home.
+func (n *Node) migrateBlock(ctx context.Context, b hostedBlock) error {
+	data, err := n.recv.Read(b.h, b.h.Class)
+	if err != nil {
+		return err
+	}
+	// Prefer a successor that is not the block's owner (the owner holding
+	// its own remote copy defeats the point of parking it elsewhere), but
+	// fall back to the owner when it is the only candidate left.
+	succs, err := n.pickRemotes(1, []transport.NodeID{b.ref.owner})
+	if errors.Is(err, ErrNoCandidates) {
+		succs, err = n.pickRemotes(1, nil)
+	}
+	if err != nil {
+		return err
+	}
+	to := transport.NodeID(succs[0])
+	resp, err := n.ep.Call(ctx, to, encodeAllocReq(allocReq{Key: b.ref.key, Class: int32(b.h.Class)}))
+	if err != nil {
+		return fmt.Errorf("core: drain alloc on node %d: %w", to, err)
+	}
+	alloc, err := decodeAllocResp(resp)
+	if err != nil {
+		return err
+	}
+	if err := n.ep.WriteRegion(ctx, to, RecvRegionID, alloc.Offset, data); err != nil {
+		fctx, cancel := detached(ctx)
+		defer cancel()
+		_, _ = n.ep.Call(fctx, to, encodeFreeReq(freeReq{Key: b.ref.key, Offset: alloc.Offset}))
+		return fmt.Errorf("core: drain copy to node %d: %w", to, err)
+	}
+	n.drainMu.Lock()
+	n.movedTo[b.ref.key] = movedBlock{to: to, offset: alloc.Offset}
+	n.drainMu.Unlock()
+	n.notifyMoved(ctx, b.ref, to, alloc.Offset)
+	n.takeOwner(b.h)
+	_ = n.recv.Free(b.h)
+	return nil
+}
+
+// notifyMoved tells a block's owner where its block went; a local owner is
+// rehomed directly, a remote one best-effort over the control plane (a stale
+// or departed owner discovers the move through opLocate redirects instead).
+func (n *Node) notifyMoved(ctx context.Context, ref ownerRef, to transport.NodeID, offset int64) {
+	if ref.owner == n.cfg.ID {
+		n.applyMoved(n.cfg.ID, movedReq{Key: ref.key, NewNode: to, NewOffset: offset})
+		return
+	}
+	_, _ = n.ep.Call(ctx, ref.owner, encodeMovedReq(movedReq{Key: ref.key, NewNode: to, NewOffset: offset}))
+}
+
+// notifyEvicted tells a block's owner the block is gone (drain fallback when
+// no successor could take the copy).
+func (n *Node) notifyEvicted(ctx context.Context, ref ownerRef) {
+	if ref.owner == n.cfg.ID {
+		n.handleEvicted(n.cfg.ID, evictedReq{Key: ref.key})
+		return
+	}
+	_, _ = n.ep.Call(ctx, ref.owner, encodeEvictedReq(evictedReq{Key: ref.key}))
+}
+
+// applyMoved is the owner side of opMoved: rehome the replica handle and
+// repoint the page-table location from the draining host to the new one.
+func (n *Node) applyMoved(from transport.NodeID, req movedReq) {
+	if !n.remote.rehome(from, req.NewNode, req.Key, req.NewOffset) {
+		return
+	}
+	vs, id, err := n.resolveKey(req.Key)
+	if err != nil {
+		return
+	}
+	loc, err := vs.table.Get(id)
+	if err != nil {
+		return
+	}
+	if loc.Primary == pagetable.NodeID(from) {
+		loc.Primary = pagetable.NodeID(req.NewNode)
+	}
+	for i, r := range loc.Replicas {
+		if r == pagetable.NodeID(from) {
+			loc.Replicas[i] = pagetable.NodeID(req.NewNode)
+		}
+	}
+	vs.table.Put(id, loc)
+}
+
+// handleLocate answers a block-location probe: stOK when the block for key
+// is still at the stated offset, stRedirect with the new home when the
+// block migrated in a drain, an error otherwise.
+func (n *Node) handleLocate(req locateReq) []byte {
+	n.drainMu.Lock()
+	mv, movedOK := n.movedTo[req.Key]
+	n.drainMu.Unlock()
+	if movedOK {
+		return encodeRedirectResp(redirect{Node: mv.to, Offset: mv.offset})
+	}
+	h, err := n.recv.HandleAt(req.Offset)
+	if err != nil {
+		return errorResp(fmt.Errorf("core: no block at offset %d", req.Offset))
+	}
+	sh := &n.owners[ownerShardIdx(h)]
+	sh.mu.Lock()
+	ref, ok := sh.refs[h]
+	sh.mu.Unlock()
+	if !ok || ref.key != req.Key {
+		return errorResp(fmt.Errorf("core: offset %d does not hold key %d", req.Offset, req.Key))
+	}
+	return okResp()
+}

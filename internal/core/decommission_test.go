@@ -1,0 +1,276 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"godm/internal/cluster"
+	"godm/internal/des"
+	"godm/internal/pagetable"
+	"godm/internal/simnet"
+	"godm/internal/transport"
+)
+
+// findHost returns the node (other than exclude) hosting a block parked
+// under (owner, key), or 0.
+func findHost(tc *testCluster, owner transport.NodeID, key uint64, exclude transport.NodeID) transport.NodeID {
+	for _, n := range tc.nodes {
+		if n.cfg.ID == exclude {
+			continue
+		}
+		if n.HostsRemoteKey(owner, key) {
+			return n.cfg.ID
+		}
+	}
+	return 0
+}
+
+func TestDecommissionMigratesAndRedirects(t *testing.T) {
+	tc := newTestCluster(t, 4, smallConfig)
+	client := NewClient(tc.nodes[0].ep)
+	data := bytes.Repeat([]byte{0x5A}, 2048)
+	tc.run(t, func(ctx context.Context, p *des.Proc) {
+		if err := client.Put(ctx, 2, 9, data); err != nil {
+			t.Errorf("Put: %v", err)
+			return
+		}
+		if err := client.SyncMap(ctx, 1); err != nil {
+			t.Errorf("SyncMap: %v", err)
+			return
+		}
+		moved, err := client.Decommission(ctx, 2)
+		if err != nil {
+			t.Errorf("Decommission: %v", err)
+			return
+		}
+		if moved != 1 {
+			t.Errorf("moved = %d, want 1", moved)
+		}
+		if !tc.nodes[1].Draining() {
+			t.Error("node 2 should report draining")
+		}
+		// The block now lives on another node, parked under the drained
+		// node as proxy owner (the drainer issued the migration alloc) and
+		// the same key.
+		host := findHost(tc, 2, 9, 2)
+		if host == 0 {
+			t.Error("migrated block not found on any peer")
+			return
+		}
+		// Refresh the map: the delta stream records node 2's departure.
+		if err := client.SyncMap(ctx, 1); err != nil {
+			t.Errorf("SyncMap after drain: %v", err)
+			return
+		}
+		if client.Map().Alive(2) {
+			t.Error("client map should show node 2 gone")
+		}
+		// Read through the stale handle: one redirect, then correct bytes.
+		got, err := client.Get(ctx, 2, 9)
+		if err != nil || !bytes.Equal(got, data) {
+			t.Errorf("Get after drain = %d bytes, %v", len(got), err)
+			return
+		}
+		if r := client.Redirects(); r != 1 {
+			t.Errorf("redirects = %d, want 1", r)
+		}
+		// The handle was rewritten: the next read goes straight to the new
+		// home with no further locate hops.
+		if _, err := client.Get(ctx, 2, 9); err != nil {
+			t.Errorf("second Get: %v", err)
+			return
+		}
+		if r := client.Redirects(); r != 1 {
+			t.Errorf("redirects after rewrite = %d, want still 1", r)
+		}
+		// Delete follows the rewritten home and frees the migrated block.
+		if err := client.Delete(ctx, 2, 9); err != nil {
+			t.Errorf("Delete: %v", err)
+			return
+		}
+		if h := findHost(tc, 2, 9, 2); h != 0 {
+			t.Errorf("block still hosted on node %d after delete", h)
+		}
+	})
+}
+
+func TestDecommissionTwoHopChain(t *testing.T) {
+	tc := newTestCluster(t, 5, smallConfig)
+	client := NewClient(tc.nodes[0].ep)
+	data := bytes.Repeat([]byte{0xC3}, 1024)
+	tc.run(t, func(ctx context.Context, p *des.Proc) {
+		if err := client.Put(ctx, 2, 11, data); err != nil {
+			t.Errorf("Put: %v", err)
+			return
+		}
+		if err := client.SyncMap(ctx, 1); err != nil {
+			t.Errorf("SyncMap: %v", err)
+			return
+		}
+		if _, err := client.Decommission(ctx, 2); err != nil {
+			t.Errorf("Decommission 2: %v", err)
+			return
+		}
+		// The successor holds the block as a proxy for the drained node.
+		first := findHost(tc, 2, 11, 2)
+		if first == 0 {
+			t.Error("no first successor hosts the block")
+			return
+		}
+		// Drain the successor too: the worst sanctioned chain.
+		if _, err := client.Decommission(ctx, first); err != nil {
+			t.Errorf("Decommission %d: %v", first, err)
+			return
+		}
+		if err := client.SyncMap(ctx, 1); err != nil {
+			t.Errorf("SyncMap: %v", err)
+			return
+		}
+		got, err := client.Get(ctx, 2, 11)
+		if err != nil || !bytes.Equal(got, data) {
+			t.Errorf("Get after two drains = %d bytes, %v", len(got), err)
+			return
+		}
+		if r := client.Redirects(); r != 2 {
+			t.Errorf("redirects = %d, want 2", r)
+		}
+	})
+}
+
+func TestDrainingNodeRefusesAllocs(t *testing.T) {
+	tc := newTestCluster(t, 3, smallConfig)
+	client := NewClient(tc.nodes[0].ep)
+	tc.run(t, func(ctx context.Context, p *des.Proc) {
+		if _, err := client.Decommission(ctx, 2); err != nil {
+			t.Errorf("Decommission: %v", err)
+			return
+		}
+		err := client.Put(ctx, 2, 3, bytes.Repeat([]byte{1}, 600))
+		if !errors.Is(err, ErrRemoteFull) {
+			t.Errorf("Put to draining node = %v, want ErrRemoteFull", err)
+		}
+		// Idempotent: a second drain request migrates nothing and succeeds.
+		moved, err := client.Decommission(ctx, 2)
+		if err != nil || moved != 0 {
+			t.Errorf("second Decommission = %d, %v; want 0, nil", moved, err)
+		}
+	})
+}
+
+// TestDecommissionRepointsOwnerPageTable drains a node hosting a replicated
+// virtual-server entry and checks the owner's remote map and page table
+// follow the moved copy (opMoved), so remote gets need no redirect at all.
+func TestDecommissionRepointsOwnerPageTable(t *testing.T) {
+	tc := newTestCluster(t, 4, func(id transport.NodeID) Config {
+		cfg := smallConfig(id)
+		cfg.ReplicationFactor = 2
+		return cfg
+	})
+	vs, err := tc.nodes[0].AddServer("vm0", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0x42}, 3000)
+	tc.run(t, func(ctx context.Context, p *des.Proc) {
+		if err := vs.PutRemote(ctx, 21, data, 4096, len(data)); err != nil {
+			t.Errorf("PutRemote: %v", err)
+			return
+		}
+		key := vs.WireKey(21)
+		var host *Node
+		for _, n := range tc.nodes[1:] {
+			if n.HostsRemoteKey(1, key) {
+				host = n
+				break
+			}
+		}
+		if host == nil {
+			t.Error("no node hosts the replicated entry")
+			return
+		}
+		if _, err := host.Decommission(ctx); err != nil {
+			t.Errorf("Decommission node %d: %v", host.cfg.ID, err)
+			return
+		}
+		// The owner's page table must no longer reference the drained node.
+		loc, err := vs.Location(21)
+		if err != nil {
+			t.Errorf("Location: %v", err)
+			return
+		}
+		drained := pagetable.NodeID(host.cfg.ID)
+		if loc.Primary == drained {
+			t.Errorf("primary still points at drained node %d", host.cfg.ID)
+		}
+		for _, r := range loc.Replicas {
+			if r == drained {
+				t.Errorf("replica set still references drained node %d", host.cfg.ID)
+			}
+		}
+		got, _, err := vs.Get(ctx, 21)
+		if err != nil || !bytes.Equal(got, data) {
+			t.Errorf("Get after drain = %d bytes, %v", len(got), err)
+		}
+	})
+}
+
+// TestTreeHeartbeatConvergence runs per-node directories connected only by
+// the heartbeat tree and asserts second-hand liveness: when a member goes
+// silent, its watcher detects the death first-hand and every other directory
+// learns it through epoch-tagged map deltas within a few rounds.
+func TestTreeHeartbeatConvergence(t *testing.T) {
+	const n = 6
+	env := des.NewEnv()
+	fabric := simnet.New(env, simnet.DefaultParams())
+	nodes := make([]*Node, 0, n)
+	for i := 1; i <= n; i++ {
+		id := transport.NodeID(i)
+		ep, err := fabric.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir, err := cluster.NewDirectory(cluster.Config{GroupSize: 3, HeartbeatTimeout: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, err := NewNode(smallConfig(id), ep, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, node)
+	}
+	// Static seed membership: every directory starts knowing all nodes (the
+	// deployment bootstrap); the tree keeps the views alive from here on.
+	for _, node := range nodes {
+		for j := 1; j <= n; j++ {
+			node.dir.Join(cluster.NodeID(j), 1<<20)
+		}
+	}
+	env.Go("sim", func(p *des.Proc) {
+		ctx := des.NewContext(context.Background(), p)
+		const deadFrom = 4 // node 6 goes silent starting this round
+		for round := 1; round <= 12; round++ {
+			for i, node := range nodes {
+				if i == n-1 && round >= deadFrom {
+					continue
+				}
+				node.TreeHeartbeat(ctx)
+				node.TickWatched()
+			}
+		}
+		for i, node := range nodes[:n-1] {
+			if node.dir.Alive(cluster.NodeID(n)) {
+				t.Errorf("node %d still sees node %d alive", i+1, n)
+			}
+			root, ok := node.dir.RootLeader()
+			if !ok || root == cluster.NodeID(n) {
+				t.Errorf("node %d root = %d, ok=%v", i+1, root, ok)
+			}
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,6 +4,9 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"godm/internal/cluster"
+	"godm/internal/transport"
 )
 
 // Control-plane message opcodes (two-sided send/recv traffic, §IV.G: "RDMA
@@ -17,6 +20,12 @@ const (
 	opMetrics    = 6 // fetch the node's rendered metrics tree
 	opAllocBatch = 7 // reserve N blocks in one round trip (all or nothing)
 	opFreeBatch  = 8 // release N blocks in one round trip
+	// Cluster-scale control plane (§IV.C-D dynamic membership).
+	opMapSync      = 9  // epoch-versioned map catch-up: deltas or snapshot
+	opLocate       = 10 // confirm a block's location; a moved block redirects
+	opMoved        = 11 // tell an owner its block migrated to a new host
+	opLeave        = 12 // announce a graceful departure to a peer's directory
+	opDecommission = 13 // instruct a node to drain its blocks and leave
 )
 
 // Response status codes.
@@ -24,6 +33,10 @@ const (
 	stOK      = 0
 	stNoSpace = 1
 	stError   = 2
+	// stRedirect answers opLocate for a block that migrated during a
+	// decommission drain: the response carries the new host and offset, so a
+	// stale-epoch reader pays one cheap extra hop instead of failing.
+	stRedirect = 3
 )
 
 var errShortMessage = errors.New("core: short control message")
@@ -338,4 +351,170 @@ func checkOKResp(b []byte) error {
 	default:
 		return fmt.Errorf("core: remote error: %s", b[1:])
 	}
+}
+
+// mapSyncReq wraps a cluster sync request: the requester names the origin
+// directory its cached map came from and the epoch it holds.
+func encodeMapSyncReq(req cluster.SyncRequest) []byte {
+	return cluster.AppendSyncRequest([]byte{opMapSync}, req)
+}
+
+func decodeMapSyncReq(b []byte) (cluster.SyncRequest, error) {
+	if len(b) < 1 {
+		return cluster.SyncRequest{}, errShortMessage
+	}
+	req, _, err := cluster.DecodeSyncRequest(b[1:])
+	return req, err
+}
+
+func encodeMapSyncResp(resp cluster.SyncResponse) []byte {
+	return cluster.AppendSyncResponse([]byte{stOK}, resp)
+}
+
+func decodeMapSyncResp(b []byte) (cluster.SyncResponse, error) {
+	if len(b) < 1 {
+		return cluster.SyncResponse{}, errShortMessage
+	}
+	if b[0] != stOK {
+		return cluster.SyncResponse{}, fmt.Errorf("core: remote map sync failed: %s", b[1:])
+	}
+	resp, _, err := cluster.DecodeSyncResponse(b[1:])
+	return resp, err
+}
+
+// locateReq asks whether the block parked under key is still at offset on
+// the receiving node. stOK confirms it; a drained block answers stRedirect
+// with its new home.
+type locateReq struct {
+	Key    uint64
+	Offset int64
+}
+
+// redirect is the payload of an stRedirect response: the block's new home.
+type redirect struct {
+	Node   transport.NodeID
+	Offset int64
+}
+
+func encodeLocateReq(r locateReq) []byte {
+	buf := make([]byte, 1+8+8)
+	buf[0] = opLocate
+	binary.BigEndian.PutUint64(buf[1:9], r.Key)
+	binary.BigEndian.PutUint64(buf[9:17], uint64(r.Offset))
+	return buf
+}
+
+func decodeLocateReq(b []byte) (locateReq, error) {
+	if len(b) < 17 {
+		return locateReq{}, errShortMessage
+	}
+	return locateReq{
+		Key:    binary.BigEndian.Uint64(b[1:9]),
+		Offset: int64(binary.BigEndian.Uint64(b[9:17])),
+	}, nil
+}
+
+func encodeRedirectResp(r redirect) []byte {
+	buf := make([]byte, 1+8+8)
+	buf[0] = stRedirect
+	binary.BigEndian.PutUint64(buf[1:9], uint64(r.Node))
+	binary.BigEndian.PutUint64(buf[9:17], uint64(r.Offset))
+	return buf
+}
+
+// decodeLocateResp returns (redirect, false, nil) when the block moved,
+// (zero, true, nil) when it is confirmed in place, and an error otherwise.
+func decodeLocateResp(b []byte) (redirect, bool, error) {
+	if len(b) < 1 {
+		return redirect{}, false, errShortMessage
+	}
+	switch b[0] {
+	case stOK:
+		return redirect{}, true, nil
+	case stRedirect:
+		if len(b) < 17 {
+			return redirect{}, false, errShortMessage
+		}
+		return redirect{
+			Node:   transport.NodeID(binary.BigEndian.Uint64(b[1:9])),
+			Offset: int64(binary.BigEndian.Uint64(b[9:17])),
+		}, false, nil
+	default:
+		return redirect{}, false, fmt.Errorf("core: locate failed: %s", b[1:])
+	}
+}
+
+// movedReq tells a block's owner that the block for Key now lives on NewNode
+// at NewOffset (sent by a decommissioning host as it drains).
+type movedReq struct {
+	Key       uint64
+	NewNode   transport.NodeID
+	NewOffset int64
+}
+
+func encodeMovedReq(r movedReq) []byte {
+	buf := make([]byte, 1+8+8+8)
+	buf[0] = opMoved
+	binary.BigEndian.PutUint64(buf[1:9], r.Key)
+	binary.BigEndian.PutUint64(buf[9:17], uint64(r.NewNode))
+	binary.BigEndian.PutUint64(buf[17:25], uint64(r.NewOffset))
+	return buf
+}
+
+func decodeMovedReq(b []byte) (movedReq, error) {
+	if len(b) < 25 {
+		return movedReq{}, errShortMessage
+	}
+	return movedReq{
+		Key:       binary.BigEndian.Uint64(b[1:9]),
+		NewNode:   transport.NodeID(binary.BigEndian.Uint64(b[9:17])),
+		NewOffset: int64(binary.BigEndian.Uint64(b[17:25])),
+	}, nil
+}
+
+// leaveReq announces Node's graceful departure; the receiver records it as a
+// Left map delta instead of waiting out the failure detector.
+type leaveReq struct {
+	Node transport.NodeID
+}
+
+func encodeLeaveReq(r leaveReq) []byte {
+	buf := make([]byte, 1+8)
+	buf[0] = opLeave
+	binary.BigEndian.PutUint64(buf[1:9], uint64(r.Node))
+	return buf
+}
+
+func decodeLeaveReq(b []byte) (leaveReq, error) {
+	if len(b) < 9 {
+		return leaveReq{}, errShortMessage
+	}
+	return leaveReq{Node: transport.NodeID(binary.BigEndian.Uint64(b[1:9]))}, nil
+}
+
+func encodeDecommissionReq() []byte { return []byte{opDecommission} }
+
+// decommissionResp reports how many hosted blocks the drain migrated.
+type decommissionResp struct {
+	Moved int32
+}
+
+func encodeDecommissionResp(r decommissionResp) []byte {
+	buf := make([]byte, 1+4)
+	buf[0] = stOK
+	binary.BigEndian.PutUint32(buf[1:5], uint32(r.Moved))
+	return buf
+}
+
+func decodeDecommissionResp(b []byte) (decommissionResp, error) {
+	if len(b) < 1 {
+		return decommissionResp{}, errShortMessage
+	}
+	if b[0] != stOK {
+		return decommissionResp{}, fmt.Errorf("core: remote decommission failed: %s", b[1:])
+	}
+	if len(b) < 5 {
+		return decommissionResp{}, errShortMessage
+	}
+	return decommissionResp{Moved: int32(binary.BigEndian.Uint32(b[1:5]))}, nil
 }

@@ -194,6 +194,18 @@ type Node struct {
 
 	treeMu sync.Mutex
 	tree   *metrics.Tree // optional: the process-wide tree served over opMetrics
+
+	// drainMu guards the decommission state: once draining, the node refuses
+	// new allocations and answers opLocate for migrated blocks with a
+	// redirect tombstone from movedTo.
+	drainMu  sync.Mutex
+	draining bool
+	movedTo  map[uint64]movedBlock
+
+	// syncMu guards the per-peer map-sync cursors used by TreeHeartbeat to
+	// ask each tree target only for deltas it has not yet seen.
+	syncMu   sync.Mutex
+	lastSync map[cluster.NodeID]cluster.Epoch
 }
 
 // addOwner records who parked h in the receive pool.
@@ -615,6 +627,38 @@ func (n *Node) handleCall(ctx context.Context, from transport.NodeID, payload []
 		return encodeStatsResp(statsResp{FreeBytes: n.recv.FreeBytes()}), nil
 	case opMetrics:
 		return encodeMetricsResp(n.metricsText()), nil
+	case opMapSync:
+		req, err := decodeMapSyncReq(payload)
+		if err != nil {
+			return errorResp(err), nil
+		}
+		return encodeMapSyncResp(n.dir.Sync(cluster.NodeID(n.cfg.ID), req)), nil
+	case opLocate:
+		req, err := decodeLocateReq(payload)
+		if err != nil {
+			return errorResp(err), nil
+		}
+		return n.handleLocate(req), nil
+	case opMoved:
+		req, err := decodeMovedReq(payload)
+		if err != nil {
+			return errorResp(err), nil
+		}
+		n.applyMoved(from, req)
+		return okResp(), nil
+	case opLeave:
+		req, err := decodeLeaveReq(payload)
+		if err != nil {
+			return errorResp(err), nil
+		}
+		n.dir.Leave(cluster.NodeID(req.Node))
+		return okResp(), nil
+	case opDecommission:
+		moved, err := n.Decommission(ctx)
+		if err != nil {
+			return errorResp(err), nil
+		}
+		return encodeDecommissionResp(decommissionResp{Moved: int32(moved)}), nil
 	default:
 		return errorResp(fmt.Errorf("core: unknown op %d", payload[0])), nil
 	}
@@ -624,6 +668,12 @@ func (n *Node) handleCall(ctx context.Context, from transport.NodeID, payload []
 // entry key stripes the allocation across pool shards, so concurrent allocs
 // for distinct keys take distinct locks even within one size class.
 func (n *Node) handleAlloc(from transport.NodeID, req allocReq) []byte {
+	if n.Draining() {
+		// A draining node must not hand out blocks: freed space staying
+		// unreused is what keeps optimistic stale-epoch reads byte-correct
+		// during the drain window.
+		return noSpaceResp()
+	}
 	h, err := n.recv.AllocHint(int(req.Class), req.Key)
 	if err != nil {
 		if errors.Is(err, slab.ErrNoSpace) {
@@ -649,6 +699,9 @@ func (n *Node) handleAlloc(from transport.NodeID, req allocReq) []byte {
 // reserved is released and the whole batch fails, so the owner never has to
 // track a partially-allocated window.
 func (n *Node) handleAllocBatch(from transport.NodeID, entries []batchAllocEntry) []byte {
+	if n.Draining() {
+		return noSpaceResp()
+	}
 	handles := make([]slab.Handle, 0, len(entries))
 	offsets := make([]int64, 0, len(entries))
 	rollback := func() {

@@ -151,6 +151,22 @@ func (s *remoteStore) getAt(ctx context.Context, nodes []replication.NodeID, key
 	return nil, lastErr
 }
 
+// rehome repoints the handle for key from old to new after a decommission
+// migration (opMoved): the payload bytes now live at newOffset inside new's
+// receive region. Returns false when no handle for (old, key) was tracked.
+func (s *remoteStore) rehome(old, new transport.NodeID, key uint64, newOffset int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.handles[remoteKey{node: old, key: key}]
+	if !ok {
+		return false
+	}
+	delete(s.handles, remoteKey{node: old, key: key})
+	h.offset = newOffset
+	s.handles[remoteKey{node: new, key: key}] = h
+	return true
+}
+
 // drop forgets the local handle for key on node (used when the remote tells
 // us it evicted the block).
 func (s *remoteStore) drop(node transport.NodeID, key uint64) {

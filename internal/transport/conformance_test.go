@@ -5,8 +5,10 @@ import (
 	"testing"
 
 	"godm/internal/des"
+	"godm/internal/faulty"
 	"godm/internal/simnet"
 	"godm/internal/tcpnet"
+	"godm/internal/trace"
 	"godm/internal/transport"
 	"godm/internal/transport/transporttest"
 )
@@ -91,4 +93,69 @@ func TestConformanceSim(t *testing.T) {
 
 func TestConformanceTCP(t *testing.T) {
 	transporttest.RunConformance(t, newTCPFabric)
+}
+
+// mwFabric wraps every endpoint of an inner fabric in a middleware, so the
+// cluster control-plane cases can prove their frames survive the decorated
+// stacks deployments actually run (tracing, fault injection) on both fabrics.
+type mwFabric struct {
+	inner transporttest.Fabric
+	wrap  transport.Middleware
+}
+
+func (f *mwFabric) Endpoints(t *testing.T, n int) []transport.Endpoint {
+	eps := f.inner.Endpoints(t, n)
+	out := make([]transport.Endpoint, len(eps))
+	for i, ep := range eps {
+		out[i] = f.wrap(ep)
+	}
+	return out
+}
+
+func (f *mwFabric) Run(t *testing.T, body func(ctx context.Context)) {
+	f.inner.Run(t, body)
+}
+
+// runCases runs the named conformance cases against a fabric constructor.
+func runCases(t *testing.T, newFabric func(t *testing.T) transporttest.Fabric, names ...string) {
+	want := map[string]bool{}
+	for _, n := range names {
+		want[n] = true
+	}
+	for _, c := range transporttest.Cases() {
+		if !want[c.Name] {
+			continue
+		}
+		delete(want, c.Name)
+		t.Run(c.Name, func(t *testing.T) {
+			c.Run(t, newFabric(t))
+		})
+	}
+	for n := range want {
+		t.Fatalf("unknown conformance case %q", n)
+	}
+}
+
+// TestClusterOpsThroughMiddlewares reruns the map-delta and redirect
+// conformance cases with each fabric's endpoints wrapped in the trace
+// middleware and in the fault injector (with no faults armed): the cluster
+// control plane must be byte-transparent through both decorators.
+func TestClusterOpsThroughMiddlewares(t *testing.T) {
+	fabrics := map[string]func(t *testing.T) transporttest.Fabric{
+		"sim": newSimFabric,
+		"tcp": newTCPFabric,
+	}
+	middlewares := map[string]func() transport.Middleware{
+		"trace":  func() transport.Middleware { return trace.Middleware(trace.New()) },
+		"faulty": func() transport.Middleware { return faulty.New(1).Wrap },
+	}
+	for fname, newInner := range fabrics {
+		for mname, mw := range middlewares {
+			t.Run(fname+"/"+mname, func(t *testing.T) {
+				runCases(t, func(t *testing.T) transporttest.Fabric {
+					return &mwFabric{inner: newInner(t), wrap: mw()}
+				}, "MapDeltaOpFidelity", "RedirectOpFidelity")
+			})
+		}
+	}
 }

@@ -10,11 +10,14 @@ package transporttest
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 
+	"godm/internal/cluster"
 	"godm/internal/trace"
 	"godm/internal/transport"
 )
@@ -50,6 +53,8 @@ func Cases() []Case {
 		{"TraceContextPropagation", testTracePropagation},
 		{"VectoredWriteEquivalence", testVectoredWriteEquivalence},
 		{"ScatterReadInto", testScatterReadInto},
+		{"MapDeltaOpFidelity", testMapDeltaOpFidelity},
+		{"RedirectOpFidelity", testRedirectOpFidelity},
 	}
 }
 
@@ -420,6 +425,143 @@ func testScatterReadInto(t *testing.T, f Fabric) {
 		}
 		if err := transport.ReadRegionInto(ctx, eps[0], 2, 99, 0, make([]byte, 8)); !errors.Is(err, transport.ErrNoRegion) {
 			t.Errorf("unknown-region scatter read: %v, want ErrNoRegion", err)
+		}
+	})
+}
+
+// testMapDeltaOpFidelity checks the epoch-versioned map-sync payloads of the
+// cluster control plane survive a Call round trip bit-exactly: the server
+// decodes the client's SyncRequest and answers with a SyncResponse carrying
+// both a delta run (node changes with group incarnations, a leader set, a
+// departure) and, on a second exchange, a full snapshot. Any fabric- or
+// middleware-introduced corruption of these frames would desynchronise every
+// directory in a cluster, so both fabrics prove fidelity here.
+func testMapDeltaOpFidelity(t *testing.T, f Fabric) {
+	eps := f.Endpoints(t, 2)
+	wantDeltas := cluster.SyncResponse{
+		Origin: 2,
+		Deltas: []cluster.Delta{
+			{
+				Epoch:  7,
+				Groups: 2,
+				Changes: []cluster.Change{
+					{State: cluster.NodeState{ID: 3, FreeBytes: 1 << 30, Alive: true, Group: 1, Gver: 4}},
+					{State: cluster.NodeState{ID: 9, Alive: false, Group: 0, Gver: 1}},
+					{State: cluster.NodeState{ID: 5}, Left: true},
+				},
+			},
+			{
+				Epoch:          8,
+				Groups:         2,
+				Leaders:        []cluster.GroupLeader{{Group: 0, Leader: 1}, {Group: 1, Leader: 3}},
+				LeadersChanged: true,
+				Root:           1,
+				RootOK:         true,
+			},
+		},
+	}
+	snap := cluster.MapSnapshot{
+		Epoch:   9,
+		Groups:  1,
+		Nodes:   []cluster.NodeState{{ID: 1, FreeBytes: 42, Alive: true, Gver: 2}},
+		Leaders: []cluster.GroupLeader{{Group: 0, Leader: 1}},
+		Root:    1,
+		RootOK:  true,
+	}
+	wantSnap := cluster.SyncResponse{Origin: 2, Snapshot: &snap}
+	var gotReq cluster.SyncRequest
+	eps[1].SetHandler(func(_ context.Context, _ transport.NodeID, payload []byte) ([]byte, error) {
+		req, rest, err := cluster.DecodeSyncRequest(payload)
+		if err != nil || len(rest) != 0 {
+			return nil, fmt.Errorf("decode request: %v (rest %d)", err, len(rest))
+		}
+		gotReq = req
+		if req.Epoch == 0 {
+			return cluster.AppendSyncResponse(nil, wantSnap), nil
+		}
+		return cluster.AppendSyncResponse(nil, wantDeltas), nil
+	})
+	f.Run(t, func(ctx context.Context) {
+		resp, err := eps[0].Call(ctx, 2, cluster.AppendSyncRequest(nil, cluster.SyncRequest{Origin: 2, Epoch: 6}))
+		if err != nil {
+			t.Fatalf("Call: %v", err)
+		}
+		got, rest, err := cluster.DecodeSyncResponse(resp)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("decode response: %v (rest %d)", err, len(rest))
+		}
+		if gotReq != (cluster.SyncRequest{Origin: 2, Epoch: 6}) {
+			t.Errorf("server saw request %+v", gotReq)
+		}
+		if !reflect.DeepEqual(got, wantDeltas) {
+			t.Errorf("delta response mutated in flight:\n got %+v\nwant %+v", got, wantDeltas)
+		}
+		resp, err = eps[0].Call(ctx, 2, cluster.AppendSyncRequest(nil, cluster.SyncRequest{Origin: 2}))
+		if err != nil {
+			t.Fatalf("snapshot Call: %v", err)
+		}
+		got, rest, err = cluster.DecodeSyncResponse(resp)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("decode snapshot response: %v (rest %d)", err, len(rest))
+		}
+		if !reflect.DeepEqual(got, wantSnap) {
+			t.Errorf("snapshot response mutated in flight:\n got %+v\nwant %+v", got, wantSnap)
+		}
+	})
+}
+
+// testRedirectOpFidelity checks a locate/redirect exchange — the status-plus
+// [node][offset] frame a draining host answers stale readers with — crosses
+// both fabrics intact, including the maximum offset and a zero offset, and
+// that an in-place answer stays a single status byte.
+func testRedirectOpFidelity(t *testing.T, f Fabric) {
+	const (
+		stOK       = 0
+		stRedirect = 3
+	)
+	eps := f.Endpoints(t, 2)
+	eps[1].SetHandler(func(_ context.Context, _ transport.NodeID, payload []byte) ([]byte, error) {
+		if len(payload) != 17 {
+			return nil, fmt.Errorf("locate frame = %d bytes, want 17", len(payload))
+		}
+		key := binary.BigEndian.Uint64(payload[1:9])
+		offset := int64(binary.BigEndian.Uint64(payload[9:17]))
+		if offset == 0 {
+			return []byte{stOK}, nil
+		}
+		// Redirect to node key>>32 at the bit-inverted offset, exercising
+		// high bytes in every field.
+		b := []byte{stRedirect}
+		b = binary.BigEndian.AppendUint64(b, key>>32)
+		b = binary.BigEndian.AppendUint64(b, uint64(offset)^0x00FFFFFFFFFFFFFF)
+		return b, nil
+	})
+	locate := func(key uint64, offset int64) []byte {
+		b := []byte{10} // opLocate
+		b = binary.BigEndian.AppendUint64(b, key)
+		b = binary.BigEndian.AppendUint64(b, uint64(offset))
+		return b
+	}
+	f.Run(t, func(ctx context.Context) {
+		resp, err := eps[0].Call(ctx, 2, locate(0xAABBCCDD11223344, 0))
+		if err != nil {
+			t.Fatalf("in-place Call: %v", err)
+		}
+		if len(resp) != 1 || resp[0] != stOK {
+			t.Errorf("in-place answer = %v, want single stOK byte", resp)
+		}
+		resp, err = eps[0].Call(ctx, 2, locate(0xAABBCCDD11223344, 0x0102030405060708))
+		if err != nil {
+			t.Fatalf("redirect Call: %v", err)
+		}
+		if len(resp) != 17 || resp[0] != stRedirect {
+			t.Fatalf("redirect answer = %d bytes status %d", len(resp), resp[0])
+		}
+		if node := binary.BigEndian.Uint64(resp[1:9]); node != 0xAABBCCDD {
+			t.Errorf("redirect node = %#x, want 0xAABBCCDD", node)
+		}
+		if off := binary.BigEndian.Uint64(resp[9:17]); off != 0x0102030405060708^0x00FFFFFFFFFFFFFF {
+			t.Errorf("redirect offset = %#x mutated in flight", off)
 		}
 	})
 }
