@@ -3,6 +3,8 @@
 // donated receive pool over the verbs protocol.
 //
 //	dmctl -node 1=localhost:7401 stats
+//	dmctl -node 1=localhost:7401 top           # cluster-wide digest view
+//	dmctl -node 1=localhost:7401 -q p99 -op get stats
 //	dmctl -node 1=localhost:7401 put 42 "hello disaggregated world"
 //	dmctl -node 1=localhost:7401 getput 42    # put then read back
 //	dmctl -node 1=localhost:7401 -batch put 1=alpha 2=beta 3=gamma
@@ -22,6 +24,7 @@ import (
 	"time"
 
 	"godm/internal/core"
+	"godm/internal/metrics"
 	"godm/internal/tcpnet"
 	"godm/internal/transport"
 )
@@ -40,12 +43,14 @@ func run(args []string) error {
 		timeout  = fs.Duration("timeout", 10*time.Second, "overall deadline for the command (0 = none)")
 		batch    = fs.Bool("batch", false, "windowed data plane: put takes KEY=DATA pairs, getput takes keys; one alloc RPC, coalesced writes")
 		compress = fs.Bool("compress", false, "compress entries at or above the default threshold before they hit the wire")
+		quantQ   = fs.String("q", "", "with stats: print one figure of the cluster latency digest (p50|p90|p99|p999|mean|max|count)")
+		opFam    = fs.String("op", "get", "with stats -q: op family the figure is computed for (e.g. get, put)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *nodeFlag == "" || fs.NArg() < 1 {
-		return fmt.Errorf("usage: dmctl -node id=host:port [-batch] [-compress] <stats|put KEY DATA|getput KEY|epoch|decommission>")
+		return fmt.Errorf("usage: dmctl -node id=host:port [-batch] [-compress] <stats|top|put KEY DATA|getput KEY|epoch|decommission>")
 	}
 	idStr, addr, ok := strings.Cut(*nodeFlag, "=")
 	if !ok {
@@ -78,7 +83,37 @@ func run(args []string) error {
 	}
 
 	switch fs.Arg(0) {
+	case "top":
+		// One control-plane RPC returns the queried node's folded digest
+		// store; asked of the tree root, that is the whole cluster.
+		view, err := client.ClusterView(ctx, target)
+		if err != nil {
+			return err
+		}
+		return metrics.RenderClusterView(os.Stdout, view)
 	case "stats":
+		if *quantQ != "" {
+			// Scriptable single-figure mode, riding the same digest decoding
+			// as top: aggregate the view, pick the op family, print one value.
+			view, err := client.ClusterView(ctx, target)
+			if err != nil {
+				return err
+			}
+			agg, err := metrics.Aggregate(view)
+			if err != nil {
+				return err
+			}
+			h, ok := agg.OpFamilyHistogram(*opFam)
+			if !ok {
+				return fmt.Errorf("no latency digest for op family %q (known: %v)", *opFam, agg.OpFamilies())
+			}
+			fig, err := digestFigure(h, *quantQ)
+			if err != nil {
+				return err
+			}
+			fmt.Println(fig)
+			return nil
+		}
 		free, err := client.Stats(ctx, target)
 		if err != nil {
 			return err
@@ -209,5 +244,31 @@ func run(args []string) error {
 		return nil
 	default:
 		return fmt.Errorf("unknown command %q", fs.Arg(0))
+	}
+}
+
+// digestFigure extracts one named figure from an op family's merged latency
+// histogram.
+func digestFigure(h metrics.HistogramSnapshot, q string) (string, error) {
+	switch q {
+	case "p50":
+		return h.Quantile(0.50).String(), nil
+	case "p90":
+		return h.Quantile(0.90).String(), nil
+	case "p99":
+		return h.Quantile(0.99).String(), nil
+	case "p999":
+		return h.Quantile(0.999).String(), nil
+	case "mean":
+		if h.Count == 0 {
+			return time.Duration(0).String(), nil
+		}
+		return (h.Sum / time.Duration(h.Count)).String(), nil
+	case "max":
+		return h.Max.String(), nil
+	case "count":
+		return strconv.FormatInt(h.Count, 10), nil
+	default:
+		return "", fmt.Errorf("unknown figure %q, want p50|p90|p99|p999|mean|max|count", q)
 	}
 }

@@ -112,11 +112,14 @@ func run(args []string) error {
 	if factor < 1 {
 		factor = 1
 	}
-	// One tracer and one metrics tree per process. The node's fabric
-	// traffic runs through the trace middleware so a remote op's spans
-	// reassemble under its caller's trace; the raw endpoint keeps serving
-	// Addr/AddPeer/transport metrics.
-	tracer := trace.New()
+	// One tracer, one flight recorder, and one metrics tree per process. The
+	// node's fabric traffic runs through the trace middleware so a remote
+	// op's spans reassemble under its caller's trace; the raw endpoint keeps
+	// serving Addr/AddPeer/transport metrics. The flight recorder is always
+	// on: it retains recent completed timelines and every slow-op, dumpable
+	// via /debug/flight or SIGQUIT without restarting the daemon.
+	flight := trace.NewFlight()
+	tracer := trace.New(trace.WithFlight(flight))
 	tree := metrics.NewTree()
 	tree.Attach("node/transport", ep.Metrics())
 	// Pre-declare the swap families: dmnode hosts no swap engine itself, but
@@ -140,18 +143,30 @@ func run(args []string) error {
 	node.SetMetricsTree(tree)
 
 	if *httpAddr != "" {
-		srv, bound, err := obs.Serve(*httpAddr, tree, tracer)
+		srv, bound, err := obs.Serve(*httpAddr, obs.Options{
+			Tree:    tree,
+			Tracer:  tracer,
+			Flight:  flight,
+			Cluster: node.ClusterStore(),
+			Health: func() obs.Health {
+				return obs.Health{Node: int64(*id), Epoch: uint64(dir.Epoch()), Draining: node.Draining()}
+			},
+		})
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		log.Printf("observability on http://%s (/metrics /stats /trace /debug/pprof)", bound)
+		log.Printf("observability on http://%s (/metrics /stats /cluster /trace /debug/flight /healthz /debug/pprof)", bound)
 	}
 	log.Printf("dmnode %d listening on %s, donating %d MiB, %d peers, replication %d",
 		*id, ep.Addr(), *recvMiB, len(peers), factor)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	// SIGQUIT dumps the flight recorder to the log and keeps serving — the
+	// operator's "what just happened" lever on a live daemon.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
 	ticker := time.NewTicker(*tick)
 	defer ticker.Stop()
 	rpcRTT := ep.Metrics().Histogram("rpc_rtt")
@@ -177,6 +192,8 @@ func run(args []string) error {
 			log.Printf("transport: rpcs=%d rtt-mean=%s rtt-p99=%s tx=%d rx=%d reconnects=%d",
 				rpcRTT.Count(), rpcRTT.Mean(), rpcRTT.Quantile(0.99),
 				bytesTx.Value(), bytesRx.Value(), reconnects.Value())
+		case <-quit:
+			log.Printf("SIGQUIT: flight recorder dump:\n%s", flight.Dump())
 		case <-stop:
 			if *drain {
 				// Graceful decommission: migrate every hosted block to a

@@ -1,0 +1,87 @@
+package chaos
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"godm/internal/pagetable"
+)
+
+// swallowTB wraps the real test handle but absorbs Errorf calls, so a
+// deliberately-broken invariant can fire without failing the test. Fatals
+// still pass through — setup errors must abort.
+type swallowTB struct {
+	testing.TB
+	errs []string
+}
+
+func (s *swallowTB) Errorf(format string, args ...any) {
+	s.errs = append(s.errs, format)
+}
+
+// TestInvariantFailureFlagsFlight is the flight-recorder acceptance check: an
+// invariant violation right after a traced op flags that op in the always-on
+// flight recorder, and the dump carries its full span timeline.
+func TestInvariantFailureFlagsFlight(t *testing.T) {
+	cl := New(t, FabricSim, 1, DefaultConfig())
+	defer cl.Close()
+
+	vs, err := cl.Nodes[0].AddServer("flight", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fake := &swallowTB{TB: t}
+	cl.Run(t, func(ctx context.Context) {
+		cl.HeartbeatRound(ctx)
+		payload := cl.Payload(0, 4096)
+		if werr := vs.PutRemote(ctx, 1, payload, 4096, 4096); werr != nil {
+			t.Errorf("PutRemote: %v", werr)
+			return
+		}
+		// The write replicated at the configured factor 3; demanding 5 is a
+		// guaranteed violation — the hook must flag the put's trace.
+		RequireReplicationFactor(fake, vs, pagetable.EntryID(1), 5, 0)
+	})
+	if len(fake.errs) == 0 {
+		t.Fatal("deliberately-broken invariant did not report a violation")
+	}
+
+	flagged := cl.Flight.Flagged()
+	if len(flagged) == 0 {
+		t.Fatal("invariant violation did not flag any trace in the flight recorder")
+	}
+	entry := flagged[len(flagged)-1]
+	if !strings.Contains(entry.Reason, "invariant replication_factor") {
+		t.Fatalf("flagged reason = %q, want invariant replication_factor", entry.Reason)
+	}
+	dump := cl.Flight.Dump()
+	for _, want := range []string{
+		"invariant replication_factor",
+		"core.put_remote", // the offending op's root span...
+		"placement.pick",  // ...and its children: the full timeline survived
+		"repl.write",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Fatalf("flight dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+// TestViolationHookRestored ensures the harness unhooks its flight flagging on
+// cleanup, so later clusters in the process never flag a stale recorder.
+func TestViolationHookRestored(t *testing.T) {
+	var got []string
+	prev := SetViolationHook(func(inv string) { got = append(got, inv) })
+	defer SetViolationHook(prev)
+
+	t.Run("scoped", func(t *testing.T) {
+		cl := New(t, FabricSim, 1, DefaultConfig())
+		defer cl.Close()
+		_ = cl // New swapped the hook in; subtest cleanup must swap it back.
+	})
+	notifyViolation("probe")
+	if len(got) != 1 || got[0] != "probe" {
+		t.Fatalf("outer hook not restored after cluster cleanup: %v", got)
+	}
+}

@@ -83,6 +83,10 @@ type Cluster struct {
 	// on simulated time, so serial scenarios reassemble into byte-identical
 	// timelines across runs with the same seed.
 	Tracer *trace.Tracer
+	// Flight is the always-on flight recorder fed by Tracer. Every invariant
+	// violation flags the most recently completed trace in it, so a failed
+	// seed's dump carries the offending op's full span timeline.
+	Flight *trace.Flight
 	// Tree mounts every node's instrumentation plus the invariant counters,
 	// for failure dumps.
 	Tree *metrics.Tree
@@ -136,11 +140,24 @@ func New(t *testing.T, kind FabricKind, seed int64, cfg Config) *Cluster {
 		t.Fatalf("chaos: unknown fabric %q", kind)
 	}
 
+	cl.Flight = trace.NewFlight()
 	if cl.env != nil {
-		cl.Tracer = trace.New(trace.WithClock(cl.env.Now))
+		cl.Tracer = trace.New(trace.WithClock(cl.env.Now), trace.WithFlight(cl.Flight))
 	} else {
-		cl.Tracer = trace.New()
+		cl.Tracer = trace.New(trace.WithFlight(cl.Flight))
 	}
+	// Flag the newest trace on every invariant violation: invariants are
+	// checked right after the op they verify, so the newest trace is the
+	// offending op's timeline. Restored on cleanup — the hook, like the
+	// invariant registry, is process-wide.
+	prevHook := SetViolationHook(func(invariant string) {
+		ids := cl.Tracer.TraceIDs()
+		if len(ids) == 0 {
+			return
+		}
+		cl.Flight.Flag(ids[len(ids)-1], "invariant "+invariant)
+	})
+	t.Cleanup(func() { SetViolationHook(prevHook) })
 	cl.Tree.Attach("chaos/invariants", InvariantMetrics())
 
 	groupSize := cfg.GroupSize
@@ -226,6 +243,7 @@ func (cl *Cluster) DumpOnFailure(t *testing.T) {
 			return
 		}
 		t.Logf("chaos: metrics tree at failure (seed %d, fabric %s):\n%s", cl.Seed, cl.Kind, cl.Tree.String())
+		t.Logf("chaos: flight recorder at failure:\n%s", cl.Flight.Dump())
 		ids := cl.Tracer.TraceIDs()
 		if len(ids) > maxDumpTraces {
 			ids = ids[len(ids)-maxDumpTraces:]

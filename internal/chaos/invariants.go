@@ -23,15 +23,45 @@ var invReg = metrics.NewRegistry("chaos/invariants")
 // InvariantMetrics exposes the per-invariant check/violation counters.
 func InvariantMetrics() *metrics.Registry { return invReg }
 
+// violationHook, when installed, observes every counted violation with its
+// invariant name. Like invReg it is process-wide: the chaos cluster points it
+// at its flight recorder so the offending op's timeline is flagged the moment
+// the invariant trips, before any test teardown can evict it.
+var (
+	violationHookMu sync.Mutex
+	violationHook   func(invariant string)
+)
+
+// SetViolationHook installs fn as the process-wide violation observer and
+// returns the previous hook so callers can restore it (pass nil to clear).
+func SetViolationHook(fn func(invariant string)) (prev func(invariant string)) {
+	violationHookMu.Lock()
+	defer violationHookMu.Unlock()
+	prev, violationHook = violationHook, fn
+	return prev
+}
+
+func notifyViolation(invariant string) {
+	violationHookMu.Lock()
+	fn := violationHook
+	violationHookMu.Unlock()
+	if fn != nil {
+		fn(invariant)
+	}
+}
+
 // countingTB wraps the test handle so every invariant failure is also
-// counted in invReg before reaching the real reporter.
+// counted in invReg and reported to the violation hook before reaching the
+// real reporter.
 type countingTB struct {
 	testing.TB
+	name       string
 	violations *metrics.Counter
 }
 
 func (c countingTB) Errorf(format string, args ...any) {
 	c.violations.Inc()
+	notifyViolation(c.name)
 	c.TB.Errorf(format, args...)
 }
 
@@ -39,7 +69,7 @@ func (c countingTB) Errorf(format string, args ...any) {
 // counts its violations.
 func checked(t testing.TB, name string) countingTB {
 	invReg.Counter(name + "_checks").Inc()
-	return countingTB{TB: t, violations: invReg.Counter(name + "_violations")}
+	return countingTB{TB: t, name: name, violations: invReg.Counter(name + "_violations")}
 }
 
 // RequireWriteAtomicity asserts the §IV.D all-or-nothing contract for one

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"godm/internal/des"
+	"godm/internal/metrics"
 )
 
 // The cluster-scale control-plane simulation: N per-node directories
@@ -37,15 +38,24 @@ type scaleCfg struct {
 	// drainRounds is how long a decommissioned node keeps serving redirect
 	// tombstones before its process exits.
 	drainRounds int
+	// opRounds is the last round in which nodes issue modelled data-plane ops
+	// into their metrics registries; the quiet tail lets the digest plane
+	// drain so the root's aggregate can be checked for exact equality.
+	opRounds int
 }
 
-// simNode is one simulated process: a directory plus per-peer sync cursors.
+// simNode is one simulated process: a directory plus per-peer sync cursors
+// and the observability digest plane (registry, folded store, digest seq).
 type simNode struct {
 	id       NodeID
 	dir      *Directory
 	up       bool
 	departed bool
 	lastSeen map[NodeID]Epoch
+
+	reg   *metrics.Registry
+	store *metrics.ClusterStore
+	seq   uint64
 }
 
 // simClient holds a ClientMap plus the modelled data-plane view: the node
@@ -87,6 +97,9 @@ type scaleSim struct {
 	rootDownRound  int
 	rootElectedIn  int
 	maxClientLag   int
+	digestBeats    int // heartbeats that carried a digest set
+	digestBytes    int // encoded digest-set bytes across all beats
+	maxDigestSet   int // largest piggyback set on any single beat
 }
 
 func free(id NodeID) int64 { return 1<<20 + int64(id)*16 }
@@ -112,7 +125,11 @@ func newScaleSim(t *testing.T, seed int64, cfg scaleCfg) *scaleSim {
 		for j := 1; j <= cfg.nodes; j++ {
 			dir.Join(NodeID(j), free(NodeID(j)))
 		}
-		s.nodes[id] = &simNode{id: id, dir: dir, up: true, lastSeen: map[NodeID]Epoch{}}
+		s.nodes[id] = &simNode{
+			id: id, dir: dir, up: true, lastSeen: map[NodeID]Epoch{},
+			reg:   metrics.NewRegistry(fmt.Sprintf("core/node-%d", i)),
+			store: metrics.NewClusterStore(int64(i)),
+		}
 		s.order = append(s.order, id)
 	}
 	for c := 0; c < cfg.clients; c++ {
@@ -154,6 +171,15 @@ func (s *scaleSim) heartbeatRound(round int, now time.Duration) {
 		if !n.up {
 			continue
 		}
+		// Modelled data-plane work lands in the node's registry until the
+		// quiesce point; the digest plane keeps beating regardless.
+		if round <= s.cfg.opRounds {
+			n.reg.Counter("remote_allocs").Add(int64(id)%3 + 1)
+			n.reg.Counter("op_get_good").Inc()
+			n.reg.Histogram("op_get_latency").Observe(time.Duration(id) * time.Microsecond)
+		}
+		self := s.refreshDigest(n)
+		n.store.Tick()
 		watched := n.dir.WatchSet(id)
 		for _, target := range n.dir.TreeTargets(id) {
 			peer := s.nodes[target]
@@ -161,14 +187,29 @@ func (s *scaleSim) heartbeatRound(round int, now time.Duration) {
 				continue // unreachable: the watcher's detector goes stale
 			}
 			// The peer hears our beat (receiver-side join, as core's
-			// heartbeat handler does)...
+			// heartbeat handler does) with the digest set piggybacked...
 			peer.dir.Join(id, free(id))
+			set := s.digestsFor(n, target, self)
+			s.digestBeats++
+			s.digestBytes += len(metrics.AppendDigestSet(nil, set))
+			if len(set) > s.maxDigestSet {
+				s.maxDigestSet = len(set)
+			}
+			for _, nd := range set {
+				if nd.Node != int64(target) {
+					peer.store.Update(nd)
+				}
+			}
 			// ...and its response vouches for the peer itself plus carries
 			// the map changes we have not seen.
 			n.dir.Join(target, free(target))
 			resp := peer.dir.Sync(target, SyncRequest{Origin: target, Epoch: n.lastSeen[target]})
 			s.countSync(resp)
-			n.dir.ApplySync(id, resp, watched)
+			for _, e := range n.dir.ApplySync(id, resp, watched) {
+				if e.Kind == EventNodeLeft {
+					n.store.Drop(int64(e.Node))
+				}
+			}
 			switch {
 			case resp.Snapshot != nil:
 				n.lastSeen[target] = resp.Snapshot.Epoch
@@ -178,9 +219,51 @@ func (s *scaleSim) heartbeatRound(round int, now time.Duration) {
 		}
 		_ = n.dir.Heartbeat(id, free(id))
 		for _, e := range n.dir.TickWatched(watched) {
+			if e.Kind == EventNodeLeft {
+				n.store.Drop(int64(e.Node))
+			}
 			s.logf("t=%s r%d n%d: %s node=%d group=%d", now, round, id, e.Kind, e.Node, e.Group)
 		}
 	}
+}
+
+// refreshDigest re-snapshots a node's registry into its own store entry, as
+// core.Node does at the top of every TreeHeartbeat.
+func (s *scaleSim) refreshDigest(n *simNode) metrics.NodeDigest {
+	n.seq++
+	nd := metrics.NodeDigest{
+		Node: int64(n.id),
+		Seq:  n.seq,
+		D:    metrics.DigestRegistries(map[string]*metrics.Registry{"core": n.reg}),
+	}
+	n.store.Update(nd)
+	return nd
+}
+
+// digestsFor mirrors core.Node's piggyback rule: every beat carries the
+// sender's own digest; a group leader beating the root additionally relays
+// the stored digests of its members, so the root covers the cluster after
+// two rounds while every set stays O(group size).
+func (s *scaleSim) digestsFor(n *simNode, target NodeID, self metrics.NodeDigest) []metrics.NodeDigest {
+	out := []metrics.NodeDigest{self}
+	g, err := n.dir.GroupOf(n.id)
+	if err != nil {
+		return out
+	}
+	if leader, ok := n.dir.Leader(g); !ok || leader != n.id {
+		return out
+	}
+	root, ok := n.dir.RootLeader()
+	if !ok || target != root || root == n.id {
+		return out
+	}
+	for _, nd := range n.store.Snapshot() {
+		if nd.Node == self.Node {
+			continue
+		}
+		out = append(out, nd)
+	}
+	return out
 }
 
 func (s *scaleSim) countSync(resp SyncResponse) {
@@ -371,6 +454,7 @@ func (s *scaleSim) decommission(t *testing.T, round int, id NodeID) {
 	for _, target := range n.dir.TreeTargets(id) {
 		if p := s.nodes[target]; p != nil && p.up {
 			p.dir.Leave(id)
+			p.store.Drop(int64(id)) // as core's leave handler drops the digest
 			announced = true
 			break
 		}
@@ -379,6 +463,7 @@ func (s *scaleSim) decommission(t *testing.T, round int, id NodeID) {
 		for _, other := range s.aliveIDs() {
 			if other != id {
 				s.nodes[other].dir.Leave(id)
+				s.nodes[other].store.Drop(int64(id))
 				break
 			}
 		}
@@ -477,6 +562,18 @@ func runScale(t *testing.T, seed int64, cfg scaleCfg) *scaleSim {
 			}
 			p.Sleep(time.Second)
 		}
+		// Fold the digest-plane outcome into the replayable log so the
+		// determinism test pins the observability figures byte for byte.
+		root := s.trueRoot()
+		alive, sum := s.aliveRootDigests(root)
+		agg, err := metrics.Aggregate(alive)
+		if err != nil {
+			t.Errorf("aggregate root digests: %v", err)
+			return
+		}
+		s.logf("digest plane: root=n%d contributors=%d alive=%d aggAllocs=%d memberSum=%d beats=%d bytes=%d maxSet=%d",
+			root, len(s.nodes[root].store.Snapshot()), len(alive),
+			agg.Counters["core/remote_allocs"], sum, s.digestBeats, s.digestBytes, s.maxDigestSet)
 	})
 	if err := env.Run(); err != nil {
 		t.Fatal(err)
@@ -606,14 +703,80 @@ func assertScaleInvariants(t *testing.T, s *scaleSim) {
 	if s.deltaBytes*4 > s.snapshotEquivs {
 		t.Fatalf("sync traffic not O(churn): %d bytes moved vs %d for snapshot-per-sync", s.deltaBytes, s.snapshotEquivs)
 	}
+	// Digest plane: the root's folded view covers every alive node, each
+	// alive contributor's digest matches that node's registry exactly (ops
+	// quiesced at opRounds, so the last relays drained the final values),
+	// and the aggregate equals the member sum — not approximately, exactly.
+	seen := map[NodeID]bool{}
+	var aliveDigests []metrics.NodeDigest
+	var wantSum int64
+	for _, nd := range s.nodes[root].store.Snapshot() {
+		id := NodeID(nd.Node)
+		n := s.nodes[id]
+		if n == nil {
+			t.Fatalf("root digest view holds unknown node %d", nd.Node)
+		}
+		if n.departed {
+			t.Fatalf("root digest view still holds decommissioned n%d", id)
+		}
+		if !n.up {
+			continue // crashed: the stale entry ages, it is not wrong
+		}
+		seen[id] = true
+		got, want := nd.D.Counters["core/remote_allocs"], n.reg.Counter("remote_allocs").Value()
+		if got != want {
+			t.Fatalf("root view of n%d remote_allocs = %d, node registry says %d", id, got, want)
+		}
+		aliveDigests = append(aliveDigests, nd)
+		wantSum += want
+	}
+	for _, id := range s.aliveIDs() {
+		if !seen[id] {
+			t.Fatalf("alive n%d missing from root digest view", id)
+		}
+	}
+	agg, err := metrics.Aggregate(aliveDigests)
+	if err != nil {
+		t.Fatalf("aggregate root digests: %v", err)
+	}
+	if got := agg.Counters["core/remote_allocs"]; got != wantSum || wantSum == 0 {
+		t.Fatalf("root aggregate remote_allocs = %d, member sum = %d", got, wantSum)
+	}
+	// Piggyback stays O(group): the largest set any beat carried is bounded
+	// by the sender's group fan-in (2x slack covers stale entries a leader
+	// briefly retains across the scripted regroup).
+	if s.digestBeats == 0 || s.digestBytes == 0 {
+		t.Fatal("digest plane never rode a heartbeat — the invariant is vacuous")
+	}
+	if s.maxDigestSet > 2*s.cfg.groupSize {
+		t.Fatalf("max digest set %d exceeds O(group) bound %d", s.maxDigestSet, 2*s.cfg.groupSize)
+	}
+}
+
+// aliveRootDigests returns the root store's digests for still-up nodes plus
+// the sum those nodes' registries hold right now.
+func (s *scaleSim) aliveRootDigests(root NodeID) ([]metrics.NodeDigest, int64) {
+	var alive []metrics.NodeDigest
+	var sum int64
+	for _, nd := range s.nodes[root].store.Snapshot() {
+		n := s.nodes[NodeID(nd.Node)]
+		if n == nil || !n.up {
+			continue
+		}
+		alive = append(alive, nd)
+		sum += n.reg.Counter("remote_allocs").Value()
+	}
+	return alive, sum
 }
 
 func (s *scaleSim) report(t *testing.T) {
 	t.Helper()
 	t.Logf("scale report: nodes=%d rounds=%d reads=%d maxRedirects=%d unavailable=%d "+
-		"rootElectionRounds=%d maxClientLag=%d deltaSyncs=%d snapshotSyncs=%d syncBytes=%d snapshotEquivBytes=%d",
+		"rootElectionRounds=%d maxClientLag=%d deltaSyncs=%d snapshotSyncs=%d syncBytes=%d snapshotEquivBytes=%d "+
+		"digestBeats=%d digestBytes=%d avgDigestBytesPerBeat=%d maxDigestSet=%d",
 		s.cfg.nodes, s.cfg.rounds, s.reads, s.maxRedirects, s.unavailable,
-		s.rootElectedIn, s.maxClientLag, s.deltaSyncs, s.snapshotSyncs, s.deltaBytes, s.snapshotEquivs)
+		s.rootElectedIn, s.maxClientLag, s.deltaSyncs, s.snapshotSyncs, s.deltaBytes, s.snapshotEquivs,
+		s.digestBeats, s.digestBytes, s.digestBytes/s.digestBeats, s.maxDigestSet)
 }
 
 func scaleConfig(nodes, groupSize int) scaleCfg {
@@ -625,6 +788,7 @@ func scaleConfig(nodes, groupSize int) scaleCfg {
 		rounds:      40,
 		hbTimeout:   3,
 		drainRounds: 6,
+		opRounds:    34, // quiet tail: 6 rounds for the last digests to drain
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"godm/internal/bufpool"
 	"godm/internal/cluster"
 	"godm/internal/compress"
+	"godm/internal/metrics"
 	"godm/internal/transport"
 )
 
@@ -177,6 +178,17 @@ func (c *Client) Metrics(ctx context.Context, node transport.NodeID) (string, er
 		return "", fmt.Errorf("core: metrics from node %d: %w", node, err)
 	}
 	return decodeMetricsResp(resp)
+}
+
+// ClusterView fetches node's observability store — every contributor metric
+// digest it has heard. Ask the tree root for the whole cluster; this is the
+// transport behind `dmctl top` and the digest-filtered `dmctl stats`.
+func (c *Client) ClusterView(ctx context.Context, node transport.NodeID) ([]metrics.NodeDigest, error) {
+	resp, err := c.ep.Call(ctx, node, encodeClusterReq())
+	if err != nil {
+		return nil, fmt.Errorf("core: cluster view from node %d: %w", node, err)
+	}
+	return decodeClusterResp(resp)
 }
 
 // Put parks data under key in node's receive pool. Re-putting a key whose

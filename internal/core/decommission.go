@@ -31,9 +31,17 @@ func (n *Node) TreeHeartbeat(ctx context.Context) {
 	n.met.recvFreeBytes.Set(free)
 	_ = n.dir.Heartbeat(self, free)
 	watched := n.dir.WatchSet(self)
-	hb := encodeHeartbeatReq(heartbeatReq{FreeBytes: free})
+	// One digest refresh per round; the piggyback set varies per target (a
+	// group leader relays its members' digests on its beat to the root), so
+	// the heartbeat payload is encoded per target.
+	selfDigest := n.refreshDigest()
+	n.obsStore.Tick()
 	for _, target := range n.dir.TreeTargets(self) {
 		to := transport.NodeID(target)
+		hb := encodeHeartbeatReq(heartbeatReq{
+			FreeBytes: free,
+			Digests:   n.digestsFor(target, selfDigest),
+		})
 		if _, err := n.ep.Call(ctx, to, hb); err != nil {
 			continue
 		}
@@ -48,7 +56,11 @@ func (n *Node) TreeHeartbeat(ctx context.Context) {
 		if err != nil {
 			continue
 		}
-		n.dir.ApplySync(self, sr, watched)
+		for _, ev := range n.dir.ApplySync(self, sr, watched) {
+			if ev.Kind == cluster.EventNodeLeft {
+				n.obsStore.Drop(int64(ev.Node))
+			}
+		}
 		var seen cluster.Epoch
 		switch {
 		case sr.Snapshot != nil:

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"godm/internal/cluster"
+	"godm/internal/metrics"
 	"godm/internal/transport"
 )
 
@@ -26,6 +27,8 @@ const (
 	opMoved        = 11 // tell an owner its block migrated to a new host
 	opLeave        = 12 // announce a graceful departure to a peer's directory
 	opDecommission = 13 // instruct a node to drain its blocks and leave
+	// Cluster-wide observability plane (tree-aggregated metric digests).
+	opCluster = 14 // fetch the node's ClusterStore: per-contributor metric digests
 )
 
 // Response status codes.
@@ -58,9 +61,13 @@ type freeReq struct {
 	Offset int64
 }
 
-// heartbeatReq advertises the sender's free receive-pool bytes.
+// heartbeatReq advertises the sender's free receive-pool bytes, plus any
+// metric digests piggybacking up the observability tree: the sender's own
+// digest on every beat and, on a group leader's beat to the root, its
+// members' stored digests.
 type heartbeatReq struct {
 	FreeBytes int64
+	Digests   []metrics.NodeDigest
 }
 
 // evictedReq tells the owner that its block for Key on the sender is gone.
@@ -134,17 +141,27 @@ func decodeFreeReq(b []byte) (freeReq, error) {
 }
 
 func encodeHeartbeatReq(r heartbeatReq) []byte {
-	buf := make([]byte, 1+8)
+	buf := make([]byte, 1+8, 1+8+2)
 	buf[0] = opHeartbeat
 	binary.BigEndian.PutUint64(buf[1:9], uint64(r.FreeBytes))
-	return buf
+	// The digest set rides after the fixed header; pre-digest decoders ignore
+	// trailing bytes, so mixed-version clusters interoperate.
+	return metrics.AppendDigestSet(buf, r.Digests)
 }
 
 func decodeHeartbeatReq(b []byte) (heartbeatReq, error) {
 	if len(b) < 9 {
 		return heartbeatReq{}, errShortMessage
 	}
-	return heartbeatReq{FreeBytes: int64(binary.BigEndian.Uint64(b[1:9]))}, nil
+	r := heartbeatReq{FreeBytes: int64(binary.BigEndian.Uint64(b[1:9]))}
+	if len(b) > 9 {
+		set, _, err := metrics.DecodeDigestSet(b[9:])
+		if err != nil {
+			return heartbeatReq{}, err
+		}
+		r.Digests = set
+	}
+	return r, nil
 }
 
 func encodeEvictedReq(r evictedReq) []byte {
@@ -305,6 +322,25 @@ func decodeFreeBatchReq(b []byte) ([]batchFreeEntry, error) {
 func encodeStatsReq() []byte { return []byte{opStats} }
 
 func encodeMetricsReq() []byte { return []byte{opMetrics} }
+
+func encodeClusterReq() []byte { return []byte{opCluster} }
+
+// encodeClusterResp ships the responding node's ClusterStore contents —
+// every contributor digest it has heard — for dmctl top / stats filtering.
+func encodeClusterResp(set []metrics.NodeDigest) []byte {
+	return metrics.AppendDigestSet([]byte{stOK}, set)
+}
+
+func decodeClusterResp(b []byte) ([]metrics.NodeDigest, error) {
+	if len(b) < 1 {
+		return nil, errShortMessage
+	}
+	if b[0] != stOK {
+		return nil, fmt.Errorf("core: cluster view failed: %s", b[1:])
+	}
+	set, _, err := metrics.DecodeDigestSet(b[1:])
+	return set, err
+}
 
 func encodeMetricsResp(text string) []byte {
 	return append([]byte{stOK}, text...)

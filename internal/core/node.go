@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"godm/internal/cluster"
 	"godm/internal/des"
@@ -57,6 +58,11 @@ var (
 // every host.
 const DefaultPoolShards = 8
 
+// DefaultFabricRTT is the round-trip time the default SLO objectives assume:
+// the 1 ms emulated fabric latency this repo benchmarks against. Deployments
+// on faster fabrics tighten it via Config.Objectives.
+const DefaultFabricRTT = time.Millisecond
+
 // Config shapes one node.
 type Config struct {
 	// ID is this node's identity on the fabric and in the directory.
@@ -81,6 +87,10 @@ type Config struct {
 	// Balancer selects remote nodes; defaults to power-of-two-choices
 	// seeded by the node ID.
 	Balancer placement.Balancer
+	// Objectives are the per-op-family latency SLOs driving good/bad tail
+	// attribution and the slow-op watchdog. Nil selects
+	// metrics.DefaultObjectives(DefaultFabricRTT).
+	Objectives metrics.Objectives
 }
 
 // DefaultConfig returns a node shaped like the paper's testbed servers
@@ -191,6 +201,13 @@ type Node struct {
 	reg     *metrics.Registry // core request-path instrumentation
 	replReg *metrics.Registry // replication protocol instrumentation
 	met     coreMetrics       // pre-bound hot-path instruments from reg
+	slos    *metrics.SLOSet   // per-op-family latency objectives (tail attribution)
+
+	// obsStore is this node's fold point of the cluster observability plane:
+	// the freshest metric digest heard per contributor (self always included).
+	// obsSeq stamps the node's own digest so stale relays never regress it.
+	obsStore *metrics.ClusterStore
+	obsSeq   atomic.Uint64
 
 	treeMu sync.Mutex
 	tree   *metrics.Tree // optional: the process-wide tree served over opMetrics
@@ -373,6 +390,12 @@ func NewNode(cfg Config, ep transport.Endpoint, dir *cluster.Directory) (*Node, 
 	}
 	n.met = newCoreMetrics(n.reg)
 	n.met.recvFreeBytes.Set(recv.FreeBytes())
+	obj := cfg.Objectives
+	if obj == nil {
+		obj = metrics.DefaultObjectives(DefaultFabricRTT)
+	}
+	n.slos = metrics.NewSLOSet(n.reg, obj)
+	n.obsStore = metrics.NewClusterStore(int64(cfg.ID))
 	n.remote = &remoteStore{node: n, handles: map[remoteKey]remoteHandle{}}
 	repl, err := replication.New(n.remote,
 		replication.WithFactor(cfg.ReplicationFactor),
@@ -443,6 +466,75 @@ func (n *Node) metricsText() string {
 		return t.String()
 	}
 	return n.reg.String() + n.replReg.String()
+}
+
+// SLOs exposes the node's per-op-family latency objectives.
+func (n *Node) SLOs() *metrics.SLOSet { return n.slos }
+
+// ClusterStore exposes the node's observability fold point (the freshest
+// digest per contributor), for the obs HTTP surface and tests.
+func (n *Node) ClusterStore() *metrics.ClusterStore { return n.obsStore }
+
+// refreshDigest snapshots this node's registries into a freshly-sequenced
+// digest, stores it as the self contribution, and returns it for piggyback.
+func (n *Node) refreshDigest() metrics.NodeDigest {
+	nd := metrics.NodeDigest{
+		Node: int64(n.cfg.ID),
+		Seq:  n.obsSeq.Add(1),
+		D: metrics.DigestRegistries(map[string]*metrics.Registry{
+			"core":        n.reg,
+			"replication": n.replReg,
+		}),
+	}
+	n.obsStore.Update(nd)
+	return nd
+}
+
+// ClusterView refreshes the self digest and returns everything this node's
+// store has heard — at the tree root, the whole cluster.
+func (n *Node) ClusterView() []metrics.NodeDigest {
+	n.refreshDigest()
+	return n.obsStore.Snapshot()
+}
+
+// digestsFor assembles the piggyback set for one heartbeat target: always the
+// node's own digest (already refreshed this round), plus — when this node
+// leads its group and is beating the root — the stored digests of its group
+// members, so the root's store covers the cluster after two rounds. The set
+// stays O(group size), matching the heartbeat fan-out itself.
+func (n *Node) digestsFor(target cluster.NodeID, self metrics.NodeDigest) []metrics.NodeDigest {
+	out := []metrics.NodeDigest{self}
+	selfID := cluster.NodeID(n.cfg.ID)
+	g, err := n.dir.GroupOf(selfID)
+	if err != nil {
+		return out
+	}
+	leader, ok := n.dir.Leader(g)
+	if !ok || leader != selfID {
+		return out
+	}
+	root, ok := n.dir.RootLeader()
+	if !ok || target != root || root == selfID {
+		return out
+	}
+	for _, nd := range n.obsStore.Snapshot() {
+		if nd.Node == self.Node {
+			continue
+		}
+		out = append(out, nd)
+	}
+	return out
+}
+
+// foldDigests adopts piggybacked digests from a heartbeat or relay, ignoring
+// echoes of our own (we are the authority on our own instruments).
+func (n *Node) foldDigests(set []metrics.NodeDigest) {
+	for _, nd := range set {
+		if nd.Node == int64(n.cfg.ID) {
+			continue
+		}
+		n.obsStore.Update(nd)
+	}
 }
 
 // AddServer registers a virtual server with the node manager. The donation
@@ -615,6 +707,7 @@ func (n *Node) handleCall(ctx context.Context, from transport.NodeID, payload []
 			return errorResp(err), nil
 		}
 		n.dir.Join(cluster.NodeID(from), req.FreeBytes)
+		n.foldDigests(req.Digests)
 		return okResp(), nil
 	case opEvicted:
 		req, err := decodeEvictedReq(payload)
@@ -627,6 +720,8 @@ func (n *Node) handleCall(ctx context.Context, from transport.NodeID, payload []
 		return encodeStatsResp(statsResp{FreeBytes: n.recv.FreeBytes()}), nil
 	case opMetrics:
 		return encodeMetricsResp(n.metricsText()), nil
+	case opCluster:
+		return encodeClusterResp(n.ClusterView()), nil
 	case opMapSync:
 		req, err := decodeMapSyncReq(payload)
 		if err != nil {
@@ -652,6 +747,7 @@ func (n *Node) handleCall(ctx context.Context, from transport.NodeID, payload []
 			return errorResp(err), nil
 		}
 		n.dir.Leave(cluster.NodeID(req.Node))
+		n.obsStore.Drop(int64(req.Node))
 		return okResp(), nil
 	case opDecommission:
 		moved, err := n.Decommission(ctx)

@@ -137,7 +137,13 @@ func (vs *VirtualServer) PutRemote(ctx context.Context, id pagetable.EntryID, da
 	vs.table.Put(id, loc)
 	vs.node.counters.remotePuts.Add(1)
 	vs.node.met.remotePuts.Inc()
-	vs.node.met.remotePutLatency.Observe(trace.Now(ctx) - start)
+	elapsed := trace.Now(ctx) - start
+	vs.node.met.remotePutLatency.Observe(elapsed)
+	if vs.node.slos.Observe("put", elapsed) {
+		// The slow-op watchdog: the annotation flags this span's trace into
+		// the flight recorder's flagged ring.
+		sp.Annotate("slow", "put")
+	}
 	vs.putCount.Add(1)
 	return nil
 }
@@ -190,7 +196,11 @@ func (vs *VirtualServer) Get(ctx context.Context, id pagetable.EntryID) ([]byte,
 		}
 		vs.node.counters.remoteGets.Add(1)
 		vs.node.met.remoteGets.Inc()
-		vs.node.met.remoteGetLatency.Observe(trace.Now(ctx) - start)
+		elapsed := trace.Now(ctx) - start
+		vs.node.met.remoteGetLatency.Observe(elapsed)
+		if vs.node.slos.Observe("get", elapsed) {
+			sp.Annotate("slow", "get")
+		}
 		return data, loc, nil
 	default:
 		return nil, loc, fmt.Errorf("core: entry %d is on tier %v, not managed here", id, loc.Tier)

@@ -1,0 +1,291 @@
+package metrics
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleDigest(scale int64) Digest {
+	d := NewDigest()
+	d.Counters["core/remote_allocs"] = 3 * scale
+	d.Counters["core/op_get_good"] = 9 * scale
+	d.Counters["core/op_get_bad"] = scale
+	d.Gauges["core/recv_free_bytes"] = 64 << 20
+	h := NewLatencyHistogram()
+	for i := int64(0); i < 10*scale; i++ {
+		h.Observe(time.Duration(i+1) * time.Microsecond)
+	}
+	d.Hists["core/op_get_latency"] = h.Snapshot()
+	return d
+}
+
+func TestDigestWireRoundTrip(t *testing.T) {
+	d := sampleDigest(2)
+	b := AppendDigest(nil, d)
+	got, rest, err := DecodeDigest(b)
+	if err != nil {
+		t.Fatalf("DecodeDigest: %v", err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("trailing bytes: %d", len(rest))
+	}
+	if len(got.Counters) != len(d.Counters) || len(got.Gauges) != len(d.Gauges) || len(got.Hists) != len(d.Hists) {
+		t.Fatalf("section sizes changed: %d/%d/%d", len(got.Counters), len(got.Gauges), len(got.Hists))
+	}
+	for k, v := range d.Counters {
+		if got.Counters[k] != v {
+			t.Fatalf("counter %q = %d, want %d", k, got.Counters[k], v)
+		}
+	}
+	hs, want := got.Hists["core/op_get_latency"], d.Hists["core/op_get_latency"]
+	if hs.Count != want.Count || hs.Sum != want.Sum || hs.Min != want.Min || hs.Max != want.Max {
+		t.Fatalf("hist summary mismatch: %+v vs %+v", hs, want)
+	}
+	for i, c := range want.Counts {
+		if hs.Counts[i] != c {
+			t.Fatalf("bucket %d = %d, want %d", i, hs.Counts[i], c)
+		}
+	}
+	if !isDefaultBounds(hs.Bounds) {
+		t.Fatal("decoded bounds are not the default latency schema")
+	}
+	// The default-bounds schema ships one tag byte, not 31 explicit bounds.
+	withDefault := len(appendHistogram(nil, want))
+	explicit := want
+	explicit.Bounds = append([]time.Duration(nil), want.Bounds...)
+	explicit.Bounds[0]++ // any deviation forces the explicit schema
+	if grew := len(appendHistogram(nil, explicit)) - withDefault; grew < 8*len(want.Bounds)-16 {
+		t.Fatalf("explicit schema only %d bytes larger; default schema is not compact", grew)
+	}
+}
+
+func TestDigestExplicitBoundsSchema(t *testing.T) {
+	custom := HistogramSnapshot{
+		Bounds: []time.Duration{time.Millisecond, 10 * time.Millisecond},
+		Counts: []int64{2, 0, 1},
+		Count:  3, Sum: 30 * time.Millisecond, Min: time.Millisecond, Max: 20 * time.Millisecond,
+	}
+	d := NewDigest()
+	d.Hists["x/custom"] = custom
+	got, rest, err := DecodeDigest(AppendDigest(nil, d))
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("decode: %v rest=%d", err, len(rest))
+	}
+	hs := got.Hists["x/custom"]
+	if len(hs.Bounds) != 2 || hs.Bounds[1] != 10*time.Millisecond {
+		t.Fatalf("explicit bounds lost: %v", hs.Bounds)
+	}
+	if hs.Counts[2] != 1 {
+		t.Fatalf("overflow bucket = %d, want 1", hs.Counts[2])
+	}
+}
+
+func TestDigestSetRoundTripAndOrdering(t *testing.T) {
+	set := []NodeDigest{
+		{Node: 2, Seq: 7, Age: 1, D: sampleDigest(1)},
+		{Node: 5, Seq: 3, Age: 0, D: sampleDigest(3)},
+	}
+	b := AppendDigestSet(nil, set)
+	// Deterministic encoding: same input, same bytes.
+	b2 := AppendDigestSet(nil, set)
+	if string(b) != string(b2) {
+		t.Fatal("digest-set encoding is not deterministic")
+	}
+	got, rest, err := DecodeDigestSet(b)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("decode: %v rest=%d", err, len(rest))
+	}
+	if len(got) != 2 || got[0].Node != 2 || got[0].Seq != 7 || got[0].Age != 1 || got[1].Node != 5 {
+		t.Fatalf("records mismatch: %+v", got)
+	}
+	if got[1].D.Counters["core/remote_allocs"] != 9 {
+		t.Fatalf("relayed counter = %d, want 9", got[1].D.Counters["core/remote_allocs"])
+	}
+}
+
+func TestDecodeDigestRejectsTruncation(t *testing.T) {
+	b := AppendDigestSet(nil, []NodeDigest{{Node: 1, Seq: 1, D: sampleDigest(1)}})
+	for _, n := range []int{0, 1, 5, len(b) / 2, len(b) - 1} {
+		if _, _, err := DecodeDigestSet(b[:n]); !errors.Is(err, ErrBadDigest) {
+			t.Fatalf("truncation at %d: err = %v, want ErrBadDigest", n, err)
+		}
+	}
+}
+
+func TestDigestMergeSums(t *testing.T) {
+	a, b := sampleDigest(1), sampleDigest(2)
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if a.Counters["core/remote_allocs"] != 9 {
+		t.Fatalf("merged counter = %d, want 9", a.Counters["core/remote_allocs"])
+	}
+	if a.Gauges["core/recv_free_bytes"] != 128<<20 {
+		t.Fatalf("merged gauge = %d, want 128MiB (gauges sum)", a.Gauges["core/recv_free_bytes"])
+	}
+	hs := a.Hists["core/op_get_latency"]
+	if hs.Count != 30 {
+		t.Fatalf("merged hist count = %d, want 30", hs.Count)
+	}
+	if hs.Max != 20*time.Microsecond || hs.Min != time.Microsecond {
+		t.Fatalf("merged min/max = %v/%v, want 1µs/20µs", hs.Min, hs.Max)
+	}
+}
+
+// Satellite: Merge under bound mismatch must error, not silently misbucket.
+func TestHistogramSnapshotMergeBoundMismatch(t *testing.T) {
+	a := HistogramSnapshot{
+		Bounds: []time.Duration{time.Millisecond},
+		Counts: []int64{1, 0}, Count: 1,
+	}
+	b := HistogramSnapshot{
+		Bounds: []time.Duration{2 * time.Millisecond},
+		Counts: []int64{1, 0}, Count: 1,
+	}
+	if err := a.Merge(b); !errors.Is(err, ErrBoundsMismatch) {
+		t.Fatalf("bound-value mismatch: err = %v, want ErrBoundsMismatch", err)
+	}
+	c := HistogramSnapshot{
+		Bounds: []time.Duration{time.Millisecond, 2 * time.Millisecond},
+		Counts: []int64{1, 0, 0}, Count: 1,
+	}
+	if err := a.Merge(c); !errors.Is(err, ErrBoundsMismatch) {
+		t.Fatalf("bound-count mismatch: err = %v, want ErrBoundsMismatch", err)
+	}
+	// The counts must be untouched after a rejected merge.
+	if a.Counts[0] != 1 || a.Count != 1 {
+		t.Fatalf("rejected merge mutated target: %+v", a)
+	}
+	// Digest.Merge surfaces the same sentinel.
+	da, db := NewDigest(), NewDigest()
+	da.Hists["h"], db.Hists["h"] = a, b
+	if err := da.Merge(db); !errors.Is(err, ErrBoundsMismatch) {
+		t.Fatalf("digest merge: err = %v, want ErrBoundsMismatch", err)
+	}
+}
+
+func TestHistogramSnapshotMergeAdoptsIntoEmpty(t *testing.T) {
+	var empty HistogramSnapshot
+	src := sampleDigest(1).Hists["core/op_get_latency"]
+	if err := empty.Merge(src); err != nil {
+		t.Fatalf("adopt: %v", err)
+	}
+	if empty.Count != src.Count || empty.Min != src.Min || empty.Max != src.Max {
+		t.Fatalf("adopt lost summary: %+v", empty)
+	}
+	// Adoption copies, never aliases: mutating the adopted copy must not
+	// write through to the source.
+	empty.Counts[0] += 100
+	if src.Counts[0] == empty.Counts[0] {
+		t.Fatal("adopted counts alias the source")
+	}
+}
+
+func TestClusterStoreSemantics(t *testing.T) {
+	s := NewClusterStore(1)
+	if !s.Update(NodeDigest{Node: 2, Seq: 5, D: sampleDigest(1)}) {
+		t.Fatal("fresh digest rejected")
+	}
+	if s.Update(NodeDigest{Node: 2, Seq: 5, D: sampleDigest(2)}) {
+		t.Fatal("duplicate Seq adopted")
+	}
+	if s.Update(NodeDigest{Node: 2, Seq: 4, D: sampleDigest(2)}) {
+		t.Fatal("stale Seq adopted")
+	}
+	if !s.Update(NodeDigest{Node: 2, Seq: 6, D: sampleDigest(2)}) {
+		t.Fatal("newer Seq rejected")
+	}
+	s.Update(NodeDigest{Node: 1, Seq: 1, D: sampleDigest(1)})
+	s.Tick()
+	s.Tick()
+	snap := s.Snapshot()
+	if len(snap) != 2 || snap[0].Node != 1 || snap[1].Node != 2 {
+		t.Fatalf("snapshot not sorted by node: %+v", snap)
+	}
+	if snap[0].Age != 0 {
+		t.Fatalf("self aged: %d", snap[0].Age)
+	}
+	if snap[1].Age != 2 {
+		t.Fatalf("peer age = %d, want 2", snap[1].Age)
+	}
+	s.Drop(2)
+	if s.Len() != 1 {
+		t.Fatalf("Len after Drop = %d, want 1", s.Len())
+	}
+	if _, ok := s.Get(2); ok {
+		t.Fatal("dropped node still present")
+	}
+}
+
+func TestDigestRegistriesUsesNeutralPrefixes(t *testing.T) {
+	reg := NewRegistry("core/node-7") // per-node label must NOT leak
+	reg.Counter("remote_allocs").Add(4)
+	reg.Gauge("recv_free_bytes").Set(42)
+	reg.Histogram("op_put_latency").Observe(3 * time.Millisecond)
+	d := DigestRegistries(map[string]*Registry{"core": reg})
+	if d.Counters["core/remote_allocs"] != 4 {
+		t.Fatalf("counter keys = %v, want core/remote_allocs", d.Counters)
+	}
+	if _, ok := d.Hists["core/op_put_latency"]; !ok {
+		t.Fatalf("hist keys = %v, want core/op_put_latency", d.Hists)
+	}
+	for k := range d.Counters {
+		if strings.Contains(k, "node-7") {
+			t.Fatalf("per-node label leaked into digest key %q", k)
+		}
+	}
+}
+
+func TestOpFamilyHelpers(t *testing.T) {
+	d := sampleDigest(1)
+	fams := d.OpFamilies()
+	if len(fams) != 1 || fams[0] != "get" {
+		t.Fatalf("OpFamilies = %v, want [get]", fams)
+	}
+	if _, ok := d.OpFamilyHistogram("get"); !ok {
+		t.Fatal("get family histogram missing")
+	}
+	if _, ok := d.OpFamilyHistogram("put"); ok {
+		t.Fatal("phantom put family")
+	}
+	if fam, ok := opFamily("core/op__latency"); ok {
+		t.Fatalf("empty family accepted: %q", fam)
+	}
+	if _, ok := opFamily("core/remote_allocs"); ok {
+		t.Fatal("non-op name accepted")
+	}
+}
+
+func TestRenderClusterView(t *testing.T) {
+	set := []NodeDigest{
+		{Node: 1, Seq: 1, Age: 0, D: sampleDigest(1)},
+		{Node: 2, Seq: 4, Age: 1, D: sampleDigest(2)},
+	}
+	var sb strings.Builder
+	if err := RenderClusterView(&sb, set); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"cluster view: 2 contributors",
+		"get_p50", "get_p99", "get_p999",
+		"AGG",
+		"aggregate counters:",
+		"core/remote_allocs 9",
+		"core/op_get_good 27",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Determinism: a second render is byte-identical.
+	var sb2 strings.Builder
+	if err := RenderClusterView(&sb2, set); err != nil {
+		t.Fatalf("render2: %v", err)
+	}
+	if sb2.String() != out {
+		t.Fatal("render not deterministic")
+	}
+}

@@ -7,6 +7,7 @@
 package metrics
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -132,42 +133,64 @@ func (h *Histogram) Max() time.Duration {
 	return h.max
 }
 
-// Quantile returns an upper-bound estimate of the q-quantile (0 < q <= 1)
-// using bucket upper bounds. It returns zero when the histogram is empty.
+// Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
+// within the target bucket, assuming observations are uniformly spread
+// between the bucket's bounds. It returns zero when the histogram is empty.
+// Interpolating (rather than returning the bucket's upper bound) keeps p99
+// estimates from being systematically pessimistic on exponential buckets,
+// where an upper bound can be 2x the true quantile.
 func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return quantile(h.bounds, h.buckets, h.count, h.min, h.max, q)
+}
+
+// Quantile estimates the q-quantile of a snapshot with the same linear
+// interpolation as Histogram.Quantile — the digest consumers (dmctl top,
+// /cluster) compute cluster-level percentiles from merged snapshots.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	return quantile(s.Bounds, s.Counts, s.Count, s.Min, s.Max, q)
+}
+
+func quantile(bounds []time.Duration, buckets []int64, count int64, min, max time.Duration, q float64) time.Duration {
 	if q <= 0 || q > 1 || math.IsNaN(q) {
 		panic(fmt.Sprintf("metrics: quantile %v out of (0,1]", q))
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	if count == 0 {
 		return 0
 	}
-	target := int64(math.Ceil(q * float64(h.count)))
+	target := int64(math.Ceil(q * float64(count)))
 	var cum int64
-	for i, c := range h.buckets {
+	for i, c := range buckets {
 		cum += c
 		if cum >= target {
-			if i >= len(h.bounds) {
+			if i >= len(bounds) {
 				// Overflow bucket: everything here is above the top bound,
 				// and the true maximum is the tightest upper bound we have.
-				return h.max
+				return max
 			}
-			// Clamp the bucket's upper bound into the observed [min, max]
-			// range: a bound can overshoot the max (all observations sit low
-			// in a wide bucket) and, for all-zero observations, undershoot is
-			// impossible but min clamping keeps the estimate honest anyway.
-			v := h.bounds[i]
-			if v > h.max {
-				v = h.max
+			// Interpolate within [lower, upper] by the target's rank among
+			// this bucket's c observations: rank pos of c puts the estimate
+			// pos/c of the way across the bucket.
+			var lower time.Duration
+			if i > 0 {
+				lower = bounds[i-1]
 			}
-			if v < h.min {
-				v = h.min
+			pos := target - (cum - c)
+			v := lower + time.Duration(float64(bounds[i]-lower)*float64(pos)/float64(c))
+			// Clamp into the observed [min, max] range: an interpolated value
+			// can overshoot the max (all observations sit low in a wide
+			// bucket) or undershoot the min.
+			if v > max {
+				v = max
+			}
+			if v < min {
+				v = min
 			}
 			return v
 		}
 	}
-	return h.max
+	return max
 }
 
 // HistogramSnapshot is a point-in-time copy of a histogram's state, used by
@@ -200,6 +223,50 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	copy(s.Bounds, h.bounds)
 	copy(s.Counts, h.buckets)
 	return s
+}
+
+// ErrBoundsMismatch is returned by HistogramSnapshot.Merge when the two
+// snapshots were bucketed against different bounds: summing counts across
+// incompatible schemas would silently misbucket every observation.
+var ErrBoundsMismatch = errors.New("metrics: histogram bounds mismatch")
+
+// Merge folds other into s: bucket counts, count, and sum add; min/max widen.
+// Both snapshots must share identical bucket bounds — Merge returns
+// ErrBoundsMismatch otherwise and leaves s unchanged. Merging an empty
+// snapshot is a no-op; merging into an empty snapshot adopts other's bounds.
+func (s *HistogramSnapshot) Merge(other HistogramSnapshot) error {
+	if other.Count == 0 && len(other.Bounds) == 0 {
+		return nil
+	}
+	if len(s.Bounds) == 0 && s.Count == 0 {
+		s.Bounds = append([]time.Duration(nil), other.Bounds...)
+		s.Counts = append([]int64(nil), other.Counts...)
+		s.Count, s.Sum, s.Min, s.Max = other.Count, other.Sum, other.Min, other.Max
+		return nil
+	}
+	if len(s.Bounds) != len(other.Bounds) || len(s.Counts) != len(other.Counts) {
+		return ErrBoundsMismatch
+	}
+	for i, b := range s.Bounds {
+		if other.Bounds[i] != b {
+			return ErrBoundsMismatch
+		}
+	}
+	if other.Count == 0 {
+		return nil
+	}
+	for i, c := range other.Counts {
+		s.Counts[i] += c
+	}
+	if s.Count == 0 || other.Min < s.Min {
+		s.Min = other.Min
+	}
+	if other.Max > s.Max {
+		s.Max = other.Max
+	}
+	s.Count += other.Count
+	s.Sum += other.Sum
+	return nil
 }
 
 // String summarizes the histogram for logs.

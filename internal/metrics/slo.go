@@ -1,0 +1,111 @@
+// Per-op-family latency objectives (SLOs) with tail attribution: every
+// observation lands in the family's histogram and in a good/bad counter pair
+// depending on whether it met the family's objective, so "what fraction of
+// gets blew the SLO" is a counter ratio, not a histogram estimate. Observe
+// reports whether the op was slow; callers use that verdict to mark the
+// offending span for the flight recorder.
+package metrics
+
+import (
+	"sort"
+	"time"
+)
+
+// Objectives maps op-family names ("get", "put") to their latency objective.
+type Objectives map[string]time.Duration
+
+// DefaultObjectives derives per-family objectives as multiples of the
+// fabric's round-trip time: a remote get is one RTT plus slack, a replicated
+// put pays an alloc round trip then a fan-out write per replica.
+func DefaultObjectives(rtt time.Duration) Objectives {
+	if rtt <= 0 {
+		rtt = time.Millisecond
+	}
+	return Objectives{
+		"get": 4 * rtt,
+		"put": 8 * rtt,
+	}
+}
+
+// SLO is one op family's objective with its attribution instruments:
+// op_<fam>_latency histogram beside op_<fam>_good / op_<fam>_bad counters.
+type SLO struct {
+	Objective time.Duration
+	hist      *Histogram
+	good      *Counter
+	bad       *Counter
+}
+
+// Observe records one op latency and reports whether it exceeded the
+// objective (a "slow op" in flight-recorder terms). A zero objective never
+// marks ops slow — the family is then histogram-only.
+func (s *SLO) Observe(d time.Duration) bool {
+	s.hist.Observe(d)
+	slow := s.Objective > 0 && d > s.Objective
+	if slow {
+		s.bad.Inc()
+	} else {
+		s.good.Inc()
+	}
+	return slow
+}
+
+// Histogram exposes the family's latency histogram.
+func (s *SLO) Histogram() *Histogram { return s.hist }
+
+// SLOSet holds one SLO per op family, instrumented into a shared registry.
+// The set is immutable after construction, so Observe takes no lock.
+type SLOSet struct {
+	slos map[string]*SLO
+}
+
+// NewSLOSet registers the instruments for every family in obj on reg and
+// returns the set.
+func NewSLOSet(reg *Registry, obj Objectives) *SLOSet {
+	set := &SLOSet{slos: make(map[string]*SLO, len(obj))}
+	for fam, o := range obj {
+		set.slos[fam] = &SLO{
+			Objective: o,
+			hist:      reg.Histogram("op_" + fam + "_latency"),
+			good:      reg.Counter("op_" + fam + "_good"),
+			bad:       reg.Counter("op_" + fam + "_bad"),
+		}
+	}
+	return set
+}
+
+// Observe records one op of the named family and reports whether it was
+// slow. Unknown families are dropped (false): instrumentation never panics
+// the data path.
+func (ss *SLOSet) Observe(fam string, d time.Duration) bool {
+	if ss == nil {
+		return false
+	}
+	s, ok := ss.slos[fam]
+	if !ok {
+		return false
+	}
+	return s.Observe(d)
+}
+
+// Get returns the named family's SLO.
+func (ss *SLOSet) Get(fam string) (*SLO, bool) {
+	if ss == nil {
+		return nil, false
+	}
+	s, ok := ss.slos[fam]
+	return s, ok
+}
+
+// Families lists the instrumented op families, sorted.
+func (ss *SLOSet) Families() []string {
+	if ss == nil {
+		return nil
+	}
+	fams := make([]string, 0, len(ss.slos))
+	for fam := range ss.slos {
+		fams = append(fams, fam)
+	}
+	sort.Strings(fams)
+	return fams
+}

@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDefaultObjectives(t *testing.T) {
+	obj := DefaultObjectives(2 * time.Millisecond)
+	if obj["get"] != 8*time.Millisecond || obj["put"] != 16*time.Millisecond {
+		t.Fatalf("objectives = %v, want get=8ms put=16ms", obj)
+	}
+	// Non-positive RTT falls back to 1ms.
+	obj = DefaultObjectives(0)
+	if obj["get"] != 4*time.Millisecond {
+		t.Fatalf("zero-RTT get objective = %v, want 4ms", obj["get"])
+	}
+}
+
+func TestSLOSetAttribution(t *testing.T) {
+	reg := NewRegistry("core")
+	ss := NewSLOSet(reg, Objectives{"get": 4 * time.Millisecond})
+	if slow := ss.Observe("get", time.Millisecond); slow {
+		t.Fatal("1ms against a 4ms objective marked slow")
+	}
+	if slow := ss.Observe("get", 4*time.Millisecond); slow {
+		t.Fatal("exactly-at-objective marked slow (objective is inclusive)")
+	}
+	if slow := ss.Observe("get", 5*time.Millisecond); !slow {
+		t.Fatal("5ms against a 4ms objective not marked slow")
+	}
+	slo, ok := ss.Get("get")
+	if !ok {
+		t.Fatal("get family missing")
+	}
+	if g := slo.good.Value(); g != 2 {
+		t.Fatalf("good = %d, want 2", g)
+	}
+	if b := slo.bad.Value(); b != 1 {
+		t.Fatalf("bad = %d, want 1", b)
+	}
+	if c := slo.Histogram().Count(); c != 3 {
+		t.Fatalf("hist count = %d, want 3 (every op lands in the histogram)", c)
+	}
+	// The instruments follow the op_<fam>_* naming convention on the registry.
+	if reg.Counter("op_get_good").Value() != 2 || reg.Counter("op_get_bad").Value() != 1 {
+		t.Fatal("registry instruments not shared with the SLO set")
+	}
+}
+
+func TestSLOSetUnknownFamilyAndNil(t *testing.T) {
+	reg := NewRegistry("core")
+	ss := NewSLOSet(reg, DefaultObjectives(time.Millisecond))
+	if ss.Observe("scan", time.Hour) {
+		t.Fatal("unknown family marked slow")
+	}
+	var nilSet *SLOSet
+	if nilSet.Observe("get", time.Hour) {
+		t.Fatal("nil set marked slow")
+	}
+	if fams := ss.Families(); len(fams) != 2 || fams[0] != "get" || fams[1] != "put" {
+		t.Fatalf("Families = %v, want [get put]", fams)
+	}
+}
+
+func TestSLOZeroObjectiveNeverSlow(t *testing.T) {
+	reg := NewRegistry("core")
+	ss := NewSLOSet(reg, Objectives{"scan": 0})
+	if ss.Observe("scan", time.Hour) {
+		t.Fatal("zero objective marked slow")
+	}
+	slo, _ := ss.Get("scan")
+	if slo.good.Value() != 1 {
+		t.Fatalf("good = %d, want 1", slo.good.Value())
+	}
+}

@@ -1,8 +1,9 @@
 // Package obs serves a node's observability surfaces over HTTP: the metrics
 // tree as Prometheus text on /metrics and as the human-readable tree on
-// /stats, reassembled trace timelines on /trace, and the standard pprof
-// profiles under /debug/pprof/. The listener is opt-in (dmnode -http); the
-// data plane never depends on it.
+// /stats, reassembled trace timelines on /trace, the cluster-wide digest view
+// on /cluster, the flight recorder on /debug/flight, liveness on /healthz,
+// and the standard pprof profiles under /debug/pprof/. The listener is opt-in
+// (dmnode -http); the data plane never depends on it.
 package obs
 
 import (
@@ -11,6 +12,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"time"
 
 	"godm/internal/metrics"
 	"godm/internal/trace"
@@ -19,25 +21,95 @@ import (
 // maxTraceList bounds how many recent trace IDs /trace enumerates.
 const maxTraceList = 64
 
-// Handler returns the observability mux over tree and tr. Either may be nil;
-// its surfaces then report an empty document.
-func Handler(tree *metrics.Tree, tr *trace.Tracer) http.Handler {
+// Listener timeouts: a stuck or malicious scraper must not pin a connection
+// forever. The write timeout leaves room for a default 30 s pprof profile.
+const (
+	readTimeout  = 10 * time.Second
+	writeTimeout = 90 * time.Second
+)
+
+// Health is the /healthz payload: who this node is and whether it is on its
+// way out.
+type Health struct {
+	Node     int64
+	Epoch    uint64
+	Draining bool
+}
+
+// Options wires the observability surfaces. Every field may be nil; the
+// corresponding endpoint then reports an empty document or 404.
+type Options struct {
+	// Tree backs /metrics (Prometheus) and /stats (human-readable).
+	Tree *metrics.Tree
+	// Tracer backs /trace.
+	Tracer *trace.Tracer
+	// Flight backs /debug/flight. Nil falls back to Tracer's attached
+	// recorder, so callers that wire the tracer need not repeat themselves.
+	Flight *trace.Flight
+	// Cluster backs /cluster: the node's fold point of the digest plane (at
+	// the tree root, the whole cluster).
+	Cluster *metrics.ClusterStore
+	// Health backs /healthz; called per request for a live reading.
+	Health func() Health
+}
+
+func (o Options) flight() *trace.Flight {
+	if o.Flight != nil {
+		return o.Flight
+	}
+	return o.Tracer.Flight() // nil-safe: a nil tracer has a nil recorder
+}
+
+// Handler returns the observability mux over o.
+func Handler(o Options) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if tree != nil {
-			_ = tree.WritePrometheus(w)
+		if o.Tree != nil {
+			_ = o.Tree.WritePrometheus(w)
 		}
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		if tree != nil {
-			_, _ = fmt.Fprint(w, tree.String())
+		if o.Tree != nil {
+			_, _ = fmt.Fprint(w, o.Tree.String())
 		}
+	})
+	mux.HandleFunc("/cluster", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if o.Cluster == nil {
+			http.Error(w, "cluster digests disabled", http.StatusNotFound)
+			return
+		}
+		if err := metrics.RenderClusterView(w, o.Cluster.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		f := o.flight()
+		if f == nil {
+			http.Error(w, "flight recorder disabled", http.StatusNotFound)
+			return
+		}
+		_, _ = fmt.Fprint(w, f.Dump())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if o.Health == nil {
+			http.Error(w, "health probe disabled", http.StatusNotFound)
+			return
+		}
+		h := o.Health()
+		state := "serving"
+		if h.Draining {
+			state = "draining"
+		}
+		_, _ = fmt.Fprintf(w, "ok\nnode %d\nepoch %d\nstate %s\n", h.Node, h.Epoch, state)
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		if tr == nil {
+		if o.Tracer == nil {
 			http.Error(w, "tracing disabled", http.StatusNotFound)
 			return
 		}
@@ -47,7 +119,7 @@ func Handler(tree *metrics.Tree, tr *trace.Tracer) http.Handler {
 				http.Error(w, "bad trace id", http.StatusBadRequest)
 				return
 			}
-			tl := tr.Timeline(trace.TraceID(id))
+			tl := o.Tracer.Timeline(trace.TraceID(id))
 			if tl == "" {
 				http.Error(w, "trace not found (evicted or never recorded)", http.StatusNotFound)
 				return
@@ -55,7 +127,7 @@ func Handler(tree *metrics.Tree, tr *trace.Tracer) http.Handler {
 			_, _ = fmt.Fprintf(w, "trace %d\n%s", id, tl)
 			return
 		}
-		ids := tr.TraceIDs()
+		ids := o.Tracer.TraceIDs()
 		if len(ids) > maxTraceList {
 			ids = ids[len(ids)-maxTraceList:] // newest traces are most useful
 		}
@@ -77,12 +149,16 @@ func Handler(tree *metrics.Tree, tr *trace.Tracer) http.Handler {
 // Serve starts the observability listener on addr and returns the running
 // server plus its bound address (useful with ":0"). Close the server to stop
 // it; serve errors after Close are swallowed.
-func Serve(addr string, tree *metrics.Tree, tr *trace.Tracer) (*http.Server, net.Addr, error) {
+func Serve(addr string, o Options) (*http.Server, net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: Handler(tree, tr)}
+	srv := &http.Server{
+		Handler:      Handler(o),
+		ReadTimeout:  readTimeout,
+		WriteTimeout: writeTimeout,
+	}
 	go func() { _ = srv.Serve(ln) }()
 	return srv, ln.Addr(), nil
 }

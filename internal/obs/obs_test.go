@@ -46,7 +46,7 @@ func testFixtures() (*metrics.Tree, *trace.Tracer, trace.TraceID) {
 
 func TestMetricsEndpoint(t *testing.T) {
 	tree, tr, _ := testFixtures()
-	srv := httptest.NewServer(Handler(tree, tr))
+	srv := httptest.NewServer(Handler(Options{Tree: tree, Tracer: tr}))
 	defer srv.Close()
 
 	code, body, hdr := get(t, srv, "/metrics")
@@ -69,7 +69,7 @@ func TestMetricsEndpoint(t *testing.T) {
 
 func TestStatsEndpoint(t *testing.T) {
 	tree, tr, _ := testFixtures()
-	srv := httptest.NewServer(Handler(tree, tr))
+	srv := httptest.NewServer(Handler(Options{Tree: tree, Tracer: tr}))
 	defer srv.Close()
 
 	code, body, _ := get(t, srv, "/stats")
@@ -80,7 +80,7 @@ func TestStatsEndpoint(t *testing.T) {
 
 func TestTraceEndpoints(t *testing.T) {
 	tree, tr, id := testFixtures()
-	srv := httptest.NewServer(Handler(tree, tr))
+	srv := httptest.NewServer(Handler(Options{Tree: tree, Tracer: tr}))
 	defer srv.Close()
 
 	code, body, _ := get(t, srv, "/trace")
@@ -106,7 +106,7 @@ func TestTraceEndpoints(t *testing.T) {
 
 func TestPprofEndpoint(t *testing.T) {
 	tree, tr, _ := testFixtures()
-	srv := httptest.NewServer(Handler(tree, tr))
+	srv := httptest.NewServer(Handler(Options{Tree: tree, Tracer: tr}))
 	defer srv.Close()
 
 	code, body, _ := get(t, srv, "/debug/pprof/")
@@ -116,7 +116,7 @@ func TestPprofEndpoint(t *testing.T) {
 }
 
 func TestNilSurfaces(t *testing.T) {
-	srv := httptest.NewServer(Handler(nil, nil))
+	srv := httptest.NewServer(Handler(Options{}))
 	defer srv.Close()
 	if code, body, _ := get(t, srv, "/metrics"); code != http.StatusOK || body != "" {
 		t.Fatalf("nil tree /metrics: %d %q", code, body)
@@ -128,9 +128,12 @@ func TestNilSurfaces(t *testing.T) {
 
 func TestServeBindsAndStops(t *testing.T) {
 	tree, tr, _ := testFixtures()
-	srv, addr, err := Serve("127.0.0.1:0", tree, tr)
+	srv, addr, err := Serve("127.0.0.1:0", Options{Tree: tree, Tracer: tr})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if srv.ReadTimeout == 0 || srv.WriteTimeout == 0 {
+		t.Fatalf("server timeouts unset: read=%v write=%v", srv.ReadTimeout, srv.WriteTimeout)
 	}
 	resp, err := http.Get("http://" + addr.String() + "/metrics")
 	if err != nil {
@@ -142,5 +145,92 @@ func TestServeBindsAndStops(t *testing.T) {
 	}
 	if err := srv.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestHealthzEndpoint(t *testing.T) {
+	tree, tr, _ := testFixtures()
+	draining := false
+	srv := httptest.NewServer(Handler(Options{Tree: tree, Tracer: tr, Health: func() Health {
+		return Health{Node: 7, Epoch: 42, Draining: draining}
+	}}))
+	defer srv.Close()
+
+	code, body, _ := get(t, srv, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz status %d", code)
+	}
+	for _, want := range []string{"ok", "node 7", "epoch 42", "state serving"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/healthz missing %q:\n%s", want, body)
+		}
+	}
+	draining = true
+	if _, body, _ := get(t, srv, "/healthz"); !strings.Contains(body, "state draining") {
+		t.Fatalf("/healthz not live: %s", body)
+	}
+	// Without a probe the endpoint 404s.
+	bare := httptest.NewServer(Handler(Options{}))
+	defer bare.Close()
+	if code, _, _ := get(t, bare, "/healthz"); code != http.StatusNotFound {
+		t.Fatalf("probe-less /healthz status %d", code)
+	}
+}
+
+func TestClusterEndpoint(t *testing.T) {
+	store := metrics.NewClusterStore(1)
+	reg := metrics.NewRegistry("core/node-1")
+	reg.Counter("remote_allocs").Add(5)
+	store.Update(metrics.NodeDigest{
+		Node: 1, Seq: 1,
+		D: metrics.DigestRegistries(map[string]*metrics.Registry{"core": reg}),
+	})
+	srv := httptest.NewServer(Handler(Options{Cluster: store}))
+	defer srv.Close()
+
+	code, body, _ := get(t, srv, "/cluster")
+	if code != http.StatusOK {
+		t.Fatalf("/cluster status %d", code)
+	}
+	for _, want := range []string{"cluster view: 1 contributors", "aggregate counters:", "core/remote_allocs 5"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/cluster missing %q:\n%s", want, body)
+		}
+	}
+	bare := httptest.NewServer(Handler(Options{}))
+	defer bare.Close()
+	if code, _, _ := get(t, bare, "/cluster"); code != http.StatusNotFound {
+		t.Fatalf("store-less /cluster status %d", code)
+	}
+}
+
+func TestFlightEndpoint(t *testing.T) {
+	flight := trace.NewFlight()
+	var now time.Duration
+	tr := trace.New(
+		trace.WithClock(func() time.Duration { now += time.Millisecond; return now }),
+		trace.WithFlight(flight),
+	)
+	ctx := trace.WithTracer(context.Background(), tr)
+	_, sp := trace.Start(ctx, "swap.fault")
+	sp.Annotate("slow", "get")
+	sp.End()
+
+	// Flight falls back to the tracer's attached recorder.
+	srv := httptest.NewServer(Handler(Options{Tracer: tr}))
+	defer srv.Close()
+	code, body, _ := get(t, srv, "/debug/flight")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/flight status %d", code)
+	}
+	for _, want := range []string{"flight recorder: 1 flagged, 1 completed", "slow-op", "swap.fault"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/debug/flight missing %q:\n%s", want, body)
+		}
+	}
+	bare := httptest.NewServer(Handler(Options{}))
+	defer bare.Close()
+	if code, _, _ := get(t, bare, "/debug/flight"); code != http.StatusNotFound {
+		t.Fatalf("recorder-less /debug/flight status %d", code)
 	}
 }

@@ -1,0 +1,244 @@
+// The always-on flight recorder: a bounded ring of recently *completed* span
+// timelines, kept per node so that when something goes wrong — a chaos
+// invariant fails, a slow op blows its SLO, an operator sends SIGQUIT — the
+// recent history is already there to dump, instead of "rerun with tracing".
+//
+// The tracer feeds every finished span in; the recorder groups spans by trace
+// and considers a trace complete each time a local root span ends (a span
+// with no parent, or whose parent arrived over the wire — the serve span of a
+// remote call). Completed timelines land in the main ring; timelines carrying
+// a "slow=" annotation, plus any trace explicitly Flagged by an invariant
+// checker, land in a separate flagged ring that survives longer under churn.
+//
+// Determinism: entries are appended in span-end order, which under a serial
+// DES run is itself deterministic, and rendering is a pure function of the
+// entries — scale sims may assert on Dump output byte-for-byte.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Flight ring defaults: how many completed timelines, flagged timelines, and
+// in-progress traces the recorder retains.
+const (
+	DefaultFlightCompleted = 64
+	DefaultFlightFlagged   = 32
+	DefaultFlightActive    = 256
+)
+
+// FlightEntry is one captured trace timeline.
+type FlightEntry struct {
+	Trace  TraceID
+	Reason string // "" for plain completion; "slow-op", invariant name, "sigquit"…
+	Spans  []SpanRecord
+}
+
+// Flight is the per-node flight recorder. The zero value is not usable; use
+// NewFlight. A nil *Flight swallows all calls, so wiring is optional
+// everywhere.
+type Flight struct {
+	mu        sync.Mutex
+	maxActive int
+
+	active map[TraceID]*flightTrace
+	order  []TraceID // insertion order, for bounded eviction of stale traces
+
+	completed ring[FlightEntry]
+	flagged   ring[FlightEntry]
+}
+
+type flightTrace struct {
+	spans  []SpanRecord
+	reason string // first flag reason, "" if unflagged
+}
+
+// ring is a minimal bounded FIFO over a fixed slice.
+type ring[T any] struct {
+	buf  []T
+	head int // next write
+	n    int
+}
+
+func (r *ring[T]) push(v T) {
+	r.buf[r.head] = v
+	r.head = (r.head + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+func (r *ring[T]) items() []T { // oldest first
+	out := make([]T, 0, r.n)
+	start := r.head - r.n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// FlightOption configures a Flight.
+type FlightOption func(*Flight)
+
+// WithFlightCapacity sets the completed- and flagged-ring sizes (minimum 1
+// each).
+func WithFlightCapacity(completed, flagged int) FlightOption {
+	return func(f *Flight) {
+		if completed < 1 {
+			completed = 1
+		}
+		if flagged < 1 {
+			flagged = 1
+		}
+		f.completed.buf = make([]FlightEntry, completed)
+		f.flagged.buf = make([]FlightEntry, flagged)
+	}
+}
+
+// NewFlight returns an empty flight recorder.
+func NewFlight(opts ...FlightOption) *Flight {
+	f := &Flight{
+		maxActive: DefaultFlightActive,
+		active:    map[TraceID]*flightTrace{},
+		completed: ring[FlightEntry]{buf: make([]FlightEntry, DefaultFlightCompleted)},
+		flagged:   ring[FlightEntry]{buf: make([]FlightEntry, DefaultFlightFlagged)},
+	}
+	for _, o := range opts {
+		o(f)
+	}
+	return f
+}
+
+// observe accepts one finished span from the tracer. completes marks the span
+// as a local root: its end means the trace's timeline (as seen from this
+// node) is ready to capture. Spans may keep arriving for a completed trace —
+// late captures of the same trace replace nothing and simply append a fuller
+// entry.
+func (f *Flight) observe(r SpanRecord, completes bool) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ft, ok := f.active[r.Trace]
+	if !ok {
+		ft = &flightTrace{}
+		f.active[r.Trace] = ft
+		f.order = append(f.order, r.Trace)
+		f.evictLocked()
+	}
+	ft.spans = append(ft.spans, r)
+	if ft.reason == "" && slowAttr(r.Attrs) {
+		ft.reason = "slow-op"
+	}
+	if completes {
+		f.captureLocked(r.Trace, ft, ft.reason)
+	}
+}
+
+// slowAttr reports whether a span carries the slow-op watchdog's annotation.
+func slowAttr(attrs []string) bool {
+	for _, a := range attrs {
+		if strings.HasPrefix(a, "slow=") {
+			return true
+		}
+	}
+	return false
+}
+
+// captureLocked snapshots ft into the completed ring and, when flagged, the
+// flagged ring. The active buffer is retained so stragglers keep accruing.
+func (f *Flight) captureLocked(id TraceID, ft *flightTrace, reason string) {
+	e := FlightEntry{
+		Trace:  id,
+		Reason: reason,
+		Spans:  append([]SpanRecord(nil), ft.spans...),
+	}
+	f.completed.push(e)
+	if reason != "" {
+		f.flagged.push(e)
+	}
+}
+
+// evictLocked drops the oldest active traces beyond maxActive — traces that
+// never completed (lost spans, crashed peers) must not pin memory forever.
+func (f *Flight) evictLocked() {
+	for len(f.order) > f.maxActive {
+		delete(f.active, f.order[0])
+		f.order = f.order[1:]
+	}
+}
+
+// Flag captures the trace's current timeline into the flagged ring under
+// reason, regardless of completion state — the chaos harness calls this when
+// an invariant fails so the offending op's spans are in the dump even if the
+// op never finished. Unknown traces (already evicted, never seen) are
+// captured from the completed ring when possible, else ignored.
+func (f *Flight) Flag(id TraceID, reason string) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ft, ok := f.active[id]; ok {
+		if ft.reason == "" {
+			ft.reason = reason
+		}
+		f.flagged.push(FlightEntry{
+			Trace:  id,
+			Reason: reason,
+			Spans:  append([]SpanRecord(nil), ft.spans...),
+		})
+		return
+	}
+	for _, e := range f.completed.items() {
+		if e.Trace == id {
+			e.Reason = reason
+			f.flagged.push(e)
+			return
+		}
+	}
+}
+
+// Completed returns the completed-timeline ring, oldest first.
+func (f *Flight) Completed() []FlightEntry {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.completed.items()
+}
+
+// Flagged returns the flagged-timeline ring, oldest first.
+func (f *Flight) Flagged() []FlightEntry {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.flagged.items()
+}
+
+// Dump renders the recorder's state as deterministic text: flagged timelines
+// first (they are why anyone is reading a dump), then the completed ring.
+func (f *Flight) Dump() string {
+	if f == nil {
+		return "flight recorder: disabled\n"
+	}
+	flagged, completed := f.Flagged(), f.Completed()
+	var b strings.Builder
+	fmt.Fprintf(&b, "flight recorder: %d flagged, %d completed\n", len(flagged), len(completed))
+	for _, e := range flagged {
+		fmt.Fprintf(&b, "== flagged trace %d (%s) ==\n%s", e.Trace, e.Reason, Timeline(e.Spans))
+	}
+	for _, e := range completed {
+		fmt.Fprintf(&b, "== trace %d ==\n%s", e.Trace, Timeline(e.Spans))
+	}
+	return b.String()
+}

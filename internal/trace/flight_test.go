@@ -1,0 +1,213 @@
+package trace
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func simClock() func() time.Duration {
+	var t time.Duration
+	return func() time.Duration {
+		t += time.Millisecond
+		return t
+	}
+}
+
+func TestFlightCapturesCompletedTrace(t *testing.T) {
+	f := NewFlight()
+	tr := New(WithClock(simClock()), WithFlight(f))
+	ctx := WithTracer(context.Background(), tr)
+
+	ctx2, root := tr.Start(ctx, "op.root")
+	_, child := tr.Start(ctx2, "op.child")
+	child.End()
+	if got := len(f.Completed()); got != 0 {
+		t.Fatalf("child end captured %d entries, want 0 (trace not complete)", got)
+	}
+	root.End()
+	done := f.Completed()
+	if len(done) != 1 {
+		t.Fatalf("completed = %d, want 1", len(done))
+	}
+	e := done[0]
+	if e.Trace != root.TraceID() || e.Reason != "" || len(e.Spans) != 2 {
+		t.Fatalf("entry = %+v, want 2-span unflagged capture of trace %d", e, root.TraceID())
+	}
+	if tl := Timeline(e.Spans); !strings.Contains(tl, "op.root") || !strings.Contains(tl, "op.child") {
+		t.Fatalf("timeline missing spans:\n%s", tl)
+	}
+	if len(f.Flagged()) != 0 {
+		t.Fatal("unflagged trace reached the flagged ring")
+	}
+}
+
+func TestFlightSlowOpFlagging(t *testing.T) {
+	f := NewFlight()
+	tr := New(WithClock(simClock()), WithFlight(f))
+	ctx := WithTracer(context.Background(), tr)
+
+	_, sp := tr.Start(ctx, "core.get")
+	sp.Annotate("slow", "get") // the SLO watchdog's marking
+	sp.End()
+	flagged := f.Flagged()
+	if len(flagged) != 1 || flagged[0].Reason != "slow-op" {
+		t.Fatalf("flagged = %+v, want one slow-op entry", flagged)
+	}
+	if dump := f.Dump(); !strings.Contains(dump, "flagged trace") || !strings.Contains(dump, "slow-op") {
+		t.Fatalf("dump missing slow-op section:\n%s", dump)
+	}
+}
+
+func TestFlightRemoteParentCompletesServeSpan(t *testing.T) {
+	// A serve span whose parent arrived over the wire is a local root: its
+	// end must capture the trace even though Parent != 0.
+	f := NewFlight()
+	tr := New(WithClock(simClock()), WithFlight(f))
+	ctx := WithTracer(context.Background(), tr)
+	ctx = withRemoteSpanContext(ctx, SpanContext{Trace: 99, Span: 7})
+
+	ctx2, serve := tr.Start(ctx, "net.serve")
+	_, inner := tr.Start(ctx2, "core.put_remote")
+	inner.End()
+	serve.End()
+	done := f.Completed()
+	if len(done) != 1 || done[0].Trace != 99 {
+		t.Fatalf("completed = %+v, want one capture of remote trace 99", done)
+	}
+	if len(done[0].Spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(done[0].Spans))
+	}
+	// But a local child (non-remote parent) must NOT complete the trace.
+	f2 := NewFlight()
+	tr2 := New(WithClock(simClock()), WithFlight(f2))
+	cctx := WithTracer(context.Background(), tr2)
+	cctx2, root := tr2.Start(cctx, "root")
+	_, child := tr2.Start(cctx2, "child")
+	child.End()
+	if len(f2.Completed()) != 0 {
+		t.Fatal("local child end completed the trace")
+	}
+	root.End()
+	if len(f2.Completed()) != 1 {
+		t.Fatal("root end did not complete the trace")
+	}
+}
+
+func TestFlightFlagUncompletedTrace(t *testing.T) {
+	f := NewFlight()
+	tr := New(WithClock(simClock()), WithFlight(f))
+	ctx := WithTracer(context.Background(), tr)
+
+	ctx2, root := tr.Start(ctx, "core.put_remote")
+	_, child := tr.Start(ctx2, "net.write")
+	child.End() // root still open — the op is in flight when the invariant trips
+	f.Flag(root.TraceID(), "replication_factor")
+	flagged := f.Flagged()
+	if len(flagged) != 1 || flagged[0].Reason != "replication_factor" {
+		t.Fatalf("flagged = %+v, want replication_factor capture", flagged)
+	}
+	if len(flagged[0].Spans) != 1 || flagged[0].Spans[0].Name != "net.write" {
+		t.Fatalf("flag captured %+v, want the finished net.write span", flagged[0].Spans)
+	}
+	// Flagging an unknown trace is a no-op, not a panic.
+	f.Flag(12345, "whatever")
+	if len(f.Flagged()) != 1 {
+		t.Fatal("unknown-trace flag pushed an entry")
+	}
+	root.End()
+}
+
+func TestFlightFlagFromCompletedRing(t *testing.T) {
+	f := NewFlight()
+	tr := New(WithClock(simClock()), WithFlight(f))
+	ctx := WithTracer(context.Background(), tr)
+	_, sp := tr.Start(ctx, "op")
+	id := sp.TraceID()
+	sp.End()
+	// Evict the active entry to force the completed-ring lookup path.
+	f.mu.Lock()
+	delete(f.active, id)
+	f.order = nil
+	f.mu.Unlock()
+	f.Flag(id, "late-invariant")
+	flagged := f.Flagged()
+	if len(flagged) != 1 || flagged[0].Reason != "late-invariant" || len(flagged[0].Spans) != 1 {
+		t.Fatalf("flagged = %+v, want capture recovered from completed ring", flagged)
+	}
+}
+
+func TestFlightRingsBounded(t *testing.T) {
+	f := NewFlight(WithFlightCapacity(4, 2))
+	tr := New(WithClock(simClock()), WithFlight(f))
+	ctx := WithTracer(context.Background(), tr)
+	for i := 0; i < 10; i++ {
+		_, sp := tr.Start(ctx, "op")
+		if i%2 == 0 {
+			sp.Annotate("slow", "op")
+		}
+		sp.End()
+	}
+	if got := len(f.Completed()); got != 4 {
+		t.Fatalf("completed ring = %d, want 4", got)
+	}
+	if got := len(f.Flagged()); got != 2 {
+		t.Fatalf("flagged ring = %d, want 2", got)
+	}
+	// Oldest-first: the last completions are the ones retained.
+	done := f.Completed()
+	for i := 1; i < len(done); i++ {
+		if done[i].Trace <= done[i-1].Trace {
+			t.Fatalf("completed ring out of order: %+v", done)
+		}
+	}
+}
+
+func TestFlightActiveEviction(t *testing.T) {
+	f := NewFlight()
+	f.maxActive = 3
+	tr := New(WithClock(simClock()), WithFlight(f))
+	ctx := WithTracer(context.Background(), tr)
+	// Start+end child spans of distinct traces without ever completing them:
+	// each trace stays active until evicted.
+	var roots []*Span
+	for i := 0; i < 6; i++ {
+		c2, root := tr.Start(ctx, "root")
+		_, child := tr.Start(c2, "child")
+		child.End()
+		roots = append(roots, root)
+	}
+	f.mu.Lock()
+	n := len(f.active)
+	f.mu.Unlock()
+	if n != 3 {
+		t.Fatalf("active traces = %d, want 3 (bounded)", n)
+	}
+	for _, r := range roots {
+		r.End()
+	}
+}
+
+func TestNilFlightAndNilTracerSafe(t *testing.T) {
+	var f *Flight
+	f.observe(SpanRecord{}, true)
+	f.Flag(1, "x")
+	if f.Completed() != nil || f.Flagged() != nil {
+		t.Fatal("nil flight returned entries")
+	}
+	if !strings.Contains(f.Dump(), "disabled") {
+		t.Fatal("nil flight dump")
+	}
+	// A tracer without a flight recorder still records spans.
+	tr := New(WithClock(simClock()))
+	ctx := WithTracer(context.Background(), tr)
+	_, sp := tr.Start(ctx, "op")
+	sp.End()
+	if tr.Flight() != nil {
+		t.Fatal("phantom flight recorder")
+	}
+	if len(tr.Spans(sp.TraceID())) != 1 {
+		t.Fatal("span not recorded without flight")
+	}
+}

@@ -102,7 +102,7 @@ func (t *traced) SetHandler(h transport.Handler) {
 	t.ep.SetHandler(func(ctx context.Context, from transport.NodeID, payload []byte) ([]byte, error) {
 		ctx = WithTracer(ctx, t.tr)
 		if sc, bare, ok := extractWire(payload); ok {
-			ctx = withSpanContext(ctx, sc)
+			ctx = withRemoteSpanContext(ctx, sc)
 			payload = bare
 		}
 		ctx, sp := t.tr.Start(ctx, "net.serve")

@@ -31,6 +31,23 @@ func Timeline(spans []SpanRecord) string {
 	copy(ordered, spans)
 	sortSpans(ordered)
 
+	// Deduplicate span IDs: relays and flight-recorder recaptures can hand the
+	// same span in twice. Keep the record with the later End (the fuller one).
+	best := make(map[SpanID]int, len(ordered))
+	dedup := ordered[:0]
+	for _, s := range ordered {
+		if i, ok := best[s.ID]; ok {
+			if s.End > dedup[i].End {
+				dedup[i] = s
+			}
+			continue
+		}
+		best[s.ID] = len(dedup)
+		dedup = append(dedup, s)
+	}
+	ordered = dedup
+	sortSpans(ordered) // a kept duplicate may carry a different Start
+
 	base := ordered[0].Start
 	for _, s := range ordered {
 		if s.Start < base {

@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// Reassembly must be arrival-order independent: relays and ring snapshots
+// hand Timeline spans in whatever order they finished, not tree order.
+func TestTimelineOutOfOrderArrival(t *testing.T) {
+	spans := []SpanRecord{
+		{Trace: 1, ID: 1, Parent: 0, Name: "root", Start: 0, End: 10 * time.Millisecond},
+		{Trace: 1, ID: 2, Parent: 1, Name: "mid", Start: time.Millisecond, End: 9 * time.Millisecond},
+		{Trace: 1, ID: 3, Parent: 2, Name: "leaf", Start: 2 * time.Millisecond, End: 3 * time.Millisecond},
+		{Trace: 1, ID: 4, Parent: 1, Name: "sibling", Start: 4 * time.Millisecond, End: 5 * time.Millisecond},
+	}
+	want := Timeline(spans)
+	perms := [][]int{
+		{3, 2, 1, 0},
+		{2, 0, 3, 1},
+		{1, 3, 0, 2},
+	}
+	for _, p := range perms {
+		shuffled := make([]SpanRecord, len(spans))
+		for i, j := range p {
+			shuffled[i] = spans[j]
+		}
+		if got := Timeline(shuffled); got != want {
+			t.Fatalf("order %v changed rendering:\n got:\n%s\nwant:\n%s", p, got, want)
+		}
+	}
+}
+
+// Duplicate span IDs (a span relayed twice, or recaptured by the flight
+// recorder) must render once, keeping the fuller record (larger End).
+func TestTimelineDuplicateSpansDeduped(t *testing.T) {
+	root := SpanRecord{Trace: 1, ID: 1, Name: "root", Start: 0, End: 10 * time.Millisecond}
+	childPartial := SpanRecord{Trace: 1, ID: 2, Parent: 1, Name: "child", Start: time.Millisecond, End: 2 * time.Millisecond}
+	childFull := childPartial
+	childFull.End = 8 * time.Millisecond
+	childFull.Attrs = []string{"bytes=64"}
+
+	got := Timeline([]SpanRecord{root, childPartial, root, childFull})
+	want := Timeline([]SpanRecord{root, childFull})
+	if got != want {
+		t.Fatalf("dedup failed:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	// The kept duplicate is the one with the larger End, regardless of order.
+	if got2 := Timeline([]SpanRecord{childFull, root, childPartial}); got2 != want {
+		t.Fatalf("dedup kept the partial record:\n%s", got2)
+	}
+}
+
+// A kept duplicate carrying a different (later) Start must not corrupt the
+// sort order of the rendered tree.
+func TestTimelineDuplicateDifferentStart(t *testing.T) {
+	root := SpanRecord{Trace: 1, ID: 1, Name: "root", Start: 0, End: 20 * time.Millisecond}
+	a := SpanRecord{Trace: 1, ID: 2, Parent: 1, Name: "a", Start: time.Millisecond, End: 2 * time.Millisecond}
+	bEarly := SpanRecord{Trace: 1, ID: 3, Parent: 1, Name: "b", Start: 0, End: time.Millisecond}
+	bLate := bEarly
+	bLate.Start = 5 * time.Millisecond
+	bLate.End = 6 * time.Millisecond
+
+	got := Timeline([]SpanRecord{bEarly, a, root, bLate})
+	want := Timeline([]SpanRecord{root, a, bLate})
+	if got != want {
+		t.Fatalf("re-sort after dedup failed:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}

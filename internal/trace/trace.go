@@ -51,8 +51,9 @@ const DefaultCapacity = 4096
 // Tracer allocates span IDs and retains the most recent finished spans in a
 // bounded ring buffer for the /trace export surface.
 type Tracer struct {
-	clock func() time.Duration
-	cap   int
+	clock  func() time.Duration
+	cap    int
+	flight *Flight
 
 	nextTrace atomic.Uint64
 	nextSpan  atomic.Uint64
@@ -76,6 +77,13 @@ func WithClock(fn func() time.Duration) Option {
 			t.clock = fn
 		}
 	}
+}
+
+// WithFlight attaches a flight recorder: every finished span is forwarded to
+// f, and the end of a local root span (no parent, or a remote parent from
+// across the wire) captures the trace's timeline into f's completed ring.
+func WithFlight(f *Flight) Option {
+	return func(t *Tracer) { t.flight = f }
 }
 
 // WithCapacity sets how many finished spans the ring retains (minimum 1).
@@ -106,6 +114,15 @@ func New(opts ...Option) *Tracer {
 type tracerKey struct{}
 type spanKey struct{}
 
+// spanCtxVal is the context payload for the active span: its identity plus
+// whether it arrived over the wire (a remote parent). The first span started
+// under a remote parent is a local root — its end completes the trace as seen
+// from this node, which is what the flight recorder captures on.
+type spanCtxVal struct {
+	sc     SpanContext
+	remote bool
+}
+
 // WithTracer returns a context that carries tr; Start on that context (and on
 // every context derived from it) records spans against tr.
 func WithTracer(ctx context.Context, tr *Tracer) context.Context {
@@ -123,13 +140,20 @@ func TracerFrom(ctx context.Context) *Tracer {
 
 // SpanContextFrom returns the active span identity carried by ctx.
 func SpanContextFrom(ctx context.Context) (SpanContext, bool) {
-	sc, ok := ctx.Value(spanKey{}).(SpanContext)
-	return sc, ok
+	v, ok := ctx.Value(spanKey{}).(spanCtxVal)
+	return v.sc, ok
 }
 
 // withSpanContext marks sc as the active span (the parent of future children).
 func withSpanContext(ctx context.Context, sc SpanContext) context.Context {
-	return context.WithValue(ctx, spanKey{}, sc)
+	return context.WithValue(ctx, spanKey{}, spanCtxVal{sc: sc})
+}
+
+// withRemoteSpanContext marks sc as the active span and remembers that it
+// came from another process — the transport middleware uses this on inbound
+// calls so the serve span registers as a local root for the flight recorder.
+func withRemoteSpanContext(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, spanKey{}, spanCtxVal{sc: sc, remote: true})
 }
 
 // clockFor picks the observability clock for ctx: the simulated clock when a
@@ -163,13 +187,14 @@ func Now(ctx context.Context) time.Duration {
 // instrumented code never branches on whether tracing is enabled. A span is
 // owned by the goroutine that started it.
 type Span struct {
-	tracer *Tracer
-	now    func() time.Duration
-	sc     SpanContext
-	parent SpanID
-	name   string
-	start  time.Duration
-	attrs  []string
+	tracer    *Tracer
+	now       func() time.Duration
+	sc        SpanContext
+	parent    SpanID
+	localRoot bool // no parent, or the parent is remote: ending completes the trace locally
+	name      string
+	start     time.Duration
+	attrs     []string
 }
 
 // Start begins a span named name. When ctx carries no tracer it returns
@@ -187,11 +212,13 @@ func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Span
 		return ctx, nil
 	}
 	s := &Span{tracer: t, now: t.clockFor(ctx), name: name}
-	if parent, ok := SpanContextFrom(ctx); ok {
-		s.sc.Trace = parent.Trace
-		s.parent = parent.Span
+	if v, ok := ctx.Value(spanKey{}).(spanCtxVal); ok {
+		s.sc.Trace = v.sc.Trace
+		s.parent = v.sc.Span
+		s.localRoot = v.remote
 	} else {
 		s.sc.Trace = TraceID(t.nextTrace.Add(1))
+		s.localRoot = true
 	}
 	s.sc.Span = SpanID(t.nextSpan.Add(1))
 	s.start = s.now()
@@ -235,7 +262,7 @@ func (s *Span) End() {
 		Start:  s.start,
 		End:    s.now(),
 		Attrs:  s.attrs,
-	})
+	}, s.localRoot)
 }
 
 // EndErr annotates the span with err (when non-nil) and finishes it.
@@ -249,7 +276,7 @@ func (s *Span) EndErr(err error) {
 	s.End()
 }
 
-func (t *Tracer) record(r SpanRecord) {
+func (t *Tracer) record(r SpanRecord, completes bool) {
 	t.mu.Lock()
 	t.ring[t.head] = r
 	t.head = (t.head + 1) % len(t.ring)
@@ -257,6 +284,18 @@ func (t *Tracer) record(r SpanRecord) {
 		t.n++
 	}
 	t.mu.Unlock()
+	// Outside the ring lock: the flight recorder takes its own lock and may
+	// copy whole timelines.
+	t.flight.observe(r, completes)
+}
+
+// Flight returns the attached flight recorder; nil for a nil tracer or one
+// without a recorder.
+func (t *Tracer) Flight() *Flight {
+	if t == nil {
+		return nil
+	}
+	return t.flight
 }
 
 // records returns the retained spans, oldest first.
