@@ -11,6 +11,7 @@
 //	dmctl -node 1=localhost:7401 -batch getput 1 2 3
 //	dmctl -node 1=localhost:7401 epoch        # epoch-versioned memory map
 //	dmctl -node 2=localhost:7402 decommission # drain node 2 gracefully
+//	dmctl -node 2=localhost:7402 harvest 1048576 # claw back 1 MiB of donated pool
 package main
 
 import (
@@ -50,7 +51,7 @@ func run(args []string) error {
 		return err
 	}
 	if *nodeFlag == "" || fs.NArg() < 1 {
-		return fmt.Errorf("usage: dmctl -node id=host:port [-batch] [-compress] <stats|top|put KEY DATA|getput KEY|epoch|decommission>")
+		return fmt.Errorf("usage: dmctl -node id=host:port [-batch] [-compress] <stats|top|put KEY DATA|getput KEY|epoch|decommission|harvest BYTES>")
 	}
 	idStr, addr, ok := strings.Cut(*nodeFlag, "=")
 	if !ok {
@@ -241,6 +242,21 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("node %d drained: %d blocks migrated; stale readers get redirects\n", target, moved)
+		return nil
+	case "harvest":
+		if fs.NArg() < 2 {
+			return fmt.Errorf("usage: harvest BYTES")
+		}
+		want, err := strconv.ParseInt(fs.Arg(1), 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad byte count: %v", err)
+		}
+		reclaimed, moved, err := client.Harvest(ctx, target, want)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("node %d harvested %d of %d bytes (%d blocks migrated); node stays in service\n",
+			target, reclaimed, want, moved)
 		return nil
 	default:
 		return fmt.Errorf("unknown command %q", fs.Arg(0))

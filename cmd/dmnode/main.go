@@ -30,6 +30,7 @@ import (
 	"godm/internal/core"
 	"godm/internal/metrics"
 	"godm/internal/obs"
+	"godm/internal/placement"
 	"godm/internal/swap"
 	"godm/internal/tcpnet"
 	"godm/internal/trace"
@@ -59,6 +60,7 @@ func run(args []string) error {
 		hbMode    = fs.String("heartbeat", "mesh", "control-plane scheme: mesh (all-to-all) or tree (members<->group leader<->root, O(group) per tick)")
 		groupSize = fs.Int("group-size", 0, "directory group size for the heartbeat tree (0 = one flat group)")
 		drain     = fs.Bool("drain", false, "on shutdown, decommission first: migrate hosted blocks to peers and announce departure")
+		balancer  = fs.String("balancer", "power-of-two", "remote-placement policy: power-of-two, load-aware, weighted-rr, round-robin, or random")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -126,6 +128,10 @@ func run(args []string) error {
 	// scrapers want the full schema (zero-valued) from every node.
 	swap.NewMetrics(tree.Registry("node/swap"))
 
+	bal, err := buildBalancer(*balancer, int64(*id)+1)
+	if err != nil {
+		return err
+	}
 	node, err := core.NewNode(core.Config{
 		ID:                transport.NodeID(*id),
 		SharedPoolBytes:   *sharedMiB << 20,
@@ -134,6 +140,7 @@ func run(args []string) error {
 		SlabSize:          1 << 20,
 		ReplicationFactor: factor,
 		PoolShards:        *shards,
+		Balancer:          bal,
 	}, transport.Chain(ep, trace.Middleware(tracer)), dir)
 	if err != nil {
 		return err
@@ -255,6 +262,25 @@ func tickOnce(ctx context.Context, node *core.Node, dir *cluster.Directory, tree
 		return nil
 	default:
 		return fmt.Errorf("maintain: %w", err)
+	}
+}
+
+// buildBalancer maps the -balancer flag to a placement policy, seeded per
+// node so a cluster of daemons does not stampede the same peers.
+func buildBalancer(name string, seed int64) (placement.Balancer, error) {
+	switch name {
+	case "power-of-two":
+		return placement.NewPowerOfTwo(seed), nil
+	case "load-aware":
+		return placement.NewLoadAware(seed, 0), nil
+	case "weighted-rr":
+		return placement.NewWeightedRoundRobin(seed), nil
+	case "round-robin":
+		return placement.NewRoundRobin(), nil
+	case "random":
+		return placement.NewRandom(seed), nil
+	default:
+		return nil, fmt.Errorf("bad -balancer %q, want power-of-two, load-aware, weighted-rr, round-robin, or random", name)
 	}
 }
 

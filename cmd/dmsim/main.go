@@ -6,9 +6,11 @@
 //	dmsim -exp fig7              # run one experiment
 //	dmsim -exp all               # run the whole suite
 //	dmsim -exp fig7 -pages 4096  # higher-fidelity run
+//	dmsim -exp prefetch -json BENCH_prefetch.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,13 +26,14 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("dmsim", flag.ContinueOnError)
 	var (
-		expID  = fs.String("exp", "all", "experiment id (see -list) or 'all'")
-		list   = fs.Bool("list", false, "list experiments and exit")
-		pages  = fs.Int("pages", 0, "working-set pages per VM (0 = default)")
-		iters  = fs.Int("iters", 0, "ML iterations (0 = default)")
-		kvOps  = fs.Int("kvops", 0, "KV operations (0 = default)")
-		window = fs.Duration("fig9window", 0, "recovery window (0 = auto)")
-		seed   = fs.Int64("seed", 1, "random seed")
+		expID    = fs.String("exp", "all", "experiment id (see -list) or 'all'")
+		list     = fs.Bool("list", false, "list experiments and exit")
+		pages    = fs.Int("pages", 0, "working-set pages per VM (0 = default)")
+		iters    = fs.Int("iters", 0, "ML iterations (0 = default)")
+		kvOps    = fs.Int("kvops", 0, "KV operations (0 = default)")
+		window   = fs.Duration("fig9window", 0, "recovery window (0 = auto)")
+		seed     = fs.Int64("seed", 1, "random seed")
+		jsonPath = fs.String("json", "", "write the (single) experiment's result as JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -67,6 +70,10 @@ func run(args []string) int {
 		}
 		toRun = []exp.Experiment{e}
 	}
+	if *jsonPath != "" && len(toRun) != 1 {
+		fmt.Fprintln(os.Stderr, "-json requires a single -exp id")
+		return 2
+	}
 	for _, e := range toRun {
 		start := time.Now()
 		res, err := e.Run(scale)
@@ -75,6 +82,17 @@ func run(args []string) int {
 			return 1
 		}
 		fmt.Printf("== %s — %s (ran in %v)\n%s\n", e.ID, e.Paper, time.Since(start).Round(time.Millisecond), res)
+		if *jsonPath != "" {
+			blob, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: marshal: %v\n", e.ID, err)
+				return 1
+			}
+			if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+				return 1
+			}
+		}
 	}
 	return 0
 }

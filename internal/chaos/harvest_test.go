@@ -1,0 +1,155 @@
+// Balloon-harvesting chaos scenario: a donor node hosting both replicated
+// virtual-server entries and window-batched client blocks is harvested for
+// its entire donated pool while it stays a live cluster member. Every hosted
+// block must migrate, every byte must stay readable through the repointed
+// owner maps and redirect tombstones, and deleting through the repointed
+// maps must leave zero stranded copies. Runs on both fabrics and replays
+// deterministically per seed.
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"godm/internal/cluster"
+	"godm/internal/core"
+	"godm/internal/pagetable"
+)
+
+const (
+	harvestEntries = 8
+	// donorPoolBytes mirrors the harness's RecvPoolBytes: harvesting this
+	// much can only be satisfied by migrating every hosted block away.
+	donorPoolBytes = 1 << 20
+)
+
+func runHarvestScenario(t *testing.T, kind FabricKind, seed int64) (outcomes []string) {
+	t.Helper()
+	cl := New(t, kind, seed, Config{Nodes: 4, ReplicationFactor: 2, HeartbeatTimeout: 3})
+	defer cl.Close()
+	cl.DumpOnFailure(t)
+
+	vs, err := cl.Nodes[0].AddServer("harvest", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := cl.Nodes[0].ID()
+	client := core.NewClient(cl.Eps[0])
+
+	cl.Run(t, func(ctx context.Context) {
+		// The scenario is fault-free: determinism comes from the seeded
+		// payloads and placement, and the invariants assert the harvest's
+		// migration machinery, not fault handling (the atomicity scenarios
+		// cover that).
+		cl.Inj.SetEnabled(false)
+		cl.HeartbeatRound(ctx)
+
+		// Replicated writes through the owner's page table.
+		for i := 0; i < harvestEntries; i++ {
+			werr := vs.PutRemote(ctx, pagetable.EntryID(i), cl.Payload(i, 4096), 4096, 4096)
+			outcomes = append(outcomes, fmt.Sprintf("put %d: %s", i, Classify(werr)))
+		}
+
+		// The donor: lowest-ID peer hosting at least one replicated copy.
+		var donor *core.Node
+		for _, n := range cl.Nodes[1:] {
+			for i := 0; i < harvestEntries && donor == nil; i++ {
+				if n.HostsRemoteKey(owner, vs.WireKey(pagetable.EntryID(i))) {
+					donor = n
+				}
+			}
+			if donor != nil {
+				break
+			}
+		}
+		if donor == nil {
+			t.Error("no peer hosts a replicated copy; scenario exercised nothing")
+			return
+		}
+		outcomes = append(outcomes, fmt.Sprintf("donor %d", donor.ID()))
+
+		// Window-batched client blocks landing directly on the donor.
+		batch := make([]core.Entry, 6)
+		keys := make([]uint64, len(batch))
+		for i := range batch {
+			keys[i] = uint64(5000 + i)
+			batch[i] = core.Entry{Key: keys[i], Data: cl.Payload(1000+i, 1024)}
+		}
+		werr := client.PutAll(ctx, donor.ID(), batch)
+		outcomes = append(outcomes, "batch: "+Classify(werr))
+		RequireBatchAtomicity(ctx, t, cl.Inj, client, donor, owner, batch, map[uint64][]byte{}, werr)
+		cl.Inj.SetEnabled(false) // RequireBatchAtomicity re-enables on return
+
+		// Claw back the donor's entire donation over the wire.
+		reclaimed, movedN, herr := client.Harvest(ctx, donor.ID(), donorPoolBytes)
+		outcomes = append(outcomes, fmt.Sprintf("harvest: %s reclaimed=%d moved=%d", Classify(herr), reclaimed, movedN))
+		if herr != nil {
+			return
+		}
+		if movedN == 0 {
+			t.Error("full-pool harvest migrated no blocks; scenario exercised nothing")
+		}
+		if donor.Draining() {
+			t.Errorf("harvested donor %d reports draining", donor.ID())
+		}
+		for i, dir := range cl.Dirs {
+			if !dir.Alive(cluster.NodeID(donor.ID())) {
+				t.Errorf("node %d's map dropped harvested donor %d", i+1, donor.ID())
+			}
+		}
+
+		// Every replicated entry left the donor and reads back byte-exact
+		// through the repointed owner page table.
+		for i := 0; i < harvestEntries; i++ {
+			id := pagetable.EntryID(i)
+			if donor.HostsRemoteKey(owner, vs.WireKey(id)) {
+				t.Errorf("donor %d still hosts entry %d after full harvest", donor.ID(), i)
+			}
+			got, _, gerr := vs.Get(ctx, id)
+			if gerr != nil || !bytes.Equal(got, cl.Payload(i, 4096)) {
+				t.Errorf("entry %d after harvest: %d bytes, %v", i, len(got), gerr)
+			}
+		}
+
+		// Every batched block left the donor and stays readable through the
+		// client's redirect-chasing read path.
+		for i, k := range keys {
+			if donor.HostsRemoteKey(owner, k) {
+				t.Errorf("donor %d still hosts batch key %d after full harvest", donor.ID(), k)
+			}
+			got, gerr := client.Get(ctx, donor.ID(), k)
+			if gerr != nil || !bytes.Equal(got, batch[i].Data) {
+				t.Errorf("batch key %d after harvest: %d bytes, %v", k, len(got), gerr)
+			}
+		}
+
+		// Deleting through the repointed maps must leave zero copies
+		// anywhere: a missed notifyMoved would aim the delete at the stale
+		// home and strand the migrated copy.
+		for i := 0; i < harvestEntries; i++ {
+			id := pagetable.EntryID(i)
+			derr := vs.Delete(ctx, id)
+			outcomes = append(outcomes, fmt.Sprintf("delete %d: %s", i, Classify(derr)))
+			RequireNoStrandedCopies(t, cl.Nodes, owner, vs.WireKey(id))
+		}
+	})
+	return outcomes
+}
+
+func TestChaosHarvest(t *testing.T) {
+	seed := *chaosSeed
+	logSeed(t, seed)
+	for _, kind := range []FabricKind{FabricSim, FabricTCP} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			out1 := runHarvestScenario(t, kind, seed)
+			out2 := runHarvestScenario(t, kind, seed)
+			if !reflect.DeepEqual(out1, out2) {
+				t.Errorf("outcome replay differs:\n run1: %v\n run2: %v", out1, out2)
+			}
+		})
+	}
+}

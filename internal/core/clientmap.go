@@ -127,3 +127,20 @@ func (c *Client) Decommission(ctx context.Context, node transport.NodeID) (int, 
 	}
 	return int(dr.Moved), nil
 }
+
+// Harvest asks node to claw back wantBytes of its donated receive pool for
+// local use (balloon harvesting): already-empty slabs are dropped first,
+// then hosted blocks migrate away — cheapest slabs first — until the target
+// is met. The node stays in the cluster with a smaller advertised pool. It
+// returns the bytes reclaimed and the number of blocks migrated.
+func (c *Client) Harvest(ctx context.Context, node transport.NodeID, wantBytes int64) (int64, int, error) {
+	resp, err := c.ep.Call(ctx, node, encodeHarvestReq(harvestReq{WantBytes: wantBytes}))
+	if err != nil {
+		return 0, 0, fmt.Errorf("core: harvest node %d: %w", node, err)
+	}
+	hr, err := decodeHarvestResp(resp)
+	if err != nil {
+		return 0, 0, err
+	}
+	return hr.Reclaimed, int(hr.Moved), nil
+}

@@ -186,24 +186,52 @@ func (n *Node) Decommission(ctx context.Context) (int, error) {
 }
 
 // migrateBlock copies one hosted block to an alive group peer, records the
-// redirect tombstone, and notifies the owner of the new home.
+// redirect tombstone, and notifies the owner of the new home. Successors
+// that refuse the block — no space, or already hosting a sibling replica of
+// the same key — are skipped for the next candidate; the block's owner is
+// the last resort (its own remote copy beats an eviction notice).
 func (n *Node) migrateBlock(ctx context.Context, b hostedBlock) error {
 	data, err := n.recv.Read(b.h, b.h.Class)
 	if err != nil {
 		return err
 	}
-	// Prefer a successor that is not the block's owner (the owner holding
-	// its own remote copy defeats the point of parking it elsewhere), but
-	// fall back to the owner when it is the only candidate left.
-	succs, err := n.pickRemotes(1, []transport.NodeID{b.ref.owner})
-	if errors.Is(err, ErrNoCandidates) {
-		succs, err = n.pickRemotes(1, nil)
+	exclude := []transport.NodeID{b.ref.owner}
+	var lastErr error
+	for {
+		succs, perr := n.pickRemotes(1, exclude)
+		if perr != nil {
+			if errors.Is(perr, ErrNoCandidates) {
+				break
+			}
+			return perr
+		}
+		to := transport.NodeID(succs[0])
+		if err := n.migrateTo(ctx, b, to, data); err == nil {
+			return nil
+		} else {
+			lastErr = err
+			exclude = append(exclude, to)
+		}
 	}
-	if err != nil {
-		return err
+	if b.ref.owner != n.cfg.ID {
+		if err := n.migrateTo(ctx, b, b.ref.owner, data); err == nil {
+			return nil
+		} else if lastErr == nil {
+			lastErr = err
+		}
 	}
-	to := transport.NodeID(succs[0])
-	resp, err := n.ep.Call(ctx, to, encodeAllocReq(allocReq{Key: b.ref.key, Class: int32(b.h.Class)}))
+	if lastErr == nil {
+		lastErr = ErrNoCandidates
+	}
+	return lastErr
+}
+
+// migrateTo copies one hosted block to a specific successor, records the
+// redirect tombstone, and notifies the owner of the new home.
+func (n *Node) migrateTo(ctx context.Context, b hostedBlock, to transport.NodeID, data []byte) error {
+	resp, err := n.ep.Call(ctx, to, encodeAllocReq(allocReq{
+		Key: b.ref.key, Class: int32(b.h.Class), Owner: int32(b.ref.owner),
+	}))
 	if err != nil {
 		return fmt.Errorf("core: drain alloc on node %d: %w", to, err)
 	}

@@ -51,10 +51,10 @@ func TestDecommissionMigratesAndRedirects(t *testing.T) {
 		if !tc.nodes[1].Draining() {
 			t.Error("node 2 should report draining")
 		}
-		// The block now lives on another node, parked under the drained
-		// node as proxy owner (the drainer issued the migration alloc) and
-		// the same key.
-		host := findHost(tc, 2, 9, 2)
+		// The block now lives on another node, still recorded under its true
+		// owner (node 1, the putter) even though the drainer issued the
+		// migration alloc on its behalf.
+		host := findHost(tc, 1, 9, 2)
 		if host == 0 {
 			t.Error("migrated block not found on any peer")
 			return
@@ -90,7 +90,7 @@ func TestDecommissionMigratesAndRedirects(t *testing.T) {
 			t.Errorf("Delete: %v", err)
 			return
 		}
-		if h := findHost(tc, 2, 9, 2); h != 0 {
+		if h := findHost(tc, 1, 9, 2); h != 0 {
 			t.Errorf("block still hosted on node %d after delete", h)
 		}
 	})
@@ -113,8 +113,8 @@ func TestDecommissionTwoHopChain(t *testing.T) {
 			t.Errorf("Decommission 2: %v", err)
 			return
 		}
-		// The successor holds the block as a proxy for the drained node.
-		first := findHost(tc, 2, 11, 2)
+		// The successor holds the block under its true owner.
+		first := findHost(tc, 1, 11, 2)
 		if first == 0 {
 			t.Error("no first successor hosts the block")
 			return

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"godm/internal/des"
+	"godm/internal/pagetable"
+	"godm/internal/transport"
+)
+
+// A harvest that fits inside unbacked headroom reclaims instantly: no block
+// moves, the node stays in the cluster, and its advertised pool shrinks.
+func TestHarvestHeadroomCostsNoMigration(t *testing.T) {
+	tc := newTestCluster(t, 3, smallConfig)
+	client := NewClient(tc.nodes[0].ep)
+	tc.run(t, func(ctx context.Context, p *des.Proc) {
+		before := tc.nodes[1].RecvPool().FreeBytes()
+		reclaimed, moved, err := client.Harvest(ctx, 2, 64<<10)
+		if err != nil {
+			t.Errorf("Harvest: %v", err)
+			return
+		}
+		if reclaimed != 64<<10 || moved != 0 {
+			t.Errorf("reclaimed %d, moved %d; want %d, 0", reclaimed, moved, 64<<10)
+		}
+		if tc.nodes[1].Draining() {
+			t.Error("harvest must not put the node in a drain")
+		}
+		after := tc.nodes[1].RecvPool().FreeBytes()
+		if before-after != 64<<10 {
+			t.Errorf("free bytes dropped by %d, want %d", before-after, 64<<10)
+		}
+		// The smaller pool still serves: a put that fits must succeed.
+		if err := client.Put(ctx, 2, 5, bytes.Repeat([]byte{7}, 1024)); err != nil {
+			t.Errorf("Put after partial harvest: %v", err)
+		}
+	})
+}
+
+// Harvesting more than the free headroom forces hosted blocks to migrate;
+// the data stays readable through the same redirect tombstones a
+// decommission leaves, and the donor remains a live cluster member.
+func TestHarvestMigratesAndRedirects(t *testing.T) {
+	tc := newTestCluster(t, 4, smallConfig)
+	client := NewClient(tc.nodes[0].ep)
+	data := bytes.Repeat([]byte{0x6B}, 2048)
+	tc.run(t, func(ctx context.Context, p *des.Proc) {
+		if err := client.Put(ctx, 2, 9, data); err != nil {
+			t.Errorf("Put: %v", err)
+			return
+		}
+		want := smallConfig(2).RecvPoolBytes // the whole donated pool
+		reclaimed, moved, err := client.Harvest(ctx, 2, want)
+		if err != nil {
+			t.Errorf("Harvest: %v", err)
+			return
+		}
+		if reclaimed != want {
+			t.Errorf("reclaimed %d, want %d", reclaimed, want)
+		}
+		if moved != 1 {
+			t.Errorf("moved = %d, want 1", moved)
+		}
+		if tc.nodes[1].Draining() {
+			t.Error("harvested node must not report draining")
+		}
+		if !tc.nodes[1].dir.Alive(2) {
+			t.Error("harvested node left the cluster map")
+		}
+		// The migrated block keeps its true owner (node 1, the putter) on
+		// the successor, not the harvested intermediary.
+		if host := findHost(tc, 1, 9, 2); host == 0 {
+			t.Error("migrated block not found on any peer")
+			return
+		}
+		// A reader holding a stale handle that probes the old home gets a
+		// redirect tombstone pointing at the new one, exactly as in a drain.
+		client.mu.Lock()
+		h := client.handles[clientKey{node: 2, key: 9}]
+		client.mu.Unlock()
+		nn, noff, movedTo := client.chase(ctx, 2, 9, h.offset)
+		if !movedTo || nn == 2 {
+			t.Errorf("locate after harvest: moved=%v node=%d, want redirect off node 2", movedTo, nn)
+		}
+		if r := client.Redirects(); r != 1 {
+			t.Errorf("redirects = %d, want 1", r)
+		}
+		client.rememberHome(clientKey{node: 2, key: 9}, nn, noff)
+		got, err := client.Get(ctx, 2, 9)
+		if err != nil || !bytes.Equal(got, data) {
+			t.Errorf("Get after harvest = %d bytes, %v", len(got), err)
+			return
+		}
+		st := tc.nodes[1].Stats()
+		if st.HarvestedBytes != want {
+			t.Errorf("HarvestedBytes = %d, want %d", st.HarvestedBytes, want)
+		}
+	})
+}
+
+// Harvesting a node that hosts a replicated virtual-server entry must
+// repoint the owner's remote map and page table (opMoved), so the owner's
+// reads keep working with no redirect hop at all.
+func TestHarvestRepointsOwnerPageTable(t *testing.T) {
+	tc := newTestCluster(t, 4, func(id transport.NodeID) Config {
+		cfg := smallConfig(id)
+		cfg.ReplicationFactor = 2
+		return cfg
+	})
+	vs, err := tc.nodes[0].AddServer("vm0", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0x42}, 3000)
+	tc.run(t, func(ctx context.Context, p *des.Proc) {
+		if err := vs.PutRemote(ctx, 21, data, 4096, len(data)); err != nil {
+			t.Errorf("PutRemote: %v", err)
+			return
+		}
+		key := vs.WireKey(21)
+		var host *Node
+		for _, n := range tc.nodes[1:] {
+			if n.HostsRemoteKey(1, key) {
+				host = n
+				break
+			}
+		}
+		if host == nil {
+			t.Error("no node hosts the replicated entry")
+			return
+		}
+		want := smallConfig(host.cfg.ID).RecvPoolBytes
+		if _, _, err := host.Harvest(ctx, want); err != nil {
+			t.Errorf("Harvest node %d: %v", host.cfg.ID, err)
+			return
+		}
+		loc, err := vs.Location(21)
+		if err != nil {
+			t.Errorf("Location: %v", err)
+			return
+		}
+		harvested := pagetable.NodeID(host.cfg.ID)
+		if loc.Primary == harvested {
+			t.Errorf("primary still points at harvested node %d", host.cfg.ID)
+		}
+		for _, r := range loc.Replicas {
+			if r == harvested {
+				t.Errorf("replica set still references harvested node %d", host.cfg.ID)
+			}
+		}
+		got, _, err := vs.Get(ctx, 21)
+		if err != nil || !bytes.Equal(got, data) {
+			t.Errorf("Get after harvest = %d bytes, %v", len(got), err)
+		}
+	})
+}
+
+// Harvest rejects non-positive requests at the wire boundary.
+func TestHarvestRejectsNonPositive(t *testing.T) {
+	tc := newTestCluster(t, 2, smallConfig)
+	client := NewClient(tc.nodes[0].ep)
+	tc.run(t, func(ctx context.Context, p *des.Proc) {
+		if _, _, err := client.Harvest(ctx, 2, 0); err == nil {
+			t.Error("Harvest(0) should fail")
+		}
+	})
+}

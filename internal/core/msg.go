@@ -29,6 +29,8 @@ const (
 	opDecommission = 13 // instruct a node to drain its blocks and leave
 	// Cluster-wide observability plane (tree-aggregated metric digests).
 	opCluster = 14 // fetch the node's ClusterStore: per-contributor metric digests
+	// Balloon harvesting (§IV.F adaptive donation).
+	opHarvest = 15 // ask a donor to reclaim part of its donated pool
 )
 
 // Response status codes.
@@ -45,9 +47,16 @@ const (
 var errShortMessage = errors.New("core: short control message")
 
 // allocReq asks the remote node to reserve a class-sized block for entry key.
+// Owner names the block's true owner when the requester allocates on its
+// behalf — migration allocs (drain, harvest) are issued by the departing
+// host, not the owner. Zero means the caller is the owner. The target
+// refuses an on-behalf alloc when it already hosts a copy of (owner, key):
+// landing a replica next to its sibling would collapse both onto one slot of
+// the owner's replica map and strand a block.
 type allocReq struct {
 	Key   uint64
 	Class int32
+	Owner int32
 }
 
 // allocResp returns the block's global offset within the receive region.
@@ -81,20 +90,22 @@ type statsResp struct {
 }
 
 func encodeAllocReq(r allocReq) []byte {
-	buf := make([]byte, 1+8+4)
+	buf := make([]byte, 1+8+4+4)
 	buf[0] = opAlloc
 	binary.BigEndian.PutUint64(buf[1:9], r.Key)
 	binary.BigEndian.PutUint32(buf[9:13], uint32(r.Class))
+	binary.BigEndian.PutUint32(buf[13:17], uint32(r.Owner))
 	return buf
 }
 
 func decodeAllocReq(b []byte) (allocReq, error) {
-	if len(b) < 13 {
+	if len(b) < 17 {
 		return allocReq{}, errShortMessage
 	}
 	return allocReq{
 		Key:   binary.BigEndian.Uint64(b[1:9]),
 		Class: int32(binary.BigEndian.Uint32(b[9:13])),
+		Owner: int32(binary.BigEndian.Uint32(b[13:17])),
 	}, nil
 }
 
@@ -553,4 +564,54 @@ func decodeDecommissionResp(b []byte) (decommissionResp, error) {
 		return decommissionResp{}, errShortMessage
 	}
 	return decommissionResp{Moved: int32(binary.BigEndian.Uint32(b[1:5]))}, nil
+}
+
+// harvestReq asks a donor node to reclaim wantBytes from its receive pool.
+type harvestReq struct {
+	WantBytes int64
+}
+
+func encodeHarvestReq(r harvestReq) []byte {
+	buf := make([]byte, 1+8)
+	buf[0] = opHarvest
+	binary.BigEndian.PutUint64(buf[1:9], uint64(r.WantBytes))
+	return buf
+}
+
+func decodeHarvestReq(b []byte) (harvestReq, error) {
+	if len(b) < 9 {
+		return harvestReq{}, errShortMessage
+	}
+	return harvestReq{WantBytes: int64(binary.BigEndian.Uint64(b[1:9]))}, nil
+}
+
+// harvestResp reports how much budget came back and how many hosted blocks
+// had to migrate to get it.
+type harvestResp struct {
+	Reclaimed int64
+	Moved     int32
+}
+
+func encodeHarvestResp(r harvestResp) []byte {
+	buf := make([]byte, 1+8+4)
+	buf[0] = stOK
+	binary.BigEndian.PutUint64(buf[1:9], uint64(r.Reclaimed))
+	binary.BigEndian.PutUint32(buf[9:13], uint32(r.Moved))
+	return buf
+}
+
+func decodeHarvestResp(b []byte) (harvestResp, error) {
+	if len(b) < 1 {
+		return harvestResp{}, errShortMessage
+	}
+	if b[0] != stOK {
+		return harvestResp{}, fmt.Errorf("core: remote harvest failed: %s", b[1:])
+	}
+	if len(b) < 13 {
+		return harvestResp{}, errShortMessage
+	}
+	return harvestResp{
+		Reclaimed: int64(binary.BigEndian.Uint64(b[1:9])),
+		Moved:     int32(binary.BigEndian.Uint32(b[9:13])),
+	}, nil
 }

@@ -162,6 +162,7 @@ type nodeCounters struct {
 	evictedBlocks  atomic.Int64
 	repairsDone    atomic.Int64
 	balloonedBytes atomic.Int64
+	harvestedBytes atomic.Int64
 }
 
 // Node is one physical machine's disaggregated memory manager.
@@ -208,6 +209,10 @@ type Node struct {
 	// obsSeq stamps the node's own digest so stale relays never regress it.
 	obsStore *metrics.ClusterStore
 	obsSeq   atomic.Uint64
+	// digestRegs are extra named registries folded into the node's digest
+	// (co-located engines attached via AttachDigestRegistry).
+	digestMu   sync.Mutex
+	digestRegs map[string]*metrics.Registry
 
 	treeMu sync.Mutex
 	tree   *metrics.Tree // optional: the process-wide tree served over opMetrics
@@ -295,6 +300,8 @@ type coreMetrics struct {
 	batchFrees        *metrics.Counter
 	evictedBlocks     *metrics.Counter
 	repairsDone       *metrics.Counter
+	harvestedBytes    *metrics.Counter
+	harvestMoved      *metrics.Counter
 	recvFreeBytes     *metrics.Gauge
 	remotePutLatency  *metrics.Histogram
 	remoteGetLatency  *metrics.Histogram
@@ -313,6 +320,8 @@ func newCoreMetrics(reg *metrics.Registry) coreMetrics {
 		batchFrees:        reg.Counter("batch_frees"),
 		evictedBlocks:     reg.Counter("evicted_blocks"),
 		repairsDone:       reg.Counter("repairs_done"),
+		harvestedBytes:    reg.Counter("harvested_bytes"),
+		harvestMoved:      reg.Counter("harvest_moved_blocks"),
 		recvFreeBytes:     reg.Gauge("recv_free_bytes"),
 		remotePutLatency:  reg.Histogram("remote_put_latency"),
 		remoteGetLatency:  reg.Histogram("remote_get_latency"),
@@ -334,6 +343,7 @@ type NodeStats struct {
 	EvictedBlocks  int64 // blocks we evicted from the recv pool
 	RepairsDone    int64
 	BalloonedBytes int64
+	HarvestedBytes int64 // receive-pool budget clawed back for local use
 }
 
 // NewNode wires a node from its endpoint and the shared cluster directory.
@@ -437,6 +447,7 @@ func (n *Node) Stats() NodeStats {
 		EvictedBlocks:  n.counters.evictedBlocks.Load(),
 		RepairsDone:    n.counters.repairsDone.Load(),
 		BalloonedBytes: n.counters.balloonedBytes.Load(),
+		HarvestedBytes: n.counters.harvestedBytes.Load(),
 	}
 }
 
@@ -475,16 +486,35 @@ func (n *Node) SLOs() *metrics.SLOSet { return n.slos }
 // digest per contributor), for the obs HTTP surface and tests.
 func (n *Node) ClusterStore() *metrics.ClusterStore { return n.obsStore }
 
+// AttachDigestRegistry folds an additional named registry into this node's
+// digests, so co-located engines (a VM host's swap engine, say) surface in
+// `dmctl top` and the `/cluster` fold alongside the core instruments.
+// Re-attaching a name replaces the previous registry.
+func (n *Node) AttachDigestRegistry(name string, reg *metrics.Registry) {
+	n.digestMu.Lock()
+	if n.digestRegs == nil {
+		n.digestRegs = map[string]*metrics.Registry{}
+	}
+	n.digestRegs[name] = reg
+	n.digestMu.Unlock()
+}
+
 // refreshDigest snapshots this node's registries into a freshly-sequenced
 // digest, stores it as the self contribution, and returns it for piggyback.
 func (n *Node) refreshDigest() metrics.NodeDigest {
+	regs := map[string]*metrics.Registry{
+		"core":        n.reg,
+		"replication": n.replReg,
+	}
+	n.digestMu.Lock()
+	for name, reg := range n.digestRegs {
+		regs[name] = reg
+	}
+	n.digestMu.Unlock()
 	nd := metrics.NodeDigest{
 		Node: int64(n.cfg.ID),
 		Seq:  n.obsSeq.Add(1),
-		D: metrics.DigestRegistries(map[string]*metrics.Registry{
-			"core":        n.reg,
-			"replication": n.replReg,
-		}),
+		D:    metrics.DigestRegistries(regs),
 	}
 	n.obsStore.Update(nd)
 	return nd
@@ -573,7 +603,10 @@ func (n *Node) Server(name string) (*VirtualServer, error) {
 }
 
 // candidates lists alive members of this node's sharing group, excluding
-// itself, as placement candidates weighted by advertised free memory.
+// itself, as placement candidates weighted by advertised free memory. When
+// the observability plane has a digest for a member, its served-get p99
+// rides along as the candidate's latency figure, so a load-aware balancer
+// can discount a roomy-but-saturated peer.
 func (n *Node) candidates() ([]placement.Candidate, error) {
 	group, err := n.dir.GroupOf(cluster.NodeID(n.cfg.ID))
 	if err != nil {
@@ -585,7 +618,13 @@ func (n *Node) candidates() ([]placement.Candidate, error) {
 		if m.ID == cluster.NodeID(n.cfg.ID) {
 			continue
 		}
-		cands = append(cands, placement.Candidate{Node: placement.NodeID(m.ID), FreeBytes: m.FreeBytes})
+		c := placement.Candidate{Node: placement.NodeID(m.ID), FreeBytes: m.FreeBytes}
+		if nd, ok := n.obsStore.Get(int64(m.ID)); ok {
+			if hs, ok := nd.D.OpFamilyHistogram("get"); ok && hs.Count > 0 {
+				c.Latency = hs.Quantile(0.99)
+			}
+		}
+		cands = append(cands, c)
 	}
 	if len(cands) == 0 {
 		return nil, ErrNoCandidates
@@ -755,6 +794,16 @@ func (n *Node) handleCall(ctx context.Context, from transport.NodeID, payload []
 			return errorResp(err), nil
 		}
 		return encodeDecommissionResp(decommissionResp{Moved: int32(moved)}), nil
+	case opHarvest:
+		req, err := decodeHarvestReq(payload)
+		if err != nil {
+			return errorResp(err), nil
+		}
+		reclaimed, moved, err := n.Harvest(ctx, req.WantBytes)
+		if err != nil {
+			return errorResp(err), nil
+		}
+		return encodeHarvestResp(harvestResp{Reclaimed: reclaimed, Moved: int32(moved)}), nil
 	default:
 		return errorResp(fmt.Errorf("core: unknown op %d", payload[0])), nil
 	}
@@ -770,6 +819,16 @@ func (n *Node) handleAlloc(from transport.NodeID, req allocReq) []byte {
 		// during the drain window.
 		return noSpaceResp()
 	}
+	owner := from
+	if req.Owner != 0 {
+		owner = transport.NodeID(req.Owner)
+		if owner != from && n.HostsRemoteKey(owner, req.Key) {
+			// An on-behalf (migration) alloc for a key we already host: a
+			// sibling replica lives here, and two copies under one
+			// (owner, key) would alias in the owner's replica map.
+			return noSpaceResp()
+		}
+	}
 	h, err := n.recv.AllocHint(int(req.Class), req.Key)
 	if err != nil {
 		if errors.Is(err, slab.ErrNoSpace) {
@@ -782,7 +841,7 @@ func (n *Node) handleAlloc(from transport.NodeID, req allocReq) []byte {
 		_ = n.recv.Free(h)
 		return errorResp(err)
 	}
-	n.addOwner(h, ownerRef{owner: from, key: req.Key})
+	n.addOwner(h, ownerRef{owner: owner, key: req.Key})
 	n.counters.remoteAllocs.Add(1)
 	n.met.remoteAllocs.Inc()
 	n.met.recvFreeBytes.Set(n.recv.FreeBytes())

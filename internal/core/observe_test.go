@@ -207,3 +207,82 @@ func TestSLOWiring(t *testing.T) {
 		t.Errorf("op_put_good = %d, want 1 (default objective covers simnet RTT)", good)
 	}
 }
+
+// An attached registry (a co-located swap engine's, here) rides the node's
+// digest to the tree root, so `dmctl top` at the root renders its tier
+// balance next to the core instruments.
+func TestAttachedRegistryReachesRootDigest(t *testing.T) {
+	env := des.NewEnv()
+	fabric := simnet.New(env, simnet.DefaultParams())
+	nodes := make([]*Node, 0, 3)
+	for i := 1; i <= 3; i++ {
+		id := transport.NodeID(i)
+		ep, err := fabric.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir, err := cluster.NewDirectory(cluster.Config{GroupSize: 3, HeartbeatTimeout: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, err := NewNode(smallConfig(id), ep, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, node)
+	}
+	for _, node := range nodes {
+		for j := 1; j <= 3; j++ {
+			node.dir.Join(cluster.NodeID(j), 1<<20)
+		}
+	}
+	swapReg := metrics.NewRegistry("swap/node-2")
+	swapReg.Gauge("tier_shared_pages").Set(12)
+	swapReg.Gauge("tier_disk_pages").Set(3)
+	swapReg.Counter("tier_demotions").Add(4)
+	nodes[1].AttachDigestRegistry("swap", swapReg)
+
+	env.Go("sim", func(p *des.Proc) {
+		ctx := des.NewContext(context.Background(), p)
+		for round := 0; round < 3; round++ {
+			for _, node := range nodes {
+				node.TreeHeartbeat(ctx)
+				node.TickWatched()
+			}
+		}
+		root, ok := nodes[0].dir.RootLeader()
+		if !ok {
+			t.Error("no root leader")
+			return
+		}
+		view := nodes[root-1].ClusterView()
+		var found bool
+		for _, nd := range view {
+			if nd.Node != 2 {
+				continue
+			}
+			found = true
+			if nd.D.Gauges["swap/tier_shared_pages"] != 12 {
+				t.Errorf("tier gauge lost: %+v", nd.D.Gauges)
+			}
+			if nd.D.Counters["swap/tier_demotions"] != 4 {
+				t.Errorf("tier counter lost: %+v", nd.D.Counters)
+			}
+		}
+		if !found {
+			t.Error("node 2's digest never reached the root")
+		}
+		var sb bytes.Buffer
+		if err := metrics.RenderClusterView(&sb, view); err != nil {
+			t.Errorf("render: %v", err)
+			return
+		}
+		out := sb.String()
+		if !bytes.Contains([]byte(out), []byte("tier balance (pages):")) {
+			t.Errorf("rendered view missing tier section:\n%s", out)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

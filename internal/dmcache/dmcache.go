@@ -23,6 +23,7 @@ import (
 	"godm/internal/core"
 	"godm/internal/metrics"
 	"godm/internal/placement"
+	"godm/internal/prefetch"
 	"godm/internal/trace"
 	"godm/internal/transport"
 )
@@ -66,6 +67,11 @@ type Stats struct {
 	RemoteBytes int64 // bytes currently parked on peers
 	Dropped     int64 // evictions lost because every peer was full
 	Prefetched  int64 // entries pulled back alongside a requested batch member
+	// PrefetchHits counts prefetched entries later served as local hits;
+	// PrefetchWaste counts those evicted again untouched. Their ratio steers
+	// the adaptive read-ahead depth.
+	PrefetchHits  int64
+	PrefetchWaste int64
 }
 
 type entry struct {
@@ -91,8 +97,11 @@ type cacheMetrics struct {
 	evictions        *metrics.Counter
 	dropped          *metrics.Counter
 	prefetches       *metrics.Counter
+	prefetchHits     *metrics.Counter
+	prefetchWasted   *metrics.Counter
 	localBytes       *metrics.Gauge
 	remoteBytes      *metrics.Gauge
+	prefetchDepth    *metrics.Gauge
 	remoteGetLatency *metrics.Histogram
 }
 
@@ -104,8 +113,11 @@ func newCacheMetrics(reg *metrics.Registry) cacheMetrics {
 		evictions:        reg.Counter("evictions"),
 		dropped:          reg.Counter("dropped"),
 		prefetches:       reg.Counter("prefetches"),
+		prefetchHits:     reg.Counter("prefetch_hits"),
+		prefetchWasted:   reg.Counter("prefetch_wasted"),
 		localBytes:       reg.Gauge("local_bytes"),
 		remoteBytes:      reg.Gauge("remote_bytes"),
+		prefetchDepth:    reg.Gauge("prefetch_depth"),
 		remoteGetLatency: reg.Histogram("remote_get_latency"),
 	}
 }
@@ -132,7 +144,14 @@ type Cache struct {
 	// batches remembers which keys were spilled together, keyed by the batch
 	// id recorded in their remoteRefs.
 	batches map[uint64][]string
-	stats   Stats
+	// depth adapts how many window siblings ride back on a remote hit:
+	// doubled after a streak of prefetched entries proving useful, halved
+	// whenever one is evicted again untouched.
+	depth *prefetch.Depth
+	// prefetchMark flags locally-resident entries that arrived as sibling
+	// read-ahead and have not yet been referenced.
+	prefetchMark map[string]bool
+	stats        Stats
 }
 
 // New builds a cache.
@@ -163,17 +182,28 @@ func New(cfg Config) (*Cache, error) {
 	if !cfg.NoCompress {
 		opts = append(opts, core.WithCompression(0))
 	}
-	return &Cache{
-		met:       newCacheMetrics(reg),
-		cfg:       cfg,
-		client:    core.NewClient(cfg.Verbs, opts...),
-		lru:       list.New(),
-		local:     map[string]*list.Element{},
-		remote:    map[string]remoteRef{},
-		freeBytes: map[transport.NodeID]int64{},
-		keyIDs:    map[string]uint64{},
-		batches:   map[uint64][]string{},
-	}, nil
+	// Read-ahead starts optimistic — the whole spill window, the prior fixed
+	// behavior — and adapts from feedback: a window has at most WindowSize-1
+	// siblings, so that is both the initial depth and the cap.
+	sibCap := cfg.WindowSize - 1
+	if sibCap < 1 {
+		sibCap = 1
+	}
+	c := &Cache{
+		met:          newCacheMetrics(reg),
+		cfg:          cfg,
+		client:       core.NewClient(cfg.Verbs, opts...),
+		lru:          list.New(),
+		local:        map[string]*list.Element{},
+		remote:       map[string]remoteRef{},
+		freeBytes:    map[transport.NodeID]int64{},
+		keyIDs:       map[string]uint64{},
+		batches:      map[uint64][]string{},
+		depth:        prefetch.NewDepth(sibCap, sibCap, 4),
+		prefetchMark: map[string]bool{},
+	}
+	c.met.prefetchDepth.Set(int64(c.depth.Get()))
+	return c, nil
 }
 
 // Stats returns a snapshot of the counters.
@@ -232,6 +262,15 @@ func (c *Cache) Get(ctx context.Context, key string) ([]byte, bool, error) {
 		c.lru.MoveToFront(el)
 		c.stats.LocalHits++
 		c.met.localHits.Inc()
+		if c.prefetchMark[key] {
+			// A sibling pulled ahead of demand proved useful: credit the
+			// depth controller.
+			delete(c.prefetchMark, key)
+			c.stats.PrefetchHits++
+			c.met.prefetchHits.Inc()
+			c.depth.Hit()
+			c.met.prefetchDepth.Set(int64(c.depth.Get()))
+		}
 		sp.Annotate("tier", "local")
 		val := el.Value.(*entry).value
 		return append([]byte(nil), val...), true, nil
@@ -276,16 +315,24 @@ func (c *Cache) Get(ctx context.Context, key string) ([]byte, bool, error) {
 }
 
 // prefetchBatchLocked serves a remote hit by pulling back the requested
-// entry together with the rest of its spill window — the entries most
-// likely to be wanted next (they cooled together) — in span-coalesced batch
-// reads (§IV.H read-ahead). Only siblings that still rest on the same peer
-// and fit the local budget WITHOUT evicting anything ride along; when the
-// budget is too tight the requested entry alone falls back to the single-
-// entry path (ok=false).
+// entry together with up to depth of its spill-window siblings — the
+// entries most likely to be wanted next (they cooled together) — in
+// span-coalesced batch reads (§IV.H read-ahead). The sibling count adapts:
+// prefetched entries that get referenced locally grow it back toward the
+// window size, ones evicted untouched halve it, so a workload whose reuse
+// pattern ignores spill adjacency degrades to single-entry fetches instead
+// of churning the local tier. Only siblings that still rest on the same
+// peer and fit the local budget WITHOUT evicting anything ride along; when
+// the budget is too tight the requested entry alone falls back to the
+// single-entry path (ok=false).
 func (c *Cache) prefetchBatchLocked(ctx context.Context, key string, ref remoteRef, start time.Duration, sp *trace.Span) ([]byte, bool) {
 	members := []string{key}
 	total := int64(ref.size)
+	limit := c.depth.Get()
 	for _, k := range c.batches[ref.batch] {
+		if len(members)-1 >= limit {
+			break
+		}
 		if k == key {
 			continue
 		}
@@ -325,6 +372,8 @@ func (c *Cache) prefetchBatchLocked(ctx context.Context, key string, ref remoteR
 		c.localBytes += int64(len(data))
 		if k == key {
 			requested = data
+		} else {
+			c.prefetchMark[k] = true
 		}
 	}
 	c.stats.RemoteHits++
@@ -372,6 +421,8 @@ func (c *Cache) dropLocked(ctx context.Context, key string) error {
 		c.localBytes -= int64(len(el.Value.(*entry).value))
 		c.lru.Remove(el)
 		delete(c.local, key)
+		// An explicit delete is not the prefetcher's fault: unmark silently.
+		delete(c.prefetchMark, key)
 	}
 	if ref, ok := c.remote[key]; ok {
 		c.forgetRemoteLocked(key, ref)
@@ -398,6 +449,15 @@ func (c *Cache) trimLocked(ctx context.Context) error {
 		c.lru.Remove(back)
 		delete(c.local, e.key)
 		c.localBytes -= int64(len(e.value))
+		if c.prefetchMark[e.key] {
+			// A prefetched sibling cycled out untouched: the read-ahead was
+			// wasted work, so the depth controller backs off.
+			delete(c.prefetchMark, e.key)
+			c.stats.PrefetchWaste++
+			c.met.prefetchWasted.Inc()
+			c.depth.Waste()
+			c.met.prefetchDepth.Set(int64(c.depth.Get()))
+		}
 		victims = append(victims, e)
 	}
 	groups := map[transport.NodeID][]*entry{}

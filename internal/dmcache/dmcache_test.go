@@ -401,3 +401,74 @@ func TestPrefetchSkippedWhenBudgetTight(t *testing.T) {
 		}
 	})
 }
+
+// TestAdaptiveReadAheadBacksOff: when prefetched siblings cycle out of the
+// local tier untouched, the read-ahead depth halves, so the next remote hit
+// pulls fewer of them; referencing a prefetched entry counts as a hit.
+func TestAdaptiveReadAheadBacksOff(t *testing.T) {
+	r := newRig(t, 1, 4<<20)
+	c, err := New(Config{LocalBytes: 16 << 10, Verbs: r.clientEP, Peers: r.peers, WindowSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := func(b byte) []byte { return bytes.Repeat([]byte{b}, 4<<10) }
+	r.run(t, func(ctx context.Context) {
+		for i, k := range []string{"a", "b", "c", "d"} {
+			if err := c.Put(ctx, k, val(byte(i+1))); err != nil {
+				t.Errorf("Put %s: %v", k, err)
+				return
+			}
+		}
+		if err := c.Put(ctx, "big", make([]byte, 16<<10)); err != nil {
+			t.Errorf("Put big: %v", err)
+			return
+		}
+		if err := c.Delete(ctx, "big"); err != nil {
+			t.Errorf("Delete big: %v", err)
+			return
+		}
+		// Full-window read-ahead: three siblings ride back with "b".
+		if _, ok, err := c.Get(ctx, "b"); err != nil || !ok {
+			t.Errorf("Get b: ok=%v err=%v", ok, err)
+			return
+		}
+		if st := c.Stats(); st.Prefetched != 3 {
+			t.Errorf("first hit prefetched %d, want 3", st.Prefetched)
+			return
+		}
+		// Evict the whole set untouched: every prefetched sibling is wasted
+		// work and the depth controller collapses to 1.
+		if err := c.Put(ctx, "big", make([]byte, 16<<10)); err != nil {
+			t.Errorf("Put big again: %v", err)
+			return
+		}
+		st := c.Stats()
+		if st.PrefetchWaste != 3 {
+			t.Errorf("PrefetchWaste = %d, want 3", st.PrefetchWaste)
+		}
+		if d := c.depth.Get(); d != 1 {
+			t.Errorf("depth after waste = %d, want 1", d)
+		}
+		// The next remote hit pulls at most one sibling.
+		if err := c.Delete(ctx, "big"); err != nil {
+			t.Errorf("Delete big: %v", err)
+			return
+		}
+		if _, ok, err := c.Get(ctx, "b"); err != nil || !ok {
+			t.Errorf("Get b again: ok=%v err=%v", ok, err)
+			return
+		}
+		st = c.Stats()
+		if got := st.Prefetched; got != 4 {
+			t.Errorf("Prefetched after backed-off hit = %d, want 4 (3 then 1)", got)
+		}
+		// Touching the surviving prefetched sibling credits a hit.
+		before := st.PrefetchHits
+		for _, k := range []string{"a", "c", "d"} {
+			_, _, _ = c.Get(ctx, k)
+		}
+		if st = c.Stats(); st.PrefetchHits <= before {
+			t.Errorf("PrefetchHits did not advance: %+v", st)
+		}
+	})
+}

@@ -1,0 +1,149 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"godm/internal/des"
+	"godm/internal/swap"
+	"godm/internal/workload"
+)
+
+// Prefetch compares the Leap-style majority-trend prefetcher against
+// FastSwap's in-batch readahead (PBS) and against prefetching disabled, on
+// the three trace shapes built to separate them: a phase changer, an
+// adversarial-stride walk, and a scan-heavy sweep. The tiered ladder runs as
+// a fourth row so its demotion/promotion balance is visible next to the flat
+// configurations.
+func Prefetch(s Scale) (*PrefetchResult, error) {
+	res := &PrefetchResult{Pages: s.Pages, Seed: s.Seed}
+	resident := s.Pages / 2
+	length := prefetchTraceLength(s.Pages)
+	flat := func(int) float64 { return 0.5 }
+	for _, shape := range workload.ShapeNames() {
+		row := PrefetchShape{Shape: shape, Length: length}
+		systems := []struct {
+			cfg  swap.Config
+			dest *PrefetchRun
+		}{
+			{swap.FastSwap(resident, 0, true, flat), &row.PBS},
+			{swap.FastSwap(resident, 0, false, flat), &row.Off},
+			{swap.Leap(resident, 0, s.Pages, flat), &row.Leap},
+			{swap.Tiered(resident, 0, s.Pages, flat), &row.Tiered},
+		}
+		for _, sys := range systems {
+			run, err := runShape(shape, sys.cfg, s.Pages, length, s.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("prefetch %s/%s: %w", shape, sys.cfg.Name, err)
+			}
+			*sys.dest = run
+		}
+		res.Shapes = append(res.Shapes, row)
+	}
+	return res, nil
+}
+
+// prefetchTraceLength sizes each shape so every phase of the phase changer
+// gets several turns and the scan-heavy sweep crosses the space repeatedly.
+func prefetchTraceLength(pages int) int {
+	length := 8 * pages
+	if length < 8192 {
+		length = 8192
+	}
+	return length
+}
+
+// runShape builds a fresh testbed + manager for cfg and drives the named
+// trace shape through it.
+func runShape(shape string, cfg swap.Config, pages, length int, seed int64) (PrefetchRun, error) {
+	tb, err := NewTestbed(mlTestbedConfig(pages))
+	if err != nil {
+		return PrefetchRun{}, err
+	}
+	deps, err := tb.SwapDeps("vm-" + shape)
+	if err != nil {
+		return PrefetchRun{}, err
+	}
+	mgr, err := swap.NewManager(cfg, deps)
+	if err != nil {
+		return PrefetchRun{}, err
+	}
+	completion, err := tb.Run("job", func(ctx context.Context, p *des.Proc) error {
+		tr := workload.NewShapeTrace(shape, pages, length, seed)
+		for {
+			a, ok := tr.Next()
+			if !ok {
+				return nil
+			}
+			if err := mgr.Touch(ctx, a.Page, a.Compute, a.Write); err != nil {
+				return fmt.Errorf("touch page %d: %w", a.Page, err)
+			}
+		}
+	})
+	if err != nil {
+		return PrefetchRun{}, err
+	}
+	st := mgr.Stats()
+	return PrefetchRun{
+		System:     cfg.Name,
+		Completion: completion,
+		Faults:     st.Faults,
+		SwapIns:    st.SwapIns,
+		Prefetched: st.Prefetched,
+		Accuracy:   st.PrefetchAccuracy(),
+		Coverage:   st.PrefetchCoverage(),
+		Demotions:  st.Demotions,
+		Promotions: st.Promotions,
+	}, nil
+}
+
+// PrefetchRun is one (shape, system) measurement.
+type PrefetchRun struct {
+	System     string        `json:"system"`
+	Completion time.Duration `json:"completion_ns"`
+	Faults     int64         `json:"faults"`
+	SwapIns    int64         `json:"swap_ins"`
+	Prefetched int64         `json:"prefetched"`
+	Accuracy   float64       `json:"accuracy"`
+	Coverage   float64       `json:"coverage"`
+	Demotions  int64         `json:"demotions,omitempty"`
+	Promotions int64         `json:"promotions,omitempty"`
+}
+
+// PrefetchShape holds the four systems' runs on one trace shape.
+type PrefetchShape struct {
+	Shape  string      `json:"shape"`
+	Length int         `json:"length"`
+	PBS    PrefetchRun `json:"pbs"`
+	Off    PrefetchRun `json:"prefetch_off"`
+	Leap   PrefetchRun `json:"leap"`
+	Tiered PrefetchRun `json:"tiered"`
+}
+
+// PrefetchResult is the full experiment output; it marshals directly into
+// BENCH_prefetch.json (dmsim -exp prefetch -json BENCH_prefetch.json).
+type PrefetchResult struct {
+	Pages  int             `json:"pages"`
+	Seed   int64           `json:"seed"`
+	Shapes []PrefetchShape `json:"shapes"`
+}
+
+func (r *PrefetchResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-19s %-15s %12s %8s %8s %10s %5s %5s\n",
+		"SHAPE", "SYSTEM", "COMPLETION", "FAULTS", "SWAPIN", "PREFETCH", "ACC", "COV")
+	for _, sh := range r.Shapes {
+		for _, run := range []PrefetchRun{sh.PBS, sh.Off, sh.Leap, sh.Tiered} {
+			fmt.Fprintf(&b, "%-19s %-15s %12s %8d %8d %10d %5.2f %5.2f",
+				sh.Shape, run.System, run.Completion.Round(time.Microsecond),
+				run.Faults, run.SwapIns, run.Prefetched, run.Accuracy, run.Coverage)
+			if run.Demotions+run.Promotions > 0 {
+				fmt.Fprintf(&b, "  (demote %d promote %d)", run.Demotions, run.Promotions)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

@@ -96,6 +96,10 @@ func Registry() []Experiment {
 			ID: "multitenant", Paper: "§I motivation: idle-neighbour memory sharing + contention",
 			Run: func(s Scale) (fmt.Stringer, error) { return MultiTenant(s) },
 		},
+		{
+			ID: "prefetch", Paper: "§IV.B extension: trend prefetching + tier ladder vs PBS",
+			Run: func(s Scale) (fmt.Stringer, error) { return Prefetch(s) },
+		},
 	}
 }
 

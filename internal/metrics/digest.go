@@ -572,11 +572,87 @@ func RenderClusterView(w io.Writer, set []NodeDigest) error {
 		row(fmt.Sprintf("%d", nd.Node), fmt.Sprintf("%d", nd.Age), nd.D)
 	}
 	row("AGG", "-", agg)
+	renderTierBalance(w, set, agg)
 	fmt.Fprintln(w, "\naggregate counters:")
 	for _, k := range sortedKeys(agg.Counters) {
 		fmt.Fprintf(w, "%s %d\n", k, agg.Counters[k])
 	}
 	return nil
+}
+
+// renderTierBalance prints the swap-tier occupancy section — one row per
+// node with pages resident on each placement tier, plus the cluster
+// aggregate and demotion/promotion totals. Contributors without tier gauges
+// (no tiering swap engine) render nothing, so the section only appears when
+// the ladder is in play.
+func renderTierBalance(w io.Writer, set []NodeDigest, agg Digest) {
+	tiers := tierNames(agg)
+	if len(tiers) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "\ntier balance (pages):")
+	fmt.Fprintf(w, "%-6s", "NODE")
+	for _, t := range tiers {
+		fmt.Fprintf(w, " %15s", t)
+	}
+	fmt.Fprintln(w)
+	row := func(label string, d Digest) {
+		fmt.Fprintf(w, "%-6s", label)
+		for _, t := range tiers {
+			fmt.Fprintf(w, " %15d", sumTierGauge(d, t))
+		}
+		fmt.Fprintln(w)
+	}
+	for _, nd := range set {
+		if len(tierNames(nd.D)) == 0 {
+			continue
+		}
+		row(fmt.Sprintf("%d", nd.Node), nd.D)
+	}
+	row("AGG", agg)
+	fmt.Fprintf(w, "demotions %d  promotions %d\n",
+		sumBase(agg.Counters, "tier_demotions"), sumBase(agg.Counters, "tier_promotions"))
+}
+
+// tierNames lists the tier labels present in a digest's occupancy gauges
+// (named "<prefix>/tier_<name>_pages"), sorted.
+func tierNames(d Digest) []string {
+	seen := map[string]bool{}
+	for name := range d.Gauges {
+		base := name[strings.LastIndexByte(name, '/')+1:]
+		if strings.HasPrefix(base, "tier_") && strings.HasSuffix(base, "_pages") {
+			seen[base[len("tier_"):len(base)-len("_pages")]] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sumTierGauge sums one tier's occupancy gauge across every prefix in d.
+func sumTierGauge(d Digest, tier string) int64 {
+	var total int64
+	for name, v := range d.Gauges {
+		base := name[strings.LastIndexByte(name, '/')+1:]
+		if base == "tier_"+tier+"_pages" {
+			total += v
+		}
+	}
+	return total
+}
+
+// sumBase sums counters whose base name (after any prefix) equals base.
+func sumBase(counters map[string]int64, base string) int64 {
+	var total int64
+	for name, v := range counters {
+		if name[strings.LastIndexByte(name, '/')+1:] == base {
+			total += v
+		}
+	}
+	return total
 }
 
 // opCount sums the op-family histogram counts — the "total instrumented ops"

@@ -289,3 +289,49 @@ func TestRenderClusterView(t *testing.T) {
 		t.Fatal("render not deterministic")
 	}
 }
+
+// The tier-balance section appears only when contributors export swap-tier
+// occupancy gauges, sums them per tier across nodes, and totals the ladder
+// movement counters.
+func TestRenderClusterViewTierSection(t *testing.T) {
+	plain := []NodeDigest{{Node: 1, Seq: 1, D: sampleDigest(1)}}
+	var sb strings.Builder
+	if err := RenderClusterView(&sb, plain); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	if strings.Contains(sb.String(), "tier balance") {
+		t.Fatal("tier section rendered with no tier gauges present")
+	}
+
+	tiered := sampleDigest(1)
+	tiered.Gauges["swap/tier_shared_pages"] = 40
+	tiered.Gauges["swap/tier_disk_pages"] = 2
+	tiered.Counters["swap/tier_demotions"] = 5
+	tiered.Counters["swap/tier_promotions"] = 1
+	set := []NodeDigest{
+		{Node: 1, Seq: 1, D: tiered},
+		{Node: 2, Seq: 1, D: sampleDigest(2)}, // no swap engine on this node
+	}
+	sb.Reset()
+	if err := RenderClusterView(&sb, set); err != nil {
+		t.Fatalf("render tiered: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"tier balance (pages):",
+		"shared", "disk",
+		"demotions 5  promotions 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The gauge-less contributor contributes no tier row; the aggregate
+	// equals node 1's occupancy.
+	if strings.Count(out, "\n2 ") > strings.Count(sb.String(), "\n2 ") {
+		t.Fatal("unexpected row accounting")
+	}
+	if !strings.Contains(out, "40") || !strings.Contains(out, "2") {
+		t.Fatalf("occupancy figures missing:\n%s", out)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"time"
 )
 
 // NodeID names a node; it matches pagetable.NodeID numerically but is kept
@@ -23,6 +24,10 @@ type Candidate struct {
 	Node NodeID
 	// FreeBytes is the node's advertised free receive-pool capacity.
 	FreeBytes int64
+	// Latency is the observed round-trip figure to the node (for example
+	// the digest plane's per-node get p99). Zero means unknown; only the
+	// load-aware balancer consults it.
+	Latency time.Duration
 }
 
 // ErrInsufficientCandidates is returned when fewer distinct candidates exist
@@ -46,6 +51,20 @@ func validate(candidates []Candidate, n int) error {
 		return fmt.Errorf("%w: need %d, have %d", ErrInsufficientCandidates, n, len(candidates))
 	}
 	return nil
+}
+
+// positive filters out candidates advertising no free capacity. The
+// load-sensitive balancers never return a full node: parking an entry there
+// is guaranteed to fail, so an all-full cluster must surface
+// ErrInsufficientCandidates instead of a doomed pick.
+func positive(candidates []Candidate) []Candidate {
+	out := make([]Candidate, 0, len(candidates))
+	for _, c := range candidates {
+		if c.FreeBytes > 0 {
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // Random picks uniformly at random without replacement.
@@ -123,37 +142,30 @@ func NewWeightedRoundRobin(seed int64) *WeightedRoundRobin {
 // Name implements Balancer.
 func (w *WeightedRoundRobin) Name() string { return "weighted-rr" }
 
-// Pick implements Balancer.
+// Pick implements Balancer. Candidates with zero or negative free bytes are
+// skipped, never returned: when too few nodes have room the pick fails with
+// ErrInsufficientCandidates rather than handing back a full node.
 func (w *WeightedRoundRobin) Pick(candidates []Candidate, n int) ([]NodeID, error) {
-	if err := validate(candidates, n); err != nil {
+	pool := positive(candidates)
+	if err := validate(pool, n); err != nil {
 		return nil, err
 	}
-	pool := append([]Candidate(nil), candidates...)
 	out := make([]NodeID, 0, n)
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	for len(out) < n {
 		var total int64
 		for _, c := range pool {
-			if c.FreeBytes > 0 {
-				total += c.FreeBytes
-			}
+			total += c.FreeBytes
 		}
-		var chosen int
-		if total == 0 {
-			chosen = w.rng.Intn(len(pool))
-		} else {
-			target := w.rng.Int63n(total)
-			var cum int64
-			for i, c := range pool {
-				if c.FreeBytes <= 0 {
-					continue
-				}
-				cum += c.FreeBytes
-				if target < cum {
-					chosen = i
-					break
-				}
+		chosen := 0
+		target := w.rng.Int63n(total)
+		var cum int64
+		for i, c := range pool {
+			cum += c.FreeBytes
+			if target < cum {
+				chosen = i
+				break
 			}
 		}
 		out = append(out, pool[chosen].Node)
@@ -177,12 +189,13 @@ func NewPowerOfTwo(seed int64) *PowerOfTwo {
 // Name implements Balancer.
 func (p *PowerOfTwo) Name() string { return "power-of-two" }
 
-// Pick implements Balancer.
+// Pick implements Balancer. Like the weighted balancer, candidates without
+// free capacity are skipped instead of returned when samples run out.
 func (p *PowerOfTwo) Pick(candidates []Candidate, n int) ([]NodeID, error) {
-	if err := validate(candidates, n); err != nil {
+	pool := positive(candidates)
+	if err := validate(pool, n); err != nil {
 		return nil, err
 	}
-	pool := append([]Candidate(nil), candidates...)
 	out := make([]NodeID, 0, n)
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -207,12 +220,78 @@ func (p *PowerOfTwo) Pick(candidates []Candidate, n int) ([]NodeID, error) {
 	return out, nil
 }
 
+// LoadAware is power-of-two choices scored on live digest figures rather
+// than free bytes alone: each pick samples two candidates and keeps the one
+// with the better free-capacity-per-latency score, so a node that is roomy
+// but slow (saturated CPU, deep queues) loses to a slightly fuller fast one.
+// Free-byte figures come from heartbeats and latency figures from the
+// observability plane's per-node digests.
+type LoadAware struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+	// ref normalizes the latency discount: figures at or below it cost
+	// nothing, a figure k×ref divides the score by k.
+	ref time.Duration
+}
+
+// NewLoadAware returns a seeded load-aware balancer normalizing latency
+// against refLatency (non-positive defaults to 1 ms).
+func NewLoadAware(seed int64, refLatency time.Duration) *LoadAware {
+	if refLatency <= 0 {
+		refLatency = time.Millisecond
+	}
+	return &LoadAware{rng: rand.New(rand.NewSource(seed)), ref: refLatency}
+}
+
+// Name implements Balancer.
+func (l *LoadAware) Name() string { return "load-aware" }
+
+// score is free capacity discounted by the latency multiple.
+func (l *LoadAware) score(c Candidate) float64 {
+	s := float64(c.FreeBytes)
+	if c.Latency > l.ref {
+		s *= float64(l.ref) / float64(c.Latency)
+	}
+	return s
+}
+
+// Pick implements Balancer. Full candidates are never returned.
+func (l *LoadAware) Pick(candidates []Candidate, n int) ([]NodeID, error) {
+	pool := positive(candidates)
+	if err := validate(pool, n); err != nil {
+		return nil, err
+	}
+	out := make([]NodeID, 0, n)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(out) < n {
+		var chosen int
+		if len(pool) == 1 {
+			chosen = 0
+		} else {
+			a := l.rng.Intn(len(pool))
+			b := l.rng.Intn(len(pool) - 1)
+			if b >= a {
+				b++
+			}
+			chosen = a
+			if l.score(pool[b]) > l.score(pool[a]) {
+				chosen = b
+			}
+		}
+		out = append(out, pool[chosen].Node)
+		pool = append(pool[:chosen], pool[chosen+1:]...)
+	}
+	return out, nil
+}
+
 // Compile-time interface compliance checks.
 var (
 	_ Balancer = (*Random)(nil)
 	_ Balancer = (*RoundRobin)(nil)
 	_ Balancer = (*WeightedRoundRobin)(nil)
 	_ Balancer = (*PowerOfTwo)(nil)
+	_ Balancer = (*LoadAware)(nil)
 )
 
 // Imbalance summarizes how evenly a placement stream landed across nodes:

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func candidates(n int) []Candidate {
@@ -121,15 +122,65 @@ func TestWeightedPrefersFreeMemory(t *testing.T) {
 	}
 }
 
-func TestWeightedHandlesAllZeroWeights(t *testing.T) {
-	w := NewWeightedRoundRobin(7)
-	cands := []Candidate{{Node: 0}, {Node: 1}, {Node: 2}}
-	ids, err := w.Pick(cands, 3)
-	if err != nil {
-		t.Fatal(err)
+// An all-full cluster must fail the pick, not hand back a node whose Put is
+// guaranteed to fail: the load-sensitive balancers skip candidates with zero
+// or negative free bytes even when that exhausts every sample.
+func TestAllFullClusterFailsPick(t *testing.T) {
+	full := []Candidate{{Node: 0}, {Node: 1, FreeBytes: -5}, {Node: 2}}
+	for _, b := range []Balancer{NewWeightedRoundRobin(7), NewPowerOfTwo(7), NewLoadAware(7, 0)} {
+		t.Run(b.Name(), func(t *testing.T) {
+			if _, err := b.Pick(full, 1); !errors.Is(err, ErrInsufficientCandidates) {
+				t.Fatalf("err = %v, want ErrInsufficientCandidates", err)
+			}
+		})
 	}
-	if len(ids) != 3 {
-		t.Fatalf("ids = %v", ids)
+}
+
+// With exactly one node still free, every pick lands on it regardless of how
+// the samples fall.
+func TestSkipsFullCandidates(t *testing.T) {
+	cands := []Candidate{
+		{Node: 0, FreeBytes: 0},
+		{Node: 1, FreeBytes: 1 << 20},
+		{Node: 2, FreeBytes: 0},
+		{Node: 3, FreeBytes: -1},
+	}
+	for _, b := range []Balancer{NewWeightedRoundRobin(7), NewPowerOfTwo(7), NewLoadAware(7, 0)} {
+		t.Run(b.Name(), func(t *testing.T) {
+			for trial := 0; trial < 50; trial++ {
+				ids, err := b.Pick(cands, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ids[0] != 1 {
+					t.Fatalf("picked full node %d", ids[0])
+				}
+			}
+			if _, err := b.Pick(cands, 2); !errors.Is(err, ErrInsufficientCandidates) {
+				t.Fatalf("want ErrInsufficientCandidates for n=2 with one free node")
+			}
+		})
+	}
+}
+
+// The load-aware balancer must prefer a fast node over a roomy-but-slow one
+// when the capacity gap is smaller than the latency gap.
+func TestLoadAwarePrefersFastNode(t *testing.T) {
+	la := NewLoadAware(7, time.Millisecond)
+	cands := []Candidate{
+		{Node: 0, FreeBytes: 12 << 20, Latency: 20 * time.Millisecond}, // roomy, saturated
+		{Node: 1, FreeBytes: 8 << 20, Latency: time.Millisecond},       // slightly fuller, fast
+	}
+	hits := map[NodeID]int{}
+	for i := 0; i < 1000; i++ {
+		ids, err := la.Pick(cands, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hits[ids[0]]++
+	}
+	if hits[1] < 900 {
+		t.Fatalf("fast node picked %d/1000, want dominant (hits %v)", hits[1], hits)
 	}
 }
 

@@ -497,6 +497,32 @@ func (p *Pool) ShrinkEmpty(wantBytes int64) int64 {
 	return released
 }
 
+// ShrinkBudget lowers the pool's byte budget by up to wantBytes without
+// touching registered slabs: only unbacked headroom (budget no slab has
+// claimed yet) is surrendered. It returns the bytes actually cut. Combined
+// with ShrinkEmpty this lets a donor claw back capacity cheapest-first:
+// headroom costs nothing, empty slabs cost a deregistration, and only live
+// slabs force block migration.
+func (p *Pool) ShrinkBudget(wantBytes int64) int64 {
+	if wantBytes <= 0 {
+		return 0
+	}
+	for {
+		cur := p.maxBytes.Load()
+		headroom := cur - p.registeredBytes.Load()
+		if headroom <= 0 {
+			return 0
+		}
+		cut := wantBytes
+		if cut > headroom {
+			cut = headroom
+		}
+		if p.maxBytes.CompareAndSwap(cur, cur-cut) {
+			return cut
+		}
+	}
+}
+
 // Grow raises the pool's byte budget by n.
 func (p *Pool) Grow(n int64) {
 	if n < 0 {

@@ -1,0 +1,317 @@
+package swap
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"godm/internal/des"
+	"godm/internal/memdev"
+	"godm/internal/metrics"
+)
+
+// leapRig builds a Leap manager on a fresh rig.
+func leapRig(t *testing.T, resident, space int) (*rig, *Manager) {
+	t.Helper()
+	r := newRig(t, 8<<20, 8<<20)
+	m, err := NewManager(Leap(resident, 5, space, flatRatio(2)), r.deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, m
+}
+
+// Repeated sequential scans over a working set twice the resident size: the
+// detector locks onto the +1 stride and the second pass onward should be
+// largely prefetch-fed.
+func TestLeapPrefetchesSequentialStride(t *testing.T) {
+	const pages, resident = 512, 256
+	r, m := leapRig(t, resident, pages)
+	r.drive(t, m, pages, 4)
+	st := m.Stats()
+	if st.Prefetched == 0 {
+		t.Fatal("Leap issued no prefetches on a sequential scan")
+	}
+	if st.PrefetchHits == 0 {
+		t.Fatal("no prefetch hits on a sequential scan")
+	}
+	if acc := st.PrefetchAccuracy(); acc < 0.5 {
+		t.Fatalf("prefetch accuracy %.2f on a pure stride, want >= 0.5 (stats %+v)", acc, st)
+	}
+	if cov := st.PrefetchCoverage(); cov <= 0 || cov > 1 {
+		t.Fatalf("coverage %.2f outside (0,1]", cov)
+	}
+}
+
+// Leap should serve a strided rescan with far fewer demand swap-ins than the
+// prefetch-off engine, and never break accounting: hits+waste <= issued.
+func TestLeapReducesDemandSwapIns(t *testing.T) {
+	const pages, resident, iters = 512, 256, 4
+	r1, leap := leapRig(t, resident, pages)
+	r1.drive(t, leap, pages, iters)
+
+	r2 := newRig(t, 8<<20, 8<<20)
+	off, err := NewManager(FastSwap(resident, 5, false, flatRatio(2)), r2.deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.drive(t, off, pages, iters)
+
+	ls, os := leap.Stats(), off.Stats()
+	if ls.SwapIns >= os.SwapIns {
+		t.Fatalf("Leap demand swap-ins %d >= prefetch-off %d", ls.SwapIns, os.SwapIns)
+	}
+	if ls.PrefetchHits+ls.PrefetchWaste > ls.Prefetched {
+		t.Fatalf("hits %d + waste %d > issued %d", ls.PrefetchHits, ls.PrefetchWaste, ls.Prefetched)
+	}
+}
+
+// An adversarial delta cycle never forms a majority: the detector must stay
+// quiet instead of polluting the resident set.
+func TestLeapSilentOnAdversarialStride(t *testing.T) {
+	const pages, resident = 1024, 128
+	r, m := leapRig(t, resident, pages)
+	deltas := []int{3, 17, 29, 41} // distinct deltas, no strict majority
+	var done time.Duration
+	r.env.Go("driver", func(p *des.Proc) {
+		ctx := des.NewContext(context.Background(), p)
+		pg := 0
+		for i := 0; i < 4096; i++ {
+			pg = (pg + deltas[i%len(deltas)]) % pages
+			if err := m.Touch(ctx, pg, time.Microsecond, true); err != nil {
+				t.Errorf("Touch: %v", err)
+				return
+			}
+		}
+		done = p.Now()
+	})
+	if err := r.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	_ = done
+	if st := m.Stats(); st.Prefetched > st.Faults/10 {
+		t.Fatalf("adversarial stride still issued %d prefetches (%d faults)", st.Prefetched, st.Faults)
+	}
+}
+
+// Fixed trace, fresh engines: stats transcripts must be byte-identical —
+// the Leap path has no hidden nondeterminism (DES determinism contract).
+func TestLeapDeterministicReplay(t *testing.T) {
+	run := func() (Stats, time.Duration) {
+		r := newRig(t, 8<<20, 8<<20)
+		m, err := NewManager(Tiered(128, 5, 2048, flatRatio(2)), r.deps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var done time.Duration
+		r.env.Go("driver", func(p *des.Proc) {
+			ctx := des.NewContext(context.Background(), p)
+			rng := rand.New(rand.NewSource(42))
+			pg := 0
+			for i := 0; i < 6000; i++ {
+				switch rng.Intn(4) {
+				case 0:
+					pg = rng.Intn(2048)
+				default:
+					pg = (pg + 1) % 2048
+				}
+				if err := m.Touch(ctx, pg, time.Microsecond, rng.Intn(2) == 0); err != nil {
+					t.Errorf("Touch: %v", err)
+					return
+				}
+			}
+			done = p.Now()
+		})
+		if err := r.env.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return m.Stats(), done
+	}
+	s1, d1 := run()
+	s2, d2 := run()
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("stats differ across replays:\n%+v\n%+v", s1, s2)
+	}
+	if d1 != d2 {
+		t.Fatalf("completion time differs across replays: %v vs %v", d1, d2)
+	}
+}
+
+// Tiering: a working set that goes cold must sink down the ladder, and the
+// per-tier occupancy must always sum to the live parked population.
+func TestTieringDemotesColdBatches(t *testing.T) {
+	const pages = 1024
+	r := newRig(t, 8<<20, 8<<20)
+	cfg := Tiered(64, 5, pages, flatRatio(2))
+	cfg.DemoteAfter = 64
+	cfg.DemoteEvery = 16
+	m, err := NewManager(cfg, r.deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.env.Go("driver", func(p *des.Proc) {
+		ctx := des.NewContext(context.Background(), p)
+		// Phase 1: write set A out.
+		for pg := 0; pg < 256; pg++ {
+			_ = m.Touch(ctx, pg, 0, true)
+		}
+		// Phase 2: hammer set B; A's batches age out and demote.
+		for it := 0; it < 8; it++ {
+			for pg := 512; pg < 512+256; pg++ {
+				_ = m.Touch(ctx, pg, 0, true)
+			}
+		}
+	})
+	if err := r.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Demotions == 0 {
+		t.Fatalf("no demotions despite a cold working set (stats %+v)", st)
+	}
+	occ := m.TierOccupancy()
+	var sum int64
+	for _, n := range occ {
+		sum += n
+	}
+	if sum != m.ParkedPages() {
+		t.Fatalf("tier occupancy sums to %d, ParkedPages says %d (%v)", sum, m.ParkedPages(), occ)
+	}
+	// Cross-check against ground truth: live slots across all batches.
+	var live int64
+	for _, b := range m.batches {
+		live += int64(b.liveCount)
+	}
+	if sum != live {
+		t.Fatalf("tier occupancy %d != live batch slots %d (%v)", sum, live, occ)
+	}
+	if occ["remote_deflated"]+occ["disk"]+occ["remote"] == 0 {
+		t.Fatalf("cold set never left the shared tier: %v", occ)
+	}
+}
+
+// Re-referencing a demoted batch enough times climbs it back up the ladder.
+func TestTieringPromotesOnReReference(t *testing.T) {
+	const pages = 1024
+	r := newRig(t, 8<<20, 8<<20)
+	cfg := Tiered(64, 5, pages, flatRatio(2))
+	cfg.DemoteAfter = 64
+	cfg.DemoteEvery = 16
+	cfg.PromoteTouches = 1
+	m, err := NewManager(cfg, r.deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.env.Go("driver", func(p *des.Proc) {
+		ctx := des.NewContext(context.Background(), p)
+		for pg := 0; pg < 256; pg++ {
+			_ = m.Touch(ctx, pg, 0, true)
+		}
+		for it := 0; it < 8; it++ { // age set A cold
+			for pg := 512; pg < 512+256; pg++ {
+				_ = m.Touch(ctx, pg, 0, true)
+			}
+		}
+		for it := 0; it < 4; it++ { // re-reference set A
+			for pg := 0; pg < 256; pg++ {
+				_ = m.Touch(ctx, pg, 0, false)
+			}
+		}
+	})
+	if err := r.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Demotions == 0 || st.Promotions == 0 {
+		t.Fatalf("ladder never moved both ways: %+v", st)
+	}
+}
+
+// The per-tier gauges must flow into the digest plane exactly as the
+// engine's own occupancy accounting reports them — this is the end-to-end
+// observability assertion of the tier ladder (dmctl top reads the same
+// digests).
+func TestTierGaugesReachDigestPlane(t *testing.T) {
+	const pages = 1024
+	r := newRig(t, 8<<20, 8<<20)
+	reg := metrics.NewRegistry("swap")
+	cfg := Tiered(64, 5, pages, flatRatio(2))
+	cfg.DemoteAfter = 64
+	cfg.DemoteEvery = 16
+	deps := r.deps
+	deps.Metrics = NewMetrics(reg)
+	m, err := NewManager(cfg, deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.env.Go("driver", func(p *des.Proc) {
+		ctx := des.NewContext(context.Background(), p)
+		for pg := 0; pg < 256; pg++ {
+			_ = m.Touch(ctx, pg, 0, true)
+		}
+		for it := 0; it < 8; it++ {
+			for pg := 512; pg < 512+256; pg++ {
+				_ = m.Touch(ctx, pg, 0, true)
+			}
+		}
+	})
+	if err := r.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	d := metrics.DigestRegistries(map[string]*metrics.Registry{"swap": reg})
+	var sum int64
+	for name, occ := range m.TierOccupancy() {
+		got, ok := d.Gauges["swap/tier_"+name+"_pages"]
+		if !ok {
+			t.Fatalf("gauge swap/tier_%s_pages missing from digest (gauges %v)", name, d.Gauges)
+		}
+		if got != occ {
+			t.Fatalf("digest gauge tier_%s_pages = %d, engine occupancy %d", name, got, occ)
+		}
+		sum += got
+	}
+	if sum != m.ParkedPages() {
+		t.Fatalf("digest tier gauges sum to %d, parked population is %d", sum, m.ParkedPages())
+	}
+	if d.Counters["swap/tier_demotions"] == 0 {
+		t.Fatal("tier_demotions counter missing or zero in digest")
+	}
+}
+
+// BenchmarkPrefetchLeapScan measures the detector-driven fault path over a
+// DRAM+disk engine, keeping cluster setup out of the measurement.
+func BenchmarkPrefetchLeapScan(b *testing.B) {
+	params := memdev.DefaultParams()
+	for i := 0; i < b.N; i++ {
+		env := des.NewEnv()
+		cfg := Config{
+			Name:          "bench-leap",
+			ResidentPages: 256,
+			Window:        16,
+			NodeRatio:     -1,
+			Readahead:     1,
+			LeapPrefetch:  true,
+			AddressSpace:  2048,
+		}
+		m, err := NewManager(cfg, Deps{DRAM: memdev.NewDRAM(params), Disk: memdev.NewDisk(env, "d", params)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		env.Go("driver", func(p *des.Proc) {
+			ctx := des.NewContext(context.Background(), p)
+			for it := 0; it < 3; it++ {
+				for pg := 0; pg < 2048; pg++ {
+					if err := m.Touch(ctx, pg, 0, true); err != nil {
+						b.Errorf("Touch: %v", err)
+						return
+					}
+				}
+			}
+		})
+		if err := env.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"godm/internal/compress"
@@ -33,11 +34,24 @@ import (
 	"godm/internal/memdev"
 	"godm/internal/metrics"
 	"godm/internal/pagetable"
+	"godm/internal/prefetch"
 	"godm/internal/trace"
 )
 
 // PageSize is the swap unit.
 const PageSize = compress.PageSize
+
+// Adaptive-tiering defaults, used for Config fields left zero when Tiering
+// is on: a batch untouched for DefaultDemoteAfter faults is cold, sweeps run
+// every DefaultDemoteEvery faults, and two demand fetches re-promote.
+const (
+	DefaultDemoteAfter    = 256
+	DefaultDemoteEvery    = 64
+	DefaultPromoteTouches = 2
+	// demotePerSweep bounds how many cold batches one sweep moves, so a
+	// single fault never absorbs an unbounded migration backlog.
+	demotePerSweep = 4
+)
 
 // ErrNoBacking is returned when a fault cannot be served from any tier.
 var ErrNoBacking = errors.New("swap: page lost on every tier")
@@ -86,6 +100,35 @@ type Config struct {
 	// spinning swap device — the XMemPod hierarchy of the paper's [36]
 	// (shared memory, then remote memory, then SSD, then disk).
 	SSDEnabled bool
+
+	// LeapPrefetch replaces the in-batch PBS readahead with the Leap
+	// majority-trend stride detector: each access feeds the detector, each
+	// fault asks it for a trend, and predicted pages are fetched from
+	// whatever batches they are parked in — across batch boundaries, with
+	// depth adapting to hit/waste feedback. Readahead is ignored while set.
+	LeapPrefetch bool
+	// AddressSpace is the workload's page count, bounding predictions.
+	// Required when LeapPrefetch is on.
+	AddressSpace int
+	// PrefetchHistory, PrefetchMinWindow, PrefetchMaxDepth and
+	// PrefetchHitStreak tune the detector; zero takes prefetch defaults.
+	PrefetchHistory   int
+	PrefetchMinWindow int
+	PrefetchMaxDepth  int
+	PrefetchHitStreak int
+
+	// Tiering replaces the binary spill with a hotness-driven ladder:
+	// batches idle for DemoteAfter faults are demoted one rung — shared →
+	// remote → remote-deflated → disk — on a sweep every DemoteEvery
+	// faults, and a batch demand-touched PromoteTouches times climbs one
+	// rung back up. Requires PageRatio for the deflated rung's size model.
+	Tiering bool
+	// DemoteAfter is the idle age (in faults) before a batch turns cold.
+	DemoteAfter int
+	// DemoteEvery is the sweep period in faults.
+	DemoteEvery int
+	// PromoteTouches is the demand-fetch count that re-promotes a batch.
+	PromoteTouches int
 }
 
 func (c Config) validate() error {
@@ -106,6 +149,12 @@ func (c Config) validate() error {
 	}
 	if c.MaxMessageBytes < 0 {
 		return fmt.Errorf("swap: max message bytes %d must be non-negative", c.MaxMessageBytes)
+	}
+	if c.LeapPrefetch && c.AddressSpace <= 0 {
+		return errors.New("swap: Leap prefetch needs a positive AddressSpace bound")
+	}
+	if c.Tiering && c.PageRatio == nil {
+		return errors.New("swap: tiering needs PageRatio for the deflated rung")
 	}
 	return nil
 }
@@ -131,6 +180,30 @@ type Stats struct {
 	BytesOut   int64 // stored (possibly compressed) bytes written
 	BytesIn    int64
 	RawOut     int64 // uncompressed bytes represented by BytesOut
+
+	PrefetchHits  int64 // prefetched pages later hit while resident
+	PrefetchWaste int64 // prefetched pages evicted before any hit
+	Demotions     int64 // pages moved down the tier ladder
+	Promotions    int64 // pages moved back up
+}
+
+// PrefetchAccuracy is the fraction of issued prefetches that were hit before
+// eviction. Zero when nothing was prefetched.
+func (s Stats) PrefetchAccuracy() float64 {
+	if s.Prefetched == 0 {
+		return 0
+	}
+	return float64(s.PrefetchHits) / float64(s.Prefetched)
+}
+
+// PrefetchCoverage is the fraction of backing-store reads that prefetching
+// turned into hits: hits / (hits + demand swap-ins).
+func (s Stats) PrefetchCoverage() float64 {
+	den := s.PrefetchHits + s.SwapIns
+	if den == 0 {
+		return 0
+	}
+	return float64(s.PrefetchHits) / float64(den)
 }
 
 // Metrics is the engine's instrumentation, bound once at construction so the
@@ -144,24 +217,39 @@ type Metrics struct {
 	swapIns        *metrics.Counter
 	swapOuts       *metrics.Counter
 	prefetched     *metrics.Counter
+	prefetchHits   *metrics.Counter
+	prefetchWasted *metrics.Counter
+	demotions      *metrics.Counter
+	promotions     *metrics.Counter
+	prefetchDepth  *metrics.Gauge
 	residentPages  *metrics.Gauge
+	tierPages      [tierCount]*metrics.Gauge
 	faultLatency   *metrics.Histogram
 	swapOutLatency *metrics.Histogram
 }
 
 // NewMetrics binds the swap instrument families on reg.
 func NewMetrics(reg *metrics.Registry) *Metrics {
-	return &Metrics{
+	m := &Metrics{
 		accesses:       reg.Counter("accesses"),
 		hits:           reg.Counter("hits"),
 		faults:         reg.Counter("faults"),
 		swapIns:        reg.Counter("swap_ins"),
 		swapOuts:       reg.Counter("swap_outs"),
 		prefetched:     reg.Counter("prefetched"),
+		prefetchHits:   reg.Counter("prefetch_hits"),
+		prefetchWasted: reg.Counter("prefetch_wasted"),
+		demotions:      reg.Counter("tier_demotions"),
+		promotions:     reg.Counter("tier_promotions"),
+		prefetchDepth:  reg.Gauge("prefetch_depth"),
 		residentPages:  reg.Gauge("resident_pages"),
 		faultLatency:   reg.Histogram("fault_latency"),
 		swapOutLatency: reg.Histogram("swap_out_latency"),
 	}
+	for t := tierShared; t < tierCount; t++ {
+		m.tierPages[t] = reg.Gauge("tier_" + tierNames[t] + "_pages")
+	}
+	return m
 }
 
 // Deps are the devices and disaggregated-memory attachment of one engine.
@@ -188,7 +276,57 @@ const (
 	tierRemote
 	tierSSD
 	tierDisk
+	// tierRemoteZ is remote memory holding a deflated copy of a batch that
+	// was written uncompressed — the third rung of the adaptive ladder. It
+	// is appended after the historical tiers so trace annotations of the
+	// original four keep their numeric values.
+	tierRemoteZ
+	tierCount
 )
+
+// tierNames label the tiers in metrics families and dmctl top.
+var tierNames = [tierCount]string{
+	tierShared:  "shared",
+	tierRemote:  "remote",
+	tierSSD:     "ssd",
+	tierDisk:    "disk",
+	tierRemoteZ: "remote_deflated",
+}
+
+// ladderDown is the adaptive-tiering demotion ladder: local shared memory →
+// remote uncompressed → remote deflated → disk file. A batch that is already
+// compressed (Config.Compression) skips the deflated rung — deflating twice
+// buys nothing. SSD stays outside the ladder; it is XMemPod's static tier.
+func (m *Manager) ladderDown(b *batchInfo) (tier, bool) {
+	switch b.where {
+	case tierShared:
+		return tierRemote, true
+	case tierRemote:
+		if m.cfg.Compression || b.deflated {
+			return tierDisk, true
+		}
+		return tierRemoteZ, true
+	case tierRemoteZ:
+		return tierDisk, true
+	}
+	return 0, false
+}
+
+// ladderUp is the promotion direction: one rung back towards local memory.
+func (m *Manager) ladderUp(b *batchInfo) (tier, bool) {
+	switch b.where {
+	case tierDisk:
+		if b.deflated {
+			return tierRemoteZ, true
+		}
+		return tierRemote, true
+	case tierRemoteZ:
+		return tierRemote, true
+	case tierRemote:
+		return tierShared, true
+	}
+	return 0, false
+}
 
 type slotRef struct {
 	batch uint64
@@ -205,6 +343,10 @@ type batchInfo struct {
 	live      []bool
 	liveCount int
 	total     int // stored payload bytes
+
+	deflated bool  // payload went through the deflated rung's size model
+	lastUse  int64 // fault-clock time of creation or last demand fetch
+	touches  int   // demand fetches since the last promotion
 }
 
 // Manager is one virtual server's swapping system.
@@ -224,6 +366,12 @@ type Manager struct {
 	nextID   uint64
 	diskNext int64
 	counter  int64
+
+	det          *prefetch.Detector // Leap stride detector (nil unless enabled)
+	prefetchMark map[int]bool       // resident pages brought in by prefetch, unhit
+	contHits     int                // prefetch hits since the last stream continuation
+	sweepTick    int                // faults since the last demotion sweep
+	tierPop      [tierCount]int64   // live parked pages per tier
 
 	stats Stats
 }
@@ -251,23 +399,55 @@ func NewManager(cfg Config, deps Deps) (*Manager, error) {
 	if met == nil {
 		met = NewMetrics(metrics.NewRegistry("swap"))
 	}
-	m := &Manager{
-		cfg:      cfg,
-		deps:     deps,
-		met:      met,
-		lru:      list.New(),
-		resident: map[int]*list.Element{},
-		pending:  map[int]int{},
-		dirty:    map[int]bool{},
-		swapped:  map[int]slotRef{},
-		batches:  map[uint64]*batchInfo{},
+	if cfg.Tiering {
+		if cfg.DemoteAfter <= 0 {
+			cfg.DemoteAfter = DefaultDemoteAfter
+		}
+		if cfg.DemoteEvery <= 0 {
+			cfg.DemoteEvery = DefaultDemoteEvery
+		}
+		if cfg.PromoteTouches <= 0 {
+			cfg.PromoteTouches = DefaultPromoteTouches
+		}
 	}
-	if cfg.Compression {
-		model, err := compress.NewModel(cfg.Granularity)
+	m := &Manager{
+		cfg:          cfg,
+		deps:         deps,
+		met:          met,
+		lru:          list.New(),
+		resident:     map[int]*list.Element{},
+		pending:      map[int]int{},
+		dirty:        map[int]bool{},
+		swapped:      map[int]slotRef{},
+		batches:      map[uint64]*batchInfo{},
+		prefetchMark: map[int]bool{},
+	}
+	if cfg.Compression || cfg.Tiering {
+		// Tiering needs the size-class model even when swap-outs are stored
+		// raw: the deflated rung bins recompressed payloads by class.
+		gran := cfg.Granularity
+		if gran == nil {
+			gran = compress.Four
+		}
+		model, err := compress.NewModel(gran)
 		if err != nil {
 			return nil, err
 		}
 		m.model = model
+	}
+	if cfg.LeapPrefetch {
+		det, err := prefetch.New(prefetch.Config{
+			HistorySize:  cfg.PrefetchHistory,
+			MinWindow:    cfg.PrefetchMinWindow,
+			MaxDepth:     cfg.PrefetchMaxDepth,
+			HitStreak:    cfg.PrefetchHitStreak,
+			AddressSpace: cfg.AddressSpace,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m.det = det
+		met.prefetchDepth.Set(int64(det.Depth()))
 	}
 	return m, nil
 }
@@ -281,6 +461,41 @@ func (m *Manager) Stats() Stats { return m.stats }
 // ResidentLen reports the current resident-set size (tests).
 func (m *Manager) ResidentLen() int { return m.lru.Len() + len(m.pending) }
 
+// TierOccupancy reports live parked pages per tier, keyed by tier name
+// ("shared", "remote", "remote_deflated", "ssd", "disk").
+func (m *Manager) TierOccupancy() map[string]int64 {
+	out := make(map[string]int64, int(tierCount))
+	for t := tierShared; t < tierCount; t++ {
+		out[tierNames[t]] = m.tierPop[t]
+	}
+	return out
+}
+
+// ParkedPages is the number of live parked page copies across all tiers.
+func (m *Manager) ParkedPages() int64 {
+	var n int64
+	for t := tierShared; t < tierCount; t++ {
+		n += m.tierPop[t]
+	}
+	return n
+}
+
+// PrefetchDepth reports the adaptive prefetch depth, zero when Leap is off.
+func (m *Manager) PrefetchDepth() int {
+	if m.det == nil {
+		return 0
+	}
+	return m.det.Depth()
+}
+
+// DetectorStats returns the stride detector's counters (zeroes when off).
+func (m *Manager) DetectorStats() prefetch.Stats {
+	if m.det == nil {
+		return prefetch.Stats{}
+	}
+	return m.det.Stats()
+}
+
 // Touch accesses page (write marks it dirty), charging compute plus whatever
 // the memory hierarchy costs. Clean resident pages keep their parked copy —
 // the swap cache — so evicting them later costs nothing. ctx must carry the
@@ -292,6 +507,9 @@ func (m *Manager) Touch(ctx context.Context, page int, compute time.Duration, wr
 	}
 	m.stats.Accesses++
 	m.met.accesses.Inc()
+	if m.det != nil {
+		m.det.Record(page)
+	}
 	if el, ok := m.resident[page]; ok {
 		m.lru.MoveToFront(el)
 		m.stats.Hits++
@@ -299,6 +517,7 @@ func (m *Manager) Touch(ctx context.Context, page int, compute time.Duration, wr
 		if write {
 			m.dirty[page] = true
 		}
+		m.notePrefetchHit(ctx, p, page)
 		p.Sleep(compute + m.deps.DRAM.AccessTime(PageSize))
 		return nil
 	}
@@ -330,12 +549,54 @@ func (m *Manager) Touch(ctx context.Context, page int, compute time.Duration, wr
 	if write {
 		m.dirty[page] = true
 	}
+	if m.det != nil {
+		m.leapPrefetch(ctx, p, page)
+	}
 	m.insertResident(ctx, p, page)
+	m.maybeSweep(ctx, p)
 	p.Sleep(compute + m.deps.DRAM.AccessTime(PageSize))
 	m.met.faultLatency.Observe(p.Now() - start)
 	m.met.residentPages.Set(int64(m.lru.Len()))
 	sp.End()
 	return nil
+}
+
+// notePrefetchHit credits a hit on a prefetched page to the accuracy stats
+// and the adaptive depth, and — every half-depth of credited hits — asks the
+// detector to continue the stream, so a steady stride keeps the pipeline
+// primed without having to fault again at the end of each prediction.
+func (m *Manager) notePrefetchHit(ctx context.Context, p *des.Proc, page int) {
+	if !m.prefetchMark[page] {
+		return
+	}
+	delete(m.prefetchMark, page)
+	m.stats.PrefetchHits++
+	m.met.prefetchHits.Inc()
+	if m.det == nil {
+		return
+	}
+	m.det.Hit()
+	m.met.prefetchDepth.Set(int64(m.det.Depth()))
+	m.contHits++
+	if m.contHits >= max(1, m.det.Depth()/2) {
+		m.contHits = 0
+		m.leapPrefetch(ctx, p, page)
+	}
+}
+
+// noteWaste charges an unused prefetched page evicted from the resident set
+// against the accuracy stats and halves the adaptive depth.
+func (m *Manager) noteWaste(victim int) {
+	if !m.prefetchMark[victim] {
+		return
+	}
+	delete(m.prefetchMark, victim)
+	m.stats.PrefetchWaste++
+	m.met.prefetchWasted.Inc()
+	if m.det != nil {
+		m.det.Waste()
+		m.met.prefetchDepth.Set(int64(m.det.Depth()))
+	}
 }
 
 // unstage removes a page from the window.
@@ -374,6 +635,7 @@ func (m *Manager) trim(ctx context.Context, p *des.Proc) {
 		victim := back.Value.(int)
 		m.lru.Remove(back)
 		delete(m.resident, victim)
+		m.noteWaste(victim)
 		if !m.dirty[victim] {
 			if _, ok := m.swapped[victim]; ok {
 				m.stats.CleanDrops++
@@ -404,6 +666,9 @@ func (m *Manager) EvictAll(ctx context.Context) {
 		victim := back.Value.(int)
 		m.lru.Remove(back)
 		delete(m.resident, victim)
+		// A forced cold restart is not the prefetcher's fault: clear marks
+		// without charging waste.
+		delete(m.prefetchMark, victim)
 		if !m.dirty[victim] {
 			if _, ok := m.swapped[victim]; ok {
 				m.stats.CleanDrops++
@@ -435,9 +700,14 @@ func (m *Manager) Flush(ctx context.Context) {
 // storedSize returns the stored class for page plus the compression CPU
 // charged at swap-out.
 func (m *Manager) storedSize(page int) int {
-	if m.model == nil {
+	if !m.cfg.Compression {
 		return PageSize
 	}
+	return m.model.StoredSize(m.cfg.PageRatio(page))
+}
+
+// deflatedSize is the class a page occupies on the deflated rung.
+func (m *Manager) deflatedSize(page int) int {
 	return m.model.StoredSize(m.cfg.PageRatio(page))
 }
 
@@ -452,7 +722,7 @@ func (m *Manager) flushWindow(ctx context.Context, p *des.Proc) {
 		delete(m.pending, pg)
 	}
 
-	b := &batchInfo{id: m.nextID}
+	b := &batchInfo{id: m.nextID, lastUse: m.stats.Faults}
 	m.nextID++
 	off := 0
 	for _, pg := range pages {
@@ -474,6 +744,7 @@ func (m *Manager) flushWindow(ctx context.Context, p *des.Proc) {
 	}
 
 	m.writeBatch(ctx, p, b)
+	m.noteTier(b.where, len(pages))
 	sp.Annotate("tier", int(b.where))
 	m.met.swapOutLatency.Observe(p.Now() - outStart)
 	sp.End()
@@ -555,7 +826,9 @@ func (m *Manager) tierOrder() []tier {
 }
 
 // swapIn faults page in from its parked batch, prefetching up to Readahead
-// live pages of the same batch in the same request.
+// live pages of the same batch in the same request (PBS). Under Leap the
+// in-batch readahead is off — the stride detector picks the prefetch set in
+// leapPrefetch instead.
 func (m *Manager) swapIn(ctx context.Context, p *des.Proc, page int, ref slotRef) (err error) {
 	ctx, sp := trace.Start(ctx, "swap.in")
 	sp.Annotate("page", page)
@@ -567,7 +840,7 @@ func (m *Manager) swapIn(ctx context.Context, p *des.Proc, page int, ref slotRef
 	// Pick the slots this request brings in: the faulted one plus, under
 	// PBS/readahead, the following live slots of the batch.
 	slots := []int{ref.slot}
-	if m.cfg.Readahead > 1 {
+	if m.cfg.Readahead > 1 && m.det == nil {
 		// Classic readahead: only slots after the faulted one (batches are
 		// laid out in eviction order, so later slots are the pages a scan
 		// will touch next); pages already in memory are skipped.
@@ -587,49 +860,9 @@ func (m *Manager) swapIn(ctx context.Context, p *des.Proc, page int, ref slotRef
 			slots = append(slots, s)
 		}
 	}
-	var bytes int
-	for _, s := range slots {
-		bytes += b.slotSize[s]
-	}
-
-	switch b.where {
-	case tierShared:
-		if len(slots) == 1 {
-			if _, err := m.deps.VS.GetAt(ctx, pagetable.EntryID(b.id), b.slotOff[ref.slot], b.slotSize[ref.slot]); err != nil {
-				return fmt.Errorf("swap: shared read: %w", err)
-			}
-		} else {
-			if _, _, err := m.deps.VS.Get(ctx, pagetable.EntryID(b.id)); err != nil {
-				return fmt.Errorf("swap: shared batch read: %w", err)
-			}
-		}
-		m.deps.Shared.Move(p, int64(bytes))
-		m.stats.SharedIns += int64(len(slots))
-	case tierRemote:
-		p.Sleep(m.cfg.RemoteOverhead + m.splitCost(bytes))
-		if len(slots) == 1 {
-			if _, err := m.deps.VS.GetAt(ctx, pagetable.EntryID(b.id), b.slotOff[ref.slot], b.slotSize[ref.slot]); err != nil {
-				return fmt.Errorf("swap: remote read: %w", err)
-			}
-		} else {
-			if _, _, err := m.deps.VS.Get(ctx, pagetable.EntryID(b.id)); err != nil {
-				return fmt.Errorf("swap: remote batch read: %w", err)
-			}
-		}
-		m.stats.RemoteIns += int64(len(slots))
-	case tierSSD:
-		m.deps.SSD.Transfer(p, int64(bytes))
-		m.stats.SSDIns += int64(len(slots))
-	case tierDisk:
-		// One seek for the faulted slot; prefetched slots stream
-		// sequentially behind it.
-		m.deps.Disk.Transfer(p, b.diskOff+int64(b.slotOff[ref.slot]), int64(bytes))
-		m.stats.DiskIns += int64(len(slots))
-	default:
-		return fmt.Errorf("%w: page %d in unknown tier", ErrNoBacking, page)
-	}
-	if m.cfg.Compression {
-		p.Sleep(time.Duration(len(slots)) * m.cfg.DecompressCPU)
+	bytes, err := m.readSlots(ctx, p, b, ref.slot, slots)
+	if err != nil {
+		return err
 	}
 	m.stats.BytesIn += int64(bytes)
 	m.stats.SwapIns++
@@ -638,6 +871,7 @@ func (m *Manager) swapIn(ctx context.Context, p *des.Proc, page int, ref slotRef
 	m.met.prefetched.Add(int64(len(slots) - 1))
 	sp.Annotate("tier", int(b.where))
 	sp.Annotate("slots", len(slots))
+	sp.Annotate("prefetched", len(slots)-1)
 
 	// Admit the pages to the resident set as clean copies: their slots stay
 	// live in the batch (swap cache), so a later clean eviction is free.
@@ -649,11 +883,337 @@ func (m *Manager) swapIn(ctx context.Context, p *des.Proc, page int, ref slotRef
 				continue // restored concurrently by the proactive pump
 			}
 			m.resident[pg] = m.lru.PushFront(pg)
+			m.prefetchMark[pg] = true
 			// Prefetch must not recursively evict: trim happens in
 			// insertResident for the faulted page.
 		}
 	}
+	// Hotness: a demand fetch refreshes the batch, and enough of them in a
+	// row climb it one rung back up the ladder.
+	b.lastUse = m.stats.Faults
+	if m.cfg.Tiering {
+		b.touches++
+		if b.touches >= m.cfg.PromoteTouches {
+			b.touches = 0
+			m.promote(ctx, p, b)
+		}
+	}
 	return nil
+}
+
+// readSlots performs the device and fabric transfers for reading the given
+// live slots of batch b from its current tier. anchor is the slot whose
+// offset seeds single-slot and disk reads. It returns the stored bytes
+// moved; per-request stats (SwapIns vs Prefetched) are the caller's.
+func (m *Manager) readSlots(ctx context.Context, p *des.Proc, b *batchInfo, anchor int, slots []int) (int, error) {
+	var bytes int
+	for _, s := range slots {
+		bytes += b.slotSize[s]
+	}
+	switch b.where {
+	case tierShared:
+		if len(slots) == 1 {
+			if _, err := m.deps.VS.GetAt(ctx, pagetable.EntryID(b.id), b.slotOff[anchor], b.slotSize[anchor]); err != nil {
+				return 0, fmt.Errorf("swap: shared read: %w", err)
+			}
+		} else {
+			if _, _, err := m.deps.VS.Get(ctx, pagetable.EntryID(b.id)); err != nil {
+				return 0, fmt.Errorf("swap: shared batch read: %w", err)
+			}
+		}
+		m.deps.Shared.Move(p, int64(bytes))
+		m.stats.SharedIns += int64(len(slots))
+	case tierRemote, tierRemoteZ:
+		p.Sleep(m.cfg.RemoteOverhead + m.splitCost(bytes))
+		if len(slots) == 1 {
+			if _, err := m.deps.VS.GetAt(ctx, pagetable.EntryID(b.id), b.slotOff[anchor], b.slotSize[anchor]); err != nil {
+				return 0, fmt.Errorf("swap: remote read: %w", err)
+			}
+		} else {
+			if _, _, err := m.deps.VS.Get(ctx, pagetable.EntryID(b.id)); err != nil {
+				return 0, fmt.Errorf("swap: remote batch read: %w", err)
+			}
+		}
+		m.stats.RemoteIns += int64(len(slots))
+	case tierSSD:
+		m.deps.SSD.Transfer(p, int64(bytes))
+		m.stats.SSDIns += int64(len(slots))
+	case tierDisk:
+		// One seek for the anchor slot; the rest stream sequentially.
+		m.deps.Disk.Transfer(p, b.diskOff+int64(b.slotOff[anchor]), int64(bytes))
+		m.stats.DiskIns += int64(len(slots))
+	default:
+		return 0, fmt.Errorf("%w: batch %d in unknown tier", ErrNoBacking, b.id)
+	}
+	if m.cfg.Compression || b.where == tierRemoteZ {
+		p.Sleep(time.Duration(len(slots)) * m.decompressCost())
+	}
+	return bytes, nil
+}
+
+// leapPrefetch asks the stride detector for a trend at page and fetches the
+// predicted pages from whatever batches hold them. Unlike PBS's in-batch
+// readahead, the prediction crosses batch boundaries: predicted slots are
+// grouped per batch in first-predicted order and each group rides one
+// request. Fetched pages enter the resident set as clean marked copies, and
+// the set is trimmed afterwards so a deep prediction cannot overflow it.
+func (m *Manager) leapPrefetch(ctx context.Context, p *des.Proc, page int) {
+	preds := m.det.Predict(page)
+	if len(preds) == 0 {
+		return
+	}
+	var order []uint64
+	groups := map[uint64][]int{}
+	for _, pg := range preds {
+		if _, ok := m.resident[pg]; ok {
+			continue
+		}
+		if _, ok := m.pending[pg]; ok {
+			continue
+		}
+		ref, ok := m.swapped[pg]
+		if !ok {
+			continue // never swapped out (or cold): nothing to fetch
+		}
+		b, ok := m.batches[ref.batch]
+		if !ok || !b.live[ref.slot] {
+			continue
+		}
+		if _, seen := groups[ref.batch]; !seen {
+			order = append(order, ref.batch)
+		}
+		groups[ref.batch] = append(groups[ref.batch], ref.slot)
+	}
+	for _, id := range order {
+		b := m.batches[id]
+		slots := groups[id]
+		pctx, sp := trace.Start(ctx, "swap.prefetch")
+		sp.Annotate("trigger", page)
+		sp.Annotate("pages", len(slots))
+		sp.Annotate("tier", int(b.where))
+		bytes, err := m.readSlots(pctx, p, b, slots[0], slots)
+		if err != nil {
+			sp.EndErr(err)
+			continue
+		}
+		m.stats.BytesIn += int64(bytes)
+		m.stats.Prefetched += int64(len(slots))
+		m.met.prefetched.Add(int64(len(slots)))
+		for _, s := range slots {
+			pg := b.slotPage[s]
+			delete(m.dirty, pg)
+			m.resident[pg] = m.lru.PushFront(pg)
+			m.prefetchMark[pg] = true
+		}
+		sp.End()
+	}
+	m.trim(ctx, p)
+}
+
+// maybeSweep runs the demotion sweep every DemoteEvery faults: batches idle
+// longer than DemoteAfter move one rung down the ladder, oldest batch ids
+// first, at most demotePerSweep per sweep. The fault counter is the idle
+// clock — wall time would break DES determinism, and fault pressure is what
+// makes local space precious.
+func (m *Manager) maybeSweep(ctx context.Context, p *des.Proc) {
+	if !m.cfg.Tiering {
+		return
+	}
+	m.sweepTick++
+	if m.sweepTick < m.cfg.DemoteEvery {
+		return
+	}
+	m.sweepTick = 0
+	var cold []uint64
+	for id, b := range m.batches {
+		if b.liveCount == 0 {
+			continue
+		}
+		if _, ok := m.ladderDown(b); !ok {
+			continue
+		}
+		if m.stats.Faults-b.lastUse >= int64(m.cfg.DemoteAfter) {
+			cold = append(cold, id)
+		}
+	}
+	sort.Slice(cold, func(i, j int) bool { return cold[i] < cold[j] })
+	if len(cold) > demotePerSweep {
+		cold = cold[:demotePerSweep]
+	}
+	for _, id := range cold {
+		m.demote(ctx, p, m.batches[id])
+	}
+}
+
+// demote moves a cold batch one rung down the ladder.
+func (m *Manager) demote(ctx context.Context, p *des.Proc, b *batchInfo) {
+	to, ok := m.ladderDown(b)
+	if !ok {
+		return
+	}
+	ctx, sp := trace.Start(ctx, "swap.demote")
+	sp.Annotate("batch", int(b.id))
+	sp.Annotate("from", int(b.where))
+	pages := b.liveCount
+	if m.relocate(ctx, p, b, to) {
+		m.stats.Demotions += int64(pages)
+		m.met.demotions.Add(int64(pages))
+		// A fresh rung restarts the idle clock, so the batch descends one
+		// rung per DemoteAfter of further cold time instead of free-falling.
+		b.lastUse = m.stats.Faults
+	}
+	sp.Annotate("to", int(b.where))
+	sp.End()
+}
+
+// promote climbs a hot batch one rung back up the ladder.
+func (m *Manager) promote(ctx context.Context, p *des.Proc, b *batchInfo) {
+	to, ok := m.ladderUp(b)
+	if !ok {
+		return
+	}
+	ctx, sp := trace.Start(ctx, "swap.promote")
+	sp.Annotate("batch", int(b.id))
+	sp.Annotate("from", int(b.where))
+	pages := b.liveCount
+	if m.relocate(ctx, p, b, to) && b.where == to {
+		m.stats.Promotions += int64(pages)
+		m.met.promotions.Add(int64(pages))
+	}
+	sp.Annotate("to", int(b.where))
+	sp.End()
+}
+
+// relocate rewrites batch b onto tier `to`, compacting dead slots on the way:
+// the surviving payload is re-laid without holes, deflated (or inflated)
+// when it crosses the deflated-rung boundary, and every parked ref is
+// re-pointed at its new slot. When the target pool has no room the payload
+// falls through to the disk rung, which always succeeds. Returns false only
+// when the source read failed and the batch was left untouched.
+func (m *Manager) relocate(ctx context.Context, p *des.Proc, b *batchInfo, to tier) bool {
+	from := b.where
+	if from == to {
+		return true
+	}
+	// Read the surviving payload off its current rung.
+	var liveBytes int
+	for s, ok := range b.live {
+		if ok {
+			liveBytes += b.slotSize[s]
+		}
+	}
+	switch from {
+	case tierShared:
+		m.deps.Shared.Move(p, int64(liveBytes))
+	case tierRemote, tierRemoteZ:
+		p.Sleep(m.cfg.RemoteOverhead + m.splitCost(liveBytes))
+		if _, _, err := m.deps.VS.Get(ctx, pagetable.EntryID(b.id)); err != nil {
+			return false
+		}
+	case tierSSD:
+		m.deps.SSD.Transfer(p, int64(liveBytes))
+	case tierDisk:
+		m.deps.Disk.Transfer(p, b.diskOff, int64(liveBytes))
+	}
+
+	// Re-class the payload for the target rung and compact dead slots.
+	deflated := b.deflated
+	pages := b.liveCount
+	switch {
+	case to == tierRemoteZ && !deflated:
+		deflated = true
+		p.Sleep(time.Duration(pages) * m.compressCost())
+	case to == tierRemote && b.deflated:
+		deflated = false
+		p.Sleep(time.Duration(pages) * m.decompressCost())
+	}
+	newPage := make([]int, 0, pages)
+	newOff := make([]int, 0, pages)
+	newSize := make([]int, 0, pages)
+	off := 0
+	for s, ok := range b.live {
+		if !ok {
+			continue
+		}
+		pg := b.slotPage[s]
+		size := m.storedSize(pg)
+		if deflated {
+			size = m.deflatedSize(pg)
+		}
+		newPage = append(newPage, pg)
+		newOff = append(newOff, off)
+		newSize = append(newSize, size)
+		off += size
+	}
+
+	// Drop the old copy, then park the new one; both share the entry id.
+	switch from {
+	case tierShared, tierRemote, tierRemoteZ:
+		_ = m.deps.VS.Delete(ctx, pagetable.EntryID(b.id))
+	}
+	payload := make([]byte, off)
+	class := roundClass(off)
+	wrote := to
+	switch to {
+	case tierShared:
+		if err := m.deps.VS.PutShared(pagetable.EntryID(b.id), payload, class, pages*PageSize); err != nil {
+			wrote = tierDisk
+		} else {
+			m.deps.Shared.Move(p, int64(off))
+		}
+	case tierRemote, tierRemoteZ:
+		p.Sleep(m.cfg.RemoteOverhead + m.splitCost(off))
+		if err := m.deps.VS.PutRemote(ctx, pagetable.EntryID(b.id), payload, class, pages*PageSize); err != nil {
+			wrote = tierDisk
+		}
+	}
+	if wrote == tierDisk {
+		b.diskOff = m.diskNext
+		m.diskNext += int64(off)
+		m.deps.Disk.Transfer(p, b.diskOff, int64(off))
+	}
+
+	m.noteTier(from, -pages)
+	m.noteTier(wrote, pages)
+	b.where = wrote
+	b.deflated = deflated
+	b.slotPage = newPage
+	b.slotOff = newOff
+	b.slotSize = newSize
+	b.live = make([]bool, pages)
+	for i := range b.live {
+		b.live[i] = true
+	}
+	b.liveCount = pages
+	b.total = off
+	for i, pg := range newPage {
+		m.swapped[pg] = slotRef{batch: b.id, slot: i}
+	}
+	return true
+}
+
+// noteTier moves the per-tier occupancy bookkeeping by delta pages.
+func (m *Manager) noteTier(t tier, delta int) {
+	m.tierPop[t] += int64(delta)
+	m.met.tierPages[t].Add(int64(delta))
+}
+
+// compressCost is the per-page deflate CPU: the configured codec cost, or
+// the library default when tiering deflates pages in an otherwise
+// uncompressed configuration.
+func (m *Manager) compressCost() time.Duration {
+	if m.cfg.Compression || m.cfg.CompressCPU > 0 {
+		return m.cfg.CompressCPU
+	}
+	return DefaultCompressCPU
+}
+
+// decompressCost mirrors compressCost for the inflate direction.
+func (m *Manager) decompressCost() time.Duration {
+	if m.cfg.Compression || m.cfg.DecompressCPU > 0 {
+		return m.cfg.DecompressCPU
+	}
+	return DefaultDecompressCPU
 }
 
 // ProactiveSwapIn restores up to maxPages parked pages without waiting for
@@ -705,7 +1265,7 @@ func (m *Manager) ProactiveSwapIn(ctx context.Context, maxPages int) int {
 		case tierShared:
 			m.deps.Shared.Move(p, int64(bytes))
 			m.stats.SharedIns += int64(len(want))
-		case tierRemote:
+		case tierRemote, tierRemoteZ:
 			p.Sleep(m.cfg.RemoteOverhead + m.splitCost(bytes))
 			if _, _, err := m.deps.VS.Get(ctx, pagetable.EntryID(b.id)); err != nil {
 				return restored
@@ -718,8 +1278,8 @@ func (m *Manager) ProactiveSwapIn(ctx context.Context, maxPages int) int {
 			m.deps.Disk.Transfer(p, b.diskOff, int64(b.total))
 			m.stats.DiskIns += int64(len(want))
 		}
-		if m.cfg.Compression {
-			p.Sleep(time.Duration(len(want)) * m.cfg.DecompressCPU)
+		if m.cfg.Compression || b.where == tierRemoteZ {
+			p.Sleep(time.Duration(len(want)) * m.decompressCost())
 		}
 		for _, s := range want {
 			pg := b.slotPage[s]
@@ -730,6 +1290,7 @@ func (m *Manager) ProactiveSwapIn(ctx context.Context, maxPages int) int {
 				break
 			}
 			m.resident[pg] = m.lru.PushFront(pg)
+			m.prefetchMark[pg] = true
 			delete(m.dirty, pg)
 			restored++
 			m.stats.Prefetched++
@@ -774,6 +1335,7 @@ func (m *Manager) releaseSlot(ctx context.Context, ref slotRef) {
 	}
 	b.live[ref.slot] = false
 	b.liveCount--
+	m.noteTier(b.where, -1)
 	if b.liveCount == 0 {
 		m.releaseBatch(ctx, b)
 	}
@@ -782,7 +1344,7 @@ func (m *Manager) releaseSlot(ctx context.Context, ref slotRef) {
 func (m *Manager) releaseBatch(ctx context.Context, b *batchInfo) {
 	delete(m.batches, b.id)
 	switch b.where {
-	case tierShared, tierRemote:
+	case tierShared, tierRemote, tierRemoteZ:
 		_ = m.deps.VS.Delete(ctx, pagetable.EntryID(b.id))
 	case tierDisk:
 		// Swap-device slots are reused implicitly by the bump allocator's

@@ -54,6 +54,31 @@ func FastSwap(resident, nodeRatio int, pbs bool, pageRatio func(int) float64) Co
 	}
 }
 
+// Leap returns FastSwap with the majority-trend stride prefetcher replacing
+// the in-batch PBS readahead: every access feeds the detector, faults fetch
+// the detected stride across batch boundaries, and the prefetch depth adapts
+// to hit/waste feedback. addressSpace is the workload's page count.
+func Leap(resident, nodeRatio, addressSpace int, pageRatio func(int) float64) Config {
+	cfg := FastSwap(resident, nodeRatio, false, pageRatio)
+	cfg.Name = "FastSwap-Leap"
+	cfg.LeapPrefetch = true
+	cfg.AddressSpace = addressSpace
+	return cfg
+}
+
+// Tiered returns the Leap configuration with the adaptive tier ladder on
+// top: cold batches sink local → remote → remote-deflated → disk, and
+// re-referenced ones climb back. Swap-outs go out raw (hot data should not
+// pay decompress on every fault); the ladder deflates batches only once
+// they have proven cold, which is when the CPU trade pays off.
+func Tiered(resident, nodeRatio, addressSpace int, pageRatio func(int) float64) Config {
+	cfg := Leap(resident, nodeRatio, addressSpace, pageRatio)
+	cfg.Name = "FastSwap-Tiered"
+	cfg.Tiering = true
+	cfg.Compression = false
+	return cfg
+}
+
 // Linux returns the kernel disk-swap baseline: no disaggregated memory,
 // swap clustering on write-out and 8-page readahead on fault
 // (vm.page-cluster=3).

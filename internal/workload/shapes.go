@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Trace shapes for the prefetcher evaluation. The Table-1 generators model
+// the paper's applications; these three are adversaries and allies chosen to
+// separate a trend-detecting prefetcher (Leap) from in-batch readahead
+// (PBS): a phase changer whose stride keeps moving, an adversarial walk with
+// no majority stride at all, and a scan-heavy sweep with a hot dwell set.
+
+// ShapeNames lists the prefetcher-evaluation trace shapes in stable order.
+func ShapeNames() []string {
+	return []string{"phase-changing", "adversarial-stride", "scan-heavy"}
+}
+
+// NewShapeTrace builds the named trace shape over pages pages with roughly
+// length accesses. Panics on an unknown name (the set is ShapeNames).
+func NewShapeTrace(name string, pages, length int, seed int64) *Trace {
+	switch name {
+	case "phase-changing":
+		return NewPhaseTrace(pages, length, seed)
+	case "adversarial-stride":
+		return NewAdversarialStrideTrace(pages, length, seed)
+	case "scan-heavy":
+		return NewScanHeavyTrace(pages, length, seed)
+	default:
+		panic(fmt.Sprintf("workload: unknown trace shape %q", name))
+	}
+}
+
+// NewPhaseTrace cycles through access phases the way long-running analytics
+// jobs do between stages: a forward unit scan, a strided scan, a reverse
+// scan, and a zipfian dwell on a hot set. Each phase lasts long enough for a
+// trend detector to lock on, and every phase change invalidates the last
+// trend — in-batch readahead keyed to the *previous* phase's eviction order
+// prefetches the wrong pages here.
+func NewPhaseTrace(pages, length int, seed int64) *Trace {
+	if pages <= 8 || length <= 0 {
+		panic("workload: pages must be > 8 and length positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	const phaseLen = 512
+	emitted, phase, step := 0, 0, 0
+	cur := 0
+	zipf := rand.NewZipf(rng, 1.2, 1, uint64(pages/8))
+	return &Trace{next: func() (Access, bool) {
+		if emitted >= length {
+			return Access{}, false
+		}
+		emitted++
+		switch phase % 4 {
+		case 0: // forward unit scan
+			cur = (cur + 1) % pages
+		case 1: // strided scan (stride 3)
+			cur = (cur + 3) % pages
+		case 2: // reverse scan
+			cur = cur - 1
+			if cur < 0 {
+				cur = pages - 1
+			}
+		case 3: // zipfian dwell on a hot eighth of the space
+			cur = int(zipf.Uint64())
+		}
+		step++
+		if step >= phaseLen {
+			step = 0
+			phase++
+		}
+		return Access{Page: cur, Compute: 2 * time.Microsecond, Write: emitted%4 == 0}, true
+	}}
+}
+
+// NewAdversarialStrideTrace walks the space with deltas drawn uniformly
+// from a set of distinct strides, so no stride ever holds a majority: a
+// correct trend detector must stay silent, and any prefetcher that guesses
+// anyway pays for it. This is the "do no harm" bound of the evaluation.
+func NewAdversarialStrideTrace(pages, length int, seed int64) *Trace {
+	if pages <= 64 || length <= 0 {
+		panic("workload: pages must be > 64 and length positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	deltas := []int{3, 7, 17, 29, 41, 53}
+	emitted, cur := 0, 0
+	return &Trace{next: func() (Access, bool) {
+		if emitted >= length {
+			return Access{}, false
+		}
+		emitted++
+		cur = (cur + deltas[rng.Intn(len(deltas))]) % pages
+		return Access{Page: cur, Compute: 2 * time.Microsecond, Write: emitted%3 == 0}, true
+	}}
+}
+
+// NewScanHeavyTrace alternates long sequential sweeps over the full space
+// with short revisits of a small hot set — the ETL-then-aggregate pattern.
+// The sweeps dwarf any resident set, so fault rate is decided by how much of
+// each sweep the prefetcher hides.
+func NewScanHeavyTrace(pages, length int, seed int64) *Trace {
+	if pages <= 16 || length <= 0 {
+		panic("workload: pages must be > 16 and length positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	hot := pages / 16
+	if hot < 4 {
+		hot = 4
+	}
+	emitted, cur := 0, 0
+	scanning, scanLeft, hotLeft := true, pages, 0
+	return &Trace{next: func() (Access, bool) {
+		if emitted >= length {
+			return Access{}, false
+		}
+		emitted++
+		if scanning {
+			cur = (cur + 1) % pages
+			scanLeft--
+			if scanLeft <= 0 {
+				scanning, hotLeft = false, hot*4
+			}
+			return Access{Page: cur, Compute: time.Microsecond, Write: true}, true
+		}
+		pg := rng.Intn(hot)
+		hotLeft--
+		if hotLeft <= 0 {
+			scanning, scanLeft = true, pages
+		}
+		return Access{Page: pg, Compute: 3 * time.Microsecond, Write: false}, true
+	}}
+}

@@ -1,0 +1,40 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestShapeTracesDeterministicAndBounded(t *testing.T) {
+	const pages, length = 1024, 4000
+	for _, name := range ShapeNames() {
+		a := NewShapeTrace(name, pages, length, 7).Drain()
+		b := NewShapeTrace(name, pages, length, 7).Drain()
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: trace differs across runs with one seed", name)
+		}
+		if len(a) != length {
+			t.Fatalf("%s: emitted %d accesses, want %d", name, len(a), length)
+		}
+		for i, acc := range a {
+			if acc.Page < 0 || acc.Page >= pages {
+				t.Fatalf("%s: access %d touches page %d outside [0,%d)", name, i, acc.Page, pages)
+			}
+		}
+		c := NewShapeTrace(name, pages, length, 8).Drain()
+		if reflect.DeepEqual(a, c) {
+			t.Fatalf("%s: different seeds produced identical traces", name)
+		}
+	}
+}
+
+func TestPhaseTraceChangesPhases(t *testing.T) {
+	accs := NewPhaseTrace(1024, 2048, 1).Drain()
+	// First phase is a forward unit scan; the second must not be.
+	if accs[100].Page-accs[99].Page != 1 {
+		t.Fatalf("phase 0 not a unit scan: %d -> %d", accs[99].Page, accs[100].Page)
+	}
+	if accs[600].Page-accs[599].Page == 1 {
+		t.Fatalf("phase 1 still a unit scan: %d -> %d", accs[599].Page, accs[600].Page)
+	}
+}
