@@ -10,6 +10,7 @@
 //	dmctl -node 1=localhost:7401 -batch put 1=alpha 2=beta 3=gamma
 //	dmctl -node 1=localhost:7401 -batch getput 1 2 3
 //	dmctl -node 1=localhost:7401 epoch        # epoch-versioned memory map
+//	dmctl -node 3=localhost:7403 shard 1 42   # which stripe shard does node 3 host?
 //	dmctl -node 2=localhost:7402 decommission # drain node 2 gracefully
 //	dmctl -node 2=localhost:7402 harvest 1048576 # claw back 1 MiB of donated pool
 package main
@@ -51,7 +52,7 @@ func run(args []string) error {
 		return err
 	}
 	if *nodeFlag == "" || fs.NArg() < 1 {
-		return fmt.Errorf("usage: dmctl -node id=host:port [-batch] [-compress] <stats|top|put KEY DATA|getput KEY|epoch|decommission|harvest BYTES>")
+		return fmt.Errorf("usage: dmctl -node id=host:port [-batch] [-compress] <stats|top|put KEY DATA|getput KEY|shard OWNER KEY|epoch|decommission|harvest BYTES>")
 	}
 	idStr, addr, ok := strings.Cut(*nodeFlag, "=")
 	if !ok {
@@ -235,6 +236,35 @@ func run(args []string) error {
 		if snap.RootOK {
 			fmt.Printf("  root: node %d\n", snap.Root)
 		}
+		return nil
+	case "shard":
+		// Stripe-placement probe for erasure-coded entries: asks the target
+		// donor which shard of OWNER's stripe under KEY it hosts.
+		if fs.NArg() < 3 {
+			return fmt.Errorf("usage: shard OWNER KEY")
+		}
+		ownerID, err := strconv.Atoi(fs.Arg(1))
+		if err != nil {
+			return fmt.Errorf("bad owner id: %v", err)
+		}
+		key, err := strconv.ParseUint(fs.Arg(2), 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad key: %v", err)
+		}
+		hosted, idx, k, m, err := client.ShardStat(ctx, target, transport.NodeID(ownerID), key)
+		if err != nil {
+			return err
+		}
+		if !hosted {
+			fmt.Printf("node %d hosts no shard of owner %d key %d\n", target, ownerID, key)
+			return nil
+		}
+		kind := "data"
+		if idx >= k {
+			kind = "parity"
+		}
+		fmt.Printf("node %d hosts shard %d/%d (%s) of owner %d key %d under rs%d.%d\n",
+			target, idx, k+m, kind, ownerID, key, k, m)
 		return nil
 	case "decommission":
 		moved, err := client.Decommission(ctx, target)

@@ -50,6 +50,21 @@ func TestUsageErrors(t *testing.T) {
 	}
 }
 
+func TestShardAgainstLiveNode(t *testing.T) {
+	ep := startNode(t, 9)
+	// The node hosts no stripes, so the probe reports not-hosted; the RPC
+	// round trip and argument plumbing are what is under test here.
+	if err := run([]string{"-node", "9=" + ep.Addr(), "shard", "1", "42"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-node", "9=" + ep.Addr(), "shard", "1"}); err == nil {
+		t.Error("shard without KEY succeeded, want usage error")
+	}
+	if err := run([]string{"-node", "9=" + ep.Addr(), "shard", "x", "42"}); err == nil {
+		t.Error("shard with bad owner succeeded, want error")
+	}
+}
+
 func TestStatsAgainstLiveNode(t *testing.T) {
 	ep := startNode(t, 9)
 	if err := run([]string{"-node", "9=" + ep.Addr(), "stats"}); err != nil {

@@ -52,6 +52,7 @@ func run(args []string) error {
 		recvMiB   = fs.Int64("recv-mib", 256, "receive pool donated to the cluster (MiB)")
 		sharedMiB = fs.Int64("shared-mib", 256, "node-coordinated shared pool (MiB)")
 		replicas  = fs.Int("replicas", 3, "replication factor for remote entries")
+		durable   = fs.String("durability", "", "remote durability policy: rf<N> full copies or rs<K>.<M> erasure coding (empty = -replicas full copies)")
 		tick      = fs.Duration("tick", 2*time.Second, "heartbeat/maintenance interval")
 		workers   = fs.Int("call-workers", tcpnet.DefaultCallConcurrency, "max concurrent control-plane handlers")
 		lanes     = fs.Int("conns-per-peer", 0, "pooled TCP connections per peer (0 = auto)")
@@ -114,6 +115,18 @@ func run(args []string) error {
 	if factor < 1 {
 		factor = 1
 	}
+	// An explicit durability policy is refused up front if the roster cannot
+	// host it: unlike -replicas (clamped above), an RS stripe needs all k+m
+	// shards on distinct donors or every put would fail.
+	if *durable != "" {
+		width, err := core.DurabilityWidth(*durable, factor)
+		if err != nil {
+			return err
+		}
+		if width > len(peers) {
+			return fmt.Errorf("-durability %s needs %d peers for its shards, have %d", *durable, width, len(peers))
+		}
+	}
 	// One tracer, one flight recorder, and one metrics tree per process. The
 	// node's fabric traffic runs through the trace middleware so a remote
 	// op's spans reassemble under its caller's trace; the raw endpoint keeps
@@ -139,6 +152,7 @@ func run(args []string) error {
 		RecvPoolBytes:     *recvMiB << 20,
 		SlabSize:          1 << 20,
 		ReplicationFactor: factor,
+		Durability:        *durable,
 		PoolShards:        *shards,
 		Balancer:          bal,
 	}, transport.Chain(ep, trace.Middleware(tracer)), dir)
@@ -165,8 +179,12 @@ func run(args []string) error {
 		defer srv.Close()
 		log.Printf("observability on http://%s (/metrics /stats /cluster /trace /debug/flight /healthz /debug/pprof)", bound)
 	}
-	log.Printf("dmnode %d listening on %s, donating %d MiB, %d peers, replication %d",
-		*id, ep.Addr(), *recvMiB, len(peers), factor)
+	policy := fmt.Sprintf("replication %d", factor)
+	if *durable != "" {
+		policy = "durability " + *durable
+	}
+	log.Printf("dmnode %d listening on %s, donating %d MiB, %d peers, %s",
+		*id, ep.Addr(), *recvMiB, len(peers), policy)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

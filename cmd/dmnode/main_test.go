@@ -60,6 +60,14 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-heartbeat", "gossip"}); err == nil {
 		t.Fatal("expected error for unknown heartbeat mode")
 	}
+	if err := run([]string{"-durability", "raid5"}); err == nil {
+		t.Fatal("expected error for unknown durability policy")
+	}
+	// rs4.2 stripes across 6 distinct donors; one peer cannot host it.
+	err := run([]string{"-durability", "rs4.2", "-peers", "2=localhost:7402"})
+	if err == nil || !strings.Contains(err.Error(), "needs 6 peers") {
+		t.Fatalf("expected peer-count refusal for rs4.2 with 1 peer, got %v", err)
+	}
 }
 
 // TestTickOnceTreeMode drives the daemon's tick in tree mode: heartbeats and

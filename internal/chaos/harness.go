@@ -56,6 +56,9 @@ type Config struct {
 	ReplicationFactor int
 	// HeartbeatTimeout in failure-detector ticks.
 	HeartbeatTimeout int64
+	// Durability selects the remote durability policy per node ("rf3",
+	// "rs4.2"); empty keeps ReplicationFactor full copies.
+	Durability string
 }
 
 // DefaultConfig is a six-node cluster with the paper's triple replicas —
@@ -188,6 +191,7 @@ func New(t *testing.T, kind FabricKind, seed int64, cfg Config) *Cluster {
 			RecvPoolBytes:     1 << 20,
 			SlabSize:          4096,
 			ReplicationFactor: cfg.ReplicationFactor,
+			Durability:        cfg.Durability,
 			// Exercise the sharded pools and striped owner bookkeeping under
 			// fault injection (shard count never changes outcomes, only lock
 			// granularity, so the seeded runs stay deterministic).

@@ -138,6 +138,63 @@ func RequireReplicationFactor(t testing.TB, vs *core.VirtualServer, id pagetable
 	}
 }
 
+// RequireStripeDurable generalizes the replication-factor invariant to
+// erasure-coded shard sets: entry id is durable iff its location records
+// k+m distinct donors (none the owner itself), every donor outside the lost
+// set actually hosts the shard for its stripe position with the right (k, m)
+// coordinates, and at least k such live shards remain — the §IV.D durability
+// floor below which the stripe is unrecoverable. Donors listed in lost are
+// expected casualties: they may still appear in the set (repair pending) but
+// must not be counted toward the k live shards.
+func RequireStripeDurable(t testing.TB, nodes []*core.Node, vs *core.VirtualServer, owner transport.NodeID, id pagetable.EntryID, k, m int, lost ...transport.NodeID) {
+	t.Helper()
+	tb := checked(t, "stripe_durable")
+	loc, err := vs.Location(id)
+	if err != nil {
+		tb.Errorf("entry %d: no location: %v", id, err)
+		return
+	}
+	down := map[transport.NodeID]bool{}
+	for _, l := range lost {
+		down[l] = true
+	}
+	holders := append([]pagetable.NodeID{loc.Primary}, loc.Replicas...)
+	if len(holders) != k+m {
+		tb.Errorf("entry %d: stripe set %v has %d donors, want k+m=%d", id, holders, len(holders), k+m)
+	}
+	key := vs.WireKey(id)
+	seen := map[pagetable.NodeID]bool{}
+	live := 0
+	for pos, h := range holders {
+		if h == pagetable.NodeID(owner) {
+			tb.Errorf("entry %d: owner %d placed its own shard locally in set %v", id, owner, holders)
+		}
+		if seen[h] {
+			tb.Errorf("entry %d: donor %d holds two shards of one stripe (set %v)", id, h, holders)
+			continue
+		}
+		seen[h] = true
+		if down[transport.NodeID(h)] {
+			continue
+		}
+		host := nodes[h-1]
+		if !host.HostsRemoteKey(owner, key) {
+			tb.Errorf("entry %d: donor %d records no shard block", id, h)
+			continue
+		}
+		idx, gotK, gotM, ok := host.ShardInfo(owner, key)
+		if !ok || idx != pos || gotK != k || gotM != m {
+			tb.Errorf("entry %d: donor %d shard coords = (%d,%d,%d,%v), want (%d,%d,%d,true)",
+				id, h, idx, gotK, gotM, ok, pos, k, m)
+			continue
+		}
+		live++
+	}
+	if live < k {
+		tb.Errorf("entry %d: only %d live shards of k=%d survive; stripe unrecoverable", id, live, k)
+	}
+}
+
 // RequireSingleLeader asserts that, in every listed directory, each group
 // with alive members has exactly one leader and that leader is an alive
 // member of the group. Directories of crashed nodes should be excluded by

@@ -191,6 +191,22 @@ func (c *Client) ClusterView(ctx context.Context, node transport.NodeID) ([]metr
 	return decodeClusterResp(resp)
 }
 
+// ShardStat asks node which shard (if any) of owner's erasure-coded stripe
+// under key it hosts, returning the shard's (index, k, m) coordinates. This
+// is the operator-facing passthrough behind `dmctl shard`: it lets repair
+// tooling map a stripe's placement donor by donor.
+func (c *Client) ShardStat(ctx context.Context, node, owner transport.NodeID, key uint64) (hosted bool, idx, k, m int, err error) {
+	resp, err := c.ep.Call(ctx, node, encodeShardStatReq(shardStatReq{Key: key, Owner: int32(owner)}))
+	if err != nil {
+		return false, 0, 0, 0, fmt.Errorf("core: shard stat from node %d: %w", node, err)
+	}
+	st, err := decodeShardStatResp(resp)
+	if err != nil {
+		return false, 0, 0, 0, err
+	}
+	return st.Hosted, int(st.Idx), int(st.K), int(st.M), nil
+}
+
 // Put parks data under key in node's receive pool. Re-putting a key whose
 // new payload still fits the previously reserved class overwrites the block
 // in place with a single one-sided write (no alloc round trip); otherwise a

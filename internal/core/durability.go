@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// durabilitySpec is the parsed form of Config.Durability: either plain
+// replication (rf copies) or RS(k, m) erasure coding.
+type durabilitySpec struct {
+	coding bool
+	rf     int
+	k, m   int
+}
+
+// parseDurability parses a durability policy selector: "" (fall back to
+// fallbackRF full copies), "rf<N>" (N full copies), or "rs<K>.<M>" (RS(K, M)
+// striping). The same grammar backs `dmnode -durability` and the dmctl
+// passthrough.
+// DurabilityWidth reports how many distinct donor nodes the durability spec
+// places shards on per entry — N for "rf<N>", K+M for "rs<K>.<M>" — after
+// validating the spec. Daemons use it to refuse a policy the cluster cannot
+// host before taking traffic.
+func DurabilityWidth(s string, fallbackRF int) (int, error) {
+	spec, err := parseDurability(s, fallbackRF)
+	if err != nil {
+		return 0, err
+	}
+	if spec.coding {
+		return spec.k + spec.m, nil
+	}
+	return spec.rf, nil
+}
+
+func parseDurability(s string, fallbackRF int) (durabilitySpec, error) {
+	switch {
+	case s == "":
+		return durabilitySpec{rf: fallbackRF}, nil
+	case strings.HasPrefix(s, "rf"):
+		n, err := strconv.Atoi(s[2:])
+		if err != nil || n < 1 {
+			return durabilitySpec{}, fmt.Errorf("core: durability %q: want rf<N> with N >= 1", s)
+		}
+		return durabilitySpec{rf: n}, nil
+	case strings.HasPrefix(s, "rs"):
+		k, m, ok := strings.Cut(s[2:], ".")
+		if !ok {
+			return durabilitySpec{}, fmt.Errorf("core: durability %q: want rs<K>.<M>", s)
+		}
+		ki, err1 := strconv.Atoi(k)
+		mi, err2 := strconv.Atoi(m)
+		if err1 != nil || err2 != nil || ki < 1 || mi < 1 {
+			return durabilitySpec{}, fmt.Errorf("core: durability %q: want rs<K>.<M> with K, M >= 1", s)
+		}
+		return durabilitySpec{coding: true, k: ki, m: mi}, nil
+	default:
+		return durabilitySpec{}, fmt.Errorf("core: durability %q: want rf<N> or rs<K>.<M>", s)
+	}
+}

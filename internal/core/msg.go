@@ -31,6 +31,9 @@ const (
 	opCluster = 14 // fetch the node's ClusterStore: per-contributor metric digests
 	// Balloon harvesting (§IV.F adaptive donation).
 	opHarvest = 15 // ask a donor to reclaim part of its donated pool
+	// Erasure-coded remote memory (DESIGN.md §16).
+	opAllocShard = 16 // reserve a block for one shard of an RS(k,m) stripe
+	opShardStat  = 17 // ask which shard of a stripe this node hosts
 )
 
 // Response status codes.
@@ -614,4 +617,103 @@ func decodeHarvestResp(b []byte) (harvestResp, error) {
 		Reclaimed: int64(binary.BigEndian.Uint64(b[1:9])),
 		Moved:     int32(binary.BigEndian.Uint32(b[9:13])),
 	}, nil
+}
+
+// allocShardReq asks the remote node to reserve a class-sized block for shard
+// Idx of owner's RS(K, M) stripe under key. Unlike opAlloc, the target always
+// refuses when it already hosts any block under (owner, key) — two shards of
+// one stripe on one donor would halve the stripe's erasure tolerance — and it
+// records the shard coordinates so invariant checkers and repair tooling can
+// ask which shard lives where (opShardStat).
+type allocShardReq struct {
+	Key   uint64
+	Class int32
+	Owner int32
+	Idx   uint8
+	K     uint8
+	M     uint8
+}
+
+func encodeAllocShardReq(r allocShardReq) []byte {
+	buf := make([]byte, 1+8+4+4+3)
+	buf[0] = opAllocShard
+	binary.BigEndian.PutUint64(buf[1:9], r.Key)
+	binary.BigEndian.PutUint32(buf[9:13], uint32(r.Class))
+	binary.BigEndian.PutUint32(buf[13:17], uint32(r.Owner))
+	buf[17] = r.Idx
+	buf[18] = r.K
+	buf[19] = r.M
+	return buf
+}
+
+func decodeAllocShardReq(b []byte) (allocShardReq, error) {
+	if len(b) < 20 {
+		return allocShardReq{}, errShortMessage
+	}
+	return allocShardReq{
+		Key:   binary.BigEndian.Uint64(b[1:9]),
+		Class: int32(binary.BigEndian.Uint32(b[9:13])),
+		Owner: int32(binary.BigEndian.Uint32(b[13:17])),
+		Idx:   b[17],
+		K:     b[18],
+		M:     b[19],
+	}, nil
+}
+
+// shardStatReq asks which shard of owner's stripe under Key the target hosts.
+type shardStatReq struct {
+	Key   uint64
+	Owner int32
+}
+
+// shardStatResp carries the hosted shard's coordinates; Hosted false means
+// the target holds no shard of that stripe.
+type shardStatResp struct {
+	Hosted bool
+	Idx    uint8
+	K      uint8
+	M      uint8
+}
+
+func encodeShardStatReq(r shardStatReq) []byte {
+	buf := make([]byte, 1+8+4)
+	buf[0] = opShardStat
+	binary.BigEndian.PutUint64(buf[1:9], r.Key)
+	binary.BigEndian.PutUint32(buf[9:13], uint32(r.Owner))
+	return buf
+}
+
+func decodeShardStatReq(b []byte) (shardStatReq, error) {
+	if len(b) < 13 {
+		return shardStatReq{}, errShortMessage
+	}
+	return shardStatReq{
+		Key:   binary.BigEndian.Uint64(b[1:9]),
+		Owner: int32(binary.BigEndian.Uint32(b[9:13])),
+	}, nil
+}
+
+func encodeShardStatResp(r shardStatResp) []byte {
+	buf := make([]byte, 1+4)
+	buf[0] = stOK
+	if r.Hosted {
+		buf[1] = 1
+	}
+	buf[2] = r.Idx
+	buf[3] = r.K
+	buf[4] = r.M
+	return buf
+}
+
+func decodeShardStatResp(b []byte) (shardStatResp, error) {
+	if len(b) < 1 {
+		return shardStatResp{}, errShortMessage
+	}
+	if b[0] != stOK {
+		return shardStatResp{}, fmt.Errorf("core: remote shard stat failed: %s", b[1:])
+	}
+	if len(b) < 5 {
+		return shardStatResp{}, errShortMessage
+	}
+	return shardStatResp{Hosted: b[1] == 1, Idx: b[2], K: b[3], M: b[4]}, nil
 }

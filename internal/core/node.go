@@ -24,6 +24,7 @@ import (
 
 	"godm/internal/cluster"
 	"godm/internal/des"
+	"godm/internal/ec"
 	"godm/internal/metrics"
 	"godm/internal/pagetable"
 	"godm/internal/placement"
@@ -84,6 +85,11 @@ type Config struct {
 	PoolShards int
 	// ReplicationFactor is the number of copies for each remote entry.
 	ReplicationFactor int
+	// Durability selects the remote durability policy: "" or "rf<N>" for N
+	// full copies (N defaulting to ReplicationFactor), "rs<K>.<M>" for
+	// RS(K, M) erasure coding — K data + M parity shards on K+M distinct
+	// donors, any K of which recover the entry (DESIGN.md §16).
+	Durability string
 	// Balancer selects remote nodes; defaults to power-of-two-choices
 	// seeded by the node ID.
 	Balancer placement.Balancer
@@ -120,6 +126,9 @@ func (c Config) validate() error {
 	if c.ReplicationFactor < 1 {
 		return fmt.Errorf("core: replication factor %d < 1", c.ReplicationFactor)
 	}
+	if _, err := parseDurability(c.Durability, c.ReplicationFactor); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -127,6 +136,11 @@ func (c Config) validate() error {
 type ownerRef struct {
 	owner transport.NodeID
 	key   uint64
+}
+
+// shardInfo records which shard of an RS(k, m) stripe a hosted block carries.
+type shardInfo struct {
+	idx, k, m uint8
 }
 
 // ownerShardCount is the number of lock stripes over the receive pool's
@@ -183,6 +197,7 @@ type Node struct {
 	recv     *slab.Pool // cluster-wide DM receive buffer pool (registered)
 	recvBuf  []byte
 	repl     *replication.Replicator
+	policy   replication.Policy // the active durability policy (repl or ec)
 	remote   *remoteStore
 	balancer placement.Balancer
 
@@ -194,6 +209,12 @@ type Node struct {
 
 	owners [ownerShardCount]ownerShard
 
+	// shardMu guards shardMeta: the coordinates (idx, k, m) of each
+	// erasure-coded shard parked in our receive pool, keyed like the owner
+	// bookkeeping. Entries die with the last block under their (owner, key).
+	shardMu   sync.Mutex
+	shardMeta map[ownerRef]shardInfo
+
 	repairMu       sync.Mutex
 	pendingRepairs []pendingRepair
 
@@ -201,6 +222,7 @@ type Node struct {
 
 	reg     *metrics.Registry // core request-path instrumentation
 	replReg *metrics.Registry // replication protocol instrumentation
+	ecReg   *metrics.Registry // coding policy instrumentation (nil unless rs<K>.<M>)
 	met     coreMetrics       // pre-bound hot-path instruments from reg
 	slos    *metrics.SLOSet   // per-op-family latency objectives (tail attribution)
 
@@ -243,14 +265,20 @@ func (n *Node) addOwner(h slab.Handle, ref ownerRef) {
 func (n *Node) takeOwner(h slab.Handle) (ownerRef, bool) {
 	sh := &n.owners[ownerShardIdx(h)]
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	ref, ok := sh.refs[h]
 	if !ok {
+		sh.mu.Unlock()
 		return ownerRef{}, false
 	}
 	delete(sh.refs, h)
+	gone := false
 	if sh.byKey[ref]--; sh.byKey[ref] <= 0 {
 		delete(sh.byKey, ref)
+		gone = true
+	}
+	sh.mu.Unlock()
+	if gone {
+		n.dropShardMeta(ref)
 	}
 	return ref, true
 }
@@ -264,6 +292,7 @@ func (n *Node) takeOwners(handles []slab.Handle) []ownerRef {
 		byShard[i] = append(byShard[i], h)
 	}
 	refs := make([]ownerRef, 0, len(handles))
+	var gone []ownerRef
 	for i := range byShard {
 		if len(byShard[i]) == 0 {
 			continue
@@ -278,12 +307,38 @@ func (n *Node) takeOwners(handles []slab.Handle) []ownerRef {
 			delete(sh.refs, h)
 			if sh.byKey[ref]--; sh.byKey[ref] <= 0 {
 				delete(sh.byKey, ref)
+				gone = append(gone, ref)
 			}
 			refs = append(refs, ref)
 		}
 		sh.mu.Unlock()
 	}
+	for _, ref := range gone {
+		n.dropShardMeta(ref)
+	}
 	return refs
+}
+
+// dropShardMeta forgets a shard's coordinates once its last block is gone.
+func (n *Node) dropShardMeta(ref ownerRef) {
+	n.shardMu.Lock()
+	if n.shardMeta != nil {
+		delete(n.shardMeta, ref)
+	}
+	n.shardMu.Unlock()
+}
+
+// ShardInfo reports which shard of owner's stripe under key this node hosts.
+// Chaos invariant checkers use it to prove each shard of a stripe landed on
+// its own donor at the position the stripe map records.
+func (n *Node) ShardInfo(owner transport.NodeID, key uint64) (idx, k, m int, ok bool) {
+	n.shardMu.Lock()
+	si, hosted := n.shardMeta[ownerRef{owner: owner, key: key}]
+	n.shardMu.Unlock()
+	if !hosted {
+		return 0, 0, 0, false
+	}
+	return int(si.idx), int(si.k), int(si.m), true
 }
 
 // coreMetrics pre-binds the request-path instruments so hot paths never take
@@ -407,13 +462,36 @@ func NewNode(cfg Config, ep transport.Endpoint, dir *cluster.Directory) (*Node, 
 	n.slos = metrics.NewSLOSet(n.reg, obj)
 	n.obsStore = metrics.NewClusterStore(int64(cfg.ID))
 	n.remote = &remoteStore{node: n, handles: map[remoteKey]remoteHandle{}}
+	spec, err := parseDurability(cfg.Durability, cfg.ReplicationFactor)
+	if err != nil {
+		return nil, err
+	}
+	factor := cfg.ReplicationFactor
+	if !spec.coding {
+		factor = spec.rf
+	}
 	repl, err := replication.New(n.remote,
-		replication.WithFactor(cfg.ReplicationFactor),
+		replication.WithFactor(factor),
 		replication.WithMetrics(n.replReg))
 	if err != nil {
 		return nil, err
 	}
 	n.repl = repl
+	n.policy = repl
+	if spec.coding {
+		n.ecReg = metrics.NewRegistry(fmt.Sprintf("ec/node-%d", cfg.ID))
+		coding, err := ec.NewPolicy(spec.k, spec.m, n.remote,
+			ec.WithPolicyMetrics(n.ecReg),
+			ec.WithHedge(n.hedgeFor))
+		if err != nil {
+			return nil, err
+		}
+		n.policy = coding
+		// Stripes must land on distinct failure domains when candidates carry
+		// domain tags; plain balancers already guarantee distinct donors.
+		n.balancer = placement.SpreadDomains(n.balancer)
+	}
+	n.shardMeta = map[ownerRef]shardInfo{}
 	ep.SetHandler(n.handleCall)
 	dir.Join(cluster.NodeID(cfg.ID), n.recv.FreeBytes())
 	return n, nil
@@ -458,6 +536,31 @@ func (n *Node) Metrics() *metrics.Registry { return n.reg }
 // ReplicationMetrics exposes the replication protocol's instrumentation.
 func (n *Node) ReplicationMetrics() *metrics.Registry { return n.replReg }
 
+// CodingMetrics exposes the coding policy's instrumentation; nil when the
+// node runs plain replication.
+func (n *Node) CodingMetrics() *metrics.Registry { return n.ecReg }
+
+// DurabilityPolicy exposes the active durability policy ("rf3", "rs4.2").
+func (n *Node) DurabilityPolicy() replication.Policy { return n.policy }
+
+// hedgeFor derives the read hedge delay for one donor from the digest
+// plane: twice the donor's served-get p99 (a healthy donor virtually never
+// exceeds it, a struggling one will), falling back to the node's own get SLO
+// objective before any digest for the donor has arrived.
+func (n *Node) hedgeFor(peer replication.NodeID) time.Duration {
+	if nd, ok := n.obsStore.Get(int64(peer)); ok {
+		if hs, ok := nd.D.OpFamilyHistogram("get"); ok && hs.Count > 0 {
+			if p99 := hs.Quantile(0.99); p99 > 0 {
+				return 2 * p99
+			}
+		}
+	}
+	if slo, ok := n.slos.Get("get"); ok {
+		return slo.Objective
+	}
+	return 0
+}
+
 // SetMetricsTree installs the process-wide metrics tree the node serves to
 // remote stats clients over the control plane (dmctl stats).
 func (n *Node) SetMetricsTree(t *metrics.Tree) {
@@ -476,7 +579,11 @@ func (n *Node) metricsText() string {
 	if t != nil {
 		return t.String()
 	}
-	return n.reg.String() + n.replReg.String()
+	out := n.reg.String() + n.replReg.String()
+	if n.ecReg != nil {
+		out += n.ecReg.String()
+	}
+	return out
 }
 
 // SLOs exposes the node's per-op-family latency objectives.
@@ -505,6 +612,9 @@ func (n *Node) refreshDigest() metrics.NodeDigest {
 	regs := map[string]*metrics.Registry{
 		"core":        n.reg,
 		"replication": n.replReg,
+	}
+	if n.ecReg != nil {
+		regs["ec"] = n.ecReg
 	}
 	n.digestMu.Lock()
 	for name, reg := range n.digestRegs {
@@ -804,6 +914,25 @@ func (n *Node) handleCall(ctx context.Context, from transport.NodeID, payload []
 			return errorResp(err), nil
 		}
 		return encodeHarvestResp(harvestResp{Reclaimed: reclaimed, Moved: int32(moved)}), nil
+	case opAllocShard:
+		req, err := decodeAllocShardReq(payload)
+		if err != nil {
+			return errorResp(err), nil
+		}
+		return n.handleAllocShard(from, req), nil
+	case opShardStat:
+		req, err := decodeShardStatReq(payload)
+		if err != nil {
+			return errorResp(err), nil
+		}
+		owner := from
+		if req.Owner != 0 {
+			owner = transport.NodeID(req.Owner)
+		}
+		idx, k, m, hosted := n.ShardInfo(owner, req.Key)
+		return encodeShardStatResp(shardStatResp{
+			Hosted: hosted, Idx: uint8(idx), K: uint8(k), M: uint8(m),
+		}), nil
 	default:
 		return errorResp(fmt.Errorf("core: unknown op %d", payload[0])), nil
 	}
@@ -842,6 +971,46 @@ func (n *Node) handleAlloc(from transport.NodeID, req allocReq) []byte {
 		return errorResp(err)
 	}
 	n.addOwner(h, ownerRef{owner: owner, key: req.Key})
+	n.counters.remoteAllocs.Add(1)
+	n.met.remoteAllocs.Inc()
+	n.met.recvFreeBytes.Set(n.recv.FreeBytes())
+	return encodeAllocResp(allocResp{Offset: off})
+}
+
+// handleAllocShard reserves a receive-pool block for one shard of an
+// RS(k, m) stripe. It refuses whenever this node already hosts any block
+// under (owner, key) — whoever the requester is — because two shards of one
+// stripe on one donor would shrink the set of losses the stripe survives,
+// and records the shard's coordinates for opShardStat and the invariant
+// checkers.
+func (n *Node) handleAllocShard(from transport.NodeID, req allocShardReq) []byte {
+	if n.Draining() {
+		return noSpaceResp()
+	}
+	owner := from
+	if req.Owner != 0 {
+		owner = transport.NodeID(req.Owner)
+	}
+	ref := ownerRef{owner: owner, key: req.Key}
+	if n.HostsRemoteKey(owner, req.Key) {
+		return noSpaceResp()
+	}
+	h, err := n.recv.AllocHint(int(req.Class), req.Key)
+	if err != nil {
+		if errors.Is(err, slab.ErrNoSpace) {
+			return noSpaceResp()
+		}
+		return errorResp(err)
+	}
+	off, err := n.recv.GlobalOffset(h)
+	if err != nil {
+		_ = n.recv.Free(h)
+		return errorResp(err)
+	}
+	n.addOwner(h, ref)
+	n.shardMu.Lock()
+	n.shardMeta[ref] = shardInfo{idx: req.Idx, k: req.K, m: req.M}
+	n.shardMu.Unlock()
 	n.counters.remoteAllocs.Add(1)
 	n.met.remoteAllocs.Inc()
 	n.met.recvFreeBytes.Set(n.recv.FreeBytes())
@@ -1047,92 +1216,126 @@ func (n *Node) RepairLost(lost transport.NodeID) int {
 // concurrently over a real fabric.
 const maxParallelRepairs = 8
 
+// repairJob is one Maintain unit of work: every lost donor queued for one
+// entry, folded into a single Restore call so the policy sees the full
+// damage at once (an RS stripe reconstructs all its missing shards from one
+// survivor read; replication repairs each copy independently).
+type repairJob struct {
+	key  uint64
+	lost []transport.NodeID
+}
+
 // Maintain performs deferred re-replication for blocks lost to remote
 // evictions or failures. Call it periodically (the daemon does so from its
-// tick loop; simulations from a maintenance process). Repairs that fail —
-// typically because a source or replacement peer is unreachable right now —
-// stay queued and are retried on the next call.
+// tick loop; simulations from a maintenance process). Queued records are
+// grouped by entry — all of an entry's lost donors repair in one policy
+// Restore call — and a pass that restores only some of an entry's missing
+// shards requeues exactly the remainder rather than collapsing into a
+// binary repaired/failed verdict. Repairs that fail outright — typically
+// because a source or replacement peer is unreachable right now — stay
+// queued and are retried on the next call.
 //
-// Independent repairs fan out concurrently over a real fabric (bounded by
+// Independent entries fan out concurrently over a real fabric (bounded by
 // maxParallelRepairs); under the discrete-event simulation they stay serial,
-// like every other fabric fan-out. Repairs queued more than once for the
-// same entry are deferred to the next pass so no two concurrent repairs
-// touch one entry.
+// like every other fabric fan-out.
 func (n *Node) Maintain(ctx context.Context) (repaired int, firstErr error) {
 	n.repairMu.Lock()
 	pending := n.pendingRepairs
 	n.pendingRepairs = nil
 	n.repairMu.Unlock()
-	var batch, deferred []pendingRepair
-	seen := map[uint64]bool{}
+	var jobs []repairJob
+	byKey := map[uint64]int{}
 	for _, p := range pending {
-		if seen[p.key] {
-			deferred = append(deferred, p)
-			continue
+		i, ok := byKey[p.key]
+		if !ok {
+			i = len(jobs)
+			byKey[p.key] = i
+			jobs = append(jobs, repairJob{key: p.key})
 		}
-		seen[p.key] = true
-		batch = append(batch, p)
+		dup := false
+		for _, l := range jobs[i].lost {
+			if l == p.lost {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			jobs[i].lost = append(jobs[i].lost, p.lost)
+		}
 	}
-	errs := make([]error, len(batch))
-	if _, simulated := des.FromContext(ctx); simulated || len(batch) <= 1 {
-		for i, p := range batch {
-			errs[i] = n.repairEntry(ctx, p)
+	errs := make([]error, len(jobs))
+	stills := make([][]transport.NodeID, len(jobs))
+	if _, simulated := des.FromContext(ctx); simulated || len(jobs) <= 1 {
+		for i, j := range jobs {
+			stills[i], errs[i] = n.repairEntry(ctx, j)
 		}
 	} else {
 		sem := make(chan struct{}, maxParallelRepairs)
 		var wg sync.WaitGroup
-		for i, p := range batch {
+		for i, j := range jobs {
 			wg.Add(1)
 			sem <- struct{}{}
-			go func(i int, p pendingRepair) {
+			go func(i int, j repairJob) {
 				defer wg.Done()
-				errs[i] = n.repairEntry(ctx, p)
+				stills[i], errs[i] = n.repairEntry(ctx, j)
 				<-sem
-			}(i, p)
+			}(i, j)
 		}
 		wg.Wait()
 	}
-	failed := deferred
+	var requeue []pendingRepair
 	for i, err := range errs {
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}
-			failed = append(failed, batch[i])
+			for _, l := range jobs[i].lost {
+				requeue = append(requeue, pendingRepair{key: jobs[i].key, lost: l})
+			}
 			continue
 		}
-		repaired++
+		for _, l := range stills[i] {
+			requeue = append(requeue, pendingRepair{key: jobs[i].key, lost: l})
+		}
+		if len(stills[i]) == 0 {
+			repaired++
+		}
 	}
 	n.repairMu.Lock()
-	n.pendingRepairs = append(n.pendingRepairs, failed...)
+	n.pendingRepairs = append(n.pendingRepairs, requeue...)
 	n.repairMu.Unlock()
 	n.counters.repairsDone.Add(int64(repaired))
 	n.met.repairsDone.Add(int64(repaired))
 	return repaired, firstErr
 }
 
-func (n *Node) repairEntry(ctx context.Context, p pendingRepair) error {
-	vs, id, err := n.resolveKey(p.key)
+// repairEntry re-establishes one entry's durability via the active policy,
+// returning the lost donors whose share could not be restored this pass.
+func (n *Node) repairEntry(ctx context.Context, job repairJob) ([]transport.NodeID, error) {
+	vs, id, err := n.resolveKey(job.key)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	loc, err := vs.table.Get(id)
 	if err != nil || loc.Tier != pagetable.TierRemote {
-		return nil // entry gone or moved since the eviction: nothing to do
+		return nil, nil // entry gone or moved since the eviction: nothing to do
 	}
 	nodes := locationNodes(loc)
-	exclude := make([]transport.NodeID, 0, len(nodes)+1)
-	for _, m := range nodes {
-		exclude = append(exclude, transport.NodeID(m))
+	lost := make([]replication.NodeID, len(job.lost))
+	for i, l := range job.lost {
+		lost[i] = replication.NodeID(l)
 	}
-	replacements, err := n.pickRemotes(1, exclude)
-	if err != nil {
-		return fmt.Errorf("core: no replacement for entry %d: %w", id, err)
+	pick := func(count int, exclude []replication.NodeID) ([]replication.NodeID, error) {
+		ex := make([]transport.NodeID, 0, len(exclude)+len(job.lost))
+		for _, e := range exclude {
+			ex = append(ex, transport.NodeID(e))
+		}
+		ex = append(ex, job.lost...)
+		return n.pickRemotes(count, ex)
 	}
-	newSet, err := n.repl.Repair(ctx, nodes, replication.EntryID(p.key),
-		replication.NodeID(p.lost), replacements[0])
+	newSet, still, err := n.policy.Restore(ctx, nodes, replication.EntryID(job.key), lost, pick)
 	if err != nil {
-		return err
+		return nil, fmt.Errorf("core: restore entry %d: %w", id, err)
 	}
 	loc.Primary = pagetable.NodeID(newSet[0])
 	loc.Replicas = loc.Replicas[:0]
@@ -1140,7 +1343,11 @@ func (n *Node) repairEntry(ctx context.Context, p pendingRepair) error {
 		loc.Replicas = append(loc.Replicas, pagetable.NodeID(m))
 	}
 	vs.table.Put(id, loc)
-	return nil
+	out := make([]transport.NodeID, len(still))
+	for i, s := range still {
+		out[i] = transport.NodeID(s)
+	}
+	return out, nil
 }
 
 // resolveKey splits a wire key into its virtual server and entry ID.

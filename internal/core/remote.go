@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"godm/internal/ec"
 	"godm/internal/replication"
 	"godm/internal/transport"
 )
@@ -122,33 +123,84 @@ func (s *remoteStore) Delete(ctx context.Context, node replication.NodeID, id re
 	return checkOKResp(resp)
 }
 
-// getAt reads n bytes at offset off within the stored payload for key,
-// trying each node in order (primary first, then replicas).
-func (s *remoteStore) getAt(ctx context.Context, nodes []replication.NodeID, key uint64, off, n int) ([]byte, error) {
-	var lastErr error
-	for _, node := range nodes {
-		to := transport.NodeID(node)
-		s.mu.Lock()
-		h, ok := s.handles[remoteKey{node: to, key: key}]
-		s.mu.Unlock()
-		if !ok {
-			lastErr = fmt.Errorf("core: no handle for entry %d on node %d", key, to)
-			continue
-		}
-		if off < 0 || n < 0 || off+n > h.dataLen {
-			return nil, fmt.Errorf("core: range [%d,%d) exceeds payload %d", off, off+n, h.dataLen)
-		}
-		data := make([]byte, n)
-		err := transport.ReadRegionInto(ctx, s.node.ep, to, RecvRegionID, h.offset+int64(off), data)
-		if err == nil {
-			return data, nil
-		}
-		lastErr = err
+var (
+	_ replication.RangeStore   = (*remoteStore)(nil)
+	_ replication.ScatterStore = (*remoteStore)(nil)
+	_ ec.ShardStore            = (*remoteStore)(nil)
+)
+
+// GetAt implements replication.RangeStore: a one-sided read of n bytes at
+// offset off within the payload stored on one node. Failover across the
+// replica or shard set is the policy's job.
+func (s *remoteStore) GetAt(ctx context.Context, node replication.NodeID, id replication.EntryID, off, n int) ([]byte, error) {
+	to := transport.NodeID(node)
+	s.mu.Lock()
+	h, ok := s.handles[remoteKey{node: to, key: uint64(id)}]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("core: no handle for entry %d on node %d", id, to)
 	}
-	if lastErr == nil {
-		lastErr = fmt.Errorf("core: empty replica set for entry %d", key)
+	if off < 0 || n < 0 || off+n > h.dataLen {
+		return nil, fmt.Errorf("core: range [%d,%d) exceeds payload %d", off, off+n, h.dataLen)
 	}
-	return nil, lastErr
+	data := make([]byte, n)
+	if err := transport.ReadRegionInto(ctx, s.node.ep, to, RecvRegionID, h.offset+int64(off), data); err != nil {
+		return nil, fmt.Errorf("core: one-sided read from node %d: %w", to, err)
+	}
+	return data, nil
+}
+
+// GetInto implements replication.ScatterStore: a one-sided read of the whole
+// payload directly into dst — the striped read path lands each shard in its
+// slice of the result buffer with no copy in between.
+func (s *remoteStore) GetInto(ctx context.Context, node replication.NodeID, id replication.EntryID, dst []byte) error {
+	to := transport.NodeID(node)
+	s.mu.Lock()
+	h, ok := s.handles[remoteKey{node: to, key: uint64(id)}]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: no handle for entry %d on node %d", id, to)
+	}
+	if len(dst) != h.dataLen {
+		return fmt.Errorf("core: dst is %d bytes, entry %d stores %d", len(dst), id, h.dataLen)
+	}
+	if err := transport.ReadRegionInto(ctx, s.node.ep, to, RecvRegionID, h.offset, dst); err != nil {
+		return fmt.Errorf("core: one-sided read from node %d: %w", to, err)
+	}
+	return nil
+}
+
+// PutShard implements ec.ShardStore: reserve a shard block remotely —
+// carrying the stripe coordinates so the donor can refuse a sibling shard
+// and answer opShardStat — then one-sided write, mirroring Put.
+func (s *remoteStore) PutShard(ctx context.Context, node replication.NodeID, id replication.EntryID, idx, k, m int, data []byte) error {
+	to := transport.NodeID(node)
+	key := uint64(id)
+	class := s.classFor(key, len(data))
+	resp, err := s.node.ep.Call(ctx, to, encodeAllocShardReq(allocShardReq{
+		Key: key, Class: int32(class), Idx: uint8(idx), K: uint8(k), M: uint8(m),
+	}))
+	if err != nil {
+		return fmt.Errorf("core: shard alloc on node %d: %w", to, err)
+	}
+	alloc, err := decodeAllocResp(resp)
+	if err != nil {
+		return err
+	}
+	if err := s.node.ep.WriteRegion(ctx, to, RecvRegionID, alloc.Offset, data); err != nil {
+		fctx, cancel := detached(ctx)
+		defer cancel()
+		_, _ = s.node.ep.Call(fctx, to, encodeFreeReq(freeReq{Key: key, Offset: alloc.Offset}))
+		return fmt.Errorf("core: one-sided shard write to node %d: %w", to, err)
+	}
+	s.mu.Lock()
+	s.handles[remoteKey{node: to, key: key}] = remoteHandle{
+		offset:  alloc.Offset,
+		class:   class,
+		dataLen: len(data),
+	}
+	s.mu.Unlock()
+	return nil
 }
 
 // rehome repoints the handle for key from old to new after a decommission

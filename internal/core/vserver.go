@@ -108,16 +108,33 @@ func (vs *VirtualServer) PutRemote(ctx context.Context, id pagetable.EntryID, da
 	sp.Annotate("class", class)
 	defer sp.End()
 	start := trace.Now(ctx)
+	// A striped overwrite must release the old stripe before the new write:
+	// donors refuse a second block under the same (owner, key) — the
+	// distinct-donor invariant — so the replication path's write-new-then-
+	// drop-old order cannot land a fresh stripe on any donor of the old one.
+	// The caller still holds the payload, so the only durability gap is the
+	// write itself; an aborted write leaves the entry absent, never torn
+	// across stripe generations.
+	if vs.node.ecReg != nil {
+		if old, err := vs.table.Get(id); err == nil && old.Tier == pagetable.TierRemote {
+			vs.table.Delete(id)
+			if err := vs.releaseLocation(ctx, id, old); err != nil {
+				sp.Annotate("stale_release_err", err)
+			}
+		}
+	}
 	_, pick := trace.Start(ctx, "placement.pick")
-	nodes, err := vs.node.pickRemotes(vs.node.cfg.ReplicationFactor, nil)
+	nodes, err := vs.node.pickRemotes(vs.node.policy.Width(), nil)
 	pick.EndErr(err)
 	if err != nil {
 		sp.Annotate("err", err)
 		return err
 	}
 	key := vs.key(id)
-	vs.node.remote.setClass(key, class)
-	if err := vs.node.repl.Write(ctx, nodes, replication.EntryID(key), data); err != nil {
+	// Each donor allocates the per-shard class: the full class under
+	// replication, ceil(class/k) under RS(k, m) — coding's capacity win.
+	vs.node.remote.setClass(key, vs.node.policy.ShardClass(class))
+	if err := vs.node.policy.Write(ctx, nodes, replication.EntryID(key), data); err != nil {
 		if errors.Is(err, replication.ErrAborted) {
 			err = fmt.Errorf("%w: %v", ErrRemoteFull, err)
 		}
@@ -189,7 +206,7 @@ func (vs *VirtualServer) Get(ctx context.Context, id pagetable.EntryID) ([]byte,
 		return data, loc, nil
 	case pagetable.TierRemote:
 		start := trace.Now(ctx)
-		data, _, err := vs.node.repl.Read(ctx, locationNodes(loc), replication.EntryID(vs.key(id)))
+		data, _, err := vs.node.policy.Read(ctx, locationNodes(loc), replication.EntryID(vs.key(id)))
 		if err != nil {
 			sp.Annotate("err", err)
 			return nil, loc, err
@@ -229,7 +246,7 @@ func (vs *VirtualServer) GetAt(ctx context.Context, id pagetable.EntryID, off, n
 		vs.node.counters.sharedGets.Add(1)
 		return data, nil
 	case pagetable.TierRemote:
-		data, err := vs.node.remote.getAt(ctx, locationNodes(loc), vs.key(id), off, n)
+		data, err := vs.node.policy.ReadAt(ctx, locationNodes(loc), replication.EntryID(vs.key(id)), off, n)
 		if err != nil {
 			return nil, err
 		}
@@ -269,7 +286,7 @@ func (vs *VirtualServer) releaseLocation(ctx context.Context, id pagetable.Entry
 		h := slab.Handle{SlabID: loc.Ref.SlabID, Offset: loc.Ref.Offset, Class: loc.StoredSize}
 		return vs.node.shared.Free(h)
 	case pagetable.TierRemote:
-		return vs.node.repl.Delete(ctx, locationNodes(loc), replication.EntryID(vs.key(id)))
+		return vs.node.policy.Delete(ctx, locationNodes(loc), replication.EntryID(vs.key(id)))
 	default:
 		return nil
 	}

@@ -1,0 +1,113 @@
+package ec
+
+import (
+	"math/rand"
+	"testing"
+
+	"godm/internal/bufpool"
+)
+
+// encodeOnce runs one steady-state encode: pooled shard buffers, split,
+// parity fill, release — the exact per-write work of the coding policy.
+func encodeOnce(c *Code, data []byte) {
+	s := c.ShardLen(len(data))
+	shards := make([][]byte, c.Shards())
+	for i := range shards {
+		shards[i] = bufpool.Get(s)
+	}
+	c.Split(data, shards)
+	_ = c.Encode(shards)
+	for _, b := range shards {
+		bufpool.Put(b)
+	}
+}
+
+// TestEncodeAllocBudget pins the steady-state allocation cost of the encode
+// hot path: with bufpool scratch, the only per-op allocation left is the
+// k+m-slot shard slice header.
+func TestEncodeAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	c, _ := New(4, 2)
+	data := make([]byte, 64<<10)
+	rand.New(rand.NewSource(3)).Read(data)
+	encodeOnce(c, data) // warm the pool classes
+	avg := testing.AllocsPerRun(200, func() { encodeOnce(c, data) })
+	if avg > 2 {
+		t.Errorf("encode hot path allocates %.1f objects/op, budget 2", avg)
+	}
+}
+
+// TestDecodeAllocBudget pins the reconstruction path the same way (decode
+// matrix cached after the first pattern).
+func TestDecodeAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	c, _ := New(4, 2)
+	data := make([]byte, 64<<10)
+	rand.New(rand.NewSource(4)).Read(data)
+	s := c.ShardLen(len(data))
+	shards := make([][]byte, c.Shards())
+	for i := range shards {
+		shards[i] = make([]byte, s)
+	}
+	c.Split(data, shards)
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	present := make([]bool, c.Shards())
+	decodeOnce := func() {
+		for i := range present {
+			present[i] = i != 0 && i != 1 // worst case: two data shards gone
+		}
+		_ = c.reconstructData(shards, present)
+	}
+	decodeOnce() // cache the decode matrix for this erasure pattern
+	avg := testing.AllocsPerRun(200, decodeOnce)
+	if avg > 0 {
+		t.Errorf("decode hot path allocates %.1f objects/op, budget 0", avg)
+	}
+}
+
+// BenchmarkECEncode measures RS(4,2) encode throughput (SetBytes = payload).
+func BenchmarkECEncode(b *testing.B) {
+	c, _ := New(4, 2)
+	data := make([]byte, 1<<20)
+	rand.New(rand.NewSource(5)).Read(data)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		encodeOnce(c, data)
+	}
+}
+
+// BenchmarkECDecode measures worst-case reconstruction throughput: both
+// missing shards are data shards, decoded from two survivors plus both
+// parity shards.
+func BenchmarkECDecode(b *testing.B) {
+	c, _ := New(4, 2)
+	data := make([]byte, 1<<20)
+	rand.New(rand.NewSource(6)).Read(data)
+	s := c.ShardLen(len(data))
+	shards := make([][]byte, c.Shards())
+	for i := range shards {
+		shards[i] = make([]byte, s)
+	}
+	c.Split(data, shards)
+	if err := c.Encode(shards); err != nil {
+		b.Fatal(err)
+	}
+	present := make([]bool, c.Shards())
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range present {
+			present[j] = j != 0 && j != 1
+		}
+		if err := c.reconstructData(shards, present); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

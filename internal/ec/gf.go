@@ -1,0 +1,72 @@
+// Package ec implements Reed–Solomon erasure coding over GF(2^8) for the
+// disaggregated memory pool: an RS(k, m) stripe splits an entry into k data
+// shards and m parity shards placed on k+m distinct donors, surviving any m
+// donor losses at k+m/k times the entry's size — against 3x for triple
+// replication (Hydra/Carbink-style coding from the Maruf/Chowdhury survey).
+// Reconstructing from the fastest k shards doubles as a tail-latency hedge:
+// a read that is still waiting on a slow donor past its SLO-derived hedge
+// delay fetches parity and decodes instead of waiting.
+//
+// The codec is pure Go: log/exp tables for the field, a full 256x256 product
+// table for the encode/decode inner loops, a Cauchy generator matrix (every
+// square submatrix of a Cauchy matrix is invertible, so the extended
+// [I; C] generator is MDS), and decode matrices cached per erasure pattern.
+package ec
+
+// The field is GF(2^8) modulo x^8 + x^4 + x^3 + x^2 + 1 (0x11D), the
+// conventional Reed–Solomon polynomial.
+const gfPoly = 0x11D
+
+var (
+	// gfExp is double length so products of logs index it without a mod.
+	gfExp [512]byte
+	gfLog [256]int16
+	// gfMul is the full product table; the shard inner loops index one row
+	// per coefficient, so a multiply is a single table load.
+	gfMul [256][256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = int16(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= gfPoly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+	for a := 1; a < 256; a++ {
+		for b := 1; b < 256; b++ {
+			gfMul[a][b] = gfExp[int(gfLog[a])+int(gfLog[b])]
+		}
+	}
+}
+
+// gfInv returns the multiplicative inverse of a (a must be non-zero).
+func gfInv(a byte) byte { return gfExp[255-int(gfLog[a])] }
+
+// mulAdd computes out[i] ^= c*in[i] over the field.
+func mulAdd(c byte, in, out []byte) {
+	if c == 0 {
+		return
+	}
+	row := &gfMul[c]
+	_ = out[len(in)-1]
+	for i, v := range in {
+		out[i] ^= row[v]
+	}
+}
+
+// mulAssign computes out[i] = c*in[i], overwriting out — the first term of a
+// row combination, so callers never have to zero a scratch buffer first.
+func mulAssign(c byte, in, out []byte) {
+	row := &gfMul[c]
+	_ = out[len(in)-1]
+	for i, v := range in {
+		out[i] = row[v]
+	}
+}

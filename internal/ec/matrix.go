@@ -1,0 +1,58 @@
+package ec
+
+import "fmt"
+
+// matrix is a dense row-major matrix over GF(2^8).
+type matrix [][]byte
+
+func newMatrix(rows, cols int) matrix {
+	backing := make([]byte, rows*cols)
+	m := make(matrix, rows)
+	for i := range m {
+		m[i] = backing[i*cols : (i+1)*cols]
+	}
+	return m
+}
+
+// invert returns m's inverse by Gauss–Jordan elimination over the field.
+// m must be square; it is not modified.
+func (m matrix) invert() (matrix, error) {
+	n := len(m)
+	// Augment [m | I] and reduce the left half to the identity.
+	work := newMatrix(n, 2*n)
+	for i := 0; i < n; i++ {
+		copy(work[i], m[i])
+		work[i][n+i] = 1
+	}
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, fmt.Errorf("ec: singular matrix at column %d", col)
+		}
+		work[col], work[pivot] = work[pivot], work[col]
+		if inv := gfInv(work[col][col]); inv != 1 {
+			row := work[col]
+			scale := &gfMul[inv]
+			for j := range row {
+				row[j] = scale[row[j]]
+			}
+		}
+		for r := 0; r < n; r++ {
+			if r == col || work[r][col] == 0 {
+				continue
+			}
+			mulAdd(work[r][col], work[col], work[r])
+		}
+	}
+	out := newMatrix(n, n)
+	for i := 0; i < n; i++ {
+		copy(out[i], work[i][n:])
+	}
+	return out, nil
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package ec
+
+// raceEnabled reports whether the race detector is compiled in. See
+// race_test.go for why the alloc-budget tests check it.
+const raceEnabled = false

@@ -1,0 +1,315 @@
+package ec
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"godm/internal/replication"
+)
+
+// fakeStore is an in-memory replication.Store + ShardStore with per-node
+// fault injection, standing in for the remote one-sided data path.
+type fakeStore struct {
+	mu      sync.Mutex
+	data    map[string][]byte
+	coords  map[string][3]int // idx, k, m per (node, id)
+	dead    map[replication.NodeID]bool
+	putErr  map[replication.NodeID]error
+	puts    int
+	deletes int
+}
+
+func newFakeStore() *fakeStore {
+	return &fakeStore{
+		data:   map[string][]byte{},
+		coords: map[string][3]int{},
+		dead:   map[replication.NodeID]bool{},
+		putErr: map[replication.NodeID]error{},
+	}
+}
+
+func fk(node replication.NodeID, id replication.EntryID) string {
+	return fmt.Sprintf("%d/%d", node, id)
+}
+
+func (s *fakeStore) Put(ctx context.Context, node replication.NodeID, id replication.EntryID, data []byte) error {
+	return s.PutShard(ctx, node, id, -1, 0, 0, data)
+}
+
+func (s *fakeStore) PutShard(ctx context.Context, node replication.NodeID, id replication.EntryID, idx, k, m int, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.puts++
+	if err := s.putErr[node]; err != nil {
+		return err
+	}
+	if s.dead[node] {
+		return fmt.Errorf("node %d unreachable", node)
+	}
+	s.data[fk(node, id)] = append([]byte(nil), data...)
+	s.coords[fk(node, id)] = [3]int{idx, k, m}
+	return nil
+}
+
+func (s *fakeStore) Get(ctx context.Context, node replication.NodeID, id replication.EntryID) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dead[node] {
+		return nil, fmt.Errorf("node %d unreachable", node)
+	}
+	d, ok := s.data[fk(node, id)]
+	if !ok {
+		return nil, fmt.Errorf("no entry %d on node %d", id, node)
+	}
+	return append([]byte(nil), d...), nil
+}
+
+func (s *fakeStore) Delete(ctx context.Context, node replication.NodeID, id replication.EntryID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.deletes++
+	delete(s.data, fk(node, id))
+	delete(s.coords, fk(node, id))
+	return nil
+}
+
+var _ ShardStore = (*fakeStore)(nil)
+
+func pickFrom(pool ...replication.NodeID) replication.PickFunc {
+	return func(count int, exclude []replication.NodeID) ([]replication.NodeID, error) {
+		skip := map[replication.NodeID]bool{}
+		for _, e := range exclude {
+			skip[e] = true
+		}
+		var out []replication.NodeID
+		for _, p := range pool {
+			if len(out) == count {
+				break
+			}
+			if !skip[p] {
+				out = append(out, p)
+			}
+		}
+		if len(out) < count {
+			return nil, fmt.Errorf("pick: need %d, have %d", count, len(out))
+		}
+		return out, nil
+	}
+}
+
+func TestPolicyWriteReadDelete(t *testing.T) {
+	store := newFakeStore()
+	p, err := NewPolicy(4, 2, store, WithSerialFanout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "rs4.2" || p.Width() != 6 || p.MinAlive() != 4 {
+		t.Fatalf("policy identity: %s width %d minAlive %d", p.Name(), p.Width(), p.MinAlive())
+	}
+	if got := p.ShardClass(4096); got != 1024 {
+		t.Fatalf("ShardClass(4096) = %d, want 1024", got)
+	}
+	nodes := []replication.NodeID{1, 2, 3, 4, 5, 6}
+	data := make([]byte, 3000)
+	rand.New(rand.NewSource(1)).Read(data)
+	ctx := context.Background()
+	if err := p.Write(ctx, nodes, 7, data); err != nil {
+		t.Fatal(err)
+	}
+	// Every donor holds its shard at its position.
+	for i, n := range nodes {
+		co, ok := store.coords[fk(n, 7)]
+		if !ok {
+			t.Fatalf("node %d holds no shard", n)
+		}
+		if co != [3]int{i, 4, 2} {
+			t.Fatalf("node %d coords = %v, want {%d 4 2}", n, co, i)
+		}
+	}
+	got, primary, err := p.Read(ctx, nodes, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if primary != 1 || !bytes.Equal(got, data) {
+		t.Fatalf("read back differs (primary %d)", primary)
+	}
+	// Sub-range reads, including ranges crossing shard boundaries.
+	for _, r := range [][2]int{{0, 10}, {700, 200}, {749, 2}, {0, 3000}, {2999, 1}, {100, 0}} {
+		part, err := p.ReadAt(ctx, nodes, 7, r[0], r[1])
+		if err != nil {
+			t.Fatalf("ReadAt(%d,%d): %v", r[0], r[1], err)
+		}
+		if !bytes.Equal(part, data[r[0]:r[0]+r[1]]) {
+			t.Fatalf("ReadAt(%d,%d) differs", r[0], r[1])
+		}
+	}
+	if _, err := p.ReadAt(ctx, nodes, 7, 2999, 2); err == nil {
+		t.Fatal("out-of-range ReadAt succeeded")
+	}
+	if err := p.Delete(ctx, nodes, 7); err != nil {
+		t.Fatal(err)
+	}
+	if len(store.data) != 0 {
+		t.Fatalf("%d shards survive delete", len(store.data))
+	}
+	if _, _, err := p.Read(ctx, nodes, 7); !errors.Is(err, replication.ErrNoReplica) {
+		t.Fatalf("read after delete: %v, want ErrNoReplica", err)
+	}
+}
+
+func TestPolicyWriteAbortRollsBack(t *testing.T) {
+	store := newFakeStore()
+	p, _ := NewPolicy(2, 1, store, WithSerialFanout())
+	store.putErr[3] = errors.New("no space")
+	err := p.Write(context.Background(), []replication.NodeID{1, 2, 3}, 9, []byte("hello world"))
+	if !errors.Is(err, replication.ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+	if len(store.data) != 0 {
+		t.Fatalf("%d shards stranded after aborted write", len(store.data))
+	}
+}
+
+func TestPolicyDegradedRead(t *testing.T) {
+	store := newFakeStore()
+	p, _ := NewPolicy(4, 2, store, WithSerialFanout())
+	nodes := []replication.NodeID{1, 2, 3, 4, 5, 6}
+	data := make([]byte, 5000)
+	rand.New(rand.NewSource(2)).Read(data)
+	ctx := context.Background()
+	if err := p.Write(ctx, nodes, 1, data); err != nil {
+		t.Fatal(err)
+	}
+	store.dead[2] = true
+	store.dead[4] = true // two dead donors: exactly m losses
+	got, _, err := p.Read(ctx, nodes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("degraded read differs")
+	}
+	store.dead[1] = true // third loss: unrecoverable
+	if _, _, err := p.Read(ctx, nodes, 1); !errors.Is(err, replication.ErrNoReplica) {
+		t.Fatalf("read past tolerance: %v, want ErrNoReplica", err)
+	}
+}
+
+func TestPolicyRestore(t *testing.T) {
+	store := newFakeStore()
+	p, _ := NewPolicy(4, 2, store, WithSerialFanout())
+	nodes := []replication.NodeID{1, 2, 3, 4, 5, 6}
+	data := make([]byte, 2048)
+	rand.New(rand.NewSource(3)).Read(data)
+	ctx := context.Background()
+	if err := p.Write(ctx, nodes, 5, data); err != nil {
+		t.Fatal(err)
+	}
+	// Donors 2 and 5 die (one data, one parity shard).
+	store.dead[2], store.dead[5] = true, true
+	newSet, still, err := p.Restore(ctx, nodes, 5, []replication.NodeID{2, 5}, pickFrom(7, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(still) != 0 {
+		t.Fatalf("stillLost = %v, want none", still)
+	}
+	want := []replication.NodeID{1, 7, 3, 4, 8, 6}
+	for i := range want {
+		if newSet[i] != want[i] {
+			t.Fatalf("newSet = %v, want %v", newSet, want)
+		}
+	}
+	// Replacements hold byte-identical shards at the original positions.
+	for i, n := range newSet {
+		co := store.coords[fk(n, 5)]
+		if co[0] != i {
+			t.Fatalf("node %d hosts shard %d, want %d", n, co[0], i)
+		}
+	}
+	got, _, err := p.Read(ctx, newSet, 5)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("read after restore: %v", err)
+	}
+}
+
+// TestPolicyRestorePartial: when only one replacement exists for two lost
+// shards, Restore must place what it can and report the remainder as
+// stillLost — the requeue accounting the maintenance loop depends on.
+func TestPolicyRestorePartial(t *testing.T) {
+	store := newFakeStore()
+	p, _ := NewPolicy(4, 2, store, WithSerialFanout())
+	nodes := []replication.NodeID{1, 2, 3, 4, 5, 6}
+	data := make([]byte, 2048)
+	rand.New(rand.NewSource(4)).Read(data)
+	ctx := context.Background()
+	if err := p.Write(ctx, nodes, 6, data); err != nil {
+		t.Fatal(err)
+	}
+	store.dead[1], store.dead[6] = true, true
+	newSet, still, err := p.Restore(ctx, nodes, 6, []replication.NodeID{1, 6}, pickFrom(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(still) != 1 || still[0] != 6 {
+		t.Fatalf("stillLost = %v, want [6]", still)
+	}
+	if newSet[0] != 9 || newSet[5] != 6 {
+		t.Fatalf("newSet = %v: restored position should be 9, unrestored keeps 6", newSet)
+	}
+	// A later pass with capacity finishes the job.
+	newSet2, still2, err := p.Restore(ctx, newSet, 6, []replication.NodeID{6}, pickFrom(10))
+	if err != nil || len(still2) != 0 {
+		t.Fatalf("second pass: still %v err %v", still2, err)
+	}
+	got, _, err := p.Read(ctx, newSet2, 6)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("read after staged restore: %v", err)
+	}
+}
+
+// TestPolicyRestoreStaleLost: a queue entry whose lost donor is no longer in
+// the stripe map (an earlier pass already replaced it) is a clean no-op, not
+// an error loop.
+func TestPolicyRestoreStaleLost(t *testing.T) {
+	store := newFakeStore()
+	p, _ := NewPolicy(2, 1, store, WithSerialFanout())
+	nodes := []replication.NodeID{1, 2, 3}
+	if err := p.Write(context.Background(), nodes, 8, []byte("some payload")); err != nil {
+		t.Fatal(err)
+	}
+	newSet, still, err := p.Restore(context.Background(), nodes, 8, []replication.NodeID{42}, pickFrom(9))
+	if err != nil || len(still) != 0 {
+		t.Fatalf("stale restore: still %v err %v", still, err)
+	}
+	for i := range nodes {
+		if newSet[i] != nodes[i] {
+			t.Fatalf("stale restore mutated the set: %v", newSet)
+		}
+	}
+}
+
+// TestPolicyRestoreTooFewSurvivors: below k survivors the restore fails
+// without progress and without fabricating shards.
+func TestPolicyRestoreTooFewSurvivors(t *testing.T) {
+	store := newFakeStore()
+	p, _ := NewPolicy(4, 2, store, WithSerialFanout())
+	nodes := []replication.NodeID{1, 2, 3, 4, 5, 6}
+	data := make([]byte, 1024)
+	rand.New(rand.NewSource(5)).Read(data)
+	if err := p.Write(context.Background(), nodes, 2, data); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []replication.NodeID{1, 2, 3} {
+		store.dead[n] = true
+	}
+	_, _, err := p.Restore(context.Background(), nodes, 2, []replication.NodeID{1, 2, 3}, pickFrom(7, 8, 9))
+	if !errors.Is(err, ErrShortShards) {
+		t.Fatalf("err = %v, want ErrShortShards", err)
+	}
+}

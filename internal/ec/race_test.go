@@ -1,0 +1,7 @@
+//go:build race
+
+package ec
+
+// raceEnabled reports whether the race detector is compiled in; the
+// alloc-budget tests skip under it because its instrumentation allocates.
+const raceEnabled = true

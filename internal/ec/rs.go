@@ -1,0 +1,249 @@
+package ec
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Sentinel errors.
+var (
+	// ErrShortShards is returned when fewer than k shards of a stripe are
+	// available, so the data is unrecoverable until more donors return.
+	ErrShortShards = errors.New("ec: fewer than k shards available")
+)
+
+// maxShards bounds k+m. The erasure-pattern cache keys decode matrices by a
+// shard bitmask, and the Cauchy construction needs k+m distinct field
+// elements, so 64 is both sufficient and far above any deployment here.
+const maxShards = 64
+
+// Code is an RS(k, m) codec: k data shards, m parity shards, any k of the
+// k+m recover the stripe. Safe for concurrent use; decode matrices are
+// computed once per erasure pattern and cached.
+type Code struct {
+	k, m int
+	// parity is the m x k Cauchy block of the generator: row i, column j is
+	// 1/((k+i) ^ j). The full generator is [I; parity].
+	parity matrix
+
+	mu  sync.RWMutex
+	inv map[uint64]matrix // decode matrices keyed by present-shard bitmask
+}
+
+// New returns an RS(k, m) codec.
+func New(k, m int) (*Code, error) {
+	if k < 1 || m < 1 {
+		return nil, fmt.Errorf("ec: rs(%d,%d): both k and m must be >= 1", k, m)
+	}
+	if k+m > maxShards {
+		return nil, fmt.Errorf("ec: rs(%d,%d): k+m exceeds %d shards", k, m, maxShards)
+	}
+	c := &Code{k: k, m: m, parity: newMatrix(m, k), inv: map[uint64]matrix{}}
+	for i := 0; i < m; i++ {
+		for j := 0; j < k; j++ {
+			// x_i = k+i and y_j = j are disjoint, so x_i ^ y_j is never zero.
+			c.parity[i][j] = gfInv(byte((k + i) ^ j))
+		}
+	}
+	return c, nil
+}
+
+// K returns the data shard count.
+func (c *Code) K() int { return c.k }
+
+// M returns the parity shard count.
+func (c *Code) M() int { return c.m }
+
+// Shards returns the stripe width k+m.
+func (c *Code) Shards() int { return c.k + c.m }
+
+// ShardLen returns the per-shard length for a payload of dataLen bytes:
+// ceil(dataLen/k), at least 1 so every shard is a real allocation.
+func (c *Code) ShardLen(dataLen int) int {
+	n := (dataLen + c.k - 1) / c.k
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Split copies data into the k data shards of shards (each pre-sized to
+// ShardLen(len(data))), zero-padding the tail.
+func (c *Code) Split(data []byte, shards [][]byte) {
+	s := c.ShardLen(len(data))
+	for j := 0; j < c.k; j++ {
+		dst := shards[j][:s]
+		start := j * s
+		n := 0
+		if start < len(data) {
+			n = copy(dst, data[start:])
+		}
+		for i := n; i < s; i++ {
+			dst[i] = 0
+		}
+	}
+}
+
+// Join copies the data shards back into dst (len(dst) is the payload length;
+// the final shard's padding is dropped).
+func (c *Code) Join(dst []byte, shards [][]byte) {
+	s := c.ShardLen(len(dst))
+	for j := 0; j < c.k; j++ {
+		start := j * s
+		if start >= len(dst) {
+			break
+		}
+		copy(dst[start:], shards[j])
+	}
+}
+
+// Encode fills the m parity shards from the k data shards. shards must hold
+// k+m equal-length slices; the first k are inputs, the rest are overwritten.
+func (c *Code) Encode(shards [][]byte) error {
+	if err := c.checkShards(shards); err != nil {
+		return err
+	}
+	for _, s := range shards {
+		if s == nil {
+			return errors.New("ec: encode requires all k+m shard buffers")
+		}
+	}
+	for i := 0; i < c.m; i++ {
+		out := shards[c.k+i]
+		mulAssign(c.parity[i][0], shards[0], out)
+		for j := 1; j < c.k; j++ {
+			mulAdd(c.parity[i][j], shards[j], out)
+		}
+	}
+	return nil
+}
+
+// Reconstruct rebuilds every missing shard (present[i] == false) that has a
+// non-nil buffer in shards, from any k present shards, and marks it present.
+// Missing positions with nil buffers are skipped — callers that only need
+// some positions pass buffers only for those. Reconstructing a missing
+// parity shard requires every data position to carry a buffer (present or
+// reconstructable), which all callers in this repo satisfy.
+func (c *Code) Reconstruct(shards [][]byte, present []bool) error {
+	if err := c.reconstructData(shards, present); err != nil {
+		return err
+	}
+	for i := 0; i < c.m; i++ {
+		if present[c.k+i] || shards[c.k+i] == nil {
+			continue
+		}
+		out := shards[c.k+i]
+		mulAssign(c.parity[i][0], shards[0], out)
+		for j := 1; j < c.k; j++ {
+			mulAdd(c.parity[i][j], shards[j], out)
+		}
+		present[c.k+i] = true
+	}
+	return nil
+}
+
+// ReconstructData rebuilds only the missing data shards — the read path's
+// need: parity is never returned to callers.
+func (c *Code) ReconstructData(shards [][]byte, present []bool) error {
+	return c.reconstructData(shards, present)
+}
+
+func (c *Code) reconstructData(shards [][]byte, present []bool) error {
+	if err := c.checkShards(shards); err != nil {
+		return err
+	}
+	if len(present) != c.k+c.m {
+		return fmt.Errorf("ec: present has %d slots, want %d", len(present), c.k+c.m)
+	}
+	missing := 0
+	for j := 0; j < c.k; j++ {
+		if !present[j] {
+			missing++
+		}
+	}
+	if missing == 0 {
+		return nil
+	}
+	// Choose k present shards, data rows first: decode rows for surviving
+	// data shards are then unit vectors and cost nothing to apply.
+	var chosen [maxShards]int
+	var mask uint64
+	n := 0
+	for i := 0; i < c.k+c.m && n < c.k; i++ {
+		if present[i] && shards[i] != nil {
+			chosen[n] = i
+			mask |= 1 << uint(i)
+			n++
+		}
+	}
+	if n < c.k {
+		return fmt.Errorf("%w: have %d of %d", ErrShortShards, n, c.k)
+	}
+	dec, err := c.decodeMatrix(mask, chosen[:c.k])
+	if err != nil {
+		return err
+	}
+	for j := 0; j < c.k; j++ {
+		if present[j] || shards[j] == nil {
+			continue
+		}
+		out := shards[j]
+		mulAssign(dec[j][0], shards[chosen[0]], out)
+		for col := 1; col < c.k; col++ {
+			mulAdd(dec[j][col], shards[chosen[col]], out)
+		}
+		present[j] = true
+	}
+	return nil
+}
+
+// decodeMatrix returns the k x k matrix mapping the chosen shards back to
+// the data shards, cached per erasure pattern.
+func (c *Code) decodeMatrix(mask uint64, chosen []int) (matrix, error) {
+	c.mu.RLock()
+	dec, ok := c.inv[mask]
+	c.mu.RUnlock()
+	if ok {
+		return dec, nil
+	}
+	// The chosen shards are the generator rows for those indices applied to
+	// the data vector; inverting that submatrix recovers the data.
+	sub := newMatrix(c.k, c.k)
+	for r, idx := range chosen {
+		if idx < c.k {
+			sub[r][idx] = 1
+		} else {
+			copy(sub[r], c.parity[idx-c.k])
+		}
+	}
+	dec, err := sub.invert()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.inv[mask] = dec
+	c.mu.Unlock()
+	return dec, nil
+}
+
+func (c *Code) checkShards(shards [][]byte) error {
+	if len(shards) != c.k+c.m {
+		return fmt.Errorf("ec: got %d shards, want %d", len(shards), c.k+c.m)
+	}
+	size := -1
+	for _, s := range shards {
+		if s == nil {
+			continue
+		}
+		if size < 0 {
+			size = len(s)
+		} else if len(s) != size {
+			return fmt.Errorf("ec: shard sizes differ (%d vs %d)", size, len(s))
+		}
+	}
+	if size <= 0 {
+		return errors.New("ec: no shards")
+	}
+	return nil
+}

@@ -1,0 +1,209 @@
+package ec
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// combos are the stripe geometries under test: the deployment default
+// rs4.2, minimal and parity-heavy shapes, and a wide stripe.
+var combos = [][2]int{{2, 1}, {4, 2}, {3, 3}, {1, 2}, {10, 4}}
+
+func makeStripe(t *testing.T, c *Code, data []byte) [][]byte {
+	t.Helper()
+	s := c.ShardLen(len(data))
+	shards := make([][]byte, c.Shards())
+	for i := range shards {
+		shards[i] = make([]byte, s)
+	}
+	c.Split(data, shards)
+	if err := c.Encode(shards); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return shards
+}
+
+// erasurePatterns enumerates every subset of up to m shard positions out of
+// total (the patterns an RS(k, m) stripe must survive).
+func erasurePatterns(total, m int) [][]int {
+	var out [][]int
+	var walk func(start int, cur []int)
+	walk = func(start int, cur []int) {
+		if len(cur) > 0 {
+			out = append(out, append([]int(nil), cur...))
+		}
+		if len(cur) == m {
+			return
+		}
+		for i := start; i < total; i++ {
+			walk(i+1, append(cur, i))
+		}
+	}
+	walk(0, nil)
+	return out
+}
+
+// TestReconstructAllErasures is the core MDS property: any m or fewer
+// erasures — data, parity, or a mix — reconstruct every shard
+// byte-identically.
+func TestReconstructAllErasures(t *testing.T) {
+	for _, km := range combos {
+		k, m := km[0], km[1]
+		c, err := New(k, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(42))
+		data := make([]byte, 1000+k)
+		rng.Read(data)
+		want := makeStripe(t, c, data)
+		for _, pattern := range erasurePatterns(k+m, m) {
+			shards := make([][]byte, len(want))
+			present := make([]bool, len(want))
+			for i := range want {
+				shards[i] = append([]byte(nil), want[i]...)
+				present[i] = true
+			}
+			for _, e := range pattern {
+				for j := range shards[e] {
+					shards[e][j] = 0xEE // poison, not just zero
+				}
+				present[e] = false
+			}
+			if err := c.Reconstruct(shards, present); err != nil {
+				t.Fatalf("rs(%d,%d) erasures %v: %v", k, m, pattern, err)
+			}
+			for i := range want {
+				if !bytes.Equal(shards[i], want[i]) {
+					t.Fatalf("rs(%d,%d) erasures %v: shard %d differs after reconstruction", k, m, pattern, i)
+				}
+				if !present[i] {
+					t.Fatalf("rs(%d,%d) erasures %v: shard %d not marked present", k, m, pattern, i)
+				}
+			}
+			// The payload itself survives via Join.
+			got := make([]byte, len(data))
+			c.Join(got, shards)
+			if !bytes.Equal(got, data) {
+				t.Fatalf("rs(%d,%d) erasures %v: joined payload differs", k, m, pattern)
+			}
+		}
+	}
+}
+
+// TestReconstructTooManyErasures: m+1 erasures must fail with ErrShortShards,
+// never silently return wrong bytes.
+func TestReconstructTooManyErasures(t *testing.T) {
+	c, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 512)
+	rand.New(rand.NewSource(7)).Read(data)
+	shards := makeStripe(t, c, data)
+	present := []bool{false, false, false, true, true, true}
+	if err := c.Reconstruct(shards, present); !errors.Is(err, ErrShortShards) {
+		t.Fatalf("3 erasures on rs(4,2): err = %v, want ErrShortShards", err)
+	}
+}
+
+// TestEncodeDeterministic: the codec is a pure function of (k, m, payload) —
+// two independently-built codecs produce bit-identical parity, the property
+// the chaos replay and any cross-node repair rely on.
+func TestEncodeDeterministic(t *testing.T) {
+	for _, km := range combos {
+		k, m := km[0], km[1]
+		c1, _ := New(k, m)
+		c2, _ := New(k, m)
+		data := make([]byte, 4096)
+		rand.New(rand.NewSource(1337)).Read(data)
+		s1 := makeStripe(t, c1, data)
+		s2 := makeStripe(t, c2, data)
+		for i := range s1 {
+			if !bytes.Equal(s1[i], s2[i]) {
+				t.Fatalf("rs(%d,%d): shard %d differs between codec instances", k, m, i)
+			}
+		}
+	}
+}
+
+// TestSplitJoinEdges covers payloads that do not divide evenly and payloads
+// shorter than k.
+func TestSplitJoinEdges(t *testing.T) {
+	c, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 1023, 1025} {
+		data := make([]byte, n)
+		rand.New(rand.NewSource(int64(n))).Read(data)
+		shards := makeStripe(t, c, data)
+		got := make([]byte, n)
+		c.Join(got, shards)
+		if !bytes.Equal(got, data) {
+			t.Fatalf("payload %d bytes: join differs from split input", n)
+		}
+	}
+}
+
+// TestGeometryLimits: invalid (k, m) are rejected.
+func TestGeometryLimits(t *testing.T) {
+	for _, km := range [][2]int{{0, 1}, {1, 0}, {-1, 2}, {60, 5}} {
+		if _, err := New(km[0], km[1]); err == nil {
+			t.Errorf("New(%d, %d) succeeded, want error", km[0], km[1])
+		}
+	}
+	if _, err := New(60, 4); err != nil {
+		t.Errorf("New(60, 4): %v, want ok at the 64-shard boundary", err)
+	}
+}
+
+// TestGFInverse sanity-checks the field tables the whole codec stands on.
+func TestGFInverse(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		if got := gfMul[byte(a)][gfInv(byte(a))]; got != 1 {
+			t.Fatalf("a * inv(a) = %d for a = %d", got, a)
+		}
+	}
+	for a := 0; a < 256; a++ {
+		if gfMul[byte(a)][0] != 0 || gfMul[0][byte(a)] != 0 {
+			t.Fatalf("a * 0 != 0 for a = %d", a)
+		}
+	}
+}
+
+// TestMatrixInvert round-trips a random invertible matrix.
+func TestMatrixInvert(t *testing.T) {
+	c, _ := New(4, 4)
+	// Every square submatrix of the Cauchy generator is invertible; take the
+	// all-parity decode case (hardest pattern).
+	sub := newMatrix(4, 4)
+	for r := 0; r < 4; r++ {
+		copy(sub[r], c.parity[r])
+	}
+	inv, err := sub.invert()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			var got byte
+			for l := 0; l < 4; l++ {
+				got ^= gfMul[sub[i][l]][inv[l][j]]
+			}
+			want := byte(0)
+			if i == j {
+				want = 1
+			}
+			if got != want {
+				t.Fatalf("(M * inv(M))[%d][%d] = %d, want %d", i, j, got, want)
+			}
+		}
+	}
+	singular := newMatrix(2, 2) // all zeros
+	if _, err := singular.invert(); err == nil {
+		t.Fatal("inverting a singular matrix succeeded")
+	}
+}

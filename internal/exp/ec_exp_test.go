@@ -1,0 +1,44 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestECShape pins the acceptance shape of the erasure-coding comparison:
+// RS(4,2) stores at most (k+m)/k = 1.5x the payload against replication's
+// 3.0x (>= 1.8x more capacity per durable byte), and the degraded
+// reconstruct-on-read path stays within 2x of the healthy read.
+func TestECShape(t *testing.T) {
+	res, err := EC(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	rf, rs := res.Rows[0], res.Rows[1]
+	if rf.Policy != "rf3" || rs.Policy != "rs4.2" {
+		t.Fatalf("policies = %s, %s", rf.Policy, rs.Policy)
+	}
+	if ratio := rf.StoredPerByte / rs.StoredPerByte; ratio < 1.8 {
+		t.Errorf("capacity per durable byte: rs is only %.2fx rf, want >= 1.8x", ratio)
+	}
+	if rs.StoredPerByte < 1.5 {
+		t.Errorf("rs stored/byte %.2f below the (k+m)/k floor; shards are going missing", rs.StoredPerByte)
+	}
+	for _, row := range res.Rows {
+		if row.HealthyRead <= 0 || row.DegradedRead <= 0 {
+			t.Errorf("%s: non-positive latencies (%v healthy, %v degraded)", row.Policy, row.HealthyRead, row.DegradedRead)
+		}
+		if row.DegradedRead > 2*row.HealthyRead {
+			t.Errorf("%s: degraded read %v more than 2x healthy %v", row.Policy, row.DegradedRead, row.HealthyRead)
+		}
+	}
+	out := res.String()
+	for _, term := range []string{"rf3", "rs4.2", "capacity per durable byte"} {
+		if !strings.Contains(out, term) {
+			t.Errorf("rendering missing %q:\n%s", term, out)
+		}
+	}
+}

@@ -100,6 +100,10 @@ func Registry() []Experiment {
 			ID: "prefetch", Paper: "§IV.B extension: trend prefetching + tier ladder vs PBS",
 			Run: func(s Scale) (fmt.Stringer, error) { return Prefetch(s) },
 		},
+		{
+			ID: "ec", Paper: "§IV.D extension: RS(4,2) erasure coding vs triple replication",
+			Run: func(s Scale) (fmt.Stringer, error) { return EC(s) },
+		},
 	}
 }
 

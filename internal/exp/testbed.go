@@ -74,6 +74,9 @@ type TestbedConfig struct {
 	// ReplicationFactor for remote entries (default 1, matching the
 	// FastSwap prototype; the fault-tolerance experiments use 3).
 	ReplicationFactor int
+	// Durability selects the remote durability policy ("rf3", "rs4.2");
+	// empty keeps ReplicationFactor full copies.
+	Durability string
 	// SlabSize is the pool registration granularity (default 1 MiB).
 	SlabSize int
 }
@@ -122,6 +125,7 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 			RecvPoolBytes:     cfg.RecvPoolBytes,
 			SlabSize:          cfg.SlabSize,
 			ReplicationFactor: cfg.ReplicationFactor,
+			Durability:        cfg.Durability,
 		}, ep, dir)
 		if err != nil {
 			return nil, err

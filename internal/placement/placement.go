@@ -28,6 +28,9 @@ type Candidate struct {
 	// the digest plane's per-node get p99). Zero means unknown; only the
 	// load-aware balancer consults it.
 	Latency time.Duration
+	// Group tags the node's failure domain (rack, chassis, power feed).
+	// Zero means untagged; only the SpreadDomains decorator consults it.
+	Group int
 }
 
 // ErrInsufficientCandidates is returned when fewer distinct candidates exist
@@ -285,6 +288,62 @@ func (l *LoadAware) Pick(candidates []Candidate, n int) ([]NodeID, error) {
 	return out, nil
 }
 
+// domainSpread decorates a balancer with failure-domain spreading for
+// erasure-coded stripes: an RS(k, m) stripe that loses a whole rack must not
+// lose more than m shards, so no two shards should share a Candidate.Group.
+// Picks go one node at a time, restricting the pool to domains not yet used;
+// when every remaining candidate's domain is already used (or candidates are
+// untagged, Group 0), the pool widens to all remaining candidates — domain
+// spread is best-effort, capacity placement never fails because a cluster
+// has fewer racks than shards.
+type domainSpread struct {
+	inner Balancer
+}
+
+// SpreadDomains wraps a balancer so successive picks of one Pick call land
+// on distinct failure domains whenever candidates carry Group tags.
+func SpreadDomains(b Balancer) Balancer { return &domainSpread{inner: b} }
+
+// Name implements Balancer.
+func (d *domainSpread) Name() string { return d.inner.Name() + "+spread" }
+
+// Pick implements Balancer.
+func (d *domainSpread) Pick(candidates []Candidate, n int) ([]NodeID, error) {
+	if err := validate(candidates, n); err != nil {
+		return nil, err
+	}
+	remaining := append([]Candidate(nil), candidates...)
+	usedDomain := map[int]bool{}
+	out := make([]NodeID, 0, n)
+	for len(out) < n {
+		fresh := make([]Candidate, 0, len(remaining))
+		for _, c := range remaining {
+			if c.Group == 0 || !usedDomain[c.Group] {
+				fresh = append(fresh, c)
+			}
+		}
+		pool := fresh
+		if len(pool) == 0 {
+			pool = remaining
+		}
+		picked, err := d.inner.Pick(pool, 1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, picked[0])
+		for i, c := range remaining {
+			if c.Node == picked[0] {
+				if c.Group != 0 {
+					usedDomain[c.Group] = true
+				}
+				remaining = append(remaining[:i], remaining[i+1:]...)
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
 // Compile-time interface compliance checks.
 var (
 	_ Balancer = (*Random)(nil)
@@ -292,6 +351,7 @@ var (
 	_ Balancer = (*WeightedRoundRobin)(nil)
 	_ Balancer = (*PowerOfTwo)(nil)
 	_ Balancer = (*LoadAware)(nil)
+	_ Balancer = (*domainSpread)(nil)
 )
 
 // Imbalance summarizes how evenly a placement stream landed across nodes:

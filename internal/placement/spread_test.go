@@ -1,0 +1,111 @@
+package placement
+
+import "testing"
+
+func groupedCandidates() []Candidate {
+	// Three racks of two nodes each, equal capacity.
+	return []Candidate{
+		{Node: 1, FreeBytes: 1 << 20, Group: 1},
+		{Node: 2, FreeBytes: 1 << 20, Group: 1},
+		{Node: 3, FreeBytes: 1 << 20, Group: 2},
+		{Node: 4, FreeBytes: 1 << 20, Group: 2},
+		{Node: 5, FreeBytes: 1 << 20, Group: 3},
+		{Node: 6, FreeBytes: 1 << 20, Group: 3},
+	}
+}
+
+func domainOf(node NodeID, cands []Candidate) int {
+	for _, c := range cands {
+		if c.Node == node {
+			return c.Group
+		}
+	}
+	return -1
+}
+
+// TestSpreadDomainsDistinct: as long as enough domains exist, no two picks
+// share one.
+func TestSpreadDomainsDistinct(t *testing.T) {
+	cands := groupedCandidates()
+	for seed := int64(0); seed < 20; seed++ {
+		b := SpreadDomains(NewRandom(seed))
+		picked, err := b.Pick(cands, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[int]bool{}
+		for _, n := range picked {
+			g := domainOf(n, cands)
+			if seen[g] {
+				t.Fatalf("seed %d: picks %v land two shards on domain %d", seed, picked, g)
+			}
+			seen[g] = true
+		}
+	}
+}
+
+// TestSpreadDomainsBestEffort: more picks than domains still succeeds,
+// reusing domains only once each is already covered, and never reusing a
+// node.
+func TestSpreadDomainsBestEffort(t *testing.T) {
+	cands := groupedCandidates()
+	b := SpreadDomains(NewRandom(7))
+	picked, err := b.Pick(cands, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := map[NodeID]bool{}
+	domains := map[int]int{}
+	for _, n := range picked {
+		if nodes[n] {
+			t.Fatalf("picks %v repeat node %d", picked, n)
+		}
+		nodes[n] = true
+		domains[domainOf(n, cands)]++
+	}
+	// 5 picks over 3 domains: every domain used before any is reused.
+	if len(domains) != 3 {
+		t.Fatalf("picks %v cover %d domains, want all 3", picked, len(domains))
+	}
+	for g, c := range domains {
+		if c > 2 {
+			t.Fatalf("domain %d hosts %d shards before others filled", g, c)
+		}
+	}
+}
+
+// TestSpreadDomainsUntagged: Group 0 candidates impose no constraint — the
+// decorator degrades to the inner balancer's behavior.
+func TestSpreadDomainsUntagged(t *testing.T) {
+	cands := []Candidate{
+		{Node: 1, FreeBytes: 1}, {Node: 2, FreeBytes: 1},
+		{Node: 3, FreeBytes: 1}, {Node: 4, FreeBytes: 1},
+	}
+	b := SpreadDomains(NewRoundRobin())
+	picked, err := b.Pick(cands, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[NodeID]bool{}
+	for _, n := range picked {
+		if seen[n] {
+			t.Fatalf("picks %v repeat node %d", picked, n)
+		}
+		seen[n] = true
+	}
+}
+
+// TestSpreadDomainsInsufficient: asking for more nodes than exist still
+// fails loudly.
+func TestSpreadDomainsInsufficient(t *testing.T) {
+	b := SpreadDomains(NewRandom(1))
+	if _, err := b.Pick(groupedCandidates(), 7); err == nil {
+		t.Fatal("7 picks from 6 candidates succeeded")
+	}
+}
+
+func TestSpreadDomainsName(t *testing.T) {
+	if got := SpreadDomains(NewRoundRobin()).Name(); got != "round-robin+spread" {
+		t.Fatalf("Name() = %q", got)
+	}
+}

@@ -1,0 +1,149 @@
+package replication
+
+import (
+	"context"
+	"fmt"
+)
+
+// PickFunc supplies replacement donors during Restore: count distinct nodes,
+// none of which appear in exclude. The node manager backs it with its
+// placement balancer over the live candidate list.
+type PickFunc func(count int, exclude []NodeID) ([]NodeID, error)
+
+// Policy is the shared durability-policy interface (§IV.D generalized): how
+// an entry's bytes spread across donors, how they come back, and how
+// durability is re-established after donor loss. Two implementations exist —
+// this package's Replicator (rf<N>: N full copies) and ec.CodingPolicy
+// (rs<K>.<M>: Reed–Solomon striping) — selected per node via
+// core.Config.Durability.
+type Policy interface {
+	// Name identifies the policy ("rf3", "rs4.2") in stats and flags.
+	Name() string
+	// Width is the number of distinct donors each entry occupies.
+	Width() int
+	// MinAlive is how many of those donors must survive for the entry to be
+	// readable: 1 for replication, k for an RS(k, m) stripe.
+	MinAlive() int
+	// ShardClass maps an entry's size class to the per-donor allocation
+	// class: the class itself for replication, ceil(class/k) for coding —
+	// the source of coding's capacity-per-durable-byte win.
+	ShardClass(entryClass int) int
+	// Write spreads data for id across nodes atomically (all or nothing).
+	Write(ctx context.Context, nodes []NodeID, id EntryID, data []byte) error
+	// Read assembles the entry, tolerating up to Width-MinAlive donor
+	// failures, and reports the node that served it (the primary for
+	// striped reads).
+	Read(ctx context.Context, nodes []NodeID, id EntryID) ([]byte, NodeID, error)
+	// ReadAt fetches n bytes at offset off within the stored payload.
+	ReadAt(ctx context.Context, nodes []NodeID, id EntryID, off, n int) ([]byte, error)
+	// Delete releases the entry on every donor.
+	Delete(ctx context.Context, nodes []NodeID, id EntryID) error
+	// Restore re-establishes durability after the donors in lost died or
+	// evicted the entry, drawing replacements from pick. It returns the
+	// updated donor set and the lost donors whose share could NOT be
+	// restored this pass (the caller requeues those). A non-nil error means
+	// no progress was made at all.
+	Restore(ctx context.Context, nodes []NodeID, id EntryID, lost []NodeID, pick PickFunc) (newSet, stillLost []NodeID, err error)
+}
+
+// RangeStore is an optional Store extension: read a sub-range of an entry's
+// stored payload on one node. The core remote store implements it with a
+// one-sided read at the recorded offset.
+type RangeStore interface {
+	GetAt(ctx context.Context, node NodeID, id EntryID, off, n int) ([]byte, error)
+}
+
+// ScatterStore is an optional Store extension: read an entry's payload
+// directly into dst (len(dst) must equal the stored length), eliminating the
+// per-shard allocation on striped reads.
+type ScatterStore interface {
+	GetInto(ctx context.Context, node NodeID, id EntryID, dst []byte) error
+}
+
+var _ Policy = (*Replicator)(nil)
+
+// Name implements Policy.
+func (r *Replicator) Name() string { return fmt.Sprintf("rf%d", r.factor) }
+
+// Width implements Policy.
+func (r *Replicator) Width() int { return r.factor }
+
+// MinAlive implements Policy: any single surviving copy serves reads.
+func (r *Replicator) MinAlive() int { return 1 }
+
+// ShardClass implements Policy: every copy is full-size.
+func (r *Replicator) ShardClass(entryClass int) int { return entryClass }
+
+// ReadAt implements Policy: a sub-range read with primary-then-replica
+// failover when the store supports range reads, else a full read sliced.
+func (r *Replicator) ReadAt(ctx context.Context, nodes []NodeID, id EntryID, off, n int) ([]byte, error) {
+	if rs, ok := r.store.(RangeStore); ok {
+		var lastErr error
+		for _, node := range nodes {
+			data, err := rs.GetAt(ctx, node, id, off, n)
+			if err == nil {
+				return data, nil
+			}
+			lastErr = err
+		}
+		if lastErr == nil {
+			lastErr = fmt.Errorf("empty replica set")
+		}
+		return nil, fmt.Errorf("%w: entry %d: %w", ErrNoReplica, id, lastErr)
+	}
+	data, _, err := r.Read(ctx, nodes, id)
+	if err != nil {
+		return nil, err
+	}
+	if off < 0 || n < 0 || off+n > len(data) {
+		return nil, fmt.Errorf("replication: range [%d,%d) exceeds payload %d", off, off+n, len(data))
+	}
+	return data[off : off+n], nil
+}
+
+// Restore implements Policy: each lost replica is re-created from a
+// surviving copy on a freshly-picked replacement. Lost members no longer in
+// the set (an earlier pass already handled them) are skipped, and members
+// whose repair fails this pass come back in stillLost for requeueing — the
+// partial-repair accounting the binary repaired/failed model lost.
+func (r *Replicator) Restore(ctx context.Context, nodes []NodeID, id EntryID, lost []NodeID, pick PickFunc) ([]NodeID, []NodeID, error) {
+	current := append([]NodeID(nil), nodes...)
+	var still []NodeID
+	var firstErr error
+	progress := false
+	for _, l := range lost {
+		member := false
+		for _, n := range current {
+			if n == l {
+				member = true
+				break
+			}
+		}
+		if !member {
+			progress = true // someone already repaired it: the queue entry is stale
+			continue
+		}
+		replacement, err := pick(1, current)
+		if err != nil {
+			still = append(still, l)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		newSet, err := r.Repair(ctx, current, id, l, replacement[0])
+		if err != nil {
+			still = append(still, l)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		current = newSet
+		progress = true
+	}
+	if !progress && len(still) > 0 {
+		return nodes, nil, firstErr
+	}
+	return current, still, nil
+}

@@ -55,6 +55,7 @@ func Cases() []Case {
 		{"ScatterReadInto", testScatterReadInto},
 		{"MapDeltaOpFidelity", testMapDeltaOpFidelity},
 		{"RedirectOpFidelity", testRedirectOpFidelity},
+		{"ShardAllocOpFidelity", testShardAllocOpFidelity},
 	}
 }
 
@@ -562,6 +563,75 @@ func testRedirectOpFidelity(t *testing.T, f Fabric) {
 		}
 		if off := binary.BigEndian.Uint64(resp[9:17]); off != 0x0102030405060708^0x00FFFFFFFFFFFFFF {
 			t.Errorf("redirect offset = %#x mutated in flight", off)
+		}
+	})
+}
+
+// testShardAllocOpFidelity checks the erasure-coding control frames cross
+// both fabrics bit-exactly: the 20-byte shard-alloc request ([op][key u64]
+// [class u32][owner u32][idx][k][m]) and the 13-byte shard-stat request with
+// its 5-byte coordinate answer ([stOK][hosted][idx][k][m]). A corrupted idx
+// or k would make a repair reconstruct the wrong shard, so every field is
+// driven with high bits set.
+func testShardAllocOpFidelity(t *testing.T, f Fabric) {
+	const (
+		opAllocShard = 16
+		opShardStat  = 17
+		stOK         = 0
+	)
+	eps := f.Endpoints(t, 2)
+	eps[1].SetHandler(func(_ context.Context, _ transport.NodeID, payload []byte) ([]byte, error) {
+		switch payload[0] {
+		case opAllocShard:
+			if len(payload) != 20 {
+				return nil, fmt.Errorf("shard alloc frame = %d bytes, want 20", len(payload))
+			}
+			// Answer with an alloc-style [stOK][offset u64] echoing the key so
+			// the caller can verify the request fields arrived intact.
+			b := []byte{stOK}
+			b = binary.BigEndian.AppendUint64(b, binary.BigEndian.Uint64(payload[1:9]))
+			return b, nil
+		case opShardStat:
+			if len(payload) != 13 {
+				return nil, fmt.Errorf("shard stat frame = %d bytes, want 13", len(payload))
+			}
+			// Derive the coordinate answer from the request so corruption of
+			// either frame is visible: idx = low key byte, k/m from the owner.
+			owner := binary.BigEndian.Uint32(payload[9:13])
+			return []byte{stOK, 1, payload[8], byte(owner >> 24), byte(owner)}, nil
+		default:
+			return nil, fmt.Errorf("unexpected op %d", payload[0])
+		}
+	})
+	allocShard := func(key uint64, class, owner uint32, idx, k, m byte) []byte {
+		b := []byte{opAllocShard}
+		b = binary.BigEndian.AppendUint64(b, key)
+		b = binary.BigEndian.AppendUint32(b, class)
+		b = binary.BigEndian.AppendUint32(b, owner)
+		return append(b, idx, k, m)
+	}
+	f.Run(t, func(ctx context.Context) {
+		key := uint64(0xF00DFACE99887766)
+		resp, err := eps[0].Call(ctx, 2, allocShard(key, 0x80000400, 0xFFEE0001, 0x3F, 0x3E, 0x02))
+		if err != nil {
+			t.Fatalf("shard alloc Call: %v", err)
+		}
+		if len(resp) != 9 || resp[0] != stOK {
+			t.Fatalf("shard alloc answer = %d bytes status %d", len(resp), resp[0])
+		}
+		if echoed := binary.BigEndian.Uint64(resp[1:9]); echoed != key {
+			t.Errorf("echoed key = %#x, want %#x", echoed, key)
+		}
+		stat := []byte{opShardStat}
+		stat = binary.BigEndian.AppendUint64(stat, key)
+		stat = binary.BigEndian.AppendUint32(stat, 0xAA0000BB)
+		resp, err = eps[0].Call(ctx, 2, stat)
+		if err != nil {
+			t.Fatalf("shard stat Call: %v", err)
+		}
+		want := []byte{stOK, 1, 0x66, 0xAA, 0xBB}
+		if !bytes.Equal(resp, want) {
+			t.Errorf("shard stat answer = %v, want %v", resp, want)
 		}
 	})
 }
